@@ -1,0 +1,44 @@
+//! Bench E1 counterpart: wall-clock cost of Chord lookups as the ring
+//! grows (the routing substrate of every index operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfmesh_chord::{ChordRing, Id, IdSpace};
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    group.sample_size(30);
+    for &n in &[16usize, 256, 4096] {
+        let space = IdSpace::new(32);
+        let ids: Vec<Id> = (0..n).map(|i| space.hash(&(i as u64).to_be_bytes())).collect();
+        let ring = ChordRing::assemble(32, 2 * n.ilog2() as usize, &ids);
+        let from = ring.node_ids()[0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                std::hint::black_box(ring.lookup_from(from, Id(key)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_stabilize(c: &mut Criterion) {
+    c.bench_function("chord_join_and_stabilize_32_nodes", |b| {
+        let space = IdSpace::new(32);
+        let ids: Vec<Id> = (0..32u64).map(|i| space.hash(&i.to_be_bytes())).collect();
+        b.iter(|| {
+            let mut ring = ChordRing::new(32, 4);
+            ring.join(ids[0], None).unwrap();
+            for &id in &ids[1..] {
+                ring.join(id, Some(ids[0])).unwrap();
+                ring.stabilize();
+            }
+            ring.stabilize_until_converged(64);
+            std::hint::black_box(ring.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_lookups, bench_join_stabilize);
+criterion_main!(benches);

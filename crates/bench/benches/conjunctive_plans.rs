@@ -1,0 +1,39 @@
+//! Bench E4 counterpart: conjunctive query execution under different
+//! join orderings and with/without bind-join propagation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfmesh_bench::foaf_testbed;
+use rdfmesh_core::ExecConfig;
+use rdfmesh_sparql::OptimizerConfig;
+use rdfmesh_workload::FoafConfig;
+
+const QUERY: &str =
+    "SELECT * WHERE { ?x foaf:knows ?y . ?x foaf:name ?n . ?x foaf:nick \"Shrek\" . }";
+
+fn bench(c: &mut Criterion) {
+    let foaf = FoafConfig { persons: 120, peers: 8, ..Default::default() };
+    let mut group = c.benchmark_group("conjunctive_plan");
+    group.sample_size(20);
+    let configs: Vec<(&str, ExecConfig)> = vec![
+        (
+            "syntactic",
+            ExecConfig {
+                frequency_join_order: false,
+                optimizer: OptimizerConfig { reorder_bgps: false, ..OptimizerConfig::default() },
+                ..ExecConfig::default()
+            },
+        ),
+        ("frequency", ExecConfig::default()),
+        ("frequency+bind", ExecConfig { bind_join: true, ..ExecConfig::default() }),
+    ];
+    for (label, cfg) in configs {
+        let mut tb = foaf_testbed(&foaf, 6);
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(tb.run(cfg, QUERY).result_size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench E8 counterpart: filter query with and without source-side
+//! pushing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfmesh_bench::foaf_testbed;
+use rdfmesh_core::ExecConfig;
+use rdfmesh_sparql::OptimizerConfig;
+use rdfmesh_workload::FoafConfig;
+
+const QUERY: &str =
+    "SELECT ?x ?y WHERE { ?x foaf:name ?n . ?x foaf:knows ?y . FILTER regex(?n, \"Zhang\") }";
+
+fn bench(c: &mut Criterion) {
+    let foaf = FoafConfig { persons: 150, peers: 8, ..Default::default() };
+    let mut group = c.benchmark_group("filter_pushing");
+    group.sample_size(20);
+    let configs: Vec<(&str, ExecConfig)> = vec![
+        ("pushed", ExecConfig::default()),
+        (
+            "unpushed",
+            ExecConfig {
+                optimizer: OptimizerConfig { push_filters: false, ..OptimizerConfig::default() },
+                ..ExecConfig::default()
+            },
+        ),
+    ];
+    for (label, cfg) in configs {
+        let mut tb = foaf_testbed(&foaf, 6);
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(tb.run(cfg, QUERY).result_size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

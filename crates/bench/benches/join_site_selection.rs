@@ -1,0 +1,31 @@
+//! Bench E9 counterpart: the selective join across join-site policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfmesh_bench::foaf_testbed;
+use rdfmesh_core::{ExecConfig, JoinSiteStrategy, PrimitiveStrategy};
+use rdfmesh_workload::FoafConfig;
+
+const QUERY: &str = "SELECT * WHERE { ?x foaf:knows ?y . ?x foaf:nick ?v . }";
+
+fn bench(c: &mut Criterion) {
+    let foaf =
+        FoafConfig { persons: 150, peers: 8, nick_probability: 0.05, ..Default::default() };
+    let mut group = c.benchmark_group("join_site");
+    group.sample_size(20);
+    for strategy in JoinSiteStrategy::ALL {
+        let cfg = ExecConfig {
+            join_site: strategy,
+            primitive: PrimitiveStrategy::Basic,
+            overlap_aware: false,
+            ..ExecConfig::default()
+        };
+        let mut tb = foaf_testbed(&foaf, 6);
+        group.bench_function(strategy.to_string(), |b| {
+            b.iter(|| std::hint::black_box(tb.run(cfg, QUERY).result_size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

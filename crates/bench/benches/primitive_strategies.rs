@@ -1,0 +1,46 @@
+//! Bench E2 counterpart: end-to-end engine cost of the three primitive
+//! processing strategies on the same query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfmesh_bench::{testbed_from, Testbed};
+use rdfmesh_core::{ExecConfig, PrimitiveStrategy};
+use rdfmesh_rdf::{Term, Triple};
+
+const QUERY: &str = "SELECT ?x WHERE { ?x foaf:knows <http://example.org/b/target> . }";
+
+fn build() -> Testbed {
+    let knows = Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS);
+    let target = Term::iri("http://example.org/b/target");
+    let mut person = 0;
+    let datasets: Vec<Vec<Triple>> = (0..8)
+        .map(|_| {
+            (0..25)
+                .map(|_| {
+                    person += 1;
+                    Triple::new(
+                        Term::iri(&format!("http://example.org/b/p{person}")),
+                        knows.clone(),
+                        target.clone(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    testbed_from(&datasets, 6)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitive_strategy");
+    group.sample_size(30);
+    for strategy in PrimitiveStrategy::ALL {
+        let mut tb = build();
+        let cfg = ExecConfig { primitive: strategy, ..ExecConfig::default() };
+        group.bench_function(strategy.to_string(), |b| {
+            b.iter(|| std::hint::black_box(tb.run(cfg, QUERY).result_size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmarks of the SPARQL substrate: parsing, translation,
+//! optimization and local evaluation (the per-node work of Fig. 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfmesh_rdf::TripleStore;
+use rdfmesh_sparql::{evaluate_query, optimize, parse_query, OptimizerConfig};
+use rdfmesh_workload::{foaf, FoafConfig};
+
+const FIG4: &str = "SELECT ?x ?y ?z WHERE { \
+    ?x foaf:name ?name . ?x foaf:knows ?z . \
+    ?x ns:knowsNothingAbout ?y . ?y foaf:knows ?z . \
+    FILTER regex(?name, \"Smith\") } ORDER BY DESC(?x)";
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("parse_translate_fig4", |b| {
+        b.iter(|| std::hint::black_box(parse_query(FIG4).unwrap()));
+    });
+
+    let q = parse_query(FIG4).unwrap();
+    c.bench_function("optimize_fig4", |b| {
+        b.iter(|| {
+            std::hint::black_box(optimize(q.pattern.clone(), &OptimizerConfig::default()))
+        });
+    });
+
+    let data = foaf::generate(&FoafConfig { persons: 200, peers: 1, ..Default::default() });
+    let store: TripleStore = data.peers.into_iter().flatten().collect();
+    c.bench_function("local_eval_fig4_200_persons", |b| {
+        b.iter(|| std::hint::black_box(evaluate_query(&store, &q).len()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

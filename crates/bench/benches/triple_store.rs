@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the triple store: insertion and the eight pattern
+//! kinds (the level-2 work every storage node performs per sub-query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfmesh_rdf::{Term, TermPattern, TriplePattern, TripleStore};
+use rdfmesh_workload::{foaf, FoafConfig};
+
+fn store() -> TripleStore {
+    let data = foaf::generate(&FoafConfig { persons: 500, peers: 1, ..Default::default() });
+    data.peers.into_iter().flatten().collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let data = foaf::generate(&FoafConfig { persons: 500, peers: 1, ..Default::default() });
+    let triples: Vec<_> = data.peers.into_iter().flatten().collect();
+    c.bench_function("store_insert_500_persons", |b| {
+        b.iter(|| {
+            let mut s = TripleStore::new();
+            for t in &triples {
+                s.insert(t);
+            }
+            std::hint::black_box(s.len())
+        });
+    });
+
+    let s = store();
+    let knows = Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS);
+    let person = foaf::person_iri(3);
+    let patterns = vec![
+        ("p_bound", TriplePattern::new(TermPattern::var("s"), knows.clone(), TermPattern::var("o"))),
+        ("sp_bound", TriplePattern::new(person.clone(), knows.clone(), TermPattern::var("o"))),
+        ("s_bound", TriplePattern::new(person.clone(), TermPattern::var("p"), TermPattern::var("o"))),
+        ("o_bound", TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), person.clone())),
+        ("full_scan", TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), TermPattern::var("o"))),
+    ];
+    let mut group = c.benchmark_group("store_match");
+    for (label, pat) in patterns {
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(s.count_pattern(&pat)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench E7 counterpart: UNION evaluation with and without shared-node
+//! assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfmesh_bench::{testbed_from, Testbed};
+use rdfmesh_core::ExecConfig;
+use rdfmesh_rdf::{Term, Triple};
+
+const QUERY: &str = "SELECT * WHERE { \
+    { ?x <http://example.org/u/p1> ?v . } UNION { ?x <http://example.org/u/p2> ?v . } }";
+
+fn build() -> Testbed {
+    let p1 = Term::iri("http://example.org/u/p1");
+    let p2 = Term::iri("http://example.org/u/p2");
+    let node = |i: usize| Term::iri(&format!("http://example.org/u/n{i}"));
+    let mut datasets: Vec<Vec<Triple>> = vec![Vec::new(); 4];
+    let mut k = 0;
+    for owner in [0usize, 1] {
+        for _ in 0..40 {
+            k += 1;
+            datasets[owner].push(Triple::new(node(k), p1.clone(), node(1000 + k)));
+        }
+    }
+    for owner in [1usize, 2] {
+        for _ in 0..40 {
+            k += 1;
+            datasets[owner].push(Triple::new(node(k), p2.clone(), node(1000 + k)));
+        }
+    }
+    testbed_from(&datasets, 5)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_assembly");
+    group.sample_size(30);
+    for (label, overlap_aware) in [("naive", false), ("shared_node", true)] {
+        let cfg = ExecConfig { overlap_aware, ..ExecConfig::default() };
+        let mut tb = build();
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(tb.run(cfg, QUERY).result_size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p rdfmesh-bench --bin experiments --release          # all
+//! cargo run -p rdfmesh-bench --bin experiments --release -- e3 e7 # some
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("# rdfmesh experiment suite (deterministic; see EXPERIMENTS.md)");
+    if args.is_empty() {
+        rdfmesh_bench::experiments::run_all();
+        return;
+    }
+    for arg in &args {
+        if !rdfmesh_bench::experiments::run_one(arg) {
+            eprintln!("unknown experiment {arg:?}; known: e1..e10");
+            std::process::exit(2);
+        }
+    }
+}

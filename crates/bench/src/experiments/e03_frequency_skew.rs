@@ -1,0 +1,77 @@
+//! §E3 — Provider skew: where frequency-ordered chains win.
+//!
+//! The Sect. IV-C "further optimization" sorts the provider chain by
+//! ascending frequency so the node "that has the largest number of
+//! target triples" is last. Its benefit depends on skew: with one
+//! dominant provider the dominant contribution never transits
+//! intermediate hops. We sweep a Zipf exponent over the distribution of
+//! matches across 8 providers.
+
+use rdfmesh_core::{ExecConfig, PrimitiveStrategy};
+use rdfmesh_net::NodeId;
+use rdfmesh_rdf::{Term, Triple};
+use rdfmesh_workload::{Rng, Zipf};
+
+use crate::{fmt_ms, print_table, testbed_from, Testbed, INDEX_BASE};
+
+const QUERY: &str =
+    "SELECT ?x WHERE { ?x foaf:knows <http://example.org/e3/target> . }";
+
+fn build(skew: f64) -> Testbed {
+    let providers = 8;
+    let total = 400usize;
+    let zipf = Zipf::new(providers, skew);
+    let mut rng = Rng::new(0xE3);
+    let mut counts = vec![0usize; providers];
+    for _ in 0..total {
+        counts[zipf.sample(&mut rng)] += 1;
+    }
+    let knows = Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS);
+    let target = Term::iri("http://example.org/e3/target");
+    let mut person = 0usize;
+    let datasets: Vec<Vec<Triple>> = counts
+        .iter()
+        .map(|&c| {
+            (0..c.max(1))
+                .map(|_| {
+                    person += 1;
+                    Triple::new(
+                        Term::iri(&format!("http://example.org/e3/p{person}")),
+                        knows.clone(),
+                        target.clone(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    testbed_from(&datasets, 8)
+}
+
+/// Runs the experiment and prints its table.
+pub fn run() {
+    let mut rows = Vec::new();
+    for &skew in &[0.0f64, 0.5, 1.0, 1.5, 2.0, 3.0] {
+        let mut cells = vec![format!("{skew:.1}")];
+        for strategy in PrimitiveStrategy::ALL {
+            let mut tb = build(skew);
+            tb.initiator = NodeId(INDEX_BASE + 3);
+            let cfg = ExecConfig { primitive: strategy, ..ExecConfig::default() };
+            let stats = tb.run(cfg, QUERY);
+            cells.push(stats.total_bytes.to_string());
+            if strategy == PrimitiveStrategy::FrequencyOrdered {
+                cells.push(fmt_ms(stats.response_time));
+            }
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "~400 matches over 8 providers, Zipf(s) skew",
+        &["Zipf s", "basic B", "chained B", "freq B", "freq ms"],
+        &rows,
+    );
+    println!("\nShape check: at s=0 (uniform) basic transfers the least; as skew");
+    println!("grows the frequency-ordered chain crosses below basic — the");
+    println!("dominant provider's matches cross the network once instead of");
+    println!("twice, exactly the Sect. IV-C argument. The naive id-ordered");
+    println!("chain pays for re-shipping whatever it picks up early.");
+}

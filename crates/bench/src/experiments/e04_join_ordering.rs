@@ -1,0 +1,100 @@
+//! §E4 — Frequency-driven join ordering for conjunctive patterns.
+//!
+//! "Different orders of operators will lead to difference sizes of
+//! intermediate results and the smaller the intermediate results the
+//! more efficient the query processing" (Sect. IV-D). The location-table
+//! frequencies give the planner real cardinalities. We run star and
+//! chain conjunctions with (a) syntactic order, (b) shape-heuristic
+//! order, (c) frequency order, and report intermediate-result sizes and
+//! bytes.
+
+use rdfmesh_core::ExecConfig;
+use rdfmesh_sparql::OptimizerConfig;
+use rdfmesh_workload::FoafConfig;
+
+use crate::{fmt_ms, foaf_testbed, print_table};
+
+/// Runs the experiment and prints its table.
+pub fn run() {
+    let foaf = FoafConfig {
+        persons: 300,
+        peers: 12,
+        knows_degree: 6,
+        nick_probability: 0.15,
+        ignores_degree: 1,
+        ..Default::default()
+    };
+
+    // Patterns ordered worst-first on purpose: the unselective
+    // (?x knows ?y) first, the selective nick last.
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "star, worst-first",
+            "SELECT * WHERE { ?x foaf:knows ?y . ?x foaf:name ?n . ?x foaf:nick \"Shrek\" . }"
+                .into(),
+        ),
+        (
+            "chain via nick",
+            "SELECT * WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . ?z foaf:nick \"Fiona\" . }"
+                .into(),
+        ),
+        (
+            "fig4 core",
+            "SELECT * WHERE { ?x foaf:knows ?z . ?x ns:knowsNothingAbout ?y . ?y foaf:knows ?z . }"
+                .into(),
+        ),
+    ];
+
+    let configs: Vec<(&str, ExecConfig)> = vec![
+        (
+            "syntactic",
+            ExecConfig {
+                frequency_join_order: false,
+                optimizer: OptimizerConfig { reorder_bgps: false, ..OptimizerConfig::default() },
+                ..ExecConfig::default()
+            },
+        ),
+        (
+            "shape heuristic",
+            ExecConfig { frequency_join_order: false, ..ExecConfig::default() },
+        ),
+        ("frequency", ExecConfig::default()),
+        (
+            "syntactic+bind",
+            ExecConfig {
+                frequency_join_order: false,
+                optimizer: OptimizerConfig { reorder_bgps: false, ..OptimizerConfig::default() },
+                bind_join: true,
+                ..ExecConfig::default()
+            },
+        ),
+        ("frequency+bind", ExecConfig { bind_join: true, ..ExecConfig::default() }),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, query) in &queries {
+        for (cfg_label, cfg) in &configs {
+            let mut tb = foaf_testbed(&foaf, 8);
+            let (stats, n) = tb.run_counting(*cfg, query);
+            rows.push(vec![
+                label.to_string(),
+                cfg_label.to_string(),
+                stats.intermediate_solutions.to_string(),
+                stats.total_bytes.to_string(),
+                fmt_ms(stats.response_time),
+                n.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Join ordering on conjunctive queries (300 persons, 12 peers)",
+        &["query", "ordering", "intermediate", "bytes", "ms", "results"],
+        &rows,
+    );
+    println!("\nShape check: every ordering returns the same result count. With the");
+    println!("paper's gather-then-join scheme the ordering shrinks intermediate");
+    println!("join sizes (computation) but each pattern's full extension still");
+    println!("crosses the wire; with bind-join propagation (the [15]-style");
+    println!("extension) the ordering also slashes bytes, because only mappings");
+    println!("compatible with the current intermediate ever travel.");
+}

@@ -1,0 +1,75 @@
+//! §E5 — Overlap-aware site selection for conjunctive patterns.
+//!
+//! Sect. IV-D: when the storage-node sets S1 and S2 of two patterns
+//! intersect, both pattern chains should end at a common node so the
+//! join happens where the data already is. We control the overlap
+//! fraction directly and compare overlap-aware execution against naive
+//! per-pattern assembly.
+
+use rdfmesh_core::ExecConfig;
+use rdfmesh_rdf::{Term, Triple};
+
+use crate::{fmt_ms, print_table, testbed_from, Testbed};
+
+const QUERY: &str = "SELECT * WHERE { \
+    ?x <http://example.org/e5/p1> ?y . \
+    ?y <http://example.org/e5/p2> ?z . }";
+
+/// Ten storage nodes; pattern-1 data on nodes 0..5, pattern-2 data on a
+/// window shifted so that `shared` of them also hold pattern-1 data.
+fn build(shared: usize) -> Testbed {
+    assert!(shared <= 5);
+    let p1 = Term::iri("http://example.org/e5/p1");
+    let p2 = Term::iri("http://example.org/e5/p2");
+    let node = |i: usize| Term::iri(&format!("http://example.org/e5/n{i}"));
+    let mut datasets: Vec<Vec<Triple>> = vec![Vec::new(); 10];
+    // 30 x-y edges on providers 0..5.
+    for i in 0..30 {
+        datasets[i % 5].push(Triple::new(node(i), p1.clone(), node(100 + i)));
+    }
+    // 30 y-z edges on providers (5 - shared)..(10 - shared).
+    for i in 0..30 {
+        let owner = (5 - shared) + (i % 5);
+        datasets[owner].push(Triple::new(node(100 + i), p2.clone(), node(200 + i)));
+    }
+    testbed_from(&datasets, 6)
+}
+
+/// Runs the experiment and prints its table.
+pub fn run() {
+    let mut rows = Vec::new();
+    for &shared in &[0usize, 1, 2, 3, 4, 5] {
+        let naive_cfg = ExecConfig { overlap_aware: false, ..ExecConfig::default() };
+        let aware_cfg = ExecConfig { overlap_aware: true, ..ExecConfig::default() };
+        let mut tb = build(shared);
+        let (naive, n1) = tb.run_counting(naive_cfg, QUERY);
+        let mut tb = build(shared);
+        let (aware, n2) = tb.run_counting(aware_cfg, QUERY);
+        assert_eq!(n1, n2, "site selection must not change answers");
+        rows.push(vec![
+            shared.to_string(),
+            naive.total_bytes.to_string(),
+            aware.total_bytes.to_string(),
+            format!("{:.2}", naive.total_bytes as f64 / aware.total_bytes.max(1) as f64),
+            fmt_ms(naive.response_time),
+            fmt_ms(aware.response_time),
+            n1.to_string(),
+        ]);
+    }
+    print_table(
+        "Two-pattern join, 5 providers per pattern, `shared` in both sets",
+        &[
+            "shared providers",
+            "naive B",
+            "overlap-aware B",
+            "naive/aware",
+            "naive ms",
+            "aware ms",
+            "results",
+        ],
+        &rows,
+    );
+    println!("\nShape check: with no overlap the two executions coincide; as the");
+    println!("provider sets intersect, ending both chains on a shared node");
+    println!("makes the join local and the byte ratio climbs above 1.");
+}

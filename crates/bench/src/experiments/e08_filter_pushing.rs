@@ -1,0 +1,71 @@
+//! §E8 — Filter pushing to the data sources.
+//!
+//! Sect. IV-G adopts the Schmidt-et-al. rewrite: a filter mentioning
+//! only `?name` moves into `BGP(P1)`, so storage nodes evaluate it
+//! locally and only surviving mappings cross the network. We sweep the
+//! filter's selectivity (the fraction of names matching the regex) by
+//! targeting surnames of different popularity.
+
+use rdfmesh_core::ExecConfig;
+use rdfmesh_sparql::OptimizerConfig;
+use rdfmesh_workload::FoafConfig;
+
+use crate::{fmt_ms, foaf_testbed, print_table};
+
+/// Runs the experiment and prints its table.
+pub fn run() {
+    let foaf = FoafConfig { persons: 400, peers: 12, knows_degree: 4, ..Default::default() };
+
+    // Regexes of decreasing selectivity: one surname, a disjunction of
+    // two, any of four, everything.
+    let filters = [
+        ("1 surname", "Zhang"),
+        ("2 surnames", "(Zhang|Smith)"),
+        ("4 surnames", "(Zhang|Smith|Jones|Brown)"),
+        ("everything", ""),
+    ];
+
+    let pushed_cfg = ExecConfig::default();
+    let unpushed_cfg = ExecConfig {
+        optimizer: OptimizerConfig { push_filters: false, ..OptimizerConfig::default() },
+        ..ExecConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for (label, needle) in filters {
+        let query = format!(
+            "SELECT ?x ?y WHERE {{ ?x foaf:name ?n . ?x foaf:knows ?y . FILTER regex(?n, \"{needle}\") }}"
+        );
+        let mut tb = foaf_testbed(&foaf, 8);
+        let (pushed, n1) = tb.run_counting(pushed_cfg, &query);
+        let mut tb = foaf_testbed(&foaf, 8);
+        let (unpushed, n2) = tb.run_counting(unpushed_cfg, &query);
+        assert_eq!(n1, n2, "pushing must not change answers");
+        rows.push(vec![
+            label.to_string(),
+            unpushed.total_bytes.to_string(),
+            pushed.total_bytes.to_string(),
+            format!("{:.2}", unpushed.total_bytes as f64 / pushed.total_bytes.max(1) as f64),
+            fmt_ms(unpushed.response_time),
+            fmt_ms(pushed.response_time),
+            n1.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 9-style filter query, selectivity sweep (400 persons)",
+        &[
+            "filter matches",
+            "unpushed B",
+            "pushed B",
+            "ratio",
+            "unpushed ms",
+            "pushed ms",
+            "results",
+        ],
+        &rows,
+    );
+    println!("\nShape check: the more selective the filter, the bigger the ratio —");
+    println!("source-side filtering discards non-matching name mappings before");
+    println!("they travel. With an always-true filter both plans transfer the");
+    println!("same mappings and the ratio returns to ~1.");
+}

@@ -1,0 +1,87 @@
+//! §E13 — Whole-system scalability.
+//!
+//! The headline claim: the hybrid architecture "exhibits satisfactory
+//! scalability owing to the adoption of a two-level distributed index
+//! and hashing techniques" (Abstract). We grow the system — peers with
+//! data, and the index ring — and track what a fixed query workload
+//! costs. Scalable means: per-query cost grows with the *answer*, not
+//! with the system, and ring size only adds logarithmic routing hops.
+
+use rdfmesh_core::ExecConfig;
+use rdfmesh_workload::{foaf, FoafConfig};
+
+use crate::{fmt_ms, print_table, testbed_from};
+
+/// A fixed-selectivity workload: every person knows ~4 others, and the
+/// probe asks who knows one specific person, so the answer size stays
+/// ~constant while the system grows.
+fn probe(persons: usize) -> String {
+    format!(
+        "SELECT ?x WHERE {{ ?x foaf:knows {} . }}",
+        foaf::person_iri(persons / 2)
+    )
+}
+
+/// Runs the experiment and prints its tables.
+pub fn run() {
+    // (a) grow the peer population at fixed index-ring size.
+    let mut rows = Vec::new();
+    for &peers in &[4usize, 8, 16, 32, 64] {
+        let persons = peers * 25; // constant data per peer
+        let data = foaf::generate(&FoafConfig {
+            persons,
+            peers,
+            knows_degree: 4,
+            seed: 0xE13,
+            ..Default::default()
+        });
+        let mut tb = testbed_from(&data.peers, 8);
+        let (stats, n) = tb.run_counting(ExecConfig::default(), &probe(persons));
+        rows.push(vec![
+            peers.to_string(),
+            persons.to_string(),
+            n.to_string(),
+            stats.providers_contacted.to_string(),
+            stats.total_bytes.to_string(),
+            fmt_ms(stats.response_time),
+            stats.index_hops.to_string(),
+        ]);
+    }
+    print_table(
+        "Growing peers (8 index nodes; data and answer density held constant)",
+        &["peers", "persons", "results", "providers asked", "bytes", "ms", "index hops"],
+        &rows,
+    );
+
+    // (b) grow the index ring at fixed data.
+    let data = foaf::generate(&FoafConfig {
+        persons: 400,
+        peers: 16,
+        knows_degree: 4,
+        seed: 0xE13,
+        ..Default::default()
+    });
+    let mut rows = Vec::new();
+    for &index_nodes in &[2usize, 4, 8, 16, 32, 64] {
+        let mut tb = testbed_from(&data.peers, index_nodes);
+        let (stats, n) = tb.run_counting(ExecConfig::default(), &probe(400));
+        rows.push(vec![
+            index_nodes.to_string(),
+            n.to_string(),
+            stats.index_hops.to_string(),
+            stats.total_bytes.to_string(),
+            fmt_ms(stats.response_time),
+        ]);
+    }
+    print_table(
+        "Growing the index ring (400 persons on 16 peers, same probe)",
+        &["index nodes", "results", "index hops", "bytes", "ms"],
+        &rows,
+    );
+    println!("\nShape check: query cost tracks the providers actually holding");
+    println!("answers, not the peer population — bytes and latency stay near-");
+    println!("flat across a 16× peer growth. Growing the ring only adds");
+    println!("O(log N) routing hops to the fixed two-level lookup. This is the");
+    println!("scalability the two-level index buys over flooding, whose cost");
+    println!("would grow linearly in the peer count.");
+}

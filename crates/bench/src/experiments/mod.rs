@@ -1,0 +1,60 @@
+//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E10).
+//!
+//! Each module prints one or more Markdown tables; `run_all` regenerates
+//! the whole of EXPERIMENTS.md's measured data. Everything is seeded and
+//! deterministic.
+
+pub mod e01_chord_scalability;
+pub mod e02_primitive_strategies;
+pub mod e03_frequency_skew;
+pub mod e04_join_ordering;
+pub mod e05_overlap_sites;
+pub mod e06_optional_movesmall;
+pub mod e07_union_sharednode;
+pub mod e08_filter_pushing;
+pub mod e09_join_site_selection;
+pub mod e10_churn;
+pub mod e11_adaptive;
+pub mod e12_rdfpeers;
+pub mod e13_system_scalability;
+pub mod e14_range_index;
+
+/// `(id, description, runner)` for every experiment.
+pub fn all() -> Vec<(&'static str, &'static str, fn())> {
+    vec![
+        ("e1", "Chord lookup scalability and index balance", e01_chord_scalability::run),
+        ("e2", "Primitive strategies: bytes vs response time", e02_primitive_strategies::run),
+        ("e3", "Provider skew: where frequency-ordered chains win", e03_frequency_skew::run),
+        ("e4", "Frequency-driven join ordering", e04_join_ordering::run),
+        ("e5", "Overlap-aware site selection for conjunctions", e05_overlap_sites::run),
+        ("e6", "Move-small for OPTIONAL patterns", e06_optional_movesmall::run),
+        ("e7", "Shared-node assembly for UNION patterns", e07_union_sharednode::run),
+        ("e8", "Filter pushing to the data sources", e08_filter_pushing::run),
+        ("e9", "Join-site selection under heterogeneous links", e09_join_site_selection::run),
+        ("e10", "Churn: resilience of the two-level index", e10_churn::run),
+        ("e11", "Cost-based strategy selection under mixed objectives", e11_adaptive::run),
+        ("e12", "Architectural comparison against RDFPeers", e12_rdfpeers::run),
+        ("e13", "Whole-system scalability", e13_system_scalability::run),
+        ("e14", "Numeric range queries: bucketed index vs gather vs RDFPeers", e14_range_index::run),
+    ]
+}
+
+/// Runs every experiment in order.
+pub fn run_all() {
+    for (id, title, runner) in all() {
+        println!("\n## {} — {}", id.to_uppercase(), title);
+        runner();
+    }
+}
+
+/// Runs one experiment by id (`e1` … `e14`). Returns false if unknown.
+pub fn run_one(id: &str) -> bool {
+    for (eid, title, runner) in all() {
+        if eid == id {
+            println!("\n## {} — {}", eid.to_uppercase(), title);
+            runner();
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,119 @@
+//! SHA-1, implemented in-tree.
+//!
+//! Chord assigns identifiers by hashing names with SHA-1 (Stoica et al.);
+//! the paper's two-level index hashes triple attributes the same way. The
+//! sanctioned dependency list carries no hash crate, so the 80-round
+//! SHA-1 compression function lives here. (SHA-1 is used for key
+//! *distribution*, not security; collision weakness is irrelevant.)
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+    let ml = (data.len() as u64).wrapping_mul(8);
+    let mut message = data.to_vec();
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&ml.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for chunk in message.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// The top 64 bits of the SHA-1 digest, used as a Chord identifier before
+/// truncation to the ring's bit width.
+pub fn sha1_u64(data: &[u8]) -> u64 {
+    let d = sha1(data);
+    u64::from_be_bytes(d[..8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn known_vectors() {
+        // FIPS-180 test vectors.
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex(&sha1(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn long_input_crosses_block_boundaries() {
+        // 1000 'a's spans many 64-byte blocks and a padding boundary.
+        let input = vec![b'a'; 1000];
+        assert_eq!(hex(&sha1(&input)), "291e9a6c66994949b57ba5e650361e98fc36b1ba");
+    }
+
+    #[test]
+    fn boundary_lengths_55_56_64() {
+        // Padding edge cases: 55 (fits), 56 (new block), 64 (exact block).
+        for n in [55usize, 56, 63, 64, 65] {
+            let input = vec![b'x'; n];
+            let d1 = sha1(&input);
+            let d2 = sha1(&input);
+            assert_eq!(d1, d2);
+            assert_ne!(d1, sha1(&vec![b'x'; n + 1]));
+        }
+    }
+
+    #[test]
+    fn u64_projection_is_prefix() {
+        let d = sha1(b"chord");
+        let expect = u64::from_be_bytes(d[..8].try_into().unwrap());
+        assert_eq!(sha1_u64(b"chord"), expect);
+    }
+}

@@ -1,0 +1,653 @@
+//! A Chord ring with per-node routing state and explicit maintenance.
+//!
+//! Every node keeps only its own view — successor list, predecessor and
+//! finger table — exactly as in Stoica et al.; the [`ChordRing`] container
+//! plays the role of the network, letting nodes read each other's state
+//! while counting the routing hops a real deployment would pay. Lookups
+//! are *iterative* and never consult global membership, so the measured
+//! hop counts (EXPERIMENTS.md §E1) are honest.
+//!
+//! Failures are modelled by removing a node's state: other nodes discover
+//! the failure when a routing step times out and fall back to their
+//! successor lists, as described in the paper's Sect. III-D.
+
+use std::collections::BTreeMap;
+
+use crate::id::{Id, IdSpace};
+
+/// Routing state one node maintains.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// This node's identifier.
+    pub id: Id,
+    /// The first `r` successors (index 0 = immediate successor).
+    pub successors: Vec<Id>,
+    /// The predecessor, when known.
+    pub predecessor: Option<Id>,
+    /// Finger table: `fingers[k]` routes keys ≥ `id + 2^k`.
+    pub fingers: Vec<Option<Id>>,
+}
+
+impl NodeState {
+    fn new(id: Id, bits: u32) -> Self {
+        NodeState { id, successors: vec![id], predecessor: None, fingers: vec![None; bits as usize] }
+    }
+
+    /// The immediate successor.
+    pub fn successor(&self) -> Id {
+        self.successors.first().copied().unwrap_or(self.id)
+    }
+}
+
+/// Outcome of a lookup, with the routing cost actually incurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// The node responsible for the key (its successor).
+    pub owner: Id,
+    /// Number of inter-node hops the iterative lookup performed.
+    pub hops: usize,
+}
+
+/// Errors surfaced by ring operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// The referenced node is not alive in the ring.
+    UnknownNode(Id),
+    /// A node with this identifier already exists.
+    DuplicateId(Id),
+    /// Routing failed: every candidate next hop is dead (too many
+    /// simultaneous failures for the successor-list length).
+    RoutingFailed {
+        /// The node the lookup started from.
+        from: Id,
+        /// The key being resolved.
+        key: Id,
+    },
+    /// The ring has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::UnknownNode(id) => write!(f, "unknown node N{id}"),
+            RingError::DuplicateId(id) => write!(f, "duplicate node id N{id}"),
+            RingError::RoutingFailed { from, key } => {
+                write!(f, "routing from N{from} for key {key} failed")
+            }
+            RingError::Empty => write!(f, "empty ring"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// A Chord ring containing the state of every live node.
+#[derive(Debug, Clone)]
+pub struct ChordRing {
+    space: IdSpace,
+    successor_list_len: usize,
+    nodes: BTreeMap<Id, NodeState>,
+}
+
+impl ChordRing {
+    /// An empty ring over an `m`-bit space with successor lists of length
+    /// `r` (Chord recommends `r = Ω(log N)`; the paper's Sect. III-D
+    /// relies on them for failure recovery).
+    pub fn new(bits: u32, successor_list_len: usize) -> Self {
+        ChordRing {
+            space: IdSpace::new(bits),
+            successor_list_len: successor_list_len.max(1),
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The live node identifiers, in id order.
+    pub fn node_ids(&self) -> Vec<Id> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// True if the node is alive.
+    pub fn contains(&self, id: Id) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// A node's routing state.
+    pub fn node(&self, id: Id) -> Result<&NodeState, RingError> {
+        self.nodes.get(&id).ok_or(RingError::UnknownNode(id))
+    }
+
+    /// Adds a node. The new node learns its successor by a lookup through
+    /// `bootstrap` (any live node); its fingers and the neighbours'
+    /// states converge over subsequent [`ChordRing::stabilize`] rounds.
+    /// Returns the hops spent finding the join position.
+    pub fn join(&mut self, id: Id, bootstrap: Option<Id>) -> Result<usize, RingError> {
+        let id = self.space.id(id.0);
+        if self.nodes.contains_key(&id) {
+            return Err(RingError::DuplicateId(id));
+        }
+        let mut state = NodeState::new(id, self.space.bits());
+        let hops = match bootstrap {
+            None => {
+                if !self.nodes.is_empty() {
+                    return Err(RingError::UnknownNode(id));
+                }
+                0
+            }
+            Some(b) => {
+                let lookup = self.lookup_from(b, id)?;
+                state.successors = vec![lookup.owner];
+                lookup.hops
+            }
+        };
+        self.nodes.insert(id, state);
+        Ok(hops)
+    }
+
+    /// Graceful departure (Sect. III-D): the node hands its key range to
+    /// its successor by notifying neighbours before vanishing.
+    pub fn leave(&mut self, id: Id) -> Result<(), RingError> {
+        let state = self.nodes.remove(&id).ok_or(RingError::UnknownNode(id))?;
+        let succ = state.successor();
+        let pred = state.predecessor;
+        if let Some(p) = pred.filter(|p| *p != id) {
+            if let Some(ps) = self.nodes.get_mut(&p) {
+                ps.successors.retain(|s| *s != id);
+                if ps.successors.is_empty() {
+                    ps.successors.push(if succ == id { p } else { succ });
+                }
+            }
+        }
+        if succ != id {
+            if let Some(ss) = self.nodes.get_mut(&succ) {
+                if ss.predecessor == Some(id) {
+                    ss.predecessor = pred.filter(|p| *p != id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abrupt failure: the node's state disappears without notice. Other
+    /// nodes only find out when they try to talk to it.
+    pub fn fail(&mut self, id: Id) -> Result<(), RingError> {
+        self.nodes.remove(&id).map(|_| ()).ok_or(RingError::UnknownNode(id))
+    }
+
+    /// One round of Chord's periodic maintenance on every node:
+    /// `stabilize` + `notify` + successor-list refresh + `fix_fingers`.
+    /// Call until convergence after churn (`O(log N)` rounds suffice in
+    /// practice; tests use [`ChordRing::stabilize_until_converged`]).
+    pub fn stabilize(&mut self) {
+        let ids: Vec<Id> = self.nodes.keys().copied().collect();
+        for &n in &ids {
+            self.stabilize_node(n);
+        }
+        for &n in &ids {
+            self.refresh_successor_list(n);
+        }
+        for &n in &ids {
+            self.fix_fingers(n);
+        }
+    }
+
+    /// Runs stabilization rounds until no node's state changes, up to
+    /// `max_rounds`. Returns the number of rounds executed.
+    pub fn stabilize_until_converged(&mut self, max_rounds: usize) -> usize {
+        for round in 1..=max_rounds {
+            let before = self.fingerprint();
+            self.stabilize();
+            if self.fingerprint() == before {
+                return round;
+            }
+        }
+        max_rounds
+    }
+
+    fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (id, s) in &self.nodes {
+            id.hash(&mut h);
+            s.successors.hash(&mut h);
+            s.predecessor.hash(&mut h);
+            s.fingers.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    fn stabilize_node(&mut self, n: Id) {
+        // Find the first live successor; drop dead ones (failure detection).
+        let (mut succ, had_dead) = {
+            let state = &self.nodes[&n];
+            let mut chosen = None;
+            let mut dead = false;
+            for &s in &state.successors {
+                if s == n || self.nodes.contains_key(&s) {
+                    chosen = Some(s);
+                    break;
+                }
+                dead = true;
+            }
+            (chosen.unwrap_or(n), dead)
+        };
+        if had_dead {
+            let keep: Vec<Id> = self.nodes[&n]
+                .successors
+                .iter()
+                .copied()
+                .filter(|s| *s == n || self.nodes.contains_key(s))
+                .collect();
+            let state = self.nodes.get_mut(&n).expect("alive");
+            state.successors = if keep.is_empty() { vec![n] } else { keep };
+        }
+        // Chord stabilize: adopt successor.predecessor when it sits between.
+        if let Some(sp) = self.nodes.get(&succ).and_then(|s| s.predecessor) {
+            if sp != n && self.nodes.contains_key(&sp) && self.space.in_open(sp, n, succ) {
+                succ = sp;
+            }
+        }
+        {
+            let state = self.nodes.get_mut(&n).expect("alive");
+            if state.successors.first() != Some(&succ) {
+                state.successors.insert(0, succ);
+                state.successors.dedup();
+            }
+        }
+        // notify(succ, n): succ adopts n as predecessor if closer.
+        let adopt = match self.nodes.get(&succ) {
+            Some(s) => match s.predecessor {
+                None => true,
+                Some(p) => !self.nodes.contains_key(&p) || self.space.in_open(n, p, succ),
+            },
+            None => false,
+        };
+        if adopt && succ != n {
+            self.nodes.get_mut(&succ).expect("checked").predecessor = Some(n);
+        }
+        // A lone node is its own predecessor-less successor.
+        if self.nodes.len() == 1 {
+            let state = self.nodes.get_mut(&n).expect("alive");
+            state.successors = vec![n];
+            state.predecessor = None;
+        }
+    }
+
+    fn refresh_successor_list(&mut self, n: Id) {
+        // Walk the successor chain through live nodes.
+        let mut list = Vec::with_capacity(self.successor_list_len);
+        let mut cur = self.nodes[&n].successor();
+        for _ in 0..self.successor_list_len {
+            if cur == n || !self.nodes.contains_key(&cur) {
+                break;
+            }
+            if list.contains(&cur) {
+                break;
+            }
+            list.push(cur);
+            cur = self.nodes[&cur].successor();
+        }
+        if list.is_empty() {
+            list.push(n);
+        }
+        self.nodes.get_mut(&n).expect("alive").successors = list;
+    }
+
+    fn fix_fingers(&mut self, n: Id) {
+        let bits = self.space.bits();
+        for k in 0..bits {
+            let start = self.space.finger_start(n, k);
+            let owner = self.lookup_from(n, start).map(|l| l.owner).ok();
+            self.nodes.get_mut(&n).expect("alive").fingers[k as usize] = owner;
+        }
+    }
+
+    /// The live node in this ring whose id most closely precedes `key`
+    /// according to `n`'s finger table (Chord's
+    /// `closest_preceding_finger`).
+    fn closest_preceding(&self, n: Id, key: Id) -> Id {
+        let state = &self.nodes[&n];
+        for f in state.fingers.iter().rev().flatten() {
+            if *f != n && self.nodes.contains_key(f) && self.space.in_open(*f, n, key) {
+                return *f;
+            }
+        }
+        // Fall back to the successor list.
+        for s in &state.successors {
+            if *s != n && self.nodes.contains_key(s) && self.space.in_open(*s, n, key) {
+                return *s;
+            }
+        }
+        n
+    }
+
+    /// Iteratively resolves the node responsible for `key`, starting at
+    /// `from`, counting hops. This is the level-1 routing of the two-level
+    /// index: the owner's location table holds the key's storage nodes.
+    pub fn lookup_from(&self, from: Id, key: Id) -> Result<Lookup, RingError> {
+        self.lookup_path_from(from, key).map(|path| Lookup {
+            owner: *path.last().expect("path includes owner"),
+            hops: path.len() - 1,
+        })
+    }
+
+    /// Like [`ChordRing::lookup_from`] but returns the full node sequence
+    /// visited: `[from, …, owner]`. Network-accounting callers charge one
+    /// message per adjacent pair.
+    pub fn lookup_path_from(&self, from: Id, key: Id) -> Result<Vec<Id>, RingError> {
+        if !self.nodes.contains_key(&from) {
+            return Err(RingError::UnknownNode(from));
+        }
+        let key = self.space.id(key.0);
+        let mut n = from;
+        let mut path = vec![from];
+        let budget = 4 * self.space.bits() as usize + 2 * self.nodes.len() + 8;
+        loop {
+            // Find n's first live successor.
+            let succ = {
+                let state = &self.nodes[&n];
+                state
+                    .successors
+                    .iter()
+                    .copied()
+                    .find(|s| *s == n || self.nodes.contains_key(s))
+                    .unwrap_or(n)
+            };
+            if self.space.in_open_closed(key, n, succ) {
+                if succ != n {
+                    path.push(succ);
+                }
+                return Ok(path);
+            }
+            let next = self.closest_preceding(n, key);
+            if next == n {
+                // Fingers are stale and nothing precedes: follow successor.
+                if succ == n {
+                    return Err(RingError::RoutingFailed { from, key });
+                }
+                n = succ;
+            } else {
+                n = next;
+            }
+            path.push(n);
+            if path.len() > budget {
+                return Err(RingError::RoutingFailed { from, key });
+            }
+        }
+    }
+
+    /// Resolves `key` from an arbitrary live node (the smallest id), for
+    /// callers that don't model an initiator.
+    pub fn lookup(&self, key: Id) -> Result<Lookup, RingError> {
+        let from = *self.nodes.keys().next().ok_or(RingError::Empty)?;
+        self.lookup_from(from, key)
+    }
+
+    /// The node that *should* own `key` given current membership — the
+    /// successor of the key in id order. Used as the test oracle.
+    pub fn ideal_owner(&self, key: Id) -> Result<Id, RingError> {
+        let key = self.space.id(key.0);
+        self.nodes
+            .range(key..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(id, _)| *id)
+            .ok_or(RingError::Empty)
+    }
+
+    /// Directly assembles a converged ring from global membership,
+    /// without running the join/stabilization protocol — for experiments
+    /// at scales where per-join stabilization would dominate setup time.
+    /// The resulting state is exactly what stabilization converges to.
+    pub fn assemble(bits: u32, successor_list_len: usize, ids: &[Id]) -> Self {
+        let mut ring = ChordRing::new(bits, successor_list_len);
+        let space = ring.space;
+        let mut sorted: Vec<Id> = ids.iter().map(|id| space.id(id.0)).collect();
+        sorted.sort();
+        sorted.dedup();
+        for &id in &sorted {
+            ring.nodes.insert(id, NodeState::new(id, bits));
+        }
+        let n = sorted.len();
+        if n == 0 {
+            return ring;
+        }
+        for (i, &id) in sorted.iter().enumerate() {
+            let mut successors = Vec::with_capacity(ring.successor_list_len);
+            for k in 1..=ring.successor_list_len.min(n.saturating_sub(1)) {
+                successors.push(sorted[(i + k) % n]);
+            }
+            if successors.is_empty() {
+                successors.push(id);
+            }
+            let predecessor =
+                if n > 1 { Some(sorted[(i + n - 1) % n]) } else { None };
+            let fingers: Vec<Option<Id>> = (0..bits)
+                .map(|k| {
+                    let start = space.finger_start(id, k);
+                    // Owner of `start`: first node ≥ start (cyclically).
+                    let idx = sorted.partition_point(|&x| x < start);
+                    Some(sorted[idx % n])
+                })
+                .collect();
+            let state = ring.nodes.get_mut(&id).expect("inserted");
+            state.successors = successors;
+            state.predecessor = predecessor;
+            state.fingers = fingers;
+        }
+        ring
+    }
+
+    /// Builds a fully converged ring from the given ids in one shot —
+    /// convenience for experiments that don't study the join protocol.
+    pub fn bootstrapped(bits: u32, successor_list_len: usize, ids: &[Id]) -> Self {
+        let mut ring = ChordRing::new(bits, successor_list_len);
+        let mut iter = ids.iter();
+        if let Some(&first) = iter.next() {
+            ring.join(first, None).expect("first join");
+            for &id in iter {
+                let bootstrap = *ring.nodes.keys().next().expect("non-empty");
+                ring.join(id, Some(bootstrap)).expect("join");
+                ring.stabilize_until_converged(64);
+            }
+            ring.stabilize_until_converged(128);
+        }
+        ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_ring() -> ChordRing {
+        // Fig. 1: index nodes N1, N4, N7, N12, N15 in a 4-bit space.
+        ChordRing::bootstrapped(4, 3, &[Id(1), Id(4), Id(7), Id(12), Id(15)])
+    }
+
+    #[test]
+    fn fig1_successors_are_correct() {
+        let ring = fig1_ring();
+        assert_eq!(ring.node(Id(1)).unwrap().successor(), Id(4));
+        assert_eq!(ring.node(Id(4)).unwrap().successor(), Id(7));
+        assert_eq!(ring.node(Id(7)).unwrap().successor(), Id(12));
+        assert_eq!(ring.node(Id(12)).unwrap().successor(), Id(15));
+        assert_eq!(ring.node(Id(15)).unwrap().successor(), Id(1));
+    }
+
+    #[test]
+    fn fig1_predecessors_converge() {
+        let ring = fig1_ring();
+        assert_eq!(ring.node(Id(4)).unwrap().predecessor, Some(Id(1)));
+        assert_eq!(ring.node(Id(1)).unwrap().predecessor, Some(Id(15)));
+    }
+
+    #[test]
+    fn lookup_owner_matches_successor_rule() {
+        let ring = fig1_ring();
+        // Key 5 belongs to N7; key 13 to N15; key 0 to N1; key 15 to N15.
+        for (key, owner) in [(5, 7), (13, 15), (0, 1), (15, 15), (1, 1), (2, 4), (8, 12)] {
+            let l = ring.lookup_from(Id(1), Id(key)).unwrap();
+            assert_eq!(l.owner, Id(owner), "key {key}");
+            assert_eq!(ring.ideal_owner(Id(key)).unwrap(), Id(owner));
+        }
+    }
+
+    #[test]
+    fn lookup_from_every_node_agrees() {
+        let ring = fig1_ring();
+        for from in ring.node_ids() {
+            for key in 0..16 {
+                let l = ring.lookup_from(from, Id(key)).unwrap();
+                assert_eq!(l.owner, ring.ideal_owner(Id(key)).unwrap(), "from {from} key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut ring = ChordRing::new(4, 2);
+        ring.join(Id(9), None).unwrap();
+        ring.stabilize_until_converged(8);
+        for key in 0..16 {
+            assert_eq!(ring.lookup_from(Id(9), Id(key)).unwrap().owner, Id(9));
+        }
+    }
+
+    #[test]
+    fn join_converges_and_takes_over_keys() {
+        let mut ring = fig1_ring();
+        ring.join(Id(9), Some(Id(1))).unwrap();
+        ring.stabilize_until_converged(64);
+        // N9 now owns (7, 9].
+        assert_eq!(ring.lookup_from(Id(1), Id(8)).unwrap().owner, Id(9));
+        assert_eq!(ring.lookup_from(Id(1), Id(9)).unwrap().owner, Id(9));
+        assert_eq!(ring.lookup_from(Id(1), Id(10)).unwrap().owner, Id(12));
+        assert_eq!(ring.node(Id(7)).unwrap().successor(), Id(9));
+        assert_eq!(ring.node(Id(9)).unwrap().predecessor, Some(Id(7)));
+    }
+
+    #[test]
+    fn graceful_leave_hands_over() {
+        let mut ring = fig1_ring();
+        ring.leave(Id(7)).unwrap();
+        ring.stabilize_until_converged(64);
+        assert_eq!(ring.lookup_from(Id(1), Id(5)).unwrap().owner, Id(12));
+        assert_eq!(ring.node(Id(4)).unwrap().successor(), Id(12));
+    }
+
+    #[test]
+    fn abrupt_failure_recovers_via_successor_list() {
+        let mut ring = fig1_ring();
+        ring.fail(Id(12)).unwrap();
+        // Lookups still succeed immediately thanks to successor lists...
+        let l = ring.lookup_from(Id(1), Id(8)).unwrap();
+        assert_eq!(l.owner, Id(15));
+        // ...and the ring repairs itself.
+        ring.stabilize_until_converged(64);
+        assert_eq!(ring.node(Id(7)).unwrap().successor(), Id(15));
+        assert_eq!(ring.lookup_from(Id(4), Id(13)).unwrap().owner, Id(15));
+    }
+
+    #[test]
+    fn double_failure_with_long_successor_list() {
+        let mut ring = fig1_ring();
+        ring.fail(Id(12)).unwrap();
+        ring.fail(Id(15)).unwrap();
+        let l = ring.lookup_from(Id(1), Id(13)).unwrap();
+        assert_eq!(l.owner, Id(1));
+        ring.stabilize_until_converged(64);
+        assert_eq!(ring.node(Id(7)).unwrap().successor(), Id(1));
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut ring = fig1_ring();
+        assert_eq!(ring.join(Id(7), Some(Id(1))), Err(RingError::DuplicateId(Id(7))));
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let ring = fig1_ring();
+        assert!(matches!(ring.lookup_from(Id(9), Id(3)), Err(RingError::UnknownNode(_))));
+        assert!(matches!(ring.node(Id(2)), Err(RingError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn hops_stay_logarithmic_in_larger_rings() {
+        // 64 nodes in a 16-bit space: average hops should be well under
+        // the linear bound and near (1/2) log2 N ≈ 3.
+        let ids: Vec<Id> = (0..64u64).map(|i| Id(i.wrapping_mul(65521) % 65536)).collect();
+        let ring = ChordRing::bootstrapped(16, 4, &ids);
+        assert_eq!(ring.len(), 64);
+        let mut total_hops = 0usize;
+        let mut lookups = 0usize;
+        for k in 0..512u64 {
+            let key = Id((k * 127) % 65536);
+            let l = ring.lookup_from(ids[0], key).unwrap();
+            assert_eq!(l.owner, ring.ideal_owner(key).unwrap());
+            total_hops += l.hops;
+            lookups += 1;
+        }
+        let avg = total_hops as f64 / lookups as f64;
+        assert!(avg < 8.0, "average hops {avg} too high for 64 nodes");
+    }
+
+    #[test]
+    fn assemble_matches_bootstrapped_state() {
+        let ids = [Id(1), Id(4), Id(7), Id(12), Id(15)];
+        let assembled = ChordRing::assemble(4, 3, &ids);
+        let grown = ChordRing::bootstrapped(4, 3, &ids);
+        for id in assembled.node_ids() {
+            let a = assembled.node(id).unwrap();
+            let g = grown.node(id).unwrap();
+            assert_eq!(a.successors, g.successors, "successors of N{id}");
+            assert_eq!(a.predecessor, g.predecessor, "predecessor of N{id}");
+            assert_eq!(a.fingers, g.fingers, "fingers of N{id}");
+        }
+    }
+
+    #[test]
+    fn assemble_large_ring_lookups_are_correct() {
+        let ids: Vec<Id> = (0..512u64).map(|i| Id(i.wrapping_mul(2654435761) % (1 << 20))).collect();
+        let ring = ChordRing::assemble(20, 8, &ids);
+        for k in (0..1u64 << 20).step_by(37751) {
+            let l = ring.lookup_from(ring.node_ids()[0], Id(k)).unwrap();
+            assert_eq!(l.owner, ring.ideal_owner(Id(k)).unwrap(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn assemble_single_and_empty() {
+        let empty = ChordRing::assemble(8, 2, &[]);
+        assert!(empty.is_empty());
+        let one = ChordRing::assemble(8, 2, &[Id(5)]);
+        assert_eq!(one.lookup_from(Id(5), Id(200)).unwrap().owner, Id(5));
+    }
+
+    #[test]
+    fn fingers_point_at_owners() {
+        let ring = fig1_ring();
+        let n1 = ring.node(Id(1)).unwrap();
+        // finger[k] of N1 targets 1 + 2^k: 2→N4, 3→N4, 5→N7, 9→N12.
+        assert_eq!(n1.fingers[0], Some(Id(4)));
+        assert_eq!(n1.fingers[1], Some(Id(4)));
+        assert_eq!(n1.fingers[2], Some(Id(7)));
+        assert_eq!(n1.fingers[3], Some(Id(12)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the Chord substrate.
+
+use proptest::prelude::*;
+use rdfmesh_chord::{ChordRing, Id, IdSpace};
+
+fn space() -> IdSpace {
+    IdSpace::new(10)
+}
+
+proptest! {
+    #[test]
+    fn intervals_partition_the_ring(a in 0u64..1024, b in 0u64..1024, x in 0u64..1024) {
+        // For a != b, every x is in exactly one of (a, b] and (b, a].
+        let s = space();
+        let (a, b, x) = (Id(a), Id(b), Id(x));
+        prop_assume!(a != b);
+        let in_ab = s.in_open_closed(x, a, b);
+        let in_ba = s.in_open_closed(x, b, a);
+        prop_assert!(in_ab != in_ba, "x={x} a={a} b={b}");
+    }
+
+    #[test]
+    fn open_implies_open_closed(a in 0u64..1024, b in 0u64..1024, x in 0u64..1024) {
+        let s = space();
+        let (a, b, x) = (Id(a), Id(b), Id(x));
+        if s.in_open(x, a, b) {
+            prop_assert!(s.in_open_closed(x, a, b));
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric_along_the_ring(a in 0u64..1024, b in 0u64..1024) {
+        let s = space();
+        let (a, b) = (Id(a), Id(b));
+        let d_ab = s.distance(a, b);
+        let d_ba = s.distance(b, a);
+        if a == b {
+            prop_assert_eq!(d_ab, 0);
+        } else {
+            prop_assert_eq!(d_ab + d_ba, 1024);
+        }
+    }
+
+    #[test]
+    fn lookups_agree_with_ideal_owner(
+        raw_ids in proptest::collection::btree_set(0u64..1024, 1..24),
+        keys in proptest::collection::vec(0u64..1024, 1..16),
+    ) {
+        let ids: Vec<Id> = raw_ids.into_iter().map(Id).collect();
+        let ring = ChordRing::assemble(10, 4, &ids);
+        let from = ids[0];
+        for k in keys {
+            let l = ring.lookup_from(from, Id(k)).expect("lookup");
+            prop_assert_eq!(l.owner, ring.ideal_owner(Id(k)).expect("owner"));
+        }
+    }
+
+    #[test]
+    fn assemble_equals_grown_ring(
+        raw_ids in proptest::collection::btree_set(0u64..256, 1..10),
+    ) {
+        let ids: Vec<Id> = raw_ids.into_iter().map(Id).collect();
+        let assembled = ChordRing::assemble(8, 3, &ids);
+        let grown = ChordRing::bootstrapped(8, 3, &ids);
+        for id in assembled.node_ids() {
+            let a = assembled.node(id).expect("member");
+            let g = grown.node(id).expect("member");
+            prop_assert_eq!(&a.successors, &g.successors);
+            prop_assert_eq!(a.predecessor, g.predecessor);
+            prop_assert_eq!(&a.fingers, &g.fingers);
+        }
+    }
+
+    #[test]
+    fn churn_then_stabilize_restores_correct_routing(
+        raw_ids in proptest::collection::btree_set(0u64..1024, 4..16),
+        kill in any::<prop::sample::Index>(),
+        keys in proptest::collection::vec(0u64..1024, 1..8),
+    ) {
+        let ids: Vec<Id> = raw_ids.into_iter().map(Id).collect();
+        let mut ring = ChordRing::assemble(10, 4, &ids);
+        let victim = ids[kill.index(ids.len())];
+        ring.fail(victim).expect("member");
+        ring.stabilize_until_converged(128);
+        let from = *ring.node_ids().first().expect("survivors");
+        for k in keys {
+            let l = ring.lookup_from(from, Id(k)).expect("post-churn lookup");
+            prop_assert_eq!(l.owner, ring.ideal_owner(Id(k)).expect("owner"));
+        }
+    }
+
+    #[test]
+    fn hash_parts_is_deterministic_and_tag_sensitive(
+        a in "[a-z]{1,8}", b in "[a-z]{1,8}",
+    ) {
+        let s = IdSpace::new(32);
+        prop_assert_eq!(s.hash_parts(&[&a, &b]), s.hash_parts(&[&a, &b]));
+        if a != b {
+            prop_assert_ne!(s.hash_parts(&[&a, &b]), s.hash_parts(&[&b, &a]));
+        }
+    }
+}

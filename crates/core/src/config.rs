@@ -1,0 +1,214 @@
+//! Execution strategies and engine configuration.
+//!
+//! Mirrors the strategy space the paper lays out: three processing
+//! schemes for primitive queries (Sect. IV-C), join site selection
+//! policies from the distributed-database literature (Sect. II), the
+//! overlap-aware site selection for conjunctive patterns (Sect. IV-D),
+//! and the two (sometimes conflicting) optimization objectives of
+//! Sect. V.
+
+use rdfmesh_net::SimTime;
+use rdfmesh_sparql::OptimizerConfig;
+
+/// How a primitive (single-triple-pattern) sub-query is processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimitiveStrategy {
+    /// *Basic query processing* (Sect. IV-C): the index node fans the
+    /// sub-query out to every target storage node in parallel, unions the
+    /// answers at the assembly site, and forwards the union to the
+    /// initiator. Low response time, high transmission overhead.
+    Basic,
+    /// *Optimization* (Sect. IV-C): the sub-query travels through the
+    /// target nodes in sequence; each node merges its matches into the
+    /// accumulated set before forwarding — in-network aggregation. The
+    /// last node returns the final mappings to the initiator.
+    Chained,
+    /// *Further optimization* (Sect. IV-C): like [`Chained`], but the
+    /// sequence is sorted by **ascending frequency**, so the node with the
+    /// largest number of target triples is last and its (largest) local
+    /// contribution never crosses the network before the final hop.
+    /// Minimizes total inter-site bytes at the cost of response time.
+    ///
+    /// [`Chained`]: PrimitiveStrategy::Chained
+    FrequencyOrdered,
+}
+
+impl PrimitiveStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [PrimitiveStrategy; 3] = [
+        PrimitiveStrategy::Basic,
+        PrimitiveStrategy::Chained,
+        PrimitiveStrategy::FrequencyOrdered,
+    ];
+}
+
+impl std::fmt::Display for PrimitiveStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrimitiveStrategy::Basic => write!(f, "basic"),
+            PrimitiveStrategy::Chained => write!(f, "chained"),
+            PrimitiveStrategy::FrequencyOrdered => write!(f, "freq-ordered"),
+        }
+    }
+}
+
+/// Where a binary operation (join / left join / union) between two
+/// materialized intermediate results is performed (Sect. II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinSiteStrategy {
+    /// *Move-Small*: ship the smaller operand to the site of the larger
+    /// one (Cornell & Yu). The paper adopts this for OPTIONAL patterns
+    /// (Sect. IV-E).
+    MoveSmall,
+    /// *Query-Site*: ship both operands to the node that submitted the
+    /// query and operate there.
+    QuerySite,
+    /// *Third-Site*: pick the cheapest site among both operand sites and
+    /// the query site, accounting for link latencies (Ye et al. use QoS
+    /// measurements; our cost model uses the configured latency matrix).
+    ThirdSite,
+}
+
+impl JoinSiteStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [JoinSiteStrategy; 3] = [
+        JoinSiteStrategy::MoveSmall,
+        JoinSiteStrategy::QuerySite,
+        JoinSiteStrategy::ThirdSite,
+    ];
+}
+
+impl std::fmt::Display for JoinSiteStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinSiteStrategy::MoveSmall => write!(f, "move-small"),
+            JoinSiteStrategy::QuerySite => write!(f, "query-site"),
+            JoinSiteStrategy::ThirdSite => write!(f, "third-site"),
+        }
+    }
+}
+
+/// The optimization objective (Sect. V): the basic scheme "trades
+/// transmission costs for a low response time" while the chained schemes
+/// do the opposite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize total inter-site bytes.
+    MinBytes,
+    /// Minimize response time (critical-path latency).
+    MinResponseTime,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Primitive-query scheme.
+    pub primitive: PrimitiveStrategy,
+    /// Binary-operation site selection.
+    pub join_site: JoinSiteStrategy,
+    /// Use the Sect. IV-D overlap-aware site selection for conjunctive
+    /// patterns (route pattern chains to end at a shared provider).
+    pub overlap_aware: bool,
+    /// Algebraic rewrites applied before planning (Fig. 3's Global Query
+    /// Optimizer). Disable individual rules for ablations.
+    pub optimizer: OptimizerConfig,
+    /// Order BGP members by location-table frequency estimates rather
+    /// than syntactic shape.
+    pub frequency_join_order: bool,
+    /// Extra latency charged when a contacted storage node turns out to
+    /// be dead (the Sect. III-D query-ack timeout before purging).
+    pub ack_timeout: SimTime,
+    /// Use the numeric range index (bucketed `(p, bucket(o))` keys) when
+    /// the overlay has it enabled: a range filter over a single pattern
+    /// contacts only providers with values in overlapping buckets. An
+    /// extension beyond the paper (cf. RDFPeers' locality-preserving
+    /// hashing).
+    pub range_index: bool,
+    /// Bind-join propagation for conjunctive patterns: ship the current
+    /// intermediate solutions *with* each sub-query so providers return
+    /// only compatible extensions. An extension beyond the paper's
+    /// gather-then-join scheme, drawn from the distributed-QP literature
+    /// it builds on (Kossmann \[15\]); off by default for paper fidelity.
+    pub bind_join: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            primitive: PrimitiveStrategy::Chained,
+            join_site: JoinSiteStrategy::MoveSmall,
+            overlap_aware: true,
+            optimizer: OptimizerConfig::default(),
+            frequency_join_order: true,
+            ack_timeout: SimTime::millis(200),
+            range_index: true,
+            bind_join: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The unoptimized baseline: basic fan-out, query-site joins, no
+    /// rewrites — the "basic query processing" of Sect. IV.
+    pub fn baseline() -> Self {
+        ExecConfig {
+            primitive: PrimitiveStrategy::Basic,
+            join_site: JoinSiteStrategy::QuerySite,
+            overlap_aware: false,
+            optimizer: OptimizerConfig::disabled(),
+            frequency_join_order: false,
+            ack_timeout: SimTime::millis(200),
+            range_index: false,
+            bind_join: false,
+        }
+    }
+
+    /// A configuration tuned for one of the two Sect. V objectives.
+    pub fn for_objective(objective: Objective) -> Self {
+        match objective {
+            Objective::MinBytes => ExecConfig {
+                primitive: PrimitiveStrategy::FrequencyOrdered,
+                join_site: JoinSiteStrategy::MoveSmall,
+                ..ExecConfig::default()
+            },
+            Objective::MinResponseTime => ExecConfig {
+                primitive: PrimitiveStrategy::Basic,
+                join_site: JoinSiteStrategy::ThirdSite,
+                ..ExecConfig::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_recommendations() {
+        let c = ExecConfig::default();
+        assert_eq!(c.join_site, JoinSiteStrategy::MoveSmall);
+        assert!(c.overlap_aware);
+    }
+
+    #[test]
+    fn baseline_disables_everything() {
+        let c = ExecConfig::baseline();
+        assert_eq!(c.primitive, PrimitiveStrategy::Basic);
+        assert!(!c.overlap_aware);
+        assert!(!c.optimizer.push_filters);
+    }
+
+    #[test]
+    fn objective_presets_differ() {
+        let b = ExecConfig::for_objective(Objective::MinBytes);
+        let t = ExecConfig::for_objective(Objective::MinResponseTime);
+        assert_ne!(b.primitive, t.primitive);
+    }
+
+    #[test]
+    fn strategy_displays() {
+        assert_eq!(PrimitiveStrategy::FrequencyOrdered.to_string(), "freq-ordered");
+        assert_eq!(JoinSiteStrategy::ThirdSite.to_string(), "third-site");
+    }
+}

@@ -1,0 +1,32 @@
+//! # rdfmesh-core — distributed SPARQL query processing
+//!
+//! The paper's primary contribution: resolving SPARQL queries over the
+//! hybrid P2P overlay. Implements the Fig. 3 workflow (parse → transform
+//! → global optimization → sub-query shipping → local execution →
+//! post-processing) with the full strategy space of Sect. IV:
+//!
+//! * primitive queries — basic fan-out, chained in-network merging, and
+//!   frequency-ordered chains (Sect. IV-C);
+//! * conjunctive patterns — frequency-driven join ordering and
+//!   overlap-aware site selection (Sect. IV-D);
+//! * optional patterns via move-small left outer joins (Sect. IV-E);
+//! * union patterns evaluated in parallel with shared-node assembly
+//!   (Sect. IV-F);
+//! * filter patterns with source-side filter pushing (Sect. IV-G);
+//! * move-small / query-site / third-site join site selection (Sect. II).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod live;
+pub mod planner;
+pub mod stats;
+pub mod system;
+
+pub use config::{ExecConfig, JoinSiteStrategy, Objective, PrimitiveStrategy};
+pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimator, Mat};
+pub use live::{LiveMesh, LiveMsg, COORDINATOR};
+pub use planner::{estimate_primitive, plan, CostEstimate, Plan, PlanObjective};
+pub use stats::QueryStats;
+pub use system::{SharingSystem, SystemBuilder};

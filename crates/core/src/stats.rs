@@ -1,0 +1,77 @@
+//! Per-query execution statistics.
+
+use rdfmesh_net::{NetStats, SimTime};
+
+/// What one distributed query cost — the quantities the paper's deferred
+/// evaluation (and our EXPERIMENTS.md) reports.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Simulated response time: from submission at the initiator to the
+    /// final solutions arriving back at the initiator.
+    pub response_time: SimTime,
+    /// Total inter-site bytes moved on behalf of the query (routing,
+    /// sub-queries, intermediate results, final results).
+    pub total_bytes: u64,
+    /// Total inter-site messages.
+    pub messages: u64,
+    /// Chord routing hops spent resolving index keys.
+    pub index_hops: usize,
+    /// Storage nodes that received a sub-query.
+    pub providers_contacted: usize,
+    /// Contacted storage nodes that turned out dead (ack timeout fired).
+    pub dead_providers: usize,
+    /// Intermediate solution mappings produced before post-processing —
+    /// the "size of intermediate results" the paper's join-ordering
+    /// optimization targets (Sect. IV-D).
+    pub intermediate_solutions: usize,
+    /// Solutions (or triples / boolean) in the final result.
+    pub result_size: usize,
+}
+
+impl QueryStats {
+    /// Folds a network-stats delta into the query stats.
+    pub fn absorb_net(&mut self, delta: &NetStats) {
+        self.total_bytes += delta.total_bytes;
+        self.messages += delta.messages;
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time={} bytes={} msgs={} hops={} providers={} (dead {}) intermediate={} results={}",
+            self.response_time,
+            self.total_bytes,
+            self.messages,
+            self.index_hops,
+            self.providers_contacted,
+            self.dead_providers,
+            self.intermediate_solutions,
+            self.result_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_net::NodeId;
+
+    #[test]
+    fn absorb_net_accumulates() {
+        let mut q = QueryStats::default();
+        let mut n = NetStats::default();
+        n.record(NodeId(1), NodeId(2), 100, SimTime(5));
+        n.record(NodeId(2), NodeId(3), 50, SimTime(9));
+        q.absorb_net(&n);
+        assert_eq!(q.total_bytes, 150);
+        assert_eq!(q.messages, 2);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let q = QueryStats::default();
+        assert!(!q.to_string().contains('\n'));
+    }
+}

@@ -1,0 +1,141 @@
+//! A churn storm on the virtual clock: joins, failures, departures,
+//! repairs and queries interleave as discrete events, and the system must
+//! answer correctly (relative to the then-current membership) at every
+//! probe point.
+
+use rdfmesh_chord::Id;
+use rdfmesh_core::{global_store, Engine, ExecConfig};
+use rdfmesh_net::{LatencyModel, Network, NodeId, Scheduler, SimTime};
+use rdfmesh_overlay::Overlay;
+use rdfmesh_rdf::{Term, Triple};
+use rdfmesh_sparql::{evaluate_query, parse_query};
+use rdfmesh_workload::Rng;
+
+#[derive(Debug, Clone)]
+enum Event {
+    IndexJoin(u64),
+    IndexLeave,
+    IndexFail,
+    StorageJoin(u64),
+    StorageFail,
+    Repair,
+    Probe,
+}
+
+const QUERY: &str = "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }";
+
+fn knows(i: u64, j: u64) -> Triple {
+    Triple::new(
+        Term::iri(&format!("http://example.org/p{i}")),
+        Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS),
+        Term::iri(&format!("http://example.org/p{j}")),
+    )
+}
+
+fn oracle_count(overlay: &Overlay) -> usize {
+    let store = global_store(overlay);
+    evaluate_query(&store, &parse_query(QUERY).unwrap()).len()
+}
+
+#[test]
+fn interleaved_churn_never_breaks_queries() {
+    let net = Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5);
+    let mut overlay = Overlay::new(32, 6, 3, net);
+    // Seed membership: 4 index nodes, 6 storage nodes.
+    let mut next_index = 0u64;
+    let mut next_storage = 0u64;
+    for _ in 0..4 {
+        let addr = NodeId(100_000 + next_index);
+        let pos = overlay.ring().space().hash(&addr.0.to_be_bytes());
+        overlay.add_index_node(addr, pos).unwrap();
+        next_index += 1;
+    }
+    for _ in 0..6 {
+        let addr = NodeId(1 + next_storage);
+        let attach = overlay.index_nodes()[0];
+        overlay
+            .add_storage_node(addr, attach, vec![knows(next_storage, next_storage + 1)])
+            .unwrap();
+        next_storage += 1;
+    }
+
+    // Schedule a storm: every event type fires repeatedly, with probes in
+    // between, all on the virtual clock.
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    let mut rng = Rng::new(0x57093);
+    let mut t = 0u64;
+    for round in 0..30u64 {
+        t += 50_000 + rng.below(100_000);
+        let ev = match round % 6 {
+            0 => Event::StorageJoin(rng.next_u64()),
+            1 => Event::IndexJoin(rng.next_u64()),
+            2 => Event::StorageFail,
+            3 => Event::Repair,
+            4 => Event::IndexFail,
+            _ => Event::IndexLeave,
+        };
+        sched.schedule_at(SimTime(t), ev);
+        sched.schedule_at(SimTime(t + 10_000), Event::Probe);
+    }
+    sched.schedule_at(SimTime(t + 20_000), Event::Repair);
+    sched.schedule_at(SimTime(t + 30_000), Event::Probe);
+
+    let mut probes = 0;
+    while let Some((_, event)) = sched.next() {
+        match event {
+            Event::IndexJoin(seed) => {
+                let addr = NodeId(100_000 + next_index);
+                next_index += 1;
+                let pos = Id(seed);
+                let _ = overlay.add_index_node(addr, pos);
+            }
+            Event::IndexLeave => {
+                // Keep at least two index nodes alive.
+                let nodes = overlay.index_nodes();
+                if nodes.len() > 2 {
+                    overlay.remove_index_node(nodes[nodes.len() - 1]).unwrap();
+                }
+            }
+            Event::IndexFail => {
+                let nodes = overlay.index_nodes();
+                if nodes.len() > 2 {
+                    overlay.fail_index_node(nodes[1]).unwrap();
+                    // Repair comes later as its own event — queries in the
+                    // meantime rely on successor lists and replicas.
+                    overlay.repair();
+                }
+            }
+            Event::StorageJoin(seed) => {
+                let addr = NodeId(1 + next_storage);
+                next_storage += 1;
+                let attach_list = overlay.index_nodes();
+                let attach = attach_list[(seed as usize) % attach_list.len()];
+                overlay
+                    .add_storage_node(addr, attach, vec![knows(seed % 50, seed % 50 + 1)])
+                    .unwrap();
+            }
+            Event::StorageFail => {
+                let nodes = overlay.storage_nodes();
+                if nodes.len() > 2 {
+                    overlay.fail_storage_node(nodes[0]).unwrap();
+                }
+            }
+            Event::Repair => overlay.repair(),
+            Event::Probe => {
+                probes += 1;
+                let expected = oracle_count(&overlay);
+                let initiator = overlay.index_nodes()[0];
+                let exec = Engine::new(&mut overlay, ExecConfig::default())
+                    .execute(initiator, QUERY)
+                    .expect("query survives the storm");
+                assert_eq!(
+                    exec.result.len(),
+                    expected,
+                    "probe {probes} diverged from the live membership's oracle"
+                );
+            }
+        }
+    }
+    assert!(probes >= 30, "the storm must actually probe");
+}
+

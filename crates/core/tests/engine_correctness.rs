@@ -1,0 +1,288 @@
+//! Distributed execution must agree with local-oracle evaluation.
+//!
+//! The ground truth for any query is the Pérez-et-al. semantics over the
+//! dataset D = union of all storage nodes' triples (Sect. IV-A),
+//! computed by the local engine on a merged store. Every strategy
+//! combination must return exactly the same solution multiset.
+
+use rdfmesh_core::{global_store, Engine, ExecConfig, JoinSiteStrategy, PrimitiveStrategy};
+use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
+use rdfmesh_overlay::Overlay;
+use rdfmesh_rdf::PatternKind;
+use rdfmesh_sparql::{evaluate_query, parse_query, QueryResult, Solution};
+use rdfmesh_workload::{foaf, queries, FoafConfig, Rng};
+
+fn build_overlay(cfg: &FoafConfig) -> Overlay {
+    let data = foaf::generate(cfg);
+    let net = Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5);
+    let mut overlay = Overlay::new(32, 4, 2, net);
+    let index_count = 5;
+    for i in 0..index_count {
+        let addr = NodeId(1000 + i);
+        let pos = overlay.ring().space().hash(&addr.0.to_be_bytes());
+        overlay.add_index_node(addr, pos).unwrap();
+    }
+    for (i, triples) in data.peers.iter().enumerate() {
+        let attach = NodeId(1000 + (i as u64 % index_count));
+        overlay.add_storage_node(NodeId(1 + i as u64), attach, triples.clone()).unwrap();
+    }
+    overlay
+}
+
+fn oracle(overlay: &Overlay, query: &str) -> QueryResult {
+    let store = global_store(overlay);
+    let q = parse_query(query).unwrap();
+    evaluate_query(&store, &q)
+}
+
+fn sorted(mut sols: Vec<Solution>) -> Vec<Solution> {
+    sols.sort();
+    sols
+}
+
+/// Asserts the distributed result equals the oracle for `query` under
+/// `cfg`, returning the solution count.
+fn assert_agrees(overlay: &mut Overlay, query: &str, cfg: ExecConfig) -> usize {
+    let expected = oracle(overlay, query);
+    let got = Engine::new(overlay, cfg).execute(NodeId(1000), query).unwrap();
+    match (&expected, &got.result) {
+        (QueryResult::Solutions(e), QueryResult::Solutions(g)) => {
+            assert_eq!(
+                sorted(e.clone()),
+                sorted(g.clone()),
+                "distributed vs oracle mismatch for {query} under {cfg:?}"
+            );
+            g.len()
+        }
+        (QueryResult::Boolean(e), QueryResult::Boolean(g)) => {
+            assert_eq!(e, g, "{query}");
+            usize::from(*g)
+        }
+        (QueryResult::Graph(e), QueryResult::Graph(g)) => {
+            let mut e = e.clone();
+            let mut g = g.clone();
+            e.sort();
+            g.sort();
+            assert_eq!(e, g, "{query}");
+            g.len()
+        }
+        other => panic!("result shape mismatch for {query}: {other:?}"),
+    }
+}
+
+fn all_configs() -> Vec<ExecConfig> {
+    let mut out = Vec::new();
+    for primitive in PrimitiveStrategy::ALL {
+        for join_site in JoinSiteStrategy::ALL {
+            for overlap_aware in [false, true] {
+                for bind_join in [false, true] {
+                    out.push(ExecConfig {
+                        primitive,
+                        join_site,
+                        overlap_aware,
+                        bind_join,
+                        ..ExecConfig::default()
+                    });
+                }
+            }
+        }
+    }
+    out.push(ExecConfig::baseline());
+    out
+}
+
+#[test]
+fn primitive_queries_agree_across_all_strategies() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 40, peers: 6, ..Default::default() });
+    let pool: Vec<_> = global_store(&overlay).iter().collect();
+    let mut rng = Rng::new(77);
+    let mix = queries::primitive_mix(&pool, 16, &mut rng);
+    for (kind, query) in mix {
+        for cfg in [
+            ExecConfig { primitive: PrimitiveStrategy::Basic, ..ExecConfig::default() },
+            ExecConfig { primitive: PrimitiveStrategy::Chained, ..ExecConfig::default() },
+            ExecConfig { primitive: PrimitiveStrategy::FrequencyOrdered, ..ExecConfig::default() },
+        ] {
+            let n = assert_agrees(&mut overlay, &query, cfg);
+            if kind == PatternKind::SPO {
+                assert!(n <= 1, "fully bound pattern yields at most the unit solution");
+            }
+        }
+    }
+}
+
+#[test]
+fn conjunctive_star_and_chain_agree() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 30, peers: 5, ..Default::default() });
+    let knows = rdfmesh_rdf::Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS);
+    let star = "SELECT * WHERE { ?x foaf:name ?n . ?x foaf:age ?a . ?x foaf:knows ?y . }";
+    let chain2 = queries::chain_query(&knows, 2);
+    let chain3 = queries::chain_query(&knows, 3);
+    for query in [star, chain2.as_str(), chain3.as_str()] {
+        for cfg in all_configs() {
+            assert_agrees(&mut overlay, query, cfg);
+        }
+    }
+}
+
+#[test]
+fn optional_union_filter_agree() {
+    let mut overlay = build_overlay(&FoafConfig {
+        persons: 30,
+        peers: 5,
+        nick_probability: 0.4,
+        ..Default::default()
+    });
+    let queries = [
+        // Fig. 7 shape.
+        "SELECT * WHERE { ?x foaf:knows ?y . OPTIONAL { ?y foaf:nick ?n . } }",
+        // Fig. 8 shape.
+        "SELECT * WHERE { { ?x foaf:nick ?v . } UNION { ?x foaf:mbox ?v . } }",
+        // Fig. 9 shape (filter + optional).
+        "SELECT * WHERE { ?x foaf:name ?name ; foaf:knows ?y . FILTER regex(?name, \"Smith\") OPTIONAL { ?y foaf:nick ?n . } }",
+        // Filter with numeric comparison.
+        "SELECT * WHERE { ?x foaf:age ?a . FILTER (?a >= 30 && ?a < 60) }",
+        // Nested: union of conjunctions with filter.
+        "SELECT * WHERE { { ?x foaf:name ?n . ?x foaf:age ?a . FILTER(?a > 50) } UNION { ?x foaf:nick ?n . } }",
+    ];
+    for query in queries {
+        for cfg in all_configs() {
+            assert_agrees(&mut overlay, query, cfg);
+        }
+    }
+}
+
+#[test]
+fn paper_fig4_query_agrees_distributed() {
+    let mut overlay = build_overlay(&FoafConfig {
+        persons: 50,
+        peers: 8,
+        ignores_degree: 2,
+        ..Default::default()
+    });
+    let fig4 = "SELECT ?x ?y ?z WHERE { \
+                ?x foaf:name ?name . \
+                ?x foaf:knows ?z . \
+                ?x ns:knowsNothingAbout ?y . \
+                ?y foaf:knows ?z . \
+                FILTER regex(?name, \"Smith\") } ORDER BY DESC(?x)";
+    for cfg in all_configs() {
+        assert_agrees(&mut overlay, fig4, cfg);
+    }
+}
+
+#[test]
+fn ask_construct_describe_work_distributed() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 20, peers: 4, ..Default::default() });
+    assert_agrees(&mut overlay, "ASK { ?x foaf:knows ?y . }", ExecConfig::default());
+    assert_agrees(
+        &mut overlay,
+        "CONSTRUCT { ?y <http://example.org/knownBy> ?x . } WHERE { ?x foaf:knows ?y . }",
+        ExecConfig::default(),
+    );
+    // DESCRIBE a concrete person.
+    let person = rdfmesh_workload::foaf::person_iri(0);
+    let q = format!("DESCRIBE {person}");
+    assert_agrees(&mut overlay, &q, ExecConfig::default());
+}
+
+#[test]
+fn modifiers_apply_at_initiator() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 30, peers: 5, ..Default::default() });
+    assert_agrees(
+        &mut overlay,
+        "SELECT DISTINCT ?x WHERE { ?x foaf:knows ?y . } ORDER BY ?x LIMIT 5",
+        ExecConfig::default(),
+    );
+    assert_agrees(
+        &mut overlay,
+        "SELECT ?x ?a WHERE { ?x foaf:age ?a . } ORDER BY DESC(?a) OFFSET 3 LIMIT 4",
+        ExecConfig::default(),
+    );
+}
+
+#[test]
+fn storage_node_initiator_works() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 20, peers: 4, ..Default::default() });
+    let query = "SELECT ?x WHERE { ?x foaf:knows ?y . }";
+    let expected = oracle(&overlay, query);
+    let got = Engine::new(&mut overlay, ExecConfig::default())
+        .execute(NodeId(1), query)
+        .unwrap();
+    assert_eq!(expected.len(), got.result.len());
+}
+
+#[test]
+fn unknown_initiator_is_an_error() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 10, peers: 2, ..Default::default() });
+    let r = Engine::new(&mut overlay, ExecConfig::default())
+        .execute(NodeId(9999), "ASK { ?x foaf:knows ?y . }");
+    assert!(r.is_err());
+}
+
+#[test]
+fn empty_result_queries_are_cheap_and_correct() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 10, peers: 2, ..Default::default() });
+    // A predicate nobody uses: index lookup finds no providers.
+    let q = "SELECT ?x WHERE { ?x <http://example.org/unused> ?y . }";
+    let exec = Engine::new(&mut overlay, ExecConfig::default()).execute(NodeId(1000), q).unwrap();
+    assert_eq!(exec.result.len(), 0);
+    assert_eq!(exec.stats.providers_contacted, 0, "no storage node should be bothered");
+}
+
+#[test]
+fn replicated_triples_deduplicate_per_union_semantics() {
+    // The same triple stored at two providers must appear once: D is the
+    // *union* of all storage nodes' triples (Sect. IV-A).
+    let net = Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5);
+    let mut overlay = Overlay::new(32, 4, 2, net);
+    let ix = NodeId(1000);
+    overlay.add_index_node(ix, rdfmesh_chord::Id(0)).unwrap();
+    let t = rdfmesh_rdf::Triple::new(
+        rdfmesh_rdf::Term::iri("http://example.org/a"),
+        rdfmesh_rdf::Term::iri("http://xmlns.com/foaf/0.1/knows"),
+        rdfmesh_rdf::Term::iri("http://example.org/b"),
+    );
+    overlay.add_storage_node(NodeId(1), ix, vec![t.clone()]).unwrap();
+    overlay.add_storage_node(NodeId(2), ix, vec![t]).unwrap();
+    let q = "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }";
+    for primitive in PrimitiveStrategy::ALL {
+        let cfg = ExecConfig { primitive, ..ExecConfig::default() };
+        let exec = Engine::new(&mut overlay, cfg).execute(ix, q).unwrap();
+        assert_eq!(exec.result.len(), 1, "strategy {primitive} kept a duplicate");
+    }
+}
+
+#[test]
+fn flooding_answers_all_variable_pattern() {
+    let mut overlay = build_overlay(&FoafConfig { persons: 10, peers: 3, ..Default::default() });
+    let q = "SELECT * WHERE { ?s ?p ?o . }";
+    let n = assert_agrees(&mut overlay, q, ExecConfig::default());
+    assert_eq!(n, global_store(&overlay).len());
+}
+
+#[test]
+fn university_dataset_conjunctions_agree() {
+    let data = rdfmesh_workload::generate_university(&rdfmesh_workload::UniversityConfig::default());
+    let net = Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5);
+    let mut overlay = Overlay::new(32, 4, 2, net);
+    for i in 0..4u64 {
+        let addr = NodeId(1000 + i);
+        let pos = overlay.ring().space().hash(&addr.0.to_be_bytes());
+        overlay.add_index_node(addr, pos).unwrap();
+    }
+    for (i, triples) in data.peers.iter().enumerate() {
+        overlay
+            .add_storage_node(NodeId(1 + i as u64), NodeId(1000 + (i as u64 % 4)), triples.clone())
+            .unwrap();
+    }
+    // Students and their advisors' departments: a 3-hop chain.
+    let q = "SELECT ?s ?prof ?dept WHERE { \
+             ?s <http://example.org/univ#advisor> ?prof . \
+             ?prof <http://example.org/univ#worksFor> ?dept . \
+             ?s <http://example.org/univ#memberOf> ?dept . }";
+    for cfg in all_configs() {
+        let n = assert_agrees(&mut overlay, q, cfg);
+        assert!(n > 0, "advisors are in the same department by construction");
+    }
+}

@@ -1,0 +1,143 @@
+//! The numeric range index extension: bucketed `(p, bucket(o))` keys let
+//! a range filter contact only providers with overlapping values,
+//! instead of every provider of the predicate.
+
+use rdfmesh_core::{global_store, Engine, ExecConfig};
+use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
+use rdfmesh_overlay::{NumericBuckets, Overlay};
+use rdfmesh_rdf::{Literal, Term, Triple};
+use rdfmesh_sparql::{evaluate_query, parse_query};
+
+fn age(i: usize, years: i64) -> Triple {
+    Triple::new(
+        Term::iri(&format!("http://example.org/p{i}")),
+        Term::iri(rdfmesh_rdf::vocab::foaf::AGE),
+        Term::Literal(Literal::integer(years)),
+    )
+}
+
+/// Ten providers, each holding ages from one decade only: provider d has
+/// ages in [10·d, 10·d + 9].
+fn build(with_buckets: bool) -> Overlay {
+    let net = Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5);
+    let mut o = Overlay::new(32, 4, 2, net);
+    if with_buckets {
+        o.enable_numeric_buckets(NumericBuckets::new(0.0, 100.0, 10));
+    }
+    for i in 0..4u64 {
+        let addr = NodeId(1000 + i);
+        let pos = o.ring().space().hash(&addr.0.to_be_bytes());
+        o.add_index_node(addr, pos).unwrap();
+    }
+    let mut person = 0;
+    for d in 0..10u64 {
+        let triples: Vec<Triple> = (0..8)
+            .map(|k| {
+                person += 1;
+                age(person, (10 * d + k % 10) as i64)
+            })
+            .collect();
+        o.add_storage_node(NodeId(1 + d), NodeId(1000 + (d % 4)), triples).unwrap();
+    }
+    o
+}
+
+fn run(o: &mut Overlay, cfg: ExecConfig, q: &str) -> (usize, rdfmesh_core::QueryStats) {
+    o.net.reset();
+    let exec = Engine::new(o, cfg).execute(NodeId(1000), q).unwrap();
+    (exec.result.len(), exec.stats)
+}
+
+const NARROW: &str =
+    "SELECT ?x ?a WHERE { ?x foaf:age ?a . FILTER(?a >= 30 && ?a < 40) }";
+
+#[test]
+fn range_index_answers_match_oracle() {
+    for query in [
+        NARROW,
+        "SELECT ?x ?a WHERE { ?x foaf:age ?a . FILTER(?a > 15 && ?a <= 62) }",
+        "SELECT ?x ?a WHERE { ?x foaf:age ?a . FILTER(?a < 25) }",
+        "SELECT ?x ?a WHERE { ?x foaf:age ?a . FILTER(?a >= 90) }",
+        "SELECT ?x ?a WHERE { ?x foaf:age ?a . FILTER(?a = 55) }",
+        // Reversed operand order.
+        "SELECT ?x ?a WHERE { ?x foaf:age ?a . FILTER(30 <= ?a && 40 > ?a) }",
+    ] {
+        let mut o = build(true);
+        let expected = {
+            let store = global_store(&o);
+            evaluate_query(&store, &parse_query(query).unwrap()).len()
+        };
+        let (n, _) = run(&mut o, ExecConfig::default(), query);
+        assert_eq!(n, expected, "{query}");
+    }
+}
+
+#[test]
+fn range_index_contacts_only_overlapping_providers() {
+    let mut with = build(true);
+    let (n1, s1) = run(&mut with, ExecConfig::default(), NARROW);
+    let mut without = build(false);
+    let (n2, s2) = run(&mut without, ExecConfig::default(), NARROW);
+    assert_eq!(n1, n2, "same answers either way");
+    assert_eq!(n1, 8, "one decade's provider");
+    // Decade-partitioned data: only 1-2 bucket-overlapping providers vs
+    // all 10 holders of the predicate.
+    assert!(s1.providers_contacted <= 2, "bucketed: {}", s1.providers_contacted);
+    assert_eq!(s2.providers_contacted, 10, "unbucketed contacts everyone");
+    assert!(s1.total_bytes < s2.total_bytes);
+}
+
+#[test]
+fn disabling_the_config_flag_falls_back() {
+    let mut o = build(true);
+    let cfg = ExecConfig { range_index: false, ..ExecConfig::default() };
+    let (n, stats) = run(&mut o, cfg, NARROW);
+    assert_eq!(n, 8);
+    assert_eq!(stats.providers_contacted, 10, "flag off ⇒ standard gather path");
+}
+
+#[test]
+fn empty_and_inverted_ranges_short_circuit() {
+    let mut o = build(true);
+    let (n, stats) = run(
+        &mut o,
+        ExecConfig::default(),
+        "SELECT ?x WHERE { ?x foaf:age ?a . FILTER(?a > 500 && ?a < 600) }",
+    );
+    assert_eq!(n, 0);
+    assert_eq!(stats.providers_contacted, 0, "out-of-domain range asks nobody");
+    let (n, _) = run(
+        &mut o,
+        ExecConfig::default(),
+        "SELECT ?x WHERE { ?x foaf:age ?a . FILTER(?a > 40 && ?a < 30) }",
+    );
+    assert_eq!(n, 0);
+}
+
+#[test]
+fn non_range_filters_take_the_standard_path() {
+    // A filter with no numeric bound must not be misrouted.
+    let mut o = build(true);
+    let q = "SELECT ?x ?a WHERE { ?x foaf:age ?a . FILTER(?a != 33) }";
+    let expected = {
+        let store = global_store(&o);
+        evaluate_query(&store, &parse_query(q).unwrap()).len()
+    };
+    let (n, stats) = run(&mut o, ExecConfig::default(), q);
+    assert_eq!(n, expected);
+    assert_eq!(stats.providers_contacted, 10);
+}
+
+#[test]
+fn range_index_respects_dynamic_updates() {
+    let mut o = build(true);
+    // A new 35-year-old appears at provider 9 (the 80s decade node).
+    o.add_triples(NodeId(9), vec![age(999, 35)]).unwrap();
+    let (n, stats) = run(&mut o, ExecConfig::default(), NARROW);
+    assert_eq!(n, 9, "8 original + the newcomer");
+    assert!(stats.providers_contacted >= 2, "the updated provider is now in-bucket");
+    // And retraction restores the original answer.
+    o.remove_triples(NodeId(9), vec![age(999, 35)]).unwrap();
+    let (n, _) = run(&mut o, ExecConfig::default(), NARROW);
+    assert_eq!(n, 8);
+}

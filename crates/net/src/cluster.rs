@@ -1,0 +1,236 @@
+//! A thread-backed transport: every node is an OS thread, messages move
+//! over crossbeam channels.
+//!
+//! The discrete-event [`crate::Network`] gives deterministic *costs*; this
+//! module demonstrates the same protocols running under real concurrency
+//! (the system could be dropped onto sockets with only this module
+//! swapped). Nodes are user-supplied handler closures; the cluster routes
+//! envelopes, counts traffic with atomics, and shuts down cleanly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::network::NodeId;
+
+/// A routed message.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Payload.
+    pub payload: M,
+}
+
+enum Packet<M> {
+    Deliver(Envelope<M>),
+    Shutdown,
+}
+
+/// Shared traffic counters for a running cluster.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Messages delivered between distinct nodes.
+    pub messages: AtomicU64,
+}
+
+/// Handle through which a node handler sends messages to peers.
+pub struct Outbox<M> {
+    me: NodeId,
+    senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    stats: Arc<ClusterStats>,
+}
+
+impl<M> Outbox<M> {
+    /// This node's identity.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Sends `payload` to `to`. Returns `false` if the peer is unknown or
+    /// its mailbox is closed (peer shut down) — the ad-hoc setting treats
+    /// that as a detectable timeout, not an error.
+    pub fn send(&self, to: NodeId, payload: M) -> bool {
+        let Some(tx) = self.senders.get(&to) else { return false };
+        if to != self.me {
+            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        }
+        tx.send(Packet::Deliver(Envelope { from: self.me, to, payload })).is_ok()
+    }
+
+    /// The node ids reachable from this node.
+    pub fn peers(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.senders.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
+/// A running set of node threads.
+pub struct Cluster<M: Send + 'static> {
+    senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<ClusterStats>,
+}
+
+/// A node's behaviour: invoked once per delivered envelope.
+pub trait Handler<M>: Send + 'static {
+    /// Reacts to one message; may send further messages via `out`.
+    fn on_message(&mut self, envelope: Envelope<M>, out: &Outbox<M>);
+}
+
+impl<M, F> Handler<M> for F
+where
+    F: FnMut(Envelope<M>, &Outbox<M>) + Send + 'static,
+{
+    fn on_message(&mut self, envelope: Envelope<M>, out: &Outbox<M>) {
+        self(envelope, out)
+    }
+}
+
+impl<M: Send + 'static> Cluster<M> {
+    /// Spawns one thread per `(id, handler)` pair. All nodes can reach
+    /// each other by id (IP addresses in the paper's architecture).
+    pub fn spawn(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>) -> Self {
+        let mut senders = HashMap::new();
+        let mut receivers: Vec<(NodeId, Receiver<Packet<M>>, Box<dyn Handler<M>>)> = Vec::new();
+        for (id, handler) in nodes {
+            let (tx, rx) = unbounded();
+            senders.insert(id, tx);
+            receivers.push((id, rx, handler));
+        }
+        let senders = Arc::new(senders);
+        let stats = Arc::new(ClusterStats::default());
+        let mut handles = Vec::new();
+        for (id, rx, mut handler) in receivers {
+            let outbox =
+                Outbox { me: id, senders: Arc::clone(&senders), stats: Arc::clone(&stats) };
+            handles.push(std::thread::spawn(move || {
+                while let Ok(packet) = rx.recv() {
+                    match packet {
+                        Packet::Deliver(env) => handler.on_message(env, &outbox),
+                        Packet::Shutdown => break,
+                    }
+                }
+            }));
+        }
+        Cluster { senders, handles: Mutex::new(handles), stats }
+    }
+
+    /// Injects a message from the outside world (e.g. the external
+    /// application submitting a query in Fig. 3). `from` names the logical
+    /// origin.
+    pub fn inject(&self, from: NodeId, to: NodeId, payload: M) -> bool {
+        let Some(tx) = self.senders.get(&to) else { return false };
+        if from != to {
+            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        }
+        tx.send(Packet::Deliver(Envelope { from, to, payload })).is_ok()
+    }
+
+    /// Messages delivered so far.
+    pub fn message_count(&self) -> u64 {
+        self.stats.messages.load(Ordering::Relaxed)
+    }
+
+    /// Stops every node thread and waits for them to finish.
+    pub fn shutdown(&self) {
+        for tx in self.senders.values() {
+            let _ = tx.send(Packet::Shutdown);
+        }
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M: Send + 'static> Drop for Cluster<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded as chan;
+
+    #[test]
+    fn ping_pong_round_trip() {
+        #[derive(Debug)]
+        enum Msg {
+            Ping(u32, Sender<u32>),
+            Pong(u32, Sender<u32>),
+        }
+        let pinger = |env: Envelope<Msg>, out: &Outbox<Msg>| {
+            if let Msg::Ping(n, reply) = env.payload {
+                out.send(NodeId(2), Msg::Pong(n + 1, reply));
+            }
+        };
+        let ponger = |env: Envelope<Msg>, _out: &Outbox<Msg>| {
+            if let Msg::Pong(n, reply) = env.payload {
+                let _ = reply.send(n + 1);
+            }
+        };
+        let cluster = Cluster::spawn(vec![
+            (NodeId(1), Box::new(pinger) as Box<dyn Handler<Msg>>),
+            (NodeId(2), Box::new(ponger)),
+        ]);
+        let (tx, rx) = chan();
+        cluster.inject(NodeId(99), NodeId(1), Msg::Ping(0, tx));
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), 2);
+        assert!(cluster.message_count() >= 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn send_to_unknown_peer_reports_failure() {
+        let nop = |_env: Envelope<u8>, _out: &Outbox<u8>| {};
+        let cluster = Cluster::spawn(vec![(NodeId(1), Box::new(nop) as Box<dyn Handler<u8>>)]);
+        assert!(!cluster.inject(NodeId(0), NodeId(42), 7));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fan_out_reaches_all_nodes() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits = Arc::new(AtomicU32::new(0));
+        let (done_tx, done_rx) = chan::<()>();
+        let mut nodes: Vec<(NodeId, Box<dyn Handler<u8>>)> = Vec::new();
+        for i in 1..=8u64 {
+            let hits = Arc::clone(&hits);
+            let done = done_tx.clone();
+            nodes.push((
+                NodeId(i),
+                Box::new(move |_env: Envelope<u8>, _out: &Outbox<u8>| {
+                    if hits.fetch_add(1, Ordering::SeqCst) + 1 == 8 {
+                        let _ = done.send(());
+                    }
+                }),
+            ));
+        }
+        let cluster = Cluster::spawn(nodes);
+        for i in 1..=8u64 {
+            cluster.inject(NodeId(0), NodeId(i), 1);
+        }
+        done_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let nop = |_env: Envelope<u8>, _out: &Outbox<u8>| {};
+        let cluster = Cluster::spawn(vec![(NodeId(1), Box::new(nop) as Box<dyn Handler<u8>>)]);
+        cluster.shutdown();
+        cluster.shutdown();
+        drop(cluster);
+    }
+}

@@ -1,0 +1,107 @@
+//! Link-latency models for the simulated network.
+
+use std::collections::HashMap;
+
+use crate::network::NodeId;
+use crate::time::SimTime;
+
+/// How one-way latency between two distinct nodes is determined.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Every link has the same latency.
+    Uniform(SimTime),
+    /// Specific (symmetric) links override a default.
+    PerLink {
+        /// Latency for links without an explicit entry.
+        default: SimTime,
+        /// Overrides, keyed by unordered pair (store either order).
+        links: HashMap<(NodeId, NodeId), SimTime>,
+    },
+    /// Deterministic pseudo-random latency in `[min, max]`, derived from
+    /// the node pair so that the same pair always sees the same latency.
+    Hashed {
+        /// Lower bound.
+        min: SimTime,
+        /// Upper bound.
+        max: SimTime,
+        /// Seed mixed into the pair hash.
+        seed: u64,
+    },
+}
+
+impl LatencyModel {
+    /// The latency between two distinct nodes (callers handle `from == to`).
+    pub fn between(&self, from: NodeId, to: NodeId) -> SimTime {
+        match self {
+            LatencyModel::Uniform(l) => *l,
+            LatencyModel::PerLink { default, links } => links
+                .get(&(from, to))
+                .or_else(|| links.get(&(to, from)))
+                .copied()
+                .unwrap_or(*default),
+            LatencyModel::Hashed { min, max, seed } => {
+                let (a, b) = if from.0 <= to.0 { (from.0, to.0) } else { (to.0, from.0) };
+                let mut x = a
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(b)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    .wrapping_add(*seed);
+                x ^= x >> 31;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 29;
+                let span = max.as_micros().saturating_sub(min.as_micros());
+                if span == 0 {
+                    *min
+                } else {
+                    SimTime::micros(min.as_micros() + x % (span + 1))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_constant() {
+        let m = LatencyModel::Uniform(SimTime::millis(3));
+        assert_eq!(m.between(NodeId(1), NodeId(9)), SimTime::millis(3));
+    }
+
+    #[test]
+    fn hashed_is_symmetric_deterministic_and_bounded() {
+        let m = LatencyModel::Hashed {
+            min: SimTime::micros(100),
+            max: SimTime::micros(900),
+            seed: 7,
+        };
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                if a == b {
+                    continue;
+                }
+                let l1 = m.between(NodeId(a), NodeId(b));
+                let l2 = m.between(NodeId(b), NodeId(a));
+                assert_eq!(l1, l2);
+                assert!(l1 >= SimTime::micros(100) && l1 <= SimTime::micros(900));
+            }
+        }
+        // Different seeds change the draw for at least some pair.
+        let m2 = LatencyModel::Hashed {
+            min: SimTime::micros(100),
+            max: SimTime::micros(900),
+            seed: 8,
+        };
+        let differs = (0..20u64)
+            .any(|a| m.between(NodeId(a), NodeId(a + 1)) != m2.between(NodeId(a), NodeId(a + 1)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn hashed_degenerate_range() {
+        let m = LatencyModel::Hashed { min: SimTime(5), max: SimTime(5), seed: 0 };
+        assert_eq!(m.between(NodeId(1), NodeId(2)), SimTime(5));
+    }
+}

@@ -1,0 +1,28 @@
+//! # rdfmesh-net — network substrate
+//!
+//! Two transports behind one set of node identities:
+//!
+//! * [`Network`] — a deterministic cost model charging every inter-site
+//!   message `latency + bytes/bandwidth`, with per-node statistics. The
+//!   distributed query executors run on this to measure the paper's two
+//!   objectives (total inter-site bytes, response time) exactly.
+//! * [`Cluster`] — a thread-per-node transport over crossbeam channels,
+//!   demonstrating the same protocols under real concurrency.
+//!
+//! Plus a small discrete-event [`Scheduler`] for churn experiments.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod latency;
+pub mod network;
+pub mod sched;
+pub mod stats;
+pub mod time;
+
+pub use cluster::{Cluster, ClusterStats, Envelope, Handler, Outbox};
+pub use latency::LatencyModel;
+pub use network::{Network, NodeId, TraceEntry};
+pub use sched::Scheduler;
+pub use stats::{NetStats, NodeTraffic};
+pub use time::SimTime;

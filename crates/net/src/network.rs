@@ -1,0 +1,259 @@
+//! The cost-accounting network model.
+//!
+//! The paper's optimization objectives are *total inter-site data
+//! transmission* and *response time* (Sect. IV-C, Sect. V). [`Network`]
+//! makes both first-class: every message transfer is charged
+//!
+//! ```text
+//! arrival = depart + latency(from, to) + bytes / bandwidth
+//! ```
+//!
+//! and recorded in [`NetStats`]. Executors thread departure/arrival
+//! times through their control flow, so parallel fan-out (all sub-queries
+//! leave at the same instant) and sequential chains (each hop waits for
+//! its predecessor) yield honest critical-path response times.
+//!
+//! Local (same-node) deliveries are free: the paper's optimizations are
+//! exactly about converting remote transfers into local ones.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::latency::LatencyModel;
+use crate::stats::NetStats;
+use crate::time::SimTime;
+
+/// One recorded message, when tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Payload size.
+    pub bytes: usize,
+    /// Departure time.
+    pub depart: SimTime,
+    /// Arrival time.
+    pub arrival: SimTime,
+}
+
+/// Identifies a node (site) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A simulated network connecting nodes with configurable link costs.
+#[derive(Debug)]
+pub struct Network {
+    latency: LatencyModel,
+    /// Link throughput in bytes per microsecond (e.g. 12.5 ≈ 100 Mbit/s).
+    bytes_per_micro: f64,
+    stats: RefCell<NetStats>,
+    /// Per-node time at which the node becomes free; models servers that
+    /// process one request at a time when executors opt into it.
+    busy_until: RefCell<HashMap<NodeId, SimTime>>,
+    /// Message log; `None` disables recording (the default).
+    trace: RefCell<Option<Vec<TraceEntry>>>,
+}
+
+impl Network {
+    /// A network with the given latency model and link bandwidth
+    /// (bytes per microsecond).
+    pub fn new(latency: LatencyModel, bytes_per_micro: f64) -> Self {
+        assert!(bytes_per_micro > 0.0, "bandwidth must be positive");
+        Network {
+            latency,
+            bytes_per_micro,
+            stats: RefCell::new(NetStats::default()),
+            busy_until: RefCell::new(HashMap::new()),
+            trace: RefCell::new(None),
+        }
+    }
+
+    /// A convenient default: uniform 1 ms latency, ~12.5 bytes/µs
+    /// (≈100 Mbit/s) — commodity LAN/WLAN numbers for the ad-hoc setting.
+    pub fn lan() -> Self {
+        Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5)
+    }
+
+    /// The configured link bandwidth in bytes per microsecond.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_micro
+    }
+
+    /// The one-way latency between two nodes.
+    pub fn latency(&self, from: NodeId, to: NodeId) -> SimTime {
+        if from == to {
+            SimTime::ZERO
+        } else {
+            self.latency.between(from, to)
+        }
+    }
+
+    /// Transfer duration for a payload of `bytes` between two nodes
+    /// (zero when local).
+    pub fn transfer_time(&self, from: NodeId, to: NodeId, bytes: usize) -> SimTime {
+        if from == to {
+            return SimTime::ZERO;
+        }
+        let wire = (bytes as f64 / self.bytes_per_micro).ceil() as u64;
+        self.latency(from, to) + SimTime::micros(wire)
+    }
+
+    /// Sends `bytes` from `from` to `to`, departing at `depart`. Returns
+    /// the arrival time and records the message in the statistics.
+    ///
+    /// A same-node "send" is free and unrecorded: data that stays on a
+    /// site does not cross the network.
+    pub fn send(&self, from: NodeId, to: NodeId, bytes: usize, depart: SimTime) -> SimTime {
+        if from == to {
+            return depart;
+        }
+        let arrival = depart + self.transfer_time(from, to, bytes);
+        self.stats.borrow_mut().record(from, to, bytes, arrival);
+        if let Some(trace) = self.trace.borrow_mut().as_mut() {
+            trace.push(TraceEntry { from, to, bytes, depart, arrival });
+        }
+        arrival
+    }
+
+    /// Turns message tracing on (clearing any previous log) or off.
+    pub fn set_tracing(&self, enabled: bool) {
+        *self.trace.borrow_mut() = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded messages in send order (empty when tracing is off).
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.trace.borrow().clone().unwrap_or_default()
+    }
+
+    /// Serializes node-local compute: returns when `node` can start work
+    /// arriving at `ready`, and marks it busy for `duration` after that.
+    pub fn occupy(&self, node: NodeId, ready: SimTime, duration: SimTime) -> SimTime {
+        let mut busy = self.busy_until.borrow_mut();
+        let start = busy.get(&node).copied().unwrap_or(SimTime::ZERO).max(ready);
+        let end = start + duration;
+        busy.insert(node, end);
+        end
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Clears statistics, busy tracking, and any recorded trace (between
+    /// experiment runs; tracing stays enabled if it was).
+    pub fn reset(&self) {
+        *self.stats.borrow_mut() = NetStats::default();
+        self.busy_until.borrow_mut().clear();
+        if let Some(trace) = self.trace.borrow_mut().as_mut() {
+            trace.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_charges_latency_plus_wire_time() {
+        let net = Network::new(LatencyModel::Uniform(SimTime::millis(2)), 10.0);
+        // 1000 bytes at 10 B/us = 100 us wire time.
+        let arrival = net.send(NodeId(1), NodeId(2), 1000, SimTime::ZERO);
+        assert_eq!(arrival, SimTime(2100));
+        let s = net.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.total_bytes, 1000);
+    }
+
+    #[test]
+    fn local_send_is_free_and_unrecorded() {
+        let net = Network::lan();
+        let arrival = net.send(NodeId(3), NodeId(3), 1_000_000, SimTime(42));
+        assert_eq!(arrival, SimTime(42));
+        assert_eq!(net.stats().messages, 0);
+        assert_eq!(net.stats().total_bytes, 0);
+    }
+
+    #[test]
+    fn parallel_sends_overlap_but_bytes_add() {
+        let net = Network::lan();
+        let t0 = SimTime::ZERO;
+        let a1 = net.send(NodeId(1), NodeId(2), 100, t0);
+        let a2 = net.send(NodeId(1), NodeId(3), 100, t0);
+        // Parallel fan-out: both arrive at the same time.
+        assert_eq!(a1, a2);
+        assert_eq!(net.stats().messages, 2);
+        assert_eq!(net.stats().total_bytes, 200);
+        // A chain would serialize: same payloads, later completion.
+        net.reset();
+        let b1 = net.send(NodeId(1), NodeId(2), 100, t0);
+        let b2 = net.send(NodeId(2), NodeId(3), 100, b1);
+        assert!(b2 > a1);
+    }
+
+    #[test]
+    fn occupy_serializes_a_node() {
+        let net = Network::lan();
+        let e1 = net.occupy(NodeId(1), SimTime(0), SimTime(100));
+        let e2 = net.occupy(NodeId(1), SimTime(0), SimTime(100));
+        assert_eq!(e1, SimTime(100));
+        assert_eq!(e2, SimTime(200));
+        // A later-ready request starts when it is ready.
+        let e3 = net.occupy(NodeId(1), SimTime(500), SimTime(10));
+        assert_eq!(e3, SimTime(510));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let net = Network::lan();
+        net.send(NodeId(1), NodeId(2), 10, SimTime::ZERO);
+        net.occupy(NodeId(1), SimTime::ZERO, SimTime(5));
+        net.reset();
+        assert_eq!(net.stats().messages, 0);
+        assert_eq!(net.occupy(NodeId(1), SimTime::ZERO, SimTime(5)), SimTime(5));
+    }
+
+    #[test]
+    fn tracing_records_messages_in_order() {
+        let net = Network::lan();
+        assert!(net.trace().is_empty(), "tracing off by default");
+        net.set_tracing(true);
+        net.send(NodeId(1), NodeId(2), 10, SimTime::ZERO);
+        net.send(NodeId(2), NodeId(3), 20, SimTime::millis(1));
+        net.send(NodeId(3), NodeId(3), 99, SimTime::ZERO); // local: unrecorded
+        let t = net.trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].from, NodeId(1));
+        assert_eq!(t[1].bytes, 20);
+        assert!(t[0].arrival > t[0].depart);
+        net.reset();
+        assert!(net.trace().is_empty(), "reset clears the log");
+        net.send(NodeId(1), NodeId(2), 10, SimTime::ZERO);
+        assert_eq!(net.trace().len(), 1, "tracing survives reset");
+        net.set_tracing(false);
+        net.send(NodeId(1), NodeId(2), 10, SimTime::ZERO);
+        assert!(net.trace().is_empty());
+    }
+
+    #[test]
+    fn per_link_latency_model() {
+        let mut links = HashMap::new();
+        links.insert((NodeId(1), NodeId(2)), SimTime::millis(5));
+        let net = Network::new(
+            LatencyModel::PerLink { default: SimTime::millis(1), links },
+            f64::INFINITY,
+        );
+        assert_eq!(net.latency(NodeId(1), NodeId(2)), SimTime::millis(5));
+        assert_eq!(net.latency(NodeId(2), NodeId(1)), SimTime::millis(5)); // symmetric
+        assert_eq!(net.latency(NodeId(1), NodeId(3)), SimTime::millis(1));
+    }
+}

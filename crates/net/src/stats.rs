@@ -1,0 +1,133 @@
+//! Network statistics: the quantities the experiments report.
+
+use std::collections::HashMap;
+
+use crate::network::NodeId;
+use crate::time::SimTime;
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Messages sent by the node.
+    pub messages_out: u64,
+    /// Messages received by the node.
+    pub messages_in: u64,
+    /// Bytes sent by the node.
+    pub bytes_out: u64,
+    /// Bytes received by the node.
+    pub bytes_in: u64,
+}
+
+/// Aggregate statistics for a window of network activity.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Total messages transferred between distinct nodes.
+    pub messages: u64,
+    /// Total bytes transferred between distinct nodes — the paper's
+    /// "total amount of intersite data transmission".
+    pub total_bytes: u64,
+    /// The latest arrival time observed (an upper bound on completion).
+    pub last_arrival: SimTime,
+    /// Per-node breakdown, for load-balance analyses (§E1, §E10).
+    pub per_node: HashMap<NodeId, NodeTraffic>,
+}
+
+impl NetStats {
+    /// Records one message (called by [`crate::Network::send`]; public so
+    /// other crates can synthesize deltas in tests).
+    pub fn record(&mut self, from: NodeId, to: NodeId, bytes: usize, arrival: SimTime) {
+        self.messages += 1;
+        self.total_bytes += bytes as u64;
+        self.last_arrival = self.last_arrival.max(arrival);
+        let out = self.per_node.entry(from).or_default();
+        out.messages_out += 1;
+        out.bytes_out += bytes as u64;
+        let inn = self.per_node.entry(to).or_default();
+        inn.messages_in += 1;
+        inn.bytes_in += bytes as u64;
+    }
+
+    /// The difference between two snapshots (`later - self`), for scoping
+    /// counters to a single query.
+    pub fn delta(&self, later: &NetStats) -> NetStats {
+        let mut per_node = HashMap::new();
+        for (id, l) in &later.per_node {
+            let e = self.per_node.get(id).copied().unwrap_or_default();
+            per_node.insert(
+                *id,
+                NodeTraffic {
+                    messages_out: l.messages_out - e.messages_out,
+                    messages_in: l.messages_in - e.messages_in,
+                    bytes_out: l.bytes_out - e.bytes_out,
+                    bytes_in: l.bytes_in - e.bytes_in,
+                },
+            );
+        }
+        NetStats {
+            messages: later.messages - self.messages,
+            total_bytes: later.total_bytes - self.total_bytes,
+            last_arrival: later.last_arrival,
+            per_node,
+        }
+    }
+
+    /// Coefficient of variation of per-node received bytes: 0 for a
+    /// perfectly balanced load, larger for skew (used by §E10).
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<f64> = self.per_node.values().map(|t| t.bytes_in as f64).collect();
+        if loads.len() < 2 {
+            return 0.0;
+        }
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / loads.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_both_directions() {
+        let mut s = NetStats::default();
+        s.record(NodeId(1), NodeId(2), 100, SimTime(10));
+        s.record(NodeId(2), NodeId(1), 50, SimTime(30));
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.total_bytes, 150);
+        assert_eq!(s.last_arrival, SimTime(30));
+        let n1 = s.per_node[&NodeId(1)];
+        assert_eq!(n1.bytes_out, 100);
+        assert_eq!(n1.bytes_in, 50);
+    }
+
+    #[test]
+    fn delta_scopes_to_a_window() {
+        let mut s = NetStats::default();
+        s.record(NodeId(1), NodeId(2), 100, SimTime(10));
+        let snapshot = s.clone();
+        s.record(NodeId(1), NodeId(2), 40, SimTime(20));
+        s.record(NodeId(3), NodeId(2), 5, SimTime(25));
+        let d = snapshot.delta(&s);
+        assert_eq!(d.messages, 2);
+        assert_eq!(d.total_bytes, 45);
+        assert_eq!(d.per_node[&NodeId(3)].bytes_out, 5);
+        assert_eq!(d.per_node[&NodeId(1)].bytes_out, 40);
+    }
+
+    #[test]
+    fn load_imbalance_zero_when_balanced() {
+        let mut s = NetStats::default();
+        s.record(NodeId(1), NodeId(2), 100, SimTime(1));
+        s.record(NodeId(2), NodeId(1), 100, SimTime(1));
+        assert!(s.load_imbalance().abs() < 1e-9);
+        // Skewed: one node receives everything.
+        let mut s2 = NetStats::default();
+        s2.record(NodeId(1), NodeId(2), 1000, SimTime(1));
+        s2.record(NodeId(2), NodeId(1), 0, SimTime(1));
+        assert!(s2.load_imbalance() > 0.9);
+    }
+}

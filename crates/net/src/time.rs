@@ -1,0 +1,92 @@
+//! Simulated time.
+//!
+//! The network simulator measures time in integer **microseconds** so all
+//! arithmetic is exact and experiment output is reproducible bit-for-bit.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A span of `ms` milliseconds.
+    pub fn millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// A span of `us` microseconds.
+    pub fn micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// The value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The value in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(SimTime::millis(2) + SimTime::micros(500), SimTime(2500));
+        assert_eq!(SimTime(100).max(SimTime(200)), SimTime(200));
+        assert_eq!(SimTime(100) - SimTime(300), SimTime::ZERO); // saturating
+        let mut t = SimTime::ZERO;
+        t += SimTime::millis(1);
+        assert_eq!(t, SimTime(1000));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime(450).to_string(), "450us");
+        assert_eq!(SimTime(1500).to_string(), "1.500ms");
+    }
+}

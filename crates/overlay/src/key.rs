@@ -1,0 +1,296 @@
+//! The six index keys of the two-level distributed index.
+//!
+//! RDFPeers hashes each triple on `s`, `p` and `o`; the paper *extends*
+//! that practice (Sect. III-B) by also hashing the pairs `(s,p)`, `(p,o)`
+//! and `(s,o)`, storing the mapping from each hash to the provider nodes
+//! at six places on the Chord ring. A triple pattern with bound positions
+//! then picks the most selective applicable key.
+
+use rdfmesh_chord::{Id, IdSpace};
+use rdfmesh_rdf::{PatternKind, Term, Triple, TriplePattern};
+
+/// Which attribute combination a key hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KeyKind {
+    /// `Hash(s)`.
+    S,
+    /// `Hash(p)`.
+    P,
+    /// `Hash(o)`.
+    O,
+    /// `Hash(s, p)`.
+    SP,
+    /// `Hash(p, o)`.
+    PO,
+    /// `Hash(s, o)`.
+    SO,
+    /// `Hash(p, bucket(o))` for numeric objects — the range-index
+    /// extension (never produced by [`keys_for_triple`]; published only
+    /// when the overlay has [`NumericBuckets`] configured).
+    PON,
+}
+
+impl KeyKind {
+    /// All six kinds, in publication order.
+    pub const ALL: [KeyKind; 6] = [
+        KeyKind::S,
+        KeyKind::P,
+        KeyKind::O,
+        KeyKind::SP,
+        KeyKind::PO,
+        KeyKind::SO,
+    ];
+
+    /// A short tag mixed into the hash so that e.g. `Hash_S(x)` and
+    /// `Hash_P(x)` land on different keys.
+    fn tag(self) -> &'static str {
+        match self {
+            KeyKind::S => "S",
+            KeyKind::P => "P",
+            KeyKind::O => "O",
+            KeyKind::SP => "SP",
+            KeyKind::PO => "PO",
+            KeyKind::SO => "SO",
+            KeyKind::PON => "PON",
+        }
+    }
+}
+
+impl std::fmt::Display for KeyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.tag())
+    }
+}
+
+/// A concrete index key: a kind plus its ring position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexKey {
+    /// Which attributes were hashed.
+    pub kind: KeyKind,
+    /// The key's identifier on the ring.
+    pub id: Id,
+}
+
+fn term_text(t: &Term) -> String {
+    t.to_string()
+}
+
+/// Hashes one attribute combination of a concrete triple.
+pub fn key_for_triple(space: IdSpace, triple: &Triple, kind: KeyKind) -> IndexKey {
+    let s = term_text(&triple.subject);
+    let p = term_text(&triple.predicate);
+    let o = term_text(&triple.object);
+    let id = match kind {
+        KeyKind::S => space.hash_parts(&["S", &s]),
+        KeyKind::P => space.hash_parts(&["P", &p]),
+        KeyKind::O => space.hash_parts(&["O", &o]),
+        KeyKind::SP => space.hash_parts(&["SP", &s, &p]),
+        KeyKind::PO => space.hash_parts(&["PO", &p, &o]),
+        KeyKind::SO => space.hash_parts(&["SO", &s, &o]),
+        KeyKind::PON => panic!(
+            "PON keys require bucket configuration; use NumericBuckets::key"
+        ),
+    };
+    IndexKey { kind, id }
+}
+
+/// The six keys a provider publishes for one shared triple (Sect. III-B:
+/// "store the mapping … at six places").
+pub fn keys_for_triple(space: IdSpace, triple: &Triple) -> [IndexKey; 6] {
+    KeyKind::ALL.map(|k| key_for_triple(space, triple, k))
+}
+
+/// The most selective index key usable for a triple pattern, or `None`
+/// for the all-variable pattern `(?s, ?p, ?o)` (which must be flooded).
+///
+/// Two bound attributes beat one; among single attributes the paper's
+/// running examples route on whatever is bound (subject and object are
+/// typically far more selective than predicate, but with exactly one
+/// bound position there is no choice). A fully bound pattern uses `SP`.
+pub fn key_for_pattern(space: IdSpace, pattern: &TriplePattern) -> Option<IndexKey> {
+    let s = pattern.subject.as_const().map(term_text);
+    let p = pattern.predicate.as_const().map(term_text);
+    let o = pattern.object.as_const().map(term_text);
+    let (kind, id) = match pattern.kind() {
+        PatternKind::None => return None,
+        PatternKind::S => (KeyKind::S, space.hash_parts(&["S", s.as_deref()?])),
+        PatternKind::P => (KeyKind::P, space.hash_parts(&["P", p.as_deref()?])),
+        PatternKind::O => (KeyKind::O, space.hash_parts(&["O", o.as_deref()?])),
+        PatternKind::SP | PatternKind::SPO => {
+            (KeyKind::SP, space.hash_parts(&["SP", s.as_deref()?, p.as_deref()?]))
+        }
+        PatternKind::PO => (KeyKind::PO, space.hash_parts(&["PO", p.as_deref()?, o.as_deref()?])),
+        PatternKind::SO => (KeyKind::SO, space.hash_parts(&["SO", s.as_deref()?, o.as_deref()?])),
+    };
+    Some(IndexKey { kind, id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::TermPattern;
+
+    fn space() -> IdSpace {
+        IdSpace::new(32)
+    }
+
+    fn triple() -> Triple {
+        Triple::new(
+            Term::iri("http://e/alice"),
+            Term::iri("http://e/knows"),
+            Term::iri("http://e/bob"),
+        )
+    }
+
+    #[test]
+    fn six_distinct_keys_per_triple() {
+        let keys = keys_for_triple(space(), &triple());
+        let mut ids: Vec<Id> = keys.iter().map(|k| k.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 6, "kinds must not collide");
+    }
+
+    #[test]
+    fn pattern_key_matches_publication_key() {
+        let t = triple();
+        let keys = keys_for_triple(space(), &t);
+        let by_kind = |k: KeyKind| keys.iter().find(|x| x.kind == k).unwrap().id;
+
+        // (si, pi, ?o) routes on Hash(s,p), matching the published SP key.
+        let sp = TriplePattern::new(t.subject.clone(), t.predicate.clone(), TermPattern::var("o"));
+        let got = key_for_pattern(space(), &sp).unwrap();
+        assert_eq!(got.kind, KeyKind::SP);
+        assert_eq!(got.id, by_kind(KeyKind::SP));
+
+        // (?s, pi, oi) routes on Hash(p,o).
+        let po = TriplePattern::new(TermPattern::var("s"), t.predicate.clone(), t.object.clone());
+        assert_eq!(key_for_pattern(space(), &po).unwrap().id, by_kind(KeyKind::PO));
+
+        // (si, ?p, oi) routes on Hash(s,o).
+        let so = TriplePattern::new(t.subject.clone(), TermPattern::var("p"), t.object.clone());
+        assert_eq!(key_for_pattern(space(), &so).unwrap().id, by_kind(KeyKind::SO));
+
+        // Single-attribute patterns.
+        let s = TriplePattern::new(t.subject.clone(), TermPattern::var("p"), TermPattern::var("o"));
+        assert_eq!(key_for_pattern(space(), &s).unwrap().id, by_kind(KeyKind::S));
+        let p = TriplePattern::new(TermPattern::var("s"), t.predicate.clone(), TermPattern::var("o"));
+        assert_eq!(key_for_pattern(space(), &p).unwrap().id, by_kind(KeyKind::P));
+        let o = TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), t.object.clone());
+        assert_eq!(key_for_pattern(space(), &o).unwrap().id, by_kind(KeyKind::O));
+
+        // Fully bound uses SP.
+        let spo = TriplePattern::new(t.subject.clone(), t.predicate.clone(), t.object.clone());
+        assert_eq!(key_for_pattern(space(), &spo).unwrap().id, by_kind(KeyKind::SP));
+    }
+
+    #[test]
+    fn all_variable_pattern_has_no_key() {
+        let pat = TriplePattern::new(
+            TermPattern::var("s"),
+            TermPattern::var("p"),
+            TermPattern::var("o"),
+        );
+        assert!(key_for_pattern(space(), &pat).is_none());
+    }
+
+    #[test]
+    fn same_attribute_value_in_different_positions_differs() {
+        // Hash_S(x) != Hash_O(x): the tag prevents cross-position hits.
+        let t = Triple::new(
+            Term::iri("http://e/x"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/x"),
+        );
+        let keys = keys_for_triple(space(), &t);
+        let s = keys.iter().find(|k| k.kind == KeyKind::S).unwrap();
+        let o = keys.iter().find(|k| k.kind == KeyKind::O).unwrap();
+        assert_ne!(s.id, o.id);
+    }
+
+    #[test]
+    fn literals_and_iris_with_same_text_differ() {
+        let a = Triple::new(Term::iri("http://e/s"), Term::iri("http://e/p"), Term::iri("v"));
+        let b = Triple::new(Term::iri("http://e/s"), Term::iri("http://e/p"), Term::literal("v"));
+        let ka = key_for_triple(space(), &a, KeyKind::O);
+        let kb = key_for_triple(space(), &b, KeyKind::O);
+        assert_ne!(ka.id, kb.id, "serialized forms <v> and \"v\" must hash apart");
+    }
+}
+
+/// Bucketing of numeric object values for range-indexed keys — an
+/// extension beyond the paper (its index cannot answer range queries
+/// without contacting every provider of the predicate; cf. RDFPeers'
+/// locality-preserving hashing). Values in `[min, max]` split into
+/// `count` equal-width buckets; a triple `(s, p, o)` with numeric `o`
+/// publishes one extra key per `(p, bucket(o))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericBuckets {
+    /// Smallest indexed value.
+    pub min: f64,
+    /// Largest indexed value.
+    pub max: f64,
+    /// Number of equal-width buckets.
+    pub count: usize,
+}
+
+impl NumericBuckets {
+    /// A bucketing over `[min, max]` with `count` buckets.
+    pub fn new(min: f64, max: f64, count: usize) -> Self {
+        assert!(max > min && count > 0);
+        NumericBuckets { min, max, count }
+    }
+
+    /// The bucket index of a value (clamped into range).
+    pub fn bucket_of(&self, value: f64) -> usize {
+        let unit = ((value - self.min) / (self.max - self.min)).clamp(0.0, 1.0);
+        ((unit * self.count as f64) as usize).min(self.count - 1)
+    }
+
+    /// The bucket indices overlapping `[lo, hi]`.
+    pub fn buckets_for_range(&self, lo: f64, hi: f64) -> std::ops::RangeInclusive<usize> {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        self.bucket_of(lo)..=self.bucket_of(hi)
+    }
+
+    /// The ring key for `(predicate, bucket)`.
+    pub fn key(&self, space: IdSpace, predicate: &Term, bucket: usize) -> Id {
+        space.hash_parts(&["PON", &predicate.to_string(), &bucket.to_string()])
+    }
+}
+
+#[cfg(test)]
+mod bucket_tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_covers_range_and_clamps() {
+        let b = NumericBuckets::new(0.0, 100.0, 10);
+        assert_eq!(b.bucket_of(0.0), 0);
+        assert_eq!(b.bucket_of(5.0), 0);
+        assert_eq!(b.bucket_of(10.0), 1);
+        assert_eq!(b.bucket_of(99.9), 9);
+        assert_eq!(b.bucket_of(100.0), 9);
+        assert_eq!(b.bucket_of(-5.0), 0);
+        assert_eq!(b.bucket_of(500.0), 9);
+    }
+
+    #[test]
+    fn range_buckets_cover_and_order() {
+        let b = NumericBuckets::new(0.0, 100.0, 10);
+        assert_eq!(b.buckets_for_range(25.0, 47.0), 2..=4);
+        assert_eq!(b.buckets_for_range(47.0, 25.0), 2..=4);
+        assert_eq!(b.buckets_for_range(0.0, 100.0), 0..=9);
+    }
+
+    #[test]
+    fn bucket_keys_differ_by_predicate_and_bucket() {
+        let b = NumericBuckets::new(0.0, 100.0, 10);
+        let space = IdSpace::new(32);
+        let p1 = Term::iri("http://e/age");
+        let p2 = Term::iri("http://e/height");
+        assert_ne!(b.key(space, &p1, 3), b.key(space, &p1, 4));
+        assert_ne!(b.key(space, &p1, 3), b.key(space, &p2, 3));
+        assert_eq!(b.key(space, &p1, 3), b.key(space, &p1, 3));
+    }
+}

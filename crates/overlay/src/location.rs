@@ -1,0 +1,214 @@
+//! Location tables (Table I).
+//!
+//! Each index node maintains a table mapping a key `Ki` to the storage
+//! nodes that share triples with that key, together with a *frequency* —
+//! "the number of triples that share the same hash value for their
+//! attribute(s)". The frequency drives query optimization (Sect. IV).
+
+use std::collections::BTreeMap;
+
+use rdfmesh_chord::Id;
+use rdfmesh_net::NodeId;
+
+/// One row's entry: a provider and how many of its triples carry the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provider {
+    /// The storage node that holds matching triples.
+    pub node: NodeId,
+    /// Number of that node's triples sharing the key.
+    pub frequency: u64,
+}
+
+/// A location table: `key → [(storage node, frequency)]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocationTable {
+    rows: BTreeMap<Id, BTreeMap<NodeId, u64>>,
+}
+
+impl LocationTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` occurrences of `key` for `node`.
+    pub fn add(&mut self, key: Id, node: NodeId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.rows.entry(key).or_default().entry(node).or_insert(0) += count;
+    }
+
+    /// Removes up to `count` occurrences; drops the entry (and row) when
+    /// the frequency reaches zero. Returns `true` if anything changed.
+    pub fn remove(&mut self, key: Id, node: NodeId, count: u64) -> bool {
+        let Some(row) = self.rows.get_mut(&key) else { return false };
+        let Some(freq) = row.get_mut(&node) else { return false };
+        *freq = freq.saturating_sub(count);
+        if *freq == 0 {
+            row.remove(&node);
+            if row.is_empty() {
+                self.rows.remove(&key);
+            }
+        }
+        true
+    }
+
+    /// Removes every entry for `node` across all keys (storage-node
+    /// departure/failure cleanup, Sect. III-D). Returns entries removed.
+    pub fn purge_node(&mut self, node: NodeId) -> usize {
+        let mut removed = 0;
+        self.rows.retain(|_, row| {
+            if row.remove(&node).is_some() {
+                removed += 1;
+            }
+            !row.is_empty()
+        });
+        removed
+    }
+
+    /// The providers for `key`, in ascending node order.
+    pub fn providers(&self, key: Id) -> Vec<Provider> {
+        self.rows
+            .get(&key)
+            .map(|row| {
+                row.iter().map(|(&node, &frequency)| Provider { node, frequency }).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of keys with at least one provider.
+    pub fn key_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total (key, node) entries — the table's storage footprint.
+    pub fn entry_count(&self) -> usize {
+        self.rows.values().map(BTreeMap::len).sum()
+    }
+
+    /// Serialized size in bytes when shipped during an index-node join
+    /// (8-byte key + 12 bytes per provider entry).
+    pub fn serialized_len(&self) -> usize {
+        self.rows.values().map(|row| 8 + 12 * row.len()).sum()
+    }
+
+    /// Splits off and returns the rows whose key satisfies `belongs`,
+    /// leaving the rest. This implements the Sect. III-C hand-over: "the
+    /// transfer of a portion of the location table to the new node from
+    /// its \[successor\]".
+    pub fn split_off_where<F: Fn(Id) -> bool>(&mut self, belongs: F) -> LocationTable {
+        let mut moved = BTreeMap::new();
+        let keys: Vec<Id> = self.rows.keys().copied().filter(|&k| belongs(k)).collect();
+        for k in keys {
+            if let Some(row) = self.rows.remove(&k) {
+                moved.insert(k, row);
+            }
+        }
+        LocationTable { rows: moved }
+    }
+
+    /// Absorbs all rows of `other` (index-node departure: the successor
+    /// "take\[s\] over its location table").
+    pub fn merge(&mut self, other: LocationTable) {
+        for (key, row) in other.rows {
+            for (node, freq) in row {
+                self.add(key, node, freq);
+            }
+        }
+    }
+
+    /// Iterates over `(key, providers)` rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, Vec<Provider>)> + '_ {
+        self.rows.iter().map(|(&k, row)| {
+            (k, row.iter().map(|(&node, &frequency)| Provider { node, frequency }).collect())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        // Table I: K2 → D1 (10), D3 (20), D4 (15).
+        let mut t = LocationTable::new();
+        let k2 = Id(2);
+        t.add(k2, NodeId(1), 10);
+        t.add(k2, NodeId(3), 20);
+        t.add(k2, NodeId(4), 15);
+        let provs = t.providers(k2);
+        assert_eq!(provs.len(), 3);
+        assert_eq!(provs[1], Provider { node: NodeId(3), frequency: 20 });
+    }
+
+    #[test]
+    fn add_accumulates_frequency() {
+        let mut t = LocationTable::new();
+        t.add(Id(1), NodeId(7), 2);
+        t.add(Id(1), NodeId(7), 3);
+        assert_eq!(t.providers(Id(1))[0].frequency, 5);
+        t.add(Id(1), NodeId(7), 0); // no-op
+        assert_eq!(t.providers(Id(1))[0].frequency, 5);
+    }
+
+    #[test]
+    fn remove_decrements_and_cleans_up() {
+        let mut t = LocationTable::new();
+        t.add(Id(1), NodeId(7), 5);
+        assert!(t.remove(Id(1), NodeId(7), 2));
+        assert_eq!(t.providers(Id(1))[0].frequency, 3);
+        assert!(t.remove(Id(1), NodeId(7), 99));
+        assert!(t.providers(Id(1)).is_empty());
+        assert_eq!(t.key_count(), 0);
+        assert!(!t.remove(Id(1), NodeId(7), 1));
+    }
+
+    #[test]
+    fn purge_node_removes_across_keys() {
+        let mut t = LocationTable::new();
+        t.add(Id(1), NodeId(7), 5);
+        t.add(Id(2), NodeId(7), 1);
+        t.add(Id(2), NodeId(8), 1);
+        assert_eq!(t.purge_node(NodeId(7)), 2);
+        assert_eq!(t.key_count(), 1);
+        assert_eq!(t.providers(Id(2)).len(), 1);
+    }
+
+    #[test]
+    fn split_off_moves_matching_rows() {
+        let mut t = LocationTable::new();
+        t.add(Id(3), NodeId(1), 1);
+        t.add(Id(8), NodeId(2), 1);
+        t.add(Id(12), NodeId(3), 1);
+        let moved = t.split_off_where(|k| k.0 <= 8);
+        assert_eq!(moved.key_count(), 2);
+        assert_eq!(t.key_count(), 1);
+        assert_eq!(t.providers(Id(12)).len(), 1);
+    }
+
+    #[test]
+    fn merge_combines_frequencies() {
+        let mut a = LocationTable::new();
+        a.add(Id(1), NodeId(1), 2);
+        let mut b = LocationTable::new();
+        b.add(Id(1), NodeId(1), 3);
+        b.add(Id(2), NodeId(2), 1);
+        a.merge(b);
+        assert_eq!(a.providers(Id(1))[0].frequency, 5);
+        assert_eq!(a.key_count(), 2);
+    }
+
+    #[test]
+    fn serialized_len_tracks_entries() {
+        let mut t = LocationTable::new();
+        assert_eq!(t.serialized_len(), 0);
+        t.add(Id(1), NodeId(1), 1);
+        assert_eq!(t.serialized_len(), 20);
+        t.add(Id(1), NodeId(2), 1);
+        assert_eq!(t.serialized_len(), 32);
+        t.add(Id(2), NodeId(1), 1);
+        assert_eq!(t.serialized_len(), 52);
+    }
+}

@@ -1,0 +1,18 @@
+//! Wire-size constants for overlay protocol messages (bytes).
+//!
+//! Chosen to approximate small binary headers; the exact values matter
+//! less than their consistency, since every strategy in the experiments
+//! is charged with the same schedule.
+
+/// One step of iterative Chord routing (request + key + return address).
+pub const LOOKUP_STEP: usize = 48;
+/// A publish request from a storage node to its index node.
+pub const PUBLISH_REQUEST: usize = 64;
+/// One location-table entry (key + node address + frequency).
+pub const ENTRY: usize = 20;
+/// Fixed header on a shipped sub-query.
+pub const SUBQUERY_HEADER: usize = 32;
+/// Fixed header on a result (solution set) message.
+pub const RESULT_HEADER: usize = 24;
+/// A query acknowledgement / control message.
+pub const ACK: usize = 16;

@@ -1,0 +1,116 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Stores intern every distinct [`Term`] once and manipulate compact
+//! [`TermId`]s, which keeps the triple indexes small and makes pattern
+//! matching cache-friendly — the standard technique in RDF stores.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use crate::fxhash::FxHasher64;
+use crate::term::Term;
+
+/// A compact identifier for an interned term. Ids are dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher64>;
+
+/// A bidirectional `Term` ↔ [`TermId`] map.
+///
+/// Interning is idempotent: the same term always receives the same id.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId, FxBuild>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id (allocating one if new).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned term.
+    pub fn id(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolves an id back to its term. Panics if the id was not produced
+    /// by this dictionary.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Resolves an id if it is valid for this dictionary.
+    pub fn get(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://e/a"));
+        let b = d.intern(&Term::iri("http://e/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://e/a"));
+        let b = d.intern(&Term::literal("a"));
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_resolution() {
+        let mut d = Dictionary::new();
+        let t = Term::literal("Smith");
+        let id = d.intern(&t);
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.id(&t), Some(id));
+        assert_eq!(d.id(&Term::literal("Jones")), None);
+    }
+
+    #[test]
+    fn get_rejects_out_of_range() {
+        let d = Dictionary::new();
+        assert!(d.get(TermId(0)).is_none());
+    }
+}

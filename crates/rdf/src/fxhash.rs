@@ -1,0 +1,110 @@
+//! A small, fast, non-cryptographic hasher (the FxHash algorithm used by
+//! rustc), for interior hash maps where HashDoS resistance is unnecessary.
+//!
+//! Implemented in-tree to keep the dependency set to the sanctioned list;
+//! the algorithm is a multiply-and-rotate over machine words.
+
+use std::hash::Hasher;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A 64-bit FxHash hasher. Use via
+/// `std::hash::BuildHasherDefault<FxHasher64>`.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Hashes a byte slice with a one-shot FxHash, useful for cheap
+/// fingerprints.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher64::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash_bytes(b"hello world"), hash_bytes(b"hello world"));
+    }
+
+    #[test]
+    fn different_inputs_hash_differently() {
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"world"));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
+    }
+
+    #[test]
+    fn chunk_boundaries_are_covered() {
+        // 7, 8 and 9 byte inputs exercise the remainder path.
+        let h7 = hash_bytes(b"1234567");
+        let h8 = hash_bytes(b"12345678");
+        let h9 = hash_bytes(b"123456789");
+        assert_ne!(h7, h8);
+        assert_ne!(h8, h9);
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        use std::collections::HashMap;
+        use std::hash::BuildHasherDefault;
+        let mut m: HashMap<String, u32, BuildHasherDefault<FxHasher64>> = HashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.get("b"), Some(&2));
+    }
+}

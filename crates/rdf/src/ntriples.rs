@@ -1,0 +1,313 @@
+//! N-Triples parsing and serialization.
+//!
+//! N-Triples is the line-oriented RDF serialization used to move triples
+//! between storage nodes. The grammar implemented here is the W3C
+//! N-Triples subset sufficient for the system: IRIs in angle brackets,
+//! blank nodes, and quoted literals with `\`-escapes, language tags and
+//! `^^` datatypes. Comments (`#`) and blank lines are skipped.
+
+use std::fmt;
+
+use crate::term::{BlankNode, Iri, Literal, Term};
+use crate::triple::Triple;
+
+/// A parse error with 1-based line number context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an entire N-Triples document, returning the triples in document
+/// order.
+pub fn parse_document(input: &str) -> Result<Vec<Triple>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(trimmed, line_no)?);
+    }
+    Ok(out)
+}
+
+/// Parses a single N-Triples statement (one line, `.`-terminated).
+pub fn parse_line(line: &str, line_no: usize) -> Result<Triple, ParseError> {
+    let mut p = LineParser { bytes: line.as_bytes(), pos: 0, line: line_no, src: line };
+    let subject = p.parse_term()?;
+    p.skip_ws();
+    let predicate = p.parse_term()?;
+    p.skip_ws();
+    let object = p.parse_term()?;
+    p.skip_ws();
+    if !p.eat(b'.') {
+        return Err(p.err("expected '.' terminating the statement"));
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing content after '.'"));
+    }
+    match (&subject, &predicate) {
+        (Term::Literal(_), _) => Err(p.err("literal not allowed in subject position")),
+        (_, Term::Literal(_)) | (_, Term::Blank(_)) => {
+            Err(p.err("predicate must be an IRI"))
+        }
+        _ => Ok(Triple { subject, predicate, object }),
+    }
+}
+
+struct LineParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    src: &'a str,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, message: format!("{} (in {:?})", message.into(), self.src) }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => self.parse_iri().map(Term::Iri),
+            Some(b'_') => self.parse_blank().map(Term::Blank),
+            Some(b'"') => self.parse_literal().map(Term::Literal),
+            Some(c) => Err(self.err(format!("unexpected character {:?} starting a term", c as char))),
+            None => Err(self.err("unexpected end of line, expected a term")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Iri, ParseError> {
+        debug_assert!(self.eat(b'<'));
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'>' {
+                let s = &self.src[start..self.pos];
+                self.pos += 1;
+                return Iri::new(s).map_err(|e| self.err(e.to_string()));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated IRI"))
+    }
+
+    fn parse_blank(&mut self) -> Result<BlankNode, ParseError> {
+        debug_assert!(self.eat(b'_'));
+        if !self.eat(b':') {
+            return Err(self.err("expected ':' after '_' in blank node"));
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        BlankNode::new(&self.src[start..self.pos]).map_err(|e| self.err(e.to_string()))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        debug_assert!(self.eat(b'"'));
+        let mut lexical = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated literal")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => lexical.push('"'),
+                        b'\\' => lexical.push('\\'),
+                        b'n' => lexical.push('\n'),
+                        b'r' => lexical.push('\r'),
+                        b't' => lexical.push('\t'),
+                        b'u' | b'U' => {
+                            let digits = if esc == b'u' { 4 } else { 8 };
+                            let end = self.pos + digits;
+                            if end > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = &self.src[self.pos..end];
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid hex in \\u escape"))?;
+                            let ch = char::from_u32(cp)
+                                .ok_or_else(|| self.err("invalid code point in \\u escape"))?;
+                            lexical.push(ch);
+                            self.pos = end;
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 character.
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty");
+                    lexical.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        // Optional language tag or datatype.
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err(self.err("empty language tag"));
+                }
+                Ok(Literal::lang(lexical, &self.src[start..self.pos]))
+            }
+            Some(b'^') => {
+                self.pos += 1;
+                if !self.eat(b'^') {
+                    return Err(self.err("expected '^^' before datatype"));
+                }
+                if self.peek() != Some(b'<') {
+                    return Err(self.err("expected IRI after '^^'"));
+                }
+                let dt = self.parse_iri()?;
+                Ok(Literal::typed(lexical, dt))
+            }
+            _ => Ok(Literal::plain(lexical)),
+        }
+    }
+}
+
+/// Serializes triples as an N-Triples document (one statement per line).
+pub fn write_document(triples: &[Triple]) -> String {
+    let mut out = String::new();
+    for t in triples {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "{t}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn parses_simple_statement() {
+        let t = parse_line("<http://e/s> <http://e/p> <http://e/o> .", 1).unwrap();
+        assert_eq!(t.subject, Term::iri("http://e/s"));
+        assert_eq!(t.predicate, Term::iri("http://e/p"));
+        assert_eq!(t.object, Term::iri("http://e/o"));
+    }
+
+    #[test]
+    fn parses_literals_with_lang_and_datatype() {
+        let t = parse_line("<http://e/s> <http://e/p> \"chat\"@fr .", 1).unwrap();
+        assert_eq!(t.object.as_literal().unwrap().language(), Some("fr"));
+        let t = parse_line(
+            "<http://e/s> <http://e/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+            1,
+        )
+        .unwrap();
+        assert_eq!(t.object.as_literal().unwrap().as_i64(), Some(42));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let t = parse_line(r#"<http://e/s> <http://e/p> "a\"b\\c\ndA" ."#, 1).unwrap();
+        assert_eq!(t.object.as_literal().unwrap().lexical(), "a\"b\\c\ndA");
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let t = parse_line("_:b1 <http://e/p> _:b2 .", 1).unwrap();
+        assert!(t.subject.is_blank());
+        assert!(t.object.is_blank());
+    }
+
+    #[test]
+    fn rejects_literal_subject_and_non_iri_predicate() {
+        assert!(parse_line("\"x\" <http://e/p> <http://e/o> .", 1).is_err());
+        assert!(parse_line("<http://e/s> \"p\" <http://e/o> .", 1).is_err());
+        assert!(parse_line("<http://e/s> _:b <http://e/o> .", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse_line("<http://e/s> <http://e/p> <http://e/o>", 1).is_err()); // no dot
+        assert!(parse_line("<http://e/s> <http://e/p> .", 1).is_err()); // two terms
+        assert!(parse_line("<http://e/s> <http://e/p> <http://e/o> . extra", 1).is_err());
+        assert!(parse_line("<http://e/s <http://e/p> <http://e/o> .", 2).is_err()); // bad iri
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let doc = "\
+# a comment
+<http://e/s> <http://e/p> \"v\\n\"@en .
+
+<http://e/s2> <http://e/p> \"7\"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b <http://e/p> <http://e/o> .
+";
+        let triples = parse_document(doc).unwrap();
+        assert_eq!(triples.len(), 3);
+        let written = write_document(&triples);
+        let reparsed = parse_document(&written).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let doc = "<http://e/s> <http://e/p> <http://e/o> .\nbogus line\n";
+        let err = parse_document(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

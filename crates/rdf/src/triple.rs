@@ -1,0 +1,356 @@
+//! Triples and triple patterns.
+//!
+//! A triple pattern "resembles an RDF triple except that its subject,
+//! predicate and/or object may be a variable" (paper, footnote 4). The
+//! eight possible pattern kinds enumerated in Sect. IV-C are modelled by
+//! [`PatternKind`].
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// An RDF triple `(subject, predicate, object)`.
+///
+/// Following the RDF abstract syntax the subject may be an IRI or blank
+/// node and the predicate an IRI; we do not enforce this structurally
+/// (generators always produce well-formed triples, and the N-Triples
+/// parser validates positions).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// The subject term.
+    pub subject: Term,
+    /// The predicate term.
+    pub predicate: Term,
+    /// The object term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple from its three components.
+    pub fn new(subject: impl Into<Term>, predicate: impl Into<Term>, object: impl Into<Term>) -> Self {
+        Triple { subject: subject.into(), predicate: predicate.into(), object: object.into() }
+    }
+
+    /// The serialized (N-Triples) size in bytes, including separators and
+    /// the terminating ` .`. Used for network byte accounting.
+    pub fn serialized_len(&self) -> usize {
+        self.subject.serialized_len() + self.predicate.serialized_len() + self.object.serialized_len() + 4
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A variable name, without the leading `?` or `$`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(String);
+
+impl Variable {
+    /// Creates a variable from a bare name (no `?`/`$` sigil).
+    pub fn new(name: impl Into<String>) -> Self {
+        Variable(name.into())
+    }
+
+    /// The variable name without sigil.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// One position of a triple pattern: either a variable or a concrete term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TermPattern {
+    /// A variable such as `?x`.
+    Var(Variable),
+    /// A concrete RDF term.
+    Const(Term),
+}
+
+impl TermPattern {
+    /// Convenience constructor for a variable position.
+    pub fn var(name: &str) -> Self {
+        TermPattern::Var(Variable::new(name))
+    }
+
+    /// True if this position is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, TermPattern::Var(_))
+    }
+
+    /// The variable, if this position is one.
+    pub fn as_var(&self) -> Option<&Variable> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Const(_) => None,
+        }
+    }
+
+    /// The concrete term, if this position is bound.
+    pub fn as_const(&self) -> Option<&Term> {
+        match self {
+            TermPattern::Var(_) => None,
+            TermPattern::Const(t) => Some(t),
+        }
+    }
+
+    /// True if this position matches the given term (variables match
+    /// anything).
+    pub fn matches(&self, term: &Term) -> bool {
+        match self {
+            TermPattern::Var(_) => true,
+            TermPattern::Const(t) => t == term,
+        }
+    }
+}
+
+impl fmt::Display for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermPattern::Var(v) => v.fmt(f),
+            TermPattern::Const(t) => t.fmt(f),
+        }
+    }
+}
+
+impl From<Term> for TermPattern {
+    fn from(value: Term) -> Self {
+        TermPattern::Const(value)
+    }
+}
+
+impl From<Variable> for TermPattern {
+    fn from(value: Variable) -> Self {
+        TermPattern::Var(value)
+    }
+}
+
+/// The eight triple-pattern kinds of Sect. IV-C, named by which positions
+/// are **bound** (concrete): e.g. [`PatternKind::SP`] is `(si, pi, ?o)`.
+///
+/// The kind determines which of the six distributed index keys (`s`, `p`,
+/// `o`, `sp`, `po`, `so`) can be used to locate candidate storage nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// `(?s, ?p, ?o)` — nothing bound; requires flooding / full scan.
+    None,
+    /// `(si, ?p, ?o)`.
+    S,
+    /// `(?s, pi, ?o)`.
+    P,
+    /// `(?s, ?p, oi)`.
+    O,
+    /// `(si, pi, ?o)`.
+    SP,
+    /// `(?s, pi, oi)`.
+    PO,
+    /// `(si, ?p, oi)`.
+    SO,
+    /// `(si, pi, oi)` — fully bound; an existence test.
+    SPO,
+}
+
+impl PatternKind {
+    /// Number of bound positions.
+    pub fn bound_count(self) -> usize {
+        match self {
+            PatternKind::None => 0,
+            PatternKind::S | PatternKind::P | PatternKind::O => 1,
+            PatternKind::SP | PatternKind::PO | PatternKind::SO => 2,
+            PatternKind::SPO => 3,
+        }
+    }
+}
+
+/// A triple pattern: three [`TermPattern`] positions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TriplePattern {
+    /// The subject position.
+    pub subject: TermPattern,
+    /// The predicate position.
+    pub predicate: TermPattern,
+    /// The object position.
+    pub object: TermPattern,
+}
+
+impl TriplePattern {
+    /// Creates a triple pattern from its three positions.
+    pub fn new(
+        subject: impl Into<TermPattern>,
+        predicate: impl Into<TermPattern>,
+        object: impl Into<TermPattern>,
+    ) -> Self {
+        TriplePattern { subject: subject.into(), predicate: predicate.into(), object: object.into() }
+    }
+
+    /// Which of the eight Sect. IV-C pattern kinds this pattern is.
+    pub fn kind(&self) -> PatternKind {
+        match (self.subject.is_var(), self.predicate.is_var(), self.object.is_var()) {
+            (true, true, true) => PatternKind::None,
+            (false, true, true) => PatternKind::S,
+            (true, false, true) => PatternKind::P,
+            (true, true, false) => PatternKind::O,
+            (false, false, true) => PatternKind::SP,
+            (true, false, false) => PatternKind::PO,
+            (false, true, false) => PatternKind::SO,
+            (false, false, false) => PatternKind::SPO,
+        }
+    }
+
+    /// True if the triple matches this pattern position-wise, ignoring
+    /// variable repetition (use the evaluator for join-consistent matching).
+    pub fn matches(&self, triple: &Triple) -> bool {
+        self.subject.matches(&triple.subject)
+            && self.predicate.matches(&triple.predicate)
+            && self.object.matches(&triple.object)
+            && self.repeated_vars_consistent(triple)
+    }
+
+    /// Checks that repeated variables (e.g. `?x ?p ?x`) bind consistently.
+    fn repeated_vars_consistent(&self, triple: &Triple) -> bool {
+        let positions = [
+            (&self.subject, &triple.subject),
+            (&self.predicate, &triple.predicate),
+            (&self.object, &triple.object),
+        ];
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                if let (TermPattern::Var(a), TermPattern::Var(b)) = (positions[i].0, positions[j].0) {
+                    if a == b && positions[i].1 != positions[j].1 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The set of variables occurring in the pattern — `var(t)` of Pérez
+    /// et al. (Sect. IV-B). Deduplicated, in first-occurrence order.
+    pub fn variables(&self) -> Vec<&Variable> {
+        let mut out: Vec<&Variable> = Vec::with_capacity(3);
+        for tp in [&self.subject, &self.predicate, &self.object] {
+            if let TermPattern::Var(v) = tp {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialized size in bytes (for shipping sub-queries over the network).
+    pub fn serialized_len(&self) -> usize {
+        fn len(tp: &TermPattern) -> usize {
+            match tp {
+                TermPattern::Var(v) => v.as_str().len() + 1,
+                TermPattern::Const(t) => t.serialized_len(),
+            }
+        }
+        len(&self.subject) + len(&self.predicate) + len(&self.object) + 4
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn triple_display_is_ntriples_statement() {
+        let tr = Triple::new(Term::iri("http://e/s"), Term::iri("http://e/p"), Term::literal("v"));
+        assert_eq!(tr.to_string(), "<http://e/s> <http://e/p> \"v\" .");
+        assert_eq!(tr.serialized_len(), tr.to_string().len());
+    }
+
+    #[test]
+    fn pattern_kind_classification_covers_all_eight() {
+        use PatternKind::*;
+        let s = || TermPattern::Const(Term::iri("http://e/s"));
+        let p = || TermPattern::Const(Term::iri("http://e/p"));
+        let o = || TermPattern::Const(Term::iri("http://e/o"));
+        let v = |n: &str| TermPattern::var(n);
+        let cases = [
+            (TriplePattern::new(v("s"), v("p"), v("o")), None),
+            (TriplePattern::new(s(), v("p"), v("o")), S),
+            (TriplePattern::new(v("s"), p(), v("o")), P),
+            (TriplePattern::new(v("s"), v("p"), o()), O),
+            (TriplePattern::new(s(), p(), v("o")), SP),
+            (TriplePattern::new(v("s"), p(), o()), PO),
+            (TriplePattern::new(s(), v("p"), o()), SO),
+            (TriplePattern::new(s(), p(), o()), SPO),
+        ];
+        for (pat, kind) in cases {
+            assert_eq!(pat.kind(), kind, "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn bound_count_matches_kind() {
+        assert_eq!(PatternKind::None.bound_count(), 0);
+        assert_eq!(PatternKind::SO.bound_count(), 2);
+        assert_eq!(PatternKind::SPO.bound_count(), 3);
+    }
+
+    #[test]
+    fn pattern_matches_bound_positions() {
+        let pat = TriplePattern::new(
+            TermPattern::var("x"),
+            Term::iri("http://e/p"),
+            TermPattern::var("y"),
+        );
+        assert!(pat.matches(&t("http://e/a", "http://e/p", "http://e/b")));
+        assert!(!pat.matches(&t("http://e/a", "http://e/q", "http://e/b")));
+    }
+
+    #[test]
+    fn repeated_variable_requires_equal_terms() {
+        let pat = TriplePattern::new(
+            TermPattern::var("x"),
+            Term::iri("http://e/p"),
+            TermPattern::var("x"),
+        );
+        assert!(pat.matches(&t("http://e/a", "http://e/p", "http://e/a")));
+        assert!(!pat.matches(&t("http://e/a", "http://e/p", "http://e/b")));
+    }
+
+    #[test]
+    fn variables_are_deduplicated_in_order() {
+        let pat = TriplePattern::new(
+            TermPattern::var("x"),
+            TermPattern::var("p"),
+            TermPattern::var("x"),
+        );
+        let vars: Vec<&str> = pat.variables().iter().map(|v| v.as_str()).collect();
+        assert_eq!(vars, ["x", "p"]);
+    }
+
+    #[test]
+    fn pattern_serialized_len_counts_vars_with_sigil() {
+        let pat = TriplePattern::new(
+            TermPattern::var("x"),
+            Term::iri("http://e/p"),
+            TermPattern::var("y"),
+        );
+        // "?x" + space + "<http://e/p>" + space + "?y" + " ." == display length
+        assert_eq!(pat.serialized_len(), pat.to_string().len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Well-known vocabulary IRIs used throughout the system and the paper's
+//! running examples (FOAF, RDF, RDFS, XSD and the paper's `ns:` namespace).
+
+/// The RDF built-in vocabulary.
+pub mod rdf {
+    /// `rdf:type`.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// The namespace prefix IRI.
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+}
+
+/// The RDF Schema vocabulary.
+pub mod rdfs {
+    /// `rdfs:label`.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:subClassOf`.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// The namespace prefix IRI.
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:decimal`.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:dateTime`.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+
+    /// True if the IRI names an XSD numeric datatype we evaluate numerically.
+    pub fn is_numeric(iri: &str) -> bool {
+        matches!(
+            iri,
+            INTEGER
+                | DECIMAL
+                | DOUBLE
+                | "http://www.w3.org/2001/XMLSchema#float"
+                | "http://www.w3.org/2001/XMLSchema#long"
+                | "http://www.w3.org/2001/XMLSchema#int"
+                | "http://www.w3.org/2001/XMLSchema#short"
+                | "http://www.w3.org/2001/XMLSchema#byte"
+                | "http://www.w3.org/2001/XMLSchema#nonNegativeInteger"
+                | "http://www.w3.org/2001/XMLSchema#unsignedInt"
+        )
+    }
+}
+
+/// The FOAF vocabulary used by the paper's example queries (Figs. 4-9).
+pub mod foaf {
+    /// `foaf:name`.
+    pub const NAME: &str = "http://xmlns.com/foaf/0.1/name";
+    /// `foaf:knows`.
+    pub const KNOWS: &str = "http://xmlns.com/foaf/0.1/knows";
+    /// `foaf:nick`.
+    pub const NICK: &str = "http://xmlns.com/foaf/0.1/nick";
+    /// `foaf:mbox`.
+    pub const MBOX: &str = "http://xmlns.com/foaf/0.1/mbox";
+    /// `foaf:age` (used by range-query workloads).
+    pub const AGE: &str = "http://xmlns.com/foaf/0.1/age";
+    /// `foaf:Person`.
+    pub const PERSON: &str = "http://xmlns.com/foaf/0.1/Person";
+    /// The namespace prefix IRI.
+    pub const NS: &str = "http://xmlns.com/foaf/0.1/";
+}
+
+/// The paper's example application namespace (`ns:` in Figs. 4, 6 and 9).
+pub mod ns {
+    /// `ns:knowsNothingAbout` — the predicate of the paper's running example.
+    pub const KNOWS_NOTHING_ABOUT: &str = "http://example.org/ns#knowsNothingAbout";
+    /// The namespace prefix IRI.
+    pub const NS: &str = "http://example.org/ns#";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn numeric_datatype_detection() {
+        assert!(super::xsd::is_numeric(super::xsd::INTEGER));
+        assert!(super::xsd::is_numeric(super::xsd::DOUBLE));
+        assert!(!super::xsd::is_numeric(super::xsd::STRING));
+    }
+
+    #[test]
+    fn namespaces_are_prefixes_of_their_members() {
+        assert!(super::foaf::NAME.starts_with(super::foaf::NS));
+        assert!(super::ns::KNOWS_NOTHING_ABOUT.starts_with(super::ns::NS));
+        assert!(super::rdf::TYPE.starts_with(super::rdf::NS));
+    }
+}

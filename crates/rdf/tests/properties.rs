@@ -1,0 +1,122 @@
+//! Property-based tests for the RDF substrate.
+
+use proptest::prelude::*;
+use rdfmesh_rdf::{
+    ntriples, Literal, Term, TermPattern, Triple, TriplePattern, TripleStore,
+};
+
+/// Small alphabets force collisions, which is where bugs live.
+fn arb_iri() -> impl Strategy<Value = Term> {
+    (0u8..6).prop_map(|i| Term::iri(&format!("http://example.org/r{i}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-zA-Z0-9 \\\\\"\n\t]{0,12}".prop_map(|s| Term::Literal(Literal::plain(s))),
+        (any::<i64>()).prop_map(|n| Term::Literal(Literal::integer(n))),
+        ("[a-z]{1,6}", prop_oneof![Just("en"), Just("fr"), Just("zh-hans")])
+            .prop_map(|(s, tag)| Term::Literal(Literal::lang(s, tag))),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => arb_iri(),
+        3 => arb_literal(),
+        1 => (0u8..4).prop_map(|i| Term::blank(&format!("b{i}"))),
+    ]
+}
+
+prop_compose! {
+    fn arb_triple()(s in arb_iri(), p in arb_iri(), o in arb_term()) -> Triple {
+        Triple::new(s, p, o)
+    }
+}
+
+fn arb_position(bound: Term, var: &'static str) -> impl Strategy<Value = TermPattern> {
+    prop_oneof![
+        Just(TermPattern::Const(bound)),
+        Just(TermPattern::var(var)),
+    ]
+}
+
+prop_compose! {
+    /// A pattern whose bound positions come from `anchor`, so matches are
+    /// likely but not guaranteed.
+    fn arb_pattern()(anchor in arb_triple())
+        (s in arb_position(anchor.subject.clone(), "s"),
+         p in arb_position(anchor.predicate.clone(), "p"),
+         o in arb_position(anchor.object.clone(), "o")) -> TriplePattern {
+        TriplePattern::new(s, p, o)
+    }
+}
+
+proptest! {
+    #[test]
+    fn ntriples_round_trip(triples in proptest::collection::vec(arb_triple(), 0..20)) {
+        let doc = ntriples::write_document(&triples);
+        let parsed = ntriples::parse_document(&doc).expect("own output must parse");
+        prop_assert_eq!(parsed, triples);
+    }
+
+    #[test]
+    fn term_display_length_equals_serialized_len(t in arb_term()) {
+        prop_assert_eq!(t.serialized_len(), t.to_string().len());
+    }
+
+    #[test]
+    fn store_matches_naive_filter(
+        triples in proptest::collection::vec(arb_triple(), 0..40),
+        pattern in arb_pattern(),
+    ) {
+        let store = TripleStore::from_triples(triples.clone());
+        let mut expected: Vec<Triple> = triples
+            .iter()
+            .filter(|t| pattern.matches(t))
+            .cloned()
+            .collect();
+        expected.sort();
+        expected.dedup();
+        let mut got = store.match_pattern(&pattern);
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn store_insert_remove_is_setlike(
+        ops in proptest::collection::vec((arb_triple(), any::<bool>()), 0..60)
+    ) {
+        let mut store = TripleStore::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (t, insert) in &ops {
+            if *insert {
+                prop_assert_eq!(store.insert(t), model.insert(t.clone()));
+            } else {
+                prop_assert_eq!(store.remove(t), model.remove(t));
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        let mut got: Vec<Triple> = store.iter().collect();
+        got.sort();
+        let expected: Vec<Triple> = model.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn count_pattern_agrees_with_match_pattern(
+        triples in proptest::collection::vec(arb_triple(), 0..40),
+        pattern in arb_pattern(),
+    ) {
+        let store = TripleStore::from_triples(triples);
+        prop_assert_eq!(store.count_pattern(&pattern), store.match_pattern(&pattern).len());
+    }
+
+    #[test]
+    fn pattern_kind_bound_count_is_consistent(pattern in arb_pattern()) {
+        let bound = [&pattern.subject, &pattern.predicate, &pattern.object]
+            .iter()
+            .filter(|p| !p.is_var())
+            .count();
+        prop_assert_eq!(pattern.kind().bound_count(), bound);
+    }
+}

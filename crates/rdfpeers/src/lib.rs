@@ -1,0 +1,21 @@
+//! # rdfmesh-rdfpeers — the RDFPeers baseline
+//!
+//! A faithful re-implementation of the comparator system the paper
+//! positions itself against (Cai & Frank, "RDFPeers", WWW 2004): a
+//! scalable distributed RDF *repository* in which every triple is moved
+//! onto the Chord ring and stored at the successors of `hash(s)`,
+//! `hash(p)` and `hash(o)`. Includes the conjunctive candidate-subject
+//! intersection algorithm, locality-preserving hashing for numeric
+//! objects and ring-walking range queries.
+//!
+//! The paper's architecture differs by keeping data at its providers and
+//! distributing only a *location index*; §E12 quantifies the trade-off
+//! on identical workloads and cost models.
+
+#![warn(missing_docs)]
+
+pub mod lphash;
+pub mod repository;
+
+pub use lphash::{order_ranges, LocalityHash};
+pub use repository::{QueryReport, RdfPeers, RdfPeersError, StoreReport};

@@ -1,0 +1,112 @@
+//! Locality-preserving hashing for numeric objects.
+//!
+//! RDFPeers resolves range queries on `?o` "by using a uniform locality
+//! preserving hashing function and a range ordering algorithm" (paper
+//! Sect. II). Numeric literals map order-preservingly onto the ring, so
+//! a value range becomes a contiguous id arc whose owners are visited by
+//! walking successor pointers.
+
+use rdfmesh_chord::{Id, IdSpace};
+
+/// An order-preserving map from a numeric interval onto the identifier
+/// ring.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalityHash {
+    space: IdSpace,
+    min: f64,
+    max: f64,
+}
+
+impl LocalityHash {
+    /// A locality hash covering `[min, max]`. Values outside clamp.
+    pub fn new(space: IdSpace, min: f64, max: f64) -> Self {
+        assert!(max > min, "degenerate value range");
+        LocalityHash { space, min, max }
+    }
+
+    /// The ring position of a value. Monotone: `a ≤ b ⇒ hash(a) ≤ hash(b)`
+    /// (no wrap-around: the range maps into `[0, 2^m)` linearly).
+    pub fn hash(&self, value: f64) -> Id {
+        let clamped = value.clamp(self.min, self.max);
+        let unit = (clamped - self.min) / (self.max - self.min);
+        // Scale into the space, avoiding the exact top value.
+        let size = self.space.size() as f64;
+        let raw = (unit * (size - 1.0)).floor() as u64;
+        self.space.id(raw)
+    }
+
+    /// The inclusive id arc covering `[lo, hi]`.
+    pub fn range(&self, lo: f64, hi: f64) -> (Id, Id) {
+        (self.hash(lo.min(hi)), self.hash(lo.max(hi)))
+    }
+}
+
+/// Sorts query ranges ascending and merges overlaps — the "range
+/// ordering algorithm" that lets a disjunctive range query traverse the
+/// ring in a single pass.
+pub fn order_ranges(mut ranges: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    for r in &mut ranges {
+        if r.0 > r.1 {
+            *r = (r.1, r.0);
+        }
+    }
+    ranges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bounds"));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match merged.last_mut() {
+            Some(last) if r.0 <= last.1 => last.1 = last.1.max(r.1),
+            _ => merged.push(r),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp() -> LocalityHash {
+        LocalityHash::new(IdSpace::new(16), 0.0, 100.0)
+    }
+
+    #[test]
+    fn hash_is_monotone() {
+        let lp = lp();
+        let mut prev = lp.hash(0.0);
+        for i in 1..=100 {
+            let h = lp.hash(i as f64);
+            assert!(h >= prev, "value {i}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn endpoints_map_to_ring_extremes() {
+        let lp = lp();
+        assert_eq!(lp.hash(0.0), Id(0));
+        assert_eq!(lp.hash(100.0), Id((1 << 16) - 1));
+        // Clamping.
+        assert_eq!(lp.hash(-5.0), Id(0));
+        assert_eq!(lp.hash(2000.0), Id((1 << 16) - 1));
+    }
+
+    #[test]
+    fn range_orders_bounds() {
+        let lp = lp();
+        let (a, b) = lp.range(80.0, 20.0);
+        assert!(a <= b);
+        assert_eq!((a, b), lp.range(20.0, 80.0));
+    }
+
+    #[test]
+    fn order_ranges_sorts_and_merges() {
+        let out = order_ranges(vec![(50.0, 60.0), (10.0, 20.0), (15.0, 30.0), (90.0, 80.0)]);
+        assert_eq!(out, vec![(10.0, 30.0), (50.0, 60.0), (80.0, 90.0)]);
+    }
+
+    #[test]
+    fn order_ranges_handles_empty_and_single() {
+        assert!(order_ranges(vec![]).is_empty());
+        assert_eq!(order_ranges(vec![(3.0, 1.0)]), vec![(1.0, 3.0)]);
+    }
+}

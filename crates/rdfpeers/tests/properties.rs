@@ -1,0 +1,140 @@
+//! Property-based tests for the RDFPeers baseline.
+
+use proptest::prelude::*;
+use rdfmesh_chord::IdSpace;
+use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
+use rdfmesh_rdf::{Literal, Term, TermPattern, Triple, TriplePattern};
+use rdfmesh_rdfpeers::{order_ranges, LocalityHash, RdfPeers};
+
+fn net() -> Network {
+    Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5)
+}
+
+fn repo(node_count: u64) -> RdfPeers {
+    let mut r = RdfPeers::new(32, net(), 0.0, 100.0);
+    for i in 0..node_count {
+        let addr = NodeId(1000 + i);
+        r.add_node(addr, IdSpace::new(32).hash(&addr.0.to_be_bytes())).unwrap();
+    }
+    r
+}
+
+fn age_triple(subject: usize, age: i64) -> Triple {
+    Triple::new(
+        Term::iri(&format!("http://e/s{subject}")),
+        Term::iri("http://e/age"),
+        Term::Literal(Literal::integer(age)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn range_query_equals_naive_filter(
+        ages in proptest::collection::vec(0i64..100, 1..20),
+        lo in 0i64..100,
+        span in 0i64..100,
+    ) {
+        let hi = (lo + span).min(99);
+        let mut r = repo(5);
+        let triples: Vec<Triple> =
+            ages.iter().enumerate().map(|(i, &a)| age_triple(i, a)).collect();
+        r.store(NodeId(99), triples.clone()).unwrap();
+        let report = r
+            .range_query(NodeId(99), &Term::iri("http://e/age"), lo as f64, hi as f64)
+            .unwrap();
+        let mut expected: Vec<Triple> = triples
+            .iter()
+            .filter(|t| {
+                t.object
+                    .as_literal()
+                    .and_then(Literal::as_i64)
+                    .is_some_and(|a| a >= lo && a <= hi)
+            })
+            .cloned()
+            .collect();
+        expected.sort();
+        expected.dedup();
+        let mut got = report.matches.clone();
+        got.sort();
+        prop_assert_eq!(got, expected, "range [{}, {}]", lo, hi);
+    }
+
+    #[test]
+    fn single_pattern_queries_equal_naive_filter(
+        triples in proptest::collection::vec(
+            ((0u8..4), (0u8..3), (0u8..4)).prop_map(|(s, p, o)| Triple::new(
+                Term::iri(&format!("http://e/s{s}")),
+                Term::iri(&format!("http://e/p{p}")),
+                Term::iri(&format!("http://e/o{o}")),
+            )),
+            1..15,
+        ),
+        anchor in any::<prop::sample::Index>(),
+        shape in 0u8..3,
+    ) {
+        let mut r = repo(4);
+        r.store(NodeId(99), triples.clone()).unwrap();
+        let t = &triples[anchor.index(triples.len())];
+        let pattern = match shape {
+            0 => TriplePattern::new(t.subject.clone(), TermPattern::var("p"), TermPattern::var("o")),
+            1 => TriplePattern::new(TermPattern::var("s"), t.predicate.clone(), TermPattern::var("o")),
+            _ => TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), t.object.clone()),
+        };
+        let got = r.query(NodeId(99), &pattern).unwrap();
+        let mut expected: Vec<Triple> =
+            triples.iter().filter(|x| pattern.matches(x)).cloned().collect();
+        expected.sort();
+        expected.dedup();
+        let mut matches = got.matches.clone();
+        matches.sort();
+        prop_assert_eq!(matches, expected);
+    }
+
+    #[test]
+    fn locality_hash_is_monotone(space_bits in 8u32..32, a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let lp = LocalityHash::new(IdSpace::new(space_bits), 0.0, 100.0);
+        if a <= b {
+            prop_assert!(lp.hash(a) <= lp.hash(b));
+        } else {
+            prop_assert!(lp.hash(b) <= lp.hash(a));
+        }
+    }
+
+    #[test]
+    fn ordered_ranges_are_sorted_and_disjoint(
+        ranges in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..8),
+    ) {
+        let out = order_ranges(ranges);
+        for w in out.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "ranges {:?} overlap or misorder", w);
+        }
+        for (lo, hi) in &out {
+            prop_assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn departure_preserves_query_answers(
+        triples in proptest::collection::vec(
+            ((0u8..6), (0u8..2)).prop_map(|(s, p)| Triple::new(
+                Term::iri(&format!("http://e/s{s}")),
+                Term::iri(&format!("http://e/p{p}")),
+                Term::iri(&format!("http://e/o{s}")),
+            )),
+            1..12,
+        ),
+        victim in 0u64..5,
+    ) {
+        let mut r = repo(5);
+        r.store(NodeId(99), triples.clone()).unwrap();
+        let subject = triples[0].subject.clone();
+        let pattern =
+            TriplePattern::new(subject, TermPattern::var("p"), TermPattern::var("o"));
+        let before = r.query(NodeId(99), &pattern).unwrap().matches.len();
+        r.depart(NodeId(1000 + victim)).unwrap();
+        let after = r.query(NodeId(99), &pattern).unwrap().matches.len();
+        prop_assert_eq!(before, after, "graceful departure must not lose data");
+    }
+}

@@ -1,0 +1,143 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! Mirrors the paper's description of a SPARQL query's four building
+//! blocks (Sect. IV-A): the *query form*, the *dataset*, the *graph
+//! pattern* and the *solution sequence modifiers*. The AST stays close to
+//! the surface syntax; [`crate::algebra::translate`] converts it into the
+//! SPARQL algebra during Query Transformation (Fig. 3).
+
+use rdfmesh_rdf::{Iri, TriplePattern, Variable};
+
+use crate::expr::Expression;
+
+/// A parsed query before algebra translation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The query form (SELECT / CONSTRUCT / ASK / DESCRIBE).
+    pub form: QueryForm,
+    /// The RDF dataset specification (FROM / FROM NAMED). When empty, the
+    /// dataset is "the union of all triples stored in all storage nodes in
+    /// the system" (Sect. IV-A) — the case the paper focuses on.
+    pub dataset: Dataset,
+    /// The WHERE clause.
+    pub where_clause: GroupPattern,
+    /// Solution sequence modifiers.
+    pub modifiers: Modifiers,
+}
+
+/// The query form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    /// `SELECT [DISTINCT|REDUCED] ?v … | *`.
+    Select {
+        /// Duplicate-handling semantics.
+        duplicates: Duplicates,
+        /// Projected variables; empty means `*` (all in-scope variables).
+        projection: Vec<Variable>,
+    },
+    /// `ASK`.
+    Ask,
+    /// `CONSTRUCT { template }`.
+    Construct(Vec<TriplePattern>),
+    /// `DESCRIBE ?v … / <iri> …` (resources to describe).
+    Describe(Vec<DescribeTarget>),
+}
+
+/// What a DESCRIBE query describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DescribeTarget {
+    /// A variable bound by the WHERE clause.
+    Var(Variable),
+    /// A fixed IRI.
+    Iri(Iri),
+}
+
+/// Duplicate-handling of SELECT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Duplicates {
+    /// Keep duplicates (default).
+    #[default]
+    All,
+    /// `DISTINCT` — eliminate duplicates.
+    Distinct,
+    /// `REDUCED` — permitted (not required) to eliminate; we treat it as
+    /// DISTINCT, which the spec allows.
+    Reduced,
+}
+
+/// `FROM` / `FROM NAMED` clauses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    /// IRIs merged to form the default graph.
+    pub default: Vec<Iri>,
+    /// Named graph IRIs.
+    pub named: Vec<Iri>,
+}
+
+impl Dataset {
+    /// True when no dataset clause was given, i.e. the query ranges over
+    /// the whole data sharing system.
+    pub fn is_unspecified(&self) -> bool {
+        self.default.is_empty() && self.named.is_empty()
+    }
+}
+
+/// Solution sequence modifiers (Sect. IV-A lists Order, Projection,
+/// Distinct, Reduced, Offset and Limit).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Modifiers {
+    /// `ORDER BY` comparators, applied in sequence.
+    pub order_by: Vec<OrderComparator>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+    /// `OFFSET n`.
+    pub offset: Option<usize>,
+}
+
+/// One `ORDER BY` comparator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderComparator {
+    /// The sort key expression.
+    pub expression: Expression,
+    /// Sort direction.
+    pub descending: bool,
+}
+
+/// A group graph pattern `{ … }`: an ordered list of elements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// The elements in syntactic order.
+    pub elements: Vec<Element>,
+}
+
+/// One element of a group graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A block of triple patterns (concatenation via `.` — the paper's
+    /// AND operator).
+    Triples(Vec<TriplePattern>),
+    /// A nested group `{ … }` (possibly the start of a UNION chain; a
+    /// plain group is a one-branch union).
+    Union(Vec<GroupPattern>),
+    /// `OPTIONAL { … }` — the paper's OPT operator.
+    Optional(GroupPattern),
+    /// `FILTER expr` — applies to the whole enclosing group.
+    Filter(Expression),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_unspecified_detection() {
+        assert!(Dataset::default().is_unspecified());
+        let d = Dataset { default: vec![Iri::new("http://e/g").unwrap()], named: vec![] };
+        assert!(!d.is_unspecified());
+    }
+
+    #[test]
+    fn duplicates_default_is_all() {
+        assert_eq!(Duplicates::default(), Duplicates::All);
+    }
+}

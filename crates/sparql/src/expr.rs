@@ -1,0 +1,637 @@
+//! SPARQL expressions (`FILTER` conditions) and their evaluation.
+//!
+//! Implements the built-in conditions `R` of filter graph patterns
+//! (Sect. IV-G): logical connectives, comparisons, arithmetic and the
+//! builtin functions used in practice (`regex`, `bound`, `str`, `lang`,
+//! `datatype`, `isIRI`, `isBlank`, `isLiteral`, `sameTerm`,
+//! `langMatches`).
+//!
+//! Evaluation follows the W3C error semantics: a type error is a genuine
+//! third truth value — `FILTER` drops rows whose condition errors, and
+//! `||`/`&&` recover from errors when the other operand decides the
+//! result.
+
+use std::fmt;
+
+use rdfmesh_rdf::{Literal, Term, Variable};
+
+use crate::regex::Regex;
+use crate::solution::Solution;
+
+/// A SPARQL expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Var(Variable),
+    /// A constant RDF term (IRI or literal).
+    Const(Term),
+    /// `e1 || e2`.
+    Or(Box<Expression>, Box<Expression>),
+    /// `e1 && e2`.
+    And(Box<Expression>, Box<Expression>),
+    /// `! e`.
+    Not(Box<Expression>),
+    /// A comparison `e1 <op> e2`.
+    Compare(ComparisonOp, Box<Expression>, Box<Expression>),
+    /// An arithmetic operation `e1 <op> e2`.
+    Arith(ArithOp, Box<Expression>, Box<Expression>),
+    /// Unary minus.
+    Neg(Box<Expression>),
+    /// `BOUND(?v)`.
+    Bound(Variable),
+    /// `STR(e)`.
+    Str(Box<Expression>),
+    /// `LANG(e)`.
+    Lang(Box<Expression>),
+    /// `DATATYPE(e)`.
+    Datatype(Box<Expression>),
+    /// `isIRI(e)` / `isURI(e)`.
+    IsIri(Box<Expression>),
+    /// `isBLANK(e)`.
+    IsBlank(Box<Expression>),
+    /// `isLITERAL(e)`.
+    IsLiteral(Box<Expression>),
+    /// `sameTerm(e1, e2)`.
+    SameTerm(Box<Expression>, Box<Expression>),
+    /// `langMatches(e1, e2)`.
+    LangMatches(Box<Expression>, Box<Expression>),
+    /// `REGEX(text, pattern)` or `REGEX(text, pattern, flags)`.
+    Regex(Box<Expression>, Box<Expression>, Option<Box<Expression>>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An evaluation error (SPARQL type error). Filters treat it as "drop the
+/// row"; logical connectives may recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError(pub String);
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+type EvalResult = Result<Term, ExprError>;
+
+fn err(msg: impl Into<String>) -> ExprError {
+    ExprError(msg.into())
+}
+
+fn bool_term(b: bool) -> Term {
+    Term::Literal(Literal::boolean(b))
+}
+
+impl Expression {
+    /// Convenience: a boolean constant.
+    pub fn boolean(b: bool) -> Expression {
+        Expression::Const(bool_term(b))
+    }
+
+    /// All variables mentioned by the expression, deduplicated.
+    ///
+    /// This is the `vars(R)` used by the filter-pushing rewrite
+    /// (Sect. IV-G): a filter may be pushed into a sub-pattern only if
+    /// that sub-pattern binds every variable of the filter.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<Variable>) {
+        let mut push = |v: &Variable| {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match self {
+            Expression::Var(v) | Expression::Bound(v) => push(v),
+            Expression::Const(_) => {}
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Compare(_, a, b)
+            | Expression::Arith(_, a, b)
+            | Expression::SameTerm(a, b)
+            | Expression::LangMatches(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expression::Not(e)
+            | Expression::Neg(e)
+            | Expression::Str(e)
+            | Expression::Lang(e)
+            | Expression::Datatype(e)
+            | Expression::IsIri(e)
+            | Expression::IsBlank(e)
+            | Expression::IsLiteral(e) => e.collect_variables(out),
+            Expression::Regex(t, p, f) => {
+                t.collect_variables(out);
+                p.collect_variables(out);
+                if let Some(f) = f {
+                    f.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression under solution `µ`, producing a term.
+    pub fn evaluate(&self, solution: &Solution) -> EvalResult {
+        match self {
+            Expression::Var(v) => solution
+                .get(v)
+                .cloned()
+                .ok_or_else(|| err(format!("unbound variable {v}"))),
+            Expression::Const(t) => Ok(t.clone()),
+            Expression::Or(a, b) => {
+                // SPARQL 3-valued OR: true beats error.
+                let ra = a.evaluate(solution).and_then(|t| effective_boolean_value(&t));
+                let rb = b.evaluate(solution).and_then(|t| effective_boolean_value(&t));
+                match (ra, rb) {
+                    (Ok(true), _) | (_, Ok(true)) => Ok(bool_term(true)),
+                    (Ok(false), Ok(false)) => Ok(bool_term(false)),
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+            Expression::And(a, b) => {
+                let ra = a.evaluate(solution).and_then(|t| effective_boolean_value(&t));
+                let rb = b.evaluate(solution).and_then(|t| effective_boolean_value(&t));
+                match (ra, rb) {
+                    (Ok(false), _) | (_, Ok(false)) => Ok(bool_term(false)),
+                    (Ok(true), Ok(true)) => Ok(bool_term(true)),
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+            Expression::Not(e) => {
+                let v = e.evaluate(solution).and_then(|t| effective_boolean_value(&t))?;
+                Ok(bool_term(!v))
+            }
+            Expression::Compare(op, a, b) => {
+                let ta = a.evaluate(solution)?;
+                let tb = b.evaluate(solution)?;
+                compare_terms(*op, &ta, &tb).map(bool_term)
+            }
+            Expression::Arith(op, a, b) => {
+                let na = numeric(&a.evaluate(solution)?)?;
+                let nb = numeric(&b.evaluate(solution)?)?;
+                let r = match op {
+                    ArithOp::Add => na + nb,
+                    ArithOp::Sub => na - nb,
+                    ArithOp::Mul => na * nb,
+                    ArithOp::Div => {
+                        if nb == 0.0 {
+                            return Err(err("division by zero"));
+                        }
+                        na / nb
+                    }
+                };
+                Ok(number_term(r))
+            }
+            Expression::Neg(e) => {
+                let n = numeric(&e.evaluate(solution)?)?;
+                Ok(number_term(-n))
+            }
+            Expression::Bound(v) => Ok(bool_term(solution.get(v).is_some())),
+            Expression::Str(e) => {
+                let t = e.evaluate(solution)?;
+                match &t {
+                    Term::Iri(i) => Ok(Term::Literal(Literal::plain(i.as_str()))),
+                    Term::Literal(l) => Ok(Term::Literal(Literal::plain(l.lexical()))),
+                    Term::Blank(_) => Err(err("STR of a blank node")),
+                }
+            }
+            Expression::Lang(e) => match e.evaluate(solution)? {
+                Term::Literal(l) => Ok(Term::Literal(Literal::plain(l.language().unwrap_or("")))),
+                _ => Err(err("LANG of a non-literal")),
+            },
+            Expression::Datatype(e) => match e.evaluate(solution)? {
+                Term::Literal(l) => {
+                    let dt = match (l.datatype(), l.language()) {
+                        (Some(d), _) => d.as_str().to_string(),
+                        (None, None) => rdfmesh_rdf::vocab::xsd::STRING.to_string(),
+                        (None, Some(_)) => return Err(err("DATATYPE of a language-tagged literal")),
+                    };
+                    Ok(Term::iri(&dt))
+                }
+                _ => Err(err("DATATYPE of a non-literal")),
+            },
+            Expression::IsIri(e) => Ok(bool_term(e.evaluate(solution)?.is_iri())),
+            Expression::IsBlank(e) => Ok(bool_term(e.evaluate(solution)?.is_blank())),
+            Expression::IsLiteral(e) => Ok(bool_term(e.evaluate(solution)?.is_literal())),
+            Expression::SameTerm(a, b) => {
+                Ok(bool_term(a.evaluate(solution)? == b.evaluate(solution)?))
+            }
+            Expression::LangMatches(tag, range) => {
+                let tag = string_value(&tag.evaluate(solution)?)?;
+                let range = string_value(&range.evaluate(solution)?)?;
+                Ok(bool_term(lang_matches(&tag, &range)))
+            }
+            Expression::Regex(text, pattern, flags) => {
+                let text = string_value(&text.evaluate(solution)?)?;
+                let pattern = string_value(&pattern.evaluate(solution)?)?;
+                let flags = match flags {
+                    Some(f) => string_value(&f.evaluate(solution)?)?,
+                    None => String::new(),
+                };
+                let re = Regex::with_flags(&pattern, &flags).map_err(|e| err(e.to_string()))?;
+                Ok(bool_term(re.is_match(&text)))
+            }
+        }
+    }
+
+    /// Evaluates the expression as a filter condition: `true` only if it
+    /// evaluates without error to a term whose effective boolean value is
+    /// true.
+    pub fn satisfied_by(&self, solution: &Solution) -> bool {
+        self.evaluate(solution)
+            .and_then(|t| effective_boolean_value(&t))
+            .unwrap_or(false)
+    }
+
+    /// Serialized size in bytes when shipped inside a sub-query.
+    pub fn serialized_len(&self) -> usize {
+        // Conservative: structural nodes cost 2 bytes, leaves their text.
+        match self {
+            Expression::Var(v) => v.as_str().len() + 1,
+            Expression::Const(t) => t.serialized_len(),
+            Expression::Bound(v) => v.as_str().len() + 8,
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Compare(_, a, b)
+            | Expression::Arith(_, a, b)
+            | Expression::SameTerm(a, b)
+            | Expression::LangMatches(a, b) => 2 + a.serialized_len() + b.serialized_len(),
+            Expression::Not(e) | Expression::Neg(e) => 1 + e.serialized_len(),
+            Expression::Str(e)
+            | Expression::Lang(e)
+            | Expression::Datatype(e)
+            | Expression::IsIri(e)
+            | Expression::IsBlank(e)
+            | Expression::IsLiteral(e) => 6 + e.serialized_len(),
+            Expression::Regex(t, p, f) => {
+                7 + t.serialized_len()
+                    + p.serialized_len()
+                    + f.as_ref().map_or(0, |f| f.serialized_len())
+            }
+        }
+    }
+}
+
+/// The SPARQL effective boolean value (EBV) of a term.
+pub fn effective_boolean_value(term: &Term) -> Result<bool, ExprError> {
+    match term {
+        Term::Literal(l) => {
+            if let Some(dt) = l.datatype() {
+                if dt.as_str() == rdfmesh_rdf::vocab::xsd::BOOLEAN {
+                    return l.as_bool().ok_or_else(|| err("ill-formed boolean"));
+                }
+                if rdfmesh_rdf::vocab::xsd::is_numeric(dt.as_str()) {
+                    return Ok(l.as_f64().is_some_and(|n| n != 0.0));
+                }
+                if dt.as_str() == rdfmesh_rdf::vocab::xsd::STRING {
+                    return Ok(!l.lexical().is_empty());
+                }
+                return Err(err("no boolean value for this datatype"));
+            }
+            // Plain / language-tagged literals: non-empty string is true.
+            Ok(!l.lexical().is_empty())
+        }
+        _ => Err(err("EBV of a non-literal")),
+    }
+}
+
+fn numeric(term: &Term) -> Result<f64, ExprError> {
+    term.as_literal()
+        .and_then(Literal::as_f64)
+        .ok_or_else(|| err(format!("not a number: {term}")))
+}
+
+fn number_term(n: f64) -> Term {
+    if n.fract() == 0.0 && n.abs() < i64::MAX as f64 {
+        Term::Literal(Literal::integer(n as i64))
+    } else {
+        Term::Literal(Literal::double(n))
+    }
+}
+
+fn string_value(term: &Term) -> Result<String, ExprError> {
+    match term {
+        Term::Literal(l) => Ok(l.lexical().to_string()),
+        Term::Iri(i) => Ok(i.as_str().to_string()),
+        Term::Blank(_) => Err(err("string value of a blank node")),
+    }
+}
+
+fn lang_matches(tag: &str, range: &str) -> bool {
+    if tag.is_empty() {
+        return false;
+    }
+    if range == "*" {
+        return true;
+    }
+    let tag = tag.to_ascii_lowercase();
+    let range = range.to_ascii_lowercase();
+    tag == range || tag.starts_with(&format!("{range}-"))
+}
+
+/// SPARQL `=`/ordering comparison of two terms.
+fn compare_terms(op: ComparisonOp, a: &Term, b: &Term) -> Result<bool, ExprError> {
+    use ComparisonOp::*;
+    // Numeric comparison when both sides are numeric literals.
+    if let (Some(na), Some(nb)) = (
+        a.as_literal().and_then(Literal::as_f64),
+        b.as_literal().and_then(Literal::as_f64),
+    ) {
+        return Ok(match op {
+            Eq => na == nb,
+            Neq => na != nb,
+            Lt => na < nb,
+            Le => na <= nb,
+            Gt => na > nb,
+            Ge => na >= nb,
+        });
+    }
+    match op {
+        Eq => Ok(a == b),
+        Neq => Ok(a != b),
+        _ => {
+            // Ordering is defined for comparable literals (string compare
+            // of plain/string literals); anything else is a type error.
+            let sa = a
+                .as_literal()
+                .filter(|l| l.datatype().is_none() || l.datatype().map(|d| d.as_str()) == Some(rdfmesh_rdf::vocab::xsd::STRING))
+                .map(Literal::lexical);
+            let sb = b
+                .as_literal()
+                .filter(|l| l.datatype().is_none() || l.datatype().map(|d| d.as_str()) == Some(rdfmesh_rdf::vocab::xsd::STRING))
+                .map(Literal::lexical);
+            match (sa, sb) {
+                (Some(sa), Some(sb)) => Ok(match op {
+                    Lt => sa < sb,
+                    Le => sa <= sb,
+                    Gt => sa > sb,
+                    Ge => sa >= sb,
+                    _ => unreachable!(),
+                }),
+                _ => Err(err("terms are not order-comparable")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    fn sol(pairs: &[(&str, Term)]) -> Solution {
+        Solution::from_pairs(pairs.iter().map(|(n, t)| (v(n), t.clone())))
+    }
+
+    fn int(n: i64) -> Term {
+        Term::Literal(Literal::integer(n))
+    }
+
+    #[test]
+    fn variable_lookup_and_unbound_error() {
+        let s = sol(&[("x", int(5))]);
+        assert_eq!(Expression::Var(v("x")).evaluate(&s), Ok(int(5)));
+        assert!(Expression::Var(v("y")).evaluate(&s).is_err());
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let s = sol(&[("x", int(5))]);
+        let lt = Expression::Compare(
+            ComparisonOp::Lt,
+            Box::new(Expression::Var(v("x"))),
+            Box::new(Expression::Const(int(10))),
+        );
+        assert!(lt.satisfied_by(&s));
+        let gt = Expression::Compare(
+            ComparisonOp::Gt,
+            Box::new(Expression::Var(v("x"))),
+            Box::new(Expression::Const(int(10))),
+        );
+        assert!(!gt.satisfied_by(&s));
+    }
+
+    #[test]
+    fn string_ordering() {
+        let s = sol(&[("a", Term::literal("apple")), ("b", Term::literal("banana"))]);
+        let cmp = Expression::Compare(
+            ComparisonOp::Lt,
+            Box::new(Expression::Var(v("a"))),
+            Box::new(Expression::Var(v("b"))),
+        );
+        assert!(cmp.satisfied_by(&s));
+    }
+
+    #[test]
+    fn iri_equality_but_no_ordering() {
+        let s = sol(&[("x", Term::iri("http://e/a"))]);
+        let eq = Expression::Compare(
+            ComparisonOp::Eq,
+            Box::new(Expression::Var(v("x"))),
+            Box::new(Expression::Const(Term::iri("http://e/a"))),
+        );
+        assert!(eq.satisfied_by(&s));
+        let lt = Expression::Compare(
+            ComparisonOp::Lt,
+            Box::new(Expression::Var(v("x"))),
+            Box::new(Expression::Const(Term::iri("http://e/b"))),
+        );
+        assert!(lt.evaluate(&s).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let s = sol(&[("x", int(6))]);
+        let twice = Expression::Arith(
+            ArithOp::Mul,
+            Box::new(Expression::Var(v("x"))),
+            Box::new(Expression::Const(int(2))),
+        );
+        assert_eq!(twice.evaluate(&s), Ok(int(12)));
+        let div0 = Expression::Arith(
+            ArithOp::Div,
+            Box::new(Expression::Var(v("x"))),
+            Box::new(Expression::Const(int(0))),
+        );
+        assert!(div0.evaluate(&s).is_err());
+        let half = Expression::Arith(
+            ArithOp::Div,
+            Box::new(Expression::Const(int(3))),
+            Box::new(Expression::Const(int(2))),
+        );
+        assert_eq!(half.evaluate(&s).unwrap().as_literal().unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn bound_builtin() {
+        let s = sol(&[("x", int(1))]);
+        assert!(Expression::Bound(v("x")).satisfied_by(&s));
+        assert!(!Expression::Bound(v("y")).satisfied_by(&s));
+    }
+
+    #[test]
+    fn or_recovers_from_error() {
+        // (?missing < 3) || true  ==> true, per 3-valued logic.
+        let s = Solution::new();
+        let e = Expression::Or(
+            Box::new(Expression::Compare(
+                ComparisonOp::Lt,
+                Box::new(Expression::Var(v("missing"))),
+                Box::new(Expression::Const(int(3))),
+            )),
+            Box::new(Expression::boolean(true)),
+        );
+        assert!(e.satisfied_by(&s));
+        // false || error ==> error ==> filter drops.
+        let e2 = Expression::Or(
+            Box::new(Expression::boolean(false)),
+            Box::new(Expression::Var(v("missing"))),
+        );
+        assert!(!e2.satisfied_by(&s));
+    }
+
+    #[test]
+    fn and_short_circuits_errors_on_false() {
+        let s = Solution::new();
+        let e = Expression::And(
+            Box::new(Expression::boolean(false)),
+            Box::new(Expression::Var(v("missing"))),
+        );
+        assert_eq!(e.evaluate(&s), Ok(bool_term(false)));
+    }
+
+    #[test]
+    fn regex_builtin_matches_paper_example() {
+        // FILTER regex(?name, "Smith") from Fig. 4.
+        let s = sol(&[("name", Term::literal("Agent Smith"))]);
+        let e = Expression::Regex(
+            Box::new(Expression::Var(v("name"))),
+            Box::new(Expression::Const(Term::literal("Smith"))),
+            None,
+        );
+        assert!(e.satisfied_by(&s));
+        let s2 = sol(&[("name", Term::literal("Neo"))]);
+        assert!(!e.satisfied_by(&s2));
+    }
+
+    #[test]
+    fn regex_with_flags() {
+        let s = sol(&[("name", Term::literal("SMITH"))]);
+        let e = Expression::Regex(
+            Box::new(Expression::Var(v("name"))),
+            Box::new(Expression::Const(Term::literal("smith"))),
+            Some(Box::new(Expression::Const(Term::literal("i")))),
+        );
+        assert!(e.satisfied_by(&s));
+    }
+
+    #[test]
+    fn str_lang_datatype() {
+        let s = sol(&[
+            ("i", Term::iri("http://e/x")),
+            ("l", Term::Literal(Literal::lang("chat", "fr"))),
+            ("n", int(5)),
+        ]);
+        assert_eq!(
+            Expression::Str(Box::new(Expression::Var(v("i")))).evaluate(&s),
+            Ok(Term::literal("http://e/x"))
+        );
+        assert_eq!(
+            Expression::Lang(Box::new(Expression::Var(v("l")))).evaluate(&s),
+            Ok(Term::literal("fr"))
+        );
+        assert_eq!(
+            Expression::Datatype(Box::new(Expression::Var(v("n")))).evaluate(&s),
+            Ok(Term::iri(rdfmesh_rdf::vocab::xsd::INTEGER))
+        );
+    }
+
+    #[test]
+    fn type_check_builtins() {
+        let s = sol(&[("i", Term::iri("http://e/x")), ("l", Term::literal("a")), ("b", Term::blank("z"))]);
+        assert!(Expression::IsIri(Box::new(Expression::Var(v("i")))).satisfied_by(&s));
+        assert!(Expression::IsLiteral(Box::new(Expression::Var(v("l")))).satisfied_by(&s));
+        assert!(Expression::IsBlank(Box::new(Expression::Var(v("b")))).satisfied_by(&s));
+        assert!(!Expression::IsIri(Box::new(Expression::Var(v("l")))).satisfied_by(&s));
+    }
+
+    #[test]
+    fn same_term_is_exact() {
+        let s = sol(&[("a", int(1)), ("b", Term::literal("1"))]);
+        let e = Expression::SameTerm(
+            Box::new(Expression::Var(v("a"))),
+            Box::new(Expression::Var(v("b"))),
+        );
+        assert!(!e.satisfied_by(&s)); // 1^^xsd:integer != "1" as terms
+    }
+
+    #[test]
+    fn lang_matches_ranges() {
+        assert!(lang_matches("en", "en"));
+        assert!(lang_matches("en-us", "en"));
+        assert!(lang_matches("en", "*"));
+        assert!(!lang_matches("", "*"));
+        assert!(!lang_matches("fr", "en"));
+    }
+
+    #[test]
+    fn ebv_rules() {
+        assert_eq!(effective_boolean_value(&Term::literal("")), Ok(false));
+        assert_eq!(effective_boolean_value(&Term::literal("x")), Ok(true));
+        assert_eq!(effective_boolean_value(&int(0)), Ok(false));
+        assert_eq!(effective_boolean_value(&int(3)), Ok(true));
+        assert!(effective_boolean_value(&Term::iri("http://e/x")).is_err());
+    }
+
+    #[test]
+    fn variables_collects_all_mentions() {
+        let e = Expression::And(
+            Box::new(Expression::Regex(
+                Box::new(Expression::Var(v("name"))),
+                Box::new(Expression::Const(Term::literal("Smith"))),
+                None,
+            )),
+            Box::new(Expression::Bound(v("y"))),
+        );
+        let vars: Vec<String> = e.variables().iter().map(|x| x.as_str().to_string()).collect();
+        assert_eq!(vars, ["name", "y"]);
+    }
+}

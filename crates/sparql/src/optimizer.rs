@@ -1,0 +1,609 @@
+//! Algebraic query optimization.
+//!
+//! Implements the rewriting rules the paper imports from Schmidt et al.
+//! ("Foundations of SPARQL query optimization", Sect. II and IV-G) and
+//! from the relational tradition:
+//!
+//! * **Filter pushing** — a filter whose variables are certainly bound by
+//!   a sub-pattern moves into that sub-pattern (the Fig. 9 rewrite
+//!   `Filter(C1, LeftJoin(BGP(P1.P2), P3)) →
+//!   LeftJoin(Join(Filter(C1, P1), P2), P3)`), including distribution
+//!   over UNION and the splitting of conjunctive conditions.
+//! * **Join re-ordering** — AND is associative and commutative
+//!   (Sect. IV-D), so BGP members are re-ordered greedily: most selective
+//!   pattern first, then patterns sharing variables with what is already
+//!   bound. A pluggable cardinality estimator lets the distributed
+//!   planner feed location-table frequencies into the same rule.
+//! * **Constant folding** — variable-free subexpressions evaluate at plan
+//!   time; `FILTER(true)` disappears and `FILTER(false)` empties the
+//!   pattern.
+
+use rdfmesh_rdf::{TriplePattern, Variable};
+
+use crate::algebra::GraphPattern;
+use crate::expr::{effective_boolean_value, Expression};
+use crate::solution::Solution;
+
+/// Which rewrites to apply. All on by default; benches toggle individual
+/// rules to measure their effect (EXPERIMENTS.md §E4, §E8).
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    /// Enable filter pushing.
+    pub push_filters: bool,
+    /// Enable BGP join re-ordering.
+    pub reorder_bgps: bool,
+    /// Enable constant folding of filter expressions.
+    pub fold_constants: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig { push_filters: true, reorder_bgps: true, fold_constants: true }
+    }
+}
+
+impl OptimizerConfig {
+    /// A configuration with every rewrite disabled (the "basic query
+    /// processing" baseline of Sect. IV).
+    pub fn disabled() -> Self {
+        OptimizerConfig { push_filters: false, reorder_bgps: false, fold_constants: false }
+    }
+}
+
+/// Estimates the number of solutions a single triple pattern produces.
+///
+/// The default estimator uses only the pattern shape (more bound positions
+/// → more selective); the distributed planner substitutes location-table
+/// frequency sums (Table I) for real statistics.
+pub trait CardinalityEstimator {
+    /// Estimated solution count for `pattern`.
+    fn estimate(&self, pattern: &TriplePattern) -> u64;
+}
+
+/// Shape-based estimator: selectivity grows with the number of bound
+/// positions; predicates are assumed less selective than subjects/objects.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShapeEstimator;
+
+impl CardinalityEstimator for ShapeEstimator {
+    fn estimate(&self, pattern: &TriplePattern) -> u64 {
+        let mut est: u64 = 1_000_000;
+        if !pattern.subject.is_var() {
+            est /= 1000;
+        }
+        if !pattern.predicate.is_var() {
+            est /= 10;
+        }
+        if !pattern.object.is_var() {
+            est /= 100;
+        }
+        est.max(1)
+    }
+}
+
+/// Optimizes a graph pattern with the default estimator.
+pub fn optimize(pattern: GraphPattern, config: &OptimizerConfig) -> GraphPattern {
+    optimize_with(pattern, config, &ShapeEstimator)
+}
+
+/// Optimizes a graph pattern with a caller-supplied estimator.
+pub fn optimize_with<E: CardinalityEstimator>(
+    mut pattern: GraphPattern,
+    config: &OptimizerConfig,
+    estimator: &E,
+) -> GraphPattern {
+    if config.fold_constants {
+        pattern = fold_pattern(pattern);
+    }
+    if config.push_filters {
+        pattern = push_filters(pattern);
+    }
+    if config.reorder_bgps {
+        pattern = reorder(pattern, estimator);
+    }
+    pattern
+}
+
+// ---- constant folding --------------------------------------------------
+
+fn fold_pattern(pattern: GraphPattern) -> GraphPattern {
+    match pattern {
+        GraphPattern::Filter(e, p) => {
+            let p = fold_pattern(*p);
+            match fold_expression(e) {
+                Folded::True => p,
+                Folded::False => GraphPattern::Filter(
+                    Expression::boolean(false),
+                    Box::new(p),
+                ),
+                Folded::Expr(e) => GraphPattern::Filter(e, Box::new(p)),
+            }
+        }
+        GraphPattern::Join(a, b) => {
+            GraphPattern::Join(Box::new(fold_pattern(*a)), Box::new(fold_pattern(*b)))
+        }
+        GraphPattern::Union(a, b) => {
+            GraphPattern::Union(Box::new(fold_pattern(*a)), Box::new(fold_pattern(*b)))
+        }
+        GraphPattern::LeftJoin(a, b, e) => GraphPattern::LeftJoin(
+            Box::new(fold_pattern(*a)),
+            Box::new(fold_pattern(*b)),
+            e.map(|e| match fold_expression(e) {
+                Folded::True => Expression::boolean(true),
+                Folded::False => Expression::boolean(false),
+                Folded::Expr(e) => e,
+            }),
+        ),
+        bgp => bgp,
+    }
+}
+
+enum Folded {
+    True,
+    False,
+    Expr(Expression),
+}
+
+/// Folds variable-free subexpressions; `&&`/`||` simplify against their
+/// identities and absorbing elements.
+fn fold_expression(expr: Expression) -> Folded {
+    let folded = fold_inner(expr);
+    match &folded {
+        Expression::Const(t) => match effective_boolean_value(t) {
+            Ok(true) => Folded::True,
+            Ok(false) => Folded::False,
+            Err(_) => Folded::Expr(folded),
+        },
+        _ => Folded::Expr(folded),
+    }
+}
+
+fn fold_inner(expr: Expression) -> Expression {
+    // Recurse structurally first.
+    let expr = match expr {
+        Expression::And(a, b) => {
+            let a = fold_inner(*a);
+            let b = fold_inner(*b);
+            match (ebv_const(&a), ebv_const(&b)) {
+                (Some(false), _) | (_, Some(false)) => return Expression::boolean(false),
+                (Some(true), _) => return b,
+                (_, Some(true)) => return a,
+                _ => Expression::And(Box::new(a), Box::new(b)),
+            }
+        }
+        Expression::Or(a, b) => {
+            let a = fold_inner(*a);
+            let b = fold_inner(*b);
+            match (ebv_const(&a), ebv_const(&b)) {
+                (Some(true), _) | (_, Some(true)) => return Expression::boolean(true),
+                (Some(false), _) => return b,
+                (_, Some(false)) => return a,
+                _ => Expression::Or(Box::new(a), Box::new(b)),
+            }
+        }
+        Expression::Not(e) => Expression::Not(Box::new(fold_inner(*e))),
+        Expression::Compare(op, a, b) => {
+            Expression::Compare(op, Box::new(fold_inner(*a)), Box::new(fold_inner(*b)))
+        }
+        Expression::Arith(op, a, b) => {
+            Expression::Arith(op, Box::new(fold_inner(*a)), Box::new(fold_inner(*b)))
+        }
+        other => other,
+    };
+    // A variable-free expression evaluates now.
+    if expr.variables().is_empty() && !matches!(expr, Expression::Const(_)) {
+        if let Ok(t) = expr.evaluate(&Solution::new()) {
+            return Expression::Const(t);
+        }
+    }
+    expr
+}
+
+fn ebv_const(expr: &Expression) -> Option<bool> {
+    match expr {
+        Expression::Const(t) => effective_boolean_value(t).ok(),
+        _ => None,
+    }
+}
+
+// ---- filter pushing ------------------------------------------------------
+
+/// Splits a conjunction into its conjuncts.
+fn conjuncts(expr: Expression) -> Vec<Expression> {
+    match expr {
+        Expression::And(a, b) => {
+            let mut out = conjuncts(*a);
+            out.extend(conjuncts(*b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn conjoin(exprs: Vec<Expression>) -> Option<Expression> {
+    exprs.into_iter().reduce(|a, b| Expression::And(Box::new(a), Box::new(b)))
+}
+
+fn covers(vars: &[Variable], needed: &[Variable]) -> bool {
+    needed.iter().all(|v| vars.contains(v))
+}
+
+/// Pushes filters as deep as the certainly-bound-variables rule permits.
+pub fn push_filters(pattern: GraphPattern) -> GraphPattern {
+    match pattern {
+        GraphPattern::Filter(cond, inner) => {
+            let inner = push_filters(*inner);
+            let mut remaining = Vec::new();
+            let mut current = inner;
+            for c in conjuncts(cond) {
+                match try_push(c, current) {
+                    (None, p) => current = p,
+                    (Some(c), p) => {
+                        remaining.push(c);
+                        current = p;
+                    }
+                }
+            }
+            match conjoin(remaining) {
+                Some(c) => GraphPattern::Filter(c, Box::new(current)),
+                None => current,
+            }
+        }
+        GraphPattern::Join(a, b) => {
+            GraphPattern::Join(Box::new(push_filters(*a)), Box::new(push_filters(*b)))
+        }
+        GraphPattern::Union(a, b) => {
+            GraphPattern::Union(Box::new(push_filters(*a)), Box::new(push_filters(*b)))
+        }
+        GraphPattern::LeftJoin(a, b, e) => {
+            GraphPattern::LeftJoin(Box::new(push_filters(*a)), Box::new(push_filters(*b)), e)
+        }
+        bgp => bgp,
+    }
+}
+
+/// Attempts to push one conjunct into `pattern`. Returns the conjunct back
+/// (first component `Some`) when it must stay at this level.
+fn try_push(cond: Expression, pattern: GraphPattern) -> (Option<Expression>, GraphPattern) {
+    let needed = cond.variables();
+    match pattern {
+        GraphPattern::Join(a, b) => {
+            if covers(&a.certain_variables(), &needed) {
+                let (rest, a2) = try_push(cond, *a);
+                let a2 = match rest {
+                    Some(c) => GraphPattern::Filter(c, Box::new(a2)),
+                    None => a2,
+                };
+                (None, GraphPattern::Join(Box::new(a2), b))
+            } else if covers(&b.certain_variables(), &needed) {
+                let (rest, b2) = try_push(cond, *b);
+                let b2 = match rest {
+                    Some(c) => GraphPattern::Filter(c, Box::new(b2)),
+                    None => b2,
+                };
+                (None, GraphPattern::Join(a, Box::new(b2)))
+            } else {
+                (Some(cond), GraphPattern::Join(a, b))
+            }
+        }
+        GraphPattern::LeftJoin(a, b, e) => {
+            // Only the mandatory side may absorb the filter (pushing into
+            // the optional side would change which rows extend).
+            if covers(&a.certain_variables(), &needed) {
+                let (rest, a2) = try_push(cond, *a);
+                let a2 = match rest {
+                    Some(c) => GraphPattern::Filter(c, Box::new(a2)),
+                    None => a2,
+                };
+                (None, GraphPattern::LeftJoin(Box::new(a2), b, e))
+            } else {
+                (Some(cond), GraphPattern::LeftJoin(a, b, e))
+            }
+        }
+        GraphPattern::Union(a, b) => {
+            // Filter distributes over union unconditionally (Schmidt et
+            // al.), but only when both branches certainly bind the
+            // variables; otherwise the unbound-variable error semantics
+            // already drops those rows, so distribution stays sound for
+            // rows where the filter can hold.
+            let (ra, a2) = try_push(cond.clone(), *a);
+            let a2 = match ra {
+                Some(c) => GraphPattern::Filter(c, Box::new(a2)),
+                None => a2,
+            };
+            let (rb, b2) = try_push(cond, *b);
+            let b2 = match rb {
+                Some(c) => GraphPattern::Filter(c, Box::new(b2)),
+                None => b2,
+            };
+            (None, GraphPattern::Union(Box::new(a2), Box::new(b2)))
+        }
+        GraphPattern::Bgp(tps) => {
+            // The Fig. 9 rewrite: when a single member pattern binds all
+            // filter variables, split the BGP and attach the filter to
+            // that member so the (distributed) evaluation applies it at
+            // the data source.
+            if tps.len() > 1 {
+                if let Some(idx) = tps.iter().position(|tp| {
+                    let vars: Vec<Variable> = tp.variables().into_iter().cloned().collect();
+                    covers(&vars, &needed)
+                }) {
+                    let mut rest = tps.clone();
+                    let member = rest.remove(idx);
+                    let filtered =
+                        GraphPattern::Filter(cond, Box::new(GraphPattern::Bgp(vec![member])));
+                    return (
+                        None,
+                        GraphPattern::Join(Box::new(filtered), Box::new(GraphPattern::Bgp(rest))),
+                    );
+                }
+            }
+            let all: Vec<Variable> = GraphPattern::Bgp(tps.clone()).variables();
+            if covers(&all, &needed) {
+                (None, GraphPattern::Filter(cond, Box::new(GraphPattern::Bgp(tps))))
+            } else {
+                (Some(cond), GraphPattern::Bgp(tps))
+            }
+        }
+        GraphPattern::Filter(existing, p) => {
+            let (rest, p2) = try_push(cond, *p);
+            let inner = GraphPattern::Filter(existing, Box::new(p2));
+            (rest, inner)
+        }
+    }
+}
+
+// ---- join re-ordering ----------------------------------------------------
+
+fn reorder<E: CardinalityEstimator>(pattern: GraphPattern, estimator: &E) -> GraphPattern {
+    match pattern {
+        GraphPattern::Bgp(tps) => GraphPattern::Bgp(reorder_bgp(tps, estimator)),
+        GraphPattern::Join(a, b) => {
+            GraphPattern::Join(Box::new(reorder(*a, estimator)), Box::new(reorder(*b, estimator)))
+        }
+        GraphPattern::Union(a, b) => {
+            GraphPattern::Union(Box::new(reorder(*a, estimator)), Box::new(reorder(*b, estimator)))
+        }
+        GraphPattern::LeftJoin(a, b, e) => GraphPattern::LeftJoin(
+            Box::new(reorder(*a, estimator)),
+            Box::new(reorder(*b, estimator)),
+            e,
+        ),
+        GraphPattern::Filter(e, p) => GraphPattern::Filter(e, Box::new(reorder(*p, estimator))),
+    }
+}
+
+/// Greedy ordering: start from the lowest-cardinality pattern, then
+/// repeatedly take the connected (variable-sharing) pattern with the
+/// lowest estimate; fall back to the globally lowest when nothing
+/// connects (a cross product is unavoidable then anyway).
+pub fn reorder_bgp<E: CardinalityEstimator>(
+    mut tps: Vec<TriplePattern>,
+    estimator: &E,
+) -> Vec<TriplePattern> {
+    if tps.len() <= 1 {
+        return tps;
+    }
+    let mut ordered = Vec::with_capacity(tps.len());
+    let mut bound: Vec<Variable> = Vec::new();
+
+    let first = tps
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, tp)| estimator.estimate(tp))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let tp = tps.remove(first);
+    bound.extend(tp.variables().into_iter().cloned());
+    ordered.push(tp);
+
+    while !tps.is_empty() {
+        let connected = tps
+            .iter()
+            .enumerate()
+            .filter(|(_, tp)| tp.variables().iter().any(|v| bound.contains(v)))
+            .min_by_key(|(_, tp)| estimator.estimate(tp))
+            .map(|(i, _)| i);
+        let idx = connected.unwrap_or_else(|| {
+            tps.iter()
+                .enumerate()
+                .min_by_key(|(_, tp)| estimator.estimate(tp))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        });
+        let tp = tps.remove(idx);
+        for v in tp.variables() {
+            if !bound.contains(v) {
+                bound.push(v.clone());
+            }
+        }
+        ordered.push(tp);
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algebra, eval, parser};
+    use rdfmesh_rdf::{Term, TermPattern, Triple, TripleStore};
+
+    fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+        let part = |x: &str| {
+            if let Some(name) = x.strip_prefix('?') {
+                TermPattern::var(name)
+            } else {
+                TermPattern::Const(Term::iri(&format!("http://e/{x}")))
+            }
+        };
+        TriplePattern::new(part(s), part(p), part(o))
+    }
+
+    fn parse_pattern(src: &str) -> GraphPattern {
+        algebra::translate(&parser::parse(src).unwrap()).pattern
+    }
+
+    #[test]
+    fn fig9_filter_pushes_into_bgp_member() {
+        // Filter(C1, LeftJoin(BGP(P1.P2), BGP(P3), true)) →
+        // LeftJoin(Join(Filter(C1, BGP(P1)), BGP(P2)), BGP(P3), true)
+        let p = parse_pattern(
+            "SELECT * WHERE { ?x foaf:name ?name ; ns:knowsNothingAbout ?y . FILTER regex(?name, \"Smith\") OPTIONAL { ?y foaf:knows ?z . } }",
+        );
+        assert!(matches!(p, GraphPattern::Filter(_, _)));
+        let opt = push_filters(p);
+        // Top level must now be the LeftJoin, not the Filter.
+        let GraphPattern::LeftJoin(left, _, None) = opt else {
+            panic!("expected LeftJoin at top, got {opt}");
+        };
+        // Left side contains a filtered single-pattern BGP.
+        let GraphPattern::Join(fa, _) = *left else { panic!("expected Join inside") };
+        let GraphPattern::Filter(_, member) = *fa else { panic!("expected pushed Filter") };
+        assert_eq!(member.triple_pattern_count(), 1);
+    }
+
+    #[test]
+    fn filter_distributes_over_union() {
+        let p = GraphPattern::Filter(
+            Expression::Bound(Variable::new("x")),
+            Box::new(GraphPattern::Union(
+                Box::new(GraphPattern::Bgp(vec![tp("?x", "p", "?y")])),
+                Box::new(GraphPattern::Bgp(vec![tp("?x", "q", "?z")])),
+            )),
+        );
+        let opt = push_filters(p);
+        let GraphPattern::Union(a, b) = opt else { panic!("expected Union at top") };
+        assert!(matches!(*a, GraphPattern::Filter(_, _)));
+        assert!(matches!(*b, GraphPattern::Filter(_, _)));
+    }
+
+    #[test]
+    fn unpushable_filter_stays_at_top() {
+        // Condition spans variables from both join sides.
+        let p = GraphPattern::Filter(
+            Expression::Compare(
+                crate::expr::ComparisonOp::Eq,
+                Box::new(Expression::Var(Variable::new("y"))),
+                Box::new(Expression::Var(Variable::new("z"))),
+            ),
+            Box::new(GraphPattern::Join(
+                Box::new(GraphPattern::Bgp(vec![tp("?x", "p", "?y")])),
+                Box::new(GraphPattern::Bgp(vec![tp("?x", "q", "?z")])),
+            )),
+        );
+        let opt = push_filters(p.clone());
+        assert!(matches!(opt, GraphPattern::Filter(_, _)));
+    }
+
+    #[test]
+    fn conjunction_splits_and_pushes_partially() {
+        // (bound(?y) && ?y = ?z): first conjunct pushes left, second stays.
+        let cond = Expression::And(
+            Box::new(Expression::Bound(Variable::new("y"))),
+            Box::new(Expression::Compare(
+                crate::expr::ComparisonOp::Eq,
+                Box::new(Expression::Var(Variable::new("y"))),
+                Box::new(Expression::Var(Variable::new("z"))),
+            )),
+        );
+        let p = GraphPattern::Filter(
+            cond,
+            Box::new(GraphPattern::Join(
+                Box::new(GraphPattern::Bgp(vec![tp("?x", "p", "?y")])),
+                Box::new(GraphPattern::Bgp(vec![tp("?x", "q", "?z")])),
+            )),
+        );
+        let opt = push_filters(p);
+        let GraphPattern::Filter(stay, inner) = opt else { panic!("expected residual filter") };
+        assert!(matches!(stay, Expression::Compare(_, _, _)));
+        let GraphPattern::Join(a, _) = *inner else { panic!() };
+        assert!(matches!(*a, GraphPattern::Filter(_, _)));
+    }
+
+    #[test]
+    fn constant_folding_simplifies() {
+        let p = GraphPattern::Filter(
+            Expression::And(
+                Box::new(Expression::boolean(true)),
+                Box::new(Expression::Bound(Variable::new("x"))),
+            ),
+            Box::new(GraphPattern::Bgp(vec![tp("?x", "p", "?y")])),
+        );
+        let folded = fold_pattern(p);
+        let GraphPattern::Filter(e, _) = folded else { panic!() };
+        assert_eq!(e, Expression::Bound(Variable::new("x")));
+
+        // FILTER(2 < 1 || false) folds to FILTER(false).
+        let p = parse_pattern("SELECT * WHERE { ?x foaf:knows ?y . FILTER(2 < 1 || false) }");
+        let folded = fold_pattern(p);
+        let GraphPattern::Filter(e, _) = folded else { panic!() };
+        assert_eq!(ebv_const(&e), Some(false));
+
+        // FILTER(1 < 2) disappears entirely.
+        let p = parse_pattern("SELECT * WHERE { ?x foaf:knows ?y . FILTER(1 < 2) }");
+        assert!(matches!(fold_pattern(p), GraphPattern::Bgp(_)));
+    }
+
+    #[test]
+    fn reorder_prefers_selective_and_connected() {
+        // (?s ?p ?o) is least selective and should go last.
+        let tps = vec![
+            tp("?s", "?p", "?o"),
+            tp("?x", "knows", "?s"),
+            tp("alice", "knows", "?x"),
+        ];
+        let ordered = reorder_bgp(tps, &ShapeEstimator);
+        assert_eq!(ordered[0], tp("alice", "knows", "?x"));
+        assert_eq!(ordered[1], tp("?x", "knows", "?s"));
+        assert_eq!(ordered[2], tp("?s", "?p", "?o"));
+    }
+
+    #[test]
+    fn reorder_preserves_members() {
+        let tps = vec![tp("?a", "p", "?b"), tp("?b", "q", "?c"), tp("?c", "r", "?d")];
+        let ordered = reorder_bgp(tps.clone(), &ShapeEstimator);
+        assert_eq!(ordered.len(), tps.len());
+        for t in &tps {
+            assert!(ordered.contains(t));
+        }
+    }
+
+    /// End-to-end soundness: optimized plans return the same solutions.
+    #[test]
+    fn optimization_preserves_semantics() {
+        let mut store = TripleStore::new();
+        let person = |n: &str| Term::iri(&format!("http://example.org/{n}"));
+        let foaf = |p: &str| Term::iri(&format!("http://xmlns.com/foaf/0.1/{p}"));
+        for (a, b) in [("alice", "bob"), ("bob", "carol"), ("alice", "carol"), ("dave", "alice")] {
+            store.insert(&Triple::new(person(a), foaf("knows"), person(b)));
+        }
+        store.insert(&Triple::new(person("alice"), foaf("name"), Term::literal("Alice Smith")));
+        store.insert(&Triple::new(person("bob"), foaf("name"), Term::literal("Bob Smith")));
+        store.insert(&Triple::new(person("carol"), foaf("name"), Term::literal("Carol Jones")));
+
+        let queries = [
+            "SELECT * WHERE { ?x foaf:name ?n . ?x foaf:knows ?y . FILTER regex(?n, \"Smith\") }",
+            "SELECT * WHERE { ?x foaf:knows ?y . OPTIONAL { ?y foaf:name ?n . } FILTER bound(?x) }",
+            "SELECT * WHERE { { ?x foaf:knows ?y . } UNION { ?y foaf:knows ?x . } FILTER isIRI(?x) }",
+            "SELECT * WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . ?x foaf:name ?n . }",
+        ];
+        for q in queries {
+            let plain = parse_pattern(q);
+            let optimized = optimize(plain.clone(), &OptimizerConfig::default());
+            let mut a = eval::evaluate_pattern(&store, &plain);
+            let mut b = eval::evaluate_pattern(&store, &optimized);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "query {q} changed meaning:\n  {plain}\n  {optimized}");
+        }
+    }
+
+    #[test]
+    fn disabled_config_is_identity() {
+        let p = parse_pattern(
+            "SELECT * WHERE { ?x foaf:name ?n . ?x foaf:knows ?y . FILTER regex(?n, \"Smith\") }",
+        );
+        let same = optimize(p.clone(), &OptimizerConfig::disabled());
+        assert_eq!(p, same);
+    }
+}

@@ -1,0 +1,1023 @@
+//! Recursive-descent parser for the SPARQL subset.
+//!
+//! Produces the [`crate::ast`] types; use [`crate::parse_query`] for the
+//! one-call string → algebra pipeline. The grammar covers everything the
+//! paper uses (Sect. IV): the four query forms, `PREFIX`/`BASE`,
+//! `FROM`/`FROM NAMED`, group graph patterns with `.`-concatenation,
+//! `OPTIONAL`, `UNION` and `FILTER`, property/object lists (`;`, `,`),
+//! the `a` shorthand, and the `ORDER BY` / `LIMIT` / `OFFSET` /
+//! `DISTINCT` / `REDUCED` solution modifiers.
+//!
+//! For convenience in ad-hoc settings, the well-known prefixes `foaf:`,
+//! `ns:`, `rdf:`, `rdfs:` and `xsd:` are pre-declared (the paper's
+//! Figs. 5-9 use them without declaring them); an explicit `PREFIX`
+//! overrides the defaults.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rdfmesh_rdf::{vocab, Iri, Literal, Term, TermPattern, TriplePattern, Variable};
+
+use crate::ast::{
+    Dataset, DescribeTarget, Duplicates, Element, GroupPattern, Modifiers, OrderComparator, Query,
+    QueryForm,
+};
+use crate::expr::{ArithOp, ComparisonOp, Expression};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset in the query string.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { offset: e.offset, message: e.message }
+    }
+}
+
+/// Parses a SPARQL query string into an AST.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser::new(tokens);
+    let q = parser.parse_query()?;
+    parser.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    blank_counter: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        let mut prefixes = HashMap::new();
+        prefixes.insert("foaf".to_string(), vocab::foaf::NS.to_string());
+        prefixes.insert("ns".to_string(), vocab::ns::NS.to_string());
+        prefixes.insert("rdf".to_string(), vocab::rdf::NS.to_string());
+        prefixes.insert("rdfs".to_string(), vocab::rdfs::NS.to_string());
+        prefixes.insert("xsd".to_string(), "http://www.w3.org/2001/XMLSchema#".to_string());
+        Parser { tokens, pos: 0, prefixes, blank_counter: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.offset(), message: message.into() }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing {}", self.peek())))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        self.parse_prologue()?;
+        match self.peek().clone() {
+            TokenKind::Keyword(k) if k == "SELECT" => self.parse_select(),
+            TokenKind::Keyword(k) if k == "ASK" => self.parse_ask(),
+            TokenKind::Keyword(k) if k == "CONSTRUCT" => self.parse_construct(),
+            TokenKind::Keyword(k) if k == "DESCRIBE" => self.parse_describe(),
+            other => Err(self.err(format!(
+                "expected SELECT, ASK, CONSTRUCT or DESCRIBE, found {other}"
+            ))),
+        }
+    }
+
+    fn parse_prologue(&mut self) -> Result<(), ParseError> {
+        loop {
+            if self.eat_keyword("PREFIX") {
+                let TokenKind::PName(prefix, local) = self.bump() else {
+                    return Err(self.err("expected prefix name after PREFIX"));
+                };
+                if !local.is_empty() {
+                    return Err(self.err("prefix declaration must end with ':'"));
+                }
+                let TokenKind::IriRef(iri) = self.bump() else {
+                    return Err(self.err("expected IRI after prefix name"));
+                };
+                self.prefixes.insert(prefix, iri);
+            } else if self.eat_keyword("BASE") {
+                let TokenKind::IriRef(_) = self.bump() else {
+                    return Err(self.err("expected IRI after BASE"));
+                };
+                // BASE accepted and ignored: all our IRIs are absolute.
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let duplicates = if self.eat_keyword("DISTINCT") {
+            Duplicates::Distinct
+        } else if self.eat_keyword("REDUCED") {
+            Duplicates::Reduced
+        } else {
+            Duplicates::All
+        };
+        let mut projection = Vec::new();
+        if !self.eat(&TokenKind::Star) {
+            while let TokenKind::Var(name) = self.peek().clone() {
+                self.bump();
+                projection.push(Variable::new(name));
+            }
+            if projection.is_empty() {
+                return Err(self.err("SELECT needs '*' or at least one variable"));
+            }
+        }
+        let dataset = self.parse_dataset_clauses()?;
+        let where_clause = self.parse_where_clause()?;
+        let modifiers = self.parse_modifiers()?;
+        Ok(Query {
+            form: QueryForm::Select { duplicates, projection },
+            dataset,
+            where_clause,
+            modifiers,
+        })
+    }
+
+    fn parse_ask(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("ASK")?;
+        let dataset = self.parse_dataset_clauses()?;
+        let where_clause = self.parse_where_clause()?;
+        Ok(Query { form: QueryForm::Ask, dataset, where_clause, modifiers: Modifiers::default() })
+    }
+
+    fn parse_construct(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("CONSTRUCT")?;
+        self.expect(&TokenKind::LBrace)?;
+        let template = self.parse_triples_block()?;
+        self.expect(&TokenKind::RBrace)?;
+        let dataset = self.parse_dataset_clauses()?;
+        let where_clause = self.parse_where_clause()?;
+        let modifiers = self.parse_modifiers()?;
+        Ok(Query { form: QueryForm::Construct(template), dataset, where_clause, modifiers })
+    }
+
+    fn parse_describe(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("DESCRIBE")?;
+        let mut targets = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::Var(name) => {
+                    self.bump();
+                    targets.push(DescribeTarget::Var(Variable::new(name)));
+                }
+                TokenKind::IriRef(iri) => {
+                    self.bump();
+                    targets.push(DescribeTarget::Iri(
+                        Iri::new(iri).map_err(|e| self.err(e.to_string()))?,
+                    ));
+                }
+                TokenKind::PName(p, l) => {
+                    self.bump();
+                    let iri = self.resolve_pname(&p, &l)?;
+                    targets.push(DescribeTarget::Iri(iri));
+                }
+                _ => break,
+            }
+        }
+        if targets.is_empty() {
+            return Err(self.err("DESCRIBE needs at least one variable or IRI"));
+        }
+        let dataset = self.parse_dataset_clauses()?;
+        // DESCRIBE may omit the WHERE clause entirely.
+        let where_clause = if matches!(self.peek(), TokenKind::Keyword(k) if k == "WHERE")
+            || matches!(self.peek(), TokenKind::LBrace)
+        {
+            self.parse_where_clause()?
+        } else {
+            GroupPattern::default()
+        };
+        let modifiers = self.parse_modifiers()?;
+        Ok(Query { form: QueryForm::Describe(targets), dataset, where_clause, modifiers })
+    }
+
+    fn parse_dataset_clauses(&mut self) -> Result<Dataset, ParseError> {
+        let mut dataset = Dataset::default();
+        while self.eat_keyword("FROM") {
+            let named = self.eat_keyword("NAMED");
+            let iri = match self.bump() {
+                TokenKind::IriRef(iri) => Iri::new(iri).map_err(|e| self.err(e.to_string()))?,
+                TokenKind::PName(p, l) => self.resolve_pname(&p, &l)?,
+                other => return Err(self.err(format!("expected IRI after FROM, found {other}"))),
+            };
+            if named {
+                dataset.named.push(iri);
+            } else {
+                dataset.default.push(iri);
+            }
+        }
+        Ok(dataset)
+    }
+
+    fn parse_where_clause(&mut self) -> Result<GroupPattern, ParseError> {
+        self.eat_keyword("WHERE"); // optional keyword
+        self.parse_group_graph_pattern()
+    }
+
+    fn parse_group_graph_pattern(&mut self) -> Result<GroupPattern, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut elements = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    return Ok(GroupPattern { elements });
+                }
+                TokenKind::Eof => return Err(self.err("unterminated group graph pattern")),
+                TokenKind::Keyword(k) if k == "OPTIONAL" => {
+                    self.bump();
+                    let inner = self.parse_group_graph_pattern()?;
+                    elements.push(Element::Optional(inner));
+                    self.eat(&TokenKind::Dot);
+                }
+                TokenKind::Keyword(k) if k == "FILTER" => {
+                    self.bump();
+                    let expr = self.parse_constraint()?;
+                    elements.push(Element::Filter(expr));
+                    self.eat(&TokenKind::Dot);
+                }
+                TokenKind::LBrace => {
+                    let mut branches = vec![self.parse_group_graph_pattern()?];
+                    while self.eat_keyword("UNION") {
+                        branches.push(self.parse_group_graph_pattern()?);
+                    }
+                    elements.push(Element::Union(branches));
+                    self.eat(&TokenKind::Dot);
+                }
+                _ => {
+                    let triples = self.parse_triples_block()?;
+                    if triples.is_empty() {
+                        return Err(self.err(format!(
+                            "unexpected {} in group graph pattern",
+                            self.peek()
+                        )));
+                    }
+                    elements.push(Element::Triples(triples));
+                }
+            }
+        }
+    }
+
+    /// Parses a run of triples-same-subject productions separated by `.`.
+    fn parse_triples_block(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        let mut triples = Vec::new();
+        loop {
+            if !self.at_term_start() {
+                return Ok(triples);
+            }
+            // A blank-node property list may itself be the subject:
+            // `[ foaf:name "x" ] foaf:knows ?y .`
+            let subject = if self.peek() == &TokenKind::LBracket {
+                self.parse_bnode_property_list(&mut triples)?
+            } else {
+                self.parse_term_pattern()?
+            };
+            // A bare `[ ... ] .` with no following predicate is legal.
+            if matches!(self.peek(), TokenKind::Var(_))
+                || matches!(self.peek(), TokenKind::IriRef(_))
+                || matches!(self.peek(), TokenKind::PName(_, _))
+                || matches!(self.peek(), TokenKind::A)
+            {
+                self.parse_property_list(&subject, &mut triples)?;
+            }
+            if !self.eat(&TokenKind::Dot) {
+                return Ok(triples);
+            }
+        }
+    }
+
+    /// Parses `[ verb objectList (';' verb objectList)* ]`, emitting the
+    /// triples with a fresh blank-node subject; returns that subject.
+    fn parse_bnode_property_list(
+        &mut self,
+        triples: &mut Vec<TriplePattern>,
+    ) -> Result<TermPattern, ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        self.blank_counter += 1;
+        // Fresh non-distinguished variable (see parse_term_pattern on
+        // blank nodes).
+        let subject = TermPattern::var(&format!("_b{}", self.blank_counter));
+        if self.peek() != &TokenKind::RBracket {
+            self.parse_property_list(&subject, triples)?;
+        }
+        self.expect(&TokenKind::RBracket)?;
+        Ok(subject)
+    }
+
+    fn at_term_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Var(_)
+                | TokenKind::IriRef(_)
+                | TokenKind::PName(_, _)
+                | TokenKind::String(_)
+                | TokenKind::Integer(_)
+                | TokenKind::Decimal(_)
+                | TokenKind::Boolean(_)
+                | TokenKind::BlankNode(_)
+                | TokenKind::LBracket
+        )
+    }
+
+    /// Parses `verb objectList (';' verb objectList)*` for a fixed subject.
+    fn parse_property_list(
+        &mut self,
+        subject: &TermPattern,
+        triples: &mut Vec<TriplePattern>,
+    ) -> Result<(), ParseError> {
+        loop {
+            let predicate = self.parse_verb()?;
+            loop {
+                // Nested blank-node property lists desugar on the fly.
+                let object = if self.peek() == &TokenKind::LBracket {
+                    let mut nested = Vec::new();
+                    let node = self.parse_bnode_property_list(&mut nested)?;
+                    triples.extend(nested);
+                    node
+                } else {
+                    self.parse_term_pattern()?
+                };
+                triples.push(TriplePattern::new(
+                    subject.clone(),
+                    predicate.clone(),
+                    object,
+                ));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            if !self.eat(&TokenKind::Semicolon) {
+                return Ok(());
+            }
+            // A trailing `;` before `.` or `}` is allowed.
+            if !matches!(self.peek(), TokenKind::Var(_) | TokenKind::IriRef(_) | TokenKind::PName(_, _) | TokenKind::A)
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_verb(&mut self) -> Result<TermPattern, ParseError> {
+        match self.peek().clone() {
+            TokenKind::A => {
+                self.bump();
+                Ok(TermPattern::Const(Term::iri(vocab::rdf::TYPE)))
+            }
+            TokenKind::Var(name) => {
+                self.bump();
+                Ok(TermPattern::var(&name))
+            }
+            TokenKind::IriRef(iri) => {
+                self.bump();
+                Ok(TermPattern::Const(Term::Iri(
+                    Iri::new(iri).map_err(|e| self.err(e.to_string()))?,
+                )))
+            }
+            TokenKind::PName(p, l) => {
+                self.bump();
+                Ok(TermPattern::Const(Term::Iri(self.resolve_pname(&p, &l)?)))
+            }
+            other => Err(self.err(format!("expected predicate, found {other}"))),
+        }
+    }
+
+    fn parse_term_pattern(&mut self) -> Result<TermPattern, ParseError> {
+        match self.bump() {
+            TokenKind::Var(name) => Ok(TermPattern::var(&name)),
+            TokenKind::IriRef(iri) => Ok(TermPattern::Const(Term::Iri(
+                Iri::new(iri).map_err(|e| self.err(e.to_string()))?,
+            ))),
+            TokenKind::PName(p, l) => Ok(TermPattern::Const(Term::Iri(self.resolve_pname(&p, &l)?))),
+            // Blank nodes in query patterns are non-distinguished
+            // variables (W3C SPARQL semantics), not term constants.
+            TokenKind::BlankNode(label) => Ok(TermPattern::var(&format!("_{label}"))),
+            TokenKind::String(s) => {
+                // Optional language tag or datatype follows.
+                match self.peek().clone() {
+                    TokenKind::LangTag(tag) => {
+                        self.bump();
+                        Ok(TermPattern::Const(Term::Literal(Literal::lang(s, tag))))
+                    }
+                    TokenKind::DoubleCaret => {
+                        self.bump();
+                        let dt = match self.bump() {
+                            TokenKind::IriRef(iri) => {
+                                Iri::new(iri).map_err(|e| self.err(e.to_string()))?
+                            }
+                            TokenKind::PName(p, l) => self.resolve_pname(&p, &l)?,
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected datatype IRI after '^^', found {other}"
+                                )))
+                            }
+                        };
+                        Ok(TermPattern::Const(Term::Literal(Literal::typed(s, dt))))
+                    }
+                    _ => Ok(TermPattern::Const(Term::Literal(Literal::plain(s)))),
+                }
+            }
+            TokenKind::Integer(n) => {
+                Ok(TermPattern::Const(Term::Literal(Literal::integer(n))))
+            }
+            TokenKind::Decimal(d) => Ok(TermPattern::Const(Term::Literal(Literal::double(d)))),
+            TokenKind::Boolean(b) => Ok(TermPattern::Const(Term::Literal(Literal::boolean(b)))),
+            other => Err(self.err(format!("expected a term, found {other}"))),
+        }
+    }
+
+    fn resolve_pname(&self, prefix: &str, local: &str) -> Result<Iri, ParseError> {
+        let base = self.prefixes.get(prefix).ok_or_else(|| {
+            self.err(format!("undeclared prefix {prefix:?}"))
+        })?;
+        Iri::new(format!("{base}{local}")).map_err(|e| self.err(e.to_string()))
+    }
+
+    fn parse_modifiers(&mut self) -> Result<Modifiers, ParseError> {
+        let mut modifiers = Modifiers::default();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                match self.peek().clone() {
+                    TokenKind::Keyword(k) if k == "ASC" || k == "DESC" => {
+                        self.bump();
+                        self.expect(&TokenKind::LParen)?;
+                        let expression = self.parse_expression()?;
+                        self.expect(&TokenKind::RParen)?;
+                        modifiers
+                            .order_by
+                            .push(OrderComparator { expression, descending: k == "DESC" });
+                    }
+                    TokenKind::Var(name) => {
+                        self.bump();
+                        modifiers.order_by.push(OrderComparator {
+                            expression: Expression::Var(Variable::new(name)),
+                            descending: false,
+                        });
+                    }
+                    TokenKind::LParen => {
+                        self.bump();
+                        let expression = self.parse_expression()?;
+                        self.expect(&TokenKind::RParen)?;
+                        modifiers.order_by.push(OrderComparator { expression, descending: false });
+                    }
+                    _ => break,
+                }
+            }
+            if modifiers.order_by.is_empty() {
+                return Err(self.err("ORDER BY needs at least one comparator"));
+            }
+        }
+        // LIMIT and OFFSET may come in either order.
+        loop {
+            if self.eat_keyword("LIMIT") {
+                let TokenKind::Integer(n) = self.bump() else {
+                    return Err(self.err("expected integer after LIMIT"));
+                };
+                modifiers.limit = Some(usize::try_from(n).map_err(|_| self.err("negative LIMIT"))?);
+            } else if self.eat_keyword("OFFSET") {
+                let TokenKind::Integer(n) = self.bump() else {
+                    return Err(self.err("expected integer after OFFSET"));
+                };
+                modifiers.offset =
+                    Some(usize::try_from(n).map_err(|_| self.err("negative OFFSET"))?);
+            } else {
+                break;
+            }
+        }
+        Ok(modifiers)
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn parse_constraint(&mut self) -> Result<Expression, ParseError> {
+        match self.peek() {
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Keyword(_) => self.parse_builtin_call(),
+            other => Err(self.err(format!("expected FILTER constraint, found {other}"))),
+        }
+    }
+
+    fn parse_expression(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_and_expression()?;
+        while self.eat(&TokenKind::OrOr) {
+            let right = self.parse_and_expression()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and_expression(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_relational()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let right = self.parse_relational()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expression, ParseError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            TokenKind::Eq => ComparisonOp::Eq,
+            TokenKind::Neq => ComparisonOp::Neq,
+            TokenKind::Lt => ComparisonOp::Lt,
+            TokenKind::Le => ComparisonOp::Le,
+            TokenKind::Gt => ComparisonOp::Gt,
+            TokenKind::Ge => ComparisonOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_additive()?;
+        Ok(Expression::Compare(op, Box::new(left), Box::new(right)))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expression::Arith(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expression::Arith(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expression, ParseError> {
+        if self.eat(&TokenKind::Bang) {
+            return Ok(Expression::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.eat(&TokenKind::Minus) {
+            return Ok(Expression::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expression, ParseError> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Keyword(_) => self.parse_builtin_call(),
+            TokenKind::Var(name) => {
+                self.bump();
+                Ok(Expression::Var(Variable::new(name)))
+            }
+            TokenKind::IriRef(iri) => {
+                self.bump();
+                Ok(Expression::Const(Term::Iri(
+                    Iri::new(iri).map_err(|e| self.err(e.to_string()))?,
+                )))
+            }
+            TokenKind::PName(p, l) => {
+                self.bump();
+                Ok(Expression::Const(Term::Iri(self.resolve_pname(&p, &l)?)))
+            }
+            TokenKind::String(_)
+            | TokenKind::Integer(_)
+            | TokenKind::Decimal(_)
+            | TokenKind::Boolean(_) => {
+                let tp = self.parse_term_pattern()?;
+                match tp {
+                    TermPattern::Const(t) => Ok(Expression::Const(t)),
+                    TermPattern::Var(_) => unreachable!("literal tokens produce constants"),
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    fn parse_builtin_call(&mut self) -> Result<Expression, ParseError> {
+        let TokenKind::Keyword(name) = self.bump() else {
+            return Err(self.err("expected builtin function name"));
+        };
+        match name.as_str() {
+            "REGEX" => {
+                self.expect(&TokenKind::LParen)?;
+                let text = self.parse_expression()?;
+                self.expect(&TokenKind::Comma)?;
+                let pattern = self.parse_expression()?;
+                let flags = if self.eat(&TokenKind::Comma) {
+                    Some(Box::new(self.parse_expression()?))
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expression::Regex(Box::new(text), Box::new(pattern), flags))
+            }
+            "BOUND" => {
+                self.expect(&TokenKind::LParen)?;
+                let TokenKind::Var(v) = self.bump() else {
+                    return Err(self.err("BOUND takes a variable"));
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expression::Bound(Variable::new(v)))
+            }
+            "STR" => self.unary_builtin(Expression::Str),
+            "LANG" => self.unary_builtin(Expression::Lang),
+            "DATATYPE" => self.unary_builtin(Expression::Datatype),
+            "ISIRI" | "ISURI" => self.unary_builtin(Expression::IsIri),
+            "ISBLANK" => self.unary_builtin(Expression::IsBlank),
+            "ISLITERAL" => self.unary_builtin(Expression::IsLiteral),
+            "SAMETERM" => self.binary_builtin(Expression::SameTerm),
+            "LANGMATCHES" => self.binary_builtin(Expression::LangMatches),
+            other => Err(self.err(format!("unknown builtin {other}"))),
+        }
+    }
+
+    fn unary_builtin(
+        &mut self,
+        build: fn(Box<Expression>) -> Expression,
+    ) -> Result<Expression, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let e = self.parse_expression()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(build(Box::new(e)))
+    }
+
+    fn binary_builtin(
+        &mut self,
+        build: fn(Box<Expression>, Box<Expression>) -> Expression,
+    ) -> Result<Expression, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let a = self.parse_expression()?;
+        self.expect(&TokenKind::Comma)?;
+        let b = self.parse_expression()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(build(Box::new(a), Box::new(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Element;
+
+    #[test]
+    fn parses_paper_fig5_primitive_query() {
+        // Fig. 5 (transcribed to standard SPARQL syntax).
+        let q = parse("SELECT ?x WHERE { ?x foaf:knows ns:me . }").unwrap();
+        let QueryForm::Select { projection, .. } = &q.form else { panic!() };
+        assert_eq!(projection.len(), 1);
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps.len(), 1);
+        assert_eq!(
+            tps[0].predicate.as_const().unwrap(),
+            &Term::iri("http://xmlns.com/foaf/0.1/knows")
+        );
+        assert_eq!(
+            tps[0].object.as_const().unwrap(),
+            &Term::iri("http://example.org/ns#me")
+        );
+    }
+
+    #[test]
+    fn parses_paper_fig6_conjunction() {
+        let q = parse(
+            "SELECT ?x ?y ?z WHERE { ?x foaf:knows ?z . ?x ns:knowsNothingAbout ?y . }",
+        )
+        .unwrap();
+        let all: usize = q
+            .where_clause
+            .elements
+            .iter()
+            .map(|e| match e {
+                Element::Triples(t) => t.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(all, 2);
+    }
+
+    #[test]
+    fn parses_paper_fig7_optional() {
+        let q = parse(
+            "SELECT ?x ?y WHERE { ?x foaf:name \"Smith\" . ?x foaf:knows ?y . OPTIONAL { ?y foaf:nick \"Shrek\" . } }",
+        )
+        .unwrap();
+        assert!(q
+            .where_clause
+            .elements
+            .iter()
+            .any(|e| matches!(e, Element::Optional(_))));
+    }
+
+    #[test]
+    fn parses_paper_fig8_union() {
+        let q = parse(
+            "SELECT ?x ?y ?z WHERE { { ?x foaf:name \"Smith\" . ?x foaf:knows ?y . } UNION { ?x foaf:mbox <mailto:abc@example.org> . ?x foaf:knows ?z . } }",
+        )
+        .unwrap();
+        let Element::Union(branches) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(branches.len(), 2);
+    }
+
+    #[test]
+    fn parses_paper_fig9_filter_with_semicolon_property_list() {
+        let q = parse(
+            "SELECT ?x ?y ?z WHERE { ?x foaf:name ?name ; ns:knowsNothingAbout ?y . FILTER regex(?name, \"Smith\") OPTIONAL { ?y foaf:knows ?z . } }",
+        )
+        .unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps.len(), 2);
+        // Both triples share subject ?x via the ';' shorthand.
+        assert_eq!(tps[0].subject, tps[1].subject);
+        assert!(q.where_clause.elements.iter().any(|e| matches!(e, Element::Filter(_))));
+        assert!(q.where_clause.elements.iter().any(|e| matches!(e, Element::Optional(_))));
+    }
+
+    #[test]
+    fn parses_fig4_full_query_with_modifiers() {
+        // Fig. 4, transcribed: the figure places ORDER BY inside the braces,
+        // which the official grammar does not allow; we write it after.
+        let q = parse(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             PREFIX ns: <http://example.org/ns#>\n\
+             SELECT ?x ?y ?z\n\
+             FROM <http://example.org/foaf/xyzFoaf>\n\
+             WHERE {\n\
+               ?x foaf:name ?name .\n\
+               ?x foaf:knows ?z .\n\
+               ?x ns:knowsNothingAbout ?y .\n\
+               ?y foaf:knows ?z .\n\
+               FILTER regex(?name, \"Smith\")\n\
+             }\n\
+             ORDER BY DESC(?x)",
+        )
+        .unwrap();
+        assert_eq!(q.dataset.default.len(), 1);
+        assert!(!q.dataset.is_unspecified());
+        assert_eq!(q.modifiers.order_by.len(), 1);
+        assert!(q.modifiers.order_by[0].descending);
+    }
+
+    #[test]
+    fn parses_object_lists_with_comma() {
+        let q = parse("SELECT * WHERE { ?x foaf:knows ?a, ?b . }").unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps.len(), 2);
+        assert_eq!(tps[0].predicate, tps[1].predicate);
+    }
+
+    #[test]
+    fn parses_a_shorthand() {
+        let q = parse("SELECT * WHERE { ?x a foaf:Person . }").unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps[0].predicate.as_const().unwrap(), &Term::iri(vocab::rdf::TYPE));
+    }
+
+    #[test]
+    fn parses_ask_and_construct_and_describe() {
+        assert!(matches!(
+            parse("ASK { ?x foaf:knows ?y . }").unwrap().form,
+            QueryForm::Ask
+        ));
+        let c = parse("CONSTRUCT { ?x foaf:knows ?y . } WHERE { ?y foaf:knows ?x . }").unwrap();
+        assert!(matches!(c.form, QueryForm::Construct(ref t) if t.len() == 1));
+        let d = parse("DESCRIBE ?x WHERE { ?x foaf:name \"Smith\" . }").unwrap();
+        assert!(matches!(d.form, QueryForm::Describe(ref t) if t.len() == 1));
+        let d2 = parse("DESCRIBE <http://example.org/alice>").unwrap();
+        assert!(matches!(d2.form, QueryForm::Describe(_)));
+    }
+
+    #[test]
+    fn parses_distinct_limit_offset() {
+        let q = parse("SELECT DISTINCT ?x WHERE { ?x foaf:knows ?y . } LIMIT 10 OFFSET 5").unwrap();
+        let QueryForm::Select { duplicates, .. } = q.form else { panic!() };
+        assert_eq!(duplicates, Duplicates::Distinct);
+        assert_eq!(q.modifiers.limit, Some(10));
+        assert_eq!(q.modifiers.offset, Some(5));
+    }
+
+    #[test]
+    fn parses_numeric_filter_expressions() {
+        let q = parse("SELECT ?x WHERE { ?x foaf:age ?a . FILTER (?a >= 18 && ?a < 65) }").unwrap();
+        let Element::Filter(Expression::And(_, _)) = &q.where_clause.elements[1] else {
+            panic!("expected AND filter")
+        };
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let q = parse("SELECT ?x WHERE { ?x foaf:age ?a . FILTER (?a + 2 * 3 = 10) }").unwrap();
+        let Element::Filter(Expression::Compare(ComparisonOp::Eq, lhs, _)) =
+            &q.where_clause.elements[1]
+        else {
+            panic!()
+        };
+        // + binds looser than *: (?a + (2*3))
+        assert!(matches!(**lhs, Expression::Arith(ArithOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parses_nested_optional_and_union() {
+        let q = parse(
+            "SELECT * WHERE { ?x foaf:knows ?y . OPTIONAL { { ?y foaf:nick ?n . } UNION { ?y foaf:name ?n . } } }",
+        )
+        .unwrap();
+        let Element::Optional(inner) = &q.where_clause.elements[1] else { panic!() };
+        assert!(matches!(inner.elements[0], Element::Union(_)));
+    }
+
+    #[test]
+    fn prefix_declaration_overrides_default() {
+        let q = parse(
+            "PREFIX foaf: <http://other.example/f#> SELECT * WHERE { ?x foaf:p ?y . }",
+        )
+        .unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(
+            tps[0].predicate.as_const().unwrap(),
+            &Term::iri("http://other.example/f#p")
+        );
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        assert!(parse("SELECT * WHERE { ?x nope:p ?y . }").is_err());
+    }
+
+    #[test]
+    fn typed_and_tagged_literals_in_patterns() {
+        let q = parse("SELECT * WHERE { ?x foaf:age \"42\"^^xsd:integer ; foaf:name \"Bob\"@en . }")
+            .unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        let lit = tps[0].object.as_const().unwrap().as_literal().unwrap();
+        assert_eq!(lit.as_i64(), Some(42));
+        let lit2 = tps[1].object.as_const().unwrap().as_literal().unwrap();
+        assert_eq!(lit2.language(), Some("en"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT WHERE { ?x foaf:knows ?y . }").is_err()); // no projection
+        assert!(parse("SELECT ?x WHERE { ?x foaf:knows ?y ").is_err()); // unterminated
+        assert!(parse("SELECT ?x { ?x } ").is_err()); // incomplete triple
+        assert!(parse("FROB ?x { }").is_err()); // unknown form
+        assert!(parse("SELECT ?x WHERE { } LIMIT -3").is_err()); // negative limit
+        assert!(parse("SELECT ?x WHERE { } extra").is_err()); // trailing junk
+    }
+
+    #[test]
+    fn where_keyword_is_optional() {
+        assert!(parse("SELECT ?x { ?x foaf:knows ?y . }").is_ok());
+    }
+
+    #[test]
+    fn bnode_property_list_as_object() {
+        let q = parse("SELECT * WHERE { ?x foaf:knows [ foaf:name \"Bob\" ] . }").unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps.len(), 2);
+        // The generated node is a non-distinguished variable shared
+        // between the nested triple's subject and the outer object.
+        assert!(tps[0].subject.is_var());
+        assert_eq!(tps[1].object, tps[0].subject, "object links to the bnode");
+    }
+
+    #[test]
+    fn bnode_property_list_as_subject() {
+        let q = parse("SELECT * WHERE { [ foaf:name \"Ann\" ; foaf:age 30 ] foaf:knows ?y . }")
+            .unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps.len(), 3);
+        let subject = tps[0].subject.clone();
+        assert!(tps.iter().all(|t| t.subject == subject));
+    }
+
+    #[test]
+    fn bare_bnode_property_list_statement() {
+        let q = parse("SELECT * WHERE { [ foaf:name ?n ] . }").unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps.len(), 1);
+    }
+
+    #[test]
+    fn nested_bnode_property_lists() {
+        let q = parse(
+            "SELECT * WHERE { ?x foaf:knows [ foaf:knows [ foaf:name ?n ] ] . }",
+        )
+        .unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(tps.len(), 3);
+        // Two distinct generated non-distinguished variables.
+        let generated: std::collections::BTreeSet<String> = tps
+            .iter()
+            .flat_map(|t| [&t.subject, &t.object])
+            .filter_map(|p| p.as_var())
+            .filter(|v| v.as_str().starts_with("_b"))
+            .map(|v| v.as_str().to_string())
+            .collect();
+        assert_eq!(generated.len(), 2);
+    }
+
+    #[test]
+    fn unclosed_bracket_is_an_error() {
+        assert!(parse("SELECT * WHERE { ?x foaf:knows [ foaf:name ?n . }").is_err());
+    }
+
+    #[test]
+    fn blank_nodes_in_patterns_are_nondistinguished_variables() {
+        let q = parse("SELECT * WHERE { _:b foaf:knows ?y . _:b foaf:name ?n . }").unwrap();
+        let Element::Triples(tps) = &q.where_clause.elements[0] else { panic!() };
+        assert!(tps[0].subject.is_var());
+        // The same label references the same variable (joins correctly).
+        assert_eq!(tps[0].subject, tps[1].subject);
+    }
+}

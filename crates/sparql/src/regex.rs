@@ -1,0 +1,461 @@
+//! A small regular-expression engine for SPARQL's `regex()` builtin.
+//!
+//! Implemented in-tree (the sanctioned dependency list has no regex
+//! crate). Supports the subset that SPARQL filters in practice use —
+//! and everything the paper's examples need (`regex(?name, "Smith")`):
+//!
+//! * literal characters, `.`
+//! * character classes `[abc]`, ranges `[a-z]`, negation `[^...]`
+//! * anchors `^` and `$`
+//! * quantifiers `*`, `+`, `?` (greedy, with backtracking)
+//! * alternation `|` and grouping `(...)`
+//! * escapes `\.` `\\` `\d` `\w` `\s` (and their literal forms)
+//! * the `i` (case-insensitive) flag of `regex(str, pattern, flags)`
+//!
+//! Matching is *search* semantics (the pattern may match anywhere in the
+//! input), per the XPath `fn:matches` behaviour SPARQL inherits.
+
+use std::fmt;
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    node: Node,
+    case_insensitive: bool,
+}
+
+/// Errors raised when compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regular expression: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Empty,
+    Char(char),
+    AnyChar,
+    Class { negated: bool, items: Vec<ClassItem> },
+    StartAnchor,
+    EndAnchor,
+    Concat(Vec<Node>),
+    Alternate(Vec<Node>),
+    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit,
+    Word,
+    Space,
+}
+
+impl Regex {
+    /// Compiles `pattern` with the given SPARQL flags string (only `i` is
+    /// recognized; other flags are rejected).
+    pub fn with_flags(pattern: &str, flags: &str) -> Result<Self, RegexError> {
+        let mut case_insensitive = false;
+        for f in flags.chars() {
+            match f {
+                'i' => case_insensitive = true,
+                's' | 'm' | 'x' => {
+                    return Err(RegexError(format!("flag {f:?} not supported")));
+                }
+                other => return Err(RegexError(format!("unknown flag {other:?}"))),
+            }
+        }
+        let mut p = Parser { chars: pattern.chars().collect(), pos: 0 };
+        let node = p.parse_alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(RegexError(format!("unexpected {:?} at {}", p.chars[p.pos], p.pos)));
+        }
+        Ok(Regex { node, case_insensitive })
+    }
+
+    /// Compiles `pattern` with no flags.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        Self::with_flags(pattern, "")
+    }
+
+    /// True if the pattern matches anywhere in `input`.
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            input.chars().flat_map(char::to_lowercase).collect()
+        } else {
+            input.chars().collect()
+        };
+        let node = if self.case_insensitive { self.node.lowercased() } else { self.node.clone() };
+        for start in 0..=chars.len() {
+            if match_node(&node, &chars, start, start == 0, &mut |_| true) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Node {
+    fn lowercased(&self) -> Node {
+        match self {
+            Node::Char(c) => Node::Char(c.to_lowercase().next().unwrap_or(*c)),
+            Node::Class { negated, items } => Node::Class {
+                negated: *negated,
+                items: items
+                    .iter()
+                    .map(|i| match i {
+                        ClassItem::Char(c) => {
+                            ClassItem::Char(c.to_lowercase().next().unwrap_or(*c))
+                        }
+                        ClassItem::Range(a, b) => ClassItem::Range(
+                            a.to_lowercase().next().unwrap_or(*a),
+                            b.to_lowercase().next().unwrap_or(*b),
+                        ),
+                        other => other.clone(),
+                    })
+                    .collect(),
+            },
+            Node::Concat(ns) => Node::Concat(ns.iter().map(Node::lowercased).collect()),
+            Node::Alternate(ns) => Node::Alternate(ns.iter().map(Node::lowercased).collect()),
+            Node::Repeat { node, min, max } => {
+                Node::Repeat { node: Box::new(node.lowercased()), min: *min, max: *max }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// Backtracking matcher: tries to match `node` at `pos`, invoking `k`
+/// (the continuation) with the position after the match. `at_start` is
+/// true when `pos` 0 corresponds to the true start of input.
+fn match_node(
+    node: &Node,
+    input: &[char],
+    pos: usize,
+    at_start: bool,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match node {
+        Node::Empty => k(pos),
+        Node::Char(c) => pos < input.len() && input[pos] == *c && k(pos + 1),
+        Node::AnyChar => pos < input.len() && k(pos + 1),
+        Node::Class { negated, items } => {
+            if pos >= input.len() {
+                return false;
+            }
+            let c = input[pos];
+            let inside = items.iter().any(|item| match item {
+                ClassItem::Char(x) => c == *x,
+                ClassItem::Range(a, b) => (*a..=*b).contains(&c),
+                ClassItem::Digit => c.is_ascii_digit(),
+                ClassItem::Word => c.is_alphanumeric() || c == '_',
+                ClassItem::Space => c.is_whitespace(),
+            });
+            (inside != *negated) && k(pos + 1)
+        }
+        Node::StartAnchor => pos == 0 && at_start && k(pos),
+        Node::EndAnchor => pos == input.len() && k(pos),
+        Node::Concat(nodes) => match_seq(nodes, input, pos, at_start, k),
+        Node::Alternate(branches) => branches
+            .iter()
+            .any(|b| match_node(b, input, pos, at_start, k)),
+        Node::Repeat { node, min, max } => {
+            match_repeat(node, *min, *max, input, pos, at_start, k)
+        }
+    }
+}
+
+fn match_seq(
+    nodes: &[Node],
+    input: &[char],
+    pos: usize,
+    at_start: bool,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match nodes.split_first() {
+        None => k(pos),
+        Some((head, tail)) => match_node(head, input, pos, at_start, &mut |next| {
+            match_seq(tail, input, next, at_start, k)
+        }),
+    }
+}
+
+fn match_repeat(
+    node: &Node,
+    min: u32,
+    max: Option<u32>,
+    input: &[char],
+    pos: usize,
+    at_start: bool,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if min > 0 {
+        return match_node(node, input, pos, at_start, &mut |next| {
+            // Guard against zero-width inner matches looping forever.
+            if next == pos {
+                return match_repeat(node, 0, Some(0), input, next, at_start, k);
+            }
+            match_repeat(node, min - 1, max.map(|m| m.saturating_sub(1)), input, next, at_start, k)
+        });
+    }
+    if max == Some(0) {
+        return k(pos);
+    }
+    // Greedy: try one more repetition first, then fall back to stopping.
+    let more = match_node(node, input, pos, at_start, &mut |next| {
+        next != pos
+            && match_repeat(node, 0, max.map(|m| m.saturating_sub(1)), input, next, at_start, k)
+    });
+    more || k(pos)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alternation(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Node::Alternate(branches) })
+    }
+
+    fn parse_concat(&mut self) -> Result<Node, RegexError> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            nodes.push(self.parse_repeat()?);
+        }
+        Ok(match nodes.len() {
+            0 => Node::Empty,
+            1 => nodes.pop().unwrap(),
+            _ => Node::Concat(nodes),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, RegexError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: None })
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat { node: Box::new(atom), min: 1, max: None })
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: Some(1) })
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            None => Err(RegexError("unexpected end of pattern".into())),
+            Some('(') => {
+                let inner = self.parse_alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::AnyChar),
+            Some('^') => Ok(Node::StartAnchor),
+            Some('$') => Ok(Node::EndAnchor),
+            Some('*') | Some('+') | Some('?') => {
+                Err(RegexError("quantifier with nothing to repeat".into()))
+            }
+            Some('\\') => self.parse_escape(false).map(|item| match item {
+                ClassItem::Char(c) => Node::Char(c),
+                other => Node::Class { negated: false, items: vec![other] },
+            }),
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self, _in_class: bool) -> Result<ClassItem, RegexError> {
+        match self.bump() {
+            None => Err(RegexError("dangling escape".into())),
+            Some('d') => Ok(ClassItem::Digit),
+            Some('w') => Ok(ClassItem::Word),
+            Some('s') => Ok(ClassItem::Space),
+            Some('n') => Ok(ClassItem::Char('\n')),
+            Some('t') => Ok(ClassItem::Char('\t')),
+            Some('r') => Ok(ClassItem::Char('\r')),
+            Some(c) => Ok(ClassItem::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(RegexError("unclosed character class".into())),
+                Some(']') if !items.is_empty() || negated => break,
+                Some(']') => items.push(ClassItem::Char(']')),
+                Some('\\') => items.push(self.parse_escape(true)?),
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().expect("checked");
+                        if hi < c {
+                            return Err(RegexError(format!("invalid range {c}-{hi}")));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Char(c));
+                    }
+                }
+            }
+        }
+        Ok(Node::Class { negated, items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substring_search_semantics() {
+        // The paper's Fig. 4 filter: regex(?name, "Smith").
+        let re = Regex::new("Smith").unwrap();
+        assert!(re.is_match("John Smith"));
+        assert!(re.is_match("Smithers"));
+        assert!(!re.is_match("John Jones"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        let re = Regex::with_flags("smith", "i").unwrap();
+        assert!(re.is_match("SMITH"));
+        assert!(re.is_match("Smith"));
+        assert!(!Regex::new("smith").unwrap().is_match("SMITH"));
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::new("^ab$").unwrap();
+        assert!(re.is_match("ab"));
+        assert!(!re.is_match("xab"));
+        assert!(!re.is_match("abx"));
+        assert!(Regex::new("^ab").unwrap().is_match("abx"));
+        assert!(Regex::new("ab$").unwrap().is_match("xab"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(Regex::new("ab*c").unwrap().is_match("ac"));
+        assert!(Regex::new("ab*c").unwrap().is_match("abbbc"));
+        assert!(!Regex::new("ab+c").unwrap().is_match("ac"));
+        assert!(Regex::new("ab+c").unwrap().is_match("abc"));
+        assert!(Regex::new("ab?c").unwrap().is_match("ac"));
+        assert!(Regex::new("ab?c").unwrap().is_match("abc"));
+        assert!(!Regex::new("^ab?c$").unwrap().is_match("abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let re = Regex::new("^(foo|ba(r|z))$").unwrap();
+        assert!(re.is_match("foo"));
+        assert!(re.is_match("bar"));
+        assert!(re.is_match("baz"));
+        assert!(!re.is_match("ba"));
+    }
+
+    #[test]
+    fn character_classes() {
+        let re = Regex::new("^[a-c1]+$").unwrap();
+        assert!(re.is_match("abc1"));
+        assert!(!re.is_match("abd"));
+        let neg = Regex::new("^[^0-9]+$").unwrap();
+        assert!(neg.is_match("abc"));
+        assert!(!neg.is_match("a1c"));
+    }
+
+    #[test]
+    fn escape_classes() {
+        assert!(Regex::new(r"^\d+$").unwrap().is_match("123"));
+        assert!(!Regex::new(r"^\d+$").unwrap().is_match("12a"));
+        assert!(Regex::new(r"^\w+$").unwrap().is_match("ab_1"));
+        assert!(Regex::new(r"^a\.b$").unwrap().is_match("a.b"));
+        assert!(!Regex::new(r"^a\.b$").unwrap().is_match("axb"));
+        assert!(Regex::new(r"\s").unwrap().is_match("a b"));
+    }
+
+    #[test]
+    fn dot_matches_any_single_char() {
+        let re = Regex::new("^a.c$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("a-c"));
+        assert!(!re.is_match("ac"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(Regex::new("").unwrap().is_match(""));
+        assert!(Regex::new("").unwrap().is_match("xyz"));
+        assert!(Regex::new("a*").unwrap().is_match(""));
+    }
+
+    #[test]
+    fn invalid_patterns_are_rejected() {
+        assert!(Regex::new("(ab").is_err());
+        assert!(Regex::new("[ab").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::with_flags("a", "q").is_err());
+    }
+
+    #[test]
+    fn nested_repeats_terminate() {
+        // (a*)* is a classic catastrophic pattern; zero-width guard must
+        // keep it terminating.
+        let re = Regex::new("^(a*)*b$").unwrap();
+        assert!(re.is_match("aaab"));
+        assert!(!re.is_match("aaac"));
+    }
+
+    #[test]
+    fn unicode_literals() {
+        let re = Regex::with_flags("héllo", "i").unwrap();
+        assert!(re.is_match("say HÉLLO now"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Serialization of query results in the W3C exchange formats.
+//!
+//! Nodes in the data sharing system are heterogeneous; results crossing
+//! system boundaries need standard encodings. Implements the SPARQL
+//! Query Results JSON and XML formats plus tab-separated values for
+//! SELECT/ASK, and N-Triples for CONSTRUCT/DESCRIBE graphs — all
+//! hand-rolled (the sanctioned dependency list carries no serde_json).
+
+use std::fmt::Write as _;
+
+use rdfmesh_rdf::{LiteralKind, Term, Variable};
+
+use crate::eval::QueryResult;
+use crate::solution::Solution;
+
+/// Collects the variable names bound anywhere in the solution sequence,
+/// in first-appearance order — the result header.
+pub fn head_variables(solutions: &[Solution]) -> Vec<Variable> {
+    let mut out: Vec<Variable> = Vec::new();
+    for s in solutions {
+        for (v, _) in s.iter() {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_term(term: &Term) -> String {
+    match term {
+        Term::Iri(i) => format!("{{\"type\":\"uri\",\"value\":\"{}\"}}", json_escape(i.as_str())),
+        Term::Blank(b) => {
+            format!("{{\"type\":\"bnode\",\"value\":\"{}\"}}", json_escape(b.as_str()))
+        }
+        Term::Literal(l) => {
+            let mut out = format!(
+                "{{\"type\":\"literal\",\"value\":\"{}\"",
+                json_escape(l.lexical())
+            );
+            match l.kind() {
+                LiteralKind::Plain => {}
+                LiteralKind::LanguageTagged(tag) => {
+                    let _ = write!(out, ",\"xml:lang\":\"{}\"", json_escape(tag));
+                }
+                LiteralKind::Typed(dt) => {
+                    let _ = write!(out, ",\"datatype\":\"{}\"", json_escape(dt.as_str()));
+                }
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Serializes a result in the SPARQL 1.1 Query Results JSON format.
+///
+/// CONSTRUCT/DESCRIBE graphs have no W3C JSON mapping; they serialize as
+/// `{"triples": "<N-Triples document>"}`.
+pub fn to_json(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Boolean(b) => {
+            format!("{{\"head\":{{}},\"boolean\":{b}}}")
+        }
+        QueryResult::Solutions(solutions) => {
+            let vars = head_variables(solutions);
+            let head: Vec<String> =
+                vars.iter().map(|v| format!("\"{}\"", json_escape(v.as_str()))).collect();
+            let mut bindings = Vec::with_capacity(solutions.len());
+            for s in solutions {
+                let cells: Vec<String> = s
+                    .iter()
+                    .map(|(v, t)| format!("\"{}\":{}", json_escape(v.as_str()), json_term(t)))
+                    .collect();
+                bindings.push(format!("{{{}}}", cells.join(",")));
+            }
+            format!(
+                "{{\"head\":{{\"vars\":[{}]}},\"results\":{{\"bindings\":[{}]}}}}",
+                head.join(","),
+                bindings.join(",")
+            )
+        }
+        QueryResult::Graph(triples) => {
+            let doc = rdfmesh_rdf::write_document(triples);
+            format!("{{\"triples\":\"{}\"}}", json_escape(&doc))
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn xml_term(term: &Term) -> String {
+    match term {
+        Term::Iri(i) => format!("<uri>{}</uri>", xml_escape(i.as_str())),
+        Term::Blank(b) => format!("<bnode>{}</bnode>", xml_escape(b.as_str())),
+        Term::Literal(l) => match l.kind() {
+            LiteralKind::Plain => format!("<literal>{}</literal>", xml_escape(l.lexical())),
+            LiteralKind::LanguageTagged(tag) => format!(
+                "<literal xml:lang=\"{}\">{}</literal>",
+                xml_escape(tag),
+                xml_escape(l.lexical())
+            ),
+            LiteralKind::Typed(dt) => format!(
+                "<literal datatype=\"{}\">{}</literal>",
+                xml_escape(dt.as_str()),
+                xml_escape(l.lexical())
+            ),
+        },
+    }
+}
+
+/// Serializes a result in the SPARQL Query Results XML format. Graphs
+/// (CONSTRUCT/DESCRIBE) fall back to N-Triples (returned as-is).
+pub fn to_xml(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Graph(triples) => rdfmesh_rdf::write_document(triples),
+        QueryResult::Boolean(b) => format!(
+            "<?xml version=\"1.0\"?>\n<sparql xmlns=\"http://www.w3.org/2005/sparql-results#\">\n  <head/>\n  <boolean>{b}</boolean>\n</sparql>\n"
+        ),
+        QueryResult::Solutions(solutions) => {
+            let vars = head_variables(solutions);
+            let mut out = String::from(
+                "<?xml version=\"1.0\"?>\n<sparql xmlns=\"http://www.w3.org/2005/sparql-results#\">\n  <head>\n",
+            );
+            for v in &vars {
+                let _ = writeln!(out, "    <variable name=\"{}\"/>", xml_escape(v.as_str()));
+            }
+            out.push_str("  </head>\n  <results>\n");
+            for s in solutions {
+                out.push_str("    <result>\n");
+                for (v, t) in s.iter() {
+                    let _ = writeln!(
+                        out,
+                        "      <binding name=\"{}\">{}</binding>",
+                        xml_escape(v.as_str()),
+                        xml_term(t)
+                    );
+                }
+                out.push_str("    </result>\n");
+            }
+            out.push_str("  </results>\n</sparql>\n");
+            out
+        }
+    }
+}
+
+/// Serializes SELECT results as tab-separated values with a `?var`
+/// header row; ASK yields `true`/`false`, graphs yield N-Triples.
+pub fn to_tsv(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Boolean(b) => format!("{b}\n"),
+        QueryResult::Graph(triples) => rdfmesh_rdf::write_document(triples),
+        QueryResult::Solutions(solutions) => {
+            let vars = head_variables(solutions);
+            let mut out = String::new();
+            let header: Vec<String> = vars.iter().map(|v| format!("?{}", v.as_str())).collect();
+            let _ = writeln!(out, "{}", header.join("\t"));
+            for s in solutions {
+                let row: Vec<String> = vars
+                    .iter()
+                    .map(|v| s.get(v).map(Term::to_string).unwrap_or_default())
+                    .collect();
+                let _ = writeln!(out, "{}", row.join("\t"));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::{Literal, Triple};
+
+    fn sols() -> QueryResult {
+        QueryResult::Solutions(vec![
+            Solution::from_pairs([
+                (Variable::new("x"), Term::iri("http://e/a")),
+                (Variable::new("n"), Term::Literal(Literal::lang("Ann \"A\"", "en"))),
+            ]),
+            Solution::from_pairs([
+                (Variable::new("x"), Term::blank("b0")),
+                (Variable::new("age"), Term::Literal(Literal::integer(30))),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn json_select_structure() {
+        let j = to_json(&sols());
+        assert!(j.starts_with("{\"head\":{\"vars\":["));
+        assert!(j.contains("\"type\":\"uri\",\"value\":\"http://e/a\""));
+        assert!(j.contains("\"xml:lang\":\"en\""));
+        assert!(j.contains("\\\"A\\\"")); // escaped quotes in the literal
+        assert!(j.contains("\"type\":\"bnode\",\"value\":\"b0\""));
+        assert!(j.contains("XMLSchema#integer"));
+    }
+
+    #[test]
+    fn json_ask() {
+        assert_eq!(to_json(&QueryResult::Boolean(true)), "{\"head\":{},\"boolean\":true}");
+    }
+
+    #[test]
+    fn json_control_characters_escape() {
+        let r = QueryResult::Solutions(vec![Solution::from_pairs([(
+            Variable::new("v"),
+            Term::literal("a\nb\u{1}c"),
+        )])]);
+        let j = to_json(&r);
+        assert!(j.contains("a\\nb\\u0001c"));
+    }
+
+    #[test]
+    fn xml_select_structure() {
+        let x = to_xml(&sols());
+        assert!(x.contains("<variable name=\"x\"/>"));
+        assert!(x.contains("<uri>http://e/a</uri>"));
+        assert!(x.contains("xml:lang=\"en\""));
+        assert!(x.contains("&quot;A&quot;"));
+        assert!(x.contains("<bnode>b0</bnode>"));
+        assert!(x.matches("<result>").count() == 2);
+    }
+
+    #[test]
+    fn xml_ask() {
+        let x = to_xml(&QueryResult::Boolean(false));
+        assert!(x.contains("<boolean>false</boolean>"));
+    }
+
+    #[test]
+    fn tsv_rows_align_with_header() {
+        let t = to_tsv(&sols());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = lines[0].split('\t').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split('\t').count(), cols, "{l}");
+        }
+        // Unbound cells are empty.
+        assert!(lines[1].split('\t').any(str::is_empty) || lines[2].split('\t').any(str::is_empty));
+    }
+
+    #[test]
+    fn graph_results_fall_back_to_ntriples() {
+        let g = QueryResult::Graph(vec![Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::literal("v"),
+        )]);
+        let t = to_tsv(&g);
+        assert!(t.contains("<http://e/s> <http://e/p> \"v\" ."));
+        let j = to_json(&g);
+        assert!(j.starts_with("{\"triples\":"));
+        // JSON-escaped N-Triples must round-trip the quote escapes.
+        assert!(j.contains("\\\"v\\\""));
+    }
+
+    #[test]
+    fn head_variables_in_first_appearance_order() {
+        let QueryResult::Solutions(s) = sols() else { unreachable!() };
+        let head = head_variables(&s);
+        let vars: Vec<&str> = head.iter().map(|v| v.as_str()).collect();
+        // Solution iteration is alphabetical within a solution: n, x, age.
+        assert_eq!(vars, ["n", "x", "age"]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Solution mappings and the algebra over sets of them.
+//!
+//! Implements the semantics of Pérez, Arenas & Gutierrez that the paper
+//! adopts in Sect. IV-A: a solution `µ` is a partial function from
+//! variables to RDF terms; two solutions are *compatible* if every shared
+//! variable is bound to the same term; and sets of solutions compose via
+//! join (`⋈`), union (`∪`), difference (`−`) and left outer join (`⟕`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rdfmesh_rdf::{Term, Variable};
+
+/// A solution mapping `µ : V → U` (partial).
+///
+/// Backed by a sorted map so that solutions have a canonical form, which
+/// makes `DISTINCT`, set difference and test assertions deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Solution {
+    bindings: BTreeMap<Variable, Term>,
+}
+
+impl Solution {
+    /// The empty solution `µ0` (defined on no variables).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a solution from `(variable, term)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Variable, Term)>,
+    {
+        Solution { bindings: pairs.into_iter().collect() }
+    }
+
+    /// The term bound to `var`, if any.
+    pub fn get(&self, var: &Variable) -> Option<&Term> {
+        self.bindings.get(var)
+    }
+
+    /// The term bound to the variable named `name`, if any.
+    pub fn get_by_name(&self, name: &str) -> Option<&Term> {
+        self.bindings.get(&Variable::new(name))
+    }
+
+    /// Binds `var` to `term`. Returns `false` (and leaves the solution
+    /// unchanged) if `var` is already bound to a different term.
+    pub fn bind(&mut self, var: Variable, term: Term) -> bool {
+        match self.bindings.get(&var) {
+            Some(existing) => *existing == term,
+            None => {
+                self.bindings.insert(var, term);
+                true
+            }
+        }
+    }
+
+    /// The domain `dom(µ)` — the variables on which this solution is
+    /// defined.
+    pub fn domain(&self) -> impl Iterator<Item = &Variable> {
+        self.bindings.keys()
+    }
+
+    /// Iterates over `(variable, term)` bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Term)> {
+        self.bindings.iter()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Compatibility: `µ1` and `µ2` are compatible when every variable in
+    /// both domains maps to the same term.
+    pub fn compatible(&self, other: &Solution) -> bool {
+        // Iterate the smaller map for speed.
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        small
+            .bindings
+            .iter()
+            .all(|(v, t)| large.bindings.get(v).is_none_or(|u| u == t))
+    }
+
+    /// `µ1 ∪ µ2` for compatible solutions; `None` if incompatible.
+    pub fn merge(&self, other: &Solution) -> Option<Solution> {
+        if !self.compatible(other) {
+            return None;
+        }
+        let mut merged = self.clone();
+        for (v, t) in &other.bindings {
+            merged.bindings.entry(v.clone()).or_insert_with(|| t.clone());
+        }
+        Some(merged)
+    }
+
+    /// Restricts the solution to the given variables (projection).
+    pub fn project(&self, vars: &[Variable]) -> Solution {
+        Solution {
+            bindings: self
+                .bindings
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .map(|(v, t)| (v.clone(), t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serialized size in bytes when shipped between sites: each binding
+    /// costs `?name` + one separator + the N-Triples form of the term,
+    /// plus a two-byte record frame. This is the unit in which the paper's
+    /// "total amount of intersite data transmission" is accounted.
+    pub fn serialized_len(&self) -> usize {
+        2 + self
+            .bindings
+            .iter()
+            .map(|(v, t)| v.as_str().len() + 2 + t.serialized_len())
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A set of solution mappings `Ω`.
+///
+/// Represented as a `Vec` because SPARQL solution *sequences* may carry
+/// duplicates prior to `DISTINCT`; the set-algebra operations treat it as
+/// a multiset, matching the W3C semantics.
+pub type SolutionSet = Vec<Solution>;
+
+/// `Ω1 ⋈ Ω2` — all merges of compatible pairs (Sect. IV-A).
+pub fn join(left: &[Solution], right: &[Solution]) -> SolutionSet {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            if let Some(m) = l.merge(r) {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// `Ω1 ∪ Ω2` — multiset union (Sect. IV-A).
+pub fn union(left: &[Solution], right: &[Solution]) -> SolutionSet {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out
+}
+
+/// `Ω1 − Ω2` — solutions of `Ω1` compatible with **no** solution of `Ω2`
+/// (Sect. IV-A).
+pub fn difference(left: &[Solution], right: &[Solution]) -> SolutionSet {
+    left.iter()
+        .filter(|l| !right.iter().any(|r| l.compatible(r)))
+        .cloned()
+        .collect()
+}
+
+/// `Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 − Ω2)` — left outer join (Sect. IV-E).
+pub fn left_join(left: &[Solution], right: &[Solution]) -> SolutionSet {
+    let mut out = join(left, right);
+    out.extend(difference(left, right));
+    out
+}
+
+/// Left outer join with a filter condition on the joined rows, as required
+/// by the algebra operator `LeftJoin(P1, P2, expr)`: rows of `Ω1 ⋈ Ω2`
+/// must satisfy `cond`; rows of `Ω1` with no *satisfying* compatible
+/// partner survive unextended.
+pub fn left_join_filtered<F>(left: &[Solution], right: &[Solution], mut cond: F) -> SolutionSet
+where
+    F: FnMut(&Solution) -> bool,
+{
+    let mut out = Vec::new();
+    for l in left {
+        let mut extended = false;
+        for r in right {
+            if let Some(m) = l.merge(r) {
+                if cond(&m) {
+                    out.push(m);
+                    extended = true;
+                }
+            }
+        }
+        if !extended {
+            out.push(l.clone());
+        }
+    }
+    out
+}
+
+/// Total serialized size of a solution set (for byte accounting).
+pub fn serialized_len(solutions: &[Solution]) -> usize {
+    solutions.iter().map(Solution::serialized_len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    fn sol(pairs: &[(&str, &str)]) -> Solution {
+        Solution::from_pairs(
+            pairs
+                .iter()
+                .map(|(n, val)| (v(n), Term::iri(&format!("http://e/{val}")))),
+        )
+    }
+
+    #[test]
+    fn empty_solution_is_compatible_with_everything() {
+        let mu0 = Solution::new();
+        let mu = sol(&[("x", "a")]);
+        assert!(mu0.compatible(&mu));
+        assert!(mu.compatible(&mu0));
+        assert_eq!(mu0.merge(&mu), Some(mu.clone()));
+    }
+
+    #[test]
+    fn compatibility_requires_agreement_on_shared_vars() {
+        let a = sol(&[("x", "a"), ("y", "b")]);
+        let b = sol(&[("y", "b"), ("z", "c")]);
+        let c = sol(&[("y", "OTHER")]);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+    }
+
+    #[test]
+    fn merge_unions_domains() {
+        let a = sol(&[("x", "a")]);
+        let b = sol(&[("y", "b")]);
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.get(&v("x")), Some(&Term::iri("http://e/a")));
+        assert_eq!(m.get(&v("y")), Some(&Term::iri("http://e/b")));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn bind_rejects_conflicting_rebinding() {
+        let mut s = sol(&[("x", "a")]);
+        assert!(s.bind(v("x"), Term::iri("http://e/a")));
+        assert!(!s.bind(v("x"), Term::iri("http://e/b")));
+        assert!(s.bind(v("y"), Term::iri("http://e/b")));
+    }
+
+    #[test]
+    fn join_produces_compatible_merges_only() {
+        let l = vec![sol(&[("x", "a"), ("y", "b")]), sol(&[("x", "q"), ("y", "r")])];
+        let r = vec![sol(&[("y", "b"), ("z", "c")])];
+        let j = join(&l, &r);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j[0].get(&v("z")), Some(&Term::iri("http://e/c")));
+    }
+
+    #[test]
+    fn difference_keeps_incompatible_rows() {
+        let l = vec![sol(&[("x", "a")]), sol(&[("x", "b")])];
+        let r = vec![sol(&[("x", "a"), ("z", "c")])];
+        let d = difference(&l, &r);
+        assert_eq!(d, vec![sol(&[("x", "b")])]);
+    }
+
+    #[test]
+    fn left_join_is_join_union_difference() {
+        // Paper Sect. IV-E: Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 − Ω2).
+        let l = vec![sol(&[("x", "a")]), sol(&[("x", "b")])];
+        let r = vec![sol(&[("x", "a"), ("y", "c")])];
+        let mut lj = left_join(&l, &r);
+        lj.sort();
+        let mut expect = vec![sol(&[("x", "a"), ("y", "c")]), sol(&[("x", "b")])];
+        expect.sort();
+        assert_eq!(lj, expect);
+    }
+
+    #[test]
+    fn left_join_filtered_drops_failing_extensions_but_keeps_bases() {
+        let l = vec![sol(&[("x", "a")])];
+        let r = vec![sol(&[("x", "a"), ("y", "c")])];
+        // Condition rejects every extension: base row must survive bare.
+        let out = left_join_filtered(&l, &r, |_| false);
+        assert_eq!(out, vec![sol(&[("x", "a")])]);
+        // Condition accepts: extension survives.
+        let out = left_join_filtered(&l, &r, |_| true);
+        assert_eq!(out, vec![sol(&[("x", "a"), ("y", "c")])]);
+    }
+
+    #[test]
+    fn union_is_multiset() {
+        let l = vec![sol(&[("x", "a")])];
+        let r = vec![sol(&[("x", "a")])];
+        assert_eq!(union(&l, &r).len(), 2);
+    }
+
+    #[test]
+    fn projection_restricts_domain() {
+        let s = sol(&[("x", "a"), ("y", "b"), ("z", "c")]);
+        let p = s.project(&[v("x"), v("z")]);
+        assert_eq!(p.len(), 2);
+        assert!(p.get(&v("y")).is_none());
+    }
+
+    #[test]
+    fn serialized_len_grows_with_bindings() {
+        let s1 = sol(&[("x", "a")]);
+        let s2 = sol(&[("x", "a"), ("y", "b")]);
+        assert!(s2.serialized_len() > s1.serialized_len());
+        assert_eq!(serialized_len(&[s1.clone(), s1.clone()]), 2 * s1.serialized_len());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sol(&[("x", "a")]);
+        assert_eq!(s.to_string(), "{?x -> <http://e/a>}");
+    }
+}

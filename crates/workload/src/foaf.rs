@@ -1,0 +1,214 @@
+//! FOAF social-network generator.
+//!
+//! Produces the data the paper's running examples query (Figs. 4-9):
+//! persons with `foaf:name`, `foaf:knows`, `foaf:nick`, `foaf:mbox`,
+//! `foaf:age` and the paper's `ns:knowsNothingAbout`. Matching the
+//! ad-hoc sharing model, each peer owns the triples *about its own
+//! persons* — data stays with its provider.
+
+use rdfmesh_rdf::{vocab, Literal, Term, Triple};
+
+use crate::rng::{Rng, Zipf};
+
+/// Configuration for the social-network generator.
+#[derive(Debug, Clone)]
+pub struct FoafConfig {
+    /// Number of persons in the network.
+    pub persons: usize,
+    /// Number of peers (storage nodes) the persons are spread across.
+    pub peers: usize,
+    /// Average out-degree of `foaf:knows`.
+    pub knows_degree: usize,
+    /// Probability a person has a `foaf:nick`.
+    pub nick_probability: f64,
+    /// Probability a person has a `foaf:mbox`.
+    pub mbox_probability: f64,
+    /// Average out-degree of `ns:knowsNothingAbout`.
+    pub ignores_degree: usize,
+    /// Zipf exponent for assigning persons to peers (0 = balanced; larger
+    /// values concentrate data on few peers — the §E3 skew knob).
+    pub peer_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FoafConfig {
+    fn default() -> Self {
+        FoafConfig {
+            persons: 100,
+            peers: 10,
+            knows_degree: 4,
+            nick_probability: 0.3,
+            mbox_probability: 0.5,
+            ignores_degree: 1,
+            peer_skew: 0.0,
+            seed: 0xF0AF,
+        }
+    }
+}
+
+/// A generated social network: per-peer datasets plus the person IRIs.
+#[derive(Debug, Clone)]
+pub struct FoafDataset {
+    /// One triple set per peer, in peer order.
+    pub peers: Vec<Vec<Triple>>,
+    /// All person IRIs.
+    pub persons: Vec<Term>,
+    /// Surnames used (handy for building selective filters).
+    pub surnames: Vec<&'static str>,
+}
+
+impl FoafDataset {
+    /// Total triples across all peers.
+    pub fn triple_count(&self) -> usize {
+        self.peers.iter().map(Vec::len).sum()
+    }
+}
+
+const GIVEN: [&str; 12] = [
+    "Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy", "Mallory",
+    "Niaj",
+];
+const SURNAMES: [&str; 8] =
+    ["Smith", "Jones", "Brown", "Garcia", "Miller", "Davis", "Wilson", "Zhang"];
+const NICKS: [&str; 6] = ["Shrek", "Fiona", "Donkey", "Puss", "Dragon", "Gingy"];
+
+/// The IRI of person `i`.
+pub fn person_iri(i: usize) -> Term {
+    Term::iri(&format!("http://example.org/people/p{i}"))
+}
+
+/// Generates a social network per `config`.
+pub fn generate(config: &FoafConfig) -> FoafDataset {
+    assert!(config.persons > 0 && config.peers > 0);
+    let mut rng = Rng::new(config.seed);
+    let persons: Vec<Term> = (0..config.persons).map(person_iri).collect();
+
+    // Assign persons to peers, optionally skewed.
+    let zipf = Zipf::new(config.peers, config.peer_skew);
+    let mut owner: Vec<usize> = Vec::with_capacity(config.persons);
+    for i in 0..config.persons {
+        // Guarantee every peer owns at least one person when possible.
+        if i < config.peers {
+            owner.push(i);
+        } else {
+            owner.push(zipf.sample(&mut rng));
+        }
+    }
+
+    let name = Term::iri(vocab::foaf::NAME);
+    let knows = Term::iri(vocab::foaf::KNOWS);
+    let nick = Term::iri(vocab::foaf::NICK);
+    let mbox = Term::iri(vocab::foaf::MBOX);
+    let age = Term::iri(vocab::foaf::AGE);
+    let ignores = Term::iri(vocab::ns::KNOWS_NOTHING_ABOUT);
+
+    let mut peers: Vec<Vec<Triple>> = vec![Vec::new(); config.peers];
+    for (i, person) in persons.iter().enumerate() {
+        let out = &mut peers[owner[i]];
+        let given = GIVEN[rng.below(GIVEN.len() as u64) as usize];
+        let surname = SURNAMES[rng.below(SURNAMES.len() as u64) as usize];
+        out.push(Triple::new(
+            person.clone(),
+            name.clone(),
+            Term::Literal(Literal::plain(format!("{given} {surname}"))),
+        ));
+        out.push(Triple::new(
+            person.clone(),
+            age.clone(),
+            Term::Literal(Literal::integer(rng.range(10, 80) as i64)),
+        ));
+        if rng.chance(config.nick_probability) {
+            out.push(Triple::new(
+                person.clone(),
+                nick.clone(),
+                Term::Literal(Literal::plain(*rng.choose(&NICKS))),
+            ));
+        }
+        if rng.chance(config.mbox_probability) {
+            out.push(Triple::new(
+                person.clone(),
+                mbox.clone(),
+                Term::iri(&format!("mailto:p{i}@example.org")),
+            ));
+        }
+        for _ in 0..config.knows_degree {
+            let other = rng.below(config.persons as u64) as usize;
+            if other != i {
+                out.push(Triple::new(person.clone(), knows.clone(), persons[other].clone()));
+            }
+        }
+        for _ in 0..config.ignores_degree {
+            let other = rng.below(config.persons as u64) as usize;
+            if other != i {
+                out.push(Triple::new(person.clone(), ignores.clone(), persons[other].clone()));
+            }
+        }
+    }
+
+    FoafDataset { peers, persons, surnames: SURNAMES.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::{TermPattern, TriplePattern, TripleStore};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = FoafConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.peers, b.peers);
+    }
+
+    #[test]
+    fn every_person_has_name_and_age() {
+        let d = generate(&FoafConfig::default());
+        let store: TripleStore = d.peers.iter().flatten().cloned().collect();
+        for p in &d.persons {
+            let name_pat = TriplePattern::new(
+                p.clone(),
+                Term::iri(vocab::foaf::NAME),
+                TermPattern::var("n"),
+            );
+            assert_eq!(store.count_pattern(&name_pat), 1);
+        }
+    }
+
+    #[test]
+    fn peer_count_matches_config() {
+        let d = generate(&FoafConfig { peers: 7, ..Default::default() });
+        assert_eq!(d.peers.len(), 7);
+        assert!(d.peers.iter().all(|p| !p.is_empty()), "every peer owns data");
+    }
+
+    #[test]
+    fn skew_concentrates_data() {
+        let balanced = generate(&FoafConfig { peer_skew: 0.0, persons: 500, ..Default::default() });
+        let skewed = generate(&FoafConfig { peer_skew: 1.5, persons: 500, ..Default::default() });
+        let max_balanced = balanced.peers.iter().map(Vec::len).max().unwrap();
+        let max_skewed = skewed.peers.iter().map(Vec::len).max().unwrap();
+        assert!(
+            max_skewed > 2 * max_balanced,
+            "skewed max {max_skewed} vs balanced max {max_balanced}"
+        );
+    }
+
+    #[test]
+    fn knows_edges_reference_existing_persons() {
+        let d = generate(&FoafConfig::default());
+        for t in d.peers.iter().flatten() {
+            if t.predicate == Term::iri(vocab::foaf::KNOWS) {
+                assert!(d.persons.contains(&t.object));
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = generate(&FoafConfig { seed: 1, ..Default::default() });
+        let b = generate(&FoafConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.peers, b.peers);
+    }
+}

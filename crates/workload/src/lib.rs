@@ -1,0 +1,18 @@
+//! # rdfmesh-workload — deterministic datasets and query mixes
+//!
+//! Generators for the evaluation: a FOAF social network matching the
+//! paper's running examples (Figs. 4-9), a university-domain dataset for
+//! longer conjunctive chains, Zipf skew for provider imbalance, and
+//! builders for every query shape of Sect. IV. All generation is seeded
+//! and reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod foaf;
+pub mod queries;
+pub mod rng;
+pub mod university;
+
+pub use foaf::{generate as generate_foaf, FoafConfig, FoafDataset};
+pub use rng::{Rng, Zipf};
+pub use university::{generate as generate_university, UniversityConfig, UniversityDataset};

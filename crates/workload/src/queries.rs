@@ -1,0 +1,187 @@
+//! Query workload builders.
+//!
+//! Generates SPARQL query strings of the shapes the paper analyses:
+//! the eight primitive triple-pattern kinds (Sect. IV-C), conjunctive
+//! stars and chains (Sect. IV-D), optional (IV-E), union (IV-F) and
+//! filter (IV-G) queries — all anchored on terms that actually occur in
+//! a generated dataset so selectivities are realistic.
+
+use rdfmesh_rdf::{PatternKind, Term, Triple};
+
+use crate::rng::Rng;
+
+fn fmt_term(t: &Term) -> String {
+    t.to_string()
+}
+
+/// Builds the primitive query of the given [`PatternKind`] anchored on
+/// `triple` (bound positions take the triple's values).
+pub fn primitive_query(kind: PatternKind, triple: &Triple) -> String {
+    let s = fmt_term(&triple.subject);
+    let p = fmt_term(&triple.predicate);
+    let o = fmt_term(&triple.object);
+    let (sp, pp, op) = match kind {
+        PatternKind::None => ("?s".into(), "?p".into(), "?o".into()),
+        PatternKind::S => (s, "?p".into(), "?o".into()),
+        PatternKind::P => ("?s".into(), p, "?o".into()),
+        PatternKind::O => ("?s".into(), "?p".into(), o),
+        PatternKind::SP => (s, p, "?o".into()),
+        PatternKind::PO => ("?s".into(), p, o),
+        PatternKind::SO => (s, "?p".into(), o),
+        PatternKind::SPO => (s, p, o),
+    };
+    let vars: Vec<&str> = match kind {
+        PatternKind::None => vec!["?s", "?p", "?o"],
+        PatternKind::S => vec!["?p", "?o"],
+        PatternKind::P | PatternKind::O => vec!["?s", "?o"],
+        PatternKind::SP => vec!["?o"],
+        PatternKind::PO | PatternKind::SO => vec!["?s"],
+        PatternKind::SPO => vec!["*"],
+    };
+    let projection = if vars == ["*"] { "*".to_string() } else { vars.join(" ") };
+    let projection = match kind {
+        PatternKind::O => "?s ?p".to_string(),
+        PatternKind::SO => "?p".to_string(),
+        _ => projection,
+    };
+    format!("SELECT {projection} WHERE {{ {sp} {pp} {op} . }}")
+}
+
+/// A star query: `n` patterns sharing the subject variable, using the
+/// predicates of triples drawn from `pool`.
+pub fn star_query(pool: &[Triple], n: usize, rng: &mut Rng) -> String {
+    let mut preds = Vec::new();
+    let mut guard = 0;
+    while preds.len() < n && guard < 1000 {
+        let t = rng.choose(pool);
+        let p = fmt_term(&t.predicate);
+        if !preds.contains(&p) {
+            preds.push(p);
+        }
+        guard += 1;
+    }
+    let body: Vec<String> = preds
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("?x {p} ?v{i} ."))
+        .collect();
+    format!("SELECT * WHERE {{ {} }}", body.join(" "))
+}
+
+/// A chain query: `?x0 p ?x1 . ?x1 p ?x2 . …` over a single predicate
+/// (e.g. `foaf:knows` friend-of-friend chains).
+pub fn chain_query(predicate: &Term, length: usize) -> String {
+    let p = fmt_term(predicate);
+    let body: Vec<String> =
+        (0..length).map(|i| format!("?x{i} {p} ?x{} .", i + 1)).collect();
+    format!("SELECT * WHERE {{ {} }}", body.join(" "))
+}
+
+/// A union query over two predicates (the Fig. 8 shape).
+pub fn union_query(p1: &Term, p2: &Term) -> String {
+    format!(
+        "SELECT * WHERE {{ {{ ?x {} ?y . }} UNION {{ ?x {} ?z . }} }}",
+        fmt_term(p1),
+        fmt_term(p2)
+    )
+}
+
+/// An optional query (the Fig. 7 shape): mandatory `p1`, optional `p2`.
+pub fn optional_query(p1: &Term, p2: &Term) -> String {
+    format!(
+        "SELECT * WHERE {{ ?x {} ?y . OPTIONAL {{ ?x {} ?n . }} }}",
+        fmt_term(p1),
+        fmt_term(p2)
+    )
+}
+
+/// A filter query (the Fig. 9 shape): name lookup restricted by regex.
+pub fn filter_query(name_predicate: &Term, other_predicate: &Term, needle: &str) -> String {
+    format!(
+        "SELECT * WHERE {{ ?x {} ?name ; {} ?y . FILTER regex(?name, \"{}\") }}",
+        fmt_term(name_predicate),
+        fmt_term(other_predicate),
+        needle
+    )
+}
+
+/// Draws `count` primitive queries of each kind from the triples in
+/// `pool`, cycling through the eight kinds.
+pub fn primitive_mix(pool: &[Triple], count: usize, rng: &mut Rng) -> Vec<(PatternKind, String)> {
+    const KINDS: [PatternKind; 8] = [
+        PatternKind::None,
+        PatternKind::S,
+        PatternKind::P,
+        PatternKind::O,
+        PatternKind::SP,
+        PatternKind::PO,
+        PatternKind::SO,
+        PatternKind::SPO,
+    ];
+    (0..count)
+        .map(|i| {
+            let kind = KINDS[i % KINDS.len()];
+            let t = rng.choose(pool);
+            (kind, primitive_query(kind, t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::vocab;
+    use rdfmesh_sparql::parse_query;
+
+    fn pool() -> Vec<Triple> {
+        let d = crate::foaf::generate(&crate::foaf::FoafConfig::default());
+        d.peers.into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn all_eight_primitive_kinds_parse() {
+        let pool = pool();
+        let mut rng = Rng::new(5);
+        for (kind, q) in primitive_mix(&pool, 16, &mut rng) {
+            assert!(parse_query(&q).is_ok(), "kind {kind:?} produced unparseable {q}");
+        }
+    }
+
+    #[test]
+    fn star_and_chain_parse() {
+        let pool = pool();
+        let mut rng = Rng::new(6);
+        let star = star_query(&pool, 3, &mut rng);
+        assert!(parse_query(&star).is_ok(), "{star}");
+        let chain = chain_query(&Term::iri(vocab::foaf::KNOWS), 3);
+        assert!(parse_query(&chain).is_ok(), "{chain}");
+        assert!(chain.matches("?x1").count() >= 2, "chain joins on shared vars: {chain}");
+    }
+
+    #[test]
+    fn union_optional_filter_parse() {
+        let knows = Term::iri(vocab::foaf::KNOWS);
+        let nick = Term::iri(vocab::foaf::NICK);
+        let name = Term::iri(vocab::foaf::NAME);
+        for q in [
+            union_query(&knows, &nick),
+            optional_query(&knows, &nick),
+            filter_query(&name, &knows, "Smith"),
+        ] {
+            assert!(parse_query(&q).is_ok(), "{q}");
+        }
+    }
+
+    #[test]
+    fn primitive_query_binds_expected_positions() {
+        let t = Triple::new(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::literal("val"),
+        );
+        let q = primitive_query(PatternKind::PO, &t);
+        assert!(q.contains("?s <http://e/p> \"val\""), "{q}");
+        let q = primitive_query(PatternKind::SPO, &t);
+        assert!(!q.contains('?') || q.contains("SELECT *"), "{q}");
+    }
+}

@@ -1,0 +1,188 @@
+//! A university-domain generator (LUBM-flavoured).
+//!
+//! A second, structurally different workload: departments, professors,
+//! courses and students, with `rdf:type` classes and multi-hop relations
+//! (`advisor` → `worksFor` → department). Exercises conjunctive chains
+//! longer than the FOAF examples and `rdf:type`-style low-selectivity
+//! predicates.
+
+use rdfmesh_rdf::{vocab, Literal, Term, Triple};
+
+use crate::rng::Rng;
+
+/// Configuration for the university generator.
+#[derive(Debug, Clone)]
+pub struct UniversityConfig {
+    /// Number of departments (one peer per department).
+    pub departments: usize,
+    /// Professors per department.
+    pub professors_per_department: usize,
+    /// Students per department.
+    pub students_per_department: usize,
+    /// Courses per professor.
+    pub courses_per_professor: usize,
+    /// Courses each student takes.
+    pub courses_per_student: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniversityConfig {
+    fn default() -> Self {
+        UniversityConfig {
+            departments: 5,
+            professors_per_department: 4,
+            students_per_department: 20,
+            courses_per_professor: 2,
+            courses_per_student: 3,
+            seed: 0x0111,
+        }
+    }
+}
+
+/// The vocabulary of the university domain.
+pub mod ub {
+    /// `ub:Professor` class.
+    pub const PROFESSOR: &str = "http://example.org/univ#Professor";
+    /// `ub:Student` class.
+    pub const STUDENT: &str = "http://example.org/univ#Student";
+    /// `ub:Course` class.
+    pub const COURSE: &str = "http://example.org/univ#Course";
+    /// `ub:Department` class.
+    pub const DEPARTMENT: &str = "http://example.org/univ#Department";
+    /// `ub:worksFor` (professor → department).
+    pub const WORKS_FOR: &str = "http://example.org/univ#worksFor";
+    /// `ub:memberOf` (student → department).
+    pub const MEMBER_OF: &str = "http://example.org/univ#memberOf";
+    /// `ub:teacherOf` (professor → course).
+    pub const TEACHER_OF: &str = "http://example.org/univ#teacherOf";
+    /// `ub:takesCourse` (student → course).
+    pub const TAKES_COURSE: &str = "http://example.org/univ#takesCourse";
+    /// `ub:advisor` (student → professor).
+    pub const ADVISOR: &str = "http://example.org/univ#advisor";
+    /// `ub:credits` (course → integer).
+    pub const CREDITS: &str = "http://example.org/univ#credits";
+}
+
+/// A generated university dataset, one peer per department.
+#[derive(Debug, Clone)]
+pub struct UniversityDataset {
+    /// One triple set per department peer.
+    pub peers: Vec<Vec<Triple>>,
+    /// Department IRIs.
+    pub departments: Vec<Term>,
+}
+
+fn iri(kind: &str, dept: usize, i: usize) -> Term {
+    Term::iri(&format!("http://example.org/univ/d{dept}/{kind}{i}"))
+}
+
+/// Generates a dataset per `config`.
+pub fn generate(config: &UniversityConfig) -> UniversityDataset {
+    let mut rng = Rng::new(config.seed);
+    let rdf_type = Term::iri(vocab::rdf::TYPE);
+    let mut peers = Vec::with_capacity(config.departments);
+    let departments: Vec<Term> =
+        (0..config.departments).map(|d| iri("dept", d, 0)).collect();
+
+    for d in 0..config.departments {
+        let mut triples = Vec::new();
+        let dept = departments[d].clone();
+        triples.push(Triple::new(dept.clone(), rdf_type.clone(), Term::iri(ub::DEPARTMENT)));
+
+        let mut courses = Vec::new();
+        for pi in 0..config.professors_per_department {
+            let prof = iri("prof", d, pi);
+            triples.push(Triple::new(prof.clone(), rdf_type.clone(), Term::iri(ub::PROFESSOR)));
+            triples.push(Triple::new(prof.clone(), Term::iri(ub::WORKS_FOR), dept.clone()));
+            for ci in 0..config.courses_per_professor {
+                let course = iri("course", d, pi * config.courses_per_professor + ci);
+                triples.push(Triple::new(
+                    course.clone(),
+                    rdf_type.clone(),
+                    Term::iri(ub::COURSE),
+                ));
+                triples.push(Triple::new(prof.clone(), Term::iri(ub::TEACHER_OF), course.clone()));
+                triples.push(Triple::new(
+                    course.clone(),
+                    Term::iri(ub::CREDITS),
+                    Term::Literal(Literal::integer(rng.range(1, 6) as i64)),
+                ));
+                courses.push(course);
+            }
+        }
+        for si in 0..config.students_per_department {
+            let student = iri("student", d, si);
+            triples.push(Triple::new(student.clone(), rdf_type.clone(), Term::iri(ub::STUDENT)));
+            triples.push(Triple::new(student.clone(), Term::iri(ub::MEMBER_OF), dept.clone()));
+            let advisor = iri("prof", d, rng.below(config.professors_per_department as u64) as usize);
+            triples.push(Triple::new(student.clone(), Term::iri(ub::ADVISOR), advisor));
+            for _ in 0..config.courses_per_student {
+                if !courses.is_empty() {
+                    let course = rng.choose(&courses).clone();
+                    triples.push(Triple::new(
+                        student.clone(),
+                        Term::iri(ub::TAKES_COURSE),
+                        course,
+                    ));
+                }
+            }
+        }
+        peers.push(triples);
+    }
+
+    UniversityDataset { peers, departments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::{TermPattern, TriplePattern, TripleStore};
+
+    #[test]
+    fn deterministic() {
+        let c = UniversityConfig::default();
+        assert_eq!(generate(&c).peers, generate(&c).peers);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let c = UniversityConfig::default();
+        let d = generate(&c);
+        assert_eq!(d.peers.len(), c.departments);
+        let store: TripleStore = d.peers.iter().flatten().cloned().collect();
+        let typed = |class: &str| {
+            store.count_pattern(&TriplePattern::new(
+                TermPattern::var("x"),
+                Term::iri(vocab::rdf::TYPE),
+                Term::iri(class),
+            ))
+        };
+        assert_eq!(typed(ub::PROFESSOR), c.departments * c.professors_per_department);
+        assert_eq!(typed(ub::STUDENT), c.departments * c.students_per_department);
+        assert_eq!(
+            typed(ub::COURSE),
+            c.departments * c.professors_per_department * c.courses_per_professor
+        );
+    }
+
+    #[test]
+    fn advisors_are_professors_of_same_department() {
+        let d = generate(&UniversityConfig::default());
+        let store: TripleStore = d.peers.iter().flatten().cloned().collect();
+        let advisors = store.match_pattern(&TriplePattern::new(
+            TermPattern::var("s"),
+            Term::iri(ub::ADVISOR),
+            TermPattern::var("p"),
+        ));
+        assert!(!advisors.is_empty());
+        for t in advisors {
+            let is_prof = store.contains(&Triple::new(
+                t.object.clone(),
+                Term::iri(vocab::rdf::TYPE),
+                Term::iri(ub::PROFESSOR),
+            ));
+            assert!(is_prof, "{} is not a professor", t.object);
+        }
+    }
+}

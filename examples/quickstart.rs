@@ -1,0 +1,70 @@
+//! Quickstart: build an ad-hoc data sharing network, share a few personal
+//! FOAF datasets, and run a SPARQL query from one of the peers.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rdfmesh::rdf::vocab::foaf;
+use rdfmesh::{SharingSystem, Term, Triple};
+
+fn person(name: &str) -> Term {
+    Term::iri(&format!("http://example.org/{name}"))
+}
+
+fn main() {
+    // 1. A fresh system. Index nodes self-organize into a Chord ring;
+    //    every peer (storage node) keeps its own triples.
+    let mut sys = SharingSystem::new();
+    let initiator = sys.add_index_node().expect("first index node");
+    for _ in 0..3 {
+        sys.add_index_node().expect("index node");
+    }
+
+    // 2. Three people each share their own little dataset.
+    let datasets: Vec<(&str, Vec<Triple>)> = vec![
+        (
+            "alice",
+            vec![
+                Triple::new(person("alice"), Term::iri(foaf::NAME), Term::literal("Alice Smith")),
+                Triple::new(person("alice"), Term::iri(foaf::KNOWS), person("bob")),
+                Triple::new(person("alice"), Term::iri(foaf::KNOWS), person("carol")),
+            ],
+        ),
+        (
+            "bob",
+            vec![
+                Triple::new(person("bob"), Term::iri(foaf::NAME), Term::literal("Bob Jones")),
+                Triple::new(person("bob"), Term::iri(foaf::KNOWS), person("carol")),
+            ],
+        ),
+        (
+            "carol",
+            vec![
+                Triple::new(person("carol"), Term::iri(foaf::NAME), Term::literal("Carol Smith")),
+                Triple::new(person("carol"), Term::iri(foaf::NICK), Term::literal("Shrek")),
+            ],
+        ),
+    ];
+    for (who, triples) in datasets {
+        let (addr, report) = sys.add_peer(triples).expect("add peer");
+        println!(
+            "peer {who:<6} joined as {addr}: published {} index keys ({} bytes)",
+            report.keys, report.bytes
+        );
+    }
+
+    // 3. Query from the initiating index node: who do the Smiths know?
+    let query = "SELECT ?x ?y WHERE { \
+                 ?x foaf:name ?name . \
+                 ?x foaf:knows ?y . \
+                 FILTER regex(?name, \"Smith\") } ORDER BY ?x";
+    println!("\nquery:\n{query}\n");
+    let exec = sys.query(initiator, query).expect("query");
+
+    println!("solutions:");
+    for sol in exec.result.solutions().expect("SELECT result") {
+        println!("  {sol}");
+    }
+    println!("\ncost: {}", exec.stats);
+}

@@ -1,0 +1,247 @@
+//! The `rdfmesh` command-line tool.
+//!
+//! ```text
+//! rdfmesh query [OPTIONS] <SPARQL>     run a query on a synthetic network
+//! rdfmesh load <FILE.nt>... -q <SPARQL> one peer per N-Triples file
+//! rdfmesh topology [OPTIONS]           print the ring and index layout
+//! rdfmesh help                         this message
+//! ```
+//!
+//! Options:
+//! ```text
+//! --peers N        storage nodes in the synthetic network   [default: 10]
+//! --persons N      persons in the generated FOAF data       [default: 100]
+//! --index N        index nodes on the ring                  [default: 4]
+//! --seed S         workload seed                            [default: 2013]
+//! --strategy S     basic | chained | freq                   [default: chained]
+//! --format F       table | json | xml | tsv                 [default: table]
+//! --objective O    plan adaptively: bytes | time | balanced
+//! ```
+
+use std::process::ExitCode;
+
+use rdfmesh::core::{ExecConfig, PlanObjective, PrimitiveStrategy};
+use rdfmesh::sparql::{to_json, to_tsv, to_xml};
+use rdfmesh::workload::{foaf, FoafConfig};
+use rdfmesh::{Engine, SharingSystem};
+
+struct Options {
+    peers: usize,
+    persons: usize,
+    index: usize,
+    seed: u64,
+    strategy: PrimitiveStrategy,
+    format: String,
+    objective: Option<PlanObjective>,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        peers: 10,
+        persons: 100,
+        index: 4,
+        seed: 2013,
+        strategy: PrimitiveStrategy::Chained,
+        format: "table".into(),
+        objective: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--peers" => o.peers = val("--peers")?.parse().map_err(|e| format!("--peers: {e}"))?,
+            "--persons" => {
+                o.persons = val("--persons")?.parse().map_err(|e| format!("--persons: {e}"))?
+            }
+            "--index" => o.index = val("--index")?.parse().map_err(|e| format!("--index: {e}"))?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--strategy" => {
+                o.strategy = match val("--strategy")?.as_str() {
+                    "basic" => PrimitiveStrategy::Basic,
+                    "chained" => PrimitiveStrategy::Chained,
+                    "freq" | "freq-ordered" => PrimitiveStrategy::FrequencyOrdered,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                }
+            }
+            "--format" => o.format = val("--format")?,
+            "--objective" => {
+                o.objective = Some(match val("--objective")?.as_str() {
+                    "bytes" => PlanObjective::MinBytes,
+                    "time" => PlanObjective::MinResponseTime,
+                    "balanced" => PlanObjective::Balanced(0.5),
+                    other => return Err(format!("unknown objective {other:?}")),
+                })
+            }
+            "-q" | "--query" => o.positional.push(val("--query")?),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn build_synthetic(o: &Options) -> Result<(SharingSystem, rdfmesh::NodeId), String> {
+    let data = foaf::generate(&FoafConfig {
+        persons: o.persons,
+        peers: o.peers,
+        seed: o.seed,
+        ..Default::default()
+    });
+    let mut sys = SharingSystem::new();
+    let initiator = sys.add_index_node().map_err(|e| e.to_string())?;
+    for _ in 1..o.index {
+        sys.add_index_node().map_err(|e| e.to_string())?;
+    }
+    for peer in &data.peers {
+        sys.add_peer(peer.clone()).map_err(|e| e.to_string())?;
+    }
+    Ok((sys, initiator))
+}
+
+fn print_result(format: &str, exec: &rdfmesh::Execution) -> Result<(), String> {
+    match format {
+        "json" => println!("{}", to_json(&exec.result)),
+        "xml" => print!("{}", to_xml(&exec.result)),
+        "tsv" => print!("{}", to_tsv(&exec.result)),
+        "table" => match &exec.result {
+            rdfmesh::QueryResult::Boolean(b) => println!("{b}"),
+            rdfmesh::QueryResult::Graph(g) => {
+                for t in g {
+                    println!("{t}");
+                }
+            }
+            rdfmesh::QueryResult::Solutions(sols) => {
+                for s in sols {
+                    println!("{s}");
+                }
+            }
+        },
+        other => return Err(format!("unknown format {other:?}")),
+    }
+    eprintln!("# {}", exec.stats);
+    Ok(())
+}
+
+fn run_query(o: &Options) -> Result<(), String> {
+    let Some(query) = o.positional.first() else {
+        return Err("query: missing SPARQL string".into());
+    };
+    let (mut sys, initiator) = build_synthetic(o)?;
+    let exec = match o.objective {
+        Some(objective) => {
+            let cfg = *sys.config();
+            let overlay = sys.overlay_mut();
+            let (exec, plan) = Engine::new(overlay, cfg)
+                .execute_with_objective(initiator, query, objective)
+                .map_err(|e| e.to_string())?;
+            eprintln!("# planner chose: {}", plan.config.primitive);
+            exec
+        }
+        None => {
+            let cfg = ExecConfig { primitive: o.strategy, ..ExecConfig::default() };
+            sys.query_with(initiator, query, cfg).map_err(|e| e.to_string())?
+        }
+    };
+    print_result(&o.format, &exec)
+}
+
+fn run_load(o: &Options) -> Result<(), String> {
+    if o.positional.len() < 2 {
+        return Err("load: need at least one .nt file and a query (-q)".into());
+    }
+    let (files, query) = o.positional.split_at(o.positional.len() - 1);
+    let query = &query[0];
+    let mut sys = SharingSystem::new();
+    let initiator = sys.add_index_node().map_err(|e| e.to_string())?;
+    for _ in 1..o.index {
+        sys.add_index_node().map_err(|e| e.to_string())?;
+    }
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let triples = rdfmesh::rdf::parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
+        let (addr, report) = sys.add_peer(triples).map_err(|e| e.to_string())?;
+        eprintln!("# {file} -> peer {addr} ({} index keys)", report.keys);
+    }
+    let cfg = ExecConfig { primitive: o.strategy, ..ExecConfig::default() };
+    let exec = sys.query_with(initiator, query, cfg).map_err(|e| e.to_string())?;
+    print_result(&o.format, &exec)
+}
+
+fn run_topology(o: &Options) -> Result<(), String> {
+    let (sys, _) = build_synthetic(o)?;
+    let overlay = sys.overlay();
+    println!("ring ({} index nodes, {}-bit ids):", overlay.index_nodes().len(), overlay.ring().space().bits());
+    for addr in overlay.index_nodes() {
+        let id = overlay.chord_id_of(addr).expect("index node");
+        let state = overlay.ring().node(id).expect("member");
+        let entries = overlay.location_table(addr).map_or(0, |t| t.entry_count());
+        println!(
+            "  {addr}: position {id}, successor {}, {} location-table entries",
+            state.successor(),
+            entries
+        );
+    }
+    println!("storage nodes:");
+    for addr in overlay.storage_nodes() {
+        let node = overlay.storage_node(addr).expect("listed");
+        println!(
+            "  {addr}: {} triples, attached to index position {}",
+            node.store.len(),
+            node.attached_to
+        );
+    }
+    Ok(())
+}
+
+const HELP: &str = "rdfmesh — ad-hoc Semantic Web data sharing (see README.md)
+
+USAGE:
+  rdfmesh query [OPTIONS] '<SPARQL>'
+  rdfmesh load  [OPTIONS] <FILE.nt>... -q '<SPARQL>'
+  rdfmesh topology [OPTIONS]
+
+OPTIONS:
+  --peers N      storage nodes in the synthetic network   [10]
+  --persons N    persons in the generated FOAF data       [100]
+  --index N      index nodes on the ring                  [4]
+  --seed S       workload seed                            [2013]
+  --strategy S   basic | chained | freq                   [chained]
+  --format F     table | json | xml | tsv                 [table]
+  --objective O  plan adaptively: bytes | time | balanced
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{HELP}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_args(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "query" => run_query(&opts),
+        "load" => run_load(&opts),
+        "topology" => run_topology(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `rdfmesh help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

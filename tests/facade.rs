@@ -1,0 +1,125 @@
+//! End-to-end flows through the top-level `rdfmesh` facade: the paths a
+//! downstream user actually types, including result serialization and
+//! dynamic sharing.
+
+use rdfmesh::core::{ExecConfig, PlanObjective, PrimitiveStrategy};
+use rdfmesh::rdf::vocab::foaf;
+use rdfmesh::sparql::{to_json, to_tsv, to_xml};
+use rdfmesh::{SharingSystem, Term, Triple};
+
+fn person(n: &str) -> Term {
+    Term::iri(&format!("http://example.org/{n}"))
+}
+
+fn knows(a: &str, b: &str) -> Triple {
+    Triple::new(person(a), Term::iri(foaf::KNOWS), person(b))
+}
+
+fn name(a: &str, n: &str) -> Triple {
+    Triple::new(person(a), Term::iri(foaf::NAME), Term::literal(n))
+}
+
+fn small_system() -> (SharingSystem, rdfmesh::NodeId) {
+    let mut sys = SharingSystem::new();
+    let ix = sys.add_index_node().unwrap();
+    sys.add_index_node().unwrap();
+    sys.add_peer(vec![knows("alice", "bob"), name("alice", "Alice Smith")]).unwrap();
+    sys.add_peer(vec![knows("bob", "carol"), name("bob", "Bob Jones")]).unwrap();
+    (sys, ix)
+}
+
+#[test]
+fn query_results_serialize_in_every_format() {
+    let (mut sys, ix) = small_system();
+    let exec = sys
+        .query(ix, "SELECT ?x ?n WHERE { ?x foaf:name ?n . } ORDER BY ?n")
+        .unwrap();
+    let json = to_json(&exec.result);
+    assert!(json.contains("\"vars\":[\"n\",\"x\"]") || json.contains("\"vars\":[\"x\",\"n\"]"));
+    assert!(json.contains("Alice Smith"));
+    let xml = to_xml(&exec.result);
+    assert!(xml.contains("<literal>Alice Smith</literal>"));
+    let tsv = to_tsv(&exec.result);
+    assert_eq!(tsv.lines().count(), 3);
+}
+
+#[test]
+fn construct_result_is_valid_ntriples() {
+    let (mut sys, ix) = small_system();
+    let exec = sys
+        .query(
+            ix,
+            "CONSTRUCT { ?y <http://example.org/knownBy> ?x . } WHERE { ?x foaf:knows ?y . }",
+        )
+        .unwrap();
+    let nt = to_tsv(&exec.result);
+    let reparsed = rdfmesh::rdf::parse_document(&nt).expect("CONSTRUCT output re-parses");
+    assert_eq!(reparsed.len(), 2);
+}
+
+#[test]
+fn serializer_round_trips_through_the_facade() {
+    let q = rdfmesh::parse_query(
+        "SELECT DISTINCT ?x WHERE { ?x foaf:knows ?y . OPTIONAL { ?y foaf:name ?n . } } LIMIT 4",
+    )
+    .unwrap();
+    let rendered = rdfmesh::sparql::serialize_query(&q);
+    let again = rdfmesh::parse_query(&rendered).unwrap();
+    assert_eq!(q.form, again.form);
+    assert_eq!(q.modifiers, again.modifiers);
+}
+
+#[test]
+fn sharing_evolves_over_time() {
+    let (mut sys, ix) = small_system();
+    let q = "SELECT ?x WHERE { ?x foaf:knows <http://example.org/carol> . }";
+    assert_eq!(sys.query(ix, q).unwrap().result.len(), 1);
+    // A third peer arrives, then learns about carol, then retracts.
+    let (peer, _) = sys.add_peer(vec![name("dave", "Dave")]).unwrap();
+    sys.share_more(peer, vec![knows("dave", "carol")]).unwrap();
+    assert_eq!(sys.query(ix, q).unwrap().result.len(), 2);
+    sys.unshare(peer, vec![knows("dave", "carol")]).unwrap();
+    assert_eq!(sys.query(ix, q).unwrap().result.len(), 1);
+}
+
+#[test]
+fn strategies_and_objectives_agree_on_answers() {
+    let (mut sys, ix) = small_system();
+    let q = "SELECT ?x ?y WHERE { ?x foaf:knows ?y . }";
+    let a = sys
+        .query_with(ix, q, ExecConfig { primitive: PrimitiveStrategy::Basic, ..ExecConfig::default() })
+        .unwrap();
+    let b = sys
+        .query_with(ix, q, ExecConfig { primitive: PrimitiveStrategy::FrequencyOrdered, ..ExecConfig::default() })
+        .unwrap();
+    let (c, plan) = sys.query_for_objective(ix, q, PlanObjective::Balanced(0.5)).unwrap();
+    assert_eq!(a.result.len(), 2);
+    assert_eq!(a.result.len(), b.result.len());
+    assert_eq!(a.result.len(), c.result.len());
+    assert_eq!(plan.candidates.len(), 3);
+}
+
+#[test]
+fn builder_knobs_are_respected() {
+    use rdfmesh::{LatencyModel, SimTime};
+    let mut sys = SharingSystem::builder()
+        .bits(16)
+        .successor_list(2)
+        .replication(1)
+        .latency(LatencyModel::Uniform(SimTime::millis(10)))
+        .bandwidth(1.0)
+        .build();
+    let ix = sys.add_index_node().unwrap();
+    sys.add_peer(vec![knows("a", "b")]).unwrap();
+    assert_eq!(sys.overlay().ring().space().bits(), 16);
+    let exec = sys.query(ix, "SELECT ?x WHERE { ?x foaf:knows ?y . }").unwrap();
+    // 10 ms links: even the fastest plan takes at least one round trip.
+    assert!(exec.stats.response_time >= SimTime::millis(20));
+}
+
+#[test]
+fn global_store_matches_sum_of_peers() {
+    let (sys, _) = small_system();
+    let store = rdfmesh::global_store(sys.overlay());
+    assert_eq!(store.len(), 4);
+}

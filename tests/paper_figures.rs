@@ -1,0 +1,255 @@
+//! Executable reproductions of the paper's figures and table.
+//!
+//! * Fig. 1 — the 9-node peer network in a 4-bit identifier space.
+//! * Fig. 2 + Table I — the two-level distributed index and an index
+//!   node's location table.
+//! * Fig. 3 — the query-processing workflow (exercised end to end).
+//!
+//! Figs. 4-9 (the example queries) live in `tests/paper_queries.rs`.
+
+use rdfmesh::chord::Id;
+use rdfmesh::net::{LatencyModel, Network, NodeId, SimTime};
+use rdfmesh::overlay::Overlay;
+use rdfmesh::rdf::{Term, TermPattern, Triple, TriplePattern};
+
+fn net() -> Network {
+    Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5)
+}
+
+/// Fig. 1: index nodes N1, N4, N7, N12, N15 on a 4-bit ring; storage
+/// nodes D1-D4 attached.
+fn fig1_overlay() -> Overlay {
+    let mut o = Overlay::new(4, 3, 2, net());
+    for pos in [1u64, 4, 7, 12, 15] {
+        o.add_index_node(NodeId(100 + pos), Id(pos)).unwrap();
+    }
+    // D1..D4 attach to index nodes; their data comes per test.
+    o
+}
+
+#[test]
+fn fig1_ring_topology_matches_paper() {
+    let o = fig1_overlay();
+    let ring = o.ring();
+    assert_eq!(ring.len(), 5);
+    assert_eq!(ring.node_ids(), vec![Id(1), Id(4), Id(7), Id(12), Id(15)]);
+    // Successor relationships around the 4-bit ring.
+    assert_eq!(ring.node(Id(1)).unwrap().successor(), Id(4));
+    assert_eq!(ring.node(Id(15)).unwrap().successor(), Id(1));
+    // The paper's example: a key hashing to 5 or 6 is owned by N7.
+    assert_eq!(ring.lookup_from(Id(1), Id(5)).unwrap().owner, Id(7));
+    assert_eq!(ring.lookup_from(Id(1), Id(6)).unwrap().owner, Id(7));
+}
+
+#[test]
+fn fig2_two_level_lookup_resolves_via_index_node() {
+    // "Whenever a query initiator issues a primitive SPARQL query
+    // containing a triple pattern ⟨si, pi, ?o⟩, it will first consult the
+    // index to find an index node ... then the related storage nodes can
+    // be further located in the location table."
+    // A 16-bit space keeps the six key families collision-free at this
+    // scale (in the paper's illustrative 4-bit space unrelated keys would
+    // collide; see `four_bit_space_collisions_stay_correct` below).
+    let mut o = Overlay::new(16, 3, 2, net());
+    for pos in [1u64, 4, 7, 12, 15] {
+        o.add_index_node(NodeId(100 + pos), Id(pos * 4096)).unwrap();
+    }
+    let s = Term::iri("http://example.org/s");
+    let p = Term::iri("http://example.org/p");
+    // D1, D3, D4 share triples with subject s and predicate p.
+    for (addr, count) in [(1u64, 10usize), (3, 20), (4, 15)] {
+        let triples: Vec<Triple> = (0..count)
+            .map(|i| {
+                Triple::new(
+                    s.clone(),
+                    p.clone(),
+                    Term::iri(&format!("http://example.org/o{addr}/{i}")),
+                )
+            })
+            .collect();
+        o.add_storage_node(NodeId(addr), NodeId(101), triples).unwrap();
+    }
+    // D2 shares unrelated data.
+    o.add_storage_node(
+        NodeId(2),
+        NodeId(104),
+        vec![Triple::new(
+            Term::iri("http://example.org/other"),
+            Term::iri("http://example.org/q"),
+            Term::iri("http://example.org/o"),
+        )],
+    )
+    .unwrap();
+
+    // Level 1 + level 2: the ⟨si, pi, ?o⟩ pattern resolves to D1, D3, D4
+    // with the frequencies of Table I's K2 row (10, 20, 15).
+    let pattern = TriplePattern::new(s, p, TermPattern::var("o"));
+    let located = o.locate(NodeId(101), &pattern, SimTime::ZERO).unwrap().unwrap();
+    let mut providers: Vec<(u64, u64)> =
+        located.providers.iter().map(|pr| (pr.node.0, pr.frequency)).collect();
+    providers.sort();
+    assert_eq!(providers, vec![(1, 10), (3, 20), (4, 15)]);
+}
+
+#[test]
+fn table1_location_table_rows() {
+    // Reconstructs Table I literally: K1 → D1(15), D3(10); K2 → D1(10),
+    // D3(20), D4(15); K3 → D1(30), and checks the lookup behaviour the
+    // paper describes ("the hash value of the subject si happens to be
+    // K3, N7 will then forward the query to the storage node D1").
+    use rdfmesh::overlay::LocationTable;
+    let mut table = LocationTable::new();
+    let (k1, k2, k3) = (Id(1), Id(2), Id(3));
+    table.add(k1, NodeId(1), 15);
+    table.add(k1, NodeId(3), 10);
+    table.add(k2, NodeId(1), 10);
+    table.add(k2, NodeId(3), 20);
+    table.add(k2, NodeId(4), 15);
+    table.add(k3, NodeId(1), 30);
+
+    assert_eq!(table.key_count(), 3);
+    let row3 = table.providers(k3);
+    assert_eq!(row3.len(), 1);
+    assert_eq!(row3[0].node, NodeId(1));
+    assert_eq!(row3[0].frequency, 30);
+    let row2 = table.providers(k2);
+    assert_eq!(row2.iter().map(|p| p.frequency).sum::<u64>(), 45);
+}
+
+#[test]
+fn fig3_workflow_end_to_end() {
+    // Query → parse → transform → optimize → ship → local exec → post-
+    // process, producing solutions at the initiator.
+    let mut o = fig1_overlay();
+    let alice = Term::iri("http://example.org/alice");
+    let bob = Term::iri("http://example.org/bob");
+    let knows = Term::iri(rdfmesh::rdf::vocab::foaf::KNOWS);
+    o.add_storage_node(NodeId(1), NodeId(101), vec![Triple::new(alice.clone(), knows.clone(), bob.clone())])
+        .unwrap();
+    o.add_storage_node(NodeId(2), NodeId(112), vec![Triple::new(bob, knows, alice)]).unwrap();
+
+    let mut engine = rdfmesh::Engine::new(&mut o, rdfmesh::ExecConfig::default());
+    let exec = engine
+        .execute(NodeId(101), "SELECT ?x ?y WHERE { ?x foaf:knows ?y . } ORDER BY ?x")
+        .unwrap();
+    assert_eq!(exec.result.len(), 2);
+    // Sorted by ?x: alice row first.
+    let sols = exec.result.solutions().unwrap();
+    assert_eq!(
+        sols[0].get_by_name("x").unwrap(),
+        &Term::iri("http://example.org/alice")
+    );
+    assert!(exec.stats.response_time > SimTime::ZERO);
+}
+
+#[test]
+fn six_indices_per_triple_as_in_section_3b() {
+    // "an index on its subject ⟨si⟩ will be stored ... Similarly ... on
+    // its subject and predicate ... The remaining four indices on ⟨pi⟩,
+    // ⟨oi⟩, ⟨pi, oi⟩, and ⟨si, oi⟩ are created and stored in the same
+    // manner."
+    let mut o = Overlay::new(16, 3, 1, net());
+    o.add_index_node(NodeId(100), Id(0)).unwrap();
+    o.add_index_node(NodeId(101), Id(30000)).unwrap();
+    let report = o
+        .add_storage_node(
+            NodeId(1),
+            NodeId(100),
+            vec![Triple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::iri("http://e/o"),
+            )],
+        )
+        .unwrap();
+    assert_eq!(report.keys, 6);
+    assert_eq!(o.total_index_entries(), 6);
+
+    // Every partially-bound pattern kind can now locate D1.
+    let s = || TermPattern::Const(Term::iri("http://e/s"));
+    let p = || TermPattern::Const(Term::iri("http://e/p"));
+    let obj = || TermPattern::Const(Term::iri("http://e/o"));
+    let v = TermPattern::var;
+    let patterns = [
+        TriplePattern::new(s(), v("p"), v("o")),
+        TriplePattern::new(v("s"), p(), v("o")),
+        TriplePattern::new(v("s"), v("p"), obj()),
+        TriplePattern::new(s(), p(), v("o")),
+        TriplePattern::new(v("s"), p(), obj()),
+        TriplePattern::new(s(), v("p"), obj()),
+        TriplePattern::new(s(), p(), obj()),
+    ];
+    for pat in patterns {
+        let located = o.locate(NodeId(100), &pat, SimTime::ZERO).unwrap().unwrap();
+        assert_eq!(located.providers.len(), 1, "pattern {pat}");
+        assert_eq!(located.providers[0].node, NodeId(1));
+    }
+}
+
+#[test]
+fn section_3c_index_join_transfers_table_portion() {
+    // "A newly arriving index node ... can simply request that node to
+    // transfer a portion of its location table."
+    let mut o = fig1_overlay();
+    let triples: Vec<Triple> = (0..40)
+        .map(|i| {
+            Triple::new(
+                Term::iri(&format!("http://e/s{i}")),
+                Term::iri(&format!("http://e/p{}", i % 5)),
+                Term::iri(&format!("http://e/o{i}")),
+            )
+        })
+        .collect();
+    o.add_storage_node(NodeId(1), NodeId(101), triples).unwrap();
+    let entries_before = o.total_index_entries();
+
+    let report = o.add_index_node(NodeId(109), Id(9)).unwrap();
+    // No entries are lost, and with a 4-bit space and 240 keys the new
+    // node almost surely receives some.
+    assert_eq!(o.total_index_entries(), entries_before);
+    assert!(report.transferred_keys > 0, "the new node should inherit keys in (7, 9]");
+    assert!(report.transferred_bytes > 0);
+}
+
+
+#[test]
+fn four_bit_space_collisions_stay_correct() {
+    // In the paper's illustrative 4-bit identifier space, different keys
+    // inevitably collide. Collisions only create false-positive
+    // providers; local pattern matching at the storage nodes filters
+    // them, so answers stay exact.
+    let mut o = fig1_overlay();
+    let s = Term::iri("http://example.org/s");
+    let p = Term::iri("http://example.org/p");
+    for (addr, count) in [(1u64, 10usize), (3, 20), (4, 15)] {
+        let triples: Vec<Triple> = (0..count)
+            .map(|i| {
+                Triple::new(
+                    s.clone(),
+                    p.clone(),
+                    Term::iri(&format!("http://example.org/o{addr}/{i}")),
+                )
+            })
+            .collect();
+        o.add_storage_node(NodeId(addr), NodeId(101), triples).unwrap();
+    }
+    o.add_storage_node(
+        NodeId(2),
+        NodeId(104),
+        vec![Triple::new(
+            Term::iri("http://example.org/other"),
+            Term::iri("http://example.org/q"),
+            Term::iri("http://example.org/o"),
+        )],
+    )
+    .unwrap();
+
+    let mut engine = rdfmesh::Engine::new(&mut o, rdfmesh::ExecConfig::default());
+    let exec = engine
+        .execute(
+            NodeId(101),
+            "SELECT ?o WHERE { <http://example.org/s> <http://example.org/p> ?o . }",
+        )
+        .unwrap();
+    assert_eq!(exec.result.len(), 45, "10 + 20 + 15 objects, no false positives in the answer");
+}
