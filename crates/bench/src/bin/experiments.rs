@@ -14,7 +14,9 @@ fn main() {
     }
     for arg in &args {
         if !rdfmesh_bench::experiments::run_one(arg) {
-            eprintln!("unknown experiment {arg:?}; known: e1..e10");
+            let known: Vec<&str> =
+                rdfmesh_bench::experiments::all().iter().map(|(id, _, _)| *id).collect();
+            eprintln!("unknown experiment {arg:?}; known: {}", known.join(", "));
             std::process::exit(2);
         }
     }

@@ -39,11 +39,33 @@ pub fn all() -> Vec<(&'static str, &'static str, fn())> {
     ]
 }
 
+/// Runs one experiment with the metrics registry recording, then prints
+/// the per-experiment snapshot: a human-readable table always, plus
+/// JSON-lines (scoped by experiment id) when `RDFMESH_METRICS_JSON` is
+/// set in the environment.
+fn run_instrumented(id: &str, title: &str, runner: fn()) {
+    println!("\n## {} — {}", id.to_uppercase(), title);
+    let metrics = rdfmesh_obs::metrics();
+    metrics.reset();
+    metrics.enable();
+    runner();
+    metrics.disable();
+    let snap = metrics.snapshot();
+    if !snap.is_empty() {
+        println!("\n### {id} metrics\n");
+        println!("```");
+        print!("{}", snap.render_table());
+        println!("```");
+        if std::env::var_os("RDFMESH_METRICS_JSON").is_some() {
+            print!("{}", snap.to_json_lines(id));
+        }
+    }
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     for (id, title, runner) in all() {
-        println!("\n## {} — {}", id.to_uppercase(), title);
-        runner();
+        run_instrumented(id, title, runner);
     }
 }
 
@@ -51,8 +73,7 @@ pub fn run_all() {
 pub fn run_one(id: &str) -> bool {
     for (eid, title, runner) in all() {
         if eid == id {
-            println!("\n## {} — {}", eid.to_uppercase(), title);
-            runner();
+            run_instrumented(eid, title, runner);
             return true;
         }
     }

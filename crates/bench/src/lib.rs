@@ -87,6 +87,22 @@ impl Testbed {
         let n = exec.result.len();
         (exec.stats, n)
     }
+
+    /// Runs one query recording a full lifecycle trace (see
+    /// `docs/OBSERVABILITY.md`): every phase a span, every message
+    /// charged to its phase, with the per-phase breakdown summing
+    /// exactly to the returned statistics.
+    pub fn run_traced(
+        &mut self,
+        cfg: ExecConfig,
+        query: &str,
+    ) -> (QueryStats, rdfmesh_obs::QueryTrace) {
+        self.overlay.net.reset();
+        let (exec, trace) = Engine::new(&mut self.overlay, cfg)
+            .execute_traced(self.initiator, query)
+            .expect("query execution");
+        (exec.stats, trace)
+    }
 }
 
 /// Renders a Markdown table to stdout.

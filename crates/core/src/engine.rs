@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use rdfmesh_net::{NodeId, SimTime};
+use rdfmesh_obs::phase;
 use rdfmesh_overlay::{wire, Overlay, OverlayError, Provider};
 use rdfmesh_rdf::{Triple, TriplePattern, TripleStore, Variable};
 use rdfmesh_sparql::{
@@ -140,6 +141,29 @@ impl<'a> Engine<'a> {
         self.execute_algebra(initiator, &algebra)
     }
 
+    /// Like [`Engine::execute`], but records the query lifecycle in a
+    /// [`rdfmesh_obs::QueryTrace`]: every phase becomes a span, every
+    /// inter-site message charges its bytes to the enclosing phase, and
+    /// the trace's per-phase breakdown sums exactly to the returned
+    /// [`QueryStats`] totals (same bytes, same response time).
+    pub fn execute_traced(
+        &mut self,
+        initiator: NodeId,
+        query: &str,
+    ) -> Result<(Execution, rdfmesh_obs::QueryTrace), EngineError> {
+        let trace = rdfmesh_obs::QueryTrace::new();
+        let guard = rdfmesh_obs::set_current(trace.clone());
+        // Parsing runs locally at the initiator: zero simulated time,
+        // zero bytes — the span records that the phase happened.
+        let span = rdfmesh_obs::begin_current(phase::PARSE, query.lines().next().unwrap_or(""), 0);
+        let parsed = rdfmesh_sparql::parse_query(query);
+        rdfmesh_obs::end_current(span, 0);
+        let execution = self.execute_algebra(initiator, &parsed?)?;
+        drop(guard);
+        trace.finish(execution.stats.response_time.0);
+        Ok((execution, trace))
+    }
+
     /// Plans the primitive strategy from location-table statistics for
     /// the given objective (the Sect. V future-work optimizer), then
     /// executes. Returns the execution together with the plan that was
@@ -200,12 +224,24 @@ impl<'a> Engine<'a> {
 
         // Global query optimization (Fig. 3): algebraic rewrites, with
         // join ordering driven by location-table frequencies when enabled.
+        // The optimize span takes zero simulated time itself; the
+        // frequency pre-fetch opens nested key-resolution spans that
+        // carry the lookup traffic.
+        let span = rdfmesh_obs::begin_current(phase::OPTIMIZE, "rewrites + join ordering", 0);
         let mut pattern = query.pattern.clone();
-        if self.cfg.frequency_join_order {
-            let estimator = self.build_frequency_estimator(&pattern)?;
-            pattern = optimizer::optimize_with(pattern, &self.cfg.optimizer, &estimator);
-        } else {
-            pattern = optimizer::optimize(pattern, &self.cfg.optimizer);
+        let optimize = (|| -> Result<GraphPattern, EngineError> {
+            if self.cfg.frequency_join_order {
+                let estimator = self.build_frequency_estimator(&pattern)?;
+                Ok(optimizer::optimize_with(pattern.clone(), &self.cfg.optimizer, &estimator))
+            } else {
+                Ok(optimizer::optimize(pattern.clone(), &self.cfg.optimizer))
+            }
+        })();
+        rdfmesh_obs::end_current(span, 0);
+        pattern = optimize?;
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.add("engine.queries", 1);
         }
 
         // ASK fast path: a single-pattern existence test stops at the
@@ -217,6 +253,8 @@ impl<'a> Engine<'a> {
                 self.stats.response_time = ready;
                 self.stats.result_size = usize::from(answer);
                 self.stats.absorb_net(&before.delta(&self.overlay.net.stats()));
+                rdfmesh_obs::advance_current(phase::POST_PROCESS, ready.0);
+                rdfmesh_obs::count_current("result_size", self.stats.result_size as u64);
                 return Ok(Execution {
                     result: QueryResult::Boolean(answer),
                     stats: self.stats.clone(),
@@ -231,10 +269,83 @@ impl<'a> Engine<'a> {
 
         // Post-processing at the initiator.
         let result = self.post_process(query, mat.solutions)?;
-        self.stats.response_time = mat.ready;
+        // `max`, not assignment: DESCRIBE's distributed resource fetches
+        // inside post_process may finish after the main materialization.
+        self.stats.response_time = self.stats.response_time.max(mat.ready);
         self.stats.result_size = result.len();
         self.stats.absorb_net(&before.delta(&self.overlay.net.stats()));
+        rdfmesh_obs::advance_current(phase::POST_PROCESS, self.stats.response_time.0);
+        rdfmesh_obs::count_current("result_size", result.len() as u64);
         Ok(Execution { result, stats: self.stats.clone() })
+    }
+
+    // ---- observability mirrors -----------------------------------------
+    //
+    // Every legacy counter bump goes through one of these, which also
+    // feed the active query trace (so stats become derivable from it —
+    // see `QueryStats::from_trace`) and the process-wide registry.
+
+    fn note_index_hops(&mut self, hops: usize) {
+        self.stats.index_hops += hops;
+        rdfmesh_obs::count_current("index_hops", hops as u64);
+    }
+
+    fn note_provider_contacted(&mut self) {
+        self.stats.providers_contacted += 1;
+        rdfmesh_obs::count_current("providers_contacted", 1);
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.add("engine.providers_contacted", 1);
+            metrics.add(
+                match self.cfg.primitive {
+                    PrimitiveStrategy::Basic => "engine.subqueries.basic",
+                    PrimitiveStrategy::Chained => "engine.subqueries.chained",
+                    PrimitiveStrategy::FrequencyOrdered => "engine.subqueries.frequency_ordered",
+                },
+                1,
+            );
+        }
+    }
+
+    /// Forwards a sub-query from a storage-node initiator to its entry
+    /// index node (one charged message), under a shipping span.
+    fn forward_to_entry(&mut self, entry: NodeId, pattern: &TriplePattern, depart: SimTime) -> SimTime {
+        let span = rdfmesh_obs::begin_current(
+            phase::SHIPPING,
+            &format!("forward {} -> {}", self.initiator, entry),
+            depart.0,
+        );
+        let t = self.overlay.net.send(
+            self.initiator,
+            entry,
+            wire::SUBQUERY_HEADER + pattern.serialized_len(),
+            depart,
+        );
+        rdfmesh_obs::end_current(span, t.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
+        t
+    }
+
+    fn note_intermediates(&mut self, n: usize) {
+        self.stats.intermediate_solutions += n;
+        rdfmesh_obs::count_current("intermediate_solutions", n as u64);
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.observe("engine.intermediate_solutions", n as u64);
+        }
+    }
+
+    /// Records local query execution at a storage node as a zero-width
+    /// span: the simulator charges no compute time for local matching, so
+    /// the span marks the event (which node, how many solutions) without
+    /// moving the clock or claiming bytes.
+    fn note_local_exec(&self, node: NodeId, solutions: usize, at: SimTime) {
+        let span = rdfmesh_obs::begin_current(
+            phase::LOCAL_EXEC,
+            &format!("{node}: {solutions} solutions"),
+            at.0,
+        );
+        rdfmesh_obs::end_current(span, at.0);
     }
 
     fn check_initiator(&self, addr: NodeId) -> Result<(), EngineError> {
@@ -260,7 +371,7 @@ impl<'a> Engine<'a> {
         for tp in tps {
             match self.overlay.locate(entry, &tp, SimTime::ZERO)? {
                 Some(located) => {
-                    self.stats.index_hops += located.hops;
+                    self.note_index_hops(located.hops);
                     let total: u64 = located.providers.iter().map(|p| p.frequency).sum();
                     entries.push((tp, total));
                 }
@@ -400,7 +511,7 @@ impl<'a> Engine<'a> {
         let Some(lb) = self.overlay.locate(entry, tb, SimTime::ZERO)? else {
             return Ok((None, None));
         };
-        self.stats.index_hops += la.hops + lb.hops;
+        self.note_index_hops(la.hops + lb.hops);
         let mut best: Option<(u64, NodeId)> = None;
         for pa in &la.providers {
             if let Some(pb) = lb.providers.iter().find(|pb| pb.node == pa.node) {
@@ -435,15 +546,20 @@ impl<'a> Engine<'a> {
         let depart = if entry == self.initiator {
             depart
         } else {
-            self.overlay.net.send(self.initiator, entry, wire::SUBQUERY_HEADER + pattern.serialized_len(), depart)
+            self.forward_to_entry(entry, pattern, depart)
         };
         let Some(located) = self.overlay.locate(entry, pattern, depart)? else {
             return self.flood(pattern, filter, depart);
         };
-        self.stats.index_hops += located.hops;
+        self.note_index_hops(located.hops);
+        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
         let assembly = located.index_node;
         let t0 = located.arrival;
         let mut providers = self.in_dataset(located.providers.clone());
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.observe("engine.providers_per_pattern", providers.len() as u64);
+        }
         if providers.is_empty() {
             return Ok(Mat { solutions: Vec::new(), site: assembly, ready: t0 });
         }
@@ -478,15 +594,21 @@ impl<'a> Engine<'a> {
         let subquery_bytes = wire::SUBQUERY_HEADER
             + pattern.serialized_len()
             + filter.map_or(0, |f| f.serialized_len());
+        let span = rdfmesh_obs::begin_current(
+            phase::SHIPPING,
+            &format!("basic fan-out to {} providers", providers.len()),
+            t0.0,
+        );
         let mut union: SolutionSet = Vec::new();
         let mut ready = t0;
         let mut dead = Vec::new();
         for p in providers {
             let sent = self.overlay.net.send(assembly, p.node, subquery_bytes, t0);
-            self.stats.providers_contacted += 1;
+            self.note_provider_contacted();
             match self.local_solutions(p.node, pattern, filter) {
                 Some(sols) => {
-                    self.stats.intermediate_solutions += sols.len();
+                    self.note_local_exec(p.node, sols.len(), sent);
+                    self.note_intermediates(sols.len());
                     let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
                     let back = self.overlay.net.send(p.node, assembly, bytes, sent);
                     ready = ready.max(back);
@@ -499,6 +621,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        rdfmesh_obs::end_current(span, ready.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
         self.handle_dead(&dead);
         Ok(Mat { solutions: union, site: assembly, ready })
     }
@@ -527,6 +651,11 @@ impl<'a> Engine<'a> {
             + filter.map_or(0, |f| f.serialized_len())
             + 8 * providers.len(); // the forwarding list
 
+        let span = rdfmesh_obs::begin_current(
+            phase::SHIPPING,
+            &format!("chain through {} providers", providers.len()),
+            t0.0,
+        );
         let mut acc: SolutionSet = Vec::new();
         let mut cursor = assembly;
         let mut t = t0;
@@ -534,10 +663,11 @@ impl<'a> Engine<'a> {
         for p in &providers {
             let payload = subquery_bytes + wire::RESULT_HEADER + solution::serialized_len(&acc);
             let arrived = self.overlay.net.send(cursor, p.node, payload, t);
-            self.stats.providers_contacted += 1;
+            self.note_provider_contacted();
             match self.local_solutions(p.node, pattern, filter) {
                 Some(sols) => {
-                    self.stats.intermediate_solutions += sols.len();
+                    self.note_local_exec(p.node, sols.len(), arrived);
+                    self.note_intermediates(sols.len());
                     merge_distinct(&mut acc, sols);
                     cursor = p.node;
                     t = arrived;
@@ -550,6 +680,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        rdfmesh_obs::end_current(span, t.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
         self.handle_dead(&dead);
         Ok(Mat { solutions: acc, site: cursor, ready: t })
     }
@@ -567,39 +699,42 @@ impl<'a> Engine<'a> {
         let depart = if entry == self.initiator {
             SimTime::ZERO
         } else {
-            self.overlay.net.send(
-                self.initiator,
-                entry,
-                wire::SUBQUERY_HEADER + pattern.serialized_len(),
-                SimTime::ZERO,
-            )
+            self.forward_to_entry(entry, pattern, SimTime::ZERO)
         };
         let Some(located) = self.overlay.locate(entry, pattern, depart)? else {
             let mat = self.flood(pattern, filter, depart)?;
             let mat = self.ship(mat, self.initiator);
             return Ok((!mat.solutions.is_empty(), mat.ready));
         };
-        self.stats.index_hops += located.hops;
+        self.note_index_hops(located.hops);
+        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
         let assembly = located.index_node;
         let mut providers = self.in_dataset(located.providers.clone());
         providers.sort_by_key(|p| (std::cmp::Reverse(p.frequency), p.node));
         let subquery_bytes = wire::SUBQUERY_HEADER
             + pattern.serialized_len()
             + filter.map_or(0, |f| f.serialized_len());
+        let span = rdfmesh_obs::begin_current(
+            phase::SHIPPING,
+            &format!("ask probe of {} providers", providers.len()),
+            located.arrival.0,
+        );
         let mut t = located.arrival;
         let mut dead = Vec::new();
         let mut answer = false;
         for p in &providers {
             let sent = self.overlay.net.send(assembly, p.node, subquery_bytes, t);
-            self.stats.providers_contacted += 1;
+            self.note_provider_contacted();
             match self.local_solutions(p.node, pattern, filter) {
                 Some(sols) if !sols.is_empty() => {
                     // Witness found: one ack back to the assembly, done.
+                    self.note_local_exec(p.node, sols.len(), sent);
                     t = self.overlay.net.send(p.node, assembly, wire::ACK, sent);
                     answer = true;
                     break;
                 }
-                Some(_) => {
+                Some(sols) => {
+                    self.note_local_exec(p.node, sols.len(), sent);
                     t = self.overlay.net.send(p.node, assembly, wire::ACK, sent);
                 }
                 None => {
@@ -610,6 +745,8 @@ impl<'a> Engine<'a> {
         }
         self.handle_dead(&dead);
         let ready = self.overlay.net.send(assembly, self.initiator, wire::ACK, t);
+        rdfmesh_obs::end_current(span, ready.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
         Ok((answer, ready))
     }
 
@@ -643,19 +780,15 @@ impl<'a> Engine<'a> {
         let depart = if entry == self.initiator {
             depart
         } else {
-            self.overlay.net.send(
-                self.initiator,
-                entry,
-                wire::SUBQUERY_HEADER + pattern.serialized_len(),
-                depart,
-            )
+            self.forward_to_entry(entry, pattern, depart)
         };
         let Some(located) =
             self.overlay.locate_numeric_range(entry, predicate, lo, hi, depart)?
         else {
             return Ok(None);
         };
-        self.stats.index_hops += located.hops;
+        self.note_index_hops(located.hops);
+        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
         let providers = self.in_dataset(located.providers.clone());
         if providers.is_empty() {
             return Ok(Some(Mat {
@@ -680,6 +813,7 @@ impl<'a> Engine<'a> {
     ) -> Result<Mat, EngineError> {
         let entry = self.entry_index(self.initiator)?;
         let subquery_bytes = wire::SUBQUERY_HEADER + pattern.serialized_len();
+        let span = rdfmesh_obs::begin_current(phase::SHIPPING, "flood all storage nodes", depart.0);
         let mut union: SolutionSet = Vec::new();
         let mut ready = depart;
         let mut dead = Vec::new();
@@ -706,10 +840,11 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let at_storage = self.overlay.net.send(index, s, subquery_bytes, at_index);
-                self.stats.providers_contacted += 1;
+                self.note_provider_contacted();
                 match self.local_solutions(s, pattern, filter) {
                     Some(sols) => {
-                        self.stats.intermediate_solutions += sols.len();
+                        self.note_local_exec(s, sols.len(), at_storage);
+                        self.note_intermediates(sols.len());
                         let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
                         let back = self.overlay.net.send(s, entry, bytes, at_storage);
                         ready = ready.max(back);
@@ -722,6 +857,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        rdfmesh_obs::end_current(span, ready.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
         self.handle_dead(&dead);
         Ok(Mat { solutions: union, site: entry, ready })
     }
@@ -763,8 +900,13 @@ impl<'a> Engine<'a> {
     }
 
     fn handle_dead(&mut self, dead: &[NodeId]) {
+        let metrics = rdfmesh_obs::metrics();
         for &d in dead {
             self.stats.dead_providers += 1;
+            rdfmesh_obs::count_current("dead_providers", 1);
+            if metrics.is_enabled() {
+                metrics.add("engine.dead_provider_timeouts", 1);
+            }
             self.overlay.purge_storage_entries(d);
         }
     }
@@ -807,7 +949,8 @@ impl<'a> Engine<'a> {
             let right = self.flood(pattern, None, current.ready)?;
             return Ok(self.binary_op(BinaryOp::Join, current, right));
         };
-        self.stats.index_hops += located.hops;
+        self.note_index_hops(located.hops);
+        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
         let assembly = located.index_node;
         let mut providers = self.in_dataset(located.providers.clone());
         if providers.is_empty() {
@@ -820,6 +963,11 @@ impl<'a> Engine<'a> {
             PrimitiveStrategy::Basic => {
                 // Current solutions move to the assembly, then fan out
                 // with the sub-query; extensions return to the assembly.
+                let span = rdfmesh_obs::begin_current(
+                    phase::SHIPPING,
+                    &format!("bind-join fan-out to {} providers", providers.len()),
+                    current.ready.0,
+                );
                 let at_assembly = self
                     .overlay
                     .net
@@ -830,10 +978,11 @@ impl<'a> Engine<'a> {
                 let mut dead = Vec::new();
                 for p in &providers {
                     let sent = self.overlay.net.send(assembly, p.node, subquery_bytes, at_assembly);
-                    self.stats.providers_contacted += 1;
+                    self.note_provider_contacted();
                     match self.bound_solutions(p.node, pattern, &current.solutions) {
                         Some(sols) => {
-                            self.stats.intermediate_solutions += sols.len();
+                            self.note_local_exec(p.node, sols.len(), sent);
+                            self.note_intermediates(sols.len());
                             let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
                             let back = self.overlay.net.send(p.node, assembly, bytes, sent);
                             ready = ready.max(back);
@@ -845,6 +994,8 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
+                rdfmesh_obs::end_current(span, ready.0);
+                rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
                 self.handle_dead(&dead);
                 Ok(Mat { solutions: union, site: assembly, ready })
             }
@@ -859,14 +1010,20 @@ impl<'a> Engine<'a> {
                 let mut acc: SolutionSet = Vec::new();
                 let mut cursor = current.site;
                 let mut t = current.ready.max(located.arrival);
+                let span = rdfmesh_obs::begin_current(
+                    phase::SHIPPING,
+                    &format!("bind-join chain through {} providers", providers.len()),
+                    t.0,
+                );
                 let mut dead = Vec::new();
                 for p in &providers {
                     let payload = subquery_bytes + wire::RESULT_HEADER + solution::serialized_len(&acc);
                     let arrived = self.overlay.net.send(cursor, p.node, payload, t);
-                    self.stats.providers_contacted += 1;
+                    self.note_provider_contacted();
                     match self.bound_solutions(p.node, pattern, &current.solutions) {
                         Some(sols) => {
-                            self.stats.intermediate_solutions += sols.len();
+                            self.note_local_exec(p.node, sols.len(), arrived);
+                            self.note_intermediates(sols.len());
                             merge_distinct(&mut acc, sols);
                             cursor = p.node;
                             t = arrived;
@@ -877,6 +1034,8 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
+                rdfmesh_obs::end_current(span, t.0);
+                rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
                 self.handle_dead(&dead);
                 Ok(Mat { solutions: acc, site: cursor, ready: t })
             }
@@ -909,7 +1068,7 @@ impl<'a> Engine<'a> {
                 solution::left_join_filtered(&l.solutions, &r.solutions, |m| cond.satisfied_by(m))
             }
         };
-        self.stats.intermediate_solutions += solutions.len();
+        self.note_intermediates(solutions.len());
         Mat { solutions, site, ready }
     }
 
@@ -965,7 +1124,14 @@ impl<'a> Engine<'a> {
             return mat;
         }
         let bytes = wire::RESULT_HEADER + solution::serialized_len(&mat.solutions);
+        let span = rdfmesh_obs::begin_current(
+            phase::SHIPPING,
+            &format!("ship {} solutions {} -> {}", mat.solutions.len(), mat.site, site),
+            mat.ready.0,
+        );
         let ready = self.overlay.net.send(mat.site, site, bytes, mat.ready);
+        rdfmesh_obs::end_current(span, ready.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
         Mat { solutions: mat.solutions, site, ready }
     }
 

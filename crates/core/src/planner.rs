@@ -172,6 +172,18 @@ pub fn plan(
         .map(|(s, _)| *s)
         .expect("non-empty candidates");
 
+    let metrics = rdfmesh_obs::metrics();
+    if metrics.is_enabled() {
+        metrics.add("planner.plans", 1);
+        metrics.add(
+            match best {
+                PrimitiveStrategy::Basic => "planner.chose.basic",
+                PrimitiveStrategy::Chained => "planner.chose.chained",
+                PrimitiveStrategy::FrequencyOrdered => "planner.chose.frequency_ordered",
+            },
+            1,
+        );
+    }
     Ok(Plan { config: ExecConfig { primitive: best, ..base }, candidates })
 }
 

@@ -286,3 +286,64 @@ fn university_dataset_conjunctions_agree() {
         assert!(n > 0, "advisors are in the same department by construction");
     }
 }
+
+/// Observability exactness on the correctness fixtures: for every
+/// strategy configuration and every query form — including DESCRIBE's
+/// distributed resource fetches and a dead provider's ack timeout — the
+/// statistics derived from the query trace equal the hand-counted
+/// legacy values, and the per-phase breakdown partitions the byte,
+/// message, and response-time totals with no remainder.
+#[test]
+fn traced_stats_equal_hand_counted_stats_on_fixtures() {
+    let person = rdfmesh_workload::foaf::person_iri(0);
+    let describe = format!("DESCRIBE {person}");
+    let queries = [
+        "SELECT * WHERE { ?x foaf:knows ?y . }",
+        "SELECT * WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . }",
+        "SELECT * WHERE { ?x foaf:knows ?y . OPTIONAL { ?y foaf:name ?n . } }",
+        "SELECT * WHERE { ?s ?p ?o . }",
+        "ASK { ?x foaf:knows ?y . }",
+        "CONSTRUCT { ?y <http://example.org/knownBy> ?x . } WHERE { ?x foaf:knows ?y . }",
+        describe.as_str(),
+    ];
+    let mut overlay = build_overlay(&FoafConfig { persons: 25, peers: 5, ..Default::default() });
+    for cfg in all_configs() {
+        for query in queries {
+            let (exec, trace) = Engine::new(&mut overlay, cfg)
+                .execute_traced(NodeId(1000), query)
+                .unwrap();
+            trace.check_well_formed().unwrap();
+            assert_eq!(
+                rdfmesh_core::QueryStats::from_trace(&trace),
+                exec.stats,
+                "derived != legacy for {query} under {cfg:?}"
+            );
+            let rows = trace.phase_breakdown();
+            assert_eq!(
+                rows.iter().map(|r| r.bytes).sum::<u64>(),
+                exec.stats.total_bytes,
+                "byte partition leaks for {query} under {cfg:?}"
+            );
+            assert_eq!(
+                rows.iter().map(|r| r.messages).sum::<u64>(),
+                exec.stats.messages,
+                "message partition leaks for {query} under {cfg:?}"
+            );
+            assert_eq!(
+                rows.iter().map(|r| r.time_us).sum::<u64>(),
+                exec.stats.response_time.0,
+                "time attribution leaks for {query} under {cfg:?}"
+            );
+        }
+    }
+    // Dead provider: the ack-timeout path must stay exact too.
+    let mut overlay = build_overlay(&FoafConfig { persons: 25, peers: 5, ..Default::default() });
+    let victim = overlay.storage_nodes()[0];
+    overlay.fail_storage_node(victim).unwrap();
+    let (exec, trace) = Engine::new(&mut overlay, ExecConfig::default())
+        .execute_traced(NodeId(1000), "SELECT * WHERE { ?x foaf:knows ?y . }")
+        .unwrap();
+    trace.check_well_formed().unwrap();
+    assert!(exec.stats.dead_providers > 0, "the victim should have timed out");
+    assert_eq!(rdfmesh_core::QueryStats::from_trace(&trace), exec.stats);
+}

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use rdfmesh_core::{
-    global_store, Engine, ExecConfig, JoinSiteStrategy, PrimitiveStrategy,
+    global_store, Engine, ExecConfig, JoinSiteStrategy, PrimitiveStrategy, QueryStats,
 };
 use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
 use rdfmesh_overlay::Overlay;
@@ -134,5 +134,40 @@ proptest! {
             .execute(NodeId(1000), &query)
             .expect("clean second run");
         prop_assert_eq!(exec2.stats.dead_providers, 0);
+    }
+
+    /// The observability tentpole's exactness guarantee: for any random
+    /// config/placement/query, the hand-counted legacy statistics equal
+    /// the statistics derived from the query trace, the trace is
+    /// well-formed, and the per-phase breakdown partitions the byte and
+    /// response-time totals with no remainder.
+    #[test]
+    fn traced_stats_are_a_derived_view(
+        datasets in proptest::collection::vec(
+            proptest::collection::vec(arb_triple(), 0..10), 1..4),
+        cfg in arb_config(),
+        query in arb_query(),
+        from_storage in any::<bool>(),
+    ) {
+        let mut overlay = build(&datasets);
+        // A storage-node initiator also exercises the forwarded-sub-query
+        // spans; an index-node initiator the direct path.
+        let initiator = if from_storage { NodeId(1) } else { NodeId(1000) };
+        let (exec, trace) = Engine::new(&mut overlay, cfg)
+            .execute_traced(initiator, &query)
+            .expect("traced execution");
+        prop_assert!(
+            trace.check_well_formed().is_ok(),
+            "ill-formed trace: {:?}", trace.check_well_formed()
+        );
+        let derived = QueryStats::from_trace(&trace);
+        prop_assert_eq!(&derived, &exec.stats, "query {} under {:?}", query, cfg);
+        let rows = trace.phase_breakdown();
+        let bytes: u64 = rows.iter().map(|r| r.bytes).sum();
+        let msgs: u64 = rows.iter().map(|r| r.messages).sum();
+        let time: u64 = rows.iter().map(|r| r.time_us).sum();
+        prop_assert_eq!(bytes, exec.stats.total_bytes);
+        prop_assert_eq!(msgs, exec.stats.messages);
+        prop_assert_eq!(time, exec.stats.response_time.0);
     }
 }

@@ -154,8 +154,10 @@ fn filter_pushing_reduces_intermediate_transfer() {
     let mut with = build();
     let pushed = run(&mut with, ExecConfig::default(), q);
     let mut without = build();
-    let mut cfg = ExecConfig::default();
-    cfg.optimizer = OptimizerConfig { push_filters: false, ..OptimizerConfig::default() };
+    let cfg = ExecConfig {
+        optimizer: OptimizerConfig { push_filters: false, ..OptimizerConfig::default() },
+        ..ExecConfig::default()
+    };
     let unpushed = run(&mut without, cfg, q);
     assert!(
         pushed.total_bytes < unpushed.total_bytes,

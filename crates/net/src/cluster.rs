@@ -33,6 +33,8 @@ enum Packet<M> {
     Shutdown,
 }
 
+type PendingNode<M> = (NodeId, Receiver<Packet<M>>, Box<dyn Handler<M>>);
+
 /// Shared traffic counters for a running cluster.
 #[derive(Debug, Default)]
 pub struct ClusterStats {
@@ -99,7 +101,7 @@ impl<M: Send + 'static> Cluster<M> {
     /// each other by id (IP addresses in the paper's architecture).
     pub fn spawn(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>) -> Self {
         let mut senders = HashMap::new();
-        let mut receivers: Vec<(NodeId, Receiver<Packet<M>>, Box<dyn Handler<M>>)> = Vec::new();
+        let mut receivers: Vec<PendingNode<M>> = Vec::new();
         for (id, handler) in nodes {
             let (tx, rx) = unbounded();
             senders.insert(id, tx);

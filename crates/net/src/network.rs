@@ -120,6 +120,15 @@ impl Network {
         if let Some(trace) = self.trace.borrow_mut().as_mut() {
             trace.push(TraceEntry { from, to, bytes, depart, arrival });
         }
+        // Observability: charge the active query trace (if any) and the
+        // process-wide registry. Both are cheap no-ops when idle.
+        rdfmesh_obs::charge_current(bytes as u64);
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.add("net.messages", 1);
+            metrics.add("net.bytes", bytes as u64);
+            metrics.observe("net.message_bytes", bytes as u64);
+        }
         arrival
     }
 

@@ -77,6 +77,11 @@ impl<E> Scheduler<E> {
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Deliberately an inherent method rather than `Iterator::next`:
+    /// popping mutates the simulation clock, which iterator adapters
+    /// would hide.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         self.queue.pop().map(|s| {
             self.clock = s.at;

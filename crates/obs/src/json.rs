@@ -1,0 +1,55 @@
+//! Minimal hand-rolled JSON emission (the workspace builds offline, so
+//! no serde). Only what the exporters need: object lines with string and
+//! integer fields, correctly escaped.
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON field value.
+pub enum Value {
+    /// A string field (escaped on write).
+    Str(String),
+    /// An unsigned integer field.
+    U64(u64),
+    /// An optional integer; `None` renders as `null`.
+    OptU64(Option<u64>),
+}
+
+/// Renders one `{"k":v,...}` object line from ordered fields.
+pub fn object(fields: &[(&str, Value)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":");
+        match v {
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::OptU64(Some(n)) => out.push_str(&n.to_string()),
+            Value::OptU64(None) => out.push_str("null"),
+        }
+    }
+    out.push('}');
+    out
+}

@@ -1,0 +1,490 @@
+//! The span-based query tracer.
+//!
+//! A [`QueryTrace`] is a tree of spans under one per-query root. Two
+//! invariants make the derived totals exact rather than approximate:
+//!
+//! 1. **Byte partition** — every wire charge ([`QueryTrace::charge`])
+//!    lands on the innermost *open* span and nowhere else, and the root
+//!    span stays open for the query's whole lifetime. Summing bytes (or
+//!    messages) over all spans therefore reproduces the query totals
+//!    exactly; there is no double counting and no leakage.
+//! 2. **Frontier time attribution** — simulated time is attributed to
+//!    phases by [`QueryTrace::advance`], which charges `t − frontier` to
+//!    a phase only when `t` is ahead of the monotone frontier clock.
+//!    The engine only advances on its critical path, so the per-phase
+//!    times sum exactly to the final frontier, which equals the query's
+//!    response time.
+//!
+//! Instrumentation points in lower layers (the network, the overlay) do
+//! not thread a trace handle through every call; they consult a
+//! thread-local *current trace* ([`set_current`]) and no-op cheaply when
+//! none is installed.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::json::{object, Value};
+
+/// Canonical span phase names, mirroring the paper's Fig. 3 pipeline.
+pub mod phase {
+    /// The per-query root span.
+    pub const ROOT: &str = "query";
+    /// Query string → algebra translation.
+    pub const PARSE: &str = "parse";
+    /// Algebra rewrites and cost-based planning.
+    pub const OPTIMIZE: &str = "optimize";
+    /// Chord index-key resolution and location-table lookups.
+    pub const KEY_RESOLUTION: &str = "key-resolution";
+    /// Sub-query shipping and intermediate/result transfers.
+    pub const SHIPPING: &str = "shipping";
+    /// Pattern matching against a provider's local store.
+    pub const LOCAL_EXEC: &str = "local-execution";
+    /// DISTINCT / ORDER / LIMIT / DESCRIBE work at the initiator.
+    pub const POST_PROCESS: &str = "post-processing";
+
+    /// The pipeline phases in execution order (excluding the root).
+    pub const PIPELINE: [&str; 6] =
+        [PARSE, OPTIMIZE, KEY_RESOLUTION, SHIPPING, LOCAL_EXEC, POST_PROCESS];
+}
+
+/// Identifies one span within its trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// One recorded span: a phase of work within the query lifecycle.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Position in the trace's span list (also the creation order).
+    pub id: usize,
+    /// Enclosing span, `None` only for the root.
+    pub parent: Option<usize>,
+    /// Phase name; see [`phase`].
+    pub phase: &'static str,
+    /// Free-form detail: the pattern, strategy, or site involved.
+    pub label: String,
+    /// Simulated start time in microseconds.
+    pub start_us: u64,
+    /// Simulated end time in microseconds (≥ `start_us` once closed).
+    pub end_us: u64,
+    /// Wire bytes charged directly to this span (children excluded).
+    pub bytes: u64,
+    /// Messages charged directly to this span (children excluded).
+    pub messages: u64,
+    /// Whether the span is still open.
+    pub open: bool,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    spans: Vec<Span>,
+    stack: Vec<usize>,
+    frontier_us: u64,
+    phase_time_us: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// A per-query trace handle; clones share the same span tree.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace(Rc<RefCell<TraceInner>>);
+
+impl QueryTrace {
+    /// A fresh trace with an open root span starting at time 0.
+    pub fn new() -> Self {
+        let trace = QueryTrace(Rc::new(RefCell::new(TraceInner::default())));
+        trace.begin(phase::ROOT, "", 0);
+        trace
+    }
+
+    /// Opens a child span of the innermost open span.
+    pub fn begin(&self, phase: &'static str, label: impl Into<String>, start_us: u64) -> SpanId {
+        let mut inner = self.0.borrow_mut();
+        let id = inner.spans.len();
+        let parent = inner.stack.last().copied();
+        inner.spans.push(Span {
+            id,
+            parent,
+            phase,
+            label: label.into(),
+            start_us,
+            end_us: start_us,
+            bytes: 0,
+            messages: 0,
+            open: true,
+        });
+        inner.stack.push(id);
+        SpanId(id)
+    }
+
+    /// Closes a span. Spans must close innermost-first.
+    pub fn end(&self, id: SpanId, end_us: u64) {
+        let mut inner = self.0.borrow_mut();
+        assert_eq!(
+            inner.stack.last().copied(),
+            Some(id.0),
+            "spans must be closed innermost-first"
+        );
+        inner.stack.pop();
+        let span = &mut inner.spans[id.0];
+        span.end_us = span.start_us.max(end_us);
+        span.open = false;
+    }
+
+    /// Charges one wire message of `bytes` to the innermost open span.
+    pub fn charge(&self, bytes: u64) {
+        let mut inner = self.0.borrow_mut();
+        let top = *inner.stack.last().expect("root span open while charging");
+        let span = &mut inner.spans[top];
+        span.bytes += bytes;
+        span.messages += 1;
+    }
+
+    /// Adds `delta` to the named per-query counter.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        let mut inner = self.0.borrow_mut();
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Attributes critical-path time to `phase`: charges `to_us −
+    /// frontier` when positive and advances the frontier. Calls with
+    /// `to_us` at or behind the frontier are no-ops, so off-critical-path
+    /// arrivals never inflate any phase.
+    pub fn advance(&self, phase: &'static str, to_us: u64) {
+        let mut inner = self.0.borrow_mut();
+        if to_us > inner.frontier_us {
+            let delta = to_us - inner.frontier_us;
+            *inner.phase_time_us.entry(phase).or_insert(0) += delta;
+            inner.frontier_us = to_us;
+        }
+    }
+
+    /// Closes the root span (and asserts every child was closed).
+    pub fn finish(&self, end_us: u64) {
+        let mut inner = self.0.borrow_mut();
+        assert_eq!(inner.stack.len(), 1, "all child spans must be closed before finish");
+        let root = inner.stack.pop().expect("root span");
+        let span = &mut inner.spans[root];
+        span.end_us = span.start_us.max(end_us);
+        span.open = false;
+    }
+
+    /// A copy of every span in creation order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.0.borrow().spans.clone()
+    }
+
+    /// The value of a per-query counter (0 if never counted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.0.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All per-query counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.0.borrow().counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// Total wire bytes across all spans (exact, see module docs).
+    pub fn total_bytes(&self) -> u64 {
+        self.0.borrow().spans.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total messages across all spans (exact).
+    pub fn total_messages(&self) -> u64 {
+        self.0.borrow().spans.iter().map(|s| s.messages).sum()
+    }
+
+    /// The frontier clock: the critical-path response time so far.
+    pub fn response_time_us(&self) -> u64 {
+        self.0.borrow().frontier_us
+    }
+
+    /// Aggregates spans and frontier charges per phase, in pipeline
+    /// order. Bytes/messages/time each sum exactly to the query totals;
+    /// charges that landed directly on the root appear under its
+    /// `"query"` phase row (last).
+    pub fn phase_breakdown(&self) -> Vec<PhaseBreakdown> {
+        let inner = self.0.borrow();
+        let mut rows: Vec<PhaseBreakdown> = Vec::new();
+        let mut seen: Vec<&'static str> = Vec::new();
+        for p in phase::PIPELINE {
+            seen.push(p);
+        }
+        // Any non-pipeline phases encountered, then the root, close the list.
+        for s in &inner.spans {
+            if !seen.contains(&s.phase) && s.phase != phase::ROOT {
+                seen.push(s.phase);
+            }
+        }
+        for p in inner.phase_time_us.keys() {
+            if !seen.contains(p) && *p != phase::ROOT {
+                seen.push(p);
+            }
+        }
+        seen.push(phase::ROOT);
+        for p in seen {
+            let mut row = PhaseBreakdown {
+                phase: p,
+                spans: 0,
+                bytes: 0,
+                messages: 0,
+                time_us: inner.phase_time_us.get(p).copied().unwrap_or(0),
+            };
+            for s in &inner.spans {
+                if s.phase == p {
+                    row.spans += 1;
+                    row.bytes += s.bytes;
+                    row.messages += s.messages;
+                }
+            }
+            if row.spans > 0 || row.bytes > 0 || row.time_us > 0 || p != phase::ROOT {
+                rows.push(row);
+            }
+        }
+        rows
+    }
+
+    /// Renders the per-phase breakdown as a table with a totals row.
+    pub fn render_table(&self) -> String {
+        let rows = self.phase_breakdown();
+        let mut out = String::new();
+        out.push_str("phase             spans     bytes  messages   time_ms\n");
+        out.push_str("----------------  -----  --------  --------  --------\n");
+        let (mut tb, mut tm, mut tt) = (0u64, 0u64, 0u64);
+        for r in &rows {
+            tb += r.bytes;
+            tm += r.messages;
+            tt += r.time_us;
+            out.push_str(&format!(
+                "{:<16}  {:>5}  {:>8}  {:>8}  {:>8.3}\n",
+                r.phase,
+                r.spans,
+                r.bytes,
+                r.messages,
+                r.time_us as f64 / 1000.0
+            ));
+        }
+        out.push_str(&format!(
+            "{:<16}  {:>5}  {:>8}  {:>8}  {:>8.3}\n",
+            "total",
+            rows.iter().map(|r| r.spans).sum::<usize>(),
+            tb,
+            tm,
+            tt as f64 / 1000.0
+        ));
+        out
+    }
+
+    /// Renders every span (and per-query counters) as JSON lines.
+    pub fn to_json_lines(&self, scope: &str) -> String {
+        let inner = self.0.borrow();
+        let mut out = String::new();
+        for s in &inner.spans {
+            out.push_str(&object(&[
+                ("type", Value::Str("span".into())),
+                ("scope", Value::Str(scope.into())),
+                ("id", Value::U64(s.id as u64)),
+                ("parent", Value::OptU64(s.parent.map(|p| p as u64))),
+                ("phase", Value::Str(s.phase.into())),
+                ("label", Value::Str(s.label.clone())),
+                ("start_us", Value::U64(s.start_us)),
+                ("end_us", Value::U64(s.end_us)),
+                ("bytes", Value::U64(s.bytes)),
+                ("messages", Value::U64(s.messages)),
+            ]));
+            out.push('\n');
+        }
+        for (name, value) in &inner.counters {
+            out.push_str(&object(&[
+                ("type", Value::Str("query-counter".into())),
+                ("scope", Value::Str(scope.into())),
+                ("name", Value::Str((*name).into())),
+                ("value", Value::U64(*value)),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Structural well-formedness: exactly one root, parent ids precede
+    /// children, every span closed with `end ≥ start`, and every
+    /// non-root span's parent was open when it began (tree shape).
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        let inner = self.0.borrow();
+        if !inner.stack.is_empty() {
+            return Err(format!("{} spans still open", inner.stack.len()));
+        }
+        let roots = inner.spans.iter().filter(|s| s.parent.is_none()).count();
+        if roots != 1 {
+            return Err(format!("expected exactly one root span, found {roots}"));
+        }
+        for s in &inner.spans {
+            if s.open {
+                return Err(format!("span {} ({}) left open", s.id, s.phase));
+            }
+            if s.end_us < s.start_us {
+                return Err(format!("span {} ends before it starts", s.id));
+            }
+            if let Some(p) = s.parent {
+                if p >= s.id {
+                    return Err(format!("span {} has non-preceding parent {p}", s.id));
+                }
+            } else if s.id != 0 {
+                return Err(format!("non-first span {} has no parent", s.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One row of [`QueryTrace::phase_breakdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Phase name.
+    pub phase: &'static str,
+    /// Number of spans recorded in this phase.
+    pub spans: usize,
+    /// Wire bytes charged to this phase.
+    pub bytes: u64,
+    /// Messages charged to this phase.
+    pub messages: u64,
+    /// Critical-path time attributed to this phase, in microseconds.
+    pub time_us: u64,
+}
+
+// ---- the thread-local current trace ------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<QueryTrace>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed trace when dropped.
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: Option<QueryTrace>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `trace` as this thread's current trace for the guard's
+/// lifetime. Instrumentation points reach it via [`with_current`].
+pub fn set_current(trace: QueryTrace) -> TraceGuard {
+    CURRENT.with(|c| TraceGuard { prev: c.borrow_mut().replace(trace) })
+}
+
+/// Runs `f` against the current trace, if one is installed.
+pub fn with_current<R>(f: impl FnOnce(&QueryTrace) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Charges one message to the current trace's innermost span (no-op
+/// without a trace). The cheap hook lower layers call on every send.
+#[inline]
+pub fn charge_current(bytes: u64) {
+    with_current(|t| t.charge(bytes));
+}
+
+/// Adds to a per-query counter on the current trace (no-op without one).
+#[inline]
+pub fn count_current(name: &'static str, delta: u64) {
+    with_current(|t| t.count(name, delta));
+}
+
+/// Opens a span on the current trace (no-op without one).
+pub fn begin_current(phase: &'static str, label: &str, start_us: u64) -> Option<SpanId> {
+    with_current(|t| t.begin(phase, label, start_us))
+}
+
+/// Closes a span opened by [`begin_current`] (no-op for `None`).
+pub fn end_current(id: Option<SpanId>, end_us: u64) {
+    if let Some(id) = id {
+        with_current(|t| t.end(id, end_us));
+    }
+}
+
+/// Advances the current trace's frontier clock (no-op without a trace).
+pub fn advance_current(phase: &'static str, to_us: u64) {
+    with_current(|t| t.advance(phase, to_us));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_partition_across_nested_spans() {
+        let t = QueryTrace::new();
+        t.charge(10); // root
+        let a = t.begin(phase::KEY_RESOLUTION, "p1", 0);
+        t.charge(100);
+        t.charge(50);
+        t.end(a, 2000);
+        let b = t.begin(phase::SHIPPING, "p1", 2000);
+        t.charge(300);
+        let c = t.begin(phase::LOCAL_EXEC, "site 7", 3000);
+        t.end(c, 3000);
+        t.charge(40);
+        t.end(b, 5000);
+        t.finish(5000);
+
+        assert_eq!(t.total_bytes(), 500);
+        assert_eq!(t.total_messages(), 5);
+        let rows = t.phase_breakdown();
+        let by_phase = |p: &str| rows.iter().find(|r| r.phase == p).unwrap().bytes;
+        assert_eq!(by_phase(phase::KEY_RESOLUTION), 150);
+        assert_eq!(by_phase(phase::SHIPPING), 340);
+        assert_eq!(by_phase(phase::ROOT), 10);
+        assert_eq!(rows.iter().map(|r| r.bytes).sum::<u64>(), t.total_bytes());
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn frontier_times_sum_to_response_time() {
+        let t = QueryTrace::new();
+        t.advance(phase::KEY_RESOLUTION, 2000);
+        t.advance(phase::SHIPPING, 7000);
+        // A lagging arrival on a parallel branch must not add time.
+        t.advance(phase::SHIPPING, 6000);
+        t.advance(phase::POST_PROCESS, 7500);
+        t.finish(7500);
+        assert_eq!(t.response_time_us(), 7500);
+        let total: u64 = t.phase_breakdown().iter().map(|r| r.time_us).sum();
+        assert_eq!(total, 7500);
+    }
+
+    #[test]
+    fn current_trace_hooks_are_noops_without_install() {
+        charge_current(10);
+        count_current("x", 1);
+        assert!(begin_current(phase::SHIPPING, "", 0).is_none());
+        end_current(None, 0);
+        advance_current(phase::SHIPPING, 10);
+        assert!(with_current(|_| ()).is_none());
+    }
+
+    #[test]
+    fn current_trace_guard_restores_previous() {
+        let outer = QueryTrace::new();
+        let _g1 = set_current(outer.clone());
+        {
+            let nested = QueryTrace::new();
+            let _g2 = set_current(nested.clone());
+            charge_current(5);
+            assert_eq!(nested.total_bytes(), 5);
+        }
+        charge_current(7);
+        assert_eq!(outer.total_bytes(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "innermost-first")]
+    fn out_of_order_close_is_rejected() {
+        let t = QueryTrace::new();
+        let a = t.begin(phase::SHIPPING, "", 0);
+        let _b = t.begin(phase::LOCAL_EXEC, "", 0);
+        t.end(a, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based validation of the span tree's structural guarantees:
+//! replaying any randomly generated nesting program against a
+//! [`QueryTrace`] yields a well-formed trace whose per-phase breakdown
+//! partitions the charged bytes, messages, and frontier time exactly.
+
+use proptest::prelude::*;
+use rdfmesh_obs::{phase, QueryTrace};
+
+/// One randomly shaped span: a pipeline phase, some byte charges landing
+/// inside it, and child spans nested beneath it.
+#[derive(Debug, Clone)]
+struct Node {
+    phase_ix: usize,
+    charges: Vec<u64>,
+    children: Vec<Node>,
+}
+
+fn arb_node() -> BoxedStrategy<Node> {
+    let leaf = (0usize..phase::PIPELINE.len(), proptest::collection::vec(1u64..500, 0..4))
+        .prop_map(|(phase_ix, charges)| Node { phase_ix, charges, children: Vec::new() });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (
+            0usize..phase::PIPELINE.len(),
+            proptest::collection::vec(1u64..500, 0..4),
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(phase_ix, charges, children)| Node { phase_ix, charges, children })
+    })
+}
+
+/// Replays a node: opens its span, charges half its bytes, recurses into
+/// the children, charges the rest, closes. Returns (bytes, messages)
+/// recorded in the subtree and the advanced clock.
+fn replay(trace: &QueryTrace, node: &Node, mut now: u64) -> (u64, u64, u64) {
+    let p = phase::PIPELINE[node.phase_ix];
+    let span = trace.begin(p, format!("span@{now}"), now);
+    let (mut bytes, mut msgs) = (0u64, 0u64);
+    let half = node.charges.len() / 2;
+    for &c in &node.charges[..half] {
+        trace.charge(c);
+        bytes += c;
+        msgs += 1;
+    }
+    for child in &node.children {
+        let (b, m, t) = replay(trace, child, now + 1);
+        bytes += b;
+        msgs += m;
+        now = t;
+    }
+    for &c in &node.charges[half..] {
+        trace.charge(c);
+        bytes += c;
+        msgs += 1;
+    }
+    now += 1;
+    trace.end(span, now);
+    trace.advance(p, now);
+    (bytes, msgs, now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any LIFO replay produces a well-formed trace and an exact
+    /// partition of bytes, messages, and time across phases.
+    #[test]
+    fn random_nesting_is_well_formed_and_partitions_exactly(
+        roots in proptest::collection::vec(arb_node(), 1..5),
+    ) {
+        let trace = QueryTrace::new();
+        let (mut bytes, mut msgs, mut now) = (0u64, 0u64, 0u64);
+        for node in &roots {
+            let (b, m, t) = replay(&trace, node, now);
+            bytes += b;
+            msgs += m;
+            now = t;
+        }
+        trace.finish(now);
+        prop_assert!(trace.check_well_formed().is_ok(),
+            "{:?}", trace.check_well_formed());
+        prop_assert_eq!(trace.total_bytes(), bytes);
+        prop_assert_eq!(trace.total_messages(), msgs);
+        prop_assert_eq!(trace.response_time_us(), now);
+        let rows = trace.phase_breakdown();
+        prop_assert_eq!(rows.iter().map(|r| r.bytes).sum::<u64>(), bytes);
+        prop_assert_eq!(rows.iter().map(|r| r.messages).sum::<u64>(), msgs);
+        prop_assert_eq!(rows.iter().map(|r| r.time_us).sum::<u64>(), now);
+        // Every span is closed, every parent precedes its child, and
+        // span ends never precede their starts.
+        for s in trace.spans() {
+            prop_assert!(!s.open);
+            prop_assert!(s.end_us >= s.start_us);
+        }
+    }
+
+    /// Closing spans out of LIFO order must be rejected (panic), so
+    /// ill-formed nesting cannot silently corrupt phase accounting.
+    #[test]
+    fn out_of_order_close_is_rejected(start in 0u64..1000) {
+        let trace = QueryTrace::new();
+        let outer = trace.begin(phase::SHIPPING, "outer", start);
+        let _inner = trace.begin(phase::LOCAL_EXEC, "inner", start);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            trace.end(outer, start + 1);
+        }));
+        prop_assert!(err.is_err(), "closing the outer span first must panic");
+    }
+}

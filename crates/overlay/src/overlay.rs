@@ -655,11 +655,25 @@ impl Overlay {
         };
         let path = self.ring.lookup_path_from(from_id, key.id)?;
         let owner = *path.last().expect("non-empty");
+        // Observability: the ring walk is one key-resolution span; the
+        // LOOKUP_STEP sends below charge their bytes to it.
+        let span = rdfmesh_obs::begin_current(
+            rdfmesh_obs::phase::KEY_RESOLUTION,
+            &format!("locate {:?} ({} hops)", key.kind, path.len() - 1),
+            depart.0,
+        );
         let mut arrival = depart;
         for pair in path.windows(2) {
             let a = self.addr_of(pair[0]).ok_or(OverlayError::NoIndexNodes)?;
             let b = self.addr_of(pair[1]).ok_or(OverlayError::NoIndexNodes)?;
             arrival = self.net.send(a, b, wire::LOOKUP_STEP, arrival);
+        }
+        rdfmesh_obs::end_current(span, arrival.0);
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.add("overlay.locates", 1);
+            metrics.add("overlay.index_hops", (path.len() - 1) as u64);
+            metrics.observe("overlay.index_hops_per_locate", (path.len() - 1) as u64);
         }
         // Primary row; fall back to the owner's replica set when the
         // primary copy died with a predecessor (replication in action).
@@ -706,6 +720,11 @@ impl Overlay {
         let mut hops = 0usize;
         let mut arrival = depart;
         let mut last_owner = from_id;
+        let span = rdfmesh_obs::begin_current(
+            rdfmesh_obs::phase::KEY_RESOLUTION,
+            &format!("locate range {predicate} [{lo}, {hi}]"),
+            depart.0,
+        );
         for bucket in buckets.buckets_for_range(lo, hi) {
             let key = buckets.key(space, predicate, bucket);
             let path = self.ring.lookup_path_from(from_id, key)?;
@@ -734,6 +753,13 @@ impl Overlay {
                     None => providers.push(p),
                 }
             }
+        }
+        rdfmesh_obs::end_current(span, arrival.0);
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.add("overlay.locates", 1);
+            metrics.add("overlay.index_hops", hops as u64);
+            metrics.observe("overlay.index_hops_per_locate", hops as u64);
         }
         providers.sort_by_key(|p| p.node);
         Ok(Some(Located {

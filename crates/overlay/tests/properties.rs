@@ -176,7 +176,7 @@ proptest! {
     fn publish_report_counts_match_table_state(
         triples in proptest::collection::vec(arb_triple(), 1..15),
     ) {
-        let o = build(&[triples.clone()]);
+        let o = build(std::slice::from_ref(&triples));
         // Distinct (key, node) entries == sum over distinct keys of 1.
         let store = &o.storage_node(NodeId(1)).unwrap().store;
         let mut keys = std::collections::BTreeSet::new();

@@ -150,7 +150,7 @@ pub fn query(q: &AlgebraQuery) -> String {
                 Duplicates::All => {}
             }
             if projection.is_empty() {
-                out.push_str("*");
+                out.push('*');
             } else {
                 let vars: Vec<String> = projection.iter().map(|v| v.to_string()).collect();
                 out.push_str(&vars.join(" "));

@@ -85,9 +85,9 @@ pub fn generate(config: &UniversityConfig) -> UniversityDataset {
     let departments: Vec<Term> =
         (0..config.departments).map(|d| iri("dept", d, 0)).collect();
 
-    for d in 0..config.departments {
+    for (d, dept) in departments.iter().enumerate() {
         let mut triples = Vec::new();
-        let dept = departments[d].clone();
+        let dept = dept.clone();
         triples.push(Triple::new(dept.clone(), rdf_type.clone(), Term::iri(ub::DEPARTMENT)));
 
         let mut courses = Vec::new();

@@ -1,0 +1,224 @@
+//! An offline, dependency-free subset of the
+//! [criterion](https://docs.rs/criterion) benchmarking API, vendored so
+//! the workspace's benches build without crates.io access.
+//!
+//! Semantics: each `Bencher::iter` call auto-calibrates an iteration
+//! count to a ~5 ms batch, takes `sample_size` timed batches, and prints
+//! minimum / median / mean nanoseconds per iteration. There are no
+//! statistical comparisons with saved baselines — results are plain text
+//! on stdout, deterministic in format but (naturally) not in timing.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver. One instance is shared by every group in a
+/// `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup { name, samples: DEFAULT_SAMPLES, _parent: self }
+    }
+
+    /// Prints the closing summary (no-op in this subset).
+    pub fn final_summary(&self) {}
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, 100);
+        self
+    }
+
+    /// Runs `f` as one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.samples, &mut f);
+        self
+    }
+
+    /// Runs `f` with `input` as one benchmark of this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id naming a parameterized case, e.g. an input size.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating the per-batch iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: double the batch until it runs long enough to time.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 22 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Sample {
+            min_ns: per_iter[0],
+            median_ns: per_iter[per_iter.len() / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => println!(
+            "{label:<48} time: [{} {} {}]",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.median_ns),
+            fmt_ns(s.mean_ns)
+        ),
+        None => println!("{label:<48} (no Bencher::iter call)"),
+    }
+}
+
+/// Collects benchmark functions into one group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` the harness-less binary is run
+            // for smoke-testing; `--test` asks for a fast pass.
+            let fast = std::env::args().any(|a| a == "--test");
+            let mut c = $crate::Criterion::default();
+            if fast {
+                return;
+            }
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

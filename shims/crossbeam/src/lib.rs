@@ -1,0 +1,93 @@
+//! An offline, dependency-free subset of the
+//! [crossbeam](https://docs.rs/crossbeam) channel API over
+//! `std::sync::mpsc`, vendored so the workspace builds without crates.io
+//! access.
+//!
+//! Only the multi-producer/single-consumer surface this repository uses
+//! is provided: `unbounded`, `bounded`, `Sender::send`, `Receiver::recv`,
+//! `Receiver::recv_timeout`, `Receiver::try_recv`. `std::sync::mpsc`
+//! senders have been `Sync` since Rust 1.72, so sharing an
+//! `Arc<HashMap<_, Sender<_>>>` across node threads works unchanged.
+
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! MPSC channels with the crossbeam calling convention.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half; clonable and shareable across threads.
+    pub struct Sender<T>(SenderInner<T>);
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking on a full bounded channel. Errors when
+        /// the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => tx.send(value),
+                SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// A channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// A channel holding at most `cap` in-flight messages (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderInner::Bounded(tx)), Receiver(rx))
+    }
+}

@@ -1,0 +1,193 @@
+//! An offline, dependency-free subset of the [proptest](https://docs.rs/proptest)
+//! API, vendored so the workspace builds without crates.io access.
+//!
+//! The surface mirrors proptest 1.x closely enough that the repository's
+//! property tests compile unchanged: `Strategy`, `prop_map`,
+//! `prop_flat_map`, `prop_recursive`, `Just`, integer/float range and
+//! character-class string strategies, `collection::{vec, btree_set,
+//! btree_map}`, `sample::{select, Index}`, `any::<T>()`, and the
+//! `proptest!` / `prop_compose!` / `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its case number and seed;
+//!   inputs are reproduced by the deterministic per-test RNG rather than
+//!   minimized.
+//! - **Deterministic seeding.** The RNG seed derives from the test's
+//!   module path and case index, so failures are stable across runs. Set
+//!   `PROPTEST_SEED` to explore a different part of the input space.
+//! - **Character-class patterns only.** String strategies accept
+//!   `[class]{lo,hi}` and `\PC{lo,hi}` patterns (the forms used in this
+//!   repository), not full regex syntax.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests over generated inputs.
+///
+/// Mirrors proptest's macro: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies with `name in strategy`
+/// syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{$cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{$crate::test_runner::Config::default(); $($rest)*}
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __runner = $crate::test_runner::Runner::new(
+                    __config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                __runner.run(|__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let mut __case = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Builds a named strategy function from simpler strategies, optionally
+/// in two dependent stages (`fn f()(a in s1)(b in s2(a)) -> T { .. }`).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($params:tt)*)
+        ($($arg1:ident in $strat1:expr),+ $(,)?)
+        ($($arg2:ident in $strat2:expr),+ $(,)?)
+        -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_flat_map(($($strat1,)+), move |($($arg1,)+)| {
+                $crate::strategy::Strategy::prop_map(($($strat2,)+), move |($($arg2,)+)| $body)
+            })
+        }
+    };
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($params:tt)*)
+        ($($arg:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(($($strat,)+), move |($($arg,)+)| $body)
+        }
+    };
+}
+
+/// Picks one of several strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case with a formatted message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                    __l, __r, format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                    __l, __r, format!($($fmt)*)
+                );
+            }
+        }
+    };
+}

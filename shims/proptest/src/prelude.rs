@@ -1,0 +1,9 @@
+//! The glob-import surface test files expect from `proptest::prelude::*`.
+
+pub use crate as prop;
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof, proptest,
+};

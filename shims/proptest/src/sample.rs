@@ -1,0 +1,44 @@
+//! Sampling strategies: uniform selection from slices and opaque indices.
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known inside the test
+/// body; resolve it with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this index uniformly into `0..len`. Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_with(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+/// Uniformly selects one element of `options` (cloned).
+pub fn select<T: Clone>(options: &[T]) -> Select<T> {
+    assert!(!options.is_empty(), "select on empty slice");
+    Select { options: options.to_vec() }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}

@@ -1,0 +1,129 @@
+//! String strategies from character-class patterns.
+//!
+//! A `&'static str` is itself a strategy generating `String`s, exactly
+//! as in real proptest — restricted here to the pattern forms this
+//! repository uses: `[class]{lo,hi}`, `\PC{lo,hi}`, and plain literals
+//! (generated verbatim). Classes support ranges (`a-z`), backslash
+//! escapes, and raw whitespace/control characters.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct ClassPattern {
+    /// Inclusive character ranges; a literal char is a one-char range.
+    ranges: Vec<(u32, u32)>,
+    /// Inclusive repetition bounds.
+    lo: usize,
+    hi: usize,
+}
+
+fn parse_count(chars: &[char], mut i: usize) -> Option<(usize, usize, usize)> {
+    if chars.get(i) != Some(&'{') {
+        return None;
+    }
+    i += 1;
+    let mut lo = String::new();
+    while let Some(c) = chars.get(i).filter(|c| c.is_ascii_digit()) {
+        lo.push(*c);
+        i += 1;
+    }
+    if chars.get(i) != Some(&',') {
+        // `{n}` form: exactly n.
+        if chars.get(i) == Some(&'}') {
+            let n = lo.parse().ok()?;
+            return Some((n, n, i + 1));
+        }
+        return None;
+    }
+    i += 1;
+    let mut hi = String::new();
+    while let Some(c) = chars.get(i).filter(|c| c.is_ascii_digit()) {
+        hi.push(*c);
+        i += 1;
+    }
+    if chars.get(i) != Some(&'}') {
+        return None;
+    }
+    Some((lo.parse().ok()?, hi.parse().ok()?, i + 1))
+}
+
+fn parse(pattern: &str) -> Option<ClassPattern> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (ranges, after) = if chars.starts_with(&['\\', 'P', 'C']) {
+        // `\PC`: any non-control character; printable ASCII suffices for
+        // the fuzzing patterns in this repository.
+        (vec![(' ' as u32, '~' as u32)], 3)
+    } else if chars.first() == Some(&'[') {
+        let mut ranges = Vec::new();
+        let mut i = 1;
+        loop {
+            match chars.get(i) {
+                None => return None,
+                Some(']') => {
+                    i += 1;
+                    break;
+                }
+                Some('\\') => {
+                    let c = *chars.get(i + 1)?;
+                    ranges.push((c as u32, c as u32));
+                    i += 2;
+                }
+                Some(&c) => {
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|e| *e != ']') {
+                        let end = *chars.get(i + 2)?;
+                        ranges.push((c as u32, end as u32));
+                        i += 3;
+                    } else {
+                        ranges.push((c as u32, c as u32));
+                        i += 1;
+                    }
+                }
+            }
+        }
+        (ranges, i)
+    } else {
+        return None;
+    };
+    let (lo, hi, end) = match parse_count(&chars, after) {
+        Some(t) => t,
+        None if after == chars.len() => (1, 1, after),
+        None => return None,
+    };
+    if end != chars.len() || hi < lo || ranges.is_empty() {
+        return None;
+    }
+    Some(ClassPattern { ranges, lo, hi })
+}
+
+impl ClassPattern {
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+        let total: u64 = self.ranges.iter().map(|(a, b)| (b - a + 1) as u64).sum();
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let mut pick = rng.below(total);
+            for (a, b) in &self.ranges {
+                let size = (b - a + 1) as u64;
+                if pick < size {
+                    out.push(char::from_u32(a + pick as u32).expect("valid class char"));
+                    break;
+                }
+                pick -= size;
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse(self) {
+            Some(class) => class.generate(rng),
+            // Unrecognized patterns are treated as literals.
+            None => (*self).to_string(),
+        }
+    }
+}

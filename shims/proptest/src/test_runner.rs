@@ -1,0 +1,152 @@
+//! The case-generation loop, its configuration, and the deterministic RNG.
+
+/// How many cases a `proptest!` block runs per test.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases (mirrors `ProptestConfig::with_cases`).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case violated the property: the whole test fails.
+    Fail(String),
+    /// The case did not satisfy an assumption: it is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A hard failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (`prop_assume!` miss) with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// A SplitMix64 generator: tiny, fast, and reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property test: generates cases, counts rejections, panics
+/// with case number and seed on the first failure.
+#[derive(Debug)]
+pub struct Runner {
+    config: Config,
+    name: String,
+    base_seed: u64,
+}
+
+impl Runner {
+    /// A runner for the test identified by `name` (used for seeding and
+    /// failure messages).
+    pub fn new(config: Config, name: &str) -> Self {
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let base_seed = fnv1a(name.as_bytes()) ^ env_seed;
+        Runner { config, name: name.to_string(), base_seed }
+    }
+
+    /// Runs `f` once per case with a per-case deterministic RNG.
+    ///
+    /// Panics on the first [`TestCaseError::Fail`]; regenerates on
+    /// [`TestCaseError::Reject`] (bounded, so a bad `prop_assume!` cannot
+    /// loop forever).
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let max_rejects = self.config.cases as u64 * 16 + 1024;
+        let mut rejects = 0u64;
+        let mut case = 0u32;
+        let mut attempt = 0u64;
+        while case < self.config.cases {
+            let seed = self.base_seed.wrapping_add(attempt.wrapping_mul(0xA076_1D64_78BD_642F));
+            attempt += 1;
+            let mut rng = TestRng::new(seed);
+            match f(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{}: too many rejected cases ({rejects}); weaken prop_assume!",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{}: property failed at case {case} (seed {seed:#x}):\n{msg}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
