@@ -3,21 +3,91 @@
 //! ```sh
 //! cargo run -p rdfmesh-bench --bin experiments --release          # all
 //! cargo run -p rdfmesh-bench --bin experiments --release -- e3 e7 # some
+//! cargo run -p rdfmesh-bench --bin experiments --release -- --json BENCH_experiments.json e2 e15
 //! ```
+//!
+//! `--json <path>` writes one machine-readable record per experiment run
+//! (bytes, messages, response-time statistics, and every other counter
+//! the experiment recorded) as a JSON array — the CI artifact
+//! `BENCH_experiments.json`.
+
+use rdfmesh_bench::experiments::{all, run_all, run_one, ExperimentRecord};
+use rdfmesh_obs::json::{object, Value};
+
+/// One experiment record as a JSON object: identity, the headline
+/// network/latency aggregates, then every counter verbatim.
+fn record_json(rec: &ExperimentRecord) -> String {
+    let snap = &rec.snapshot;
+    let rt = snap.histograms.get("engine.response_time_us");
+    let counter_keys: Vec<String> =
+        snap.counters.keys().map(|k| format!("counter.{k}")).collect();
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("id", Value::Str(rec.id.to_string())),
+        ("title", Value::Str(rec.title.to_string())),
+        ("net_bytes", Value::U64(snap.counters.get("net.bytes").copied().unwrap_or(0))),
+        ("net_messages", Value::U64(snap.counters.get("net.messages").copied().unwrap_or(0))),
+        ("queries", Value::OptU64(rt.map(|h| h.count()))),
+        ("response_time_us_mean", Value::OptU64(rt.map(|h| h.mean() as u64))),
+        ("response_time_us_p50", Value::OptU64(rt.map(|h| h.quantile(0.5)))),
+        ("response_time_us_max", Value::OptU64(rt.map(|h| h.max()))),
+    ];
+    for (key, value) in counter_keys.iter().zip(snap.counters.values()) {
+        fields.push((key.as_str(), Value::U64(*value)));
+    }
+    object(&fields)
+}
+
+fn write_json(path: &str, records: &[ExperimentRecord]) {
+    let mut out = String::from("[\n");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&record_json(rec));
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} experiment record(s) to {path}", records.len());
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    println!("# rdfmesh experiment suite (deterministic; see EXPERIMENTS.md)");
-    if args.is_empty() {
-        rdfmesh_bench::experiments::run_all();
-        return;
-    }
-    for arg in &args {
-        if !rdfmesh_bench::experiments::run_one(arg) {
-            let known: Vec<&str> =
-                rdfmesh_bench::experiments::all().iter().map(|(id, _, _)| *id).collect();
-            eprintln!("unknown experiment {arg:?}; known: {}", known.join(", "));
-            std::process::exit(2);
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires an output path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(arg);
         }
+    }
+    println!("# rdfmesh experiment suite (deterministic; see EXPERIMENTS.md)");
+    let mut records = Vec::new();
+    if ids.is_empty() {
+        records = run_all();
+    } else {
+        for id in &ids {
+            match run_one(id) {
+                Some(rec) => records.push(rec),
+                None => {
+                    let known: Vec<&str> = all().iter().map(|(id, _, _)| *id).collect();
+                    eprintln!("unknown experiment {id:?}; known: {}", known.join(", "));
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &records);
     }
 }

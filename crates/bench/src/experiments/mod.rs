@@ -1,8 +1,10 @@
-//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E10).
+//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E15).
 //!
 //! Each module prints one or more Markdown tables; `run_all` regenerates
 //! the whole of EXPERIMENTS.md's measured data. Everything is seeded and
-//! deterministic.
+//! deterministic. Each run also returns the experiment's metrics
+//! [`Snapshot`](rdfmesh_obs::Snapshot) so callers (the `experiments`
+//! binary) can emit machine-readable summaries.
 
 pub mod e01_chord_scalability;
 pub mod e02_primitive_strategies;
@@ -18,6 +20,7 @@ pub mod e11_adaptive;
 pub mod e12_rdfpeers;
 pub mod e13_system_scalability;
 pub mod e14_range_index;
+pub mod e15_cache;
 
 /// `(id, description, runner)` for every experiment.
 pub fn all() -> Vec<(&'static str, &'static str, fn())> {
@@ -36,14 +39,25 @@ pub fn all() -> Vec<(&'static str, &'static str, fn())> {
         ("e12", "Architectural comparison against RDFPeers", e12_rdfpeers::run),
         ("e13", "Whole-system scalability", e13_system_scalability::run),
         ("e14", "Numeric range queries: bucketed index vs gather vs RDFPeers", e14_range_index::run),
+        ("e15", "Query-path caching and adaptive hot-key replication", e15_cache::run),
     ]
+}
+
+/// One experiment's identity plus the metrics it recorded while running.
+pub struct ExperimentRecord {
+    /// Registry id (`e1` … `e15`).
+    pub id: &'static str,
+    /// Human-readable title from the registry.
+    pub title: &'static str,
+    /// Metrics snapshot captured over exactly this experiment's run.
+    pub snapshot: rdfmesh_obs::Snapshot,
 }
 
 /// Runs one experiment with the metrics registry recording, then prints
 /// the per-experiment snapshot: a human-readable table always, plus
 /// JSON-lines (scoped by experiment id) when `RDFMESH_METRICS_JSON` is
-/// set in the environment.
-fn run_instrumented(id: &str, title: &str, runner: fn()) {
+/// set in the environment. Returns the captured snapshot.
+fn run_instrumented(id: &'static str, title: &'static str, runner: fn()) -> ExperimentRecord {
     println!("\n## {} — {}", id.to_uppercase(), title);
     let metrics = rdfmesh_obs::metrics();
     metrics.reset();
@@ -60,22 +74,44 @@ fn run_instrumented(id: &str, title: &str, runner: fn()) {
             print!("{}", snap.to_json_lines(id));
         }
     }
+    ExperimentRecord { id, title, snapshot: snap }
 }
 
-/// Runs every experiment in order.
-pub fn run_all() {
-    for (id, title, runner) in all() {
-        run_instrumented(id, title, runner);
-    }
+/// Runs every experiment in order, returning one record per experiment.
+pub fn run_all() -> Vec<ExperimentRecord> {
+    all()
+        .into_iter()
+        .map(|(id, title, runner)| run_instrumented(id, title, runner))
+        .collect()
 }
 
-/// Runs one experiment by id (`e1` … `e14`). Returns false if unknown.
-pub fn run_one(id: &str) -> bool {
-    for (eid, title, runner) in all() {
-        if eid == id {
-            run_instrumented(eid, title, runner);
-            return true;
+/// Runs one experiment by a registry id. The set of valid ids is exactly
+/// what [`all`] lists — unknown ids return `None` so the caller can show
+/// the registry-derived choices.
+pub fn run_one(id: &str) -> Option<ExperimentRecord> {
+    all()
+        .into_iter()
+        .find(|(eid, _, _)| *eid == id)
+        .map(|(eid, title, runner)| run_instrumented(eid, title, runner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::all;
+    use std::collections::HashSet;
+
+    /// The registry is the single source of truth for ids, titles, and
+    /// the unknown-id error message — so it must stay self-consistent:
+    /// sequential ids `e1..eN`, no duplicates, non-empty titles.
+    #[test]
+    fn registry_is_self_consistent() {
+        let reg = all();
+        assert!(!reg.is_empty());
+        let mut seen = HashSet::new();
+        for (i, (id, title, _)) in reg.iter().enumerate() {
+            assert_eq!(*id, format!("e{}", i + 1), "ids must be sequential");
+            assert!(seen.insert(*id), "duplicate experiment id {id}");
+            assert!(!title.is_empty(), "experiment {id} needs a title");
         }
     }
-    false
 }

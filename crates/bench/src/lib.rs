@@ -1,12 +1,13 @@
 //! # rdfmesh-bench — the experiment harness
 //!
 //! Shared testbed construction and table rendering for the deferred
-//! evaluation suite (EXPERIMENTS.md §E1-§E10). The `experiments` binary
-//! regenerates every table:
+//! evaluation suite (EXPERIMENTS.md §E1-§E15). The `experiments` binary
+//! regenerates every table and can emit a machine-readable summary:
 //!
 //! ```sh
 //! cargo run -p rdfmesh-bench --bin experiments --release        # all
 //! cargo run -p rdfmesh-bench --bin experiments --release -- e3  # one
+//! cargo run -p rdfmesh-bench --bin experiments --release -- --json out.json e2 e15
 //! ```
 //!
 //! Criterion benches under `benches/` measure the wall-clock cost of the
@@ -16,7 +17,7 @@
 
 pub mod experiments;
 
-use rdfmesh_core::{Engine, ExecConfig, QueryStats};
+use rdfmesh_core::{CacheConfig, CacheStats, Engine, ExecConfig, Execution, QueryCache, QueryStats};
 use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
 use rdfmesh_overlay::Overlay;
 use rdfmesh_rdf::Triple;
@@ -28,6 +29,9 @@ pub struct Testbed {
     pub overlay: Overlay,
     /// The query initiator (the first index node).
     pub initiator: NodeId,
+    /// The initiator's query-path cache, when enabled (persists across
+    /// `run*` calls so repeated queries can hit).
+    cache: Option<QueryCache>,
 }
 
 /// Index-node addresses start here; storage nodes count from 1.
@@ -54,7 +58,7 @@ pub fn testbed_with_net(datasets: &[Vec<Triple>], index_nodes: usize, net: Netwo
             .add_storage_node(NodeId(1 + i as u64), attach, triples.clone())
             .expect("storage join");
     }
-    Testbed { overlay, initiator: NodeId(INDEX_BASE) }
+    Testbed { overlay, initiator: NodeId(INDEX_BASE), cache: None }
 }
 
 /// A FOAF testbed from generator configuration.
@@ -69,23 +73,47 @@ pub fn lan() -> Network {
 }
 
 impl Testbed {
+    /// Attaches a query-path cache that persists across `run*` calls, so
+    /// repeated queries exercise the hit paths. Call with a fresh config
+    /// to reset it.
+    pub fn enable_cache(&mut self, cfg: CacheConfig) {
+        self.cache = Some(QueryCache::new(cfg));
+    }
+
+    /// Detaches the cache, restoring exactly-uncached execution.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// The attached cache's hit/miss statistics, if one is attached.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
     /// Runs one query under `cfg` with fresh network counters.
     pub fn run(&mut self, cfg: ExecConfig, query: &str) -> QueryStats {
-        self.overlay.net.reset();
-        Engine::new(&mut self.overlay, cfg)
-            .execute(self.initiator, query)
-            .expect("query execution")
-            .stats
+        self.run_full(cfg, query).stats
     }
 
     /// Runs one query and also returns the result size for recall checks.
     pub fn run_counting(&mut self, cfg: ExecConfig, query: &str) -> (QueryStats, usize) {
-        self.overlay.net.reset();
-        let exec = Engine::new(&mut self.overlay, cfg)
-            .execute(self.initiator, query)
-            .expect("query execution");
+        let exec = self.run_full(cfg, query);
         let n = exec.result.len();
         (exec.stats, n)
+    }
+
+    /// Runs one query and returns the full [`Execution`] (stats plus the
+    /// actual result, for cached-vs-cold divergence checks).
+    pub fn run_full(&mut self, cfg: ExecConfig, query: &str) -> Execution {
+        self.overlay.net.reset();
+        match self.cache.as_mut() {
+            Some(cache) => Engine::with_cache(&mut self.overlay, cfg, cache)
+                .execute(self.initiator, query)
+                .expect("query execution"),
+            None => Engine::new(&mut self.overlay, cfg)
+                .execute(self.initiator, query)
+                .expect("query execution"),
+        }
     }
 
     /// Runs one query recording a full lifecycle trace (see

@@ -1,0 +1,120 @@
+//! A count-min frequency sketch with periodic aging — the TinyLFU
+//! admission signal.
+//!
+//! The sketch approximates how often each key has been *requested*
+//! (not how often it was admitted), so a candidate entry competes with
+//! an eviction victim on estimated popularity. Aging halves every
+//! counter once the sample grows past a window, keeping the estimate
+//! biased toward the recent workload — the "adaptive" half of
+//! workload-adaptive caching.
+
+/// Number of hash rows; the estimate is the minimum across rows.
+const ROWS: usize = 4;
+
+/// A deterministic count-min sketch with aging.
+#[derive(Debug, Clone)]
+pub struct FrequencySketch {
+    counters: Vec<u32>,
+    mask: u64,
+    additions: u64,
+    sample_size: u64,
+}
+
+/// SplitMix64: a deterministic, well-mixed 64-bit permutation used to
+/// derive per-row indices from a key hash. No wall clock, no process
+/// randomness — the same key sequence always produces the same sketch.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FrequencySketch {
+    /// A sketch sized for roughly `capacity` distinct hot keys. Width is
+    /// rounded up to a power of two; the aging window is 10× capacity.
+    pub fn new(capacity: usize) -> Self {
+        let width = capacity.next_power_of_two().max(64);
+        FrequencySketch {
+            counters: vec![0; width * ROWS],
+            mask: width as u64 - 1,
+            additions: 0,
+            sample_size: (capacity as u64).max(8) * 10,
+        }
+    }
+
+    fn index(&self, hash: u64, row: usize) -> usize {
+        let width = (self.mask + 1) as usize;
+        let h = splitmix64(hash ^ (row as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        row * width + (h & self.mask) as usize
+    }
+
+    /// Records one request for the key identified by `hash`.
+    pub fn record(&mut self, hash: u64) {
+        for row in 0..ROWS {
+            let i = self.index(hash, row);
+            self.counters[i] = self.counters[i].saturating_add(1);
+        }
+        self.additions += 1;
+        if self.additions >= self.sample_size {
+            self.age();
+        }
+    }
+
+    /// Estimated request count for the key identified by `hash`.
+    pub fn estimate(&self, hash: u64) -> u64 {
+        (0..ROWS)
+            .map(|row| self.counters[self.index(hash, row)])
+            .min()
+            .unwrap_or(0) as u64
+    }
+
+    /// Halves every counter, decaying stale popularity.
+    fn age(&mut self) {
+        for c in &mut self.counters {
+            *c /= 2;
+        }
+        self.additions /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_keys_estimate_higher() {
+        let mut s = FrequencySketch::new(128);
+        for _ in 0..10 {
+            s.record(42);
+        }
+        s.record(7);
+        assert!(s.estimate(42) > s.estimate(7));
+        assert_eq!(s.estimate(999), 0);
+    }
+
+    #[test]
+    fn aging_halves_counts() {
+        let mut s = FrequencySketch::new(8);
+        // sample_size = 80; push one key past the window.
+        for _ in 0..79 {
+            s.record(1);
+        }
+        assert_eq!(s.estimate(1), 79);
+        s.record(1); // triggers aging
+        assert_eq!(s.estimate(1), 40);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FrequencySketch::new(64);
+        let mut b = FrequencySketch::new(64);
+        for k in 0..50u64 {
+            a.record(k % 7);
+            b.record(k % 7);
+        }
+        for k in 0..7u64 {
+            assert_eq!(a.estimate(k), b.estimate(k));
+        }
+    }
+}

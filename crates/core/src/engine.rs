@@ -14,9 +14,10 @@
 
 use std::collections::HashMap;
 
+use rdfmesh_cache::{QueryCache, ResultEntry};
 use rdfmesh_net::{NodeId, SimTime};
-use rdfmesh_obs::phase;
-use rdfmesh_overlay::{wire, Overlay, OverlayError, Provider};
+use rdfmesh_obs::{names, phase};
+use rdfmesh_overlay::{wire, Located, Overlay, OverlayError, Provider};
 use rdfmesh_rdf::{Triple, TriplePattern, TripleStore, Variable};
 use rdfmesh_sparql::{
     algebra::AlgebraQuery,
@@ -121,12 +122,40 @@ pub struct Engine<'a> {
     /// nodes publishing one of these graph IRIs belong to the dataset
     /// (Sect. IV-A). Empty = the union of all providers.
     dataset_graphs: Vec<rdfmesh_rdf::Iri>,
+    /// The initiator's cache stack, when attached via
+    /// [`Engine::with_cache`]. `None` reproduces the uncached engine
+    /// exactly.
+    cache: Option<&'a mut QueryCache>,
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine over the overlay with the given configuration.
     pub fn new(overlay: &'a mut Overlay, cfg: ExecConfig) -> Self {
-        Engine { overlay, cfg, stats: QueryStats::default(), initiator: NodeId(0), dataset_graphs: Vec::new() }
+        Engine {
+            overlay,
+            cfg,
+            stats: QueryStats::default(),
+            initiator: NodeId(0),
+            dataset_graphs: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// Like [`Engine::new`], but with the initiator's [`QueryCache`]
+    /// attached: index lookups consult the routing and provider-set
+    /// layers first, unfiltered primitive patterns may be served from
+    /// the result cache, and the initiator is subscribed to the
+    /// overlay's invalidation notifications. The `ExecConfig::cache_*`
+    /// knobs gate the individual layers.
+    pub fn with_cache(overlay: &'a mut Overlay, cfg: ExecConfig, cache: &'a mut QueryCache) -> Self {
+        Engine {
+            overlay,
+            cfg,
+            stats: QueryStats::default(),
+            initiator: NodeId(0),
+            dataset_graphs: Vec::new(),
+            cache: Some(cache),
+        }
     }
 
     /// The engine's configuration.
@@ -220,6 +249,11 @@ impl<'a> Engine<'a> {
         self.initiator = initiator;
         self.stats = QueryStats::default();
         self.dataset_graphs = query.dataset.default.clone();
+        if self.cache.is_some() {
+            // Row-change notifications from index nodes flow to this
+            // initiator from now on (idempotent).
+            self.overlay.subscribe_cache(initiator);
+        }
         let before = self.overlay.net.stats();
 
         // Global query optimization (Fig. 3): algebraic rewrites, with
@@ -255,6 +289,7 @@ impl<'a> Engine<'a> {
                 self.stats.absorb_net(&before.delta(&self.overlay.net.stats()));
                 rdfmesh_obs::advance_current(phase::POST_PROCESS, ready.0);
                 rdfmesh_obs::count_current("result_size", self.stats.result_size as u64);
+                self.finish_query();
                 return Ok(Execution {
                     result: QueryResult::Boolean(answer),
                     stats: self.stats.clone(),
@@ -276,7 +311,24 @@ impl<'a> Engine<'a> {
         self.stats.absorb_net(&before.delta(&self.overlay.net.stats()));
         rdfmesh_obs::advance_current(phase::POST_PROCESS, self.stats.response_time.0);
         rdfmesh_obs::count_current("result_size", result.len() as u64);
+        self.finish_query();
         Ok(Execution { result, stats: self.stats.clone() })
+    }
+
+    /// End-of-query bookkeeping: records the response time in the
+    /// metrics registry and advances the attached cache's clock past this
+    /// query (response time plus 1 ms think time), so routing TTLs age
+    /// across queries even though each query's network clock restarts at
+    /// zero.
+    fn finish_query(&mut self) {
+        let rt = self.stats.response_time;
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.observe(names::ENGINE_RESPONSE_TIME_US, rt.0);
+        }
+        if let Some(cache) = self.cache.as_mut() {
+            cache.advance_clock(rt + SimTime::millis(1));
+        }
     }
 
     // ---- observability mirrors -----------------------------------------
@@ -369,7 +421,7 @@ impl<'a> Engine<'a> {
         let mut entries = Vec::with_capacity(tps.len());
         let mut default = 1u64;
         for tp in tps {
-            match self.overlay.locate(entry, &tp, SimTime::ZERO)? {
+            match self.locate_cached(entry, &tp, SimTime::ZERO)? {
                 Some(located) => {
                     self.note_index_hops(located.hops);
                     let total: u64 = located.providers.iter().map(|p| p.frequency).sum();
@@ -398,6 +450,131 @@ impl<'a> Engine<'a> {
         self.overlay
             .addr_of(storage.attached_to)
             .ok_or(EngineError::UnknownInitiator(addr))
+    }
+
+    // ---- cache-aware index lookup (rdfmesh-cache) ----------------------
+
+    /// Resolves providers for `pattern` like [`Overlay::locate`], but
+    /// consults the attached cache stack first and fills it on a cold
+    /// walk. A provider-set hit costs zero messages (the initiator's
+    /// entry node fans sub-queries out itself); a routing hit costs one
+    /// direct [`wire::LOOKUP_STEP`] message to the remembered owner
+    /// instead of the O(log N) ring walk. Lookup traffic is classed as
+    /// cache-hit vs cache-miss bytes in the metrics registry.
+    fn locate_cached(
+        &mut self,
+        entry: NodeId,
+        pattern: &TriplePattern,
+        depart: SimTime,
+    ) -> Result<Option<Located>, EngineError> {
+        let use_providers = self.cfg.cache_providers && self.cache.is_some();
+        let use_routing = self.cfg.cache_routing && self.cache.is_some();
+        if !use_providers && !use_routing {
+            return Ok(self.overlay.locate(entry, pattern, depart)?);
+        }
+        let Some(key) = self.overlay.index_key_for(pattern) else {
+            // All-variable pattern: no key to cache under; callers flood.
+            return Ok(None);
+        };
+        let epoch = self.overlay.ring_epoch();
+        let version = self.overlay.key_version(key.id);
+        let mut provider_hit = None;
+        let mut route_hit = None;
+        if let Some(cache) = self.cache.as_mut() {
+            if use_providers {
+                provider_hit = cache.lookup_providers(key.id, version, epoch);
+            }
+            if provider_hit.is_none() && use_routing {
+                route_hit = cache.lookup_route(key.id, epoch);
+            }
+        }
+        if let Some((_, providers)) = provider_hit {
+            // Both index levels short-circuited: the initiator knows the
+            // row, so sub-queries fan out from its own entry node.
+            return Ok(Some(Located { key, index_node: entry, providers, hops: 0, arrival: depart }));
+        }
+        if let Some(owner) = route_hit {
+            self.overlay.net.set_byte_class(Some(names::NET_BYTES_CACHE_HIT_PATH));
+            let arrival = self.overlay.net.send(entry, owner, wire::LOOKUP_STEP, depart);
+            self.overlay.net.set_byte_class(None);
+            let providers = self.overlay.providers_for_key(owner, key.id);
+            if use_providers {
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.store_providers(key.id, owner, providers.clone(), version, epoch);
+                }
+            }
+            let hops = usize::from(owner != entry);
+            return Ok(Some(Located { key, index_node: owner, providers, hops, arrival }));
+        }
+        self.overlay.net.set_byte_class(Some(names::NET_BYTES_CACHE_MISS_PATH));
+        let located = self.overlay.locate(entry, pattern, depart);
+        self.overlay.net.set_byte_class(None);
+        let located = located?;
+        if let Some(loc) = &located {
+            // The routing cache remembers the *authoritative* owner, not
+            // a hot-replica holder the walk may have stopped at: a later
+            // routing hit reads the row at the remembered node directly.
+            let owner = self.overlay.owner_addr(key.id).unwrap_or(loc.index_node);
+            if let Some(cache) = self.cache.as_mut() {
+                if use_routing {
+                    cache.store_route(key.id, owner, epoch);
+                }
+                if use_providers {
+                    cache.store_providers(key.id, loc.index_node, loc.providers.clone(), version, epoch);
+                }
+            }
+        }
+        Ok(located)
+    }
+
+    /// Serves `pattern` from the result cache when a coherent entry
+    /// exists: version and epoch must match and every provider recorded
+    /// at fill time must still be alive (a cold query would lose a dead
+    /// provider's solutions to a timeout, so a cached result that still
+    /// counts them must not be served).
+    fn result_cache_get(&mut self, pattern: &TriplePattern, depart: SimTime) -> Option<Mat> {
+        let key = self.overlay.index_key_for(pattern)?;
+        let version = self.overlay.key_version(key.id);
+        let epoch = self.overlay.ring_epoch();
+        let overlay = &*self.overlay;
+        let cache = self.cache.as_mut()?;
+        let solutions =
+            cache.lookup_result(pattern, version, epoch, &|n| overlay.is_storage_alive(n))?;
+        Some(Mat { solutions, site: self.initiator, ready: depart })
+    }
+
+    /// Offers a finished primitive materialization for result-cache
+    /// admission. When admitted and the result lives elsewhere, the
+    /// initiator pulls a private copy (one charged transfer, off the
+    /// response-time critical path) so later hits serve locally.
+    fn result_cache_store(&mut self, pattern: &TriplePattern, providers: &[NodeId], mat: &Mat) {
+        let Some(key) = self.overlay.index_key_for(pattern) else { return };
+        let version = self.overlay.key_version(key.id);
+        let epoch = self.overlay.ring_epoch();
+        // Record only providers still alive: dead ones were purged during
+        // execution (and contributed nothing), so the snapshot's liveness
+        // set matches what a cold re-run would contact.
+        let alive: Vec<NodeId> = providers
+            .iter()
+            .copied()
+            .filter(|n| self.overlay.is_storage_alive(*n))
+            .collect();
+        let bytes = wire::RESULT_HEADER + solution::serialized_len(&mat.solutions);
+        let Some(cache) = self.cache.as_mut() else { return };
+        let admitted = cache.store_result(
+            pattern.clone(),
+            ResultEntry {
+                solutions: mat.solutions.clone(),
+                providers: alive,
+                key: key.id,
+                version,
+                epoch,
+                bytes,
+            },
+        );
+        if admitted && mat.site != self.initiator {
+            self.overlay.net.send(mat.site, self.initiator, bytes, mat.ready);
+        }
     }
 
     // ---- recursive distributed evaluation -----------------------------
@@ -505,10 +682,10 @@ impl<'a> Engine<'a> {
             return Ok((None, None));
         };
         let entry = self.entry_index(self.initiator)?;
-        let Some(la) = self.overlay.locate(entry, ta, SimTime::ZERO)? else {
+        let Some(la) = self.locate_cached(entry, ta, SimTime::ZERO)? else {
             return Ok((None, None));
         };
-        let Some(lb) = self.overlay.locate(entry, tb, SimTime::ZERO)? else {
+        let Some(lb) = self.locate_cached(entry, tb, SimTime::ZERO)? else {
             return Ok((None, None));
         };
         self.note_index_hops(la.hops + lb.hops);
@@ -540,6 +717,18 @@ impl<'a> Engine<'a> {
         depart: SimTime,
         end_hint: Option<NodeId>,
     ) -> Result<Mat, EngineError> {
+        // Result-cache fast path: an unfiltered, dataset-free primitive
+        // pattern may be answered entirely at the initiator.
+        let cacheable = self.cache.is_some()
+            && self.cfg.cache_results
+            && filter.is_none()
+            && self.dataset_graphs.is_empty();
+        if cacheable {
+            if let Some(hit) = self.result_cache_get(pattern, depart) {
+                self.note_intermediates(hit.solutions.len());
+                return Ok(hit);
+            }
+        }
         let entry = self.entry_index(self.initiator)?;
         // A storage-node initiator first forwards the query to its index
         // node (one message).
@@ -548,7 +737,7 @@ impl<'a> Engine<'a> {
         } else {
             self.forward_to_entry(entry, pattern, depart)
         };
-        let Some(located) = self.overlay.locate(entry, pattern, depart)? else {
+        let Some(located) = self.locate_cached(entry, pattern, depart)? else {
             return self.flood(pattern, filter, depart);
         };
         self.note_index_hops(located.hops);
@@ -564,7 +753,8 @@ impl<'a> Engine<'a> {
             return Ok(Mat { solutions: Vec::new(), site: assembly, ready: t0 });
         }
 
-        match self.cfg.primitive {
+        let provider_nodes: Vec<NodeId> = providers.iter().map(|p| p.node).collect();
+        let mat = match self.cfg.primitive {
             PrimitiveStrategy::Basic => {
                 self.primitive_basic(pattern, filter, assembly, &providers, t0)
             }
@@ -579,7 +769,11 @@ impl<'a> Engine<'a> {
                 providers.sort_by_key(|p| (p.frequency, p.node));
                 self.primitive_chain(pattern, filter, assembly, providers, t0, end_hint)
             }
+        }?;
+        if cacheable {
+            self.result_cache_store(pattern, &provider_nodes, &mat);
         }
+        Ok(mat)
     }
 
     /// Basic scheme: parallel fan-out from the assembly index node.
@@ -701,7 +895,7 @@ impl<'a> Engine<'a> {
         } else {
             self.forward_to_entry(entry, pattern, SimTime::ZERO)
         };
-        let Some(located) = self.overlay.locate(entry, pattern, depart)? else {
+        let Some(located) = self.locate_cached(entry, pattern, depart)? else {
             let mat = self.flood(pattern, filter, depart)?;
             let mat = self.ship(mat, self.initiator);
             return Ok((!mat.solutions.is_empty(), mat.ready));
@@ -944,7 +1138,7 @@ impl<'a> Engine<'a> {
     /// cannot contribute to the final answer.
     fn primitive_bound(&mut self, pattern: &TriplePattern, current: Mat) -> Result<Mat, EngineError> {
         let entry = self.entry_index(self.initiator)?;
-        let Some(located) = self.overlay.locate(entry, pattern, current.ready)? else {
+        let Some(located) = self.locate_cached(entry, pattern, current.ready)? else {
             // All-variable pattern: fall back to gathering + local join.
             let right = self.flood(pattern, None, current.ready)?;
             return Ok(self.binary_op(BinaryOp::Join, current, right));

@@ -26,6 +26,7 @@ pub mod system;
 
 pub use config::{ExecConfig, JoinSiteStrategy, Objective, PrimitiveStrategy};
 pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimator, Mat};
+pub use rdfmesh_cache::{CacheConfig, CacheStats, QueryCache};
 pub use live::{LiveMesh, LiveMsg, COORDINATOR};
 pub use planner::{estimate_primitive, plan, CostEstimate, Plan, PlanObjective};
 pub use stats::QueryStats;

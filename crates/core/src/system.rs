@@ -6,6 +6,7 @@
 //! cost. Everything the examples and most experiments do goes through
 //! this type.
 
+use rdfmesh_cache::{CacheConfig, QueryCache};
 use rdfmesh_chord::Id;
 use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
 use rdfmesh_overlay::{Overlay, OverlayError, PublishReport};
@@ -88,6 +89,7 @@ impl SystemBuilder {
             overlay: Overlay::new(self.bits, self.successor_list_len, self.replication, net),
             config: self.config,
             next_addr: 1,
+            cache: None,
         }
     }
 }
@@ -99,6 +101,7 @@ pub struct SharingSystem {
     overlay: Overlay,
     config: ExecConfig,
     next_addr: u64,
+    cache: Option<QueryCache>,
 }
 
 impl SharingSystem {
@@ -130,6 +133,24 @@ impl SharingSystem {
     /// Replaces the engine configuration (e.g. to compare strategies).
     pub fn set_config(&mut self, config: ExecConfig) {
         self.config = config;
+    }
+
+    /// Attaches a query-path cache stack: subsequent [`Self::query`] /
+    /// [`Self::query_with`] calls consult the routing, provider-set and
+    /// result caches (as gated by the `ExecConfig::cache_*` knobs) and
+    /// fill them as they execute.
+    pub fn enable_cache(&mut self, cfg: CacheConfig) {
+        self.cache = Some(QueryCache::new(cfg));
+    }
+
+    /// Detaches the cache, restoring exactly-uncached execution.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// The attached cache's hit/miss statistics, if one is attached.
+    pub fn cache_stats(&self) -> Option<rdfmesh_cache::CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     fn fresh_addr(&mut self) -> NodeId {
@@ -251,7 +272,7 @@ impl SharingSystem {
     /// its cost under the current configuration.
     pub fn query(&mut self, initiator: NodeId, sparql: &str) -> Result<Execution, EngineError> {
         let cfg = self.config;
-        Engine::new(&mut self.overlay, cfg).execute(initiator, sparql)
+        self.query_with(initiator, sparql, cfg)
     }
 
     /// Submits a query with an explicit one-off configuration.
@@ -261,7 +282,12 @@ impl SharingSystem {
         sparql: &str,
         cfg: ExecConfig,
     ) -> Result<Execution, EngineError> {
-        Engine::new(&mut self.overlay, cfg).execute(initiator, sparql)
+        match self.cache.as_mut() {
+            Some(cache) => {
+                Engine::with_cache(&mut self.overlay, cfg, cache).execute(initiator, sparql)
+            }
+            None => Engine::new(&mut self.overlay, cfg).execute(initiator, sparql),
+        }
     }
 
     /// Resets the network counters (between measured runs).
@@ -370,6 +396,33 @@ mod tests {
             .unwrap();
         assert_eq!(exec.result.len(), 1);
         assert_eq!(plan.candidates.len(), 3);
+    }
+
+    #[test]
+    fn cached_queries_match_cold_results_and_cost_less() {
+        let mut sys = SharingSystem::new();
+        let ix = sys.add_index_node().unwrap();
+        sys.add_index_node().unwrap();
+        sys.add_peer(vec![knows("alice", "bob")]).unwrap();
+        sys.add_peer(vec![knows("carol", "bob")]).unwrap();
+        let q = "SELECT ?x WHERE { ?x foaf:knows <http://example.org/bob> . }";
+        let cold = sys.query(ix, q).unwrap();
+        sys.enable_cache(CacheConfig::default());
+        sys.reset_network();
+        let warm = sys.query(ix, q).unwrap(); // fills the caches
+        sys.reset_network();
+        let hit = sys.query(ix, q).unwrap();
+        assert_eq!(format!("{:?}", cold.result), format!("{:?}", hit.result));
+        assert!(
+            hit.stats.total_bytes < warm.stats.total_bytes,
+            "hit {} vs warm {}",
+            hit.stats.total_bytes,
+            warm.stats.total_bytes
+        );
+        let stats = sys.cache_stats().unwrap();
+        assert!(stats.result_hits >= 1, "{stats:?}");
+        sys.disable_cache();
+        assert!(sys.cache_stats().is_none());
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct Network {
     busy_until: RefCell<HashMap<NodeId, SimTime>>,
     /// Message log; `None` disables recording (the default).
     trace: RefCell<Option<Vec<TraceEntry>>>,
+    /// Extra metrics counter every sent byte is also charged to while
+    /// set — lets executors split traffic into classes (e.g. bytes spent
+    /// on cache-hit vs cache-miss query paths).
+    byte_class: RefCell<Option<&'static str>>,
 }
 
 impl Network {
@@ -73,7 +77,17 @@ impl Network {
             stats: RefCell::new(NetStats::default()),
             busy_until: RefCell::new(HashMap::new()),
             trace: RefCell::new(None),
+            byte_class: RefCell::new(None),
         }
+    }
+
+    /// Sets (or clears, with `None`) the metrics counter name that every
+    /// subsequently sent byte is *additionally* charged to while the
+    /// metrics registry is enabled. Executors use this to attribute
+    /// traffic to query-path classes — e.g. `net.bytes.cache_hit_path`
+    /// vs `net.bytes.cache_miss_path` — without touching each send site.
+    pub fn set_byte_class(&self, class: Option<&'static str>) {
+        *self.byte_class.borrow_mut() = class;
     }
 
     /// A convenient default: uniform 1 ms latency, ~12.5 bytes/µs
@@ -128,6 +142,9 @@ impl Network {
             metrics.add("net.messages", 1);
             metrics.add("net.bytes", bytes as u64);
             metrics.observe("net.message_bytes", bytes as u64);
+            if let Some(class) = *self.byte_class.borrow() {
+                metrics.add(class, bytes as u64);
+            }
         }
         arrival
     }

@@ -23,8 +23,9 @@
 
 #![warn(missing_docs)]
 
-mod json;
+pub mod json;
 mod metrics;
+pub mod names;
 mod trace;
 
 pub use metrics::{metrics, Histogram, MetricsRegistry, Snapshot};

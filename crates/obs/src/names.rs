@@ -1,0 +1,32 @@
+//! Canonical metric names for the caching subsystem.
+//!
+//! `rdfmesh-cache`, the engine and the network all record cache
+//! behaviour into the [`crate::metrics()`] registry; centralizing the
+//! names here keeps producers and dashboards (EXPERIMENTS.md §E15,
+//! `BENCH_experiments.json`) in agreement.
+
+/// Routing-cache hit: a level-1 Chord walk was replaced by one direct
+/// message to the remembered owner.
+pub const CACHE_ROUTING_HITS: &str = "cache.routing.hits";
+/// Routing-cache miss (absent, expired TTL, or stale ring epoch).
+pub const CACHE_ROUTING_MISSES: &str = "cache.routing.misses";
+/// Provider-set cache hit: both index levels short-circuited.
+pub const CACHE_PROVIDER_HITS: &str = "cache.provider.hits";
+/// Provider-set cache miss (absent, stale row version, or stale epoch).
+pub const CACHE_PROVIDER_MISSES: &str = "cache.provider.misses";
+/// Sub-query result cache hit: the primitive pattern was answered at the
+/// initiator without contacting any provider.
+pub const CACHE_RESULT_HITS: &str = "cache.result.hits";
+/// Sub-query result cache miss.
+pub const CACHE_RESULT_MISSES: &str = "cache.result.misses";
+/// Result-cache candidates rejected by the frequency-sketch admission
+/// policy (their estimated popularity did not beat the eviction victim).
+pub const CACHE_RESULT_REJECTED: &str = "cache.result.admission_rejected";
+/// Entries dropped on use because their version or epoch was stale.
+pub const CACHE_STALE_DROPS: &str = "cache.stale_drops";
+/// Bytes sent while executing a query path that began with a cache hit.
+pub const NET_BYTES_CACHE_HIT_PATH: &str = "net.bytes.cache_hit_path";
+/// Bytes sent while executing a cold (cache-miss) query path.
+pub const NET_BYTES_CACHE_MISS_PATH: &str = "net.bytes.cache_miss_path";
+/// Per-query end-to-end response time in simulated microseconds.
+pub const ENGINE_RESPONSE_TIME_US: &str = "engine.response_time_us";

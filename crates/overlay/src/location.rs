@@ -57,14 +57,20 @@ impl LocationTable {
     /// Removes every entry for `node` across all keys (storage-node
     /// departure/failure cleanup, Sect. III-D). Returns entries removed.
     pub fn purge_node(&mut self, node: NodeId) -> usize {
-        let mut removed = 0;
-        self.rows.retain(|_, row| {
+        self.purge_node_keys(node).len()
+    }
+
+    /// Like [`LocationTable::purge_node`], but returns the keys whose
+    /// rows changed — the invalidation set pushed to cache subscribers.
+    pub fn purge_node_keys(&mut self, node: NodeId) -> Vec<Id> {
+        let mut touched = Vec::new();
+        self.rows.retain(|&key, row| {
             if row.remove(&node).is_some() {
-                removed += 1;
+                touched.push(key);
             }
             !row.is_empty()
         });
-        removed
+        touched
     }
 
     /// The providers for `key`, in ascending node order.

@@ -17,6 +17,7 @@
 //! failure leaves stale entries that are purged lazily when queries time
 //! out.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
 use rdfmesh_chord::{ChordRing, Id, RingError};
@@ -115,6 +116,19 @@ impl std::fmt::Display for OverlayError {
 
 impl std::error::Error for OverlayError {}
 
+/// Per-key query-hit counting and hot-row replication state (the
+/// adaptive layer of `rdfmesh-cache`). Lives behind a [`RefCell`] so the
+/// read-only [`Overlay::locate`] path can count hits and push replicas.
+#[derive(Debug, Default)]
+struct HotState {
+    /// Hits after which a key's row is pushed to the owner's successors.
+    threshold: u64,
+    /// Per-key query-hit counters at the owning index nodes.
+    hits: HashMap<Id, u64>,
+    /// key → chord ids of the successor nodes now holding a hot copy.
+    replicas: HashMap<Id, Vec<Id>>,
+}
+
 /// The hybrid overlay: ring + location tables + storage nodes + network.
 #[derive(Debug)]
 pub struct Overlay {
@@ -131,6 +145,19 @@ pub struct Overlay {
     replication: usize,
     /// Range-index bucketing for numeric objects, when enabled.
     buckets: Option<NumericBuckets>,
+    /// Bumped on every index-node join/leave/failure/repair. Caches keyed
+    /// on ring state (routing, provider sets) are only valid within one
+    /// epoch.
+    ring_epoch: u64,
+    /// Per-key row versions, bumped whenever a location-table row's
+    /// content changes (publish, unpublish, purge). Provider-set and
+    /// result caches validate against these on use.
+    versions: HashMap<Id, u64>,
+    /// Query initiators subscribed to row-change notifications; each
+    /// batched row change charges one message per subscriber.
+    cache_subscribers: Vec<NodeId>,
+    /// Adaptive hot-key replication, when enabled.
+    hot: RefCell<Option<HotState>>,
     /// The cost-accounting network.
     pub net: Network,
 }
@@ -148,7 +175,122 @@ impl Overlay {
             storage: BTreeMap::new(),
             replication: replication.max(1),
             buckets: None,
+            ring_epoch: 0,
+            versions: HashMap::new(),
+            cache_subscribers: Vec::new(),
+            hot: RefCell::new(None),
             net,
+        }
+    }
+
+    // ---- cache-coherence surface (rdfmesh-cache) ----------------------
+
+    /// The current ring epoch: bumped on every index-node membership
+    /// change. Cached routing/provider/result entries from an older epoch
+    /// are invalid.
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring_epoch
+    }
+
+    /// The current version of a key's location-table row (0 if the key
+    /// never had a row). Bumped on every row-content change.
+    pub fn key_version(&self, key: Id) -> u64 {
+        self.versions.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Subscribes a query initiator to row-change notifications: every
+    /// batched row mutation afterwards charges one
+    /// [`wire::INVALIDATION`]-sized message (plus 8 bytes per key) from
+    /// the owning index node to each subscriber. Idempotent.
+    pub fn subscribe_cache(&mut self, addr: NodeId) {
+        if !self.cache_subscribers.contains(&addr) {
+            self.cache_subscribers.push(addr);
+        }
+    }
+
+    /// Enables adaptive hot-key replication: index nodes count per-key
+    /// query hits, and once a key reaches `threshold` hits its row is
+    /// pushed to the owner's successor-list neighbors so later lookups
+    /// terminate as soon as the ring walk touches any holder.
+    pub fn enable_hot_replication(&mut self, threshold: u64) {
+        *self.hot.get_mut() = Some(HotState {
+            threshold: threshold.max(1),
+            ..HotState::default()
+        });
+    }
+
+    /// Number of keys currently hot-replicated (for tests and metrics).
+    pub fn hot_replica_count(&self) -> usize {
+        self.hot.borrow().as_ref().map_or(0, |h| h.replicas.len())
+    }
+
+    /// Authoritative providers for `key` as seen at index node `owner`
+    /// (primary row, falling back to the node's replica set). Used by the
+    /// routing cache's short-circuited level-2 fetch.
+    pub fn providers_for_key(&self, owner: NodeId, key: Id) -> Vec<Provider> {
+        let Some(id) = self.chord_id_of(owner) else { return Vec::new() };
+        let mut row = self.tables.get(&id).map(|t| t.providers(key)).unwrap_or_default();
+        if row.is_empty() {
+            if let Some(r) = self.replicas.get(&id) {
+                row = r.providers(key);
+            }
+        }
+        row
+    }
+
+    /// The index key `pattern` resolves to in this overlay's identifier
+    /// space, if it has one (the all-variable pattern does not). Lets
+    /// cache layers address their entries exactly as [`Overlay::locate`]
+    /// would.
+    pub fn index_key_for(&self, pattern: &TriplePattern) -> Option<IndexKey> {
+        key_for_pattern(self.ring.space(), pattern)
+    }
+
+    /// The network address of the index node that authoritatively owns
+    /// `key` under the current ring membership.
+    pub fn owner_addr(&self, key: Id) -> Option<NodeId> {
+        self.ring.ideal_owner(key).ok().and_then(|id| self.addr_of(id))
+    }
+
+    /// Bumps the ring epoch and drops all hot-replication state (ring
+    /// membership changed, so successor sets and ownership may differ).
+    fn bump_epoch(&mut self) {
+        self.ring_epoch += 1;
+        if let Some(hot) = self.hot.get_mut().as_mut() {
+            hot.hits.clear();
+            hot.replicas.clear();
+        }
+    }
+
+    /// Records that the rows for `keys` changed at the index node
+    /// `owner`: bumps their versions, drops their hot replicas, and
+    /// charges one notification message per subscriber.
+    fn note_row_changes(&mut self, owner: Id, keys: &[Id]) {
+        if keys.is_empty() {
+            return;
+        }
+        for k in keys {
+            *self.versions.entry(*k).or_insert(0) += 1;
+        }
+        if let Some(hot) = self.hot.get_mut().as_mut() {
+            for k in keys {
+                hot.hits.remove(k);
+                hot.replicas.remove(k);
+            }
+        }
+        if !self.cache_subscribers.is_empty() {
+            if let Some(from) = self.addr_of(owner) {
+                let bytes = wire::INVALIDATION + 8 * keys.len();
+                for sub in self.cache_subscribers.clone() {
+                    if sub != from {
+                        self.net.send(from, sub, bytes, SimTime::ZERO);
+                    }
+                }
+            }
+            let metrics = rdfmesh_obs::metrics();
+            if metrics.is_enabled() {
+                metrics.add("overlay.cache.invalidations", keys.len() as u64);
+            }
         }
     }
 
@@ -252,10 +394,11 @@ impl Overlay {
                     let from = self.index_addr[&succ];
                     self.net.send(from, addr, transferred_bytes, SimTime::ZERO);
                 }
-                self.tables.get_mut(&chord_id).expect("just inserted").merge(moved);
+                self.tables.entry(chord_id).or_default().merge(moved);
             }
         }
         self.refresh_replicas();
+        self.bump_epoch();
         Ok(JoinReport { lookup_hops, transferred_keys, transferred_bytes })
     }
 
@@ -279,6 +422,7 @@ impl Overlay {
         self.ring.stabilize_until_converged(128);
         self.reattach_orphans(id);
         self.refresh_replicas();
+        self.bump_epoch();
         Ok(())
     }
 
@@ -291,6 +435,7 @@ impl Overlay {
         self.ring.fail(id)?;
         self.index_addr.remove(&id);
         self.addr_index.remove(&addr);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -302,7 +447,7 @@ impl Overlay {
         // into the holder's primary table (unless already there).
         let holders: Vec<Id> = self.replicas.keys().copied().collect();
         for holder in holders {
-            let replica = self.replicas.get_mut(&holder).expect("listed");
+            let Some(replica) = self.replicas.get_mut(&holder) else { continue };
             let promoted = replica.split_off_where(|k| {
                 matches!(self.ring.ideal_owner(k), Ok(owner) if owner == holder)
             });
@@ -330,10 +475,13 @@ impl Overlay {
         for addr in dead_attachments {
             let old = self.storage[&addr].attached_to;
             if let Ok(new_attach) = self.ring.ideal_owner(old) {
-                self.storage.get_mut(&addr).expect("listed").attached_to = new_attach;
+                if let Some(node) = self.storage.get_mut(&addr) {
+                    node.attached_to = new_attach;
+                }
             }
         }
         self.refresh_replicas();
+        self.bump_epoch();
     }
 
     /// Rebuilds replica tables: each index node's primary rows are copied
@@ -377,7 +525,9 @@ impl Overlay {
             .collect();
         for addr in orphans {
             if let Ok(new_attach) = self.ring.ideal_owner(gone) {
-                self.storage.get_mut(&addr).expect("listed").attached_to = new_attach;
+                if let Some(node) = self.storage.get_mut(&addr) {
+                    node.attached_to = new_attach;
+                }
             }
         }
     }
@@ -440,43 +590,7 @@ impl Overlay {
             }
         }
 
-        let mut report = PublishReport { keys: counts.len(), ..Default::default() };
-        let mut keys: Vec<(IndexKey, u64)> = counts.into_iter().collect();
-        keys.sort_by_key(|(k, _)| (k.id, k.kind));
-        for (key, count) in keys {
-            let path = self.ring.lookup_path_from(attach_id, key.id)?;
-            let owner = *path.last().expect("non-empty");
-            // Charge: storage → attach, then each ring hop, then the entry.
-            let mut t = self.net.send(addr, self.addr_of(attach_id).expect("alive"), wire::PUBLISH_REQUEST, SimTime::ZERO);
-            for pair in path.windows(2) {
-                let from = self.addr_of(pair[0]).expect("alive");
-                let to = self.addr_of(pair[1]).expect("alive");
-                t = self.net.send(from, to, wire::LOOKUP_STEP, t);
-                report.routing_messages += 1;
-            }
-            report.bytes += (wire::PUBLISH_REQUEST + path.len().saturating_sub(1) * wire::LOOKUP_STEP) as u64;
-            self.tables.entry(owner).or_default().add(key.id, addr, count);
-            // Replicate to successors.
-            if self.replication >= 2 {
-                let succs: Vec<Id> = self
-                    .ring
-                    .node(owner)?
-                    .successors
-                    .clone()
-                    .into_iter()
-                    .filter(|s| *s != owner)
-                    .take(self.replication - 1)
-                    .collect();
-                for s in succs {
-                    let from = self.addr_of(owner).expect("alive");
-                    let to = self.addr_of(s).expect("alive");
-                    self.net.send(from, to, wire::ENTRY, t);
-                    report.bytes += wire::ENTRY as u64;
-                    self.replicas.entry(s).or_default().add(key.id, addr, count);
-                }
-            }
-        }
-        Ok(report)
+        self.publish_deltas(addr, attach_id, counts, true)
     }
 
     /// Adds triples to an existing storage node's local repository and
@@ -488,24 +602,19 @@ impl Overlay {
         triples: impl IntoIterator<Item = Triple>,
     ) -> Result<PublishReport, OverlayError> {
         let space = self.ring.space();
-        let attach_id = self
-            .storage
-            .get(&addr)
-            .ok_or(OverlayError::UnknownStorageNode(addr))?
-            .attached_to;
+        let buckets = self.buckets;
         // Only genuinely new triples create index deltas.
         let mut counts: HashMap<IndexKey, u64> = HashMap::new();
-        {
-            let buckets = self.buckets;
-            let node = self.storage.get_mut(&addr).expect("checked");
-            for triple in triples {
-                if node.store.insert(&triple) {
-                    for key in keys_for_triple(space, &triple) {
-                        *counts.entry(key).or_insert(0) += 1;
-                    }
-                    if let Some(key) = pon_key(space, buckets, &triple) {
-                        *counts.entry(key).or_insert(0) += 1;
-                    }
+        let node =
+            self.storage.get_mut(&addr).ok_or(OverlayError::UnknownStorageNode(addr))?;
+        let attach_id = node.attached_to;
+        for triple in triples {
+            if node.store.insert(&triple) {
+                for key in keys_for_triple(space, &triple) {
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+                if let Some(key) = pon_key(space, buckets, &triple) {
+                    *counts.entry(key).or_insert(0) += 1;
                 }
             }
         }
@@ -520,30 +629,28 @@ impl Overlay {
         triples: impl IntoIterator<Item = Triple>,
     ) -> Result<PublishReport, OverlayError> {
         let space = self.ring.space();
-        let attach_id = self
-            .storage
-            .get(&addr)
-            .ok_or(OverlayError::UnknownStorageNode(addr))?
-            .attached_to;
+        let buckets = self.buckets;
         let mut counts: HashMap<IndexKey, u64> = HashMap::new();
-        {
-            let buckets = self.buckets;
-            let node = self.storage.get_mut(&addr).expect("checked");
-            for triple in triples {
-                if node.store.remove(&triple) {
-                    for key in keys_for_triple(space, &triple) {
-                        *counts.entry(key).or_insert(0) += 1;
-                    }
-                    if let Some(key) = pon_key(space, buckets, &triple) {
-                        *counts.entry(key).or_insert(0) += 1;
-                    }
+        let node =
+            self.storage.get_mut(&addr).ok_or(OverlayError::UnknownStorageNode(addr))?;
+        let attach_id = node.attached_to;
+        for triple in triples {
+            if node.store.remove(&triple) {
+                for key in keys_for_triple(space, &triple) {
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+                if let Some(key) = pon_key(space, buckets, &triple) {
+                    *counts.entry(key).or_insert(0) += 1;
                 }
             }
         }
         self.publish_deltas(addr, attach_id, counts, false)
     }
 
-    /// Routes one message per key delta and applies it (and its replicas).
+    /// Routes one message per key delta and applies it (and its
+    /// replicas). Index nodes that die while an operation is in flight
+    /// are skipped — the delta still lands at the owner, we just do not
+    /// charge hops through dead addresses — instead of panicking.
     fn publish_deltas(
         &mut self,
         addr: NodeId,
@@ -554,28 +661,38 @@ impl Overlay {
         let mut report = PublishReport { keys: counts.len(), ..Default::default() };
         let mut keys: Vec<(IndexKey, u64)> = counts.into_iter().collect();
         keys.sort_by_key(|(k, _)| (k.id, k.kind));
+        // owner → changed keys, batched for one notification per owner.
+        let mut changed: BTreeMap<Id, Vec<Id>> = BTreeMap::new();
         for (key, count) in keys {
             let path = self.ring.lookup_path_from(attach_id, key.id)?;
-            let owner = *path.last().expect("non-empty");
-            let mut t = self.net.send(
-                addr,
-                self.addr_of(attach_id).expect("alive"),
-                wire::PUBLISH_REQUEST,
-                SimTime::ZERO,
-            );
+            let owner = *path.last().ok_or(OverlayError::NoIndexNodes)?;
+            let mut t = match self.addr_of(attach_id) {
+                Some(attach_addr) => {
+                    self.net.send(addr, attach_addr, wire::PUBLISH_REQUEST, SimTime::ZERO)
+                }
+                // The attachment point died mid-operation: the request
+                // re-routes from time zero without the first hop's charge.
+                None => SimTime::ZERO,
+            };
             for pair in path.windows(2) {
-                let from = self.addr_of(pair[0]).expect("alive");
-                let to = self.addr_of(pair[1]).expect("alive");
+                let (Some(from), Some(to)) = (self.addr_of(pair[0]), self.addr_of(pair[1]))
+                else {
+                    continue;
+                };
                 t = self.net.send(from, to, wire::LOOKUP_STEP, t);
                 report.routing_messages += 1;
             }
             report.bytes +=
                 (wire::PUBLISH_REQUEST + path.len().saturating_sub(1) * wire::LOOKUP_STEP) as u64;
             let table = self.tables.entry(owner).or_default();
-            if add {
+            let row_changed = if add {
                 table.add(key.id, addr, count);
+                count > 0
             } else {
-                table.remove(key.id, addr, count);
+                table.remove(key.id, addr, count)
+            };
+            if row_changed {
+                changed.entry(owner).or_default().push(key.id);
             }
             if self.replication >= 2 {
                 let succs: Vec<Id> = self
@@ -588,8 +705,9 @@ impl Overlay {
                     .take(self.replication - 1)
                     .collect();
                 for sid in succs {
-                    let from = self.addr_of(owner).expect("alive");
-                    let to = self.addr_of(sid).expect("alive");
+                    let (Some(from), Some(to)) = (self.addr_of(owner), self.addr_of(sid)) else {
+                        continue;
+                    };
                     self.net.send(from, to, wire::ENTRY, t);
                     report.bytes += wire::ENTRY as u64;
                     let replica = self.replicas.entry(sid).or_default();
@@ -600,6 +718,9 @@ impl Overlay {
                     }
                 }
             }
+        }
+        for (owner, keys) in changed {
+            self.note_row_changes(owner, &keys);
         }
         Ok(report)
     }
@@ -624,14 +745,26 @@ impl Overlay {
     }
 
     /// Removes every index entry pointing at `addr` (the lazy cleanup
-    /// after a query-ack timeout). Returns entries removed.
+    /// after a query-ack timeout). Returns entries removed. Each affected
+    /// row's version bumps and subscribers are notified, so cached
+    /// provider sets naming the dead node are dropped rather than served
+    /// again.
     pub fn purge_storage_entries(&mut self, addr: NodeId) -> usize {
         let mut removed = 0;
-        for table in self.tables.values_mut() {
-            removed += table.purge_node(addr);
+        let mut changed: Vec<(Id, Vec<Id>)> = Vec::new();
+        for (&holder, table) in self.tables.iter_mut() {
+            let keys = table.purge_node_keys(addr);
+            removed += keys.len();
+            if !keys.is_empty() {
+                changed.push((holder, keys));
+            }
         }
         for table in self.replicas.values_mut() {
             table.purge_node(addr);
+        }
+        changed.sort_by_key(|(holder, _)| *holder);
+        for (holder, keys) in changed {
+            self.note_row_changes(holder, &keys);
         }
         removed
     }
@@ -653,13 +786,28 @@ impl Overlay {
         let Some(key) = key_for_pattern(self.ring.space(), pattern) else {
             return Ok(None);
         };
-        let path = self.ring.lookup_path_from(from_id, key.id)?;
-        let owner = *path.last().expect("non-empty");
+        let mut path = self.ring.lookup_path_from(from_id, key.id)?;
+        let owner = *path.last().ok_or(OverlayError::NoIndexNodes)?;
+        // Adaptive hot-key replication: the walk terminates at the first
+        // node on the path already holding a hot copy of the row (Chord
+        // approaches a key from its predecessors, so a holder can appear
+        // at the walk's start or — after churn — anywhere along it).
+        let full_hops = path.len() - 1;
+        if let Some(hot) = self.hot.borrow().as_ref() {
+            if let Some(holders) = hot.replicas.get(&key.id) {
+                if let Some(pos) =
+                    path.iter().position(|id| *id == owner || holders.contains(id))
+                {
+                    path.truncate(pos + 1);
+                }
+            }
+        }
+        let hops = path.len() - 1;
         // Observability: the ring walk is one key-resolution span; the
         // LOOKUP_STEP sends below charge their bytes to it.
         let span = rdfmesh_obs::begin_current(
             rdfmesh_obs::phase::KEY_RESOLUTION,
-            &format!("locate {:?} ({} hops)", key.kind, path.len() - 1),
+            &format!("locate {:?} ({} hops)", key.kind, hops),
             depart.0,
         );
         let mut arrival = depart;
@@ -672,11 +820,18 @@ impl Overlay {
         let metrics = rdfmesh_obs::metrics();
         if metrics.is_enabled() {
             metrics.add("overlay.locates", 1);
-            metrics.add("overlay.index_hops", (path.len() - 1) as u64);
-            metrics.observe("overlay.index_hops_per_locate", (path.len() - 1) as u64);
+            metrics.add("overlay.index_hops", hops as u64);
+            metrics.observe("overlay.index_hops_per_locate", hops as u64);
+            if hops < full_hops {
+                metrics.add("overlay.hot.short_circuits", 1);
+                metrics.add("overlay.hot.hops_saved", (full_hops - hops) as u64);
+            }
         }
         // Primary row; fall back to the owner's replica set when the
         // primary copy died with a predecessor (replication in action).
+        // Hot copies mirror the authoritative row exactly (they are
+        // dropped on any row change), so a truncated walk reads the same
+        // providers.
         let mut providers = self
             .tables
             .get(&owner)
@@ -687,13 +842,54 @@ impl Overlay {
                 providers = r.providers(key.id);
             }
         }
+        self.record_key_hit(key.id, owner, &providers, arrival);
         Ok(Some(Located {
             key,
-            index_node: self.addr_of(owner).ok_or(OverlayError::NoIndexNodes)?,
+            index_node: self
+                .addr_of(*path.last().ok_or(OverlayError::NoIndexNodes)?)
+                .ok_or(OverlayError::NoIndexNodes)?,
             providers,
-            hops: path.len() - 1,
+            hops,
             arrival,
         }))
+    }
+
+    /// Counts a query hit on `key` at its owning index node; when the key
+    /// crosses the hot threshold, its row is pushed to the owner's
+    /// successor-list neighbors (one [`wire::ENTRY`]-per-provider message
+    /// each) so later walks terminate early.
+    fn record_key_hit(&self, key: Id, owner: Id, row: &[Provider], at: SimTime) {
+        let mut hot_slot = self.hot.borrow_mut();
+        let Some(hot) = hot_slot.as_mut() else { return };
+        let hits = hot.hits.entry(key).or_insert(0);
+        *hits += 1;
+        if *hits < hot.threshold || hot.replicas.contains_key(&key) || row.is_empty() {
+            return;
+        }
+        let succs: Vec<Id> = self
+            .ring
+            .node(owner)
+            .map(|s| s.successors.clone())
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|s| *s != owner)
+            .collect();
+        if succs.is_empty() {
+            return;
+        }
+        let bytes = wire::ENTRY * row.len();
+        if let Some(from) = self.addr_of(owner) {
+            for s in &succs {
+                if let Some(to) = self.addr_of(*s) {
+                    self.net.send(from, to, bytes, at);
+                }
+            }
+        }
+        hot.replicas.insert(key, succs);
+        let metrics = rdfmesh_obs::metrics();
+        if metrics.is_enabled() {
+            metrics.add("overlay.hot.replications", 1);
+        }
     }
 
     fn pon_key_of(&self, triple: &Triple) -> Option<IndexKey> {

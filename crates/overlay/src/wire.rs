@@ -16,3 +16,7 @@ pub const SUBQUERY_HEADER: usize = 32;
 pub const RESULT_HEADER: usize = 24;
 /// A query acknowledgement / control message.
 pub const ACK: usize = 16;
+/// Fixed header on a cache-invalidation notification pushed to
+/// subscribed query initiators (the per-key payload adds 8 bytes per
+/// invalidated key).
+pub const INVALIDATION: usize = 24;

@@ -1,0 +1,162 @@
+//! Cache coherence under churn: a `SharingSystem` with the query-path
+//! cache attached must answer every query exactly like an uncached twin,
+//! no matter how peer joins, incremental shares, withdrawals, and silent
+//! storage failures interleave with the queries. Validate-on-use (row
+//! versions + ring epoch + provider liveness) is what keeps stale cache
+//! entries from ever surfacing; this is its oracle.
+
+use proptest::prelude::*;
+use rdfmesh::core::CacheConfig;
+use rdfmesh::{SharingSystem, Term, Triple};
+
+/// The query mix: unconstrained scans (never result-cached), a join, and
+/// constant-object primitives (the result-cacheable hot path).
+const QUERIES: &[&str] = &[
+    "SELECT * WHERE { ?x foaf:knows ?y . }",
+    "SELECT * WHERE { ?x foaf:name ?n . ?x foaf:knows ?y . }",
+    "SELECT ?x WHERE { ?x foaf:knows <http://example.org/s1> . }",
+    "SELECT ?x WHERE { ?x foaf:knows <http://example.org/s3> . }",
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddPeer(Vec<Triple>),
+    ShareMore(usize, Triple),
+    Unshare(usize),
+    FailPeer(usize),
+    Query(usize),
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (
+        (0u8..5).prop_map(|i| Term::iri(&format!("http://example.org/s{i}"))),
+        prop_oneof![
+            Just(Term::iri("http://xmlns.com/foaf/0.1/knows")),
+            Just(Term::iri("http://xmlns.com/foaf/0.1/name")),
+        ],
+        prop_oneof![
+            (0u8..5).prop_map(|i| Term::iri(&format!("http://example.org/s{i}"))),
+            (0u8..4).prop_map(|i| Term::literal(&format!("name{i}"))),
+        ],
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => proptest::collection::vec(arb_triple(), 1..4).prop_map(Op::AddPeer),
+        2 => (0usize..8, arb_triple()).prop_map(|(i, t)| Op::ShareMore(i, t)),
+        2 => (0usize..8).prop_map(Op::Unshare),
+        1 => (0usize..8).prop_map(Op::FailPeer),
+        4 => (0usize..QUERIES.len()).prop_map(Op::Query),
+    ]
+}
+
+fn build_twin() -> (SharingSystem, rdfmesh::NodeId) {
+    let mut sys = SharingSystem::new();
+    let ix = sys.add_index_node().unwrap();
+    sys.add_index_node().unwrap();
+    sys.add_index_node().unwrap();
+    (sys, ix)
+}
+
+fn canon(sys: &mut SharingSystem, ix: rdfmesh::NodeId, q: &str) -> Vec<String> {
+    let exec = sys.query(ix, q).expect("query execution");
+    let mut v: Vec<String> = exec
+        .result
+        .solutions()
+        .expect("SELECT result")
+        .iter()
+        .map(|s| format!("{s:?}"))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_system_never_diverges_from_cold_twin(
+        seeds in proptest::collection::vec(
+            proptest::collection::vec(arb_triple(), 1..6), 1..3),
+        ops in proptest::collection::vec(arb_op(), 1..14),
+    ) {
+        let (mut cold, ix) = build_twin();
+        let (mut warm, _) = build_twin();
+        warm.enable_cache(CacheConfig::default());
+        warm.overlay_mut().enable_hot_replication(2);
+        // (address, shared triples, alive) — identical in both twins
+        // because both apply the identical event sequence.
+        let mut peers: Vec<(rdfmesh::NodeId, Vec<Triple>, bool)> = Vec::new();
+        for t in &seeds {
+            let (a, _) = cold.add_peer(t.clone()).unwrap();
+            let (b, _) = warm.add_peer(t.clone()).unwrap();
+            prop_assert_eq!(a, b, "twins must assign identical addresses");
+            peers.push((a, t.clone(), true));
+        }
+        for op in &ops {
+            match op {
+                Op::AddPeer(t) => {
+                    let (a, _) = cold.add_peer(t.clone()).unwrap();
+                    let (b, _) = warm.add_peer(t.clone()).unwrap();
+                    prop_assert_eq!(a, b);
+                    peers.push((a, t.clone(), true));
+                }
+                Op::ShareMore(i, t) => {
+                    let alive: Vec<usize> =
+                        (0..peers.len()).filter(|&k| peers[k].2).collect();
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let k = alive[i % alive.len()];
+                    cold.share_more(peers[k].0, vec![t.clone()]).unwrap();
+                    warm.share_more(peers[k].0, vec![t.clone()]).unwrap();
+                    peers[k].1.push(t.clone());
+                }
+                Op::Unshare(i) => {
+                    let candidates: Vec<usize> = (0..peers.len())
+                        .filter(|&k| peers[k].2 && !peers[k].1.is_empty())
+                        .collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let k = candidates[i % candidates.len()];
+                    let t = peers[k].1.remove(0);
+                    cold.unshare(peers[k].0, vec![t.clone()]).unwrap();
+                    warm.unshare(peers[k].0, vec![t]).unwrap();
+                }
+                Op::FailPeer(i) => {
+                    let alive: Vec<usize> =
+                        (0..peers.len()).filter(|&k| peers[k].2).collect();
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let k = alive[i % alive.len()];
+                    cold.overlay_mut().fail_storage_node(peers[k].0).unwrap();
+                    warm.overlay_mut().fail_storage_node(peers[k].0).unwrap();
+                    peers[k].2 = false;
+                }
+                Op::Query(i) => {
+                    let q = QUERIES[*i];
+                    prop_assert_eq!(
+                        canon(&mut cold, ix, q),
+                        canon(&mut warm, ix, q),
+                        "divergence on {} after {:?}", q, op
+                    );
+                }
+            }
+        }
+        // Final sweep, twice: pass 1 validates possibly-stale entries,
+        // pass 2 exercises the freshly refilled ones.
+        for pass in 0..2 {
+            for q in QUERIES {
+                prop_assert_eq!(
+                    canon(&mut cold, ix, q),
+                    canon(&mut warm, ix, q),
+                    "divergence on {} in final pass {}", q, pass
+                );
+            }
+        }
+    }
+}
