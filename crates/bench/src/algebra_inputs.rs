@@ -1,0 +1,58 @@
+//! Solution-set construction for the algebra micro-benchmarks.
+//!
+//! Shared by the `solution_algebra` criterion target and the `wallclock`
+//! binary so both measure identical inputs: solution sets materialized
+//! from workload-generator triples exactly as a storage node would
+//! produce them for a single triple pattern (one mapping per matching
+//! triple).
+
+use rdfmesh_rdf::{vocab, Term, Triple, Variable};
+use rdfmesh_sparql::Solution;
+use rdfmesh_workload::{foaf, university, FoafConfig, UniversityConfig};
+
+fn bindings_of(triples: &[Triple], predicate: &str, subj: &str, obj: &str) -> Vec<Solution> {
+    let p = Term::iri(predicate);
+    triples
+        .iter()
+        .filter(|t| t.predicate == p)
+        .map(|t| {
+            Solution::from_pairs([
+                (Variable::new(subj), t.subject.clone()),
+                (Variable::new(obj), t.object.clone()),
+            ])
+        })
+        .collect()
+}
+
+/// Join inputs at FOAF scale: `?x knows ?y` ⋈ `?x name ?n` over a
+/// `persons`-sized social network — the Fig. 6 friend-lookup shape.
+pub fn foaf_join_inputs(persons: usize) -> (Vec<Solution>, Vec<Solution>) {
+    let cfg = FoafConfig { persons, peers: 8, seed: 7, ..FoafConfig::default() };
+    let data = foaf::generate(&cfg);
+    let all: Vec<Triple> = data.peers.into_iter().flatten().collect();
+    let left = bindings_of(&all, vocab::foaf::KNOWS, "x", "y");
+    let right = bindings_of(&all, vocab::foaf::NAME, "x", "n");
+    (left, right)
+}
+
+/// Join inputs at university scale: `?s advisor ?prof` ⋈
+/// `?prof worksFor ?dept` over a `departments`-sized campus.
+pub fn university_join_inputs(departments: usize) -> (Vec<Solution>, Vec<Solution>) {
+    let cfg = UniversityConfig { departments, seed: 11, ..UniversityConfig::default() };
+    let data = university::generate(&cfg);
+    let all: Vec<Triple> = data.peers.into_iter().flatten().collect();
+    let left = bindings_of(&all, university::ub::ADVISOR, "s", "prof");
+    let right = bindings_of(&all, university::ub::WORKS_FOR, "prof", "dept");
+    (left, right)
+}
+
+/// A chain-of-knows input: `?x0 knows ?x1` ⋈ `?x1 knows ?x2` — the
+/// friend-of-friend join whose output fans out quadratically in degree.
+pub fn foaf_chain_inputs(persons: usize) -> (Vec<Solution>, Vec<Solution>) {
+    let cfg = FoafConfig { persons, peers: 8, seed: 7, ..FoafConfig::default() };
+    let data = foaf::generate(&cfg);
+    let all: Vec<Triple> = data.peers.into_iter().flatten().collect();
+    let left = bindings_of(&all, vocab::foaf::KNOWS, "x0", "x1");
+    let right = bindings_of(&all, vocab::foaf::KNOWS, "x1", "x2");
+    (left, right)
+}

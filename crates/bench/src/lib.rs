@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod algebra_inputs;
 pub mod experiments;
 
 use rdfmesh_core::{CacheConfig, CacheStats, Engine, ExecConfig, Execution, QueryCache, QueryStats};

@@ -1,0 +1,119 @@
+//! Twin-run regression: the hash-based solution algebra must be
+//! *simulation-invisible*.
+//!
+//! One seeded FOAF workload and one university workload are executed
+//! through the full distributed pipeline twice — once with the algebra
+//! forced to the naive nested-loop implementation (the pre-change
+//! engine) and once forced to the hash implementation — and every
+//! [`QueryStats`] (messages, bytes, response time, index hops,
+//! intermediate solutions, result size) plus every query result must be
+//! byte-identical. Simulated testbeds are deterministic, so any
+//! divergence is the optimization leaking into observable behaviour.
+//!
+//! Both sweeps live in a single `#[test]` because the algebra mode is a
+//! process-global switch: a parallel test toggling it mid-sweep would
+//! race. Nothing else in the suite changes the mode.
+
+use rdfmesh_bench::{foaf_testbed, testbed_from, Testbed};
+use rdfmesh_core::{ExecConfig, PrimitiveStrategy, QueryStats};
+use rdfmesh_rdf::Term;
+use rdfmesh_sparql::{set_algebra_mode, AlgebraMode};
+use rdfmesh_workload::{
+    foaf, queries,
+    rng::Rng,
+    university::{self, ub, UniversityConfig},
+    FoafConfig,
+};
+
+fn foaf_cfg() -> FoafConfig {
+    FoafConfig { persons: 120, peers: 6, seed: 2026, ..FoafConfig::default() }
+}
+
+fn univ_cfg() -> UniversityConfig {
+    UniversityConfig { departments: 4, seed: 77, ..UniversityConfig::default() }
+}
+
+/// The query sweep: primitives, stars, chains, union, optional, filter —
+/// every operator the algebra change touches.
+fn foaf_queries() -> Vec<String> {
+    let dataset = foaf::generate(&foaf_cfg());
+    let pool: Vec<_> = dataset.peers.iter().flatten().cloned().collect();
+    let mut rng = Rng::new(42);
+    let knows = Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS);
+    let name = Term::iri(rdfmesh_rdf::vocab::foaf::NAME);
+    let nick = Term::iri(rdfmesh_rdf::vocab::foaf::NICK);
+    vec![
+        queries::star_query(&pool, 2, &mut rng),
+        queries::star_query(&pool, 3, &mut rng),
+        queries::chain_query(&knows, 2),
+        queries::union_query(&name, &nick),
+        queries::optional_query(&name, &nick),
+        queries::filter_query(&name, &knows, "a"),
+        format!("SELECT DISTINCT ?x WHERE {{ ?x <{}> ?y . }}", "http://xmlns.com/foaf/0.1/knows"),
+    ]
+}
+
+fn univ_queries() -> Vec<String> {
+    let advisor = Term::iri(ub::ADVISOR);
+    let works_for = Term::iri(ub::WORKS_FOR);
+    let teacher_of = Term::iri(ub::TEACHER_OF);
+    let takes = Term::iri(ub::TAKES_COURSE);
+    vec![
+        queries::chain_query(&advisor, 1),
+        queries::union_query(&works_for, &teacher_of),
+        queries::optional_query(&takes, &advisor),
+        format!(
+            "SELECT * WHERE {{ ?s <{}> ?prof . ?prof <{}> ?dept . }}",
+            ub::ADVISOR,
+            ub::WORKS_FOR
+        ),
+    ]
+}
+
+fn sweep(testbed: &mut Testbed, queries: &[String]) -> Vec<(QueryStats, String)> {
+    let cfgs = [
+        ExecConfig::default(),
+        ExecConfig { primitive: PrimitiveStrategy::Chained, ..ExecConfig::default() },
+    ];
+    let mut out = Vec::new();
+    for q in queries {
+        for cfg in &cfgs {
+            let exec = testbed.run_full(*cfg, q);
+            out.push((exec.stats, format!("{:?}", exec.result)));
+        }
+    }
+    out
+}
+
+fn run_mode(mode: AlgebraMode) -> Vec<(QueryStats, String)> {
+    set_algebra_mode(mode);
+    let mut out = Vec::new();
+
+    let mut tb = foaf_testbed(&foaf_cfg(), 4);
+    out.extend(sweep(&mut tb, &foaf_queries()));
+
+    let univ_data = university::generate(&univ_cfg());
+    let mut tb = testbed_from(&univ_data.peers, 3);
+    out.extend(sweep(&mut tb, &univ_queries()));
+
+    set_algebra_mode(AlgebraMode::Auto);
+    out
+}
+
+#[test]
+fn naive_and_hash_algebra_agree_on_every_simulated_metric() {
+    let naive = run_mode(AlgebraMode::Naive);
+    let hash = run_mode(AlgebraMode::Hash);
+    assert_eq!(naive.len(), hash.len());
+    assert!(!naive.is_empty());
+    let mut nonzero_intermediates = 0usize;
+    for (i, ((ns, nr), (hs, hr))) in naive.iter().zip(&hash).enumerate() {
+        assert_eq!(ns, hs, "QueryStats diverged at sweep entry {i}");
+        assert_eq!(nr, hr, "query result diverged at sweep entry {i}");
+        if ns.intermediate_solutions > 0 {
+            nonzero_intermediates += 1;
+        }
+    }
+    // Sanity: the sweep actually exercised joins (non-trivial plans).
+    assert!(nonzero_intermediates > 0, "sweep produced no intermediate solutions");
+}

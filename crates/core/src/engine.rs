@@ -25,7 +25,7 @@ use rdfmesh_sparql::{
     eval,
     expr::Expression,
     optimizer,
-    solution::{self, Solution, SolutionSet},
+    solution::{self, DistinctBuffer, Solution, SolutionSet},
     CardinalityEstimator, GraphPattern, ParseError, QueryResult,
 };
 
@@ -744,7 +744,7 @@ impl<'a> Engine<'a> {
         rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
         let assembly = located.index_node;
         let t0 = located.arrival;
-        let mut providers = self.in_dataset(located.providers.clone());
+        let mut providers = self.in_dataset(located.providers);
         let metrics = rdfmesh_obs::metrics();
         if metrics.is_enabled() {
             metrics.observe("engine.providers_per_pattern", providers.len() as u64);
@@ -793,7 +793,7 @@ impl<'a> Engine<'a> {
             &format!("basic fan-out to {} providers", providers.len()),
             t0.0,
         );
-        let mut union: SolutionSet = Vec::new();
+        let mut union = DistinctBuffer::new();
         let mut ready = t0;
         let mut dead = Vec::new();
         for p in providers {
@@ -806,7 +806,7 @@ impl<'a> Engine<'a> {
                     let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
                     let back = self.overlay.net.send(p.node, assembly, bytes, sent);
                     ready = ready.max(back);
-                    merge_distinct(&mut union, sols);
+                    union.extend_distinct(sols);
                 }
                 None => {
                     // Query-ack timeout (Sect. III-D), then purge.
@@ -818,7 +818,7 @@ impl<'a> Engine<'a> {
         rdfmesh_obs::end_current(span, ready.0);
         rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
         self.handle_dead(&dead);
-        Ok(Mat { solutions: union, site: assembly, ready })
+        Ok(Mat { solutions: union.into_vec(), site: assembly, ready })
     }
 
     /// Chained schemes: the sub-query and accumulated mappings travel
@@ -850,19 +850,20 @@ impl<'a> Engine<'a> {
             &format!("chain through {} providers", providers.len()),
             t0.0,
         );
-        let mut acc: SolutionSet = Vec::new();
+        let mut acc = DistinctBuffer::new();
         let mut cursor = assembly;
         let mut t = t0;
         let mut dead = Vec::new();
         for p in &providers {
-            let payload = subquery_bytes + wire::RESULT_HEADER + solution::serialized_len(&acc);
+            let payload =
+                subquery_bytes + wire::RESULT_HEADER + solution::serialized_len(acc.as_slice());
             let arrived = self.overlay.net.send(cursor, p.node, payload, t);
             self.note_provider_contacted();
             match self.local_solutions(p.node, pattern, filter) {
                 Some(sols) => {
                     self.note_local_exec(p.node, sols.len(), arrived);
                     self.note_intermediates(sols.len());
-                    merge_distinct(&mut acc, sols);
+                    acc.extend_distinct(sols);
                     cursor = p.node;
                     t = arrived;
                 }
@@ -877,7 +878,7 @@ impl<'a> Engine<'a> {
         rdfmesh_obs::end_current(span, t.0);
         rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
         self.handle_dead(&dead);
-        Ok(Mat { solutions: acc, site: cursor, ready: t })
+        Ok(Mat { solutions: acc.into_vec(), site: cursor, ready: t })
     }
 
     /// Existence test for one pattern: providers are probed in
@@ -1008,7 +1009,7 @@ impl<'a> Engine<'a> {
         let entry = self.entry_index(self.initiator)?;
         let subquery_bytes = wire::SUBQUERY_HEADER + pattern.serialized_len();
         let span = rdfmesh_obs::begin_current(phase::SHIPPING, "flood all storage nodes", depart.0);
-        let mut union: SolutionSet = Vec::new();
+        let mut union = DistinctBuffer::new();
         let mut ready = depart;
         let mut dead = Vec::new();
         for index in self.overlay.index_nodes() {
@@ -1042,7 +1043,7 @@ impl<'a> Engine<'a> {
                         let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
                         let back = self.overlay.net.send(s, entry, bytes, at_storage);
                         ready = ready.max(back);
-                        merge_distinct(&mut union, sols);
+                        union.extend_distinct(sols);
                     }
                     None => {
                         ready = ready.max(at_storage + self.cfg.ack_timeout);
@@ -1054,7 +1055,7 @@ impl<'a> Engine<'a> {
         rdfmesh_obs::end_current(span, ready.0);
         rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
         self.handle_dead(&dead);
-        Ok(Mat { solutions: union, site: entry, ready })
+        Ok(Mat { solutions: union.into_vec(), site: entry, ready })
     }
 
     /// Restricts a provider list to the query's dataset (`FROM` clauses).
@@ -1167,7 +1168,7 @@ impl<'a> Engine<'a> {
                     .net
                     .send(current.site, assembly, wire::RESULT_HEADER + bound_bytes, current.ready)
                     .max(located.arrival);
-                let mut union: SolutionSet = Vec::new();
+                let mut union = DistinctBuffer::new();
                 let mut ready = at_assembly;
                 let mut dead = Vec::new();
                 for p in &providers {
@@ -1180,7 +1181,7 @@ impl<'a> Engine<'a> {
                             let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
                             let back = self.overlay.net.send(p.node, assembly, bytes, sent);
                             ready = ready.max(back);
-                            merge_distinct(&mut union, sols);
+                            union.extend_distinct(sols);
                         }
                         None => {
                             ready = ready.max(sent + self.cfg.ack_timeout);
@@ -1191,7 +1192,7 @@ impl<'a> Engine<'a> {
                 rdfmesh_obs::end_current(span, ready.0);
                 rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
                 self.handle_dead(&dead);
-                Ok(Mat { solutions: union, site: assembly, ready })
+                Ok(Mat { solutions: union.into_vec(), site: assembly, ready })
             }
             PrimitiveStrategy::Chained | PrimitiveStrategy::FrequencyOrdered => {
                 if self.cfg.primitive == PrimitiveStrategy::FrequencyOrdered {
@@ -1201,7 +1202,7 @@ impl<'a> Engine<'a> {
                 }
                 // The chain starts at the current site (it already holds
                 // the bound solutions) after the index lookup resolves.
-                let mut acc: SolutionSet = Vec::new();
+                let mut acc = DistinctBuffer::new();
                 let mut cursor = current.site;
                 let mut t = current.ready.max(located.arrival);
                 let span = rdfmesh_obs::begin_current(
@@ -1211,14 +1212,16 @@ impl<'a> Engine<'a> {
                 );
                 let mut dead = Vec::new();
                 for p in &providers {
-                    let payload = subquery_bytes + wire::RESULT_HEADER + solution::serialized_len(&acc);
+                    let payload = subquery_bytes
+                        + wire::RESULT_HEADER
+                        + solution::serialized_len(acc.as_slice());
                     let arrived = self.overlay.net.send(cursor, p.node, payload, t);
                     self.note_provider_contacted();
                     match self.bound_solutions(p.node, pattern, &current.solutions) {
                         Some(sols) => {
                             self.note_local_exec(p.node, sols.len(), arrived);
                             self.note_intermediates(sols.len());
-                            merge_distinct(&mut acc, sols);
+                            acc.extend_distinct(sols);
                             cursor = p.node;
                             t = arrived;
                         }
@@ -1231,7 +1234,7 @@ impl<'a> Engine<'a> {
                 rdfmesh_obs::end_current(span, t.0);
                 rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
                 self.handle_dead(&dead);
-                Ok(Mat { solutions: acc, site: cursor, ready: t })
+                Ok(Mat { solutions: acc.into_vec(), site: cursor, ready: t })
             }
         }
     }
@@ -1414,20 +1417,13 @@ impl rdfmesh_sparql::Graph for EmptyGraph {
     }
 }
 
-/// Extends `acc` with `sols`, dropping exact duplicates.
-///
-/// The dataset of an unscoped query is "the union of all triples stored
-/// in all storage nodes" (Sect. IV-A) — a *set* — so identical solutions
-/// arising from triples replicated at several providers collapse. This
-/// deduplication is exactly the in-network aggregation benefit of the
-/// chained schemes (footnote 13).
-fn merge_distinct(acc: &mut SolutionSet, sols: SolutionSet) {
-    for s in sols {
-        if !acc.contains(&s) {
-            acc.push(s);
-        }
-    }
-}
+// Result accumulation: the dataset of an unscoped query is "the union of
+// all triples stored in all storage nodes" (Sect. IV-A) — a *set* — so
+// identical solutions arising from triples replicated at several
+// providers collapse. That deduplication (the in-network aggregation
+// benefit of the chained schemes, footnote 13) is handled by
+// `DistinctBuffer`, a hash-indexed first-seen-order filter replacing the
+// former O(n²) `merge_distinct` scan with identical output.
 
 /// Extracts the single triple pattern (and optional source-side filter)
 /// when `pattern` is `BGP(t)` or `Filter(C, BGP(t))` with `C` covered by
@@ -1556,10 +1552,11 @@ mod tests {
     }
 
     #[test]
-    fn merge_distinct_drops_exact_duplicates_only() {
-        let mut acc = vec![sol(&[("x", "a")])];
-        merge_distinct(&mut acc, vec![sol(&[("x", "a")]), sol(&[("x", "b")])]);
-        assert_eq!(acc, vec![sol(&[("x", "a")]), sol(&[("x", "b")])]);
+    fn distinct_accumulation_drops_exact_duplicates_only() {
+        let mut acc = DistinctBuffer::new();
+        acc.push(sol(&[("x", "a")]));
+        acc.extend_distinct(vec![sol(&[("x", "a")]), sol(&[("x", "b")])]);
+        assert_eq!(acc.into_vec(), vec![sol(&[("x", "a")]), sol(&[("x", "b")])]);
     }
 
     #[test]

@@ -278,7 +278,7 @@ mod tests {
         o.add_storage_node(
             NodeId(2),
             NodeId(1001),
-            vec![Triple::new(person("dave"), knows.clone(), person("bob"))],
+            vec![Triple::new(person("dave"), knows, person("bob"))],
         )
         .unwrap();
         o
@@ -298,7 +298,7 @@ mod tests {
         // Oracle agreement.
         let mut expected: Vec<Triple> = crate::engine::global_store(&o)
             .match_pattern(&pattern);
-        let mut got = live.clone();
+        let mut got = live;
         expected.sort();
         got.sort();
         assert_eq!(got, expected);

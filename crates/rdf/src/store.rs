@@ -120,10 +120,60 @@ impl TripleStore {
 
     /// Number of triples matching `pattern` — the "frequency" statistic
     /// that storage nodes publish into location tables (Table I).
+    ///
+    /// Counts directly on the ID-range iterators: interning is bijective,
+    /// so repeated-variable consistency (`?x p ?x`) is an integer
+    /// comparison and no triple is ever decoded into owned [`Term`]s.
+    /// The all-variable pattern is answered from the index size alone.
+    ///
+    /// [`Term`]: crate::term::Term
     pub fn count_pattern(&self, pattern: &TriplePattern) -> usize {
-        let mut n = 0;
-        self.for_each_match(pattern, |_| n += 1);
-        n
+        let (Some(s), Some(p), Some(o)) = (
+            self.id_of(&pattern.subject),
+            self.id_of(&pattern.predicate),
+            self.id_of(&pattern.object),
+        ) else {
+            return 0; // a bound term is not even in the dictionary
+        };
+
+        let same = |a: &TermPattern, b: &TermPattern| match (a, b) {
+            (TermPattern::Var(x), TermPattern::Var(y)) => x == y,
+            _ => false,
+        };
+        let same_sp = same(&pattern.subject, &pattern.predicate);
+        let same_so = same(&pattern.subject, &pattern.object);
+        let same_po = same(&pattern.predicate, &pattern.object);
+        let repeated = same_sp || same_so || same_po;
+        let consistent = |s1: TermId, p1: TermId, o1: TermId| {
+            (!same_sp || s1 == p1) && (!same_so || s1 == o1) && (!same_po || p1 == o1)
+        };
+
+        // `keys.filter(consistent).count()` never clones a term: the
+        // closures see raw `TermId`s straight out of the B-tree keys.
+        match pattern.kind() {
+            PatternKind::SPO => {
+                usize::from(self.spo.contains(&(s.unwrap(), p.unwrap(), o.unwrap())))
+            }
+            PatternKind::SP => range2(&self.spo, s.unwrap(), p.unwrap()).count(),
+            PatternKind::PO => range2(&self.pos, p.unwrap(), o.unwrap()).count(),
+            PatternKind::SO => range2(&self.osp, o.unwrap(), s.unwrap()).count(),
+            PatternKind::S if !repeated => range1(&self.spo, s.unwrap()).count(),
+            PatternKind::S => range1(&self.spo, s.unwrap())
+                .filter(|&&(s1, p1, o1)| consistent(s1, p1, o1))
+                .count(),
+            PatternKind::P if !repeated => range1(&self.pos, p.unwrap()).count(),
+            PatternKind::P => range1(&self.pos, p.unwrap())
+                .filter(|&&(p1, o1, s1)| consistent(s1, p1, o1))
+                .count(),
+            PatternKind::O if !repeated => range1(&self.osp, o.unwrap()).count(),
+            PatternKind::O => range1(&self.osp, o.unwrap())
+                .filter(|&&(o1, s1, p1)| consistent(s1, p1, o1))
+                .count(),
+            PatternKind::None if !repeated => self.spo.len(),
+            PatternKind::None => {
+                self.spo.iter().filter(|&&(s1, p1, o1)| consistent(s1, p1, o1)).count()
+            }
+        }
     }
 
     /// Invokes `f` for every matching triple, selecting the best index by
@@ -316,8 +366,38 @@ mod tests {
             TriplePattern::new(v("s"), v("p"), v("o")),
             TriplePattern::new(v("s"), iri("knows"), v("o")),
             TriplePattern::new(iri("a"), v("p"), iri("b")),
+            TriplePattern::new(iri("a"), iri("knows"), v("o")),
+            TriplePattern::new(iri("a"), iri("knows"), iri("b")),
+            TriplePattern::new(iri("a"), v("p"), v("o")),
+            TriplePattern::new(v("s"), v("p"), iri("c")),
         ] {
             assert_eq!(s.count_pattern(&pat), s.match_pattern(&pat).len());
+        }
+    }
+
+    #[test]
+    fn count_repeated_variables_filters_on_ids() {
+        // A store where a term doubles as subject, predicate and object,
+        // exercising every repeated-variable combination.
+        let s = TripleStore::from_triples([
+            t("x", "x", "x"),
+            t("x", "x", "y"),
+            t("x", "y", "x"),
+            t("y", "x", "x"),
+            t("a", "knows", "a"),
+            t("a", "knows", "b"),
+        ]);
+        let v = TermPattern::var;
+        for pat in [
+            TriplePattern::new(v("u"), v("u"), v("u")), // all three equal
+            TriplePattern::new(v("u"), v("u"), v("w")), // s == p
+            TriplePattern::new(v("u"), v("w"), v("u")), // s == o
+            TriplePattern::new(v("w"), v("u"), v("u")), // p == o
+            TriplePattern::new(v("u"), iri("knows"), v("u")), // bound p, s == o
+            TriplePattern::new(iri("x"), v("u"), v("u")), // bound s, p == o
+            TriplePattern::new(v("u"), v("u"), iri("x")), // bound o, s == p
+        ] {
+            assert_eq!(s.count_pattern(&pat), s.match_pattern(&pat).len(), "{pat:?}");
         }
     }
 

@@ -404,7 +404,7 @@ mod tests {
     #[test]
     fn join_with_unit_simplifies() {
         let bgp = GraphPattern::Bgp(vec![tp("?x", "p", "?y")]);
-        assert_eq!(GraphPattern::unit().join(bgp.clone()), bgp.clone());
+        assert_eq!(GraphPattern::unit().join(bgp.clone()), bgp);
         assert_eq!(bgp.clone().join(GraphPattern::unit()), bgp);
     }
 

@@ -184,10 +184,7 @@ pub fn finalize<G: Graph>(graph: &G, query: &AlgebraQuery, raw: SolutionSet) -> 
             };
             let deduped = match duplicates {
                 Duplicates::All => projected,
-                Duplicates::Distinct | Duplicates::Reduced => {
-                    let mut seen = HashSet::new();
-                    projected.into_iter().filter(|s| seen.insert(s.clone())).collect()
-                }
+                Duplicates::Distinct | Duplicates::Reduced => solution::distinct(projected),
             };
             QueryResult::Solutions(apply_slice(deduped, &query.modifiers))
         }

@@ -1,0 +1,362 @@
+//! Interned solution rows and the hash-join machinery behind the
+//! solution algebra.
+//!
+//! The public operators in [`crate::solution`] are defined over
+//! [`Solution`] values — `BTreeMap`s from [`Variable`] to heap-allocated
+//! [`Term`]s. Comparing two such solutions for compatibility walks both
+//! maps and compares strings, and merging them clones terms; a nested
+//! loop over two large solution sets does that `n·m` times. This module
+//! provides the compact layout the hash-based operators work on instead:
+//!
+//! - a query-local [`Interner`] maps every distinct [`Variable`] to a
+//!   [`VarId`] and every distinct [`Term`] to a [`TermId`] (reusing the
+//!   dictionary machinery of `rdfmesh-rdf`), so
+//! - a solution becomes a [`Row`] — a `Vec<(VarId, TermId)>` sorted by
+//!   variable id — and compatibility checks and merges are integer
+//!   comparisons over small sorted vectors, with
+//! - a [`JoinIndex`] that buckets one side of a join by its
+//!   *shared-variable signature* so the other side probes a hash table
+//!   instead of scanning every row.
+//!
+//! Rows only convert back to [`Solution`] form at the operator boundary
+//! (via [`decode`]), so no `String` is cloned while candidate pairs are
+//! being matched. Because solutions are *partial* functions, different
+//! rows of one set may bind different variable sets; the index therefore
+//! groups rows by their domain and computes the shared signature per
+//! (left-domain, right-domain) pair, falling back to "every row matches"
+//! when a pair shares no variables — exactly the Cartesian case of the
+//! Pérez-Arenas-Gutierrez semantics.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use rdfmesh_rdf::fxhash::FxHasher64;
+use rdfmesh_rdf::{Dictionary, Term, TermId, Variable};
+
+use crate::solution::Solution;
+
+type FxBuild = BuildHasherDefault<FxHasher64>;
+
+/// Compact identifier of a variable in a query-local [`Interner`].
+///
+/// Ids are dense and assigned in first-encounter order; they are only
+/// meaningful relative to the interner that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+/// One interned solution row: bindings sorted by [`VarId`].
+///
+/// The sort order makes domain comparison, signature extraction and
+/// merging linear two-pointer walks.
+pub type Row = Vec<(VarId, TermId)>;
+
+/// A query-local dictionary interning both variables and terms.
+///
+/// Variables get [`VarId`]s; terms reuse the [`Dictionary`]/[`TermId`]
+/// machinery of `rdfmesh-rdf`. Interning is idempotent, so equal
+/// variables/terms always map to equal ids and id equality can stand in
+/// for term equality everywhere downstream.
+#[derive(Debug, Default)]
+pub struct Interner {
+    vars: Vec<Variable>,
+    var_ids: HashMap<Variable, VarId, FxBuild>,
+    terms: Dictionary,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `var`, returning its id (allocating one if new).
+    pub fn var_id(&mut self, var: &Variable) -> VarId {
+        if let Some(&id) = self.var_ids.get(var) {
+            return id;
+        }
+        let id = VarId(u32::try_from(self.vars.len()).expect("variable interner overflow"));
+        self.vars.push(var.clone());
+        self.var_ids.insert(var.clone(), id);
+        id
+    }
+
+    /// Interns `term`, returning its id (allocating one if new).
+    pub fn term_id(&mut self, term: &Term) -> TermId {
+        self.terms.intern(term)
+    }
+
+    /// Resolves a variable id. Panics if the id was not produced by this
+    /// interner.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Resolves a term id. Panics if the id was not produced by this
+    /// interner.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.terms.term(id)
+    }
+}
+
+/// Encodes a solution set against `interner`, producing one [`Row`] per
+/// solution in the same order.
+pub fn encode(interner: &mut Interner, solutions: &[Solution]) -> Vec<Row> {
+    solutions
+        .iter()
+        .map(|s| {
+            let mut row: Row =
+                s.iter().map(|(v, t)| (interner.var_id(v), interner.term_id(t))).collect();
+            row.sort_unstable_by_key(|&(v, _)| v);
+            row
+        })
+        .collect()
+}
+
+/// Decodes one row back into a public [`Solution`].
+pub fn decode(interner: &Interner, row: &[(VarId, TermId)]) -> Solution {
+    Solution::from_pairs(
+        row.iter().map(|&(v, t)| (interner.var(v).clone(), interner.term(t).clone())),
+    )
+}
+
+/// Merges two *compatible* rows: the union of their bindings, sorted by
+/// variable id. Shared variables (equal by construction) take the left
+/// binding.
+pub fn merge_rows(left: &[(VarId, TermId)], right: &[(VarId, TermId)]) -> Row {
+    let mut out = Row::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        match left[i].0.cmp(&right[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(left[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(right[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(left[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}
+
+/// The domain of a row: its variable ids, ascending.
+fn domain(row: &[(VarId, TermId)]) -> Vec<VarId> {
+    row.iter().map(|&(v, _)| v).collect()
+}
+
+/// Intersection of two ascending variable-id lists.
+fn intersect(a: &[VarId], b: &[VarId]) -> Vec<VarId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the terms a row binds for `vars` (ascending ids, all present
+/// in the row's domain).
+fn extract(row: &[(VarId, TermId)], vars: &[VarId]) -> Vec<TermId> {
+    let mut out = Vec::with_capacity(vars.len());
+    let mut i = 0;
+    for &v in vars {
+        while row[i].0 != v {
+            i += 1;
+        }
+        out.push(row[i].1);
+    }
+    out
+}
+
+/// Rows of one join side sharing a domain.
+struct Group {
+    /// The common domain (ascending).
+    vars: Vec<VarId>,
+    /// Indices into the indexed row set, ascending.
+    rows: Vec<usize>,
+}
+
+/// How a left row probes one right-side group.
+enum Probe {
+    /// The left domain shares no variable with the group: every row in
+    /// the group is compatible (the Cartesian case).
+    All,
+    /// Shared-variable signature `key`: a left row is compatible with
+    /// exactly the group rows bucketed under its key values.
+    Keyed { key: Vec<VarId>, table: HashMap<Vec<TermId>, Vec<usize>, FxBuild> },
+}
+
+/// A hash index over the build side of a join.
+///
+/// Rows are grouped by domain once at construction; probe tables are
+/// built lazily per distinct *probe-side* domain, keyed on the
+/// shared-variable signature of the (probe-domain, group-domain) pair.
+/// [`JoinIndex::compatible_into`] then yields, for any probe row, the
+/// indices of all compatible indexed rows in their original order —
+/// which is what lets the hash operators reproduce the nested-loop
+/// output order exactly.
+pub struct JoinIndex<'a> {
+    rows: &'a [Row],
+    groups: Vec<Group>,
+    probes: HashMap<Vec<VarId>, Vec<Probe>, FxBuild>,
+}
+
+impl<'a> JoinIndex<'a> {
+    /// Indexes `rows` (the build side — conventionally the right operand).
+    pub fn new(rows: &'a [Row]) -> Self {
+        let mut by_domain: HashMap<Vec<VarId>, usize, FxBuild> = HashMap::default();
+        let mut groups: Vec<Group> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let dom = domain(row);
+            let gi = *by_domain.entry(dom.clone()).or_insert_with(|| {
+                groups.push(Group { vars: dom, rows: Vec::new() });
+                groups.len() - 1
+            });
+            groups[gi].rows.push(i);
+        }
+        JoinIndex { rows, groups, probes: HashMap::default() }
+    }
+
+    /// Builds (and memoizes) the per-group probes for a probe-side domain.
+    fn probes_for(&mut self, probe_domain: &[VarId]) -> &[Probe] {
+        if !self.probes.contains_key(probe_domain) {
+            let built: Vec<Probe> = self
+                .groups
+                .iter()
+                .map(|g| {
+                    let key = intersect(probe_domain, &g.vars);
+                    if key.is_empty() {
+                        return Probe::All;
+                    }
+                    let mut table: HashMap<Vec<TermId>, Vec<usize>, FxBuild> =
+                        HashMap::default();
+                    for &ri in &g.rows {
+                        table.entry(extract(&self.rows[ri], &key)).or_default().push(ri);
+                    }
+                    Probe::Keyed { key, table }
+                })
+                .collect();
+            self.probes.insert(probe_domain.to_vec(), built);
+        }
+        &self.probes[probe_domain]
+    }
+
+    /// Collects into `out` the indices of all indexed rows compatible
+    /// with `row`, ascending — the same candidate sequence a nested loop
+    /// over the indexed side would visit.
+    pub fn compatible_into(&mut self, row: &[(VarId, TermId)], out: &mut Vec<usize>) {
+        out.clear();
+        let dom = domain(row);
+        // Split borrows: probes_for needs &mut self, the loop reads it.
+        self.probes_for(&dom);
+        let mut sources = 0;
+        for (g, probe) in self.groups.iter().zip(&self.probes[&dom]) {
+            let hits: Option<&[usize]> = match probe {
+                Probe::All => Some(&g.rows),
+                Probe::Keyed { key, table } => {
+                    table.get(&extract(row, key)).map(Vec::as_slice)
+                }
+            };
+            if let Some(hits) = hits {
+                if !hits.is_empty() {
+                    out.extend_from_slice(hits);
+                    sources += 1;
+                }
+            }
+        }
+        // Each group's hit list is ascending; with several contributing
+        // groups the concatenation must be re-sorted to restore global
+        // nested-loop order.
+        if sources > 1 {
+            out.sort_unstable();
+        }
+    }
+
+    /// True if any indexed row is compatible with `row`.
+    pub fn any_compatible(&mut self, row: &[(VarId, TermId)]) -> bool {
+        let dom = domain(row);
+        self.probes_for(&dom);
+        self.groups.iter().zip(&self.probes[&dom]).any(|(g, probe)| match probe {
+            Probe::All => !g.rows.is_empty(),
+            Probe::Keyed { key, table } => table.contains_key(&extract(row, key)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    fn sol(pairs: &[(&str, &str)]) -> Solution {
+        Solution::from_pairs(
+            pairs.iter().map(|(n, val)| (v(n), Term::iri(&format!("http://e/{val}")))),
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let sols = vec![sol(&[("x", "a"), ("y", "b")]), sol(&[("z", "c")]), Solution::new()];
+        let mut interner = Interner::new();
+        let rows = encode(&mut interner, &sols);
+        for (row, original) in rows.iter().zip(&sols) {
+            assert_eq!(&decode(&interner, row), original);
+        }
+    }
+
+    #[test]
+    fn merge_rows_unions_sorted_domains() {
+        let sols = vec![sol(&[("x", "a"), ("y", "b")]), sol(&[("y", "b"), ("z", "c")])];
+        let mut interner = Interner::new();
+        let rows = encode(&mut interner, &sols);
+        let merged = merge_rows(&rows[0], &rows[1]);
+        assert_eq!(decode(&interner, &merged), sol(&[("x", "a"), ("y", "b"), ("z", "c")]));
+        assert!(merged.windows(2).all(|w| w[0].0 < w[1].0), "merge stays sorted");
+    }
+
+    #[test]
+    fn join_index_candidates_match_nested_loop() {
+        let left = vec![sol(&[("x", "a"), ("y", "b")]), sol(&[("q", "z")])];
+        let right = vec![
+            sol(&[("y", "b"), ("z", "c")]),
+            sol(&[("y", "OTHER")]),
+            Solution::new(),
+            sol(&[("w", "u")]),
+        ];
+        let mut interner = Interner::new();
+        let l = encode(&mut interner, &left);
+        let r = encode(&mut interner, &right);
+        let mut idx = JoinIndex::new(&r);
+        let mut hits = Vec::new();
+        for (li, lrow) in l.iter().enumerate() {
+            idx.compatible_into(lrow, &mut hits);
+            let expected: Vec<usize> = right
+                .iter()
+                .enumerate()
+                .filter(|(_, rsol)| left[li].compatible(rsol))
+                .map(|(j, _)| j)
+                .collect();
+            assert_eq!(hits, expected, "candidates for left row {li}");
+            assert_eq!(idx.any_compatible(lrow), !expected.is_empty());
+        }
+    }
+}

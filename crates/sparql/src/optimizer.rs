@@ -491,7 +491,7 @@ mod tests {
                 Box::new(GraphPattern::Bgp(vec![tp("?x", "q", "?z")])),
             )),
         );
-        let opt = push_filters(p.clone());
+        let opt = push_filters(p);
         assert!(matches!(opt, GraphPattern::Filter(_, _)));
     }
 

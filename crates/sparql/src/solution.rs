@@ -5,11 +5,33 @@
 //! variables to RDF terms; two solutions are *compatible* if every shared
 //! variable is bound to the same term; and sets of solutions compose via
 //! join (`⋈`), union (`∪`), difference (`−`) and left outer join (`⟕`).
+//!
+//! Two implementations of the set operators coexist:
+//!
+//! - [`naive`] — the literal nested-loop transcription of the paper's
+//!   definitions, kept as the reference oracle for property tests and
+//!   before/after benchmarks;
+//! - [`hashed`] — hash-based operators over interned bindings (see
+//!   [`crate::interned`]) that bucket one side by its shared-variable
+//!   signature and probe with the other, turning the O(n·m)
+//!   compatibility scan into O(n + m + output).
+//!
+//! The public top-level functions ([`join`], [`difference`],
+//! [`left_join`], [`left_join_filtered`]) dispatch between them by the
+//! process-wide [`AlgebraMode`]; both paths produce **identical output in
+//! identical order** (property-tested in `tests/hash_algebra.rs`), so
+//! the choice is invisible to everything downstream — including the
+//! simulated byte/message accounting of the distributed engine.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
 
+use rdfmesh_rdf::fxhash::FxHasher64;
 use rdfmesh_rdf::{Term, Variable};
+
+type FxBuild = BuildHasherDefault<FxHasher64>;
 
 /// A solution mapping `µ : V → U` (partial).
 ///
@@ -145,17 +167,63 @@ impl fmt::Display for Solution {
 /// a multiset, matching the W3C semantics.
 pub type SolutionSet = Vec<Solution>;
 
-/// `Ω1 ⋈ Ω2` — all merges of compatible pairs (Sect. IV-A).
-pub fn join(left: &[Solution], right: &[Solution]) -> SolutionSet {
-    let mut out = Vec::new();
-    for l in left {
-        for r in right {
-            if let Some(m) = l.merge(r) {
-                out.push(m);
-            }
-        }
+/// Which implementation the top-level algebra operators use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgebraMode {
+    /// Hash operators for large inputs, nested loops when the pair
+    /// product is small enough that hashing overhead would dominate.
+    /// The default.
+    Auto,
+    /// Always the nested-loop reference implementation ([`naive`]).
+    Naive,
+    /// Always the hash implementation ([`hashed`]).
+    Hash,
+}
+
+static ALGEBRA_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the operator implementation process-wide. Intended for
+/// benchmarks and twin-run regression tests; both modes produce
+/// identical results, so production code never needs to call this.
+pub fn set_algebra_mode(mode: AlgebraMode) {
+    let v = match mode {
+        AlgebraMode::Auto => 0,
+        AlgebraMode::Naive => 1,
+        AlgebraMode::Hash => 2,
+    };
+    ALGEBRA_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The current operator implementation mode.
+pub fn algebra_mode() -> AlgebraMode {
+    match ALGEBRA_MODE.load(Ordering::Relaxed) {
+        1 => AlgebraMode::Naive,
+        2 => AlgebraMode::Hash,
+        _ => AlgebraMode::Auto,
     }
-    out
+}
+
+/// Below this left×right pair product, `Auto` keeps the nested loop:
+/// building an interner and hash tables costs more than scanning a
+/// handful of pairs.
+const NAIVE_PRODUCT_CUTOFF: usize = 256;
+
+fn use_hash(left: usize, right: usize) -> bool {
+    match algebra_mode() {
+        AlgebraMode::Naive => false,
+        AlgebraMode::Hash => true,
+        AlgebraMode::Auto => left.saturating_mul(right) > NAIVE_PRODUCT_CUTOFF,
+    }
+}
+
+/// `Ω1 ⋈ Ω2` — all merges of compatible pairs (Sect. IV-A), in
+/// nested-loop order (ascending left index, then right index).
+pub fn join(left: &[Solution], right: &[Solution]) -> SolutionSet {
+    if use_hash(left.len(), right.len()) {
+        hashed::join(left, right)
+    } else {
+        naive::join(left, right)
+    }
 }
 
 /// `Ω1 ∪ Ω2` — multiset union (Sect. IV-A).
@@ -167,50 +235,288 @@ pub fn union(left: &[Solution], right: &[Solution]) -> SolutionSet {
 }
 
 /// `Ω1 − Ω2` — solutions of `Ω1` compatible with **no** solution of `Ω2`
-/// (Sect. IV-A).
+/// (Sect. IV-A), in `Ω1` order.
 pub fn difference(left: &[Solution], right: &[Solution]) -> SolutionSet {
-    left.iter()
-        .filter(|l| !right.iter().any(|r| l.compatible(r)))
-        .cloned()
-        .collect()
+    if use_hash(left.len(), right.len()) {
+        hashed::difference(left, right)
+    } else {
+        naive::difference(left, right)
+    }
 }
 
 /// `Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 − Ω2)` — left outer join (Sect. IV-E).
 pub fn left_join(left: &[Solution], right: &[Solution]) -> SolutionSet {
-    let mut out = join(left, right);
-    out.extend(difference(left, right));
-    out
+    if use_hash(left.len(), right.len()) {
+        hashed::left_join(left, right)
+    } else {
+        naive::left_join(left, right)
+    }
 }
 
 /// Left outer join with a filter condition on the joined rows, as required
 /// by the algebra operator `LeftJoin(P1, P2, expr)`: rows of `Ω1 ⋈ Ω2`
 /// must satisfy `cond`; rows of `Ω1` with no *satisfying* compatible
 /// partner survive unextended.
-pub fn left_join_filtered<F>(left: &[Solution], right: &[Solution], mut cond: F) -> SolutionSet
+pub fn left_join_filtered<F>(left: &[Solution], right: &[Solution], cond: F) -> SolutionSet
 where
     F: FnMut(&Solution) -> bool,
 {
-    let mut out = Vec::new();
-    for l in left {
-        let mut extended = false;
-        for r in right {
-            if let Some(m) = l.merge(r) {
-                if cond(&m) {
-                    out.push(m);
-                    extended = true;
-                }
-            }
-        }
-        if !extended {
-            out.push(l.clone());
-        }
+    if use_hash(left.len(), right.len()) {
+        hashed::left_join_filtered(left, right, cond)
+    } else {
+        naive::left_join_filtered(left, right, cond)
     }
-    out
 }
 
 /// Total serialized size of a solution set (for byte accounting).
 pub fn serialized_len(solutions: &[Solution]) -> usize {
     solutions.iter().map(Solution::serialized_len).sum()
+}
+
+/// The nested-loop transcription of the Sect. IV-A operator definitions.
+///
+/// O(n·m) compatibility scans; retained verbatim as the reference oracle
+/// the hash operators are property-tested and benchmarked against.
+pub mod naive {
+    use super::{Solution, SolutionSet};
+
+    /// `Ω1 ⋈ Ω2` by scanning every pair.
+    pub fn join(left: &[Solution], right: &[Solution]) -> SolutionSet {
+        let mut out = Vec::new();
+        for l in left {
+            for r in right {
+                if let Some(m) = l.merge(r) {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// `Ω1 − Ω2` by scanning every pair.
+    pub fn difference(left: &[Solution], right: &[Solution]) -> SolutionSet {
+        left.iter()
+            .filter(|l| !right.iter().any(|r| l.compatible(r)))
+            .cloned()
+            .collect()
+    }
+
+    /// `Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 − Ω2)` via the nested-loop parts.
+    pub fn left_join(left: &[Solution], right: &[Solution]) -> SolutionSet {
+        let mut out = join(left, right);
+        out.extend(difference(left, right));
+        out
+    }
+
+    /// Conditional left outer join by scanning every pair.
+    pub fn left_join_filtered<F>(
+        left: &[Solution],
+        right: &[Solution],
+        mut cond: F,
+    ) -> SolutionSet
+    where
+        F: FnMut(&Solution) -> bool,
+    {
+        let mut out = Vec::new();
+        for l in left {
+            let mut extended = false;
+            for r in right {
+                if let Some(m) = l.merge(r) {
+                    if cond(&m) {
+                        out.push(m);
+                        extended = true;
+                    }
+                }
+            }
+            if !extended {
+                out.push(l.clone());
+            }
+        }
+        out
+    }
+
+    /// First-seen-order duplicate elimination by linear scan — the old
+    /// `merge_distinct` behaviour, kept as the [`super::distinct`] oracle.
+    pub fn distinct(rows: Vec<Solution>) -> Vec<Solution> {
+        let mut out: Vec<Solution> = Vec::new();
+        for s in rows {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// Hash-based operators over interned bindings (see [`crate::interned`]).
+///
+/// Each operator interns both operands into a query-local dictionary,
+/// builds a [`crate::interned::JoinIndex`] on the right side keyed by
+/// shared-variable signatures, probes it with the left rows, and decodes
+/// merged rows back to [`Solution`]s only at the boundary. Output order
+/// is exactly the nested-loop order of [`naive`].
+pub mod hashed {
+    use super::{Solution, SolutionSet};
+    use crate::interned::{decode, encode, merge_rows, Interner, JoinIndex};
+
+    /// `Ω1 ⋈ Ω2` via hash probing.
+    pub fn join(left: &[Solution], right: &[Solution]) -> SolutionSet {
+        if left.is_empty() || right.is_empty() {
+            return Vec::new();
+        }
+        let mut interner = Interner::new();
+        let l = encode(&mut interner, left);
+        let r = encode(&mut interner, right);
+        let mut index = JoinIndex::new(&r);
+        let mut out = Vec::new();
+        let mut hits = Vec::new();
+        for lrow in &l {
+            index.compatible_into(lrow, &mut hits);
+            for &j in &hits {
+                out.push(decode(&interner, &merge_rows(lrow, &r[j])));
+            }
+        }
+        out
+    }
+
+    /// `Ω1 − Ω2` via hash probing.
+    pub fn difference(left: &[Solution], right: &[Solution]) -> SolutionSet {
+        if left.is_empty() {
+            return Vec::new();
+        }
+        if right.is_empty() {
+            return left.to_vec();
+        }
+        let mut interner = Interner::new();
+        let l = encode(&mut interner, left);
+        let r = encode(&mut interner, right);
+        let mut index = JoinIndex::new(&r);
+        left.iter()
+            .zip(&l)
+            .filter(|(_, lrow)| !index.any_compatible(lrow))
+            .map(|(sol, _)| sol.clone())
+            .collect()
+    }
+
+    /// `Ω1 ⟕ Ω2` as join-then-difference, matching the naive
+    /// concatenation order.
+    pub fn left_join(left: &[Solution], right: &[Solution]) -> SolutionSet {
+        let mut out = join(left, right);
+        out.extend(difference(left, right));
+        out
+    }
+
+    /// Conditional left outer join: compatible pairs come from the hash
+    /// index; only those pairs are merged, decoded and tested.
+    pub fn left_join_filtered<F>(
+        left: &[Solution],
+        right: &[Solution],
+        mut cond: F,
+    ) -> SolutionSet
+    where
+        F: FnMut(&Solution) -> bool,
+    {
+        if right.is_empty() {
+            return left.to_vec();
+        }
+        let mut interner = Interner::new();
+        let l = encode(&mut interner, left);
+        let r = encode(&mut interner, right);
+        let mut index = JoinIndex::new(&r);
+        let mut out = Vec::new();
+        let mut hits = Vec::new();
+        for (sol, lrow) in left.iter().zip(&l) {
+            index.compatible_into(lrow, &mut hits);
+            let mut extended = false;
+            for &j in &hits {
+                let m = decode(&interner, &merge_rows(lrow, &r[j]));
+                if cond(&m) {
+                    out.push(m);
+                    extended = true;
+                }
+            }
+            if !extended {
+                out.push(sol.clone());
+            }
+        }
+        out
+    }
+}
+
+fn solution_hash(s: &Solution) -> u64 {
+    let mut h = FxHasher64::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// An order-preserving duplicate filter over solutions, backed by a hash
+/// index instead of a linear `contains` scan.
+///
+/// Used by the distributed engine's in-network aggregation (identical
+/// solutions from triples replicated at several providers collapse —
+/// paper footnote 13) and by `DISTINCT` post-processing. Insertion order
+/// of first occurrences is preserved, so it is a drop-in replacement for
+/// the O(n²) scan with byte-identical output.
+#[derive(Debug, Default)]
+pub struct DistinctBuffer {
+    rows: Vec<Solution>,
+    index: HashMap<u64, Vec<u32>, FxBuild>,
+}
+
+impl DistinctBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `solution` unless an equal one was already inserted.
+    /// Returns `true` if it was added.
+    pub fn push(&mut self, solution: Solution) -> bool {
+        let slot = self.index.entry(solution_hash(&solution)).or_default();
+        if slot.iter().any(|&i| self.rows[i as usize] == solution) {
+            return false;
+        }
+        slot.push(u32::try_from(self.rows.len()).expect("distinct buffer overflow"));
+        self.rows.push(solution);
+        true
+    }
+
+    /// Inserts every solution of `sols`, dropping exact duplicates.
+    pub fn extend_distinct<I: IntoIterator<Item = Solution>>(&mut self, sols: I) {
+        for s in sols {
+            self.push(s);
+        }
+    }
+
+    /// The distinct solutions in first-seen order.
+    pub fn as_slice(&self) -> &[Solution] {
+        &self.rows
+    }
+
+    /// Number of distinct solutions held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Consumes the buffer, returning the distinct solutions in
+    /// first-seen order.
+    pub fn into_vec(self) -> Vec<Solution> {
+        self.rows
+    }
+}
+
+/// First-seen-order duplicate elimination via [`DistinctBuffer`] —
+/// O(n) hashing instead of the O(n²) scan of [`naive::distinct`], same
+/// output.
+pub fn distinct(rows: Vec<Solution>) -> Vec<Solution> {
+    let mut buf = DistinctBuffer::new();
+    buf.extend_distinct(rows);
+    buf.into_vec()
 }
 
 #[cfg(test)]
@@ -333,5 +639,113 @@ mod tests {
     fn display_is_readable() {
         let s = sol(&[("x", "a")]);
         assert_eq!(s.to_string(), "{?x -> <http://e/a>}");
+    }
+
+    fn mixed_sets() -> (Vec<Solution>, Vec<Solution>) {
+        // Heterogeneous domains, shared vars, disjoint rows, duplicates.
+        let left = vec![
+            sol(&[("x", "a"), ("y", "b")]),
+            sol(&[("x", "a")]),
+            sol(&[("z", "q")]),
+            sol(&[("x", "c"), ("y", "d")]),
+            sol(&[("x", "a"), ("y", "b")]),
+            Solution::new(),
+        ];
+        let right = vec![
+            sol(&[("y", "b"), ("w", "e")]),
+            sol(&[("x", "a"), ("w", "f")]),
+            sol(&[("w", "g")]),
+            sol(&[("x", "z")]),
+            Solution::new(),
+        ];
+        (left, right)
+    }
+
+    #[test]
+    fn hashed_join_matches_naive_exactly() {
+        let (l, r) = mixed_sets();
+        assert_eq!(hashed::join(&l, &r), naive::join(&l, &r));
+        assert_eq!(hashed::join(&r, &l), naive::join(&r, &l));
+    }
+
+    #[test]
+    fn hashed_difference_matches_naive_exactly() {
+        let (l, r) = mixed_sets();
+        assert_eq!(hashed::difference(&l, &r), naive::difference(&l, &r));
+        assert_eq!(hashed::difference(&r, &l), naive::difference(&r, &l));
+    }
+
+    #[test]
+    fn hashed_left_join_matches_naive_exactly() {
+        let (l, r) = mixed_sets();
+        assert_eq!(hashed::left_join(&l, &r), naive::left_join(&l, &r));
+        assert_eq!(hashed::left_join(&r, &l), naive::left_join(&r, &l));
+    }
+
+    #[test]
+    fn hashed_left_join_filtered_matches_naive_exactly() {
+        let (l, r) = mixed_sets();
+        let cond = |s: &Solution| s.get(&v("w")).is_none_or(|t| t.to_string().contains('e'));
+        assert_eq!(
+            hashed::left_join_filtered(&l, &r, cond),
+            naive::left_join_filtered(&l, &r, cond)
+        );
+    }
+
+    #[test]
+    fn hashed_handles_empty_operands() {
+        let (l, _) = mixed_sets();
+        let empty: Vec<Solution> = Vec::new();
+        assert!(hashed::join(&l, &empty).is_empty());
+        assert!(hashed::join(&empty, &l).is_empty());
+        assert_eq!(hashed::difference(&l, &empty), l);
+        assert!(hashed::difference(&empty, &l).is_empty());
+        assert_eq!(hashed::left_join(&l, &empty), l);
+        assert_eq!(hashed::left_join_filtered(&l, &empty, |_| true), l);
+    }
+
+    #[test]
+    fn distinct_buffer_preserves_first_seen_order() {
+        let rows = vec![
+            sol(&[("x", "b")]),
+            sol(&[("x", "a")]),
+            sol(&[("x", "b")]),
+            sol(&[("x", "c")]),
+            sol(&[("x", "a")]),
+        ];
+        let deduped = distinct(rows.clone());
+        assert_eq!(deduped, naive::distinct(rows));
+        assert_eq!(
+            deduped,
+            vec![sol(&[("x", "b")]), sol(&[("x", "a")]), sol(&[("x", "c")])]
+        );
+    }
+
+    #[test]
+    fn distinct_buffer_push_reports_novelty() {
+        let mut buf = DistinctBuffer::new();
+        assert!(buf.is_empty());
+        assert!(buf.push(sol(&[("x", "a")])));
+        assert!(!buf.push(sol(&[("x", "a")])));
+        assert!(buf.push(sol(&[("x", "b")])));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.as_slice().len(), 2);
+        assert_eq!(buf.into_vec().len(), 2);
+    }
+
+    #[test]
+    fn mode_dispatch_is_equivalent() {
+        // Auto's cutoff sends small inputs down the naive path and large
+        // ones down the hash path; both must agree with the oracle.
+        let (l, r) = mixed_sets();
+        let mut big_l = Vec::new();
+        for i in 0..40 {
+            big_l.push(sol(&[("x", "a"), ("n", &format!("i{i}"))]));
+        }
+        assert_eq!(join(&l, &r), naive::join(&l, &r));
+        assert_eq!(join(&big_l, &r), naive::join(&big_l, &r));
+        assert_eq!(left_join(&big_l, &r), naive::left_join(&big_l, &r));
+        assert_eq!(difference(&big_l, &r), naive::difference(&big_l, &r));
+        assert_eq!(algebra_mode(), AlgebraMode::Auto);
     }
 }

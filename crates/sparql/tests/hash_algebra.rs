@@ -1,0 +1,76 @@
+//! Property tests pinning the hash-based solution algebra to the naive
+//! nested-loop reference oracle.
+//!
+//! Every operator pair is checked for *exact* equality — same solutions,
+//! same multiplicities, same order — over random solution sets that mix
+//! unbound variables, shared variables, heterogeneous domains and
+//! duplicates. This is the guarantee that lets the engine swap the hash
+//! implementation in without perturbing a single simulated metric.
+
+use proptest::prelude::*;
+use rdfmesh_rdf::{Term, Variable};
+use rdfmesh_sparql::solution::{self, hashed, naive, Solution};
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u8..5).prop_map(|i| Term::iri(&format!("http://example.org/r{i}"))),
+        (0u8..5).prop_map(|i| Term::literal(&format!("v{i}"))),
+    ]
+}
+
+fn arb_solution() -> impl Strategy<Value = Solution> {
+    // Variables x0..x3: small pool so random sets share variables often,
+    // sizes 0..4 so unbound positions and the empty mapping both occur.
+    proptest::collection::btree_map(0u8..4, arb_term(), 0..4).prop_map(|m| {
+        Solution::from_pairs(m.into_iter().map(|(v, t)| (Variable::new(format!("x{v}")), t)))
+    })
+}
+
+fn arb_solution_set() -> impl Strategy<Value = Vec<Solution>> {
+    proptest::collection::vec(arb_solution(), 0..12)
+}
+
+/// A deterministic filter condition keyed on bound terms — exercises the
+/// extended/unextended split of the conditional left join.
+fn cond(s: &Solution) -> bool {
+    s.get(&Variable::new("x0")).is_none_or(|t| t.to_string().len() % 2 == 0)
+}
+
+proptest! {
+    #[test]
+    fn hash_join_equals_naive(l in arb_solution_set(), r in arb_solution_set()) {
+        prop_assert_eq!(hashed::join(&l, &r), naive::join(&l, &r));
+    }
+
+    #[test]
+    fn hash_difference_equals_naive(l in arb_solution_set(), r in arb_solution_set()) {
+        prop_assert_eq!(hashed::difference(&l, &r), naive::difference(&l, &r));
+    }
+
+    #[test]
+    fn hash_left_join_equals_naive(l in arb_solution_set(), r in arb_solution_set()) {
+        prop_assert_eq!(hashed::left_join(&l, &r), naive::left_join(&l, &r));
+    }
+
+    #[test]
+    fn hash_left_join_filtered_equals_naive(l in arb_solution_set(), r in arb_solution_set()) {
+        prop_assert_eq!(
+            hashed::left_join_filtered(&l, &r, cond),
+            naive::left_join_filtered(&l, &r, cond)
+        );
+    }
+
+    #[test]
+    fn distinct_equals_naive_dedup(rows in arb_solution_set()) {
+        prop_assert_eq!(solution::distinct(rows.clone()), naive::distinct(rows));
+    }
+
+    #[test]
+    fn dispatch_equals_naive(l in arb_solution_set(), r in arb_solution_set()) {
+        // The public entry points (Auto mode) must agree with the oracle
+        // regardless of which side of the cutoff the input lands on.
+        prop_assert_eq!(solution::join(&l, &r), naive::join(&l, &r));
+        prop_assert_eq!(solution::difference(&l, &r), naive::difference(&l, &r));
+        prop_assert_eq!(solution::left_join(&l, &r), naive::left_join(&l, &r));
+    }
+}

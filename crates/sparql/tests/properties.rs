@@ -204,7 +204,7 @@ proptest! {
     ) {
         let store = TripleStore::from_triples(triples);
         let plain = eval::evaluate_pattern(&store, &pattern);
-        let pushed = optimizer::push_filters(pattern.clone());
+        let pushed = optimizer::push_filters(pattern);
         let optimized = eval::evaluate_pattern(&store, &pushed);
         prop_assert_eq!(sorted(plain), sorted(optimized));
     }
