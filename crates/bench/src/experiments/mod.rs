@@ -1,4 +1,4 @@
-//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E15).
+//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E16).
 //!
 //! Each module prints one or more Markdown tables; `run_all` regenerates
 //! the whole of EXPERIMENTS.md's measured data. Everything is seeded and
@@ -21,6 +21,7 @@ pub mod e12_rdfpeers;
 pub mod e13_system_scalability;
 pub mod e14_range_index;
 pub mod e15_cache;
+pub mod e16_live_churn;
 
 /// `(id, description, runner)` for every experiment.
 pub fn all() -> Vec<(&'static str, &'static str, fn())> {
@@ -40,6 +41,7 @@ pub fn all() -> Vec<(&'static str, &'static str, fn())> {
         ("e13", "Whole-system scalability", e13_system_scalability::run),
         ("e14", "Numeric range queries: bucketed index vs gather vs RDFPeers", e14_range_index::run),
         ("e15", "Query-path caching and adaptive hot-key replication", e15_cache::run),
+        ("e16", "Live-mesh churn soak: fault tolerance on real threads", e16_live_churn::run),
     ]
 }
 

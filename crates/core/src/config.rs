@@ -88,6 +88,39 @@ impl std::fmt::Display for JoinSiteStrategy {
     }
 }
 
+/// Fault-tolerance knobs for the thread-backed [`crate::LiveMesh`].
+///
+/// The simulator charges [`ExecConfig::ack_timeout`] as a *cost* when a
+/// query hits a dead provider; the live mesh has to actually *wait*, so
+/// these are wall-clock durations driving the coordinator's per-query
+/// state machine (see `docs/FAULTS.md` and Sect. III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// How long the coordinator waits for a storage node to answer a
+    /// sub-query before retransmitting (and, after [`LiveConfig::retries`]
+    /// retransmissions, declaring the provider dead).
+    pub ack_timeout: std::time::Duration,
+    /// How long the coordinator waits for the index node's provider list.
+    pub lookup_timeout: std::time::Duration,
+    /// Hard per-query deadline: the query completes (possibly with
+    /// `complete == false`) no later than this after submission.
+    pub query_deadline: std::time::Duration,
+    /// Bounded retransmissions per provider (and per lookup) before
+    /// giving up. The paper's lazy failure detection needs only one.
+    pub retries: u8,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            ack_timeout: std::time::Duration::from_millis(150),
+            lookup_timeout: std::time::Duration::from_millis(150),
+            query_deadline: std::time::Duration::from_secs(5),
+            retries: 1,
+        }
+    }
+}
+
 /// The optimization objective (Sect. V): the basic scheme "trades
 /// transmission costs for a low response time" while the chained schemes
 /// do the opposite.

@@ -24,10 +24,11 @@ pub mod planner;
 pub mod stats;
 pub mod system;
 
-pub use config::{ExecConfig, JoinSiteStrategy, Objective, PrimitiveStrategy};
+pub use config::{ExecConfig, JoinSiteStrategy, LiveConfig, Objective, PrimitiveStrategy};
 pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimator, Mat};
 pub use rdfmesh_cache::{CacheConfig, CacheStats, QueryCache};
-pub use live::{LiveMesh, LiveMsg, COORDINATOR};
+pub use rdfmesh_net::FaultPlan;
+pub use live::{DeadlineStage, LiveAnswer, LiveMesh, LiveMsg, QueryId, COORDINATOR};
 pub use planner::{estimate_primitive, plan, CostEstimate, Plan, PlanObjective};
-pub use stats::QueryStats;
+pub use stats::{LiveStats, LiveStatsSnapshot, QueryStats};
 pub use system::{SharingSystem, SystemBuilder};

@@ -1,4 +1,4 @@
-//! The query protocol on real threads.
+//! The query protocol on real threads, fault-tolerant end to end.
 //!
 //! The deterministic [`rdfmesh_net::Network`] measures costs; this module
 //! demonstrates that the same two-level protocol *runs* under genuine
@@ -7,23 +7,88 @@
 //! the index node, provider resolution from its location table, parallel
 //! sub-queries to the storage nodes, assembly of their answers.
 //!
+//! Unlike the simulator, real threads really do lose messages and crash
+//! mid-query, so the coordinator is a **per-query state machine** keyed
+//! by a fresh [`QueryId`] carried in every [`LiveMsg`]:
+//!
+//! * every awaited reply has a deadline ([`Outbox::schedule`] delivers
+//!   the coordinator a [`LiveMsg::Deadline`] message to itself);
+//! * an expired query-ack deadline retransmits once (bounded by
+//!   [`LiveConfig::retries`]), then declares the provider dead — the
+//!   Sect. III-D query-ack timeout on real threads;
+//! * a dead provider triggers a [`LiveMsg::ProviderDead`] notification
+//!   to the owning index node, which lazily drops the provider from its
+//!   location-table row (Sect. III-C/D's lazy cleanup);
+//! * a failed [`Outbox::send`] (crashed peer) is treated as an immediate
+//!   ack timeout instead of being silently ignored;
+//! * replies that name no in-flight query — late, duplicated, or from a
+//!   previous query — are counted and dropped, never applied.
+//!
+//! A query therefore always terminates within its deadline, returning a
+//! [`LiveAnswer`] whose `complete` flag and `failed_providers` list say
+//! exactly what survived. `docs/FAULTS.md` contrasts this live failure
+//! model with the simulator's; the fault-injection harness lives in
+//! [`rdfmesh_net::FaultPlan`].
+//!
 //! Swapping [`rdfmesh_net::Cluster`] for a socket transport would make
-//! this a deployable system; nothing here touches shared state.
+//! this a deployable system; nothing here touches shared state beyond
+//! the observable location tables and counters.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
-use rdfmesh_net::{Cluster, Envelope, Handler, NodeId, Outbox};
+use rdfmesh_net::{Cluster, Envelope, FaultPlan, Handler, NodeId, Outbox};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple, Overlay};
 use rdfmesh_rdf::{Triple, TriplePattern, TripleStore};
+
+use crate::config::LiveConfig;
+use crate::stats::{LiveStats, LiveStatsSnapshot};
+
+/// Identifies one in-flight live query. Every protocol message carries
+/// the id of the query it belongs to, so a late or duplicated reply from
+/// query *N* can never contaminate the state of query *N+1*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// Which awaited event a [`LiveMsg::Deadline`] guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// The provider lookup at the index node; `attempt` is the lookup
+    /// attempt the deadline was armed for (a stale deadline from an
+    /// earlier attempt is ignored).
+    Lookup {
+        /// Attempt number at schedule time (0-based).
+        attempt: u8,
+    },
+    /// One provider's query-ack deadline (Sect. III-D).
+    Ack {
+        /// The storage node awaited.
+        provider: NodeId,
+        /// Attempt number at schedule time (0-based).
+        attempt: u8,
+    },
+    /// The whole-query backstop: fire whatever is still outstanding and
+    /// answer with what was collected.
+    Overall,
+}
 
 /// Protocol messages of the live mesh.
 #[derive(Debug, Clone)]
 pub enum LiveMsg {
+    /// The external application submits a query at the coordinator.
+    Submit {
+        /// Fresh id allocated by [`LiveMesh::query`].
+        qid: QueryId,
+        /// The pattern to resolve.
+        pattern: TriplePattern,
+    },
     /// Ask an index node which storage nodes can answer `pattern`.
     Lookup {
+        /// The owning query.
+        qid: QueryId,
         /// The pattern being resolved.
         pattern: TriplePattern,
         /// Where to send the provider list.
@@ -31,6 +96,8 @@ pub enum LiveMsg {
     },
     /// An index node's answer: the providers for the pattern.
     Providers {
+        /// The owning query.
+        qid: QueryId,
         /// The pattern this answers.
         pattern: TriplePattern,
         /// Storage nodes holding matching triples.
@@ -38,6 +105,8 @@ pub enum LiveMsg {
     },
     /// A sub-query shipped to a storage node.
     SubQuery {
+        /// The owning query.
+        qid: QueryId,
         /// The pattern to match locally.
         pattern: TriplePattern,
         /// Where to send the matches.
@@ -45,50 +114,474 @@ pub enum LiveMsg {
     },
     /// A storage node's local matches.
     Matches {
+        /// The owning query.
+        qid: QueryId,
         /// The matching triples.
         triples: Vec<Triple>,
     },
+    /// Coordinator → index node: `provider` missed its query-ack
+    /// deadline for `pattern`'s key; lazily drop it from the owner's
+    /// location-table row (Sect. III-C/D). Routed hop-by-hop like a
+    /// [`LiveMsg::Lookup`].
+    ProviderDead {
+        /// The pattern whose key row names the dead provider.
+        pattern: TriplePattern,
+        /// The storage node that failed to answer.
+        provider: NodeId,
+    },
+    /// A deadline the coordinator scheduled to itself via the cluster
+    /// timer ([`Outbox::schedule`]).
+    Deadline {
+        /// The owning query.
+        qid: QueryId,
+        /// Which awaited event expired.
+        stage: DeadlineStage,
+    },
+}
+
+/// What one live query returned. Instead of hanging on churn, the
+/// protocol reports exactly how much of the answer survived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveAnswer {
+    /// Deduplicated matches from every provider that answered in time.
+    pub triples: Vec<Triple>,
+    /// `true` iff every selected provider answered before its deadline
+    /// (an empty provider set is complete).
+    pub complete: bool,
+    /// Providers that never answered: crashed, unreachable, or lost
+    /// behind dropped messages. Sorted when set by the overall deadline.
+    pub failed_providers: Vec<NodeId>,
+}
+
+// ---- the coordinator state machine ----------------------------------
+
+/// What the state machine asks its host to do. Pure data, so property
+/// tests can drive arbitrary interleavings without threads or timers.
+#[derive(Debug, Clone)]
+enum Action {
+    Send { to: NodeId, msg: LiveMsg },
+    Schedule { after: Duration, msg: LiveMsg },
+    Finish { qid: QueryId, answer: LiveAnswer },
+}
+
+/// Monotonic fault counters the core accumulates; the handler diffs them
+/// into the shared [`LiveStats`] after every message.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LiveCounters {
+    retries: u64,
+    ack_timeouts: u64,
+    send_failures: u64,
+    stale_replies: u64,
+    incomplete_queries: u64,
+    lookup_failures: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    AwaitProviders,
+    Gather,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    pattern: TriplePattern,
+    phase: Phase,
+    lookup_attempt: u8,
+    /// provider → current sub-query attempt (0-based).
+    outstanding: HashMap<NodeId, u8>,
+    failed: Vec<NodeId>,
+    collected: Vec<Triple>,
+}
+
+/// The per-query coordinator state machine. Every transition consumes
+/// one event and returns the actions to perform; it owns no channels,
+/// threads, or clocks, which is what makes it exhaustively testable.
+#[derive(Debug)]
+struct CoordinatorCore {
+    me: NodeId,
+    index: NodeId,
+    cfg: LiveConfig,
+    in_flight: HashMap<QueryId, InFlight>,
+    counters: LiveCounters,
+}
+
+impl CoordinatorCore {
+    fn new(me: NodeId, index: NodeId, cfg: LiveConfig) -> Self {
+        CoordinatorCore {
+            me,
+            index,
+            cfg,
+            in_flight: HashMap::new(),
+            counters: LiveCounters::default(),
+        }
+    }
+
+    fn on_event(&mut self, from: NodeId, msg: LiveMsg) -> Vec<Action> {
+        match msg {
+            LiveMsg::Submit { qid, pattern } => self.on_submit(qid, pattern),
+            LiveMsg::Providers { qid, pattern, providers } => {
+                self.on_providers(qid, pattern, providers)
+            }
+            LiveMsg::Matches { qid, triples } => self.on_matches(qid, from, triples),
+            LiveMsg::Deadline { qid, stage } => match stage {
+                DeadlineStage::Lookup { attempt } => self.on_lookup_timeout(qid, attempt),
+                DeadlineStage::Ack { provider, attempt } => {
+                    self.on_ack_timeout(qid, provider, attempt)
+                }
+                DeadlineStage::Overall => self.on_overall_deadline(qid),
+            },
+            // Strays addressed to other roles are ignored.
+            LiveMsg::Lookup { .. } | LiveMsg::SubQuery { .. } | LiveMsg::ProviderDead { .. } => {
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_submit(&mut self, qid: QueryId, pattern: TriplePattern) -> Vec<Action> {
+        if self.in_flight.contains_key(&qid) {
+            return Vec::new(); // duplicate submission
+        }
+        self.in_flight.insert(
+            qid,
+            InFlight {
+                pattern: pattern.clone(),
+                phase: Phase::AwaitProviders,
+                lookup_attempt: 0,
+                outstanding: HashMap::new(),
+                failed: Vec::new(),
+                collected: Vec::new(),
+            },
+        );
+        vec![
+            Action::Send {
+                to: self.index,
+                msg: LiveMsg::Lookup { qid, pattern, reply_to: self.me },
+            },
+            Action::Schedule {
+                after: self.cfg.lookup_timeout,
+                msg: LiveMsg::Deadline { qid, stage: DeadlineStage::Lookup { attempt: 0 } },
+            },
+            Action::Schedule {
+                after: self.cfg.query_deadline,
+                msg: LiveMsg::Deadline { qid, stage: DeadlineStage::Overall },
+            },
+        ]
+    }
+
+    fn on_providers(
+        &mut self,
+        qid: QueryId,
+        pattern: TriplePattern,
+        providers: Vec<NodeId>,
+    ) -> Vec<Action> {
+        let Some(q) = self.in_flight.get_mut(&qid) else {
+            self.counters.stale_replies += 1;
+            return Vec::new();
+        };
+        if q.phase != Phase::AwaitProviders {
+            // E.g. the answer to a retransmitted lookup when the first
+            // answer already arrived.
+            self.counters.stale_replies += 1;
+            return Vec::new();
+        }
+        if providers.is_empty() {
+            return self.finish(qid, true);
+        }
+        q.phase = Phase::Gather;
+        let mut seen = HashSet::new();
+        let mut actions = Vec::new();
+        for p in providers {
+            if !seen.insert(p) {
+                continue;
+            }
+            q.outstanding.insert(p, 0);
+            actions.push(Action::Send {
+                to: p,
+                msg: LiveMsg::SubQuery { qid, pattern: pattern.clone(), reply_to: self.me },
+            });
+            actions.push(Action::Schedule {
+                after: self.cfg.ack_timeout,
+                msg: LiveMsg::Deadline {
+                    qid,
+                    stage: DeadlineStage::Ack { provider: p, attempt: 0 },
+                },
+            });
+        }
+        actions
+    }
+
+    fn on_matches(&mut self, qid: QueryId, from: NodeId, triples: Vec<Triple>) -> Vec<Action> {
+        let stale = match self.in_flight.get_mut(&qid) {
+            None => true,
+            Some(q) => q.phase != Phase::Gather || q.outstanding.remove(&from).is_none(),
+        };
+        if stale {
+            self.counters.stale_replies += 1;
+            return Vec::new();
+        }
+        let q = self.in_flight.get_mut(&qid).expect("checked in flight");
+        for t in triples {
+            if !q.collected.contains(&t) {
+                q.collected.push(t);
+            }
+        }
+        if q.outstanding.is_empty() {
+            let complete = q.failed.is_empty();
+            return self.finish(qid, complete);
+        }
+        Vec::new()
+    }
+
+    fn on_lookup_timeout(&mut self, qid: QueryId, attempt: u8) -> Vec<Action> {
+        let Some(q) = self.in_flight.get_mut(&qid) else { return Vec::new() };
+        if q.phase != Phase::AwaitProviders || q.lookup_attempt != attempt {
+            return Vec::new(); // answered, or a stale deadline
+        }
+        if attempt < self.cfg.retries {
+            q.lookup_attempt = attempt + 1;
+            self.counters.retries += 1;
+            let pattern = q.pattern.clone();
+            vec![
+                Action::Send {
+                    to: self.index,
+                    msg: LiveMsg::Lookup { qid, pattern, reply_to: self.me },
+                },
+                Action::Schedule {
+                    after: self.cfg.lookup_timeout,
+                    msg: LiveMsg::Deadline {
+                        qid,
+                        stage: DeadlineStage::Lookup { attempt: attempt + 1 },
+                    },
+                },
+            ]
+        } else {
+            self.counters.lookup_failures += 1;
+            self.finish(qid, false)
+        }
+    }
+
+    fn on_ack_timeout(&mut self, qid: QueryId, provider: NodeId, attempt: u8) -> Vec<Action> {
+        let Some(q) = self.in_flight.get_mut(&qid) else { return Vec::new() };
+        if q.phase != Phase::Gather || q.outstanding.get(&provider) != Some(&attempt) {
+            return Vec::new(); // answered, escalated, or a stale deadline
+        }
+        if attempt < self.cfg.retries {
+            q.outstanding.insert(provider, attempt + 1);
+            self.counters.retries += 1;
+            let pattern = q.pattern.clone();
+            vec![
+                Action::Send {
+                    to: provider,
+                    msg: LiveMsg::SubQuery { qid, pattern, reply_to: self.me },
+                },
+                Action::Schedule {
+                    after: self.cfg.ack_timeout,
+                    msg: LiveMsg::Deadline {
+                        qid,
+                        stage: DeadlineStage::Ack { provider, attempt: attempt + 1 },
+                    },
+                },
+            ]
+        } else {
+            q.outstanding.remove(&provider);
+            q.failed.push(provider);
+            self.counters.ack_timeouts += 1;
+            let mut actions = vec![Action::Send {
+                to: self.index,
+                msg: LiveMsg::ProviderDead { pattern: q.pattern.clone(), provider },
+            }];
+            if q.outstanding.is_empty() {
+                actions.extend(self.finish(qid, false));
+            }
+            actions
+        }
+    }
+
+    fn on_overall_deadline(&mut self, qid: QueryId) -> Vec<Action> {
+        let Some(q) = self.in_flight.get_mut(&qid) else { return Vec::new() };
+        // Whatever is still outstanding has failed; no ProviderDead here —
+        // the backstop fires on slow queries too, and purging the table on
+        // a merely-slow provider would be too eager (Sect. III-D purges
+        // only after the per-provider ack timeout).
+        let mut remaining: Vec<NodeId> = q.outstanding.keys().copied().collect();
+        remaining.sort();
+        q.failed.extend(remaining);
+        q.outstanding.clear();
+        self.finish(qid, false)
+    }
+
+    /// A synchronously failed send is an immediate ack timeout at the
+    /// target's current attempt (Sect. III-D): the transport already
+    /// knows the peer is unreachable, so waiting out the deadline would
+    /// only delay the retry/purge.
+    fn on_send_failed(&mut self, to: NodeId, msg: LiveMsg) -> Vec<Action> {
+        self.counters.send_failures += 1;
+        match msg {
+            LiveMsg::SubQuery { qid, .. } => {
+                match self.in_flight.get(&qid).and_then(|q| q.outstanding.get(&to)).copied() {
+                    Some(attempt) => self.on_ack_timeout(qid, to, attempt),
+                    None => Vec::new(),
+                }
+            }
+            LiveMsg::Lookup { qid, .. } => match self.in_flight.get(&qid).map(|q| q.lookup_attempt)
+            {
+                Some(attempt) => self.on_lookup_timeout(qid, attempt),
+                None => Vec::new(),
+            },
+            // A lost ProviderDead only postpones lazy cleanup.
+            _ => Vec::new(),
+        }
+    }
+
+    fn finish(&mut self, qid: QueryId, complete: bool) -> Vec<Action> {
+        let Some(q) = self.in_flight.remove(&qid) else { return Vec::new() };
+        if !complete {
+            self.counters.incomplete_queries += 1;
+        }
+        vec![Action::Finish {
+            qid,
+            answer: LiveAnswer {
+                triples: q.collected,
+                complete,
+                failed_providers: q.failed,
+            },
+        }]
+    }
+}
+
+// ---- the node handlers ----------------------------------------------
+
+type PendingMap = Arc<Mutex<HashMap<QueryId, Sender<LiveAnswer>>>>;
+type SharedTable = Arc<Mutex<HashMap<u64, Vec<NodeId>>>>;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The coordinator node: hosts the state machine, executes its actions
+/// (turning failed sends back into events), and hands finished answers
+/// to the waiting caller.
+struct Coordinator {
+    core: CoordinatorCore,
+    pending: PendingMap,
+    shared: Arc<LiveStats>,
+    synced: LiveCounters,
+}
+
+impl Coordinator {
+    fn run(&mut self, first: Vec<Action>, out: &Outbox<LiveMsg>) {
+        let mut actions: VecDeque<Action> = first.into();
+        while let Some(action) = actions.pop_front() {
+            match action {
+                Action::Send { to, msg } => {
+                    if !out.send(to, msg.clone()) {
+                        actions.extend(self.core.on_send_failed(to, msg));
+                    }
+                }
+                Action::Schedule { after, msg } => out.schedule(after, msg),
+                Action::Finish { qid, answer } => {
+                    // Removing the sender is what makes "done" single-shot.
+                    if let Some(tx) = lock(&self.pending).remove(&qid) {
+                        let _ = tx.send(answer);
+                    }
+                }
+            }
+        }
+        self.sync_counters();
+    }
+
+    fn sync_counters(&mut self) {
+        let now = self.core.counters;
+        let last = self.synced;
+        self.shared.add_retries(now.retries - last.retries);
+        self.shared.add_ack_timeouts(now.ack_timeouts - last.ack_timeouts);
+        self.shared.add_send_failures(now.send_failures - last.send_failures);
+        self.shared.add_stale_replies(now.stale_replies - last.stale_replies);
+        self.shared.add_incomplete_queries(now.incomplete_queries - last.incomplete_queries);
+        self.shared.add_lookup_failures(now.lookup_failures - last.lookup_failures);
+        self.synced = now;
+    }
+}
+
+impl Handler<LiveMsg> for Coordinator {
+    fn on_message(&mut self, envelope: Envelope<LiveMsg>, out: &Outbox<LiveMsg>) {
+        let actions = self.core.on_event(envelope.from, envelope.payload);
+        self.run(actions, out);
+    }
 }
 
 struct IndexNode {
-    /// key id → providers (this node's location table).
-    table: HashMap<u64, Vec<NodeId>>,
+    /// key id → providers (this node's location table). Shared with the
+    /// [`LiveMesh`] handle so tests and operators can observe the lazy
+    /// removal without an extra probe protocol.
+    table: SharedTable,
     space: rdfmesh_chord::IdSpace,
     /// `(ring position, address)` of every index node, sorted by
     /// position — the routing view. A live deployment would walk fingers
     /// hop by hop; one-shot resolution keeps the thread demo focused on
     /// the query protocol itself.
     ring_view: Arc<Vec<(u64, NodeId)>>,
+    stats: Arc<LiveStats>,
 }
 
 impl IndexNode {
     fn owner_of(&self, key: u64) -> NodeId {
-        self.ring_view
-            .iter()
-            .find(|(pos, _)| *pos >= key)
-            .or_else(|| self.ring_view.first())
-            .map(|(_, addr)| *addr)
-            .expect("non-empty ring view")
+        owner_in_view(&self.ring_view, key)
     }
+}
+
+fn owner_in_view(ring_view: &[(u64, NodeId)], key: u64) -> NodeId {
+    ring_view
+        .iter()
+        .find(|(pos, _)| *pos >= key)
+        .or_else(|| ring_view.first())
+        .map(|(_, addr)| *addr)
+        .expect("non-empty ring view")
 }
 
 impl Handler<LiveMsg> for IndexNode {
     fn on_message(&mut self, envelope: Envelope<LiveMsg>, out: &Outbox<LiveMsg>) {
-        if let LiveMsg::Lookup { pattern, reply_to } = envelope.payload {
-            match key_for_pattern(self.space, &pattern) {
-                None => {
-                    out.send(reply_to, LiveMsg::Providers { pattern, providers: Vec::new() });
-                }
-                Some(k) => {
-                    let owner = self.owner_of(k.id.0);
-                    if owner == out.me() {
-                        let providers = self.table.get(&k.id.0).cloned().unwrap_or_default();
-                        out.send(reply_to, LiveMsg::Providers { pattern, providers });
-                    } else {
-                        out.send(owner, LiveMsg::Lookup { pattern, reply_to });
+        match envelope.payload {
+            LiveMsg::Lookup { qid, pattern, reply_to } => {
+                match key_for_pattern(self.space, &pattern) {
+                    None => {
+                        out.send(
+                            reply_to,
+                            LiveMsg::Providers { qid, pattern, providers: Vec::new() },
+                        );
+                    }
+                    Some(k) => {
+                        let owner = self.owner_of(k.id.0);
+                        if owner == out.me() {
+                            let providers =
+                                lock(&self.table).get(&k.id.0).cloned().unwrap_or_default();
+                            out.send(reply_to, LiveMsg::Providers { qid, pattern, providers });
+                        } else {
+                            out.send(owner, LiveMsg::Lookup { qid, pattern, reply_to });
+                        }
                     }
                 }
             }
+            LiveMsg::ProviderDead { pattern, provider } => {
+                let Some(k) = key_for_pattern(self.space, &pattern) else { return };
+                let owner = self.owner_of(k.id.0);
+                if owner != out.me() {
+                    out.send(owner, LiveMsg::ProviderDead { pattern, provider });
+                    return;
+                }
+                let mut table = lock(&self.table);
+                if let Some(row) = table.get_mut(&k.id.0) {
+                    let before = row.len();
+                    row.retain(|p| *p != provider);
+                    let removed = (before - row.len()) as u64;
+                    if row.is_empty() {
+                        table.remove(&k.id.0);
+                    }
+                    drop(table);
+                    self.stats.add_providers_purged(removed);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -99,65 +592,26 @@ struct LiveStorage {
 
 impl Handler<LiveMsg> for LiveStorage {
     fn on_message(&mut self, envelope: Envelope<LiveMsg>, out: &Outbox<LiveMsg>) {
-        if let LiveMsg::SubQuery { pattern, reply_to } = envelope.payload {
+        if let LiveMsg::SubQuery { qid, pattern, reply_to } = envelope.payload {
             let triples = self.store.match_pattern(&pattern);
-            out.send(reply_to, LiveMsg::Matches { triples });
+            out.send(reply_to, LiveMsg::Matches { qid, triples });
         }
     }
 }
 
-/// The coordinator node: drives the basic scheme and hands the final
-/// result to the waiting caller.
-struct Coordinator {
-    index: NodeId,
-    expect: usize,
-    collected: Vec<Triple>,
-    done: Sender<Vec<Triple>>,
-}
-
-impl Handler<LiveMsg> for Coordinator {
-    fn on_message(&mut self, envelope: Envelope<LiveMsg>, out: &Outbox<LiveMsg>) {
-        match envelope.payload {
-            // The external application submits the query here.
-            LiveMsg::Lookup { pattern, .. } => {
-                out.send(self.index, LiveMsg::Lookup { pattern, reply_to: out.me() });
-            }
-            LiveMsg::Providers { pattern, providers } => {
-                if providers.is_empty() {
-                    let _ = self.done.send(Vec::new());
-                    return;
-                }
-                self.expect = providers.len();
-                self.collected.clear();
-                for p in providers {
-                    out.send(
-                        p,
-                        LiveMsg::SubQuery { pattern: pattern.clone(), reply_to: out.me() },
-                    );
-                }
-            }
-            LiveMsg::Matches { triples } => {
-                for t in triples {
-                    if !self.collected.contains(&t) {
-                        self.collected.push(t);
-                    }
-                }
-                self.expect -= 1;
-                if self.expect == 0 {
-                    let _ = self.done.send(std::mem::take(&mut self.collected));
-                }
-            }
-            LiveMsg::SubQuery { .. } => {}
-        }
-    }
-}
+// ---- the mesh handle -------------------------------------------------
 
 /// A live mesh: one thread per node, built from an existing overlay's
 /// data placement.
 pub struct LiveMesh {
     cluster: Cluster<LiveMsg>,
     coordinator: NodeId,
-    results: crossbeam::channel::Receiver<Vec<Triple>>,
+    next_qid: AtomicU64,
+    pending: PendingMap,
+    stats: Arc<LiveStats>,
+    space: rdfmesh_chord::IdSpace,
+    ring_view: Arc<Vec<(u64, NodeId)>>,
+    tables: HashMap<NodeId, SharedTable>,
 }
 
 /// The coordinator's well-known address in the live mesh.
@@ -165,11 +619,18 @@ pub const COORDINATOR: NodeId = NodeId(u64::MAX);
 
 impl LiveMesh {
     /// Spawns node threads mirroring `overlay`'s index placement and
-    /// storage contents. For simplicity the live index is one thread per
-    /// index node, each holding the full key → providers map it would own
-    /// (ring routing is already exercised by the simulator; the live mesh
-    /// demonstrates the messaging).
+    /// storage contents, with default timeouts and no planned faults.
     pub fn spawn(overlay: &Overlay) -> Self {
+        Self::spawn_with(overlay, LiveConfig::default(), FaultPlan::new())
+    }
+
+    /// [`LiveMesh::spawn`] with explicit fault-tolerance configuration
+    /// and a [`FaultPlan`] to exercise it. For simplicity the live index
+    /// is one thread per index node, each holding the full
+    /// key → providers map it would own (ring routing is already
+    /// exercised by the simulator; the live mesh demonstrates the
+    /// messaging).
+    pub fn spawn_with(overlay: &Overlay, cfg: LiveConfig, plan: FaultPlan) -> Self {
         let space = overlay.ring().space();
         // Build each index node's location table view from storage data.
         let index_nodes = overlay.index_nodes();
@@ -193,21 +654,26 @@ impl LiveMesh {
             }
         }
 
-        let (done_tx, done_rx) = bounded(1);
         let mut ring_view: Vec<(u64, NodeId)> = index_nodes
             .iter()
             .filter_map(|&addr| overlay.chord_id_of(addr).map(|id| (id.0, addr)))
             .collect();
         ring_view.sort();
         let ring_view = Arc::new(ring_view);
+        let stats = Arc::new(LiveStats::default());
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let mut shared_tables: HashMap<NodeId, SharedTable> = HashMap::new();
         let mut nodes: Vec<(NodeId, Box<dyn Handler<LiveMsg>>)> = Vec::new();
         for ix in &index_nodes {
+            let table: SharedTable = Arc::new(Mutex::new(tables.remove(ix).unwrap_or_default()));
+            shared_tables.insert(*ix, Arc::clone(&table));
             nodes.push((
                 *ix,
                 Box::new(IndexNode {
-                    table: tables.remove(ix).unwrap_or_default(),
+                    table,
                     space,
                     ring_view: Arc::clone(&ring_view),
+                    stats: Arc::clone(&stats),
                 }),
             ));
         }
@@ -218,30 +684,98 @@ impl LiveMesh {
         nodes.push((
             COORDINATOR,
             Box::new(Coordinator {
-                index: index_nodes[0],
-                expect: 0,
-                collected: Vec::new(),
-                done: done_tx,
+                core: CoordinatorCore::new(COORDINATOR, index_nodes[0], cfg),
+                pending: Arc::clone(&pending),
+                shared: Arc::clone(&stats),
+                synced: LiveCounters::default(),
             }),
         ));
-        LiveMesh { cluster: Cluster::spawn(nodes), coordinator: COORDINATOR, results: done_rx }
+        LiveMesh {
+            cluster: Cluster::spawn_with(nodes, plan),
+            coordinator: COORDINATOR,
+            next_qid: AtomicU64::new(1),
+            pending,
+            stats,
+            space,
+            ring_view,
+            tables: shared_tables,
+        }
     }
 
     /// Resolves one triple pattern through the live protocol, blocking up
-    /// to `timeout`. Returns the deduplicated matches, or `None` on
-    /// timeout.
-    pub fn query(&self, pattern: TriplePattern, timeout: Duration) -> Option<Vec<Triple>> {
-        self.cluster.inject(
-            self.coordinator,
-            self.coordinator,
-            LiveMsg::Lookup { pattern, reply_to: self.coordinator },
-        );
-        self.results.recv_timeout(timeout).ok()
+    /// to `timeout` for the caller-side wait. The protocol's own
+    /// deadlines ([`LiveConfig`]) guarantee an answer well before a
+    /// generous `timeout`; `None` means the caller gave up first.
+    pub fn query(&self, pattern: TriplePattern, timeout: Duration) -> Option<LiveAnswer> {
+        let qid = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded(1);
+        lock(&self.pending).insert(qid, tx);
+        self.cluster.inject(self.coordinator, self.coordinator, LiveMsg::Submit { qid, pattern });
+        let answer = rx.recv_timeout(timeout).ok();
+        if answer.is_none() {
+            lock(&self.pending).remove(&qid);
+        }
+        answer
+    }
+
+    /// Test-harness facility: delivers a hand-crafted protocol message as
+    /// if `from` had sent it, bypassing link faults (see
+    /// [`Cluster::inject`]). Fault tests use it to forge late replies
+    /// from earlier queries.
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: LiveMsg) {
+        self.cluster.inject(from, to, msg);
+    }
+
+    /// Crashes `node` at runtime: it stops answering and sends to it fail
+    /// fast. See [`Cluster::crash`].
+    pub fn crash(&self, node: NodeId) -> bool {
+        self.cluster.crash(node)
+    }
+
+    /// Restarts a crashed `node` with its state intact. Its purged
+    /// location-table entries stay purged until it republishes — exactly
+    /// the paper's rejoin behaviour. See [`Cluster::restart`].
+    pub fn restart(&self, node: NodeId) -> bool {
+        self.cluster.restart(node)
+    }
+
+    /// Blocks until `node` has processed everything delivered to it
+    /// before this call — the deterministic fence the fault tests use
+    /// instead of sleeping. See [`Cluster::barrier`].
+    pub fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
+        self.cluster.barrier(node, timeout)
+    }
+
+    /// The index node whose location table owns `pattern`'s key, or
+    /// `None` for the all-variable pattern (which has no key).
+    pub fn index_owner_of(&self, pattern: &TriplePattern) -> Option<NodeId> {
+        key_for_pattern(self.space, pattern).map(|k| owner_in_view(&self.ring_view, k.id.0))
+    }
+
+    /// The owner index node's current location-table row for `pattern`
+    /// (sorted) — the observable target of the lazy removal protocol.
+    pub fn providers_of(&self, pattern: &TriplePattern) -> Vec<NodeId> {
+        let Some(key) = key_for_pattern(self.space, pattern) else { return Vec::new() };
+        let owner = owner_in_view(&self.ring_view, key.id.0);
+        let Some(table) = self.tables.get(&owner) else { return Vec::new() };
+        let mut row = lock(table).get(&key.id.0).cloned().unwrap_or_default();
+        row.sort();
+        row
+    }
+
+    /// Fault-tolerance counters accumulated so far.
+    pub fn stats(&self) -> LiveStatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// Messages delivered so far (across all threads).
     pub fn message_count(&self) -> u64 {
         self.cluster.message_count()
+    }
+
+    /// Messages lost so far to the fault plan or crashed nodes.
+    pub fn dropped_count(&self) -> u64 {
+        self.cluster.dropped_count()
     }
 
     /// Stops every node thread.
@@ -284,21 +818,26 @@ mod tests {
         o
     }
 
+    fn knows_pattern(target: &str) -> TriplePattern {
+        TriplePattern::new(
+            TermPattern::var("x"),
+            Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS),
+            Term::iri(&format!("http://example.org/{target}")),
+        )
+    }
+
     #[test]
     fn live_query_matches_simulated_results() {
         let o = overlay();
         let mesh = LiveMesh::spawn(&o);
-        let pattern = TriplePattern::new(
-            TermPattern::var("x"),
-            Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS),
-            Term::iri("http://example.org/bob"),
-        );
+        let pattern = knows_pattern("bob");
         let live = mesh.query(pattern.clone(), Duration::from_secs(10)).expect("no timeout");
-        assert_eq!(live.len(), 2);
+        assert!(live.complete);
+        assert!(live.failed_providers.is_empty());
+        assert_eq!(live.triples.len(), 2);
         // Oracle agreement.
-        let mut expected: Vec<Triple> = crate::engine::global_store(&o)
-            .match_pattern(&pattern);
-        let mut got = live;
+        let mut expected: Vec<Triple> = crate::engine::global_store(&o).match_pattern(&pattern);
+        let mut got = live.triples;
         expected.sort();
         got.sort();
         assert_eq!(got, expected);
@@ -317,7 +856,8 @@ mod tests {
             TermPattern::var("y"),
         );
         let live = mesh.query(pattern, Duration::from_secs(10)).expect("no timeout");
-        assert!(live.is_empty());
+        assert!(live.complete);
+        assert!(live.triples.is_empty());
         mesh.shutdown();
     }
 
@@ -325,16 +865,302 @@ mod tests {
     fn sequential_queries_reuse_the_mesh() {
         let o = overlay();
         let mesh = LiveMesh::spawn(&o);
-        let knows = Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS);
         for (target, expect) in [("bob", 2), ("carol", 1), ("nobody", 0)] {
-            let pattern = TriplePattern::new(
-                TermPattern::var("x"),
-                knows.clone(),
-                Term::iri(&format!("http://example.org/{target}")),
-            );
-            let live = mesh.query(pattern, Duration::from_secs(10)).expect("no timeout");
-            assert_eq!(live.len(), expect, "target {target}");
+            let live =
+                mesh.query(knows_pattern(target), Duration::from_secs(10)).expect("no timeout");
+            assert!(live.complete, "target {target}");
+            assert_eq!(live.triples.len(), expect, "target {target}");
         }
         mesh.shutdown();
+    }
+
+    // ---- state-machine unit + property tests -------------------------
+
+    mod state_machine {
+        use super::*;
+        use proptest::prelude::*;
+
+        const IX: NodeId = NodeId(1000);
+        const P1: NodeId = NodeId(1);
+        const P2: NodeId = NodeId(2);
+        const P3: NodeId = NodeId(3);
+
+        fn pattern() -> TriplePattern {
+            TriplePattern::new(
+                TermPattern::var("x"),
+                Term::iri("http://example.org/p"),
+                TermPattern::var("y"),
+            )
+        }
+
+        fn triple(n: u64) -> Triple {
+            Triple::new(
+                Term::iri(&format!("http://example.org/s{n}")),
+                Term::iri("http://example.org/p"),
+                Term::iri(&format!("http://example.org/o{n}")),
+            )
+        }
+
+        fn core() -> CoordinatorCore {
+            CoordinatorCore::new(COORDINATOR, IX, LiveConfig::default())
+        }
+
+        fn finishes(actions: &[Action]) -> Vec<(QueryId, LiveAnswer)> {
+            actions
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Finish { qid, answer } => Some((*qid, answer.clone())),
+                    _ => None,
+                })
+                .collect()
+        }
+
+        #[test]
+        fn duplicate_matches_are_dropped_not_underflowed() {
+            // The seed bug: `expect -= 1` panicked (debug) or wrapped
+            // (release) on a duplicate or post-completion reply.
+            let mut c = core();
+            let qid = QueryId(1);
+            c.on_event(COORDINATOR, LiveMsg::Submit { qid, pattern: pattern() });
+            c.on_event(
+                IX,
+                LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1, P2] },
+            );
+            let a1 = c.on_event(P1, LiveMsg::Matches { qid, triples: vec![triple(1)] });
+            assert!(finishes(&a1).is_empty());
+            // Duplicate from P1: dropped, not applied.
+            let dup = c.on_event(P1, LiveMsg::Matches { qid, triples: vec![triple(9)] });
+            assert!(dup.is_empty());
+            assert_eq!(c.counters.stale_replies, 1);
+            let a2 = c.on_event(P2, LiveMsg::Matches { qid, triples: vec![triple(2)] });
+            let done = finishes(&a2);
+            assert_eq!(done.len(), 1);
+            assert!(done[0].1.complete);
+            assert_eq!(done[0].1.triples, vec![triple(1), triple(2)]);
+            // Post-completion reply: dropped.
+            let late = c.on_event(P2, LiveMsg::Matches { qid, triples: vec![triple(3)] });
+            assert!(late.is_empty());
+            assert_eq!(c.counters.stale_replies, 2);
+        }
+
+        #[test]
+        fn cross_query_replies_cannot_contaminate() {
+            let mut c = core();
+            let q1 = QueryId(1);
+            let q2 = QueryId(2);
+            c.on_event(COORDINATOR, LiveMsg::Submit { qid: q1, pattern: pattern() });
+            c.on_event(IX, LiveMsg::Providers { qid: q1, pattern: pattern(), providers: vec![P1] });
+            let done = c.on_event(P1, LiveMsg::Matches { qid: q1, triples: vec![triple(1)] });
+            assert_eq!(finishes(&done).len(), 1);
+            // Query 2 starts; a late reply tagged with q1 arrives.
+            c.on_event(COORDINATOR, LiveMsg::Submit { qid: q2, pattern: pattern() });
+            c.on_event(
+                IX,
+                LiveMsg::Providers { qid: q2, pattern: pattern(), providers: vec![P1, P2] },
+            );
+            assert!(c.on_event(P1, LiveMsg::Matches { qid: q1, triples: vec![triple(8)] })
+                .is_empty());
+            let a1 = c.on_event(P1, LiveMsg::Matches { qid: q2, triples: vec![triple(2)] });
+            assert!(finishes(&a1).is_empty());
+            let a2 = c.on_event(P2, LiveMsg::Matches { qid: q2, triples: vec![triple(3)] });
+            let done = finishes(&a2);
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].1.triples, vec![triple(2), triple(3)], "q1's late reply excluded");
+        }
+
+        #[test]
+        fn exhausted_ack_deadline_purges_and_reports_partial() {
+            let mut c = core();
+            let qid = QueryId(7);
+            c.on_event(COORDINATOR, LiveMsg::Submit { qid, pattern: pattern() });
+            c.on_event(
+                IX,
+                LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1, P2] },
+            );
+            c.on_event(P1, LiveMsg::Matches { qid, triples: vec![triple(1)] });
+            // P2 never answers: deadline at attempt 0 retries...
+            let retry = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::Ack { provider: P2, attempt: 0 } },
+            );
+            assert!(retry.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: LiveMsg::SubQuery { .. } } if *to == P2
+            )));
+            assert_eq!(c.counters.retries, 1);
+            // ...and the deadline at attempt 1 gives up.
+            let give_up = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::Ack { provider: P2, attempt: 1 } },
+            );
+            assert!(give_up.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: LiveMsg::ProviderDead { provider, .. } }
+                    if *to == IX && *provider == P2
+            )));
+            let done = finishes(&give_up);
+            assert_eq!(done.len(), 1);
+            let answer = &done[0].1;
+            assert!(!answer.complete);
+            assert_eq!(answer.failed_providers, vec![P2]);
+            assert_eq!(answer.triples, vec![triple(1)]);
+            assert_eq!(c.counters.ack_timeouts, 1);
+        }
+
+        #[test]
+        fn failed_send_is_an_immediate_ack_timeout() {
+            let mut c = core();
+            let qid = QueryId(3);
+            c.on_event(COORDINATOR, LiveMsg::Submit { qid, pattern: pattern() });
+            let acts =
+                c.on_event(IX, LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1] });
+            let sub = acts
+                .iter()
+                .find_map(|a| match a {
+                    Action::Send { to, msg } if *to == P1 => Some(msg.clone()),
+                    _ => None,
+                })
+                .expect("subquery sent");
+            // First failure retries (attempt 0 -> 1), second gives up.
+            let retry = c.on_send_failed(P1, sub.clone());
+            assert!(retry
+                .iter()
+                .any(|a| matches!(a, Action::Send { msg: LiveMsg::SubQuery { .. }, .. })));
+            let give_up = c.on_send_failed(P1, sub);
+            let done = finishes(&give_up);
+            assert_eq!(done.len(), 1);
+            assert!(!done[0].1.complete);
+            assert_eq!(done[0].1.failed_providers, vec![P1]);
+            assert_eq!(c.counters.send_failures, 2);
+        }
+
+        #[test]
+        fn lookup_timeout_retries_then_fails_within_deadline() {
+            let mut c = core();
+            let qid = QueryId(4);
+            c.on_event(COORDINATOR, LiveMsg::Submit { qid, pattern: pattern() });
+            let retry = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::Lookup { attempt: 0 } },
+            );
+            assert!(retry
+                .iter()
+                .any(|a| matches!(a, Action::Send { msg: LiveMsg::Lookup { .. }, .. })));
+            let give_up = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::Lookup { attempt: 1 } },
+            );
+            let done = finishes(&give_up);
+            assert_eq!(done.len(), 1);
+            assert!(!done[0].1.complete);
+            assert_eq!(c.counters.lookup_failures, 1);
+        }
+
+        /// One abstract protocol event for the interleaving property.
+        #[derive(Debug, Clone)]
+        enum Ev {
+            Providers { stale: bool, providers: Vec<NodeId> },
+            Matches { stale_qid: bool, from: NodeId, triples: Vec<Triple> },
+            AckDeadline { provider: NodeId, attempt: u8 },
+            LookupDeadline { attempt: u8 },
+            Overall,
+        }
+
+        fn arb_provider() -> impl Strategy<Value = NodeId> {
+            prop_oneof![Just(P1), Just(P2), Just(P3), Just(NodeId(99))]
+        }
+
+        fn arb_event() -> impl Strategy<Value = Ev> {
+            prop_oneof![
+                (any::<bool>(), proptest::collection::vec(arb_provider(), 0..4))
+                    .prop_map(|(stale, providers)| Ev::Providers { stale, providers }),
+                (any::<bool>(), arb_provider(), proptest::collection::vec(0u64..6, 0..3))
+                    .prop_map(|(stale_qid, from, ts)| Ev::Matches {
+                        stale_qid,
+                        from,
+                        triples: ts.into_iter().map(triple).collect(),
+                    }),
+                (arb_provider(), 0u8..3)
+                    .prop_map(|(provider, attempt)| Ev::AckDeadline { provider, attempt }),
+                (0u8..3).prop_map(|attempt| Ev::LookupDeadline { attempt }),
+                Just(Ev::Overall),
+            ]
+        }
+
+        proptest! {
+            /// Arbitrary interleavings of in-order, late, duplicate, and
+            /// dropped replies: the machine never panics, never finishes
+            /// a query twice, always terminates once the overall deadline
+            /// fires, and only reports `complete` when no provider
+            /// failed.
+            #[test]
+            fn interleavings_terminate_exactly_once(
+                events in proptest::collection::vec(arb_event(), 0..40)
+            ) {
+                let mut c = core();
+                let qid = QueryId(1);
+                let stale = QueryId(999);
+                let mut done: Vec<LiveAnswer> = Vec::new();
+                let record = |actions: Vec<Action>, done: &mut Vec<LiveAnswer>| {
+                    for (q, answer) in finishes(&actions) {
+                        prop_assert_eq!(q, qid, "only the submitted query can finish");
+                        done.push(answer);
+                    }
+                    Ok(())
+                };
+                record(
+                    c.on_event(COORDINATOR, LiveMsg::Submit { qid, pattern: pattern() }),
+                    &mut done,
+                )?;
+                for ev in &events {
+                    let actions = match ev.clone() {
+                        Ev::Providers { stale: s, providers } => c.on_event(
+                            IX,
+                            LiveMsg::Providers {
+                                qid: if s { stale } else { qid },
+                                pattern: pattern(),
+                                providers,
+                            },
+                        ),
+                        Ev::Matches { stale_qid, from, triples } => c.on_event(
+                            from,
+                            LiveMsg::Matches { qid: if stale_qid { stale } else { qid }, triples },
+                        ),
+                        Ev::AckDeadline { provider, attempt } => c.on_event(
+                            COORDINATOR,
+                            LiveMsg::Deadline {
+                                qid,
+                                stage: DeadlineStage::Ack { provider, attempt },
+                            },
+                        ),
+                        Ev::LookupDeadline { attempt } => c.on_event(
+                            COORDINATOR,
+                            LiveMsg::Deadline { qid, stage: DeadlineStage::Lookup { attempt } },
+                        ),
+                        Ev::Overall => c.on_event(
+                            COORDINATOR,
+                            LiveMsg::Deadline { qid, stage: DeadlineStage::Overall },
+                        ),
+                    };
+                    record(actions, &mut done)?;
+                }
+                // The overall deadline always fires eventually.
+                record(
+                    c.on_event(COORDINATOR, LiveMsg::Deadline { qid, stage: DeadlineStage::Overall }),
+                    &mut done,
+                )?;
+                prop_assert_eq!(done.len(), 1, "exactly one completion, never two");
+                let answer = &done[0];
+                if answer.complete {
+                    prop_assert!(answer.failed_providers.is_empty());
+                }
+                // Dedup invariant: no triple reported twice.
+                let mut seen = std::collections::HashSet::new();
+                for t in &answer.triples {
+                    prop_assert!(seen.insert(t.clone()), "duplicate triple in answer");
+                }
+                prop_assert!(c.in_flight.is_empty(), "no state leaks after completion");
+            }
+        }
     }
 }

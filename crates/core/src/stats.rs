@@ -90,6 +90,100 @@ impl std::fmt::Display for QueryStats {
     }
 }
 
+/// Shared fault-tolerance counters of one [`crate::LiveMesh`].
+///
+/// Bumped by the coordinator's state machine and the index nodes as the
+/// live protocol detects churn; every bump is mirrored into the global
+/// [`rdfmesh_obs::metrics()`] registry under the `live.*` names so the
+/// soak experiment (§E16) and dashboards see the same numbers.
+#[derive(Debug, Default)]
+pub struct LiveStats {
+    retries: std::sync::atomic::AtomicU64,
+    ack_timeouts: std::sync::atomic::AtomicU64,
+    send_failures: std::sync::atomic::AtomicU64,
+    stale_replies: std::sync::atomic::AtomicU64,
+    providers_purged: std::sync::atomic::AtomicU64,
+    incomplete_queries: std::sync::atomic::AtomicU64,
+    lookup_failures: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time copy of [`LiveStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStatsSnapshot {
+    /// Sub-query/lookup retransmissions after an expired ack deadline.
+    pub retries: u64,
+    /// Providers declared dead after the bounded retries were exhausted.
+    pub ack_timeouts: u64,
+    /// Failed `Outbox::send`s, each treated as an immediate ack timeout.
+    pub send_failures: u64,
+    /// Replies dropped as stale (wrong/finished query, duplicate sender).
+    pub stale_replies: u64,
+    /// Location-table entries lazily purged via `ProviderDead`.
+    pub providers_purged: u64,
+    /// Queries answered with `complete == false`.
+    pub incomplete_queries: u64,
+    /// Lookups the index node never answered within the deadline.
+    pub lookup_failures: u64,
+}
+
+impl LiveStats {
+    fn bump(counter: &std::sync::atomic::AtomicU64, name: &'static str, delta: u64) {
+        if delta > 0 {
+            counter.fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+            rdfmesh_obs::metrics().add(name, delta);
+        }
+    }
+
+    /// Adds `delta` retransmissions.
+    pub fn add_retries(&self, delta: u64) {
+        Self::bump(&self.retries, rdfmesh_obs::names::LIVE_RETRIES, delta);
+    }
+
+    /// Adds `delta` exhausted-retry provider deaths.
+    pub fn add_ack_timeouts(&self, delta: u64) {
+        Self::bump(&self.ack_timeouts, rdfmesh_obs::names::LIVE_ACK_TIMEOUTS, delta);
+    }
+
+    /// Adds `delta` failed sends.
+    pub fn add_send_failures(&self, delta: u64) {
+        Self::bump(&self.send_failures, rdfmesh_obs::names::LIVE_SEND_FAILURES, delta);
+    }
+
+    /// Adds `delta` stale replies.
+    pub fn add_stale_replies(&self, delta: u64) {
+        Self::bump(&self.stale_replies, rdfmesh_obs::names::LIVE_STALE_REPLIES, delta);
+    }
+
+    /// Adds `delta` lazily purged location-table entries.
+    pub fn add_providers_purged(&self, delta: u64) {
+        Self::bump(&self.providers_purged, rdfmesh_obs::names::LIVE_PROVIDERS_PURGED, delta);
+    }
+
+    /// Adds `delta` incomplete query completions.
+    pub fn add_incomplete_queries(&self, delta: u64) {
+        Self::bump(&self.incomplete_queries, rdfmesh_obs::names::LIVE_INCOMPLETE_QUERIES, delta);
+    }
+
+    /// Adds `delta` abandoned lookups.
+    pub fn add_lookup_failures(&self, delta: u64) {
+        Self::bump(&self.lookup_failures, rdfmesh_obs::names::LIVE_LOOKUP_FAILURES, delta);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> LiveStatsSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        LiveStatsSnapshot {
+            retries: self.retries.load(Relaxed),
+            ack_timeouts: self.ack_timeouts.load(Relaxed),
+            send_failures: self.send_failures.load(Relaxed),
+            stale_replies: self.stale_replies.load(Relaxed),
+            providers_purged: self.providers_purged.load(Relaxed),
+            incomplete_queries: self.incomplete_queries.load(Relaxed),
+            lookup_failures: self.lookup_failures.load(Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

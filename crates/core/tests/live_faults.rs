@@ -1,0 +1,234 @@
+//! Fault-injection tests for the live mesh (docs/FAULTS.md).
+//!
+//! Every assertion here is deterministic: where an outcome depends on
+//! another thread having processed a message, the test fences with
+//! [`LiveMesh::barrier`] (FIFO mailboxes make "barrier acked" imply
+//! "everything delivered earlier was handled") instead of sleeping.
+
+use std::time::Duration;
+
+use rdfmesh_core::{FaultPlan, LiveConfig, LiveMesh, LiveMsg, QueryId, COORDINATOR};
+use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
+use rdfmesh_overlay::Overlay;
+use rdfmesh_rdf::{Term, TermPattern, Triple, TriplePattern};
+
+const STORAGE_A: NodeId = NodeId(1);
+const STORAGE_B: NodeId = NodeId(2);
+
+/// Three index nodes (1000–1002) and two storage nodes: A holds two
+/// `x foaf:knows bob/carol` triples, B holds one `dave foaf:knows bob`.
+fn overlay() -> Overlay {
+    let net = Network::new(LatencyModel::Uniform(SimTime::millis(1)), 12.5);
+    let mut o = Overlay::new(32, 4, 2, net);
+    for i in 0..3u64 {
+        let addr = NodeId(1000 + i);
+        let pos = o.ring().space().hash(&addr.0.to_be_bytes());
+        o.add_index_node(addr, pos).unwrap();
+    }
+    let person = |n: &str| Term::iri(&format!("http://example.org/{n}"));
+    let knows = Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS);
+    o.add_storage_node(
+        STORAGE_A,
+        NodeId(1000),
+        vec![
+            Triple::new(person("alice"), knows.clone(), person("bob")),
+            Triple::new(person("alice"), knows.clone(), person("carol")),
+        ],
+    )
+    .unwrap();
+    o.add_storage_node(
+        STORAGE_B,
+        NodeId(1001),
+        vec![Triple::new(person("dave"), knows, person("bob"))],
+    )
+    .unwrap();
+    o
+}
+
+fn knows_bob() -> TriplePattern {
+    TriplePattern::new(
+        TermPattern::var("x"),
+        Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS),
+        Term::iri("http://example.org/bob"),
+    )
+}
+
+/// Simulator-side oracle: the matches the overlay's storage nodes would
+/// produce, restricted to the given live nodes.
+fn oracle(o: &Overlay, pattern: &TriplePattern, live: &[NodeId]) -> Vec<Triple> {
+    let mut expected: Vec<Triple> = live
+        .iter()
+        .flat_map(|n| o.storage_node(*n).expect("storage node").store.match_pattern(pattern))
+        .collect();
+    expected.sort();
+    expected.dedup();
+    expected
+}
+
+fn sorted(mut triples: Vec<Triple>) -> Vec<Triple> {
+    triples.sort();
+    triples
+}
+
+fn tight() -> LiveConfig {
+    LiveConfig {
+        ack_timeout: Duration::from_millis(50),
+        lookup_timeout: Duration::from_millis(50),
+        query_deadline: Duration::from_secs(2),
+        retries: 1,
+    }
+}
+
+/// Fences the ProviderDead path: the notification enters at the
+/// coordinator's entry index node and is forwarded at most once to the
+/// key owner, so fencing every index node twice (in any order) fences
+/// the whole route.
+fn fence_index_nodes(mesh: &LiveMesh, o: &Overlay) {
+    for _ in 0..2 {
+        for ix in o.index_nodes() {
+            assert!(mesh.barrier(ix, Duration::from_secs(5)), "barrier on {ix:?}");
+        }
+    }
+}
+
+#[test]
+fn crashed_provider_yields_partial_result_and_lazy_purge() {
+    let o = overlay();
+    let cfg = tight();
+    // Storage B is down from the start: sends to it fail fast, which the
+    // coordinator treats as immediate ack timeouts (Sect. III-D).
+    let mesh = LiveMesh::spawn_with(&o, cfg, FaultPlan::new().crash(STORAGE_B));
+    let pattern = knows_bob();
+
+    // Before the query, the owner's location table still lists B: the
+    // index learns about the crash only lazily, from a failed query.
+    let before = mesh.providers_of(&pattern);
+    assert_eq!(before, vec![STORAGE_A, STORAGE_B]);
+
+    let answer = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
+    assert!(!answer.complete, "a lost provider must be reported");
+    assert_eq!(answer.failed_providers, vec![STORAGE_B]);
+    assert_eq!(sorted(answer.triples), oracle(&o, &pattern, &[STORAGE_A]));
+
+    // Lazy removal: the ProviderDead notification was enqueued before the
+    // answer was released, so fencing the index route makes it visible.
+    fence_index_nodes(&mesh, &o);
+    assert_eq!(mesh.providers_of(&pattern), vec![STORAGE_A]);
+
+    let stats = mesh.stats();
+    assert_eq!(stats.ack_timeouts, 1);
+    assert_eq!(stats.providers_purged, 1);
+    assert_eq!(stats.incomplete_queries, 1);
+    assert!(stats.send_failures >= 2, "initial send and its retry both fail");
+
+    // Restart does not resurrect the purged entry (the node must
+    // republish, as in the paper's rejoin): the next query is complete
+    // over the remaining provider alone.
+    assert!(mesh.restart(STORAGE_B));
+    let again = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
+    assert!(again.complete);
+    assert_eq!(sorted(again.triples), oracle(&o, &pattern, &[STORAGE_A]));
+    mesh.shutdown();
+}
+
+#[test]
+fn dropped_subquery_is_retried_to_a_complete_answer() {
+    let o = overlay();
+    let cfg = tight();
+    // Silently lose the first coordinator → A message: that is the
+    // sub-query, whose ack deadline must retransmit it.
+    let mesh =
+        LiveMesh::spawn_with(&o, cfg, FaultPlan::new().drop_nth(COORDINATOR, STORAGE_A, 1));
+    let pattern = knows_bob();
+    let answer = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
+    assert!(answer.complete, "one bounded retry must recover a single drop");
+    assert!(answer.failed_providers.is_empty());
+    assert_eq!(sorted(answer.triples), oracle(&o, &pattern, &[STORAGE_A, STORAGE_B]));
+    assert_eq!(mesh.dropped_count(), 1);
+    let stats = mesh.stats();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.ack_timeouts, 0, "the provider answered on the retry");
+    assert_eq!(stats.incomplete_queries, 0);
+    mesh.shutdown();
+}
+
+#[test]
+fn stale_reply_from_an_earlier_query_cannot_contaminate_the_next() {
+    let o = overlay();
+    let mesh = LiveMesh::spawn(&o);
+    let pattern = knows_bob();
+
+    let first = mesh.query(pattern.clone(), Duration::from_secs(10)).expect("within deadline");
+    assert!(first.complete);
+    assert_eq!(first.triples.len(), 2);
+
+    // Forge a delayed duplicate of query 1's reply, carrying query 1's
+    // id (ids start at 1) and a triple that exists nowhere, arriving
+    // between the two queries. The inject happens-before query 2's
+    // submission (same FIFO mailbox, same sending thread).
+    let bogus = Triple::new(
+        Term::iri("http://example.org/mallory"),
+        Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS),
+        Term::iri("http://example.org/bob"),
+    );
+    mesh.inject(
+        STORAGE_A,
+        COORDINATOR,
+        LiveMsg::Matches { qid: QueryId(1), triples: vec![bogus.clone()] },
+    );
+
+    let second = mesh.query(pattern.clone(), Duration::from_secs(10)).expect("within deadline");
+    assert!(second.complete);
+    assert!(!second.triples.contains(&bogus), "stale reply leaked into the next query");
+    assert_eq!(sorted(second.triples), oracle(&o, &pattern, &[STORAGE_A, STORAGE_B]));
+    assert_eq!(mesh.stats().stale_replies, 1);
+    mesh.shutdown();
+}
+
+#[test]
+fn unreachable_index_fails_the_lookup_within_the_deadline() {
+    let o = overlay();
+    let cfg = tight();
+    let mut plan = FaultPlan::new();
+    for ix in o.index_nodes() {
+        plan = plan.crash(ix);
+    }
+    let mesh = LiveMesh::spawn_with(&o, cfg, plan);
+    let answer = mesh.query(knows_bob(), cfg.query_deadline).expect("within deadline");
+    assert!(!answer.complete);
+    assert!(answer.triples.is_empty());
+    let stats = mesh.stats();
+    assert_eq!(stats.lookup_failures, 1);
+    assert_eq!(stats.send_failures, 2, "initial lookup and its retry");
+    assert_eq!(stats.incomplete_queries, 1);
+    mesh.shutdown();
+}
+
+#[test]
+fn runtime_crash_between_queries_degrades_then_purges() {
+    let o = overlay();
+    let cfg = tight();
+    let mesh = LiveMesh::spawn_with(&o, cfg, FaultPlan::new());
+    let pattern = knows_bob();
+
+    let healthy = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
+    assert!(healthy.complete);
+    assert_eq!(sorted(healthy.triples), oracle(&o, &pattern, &[STORAGE_A, STORAGE_B]));
+
+    // B crashes at runtime; the very next query degrades gracefully.
+    assert!(mesh.crash(STORAGE_B));
+    let degraded = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
+    assert!(!degraded.complete);
+    assert_eq!(degraded.failed_providers, vec![STORAGE_B]);
+    assert_eq!(sorted(degraded.triples), oracle(&o, &pattern, &[STORAGE_A]));
+
+    fence_index_nodes(&mesh, &o);
+    assert_eq!(mesh.providers_of(&pattern), vec![STORAGE_A]);
+    assert_eq!(mesh.stats().providers_purged, 1);
+
+    // With the dead entry purged, the mesh answers complete again.
+    let recovered = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
+    assert!(recovered.complete);
+    assert_eq!(sorted(recovered.triples), oracle(&o, &pattern, &[STORAGE_A]));
+    mesh.shutdown();
+}

@@ -6,15 +6,25 @@
 //! (the system could be dropped onto sockets with only this module
 //! swapped). Nodes are user-supplied handler closures; the cluster routes
 //! envelopes, counts traffic with atomics, and shuts down cleanly.
+//!
+//! Fault tolerance is exercised through [`crate::FaultPlan`] (declarative
+//! crash / drop / delay schedules), [`Cluster::crash`] /
+//! [`Cluster::restart`] (runtime liveness control), and a per-cluster
+//! timer thread so handlers can schedule deadline messages to themselves
+//! with [`Outbox::schedule`] — the building block for the paper's
+//! query-ack timeouts (Sect. III-D) on real threads. See `docs/FAULTS.md`.
 
-use std::collections::HashMap;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::fault::{FaultPlan, FaultState, SendFate};
 use crate::network::NodeId;
 
 /// A routed message.
@@ -30,6 +40,9 @@ pub struct Envelope<M> {
 
 enum Packet<M> {
     Deliver(Envelope<M>),
+    /// Flush marker: acknowledged by the node thread itself (even while
+    /// the node is crashed), after every previously queued packet.
+    Barrier(Sender<()>),
     Shutdown,
 }
 
@@ -40,6 +53,43 @@ type PendingNode<M> = (NodeId, Receiver<Packet<M>>, Box<dyn Handler<M>>);
 pub struct ClusterStats {
     /// Messages delivered between distinct nodes.
     pub messages: AtomicU64,
+    /// Messages silently lost by the fault plan (drops), plus deliveries
+    /// discarded because the destination was crashed at delivery time.
+    pub dropped: AtomicU64,
+}
+
+/// An entry in the timer thread's deadline heap: deliver `payload` from
+/// `from` to `to` at `at`. Ordered by `(at, seq)` so equal deadlines fire
+/// in schedule order.
+struct TimerEntry<M> {
+    at: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: M,
+}
+
+impl<M> PartialEq for TimerEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for TimerEntry<M> {}
+impl<M> PartialOrd for TimerEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for TimerEntry<M> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+enum TimerCmd<M> {
+    Schedule(TimerEntry<M>),
+    Shutdown,
 }
 
 /// Handle through which a node handler sends messages to peers.
@@ -47,6 +97,9 @@ pub struct Outbox<M> {
     me: NodeId,
     senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
     stats: Arc<ClusterStats>,
+    faults: Arc<FaultState>,
+    timer: Sender<TimerCmd<M>>,
+    timer_seq: Arc<AtomicU64>,
 }
 
 impl<M> Outbox<M> {
@@ -56,14 +109,48 @@ impl<M> Outbox<M> {
     }
 
     /// Sends `payload` to `to`. Returns `false` if the peer is unknown or
-    /// its mailbox is closed (peer shut down) — the ad-hoc setting treats
-    /// that as a detectable timeout, not an error.
+    /// crashed (mailbox unreachable) — the ad-hoc setting treats that as
+    /// a detectable timeout, not an error. A send the fault plan drops or
+    /// delays still returns `true`: the loss is only observable through
+    /// the sender's own deadlines (Sect. III-D).
     pub fn send(&self, to: NodeId, payload: M) -> bool {
         let Some(tx) = self.senders.get(&to) else { return false };
-        if to != self.me {
-            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        match self.faults.on_send(self.me, to) {
+            SendFate::Refuse => false,
+            SendFate::Drop => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            SendFate::Delay(by) => {
+                self.schedule_entry(by, self.me, to, payload);
+                true
+            }
+            SendFate::Deliver => {
+                if to != self.me {
+                    self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                }
+                tx.send(Packet::Deliver(Envelope { from: self.me, to, payload })).is_ok()
+            }
         }
-        tx.send(Packet::Deliver(Envelope { from: self.me, to, payload })).is_ok()
+    }
+
+    /// Schedules `payload` for delivery to *this node itself* after
+    /// `after` — a deadline message. Self-deadlines bypass the fault
+    /// plan's link faults (they never cross the network) but are
+    /// discarded like any delivery if the node is crashed when they fire.
+    pub fn schedule(&self, after: Duration, payload: M) {
+        self.schedule_entry(after, self.me, self.me, payload);
+    }
+
+    fn schedule_entry(&self, after: Duration, from: NodeId, to: NodeId, payload: M) {
+        let entry = TimerEntry {
+            at: Instant::now() + after,
+            seq: self.timer_seq.fetch_add(1, Ordering::Relaxed),
+            from,
+            to,
+            payload,
+        };
+        let _ = self.timer.send(TimerCmd::Schedule(entry));
     }
 
     /// The node ids reachable from this node.
@@ -79,6 +166,8 @@ pub struct Cluster<M: Send + 'static> {
     senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     stats: Arc<ClusterStats>,
+    faults: Arc<FaultState>,
+    timer: Sender<TimerCmd<M>>,
 }
 
 /// A node's behaviour: invoked once per delivered envelope.
@@ -96,10 +185,63 @@ where
     }
 }
 
+fn run_timer<M: Send + 'static>(
+    rx: Receiver<TimerCmd<M>>,
+    senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    stats: Arc<ClusterStats>,
+) {
+    let mut heap: BinaryHeap<TimerEntry<M>> = BinaryHeap::new();
+    loop {
+        // Fire everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|e| e.at <= now) {
+            let e = heap.pop().expect("peeked");
+            if e.from != e.to {
+                stats.messages.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(tx) = senders.get(&e.to) {
+                let _ = tx.send(Packet::Deliver(Envelope {
+                    from: e.from,
+                    to: e.to,
+                    payload: e.payload,
+                }));
+            }
+        }
+        // Sleep until the next deadline or the next command.
+        let cmd = match heap.peek() {
+            Some(e) => {
+                let wait = e.at.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(cmd) => Some(cmd),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match rx.recv() {
+                Ok(cmd) => Some(cmd),
+                Err(_) => return,
+            },
+        };
+        match cmd {
+            Some(TimerCmd::Schedule(e)) => heap.push(e),
+            Some(TimerCmd::Shutdown) => return,
+            None => {}
+        }
+    }
+}
+
 impl<M: Send + 'static> Cluster<M> {
-    /// Spawns one thread per `(id, handler)` pair. All nodes can reach
-    /// each other by id (IP addresses in the paper's architecture).
+    /// Spawns one thread per `(id, handler)` pair with no planned faults.
+    /// All nodes can reach each other by id (IP addresses in the paper's
+    /// architecture).
     pub fn spawn(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>) -> Self {
+        Self::spawn_with(nodes, FaultPlan::new())
+    }
+
+    /// [`Cluster::spawn`] under a [`FaultPlan`]: nodes listed as crashed
+    /// start unresponsive, and the plan's link drops/delays apply to
+    /// every [`Outbox::send`].
+    pub fn spawn_with(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>, plan: FaultPlan) -> Self {
         let mut senders = HashMap::new();
         let mut receivers: Vec<PendingNode<M>> = Vec::new();
         for (id, handler) in nodes {
@@ -109,25 +251,54 @@ impl<M: Send + 'static> Cluster<M> {
         }
         let senders = Arc::new(senders);
         let stats = Arc::new(ClusterStats::default());
+        let faults = Arc::new(FaultState::from_plan(plan));
+        let (timer_tx, timer_rx) = unbounded();
+        let timer_seq = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
+        handles.push({
+            let senders = Arc::clone(&senders);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || run_timer(timer_rx, senders, stats))
+        });
         for (id, rx, mut handler) in receivers {
-            let outbox =
-                Outbox { me: id, senders: Arc::clone(&senders), stats: Arc::clone(&stats) };
+            let outbox = Outbox {
+                me: id,
+                senders: Arc::clone(&senders),
+                stats: Arc::clone(&stats),
+                faults: Arc::clone(&faults),
+                timer: timer_tx.clone(),
+                timer_seq: Arc::clone(&timer_seq),
+            };
+            let faults = Arc::clone(&faults);
             handles.push(std::thread::spawn(move || {
                 while let Ok(packet) = rx.recv() {
                     match packet {
-                        Packet::Deliver(env) => handler.on_message(env, &outbox),
+                        Packet::Deliver(env) => {
+                            // A crashed node is a running thread that
+                            // discards its deliveries; restart makes it
+                            // responsive again with state intact.
+                            if faults.is_crashed(id) {
+                                outbox.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                handler.on_message(env, &outbox);
+                            }
+                        }
+                        Packet::Barrier(ack) => {
+                            let _ = ack.send(());
+                        }
                         Packet::Shutdown => break,
                     }
                 }
             }));
         }
-        Cluster { senders, handles: Mutex::new(handles), stats }
+        Cluster { senders, handles: Mutex::new(handles), stats, faults, timer: timer_tx }
     }
 
     /// Injects a message from the outside world (e.g. the external
     /// application submitting a query in Fig. 3). `from` names the logical
-    /// origin.
+    /// origin. Injection is a test-harness facility: it bypasses the
+    /// fault plan's link faults (but a crashed destination still discards
+    /// the delivery).
     pub fn inject(&self, from: NodeId, to: NodeId, payload: M) -> bool {
         let Some(tx) = self.senders.get(&to) else { return false };
         if from != to {
@@ -136,9 +307,49 @@ impl<M: Send + 'static> Cluster<M> {
         tx.send(Packet::Deliver(Envelope { from, to, payload })).is_ok()
     }
 
+    /// Crashes `node` at runtime: it stops processing deliveries and
+    /// sends addressed to it fail fast. Returns `false` if it was already
+    /// crashed or unknown.
+    pub fn crash(&self, node: NodeId) -> bool {
+        self.senders.contains_key(&node) && self.faults.crash(node)
+    }
+
+    /// Restarts a crashed `node`: its thread (never actually stopped)
+    /// resumes processing with its handler state intact. Messages that
+    /// arrived while it was down are lost. Returns `false` if it was not
+    /// crashed.
+    pub fn restart(&self, node: NodeId) -> bool {
+        self.senders.contains_key(&node) && self.faults.restart(node)
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.faults.is_crashed(node)
+    }
+
+    /// Blocks until `node` has drained every packet queued before this
+    /// call, or `timeout` elapses. Mailboxes are FIFO, so a `true` return
+    /// means every earlier delivery to `node` has been fully processed —
+    /// the deterministic fence the fault tests use instead of sleeping.
+    /// Works on crashed nodes too (their thread still drains packets).
+    pub fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
+        let Some(tx) = self.senders.get(&node) else { return false };
+        let (ack_tx, ack_rx) = bounded(1);
+        if tx.send(Packet::Barrier(ack_tx)).is_err() {
+            return false;
+        }
+        ack_rx.recv_timeout(timeout).is_ok()
+    }
+
     /// Messages delivered so far.
     pub fn message_count(&self) -> u64 {
         self.stats.messages.load(Ordering::Relaxed)
+    }
+
+    /// Messages lost so far (fault-plan drops plus deliveries discarded
+    /// at crashed nodes).
+    pub fn dropped_count(&self) -> u64 {
+        self.stats.dropped.load(Ordering::Relaxed)
     }
 
     /// Stops every node thread and waits for them to finish.
@@ -146,6 +357,7 @@ impl<M: Send + 'static> Cluster<M> {
         for tx in self.senders.values() {
             let _ = tx.send(Packet::Shutdown);
         }
+        let _ = self.timer.send(TimerCmd::Shutdown);
         let mut handles = self.handles.lock();
         for h in handles.drain(..) {
             let _ = h.join();
@@ -234,5 +446,22 @@ mod tests {
         cluster.shutdown();
         cluster.shutdown();
         drop(cluster);
+    }
+
+    #[test]
+    fn barrier_fences_prior_deliveries() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let seen = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&seen);
+        let node = move |_env: Envelope<u8>, _out: &Outbox<u8>| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        };
+        let cluster = Cluster::spawn(vec![(NodeId(1), Box::new(node) as Box<dyn Handler<u8>>)]);
+        for _ in 0..100 {
+            cluster.inject(NodeId(0), NodeId(1), 1);
+        }
+        assert!(cluster.barrier(NodeId(1), Duration::from_secs(5)));
+        assert_eq!(seen.load(Ordering::SeqCst), 100);
+        cluster.shutdown();
     }
 }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod sched;
@@ -21,6 +22,7 @@ pub mod stats;
 pub mod time;
 
 pub use cluster::{Cluster, ClusterStats, Envelope, Handler, Outbox};
+pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use network::{Network, NodeId, TraceEntry};
 pub use sched::Scheduler;

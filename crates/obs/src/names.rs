@@ -30,3 +30,26 @@ pub const NET_BYTES_CACHE_HIT_PATH: &str = "net.bytes.cache_hit_path";
 pub const NET_BYTES_CACHE_MISS_PATH: &str = "net.bytes.cache_miss_path";
 /// Per-query end-to-end response time in simulated microseconds.
 pub const ENGINE_RESPONSE_TIME_US: &str = "engine.response_time_us";
+
+// ---- live-mesh fault tolerance (docs/FAULTS.md) ----------------------
+
+/// Sub-query or lookup retransmissions after an ack deadline expired.
+pub const LIVE_RETRIES: &str = "live.retries";
+/// Providers declared dead after the bounded retries were exhausted
+/// (the Sect. III-D query-ack timeout on real threads).
+pub const LIVE_ACK_TIMEOUTS: &str = "live.ack_timeouts";
+/// `Outbox::send` failures (crashed/unknown peer), each treated as an
+/// immediate ack timeout.
+pub const LIVE_SEND_FAILURES: &str = "live.send_failures";
+/// Replies dropped because they named no in-flight query, a provider
+/// that already answered, or an already-finished query.
+pub const LIVE_STALE_REPLIES: &str = "live.stale_replies";
+/// Location-table entries lazily removed by `ProviderDead` notifications
+/// (Sect. III-C/D lazy cleanup, live protocol).
+pub const LIVE_PROVIDERS_PURGED: &str = "live.providers_purged";
+/// Queries that completed with `complete == false` (lost providers or
+/// expired deadlines) instead of hanging.
+pub const LIVE_INCOMPLETE_QUERIES: &str = "live.incomplete_queries";
+/// Lookups abandoned because the index node never answered within the
+/// lookup deadline (after the bounded retry).
+pub const LIVE_LOOKUP_FAILURES: &str = "live.lookup_failures";
