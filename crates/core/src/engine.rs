@@ -6,42 +6,40 @@
 //! selection) → **sub-query shipping and Local Query Execution** at the
 //! storage nodes → **Post-Processing** at the query initiator.
 //!
-//! Intermediate results are modelled as *materializations* ([`Mat`]): a
-//! solution set living at a site at a simulated time. Every movement of
-//! a materialization or sub-query is charged to the network, so the
-//! returned [`QueryStats`] reports exactly the quantities the paper
-//! optimizes — total inter-site bytes and response time.
+//! The engine itself is planning + orchestration: it compiles the
+//! optimized algebra to an operator IR ([`crate::exec::ExecPlan`] via
+//! [`crate::planner::compile`]) and executes the plan through the
+//! [`crate::sim_backend::SimBackend`] implementation of
+//! [`crate::exec::MeshBackend`]. All distributed mechanics — index
+//! lookups, sub-query shipping, provider chains, join placement, dead
+//! provider handling — live behind that backend seam, shared with the
+//! live mesh.
+//!
+//! Intermediate results are modelled as *materializations*
+//! ([`crate::exec::Mat`]): a solution set living at a site at a simulated
+//! time. Every movement of a materialization or sub-query is charged to
+//! the network, so the returned [`QueryStats`] reports exactly the
+//! quantities the paper optimizes — total inter-site bytes and response
+//! time.
 
 use std::collections::HashMap;
 
-use rdfmesh_cache::{QueryCache, ResultEntry};
+use rdfmesh_cache::QueryCache;
 use rdfmesh_net::{NodeId, SimTime};
 use rdfmesh_obs::{names, phase};
-use rdfmesh_overlay::{wire, Located, Overlay, OverlayError, Provider};
-use rdfmesh_rdf::{Triple, TriplePattern, TripleStore, Variable};
+use rdfmesh_overlay::{Overlay, OverlayError};
+use rdfmesh_rdf::{TriplePattern, TripleStore};
 use rdfmesh_sparql::{
     algebra::AlgebraQuery,
     ast::QueryForm,
-    eval,
-    expr::Expression,
     optimizer,
-    solution::{self, DistinctBuffer, Solution, SolutionSet},
     CardinalityEstimator, GraphPattern, ParseError, QueryResult,
 };
 
-use crate::config::{ExecConfig, JoinSiteStrategy, PrimitiveStrategy};
+use crate::config::ExecConfig;
+use crate::exec::{self, single_pattern_of, MeshBackend};
+use crate::sim_backend::SimBackend;
 use crate::stats::QueryStats;
-
-/// A solution set materialized at a site at a point in simulated time.
-#[derive(Debug, Clone)]
-pub struct Mat {
-    /// The solutions.
-    pub solutions: SolutionSet,
-    /// Where they currently live.
-    pub site: NodeId,
-    /// When they are complete at that site.
-    pub ready: SimTime,
-}
 
 /// A finished query: its result plus what it cost.
 #[derive(Debug, Clone)]
@@ -111,34 +109,18 @@ impl CardinalityEstimator for FrequencyEstimator {
     }
 }
 
-/// The distributed query engine, borrowing the overlay mutably so it can
-/// purge stale index entries when storage nodes time out (Sect. III-D).
+/// The distributed query engine: parse → optimize → compile → execute
+/// through a [`SimBackend`] → post-process. Borrows the overlay mutably
+/// so the backend can purge stale index entries when storage nodes time
+/// out (Sect. III-D).
 pub struct Engine<'a> {
-    overlay: &'a mut Overlay,
-    cfg: ExecConfig,
-    stats: QueryStats,
-    initiator: NodeId,
-    /// `FROM` clause of the running query: when non-empty, only storage
-    /// nodes publishing one of these graph IRIs belong to the dataset
-    /// (Sect. IV-A). Empty = the union of all providers.
-    dataset_graphs: Vec<rdfmesh_rdf::Iri>,
-    /// The initiator's cache stack, when attached via
-    /// [`Engine::with_cache`]. `None` reproduces the uncached engine
-    /// exactly.
-    cache: Option<&'a mut QueryCache>,
+    backend: SimBackend<'a>,
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine over the overlay with the given configuration.
     pub fn new(overlay: &'a mut Overlay, cfg: ExecConfig) -> Self {
-        Engine {
-            overlay,
-            cfg,
-            stats: QueryStats::default(),
-            initiator: NodeId(0),
-            dataset_graphs: Vec::new(),
-            cache: None,
-        }
+        Engine { backend: SimBackend::new(overlay, cfg) }
     }
 
     /// Like [`Engine::new`], but with the initiator's [`QueryCache`]
@@ -148,19 +130,12 @@ impl<'a> Engine<'a> {
     /// overlay's invalidation notifications. The `ExecConfig::cache_*`
     /// knobs gate the individual layers.
     pub fn with_cache(overlay: &'a mut Overlay, cfg: ExecConfig, cache: &'a mut QueryCache) -> Self {
-        Engine {
-            overlay,
-            cfg,
-            stats: QueryStats::default(),
-            initiator: NodeId(0),
-            dataset_graphs: Vec::new(),
-            cache: Some(cache),
-        }
+        Engine { backend: SimBackend::with_cache(overlay, cfg, cache) }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &ExecConfig {
-        &self.cfg
+        &self.backend.cfg
     }
 
     /// Parses, optimizes and executes a SPARQL query submitted at
@@ -204,11 +179,12 @@ impl<'a> Engine<'a> {
         objective: crate::planner::PlanObjective,
     ) -> Result<(Execution, crate::planner::Plan), EngineError> {
         let algebra = rdfmesh_sparql::parse_query(query)?;
-        self.check_initiator(initiator)?;
-        self.initiator = initiator;
-        let entry = self.entry_index(initiator)?;
-        let before = self.overlay.net.stats();
+        self.backend.check_initiator(initiator)?;
+        self.backend.initiator = initiator;
+        let entry = self.backend.entry_index(initiator)?;
+        let before = self.backend.overlay.net.stats();
         let peer = self
+            .backend
             .overlay
             .index_nodes()
             .into_iter()
@@ -217,44 +193,46 @@ impl<'a> Engine<'a> {
         let latency = if peer == entry {
             SimTime::millis(1)
         } else {
-            self.overlay.net.latency(entry, peer)
+            self.backend.overlay.net.latency(entry, peer)
         };
-        let bandwidth = self.overlay.net.bandwidth();
+        let bandwidth = self.backend.overlay.net.bandwidth();
         let plan = crate::planner::plan(
-            self.overlay,
+            self.backend.overlay,
             entry,
             &algebra.pattern,
             objective,
-            self.cfg,
+            self.backend.cfg,
             latency,
             bandwidth,
         )?;
-        let planning = before.delta(&self.overlay.net.stats());
-        let saved = self.cfg;
-        self.cfg = plan.config;
+        let planning = before.delta(&self.backend.overlay.net.stats());
+        let saved = self.backend.cfg;
+        self.backend.cfg = plan.config;
         let result = self.execute_algebra(initiator, &algebra);
-        self.cfg = saved;
+        self.backend.cfg = saved;
         let mut execution = result?;
         execution.stats.absorb_net(&planning);
         Ok((execution, plan))
     }
 
-    /// Executes an already-translated query.
+    /// Executes an already-translated query: optimize, compile to an
+    /// [`crate::exec::ExecPlan`], run the plan through the simulated
+    /// backend, post-process at the initiator.
     pub fn execute_algebra(
         &mut self,
         initiator: NodeId,
         query: &AlgebraQuery,
     ) -> Result<Execution, EngineError> {
-        self.check_initiator(initiator)?;
-        self.initiator = initiator;
-        self.stats = QueryStats::default();
-        self.dataset_graphs = query.dataset.default.clone();
-        if self.cache.is_some() {
+        self.backend.check_initiator(initiator)?;
+        self.backend.initiator = initiator;
+        self.backend.stats = QueryStats::default();
+        self.backend.dataset_graphs = query.dataset.default.clone();
+        if self.backend.cache.is_some() {
             // Row-change notifications from index nodes flow to this
             // initiator from now on (idempotent).
-            self.overlay.subscribe_cache(initiator);
+            self.backend.overlay.subscribe_cache(initiator);
         }
-        let before = self.overlay.net.stats();
+        let before = self.backend.overlay.net.stats();
 
         // Global query optimization (Fig. 3): algebraic rewrites, with
         // join ordering driven by location-table frequencies when enabled.
@@ -264,11 +242,15 @@ impl<'a> Engine<'a> {
         let span = rdfmesh_obs::begin_current(phase::OPTIMIZE, "rewrites + join ordering", 0);
         let mut pattern = query.pattern.clone();
         let optimize = (|| -> Result<GraphPattern, EngineError> {
-            if self.cfg.frequency_join_order {
-                let estimator = self.build_frequency_estimator(&pattern)?;
-                Ok(optimizer::optimize_with(pattern.clone(), &self.cfg.optimizer, &estimator))
+            if self.backend.cfg.frequency_join_order {
+                let estimator = self.backend.build_frequency_estimator(&pattern)?;
+                Ok(optimizer::optimize_with(
+                    pattern.clone(),
+                    &self.backend.cfg.optimizer,
+                    &estimator,
+                ))
             } else {
-                Ok(optimizer::optimize(pattern.clone(), &self.cfg.optimizer))
+                Ok(optimizer::optimize(pattern.clone(), &self.backend.cfg.optimizer))
             }
         })();
         rdfmesh_obs::end_current(span, 0);
@@ -283,36 +265,42 @@ impl<'a> Engine<'a> {
         // every match in the system.
         if matches!(query.form, QueryForm::Ask) {
             if let Some((tp, filter)) = single_pattern_of(&pattern) {
-                let (answer, ready) = self.ask_primitive(tp, filter)?;
-                self.stats.response_time = ready;
-                self.stats.result_size = usize::from(answer);
-                self.stats.absorb_net(&before.delta(&self.overlay.net.stats()));
+                let (answer, ready) = self.backend.ask_primitive(tp, filter)?;
+                self.backend.stats.response_time = ready;
+                self.backend.stats.result_size = usize::from(answer);
+                self.backend
+                    .stats
+                    .absorb_net(&before.delta(&self.backend.overlay.net.stats()));
                 rdfmesh_obs::advance_current(phase::POST_PROCESS, ready.0);
-                rdfmesh_obs::count_current("result_size", self.stats.result_size as u64);
+                rdfmesh_obs::count_current("result_size", self.backend.stats.result_size as u64);
                 self.finish_query();
                 return Ok(Execution {
                     result: QueryResult::Boolean(answer),
-                    stats: self.stats.clone(),
+                    stats: self.backend.stats.clone(),
                 });
             }
         }
 
-        // Distributed evaluation.
-        let mat = self.eval_dist(&pattern, SimTime::ZERO)?;
+        // Distributed evaluation: compile the optimized algebra to the
+        // operator IR and walk the plan over the backend.
+        let plan = crate::planner::compile(&pattern, &self.backend.cfg);
+        let mat = exec::run(&mut self.backend, &plan, SimTime::ZERO)?;
         // Final results return to the query initiator.
-        let mat = self.ship(mat, initiator);
+        let mat = self.backend.deliver(mat);
 
         // Post-processing at the initiator.
-        let result = self.post_process(query, mat.solutions)?;
+        let result = self.backend.post_process(query, mat.solutions)?;
         // `max`, not assignment: DESCRIBE's distributed resource fetches
         // inside post_process may finish after the main materialization.
-        self.stats.response_time = self.stats.response_time.max(mat.ready);
-        self.stats.result_size = result.len();
-        self.stats.absorb_net(&before.delta(&self.overlay.net.stats()));
-        rdfmesh_obs::advance_current(phase::POST_PROCESS, self.stats.response_time.0);
+        self.backend.stats.response_time = self.backend.stats.response_time.max(mat.ready);
+        self.backend.stats.result_size = result.len();
+        self.backend
+            .stats
+            .absorb_net(&before.delta(&self.backend.overlay.net.stats()));
+        rdfmesh_obs::advance_current(phase::POST_PROCESS, self.backend.stats.response_time.0);
         rdfmesh_obs::count_current("result_size", result.len() as u64);
         self.finish_query();
-        Ok(Execution { result, stats: self.stats.clone() })
+        Ok(Execution { result, stats: self.backend.stats.clone() })
     }
 
     /// End-of-query bookkeeping: records the response time in the
@@ -321,1204 +309,14 @@ impl<'a> Engine<'a> {
     /// across queries even though each query's network clock restarts at
     /// zero.
     fn finish_query(&mut self) {
-        let rt = self.stats.response_time;
+        let rt = self.backend.stats.response_time;
         let metrics = rdfmesh_obs::metrics();
         if metrics.is_enabled() {
             metrics.observe(names::ENGINE_RESPONSE_TIME_US, rt.0);
         }
-        if let Some(cache) = self.cache.as_mut() {
+        if let Some(cache) = self.backend.cache.as_mut() {
             cache.advance_clock(rt + SimTime::millis(1));
         }
-    }
-
-    // ---- observability mirrors -----------------------------------------
-    //
-    // Every legacy counter bump goes through one of these, which also
-    // feed the active query trace (so stats become derivable from it —
-    // see `QueryStats::from_trace`) and the process-wide registry.
-
-    fn note_index_hops(&mut self, hops: usize) {
-        self.stats.index_hops += hops;
-        rdfmesh_obs::count_current("index_hops", hops as u64);
-    }
-
-    fn note_provider_contacted(&mut self) {
-        self.stats.providers_contacted += 1;
-        rdfmesh_obs::count_current("providers_contacted", 1);
-        let metrics = rdfmesh_obs::metrics();
-        if metrics.is_enabled() {
-            metrics.add("engine.providers_contacted", 1);
-            metrics.add(
-                match self.cfg.primitive {
-                    PrimitiveStrategy::Basic => "engine.subqueries.basic",
-                    PrimitiveStrategy::Chained => "engine.subqueries.chained",
-                    PrimitiveStrategy::FrequencyOrdered => "engine.subqueries.frequency_ordered",
-                },
-                1,
-            );
-        }
-    }
-
-    /// Forwards a sub-query from a storage-node initiator to its entry
-    /// index node (one charged message), under a shipping span.
-    fn forward_to_entry(&mut self, entry: NodeId, pattern: &TriplePattern, depart: SimTime) -> SimTime {
-        let span = rdfmesh_obs::begin_current(
-            phase::SHIPPING,
-            &format!("forward {} -> {}", self.initiator, entry),
-            depart.0,
-        );
-        let t = self.overlay.net.send(
-            self.initiator,
-            entry,
-            wire::SUBQUERY_HEADER + pattern.serialized_len(),
-            depart,
-        );
-        rdfmesh_obs::end_current(span, t.0);
-        rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
-        t
-    }
-
-    fn note_intermediates(&mut self, n: usize) {
-        self.stats.intermediate_solutions += n;
-        rdfmesh_obs::count_current("intermediate_solutions", n as u64);
-        let metrics = rdfmesh_obs::metrics();
-        if metrics.is_enabled() {
-            metrics.observe("engine.intermediate_solutions", n as u64);
-        }
-    }
-
-    /// Records local query execution at a storage node as a zero-width
-    /// span: the simulator charges no compute time for local matching, so
-    /// the span marks the event (which node, how many solutions) without
-    /// moving the clock or claiming bytes.
-    fn note_local_exec(&self, node: NodeId, solutions: usize, at: SimTime) {
-        let span = rdfmesh_obs::begin_current(
-            phase::LOCAL_EXEC,
-            &format!("{node}: {solutions} solutions"),
-            at.0,
-        );
-        rdfmesh_obs::end_current(span, at.0);
-    }
-
-    fn check_initiator(&self, addr: NodeId) -> Result<(), EngineError> {
-        if self.overlay.chord_id_of(addr).is_some() || self.overlay.is_storage_alive(addr) {
-            Ok(())
-        } else {
-            Err(EngineError::UnknownInitiator(addr))
-        }
-    }
-
-    /// Pre-fetches location information for every triple pattern in the
-    /// query so the optimizer can order joins by true frequencies. These
-    /// lookups are charged: statistics live at remote index nodes.
-    fn build_frequency_estimator(
-        &mut self,
-        pattern: &GraphPattern,
-    ) -> Result<FrequencyEstimator, EngineError> {
-        let mut tps = Vec::new();
-        collect_patterns(pattern, &mut tps);
-        let entry = self.entry_index(self.initiator)?;
-        let mut entries = Vec::with_capacity(tps.len());
-        let mut default = 1u64;
-        for tp in tps {
-            match self.locate_cached(entry, &tp, SimTime::ZERO)? {
-                Some(located) => {
-                    self.note_index_hops(located.hops);
-                    let total: u64 = located.providers.iter().map(|p| p.frequency).sum();
-                    entries.push((tp, total));
-                }
-                None => {
-                    // All-variable pattern: worst case, schedule it last.
-                    default = u64::MAX / 2;
-                }
-            }
-        }
-        Ok(FrequencyEstimator::new(entries, default))
-    }
-
-    /// The index node through which `addr` reaches the ring: itself if it
-    /// is an index node, otherwise the index node it is attached to (one
-    /// charged hop).
-    fn entry_index(&self, addr: NodeId) -> Result<NodeId, EngineError> {
-        if self.overlay.chord_id_of(addr).is_some() {
-            return Ok(addr);
-        }
-        let storage = self
-            .overlay
-            .storage_node(addr)
-            .ok_or(EngineError::UnknownInitiator(addr))?;
-        self.overlay
-            .addr_of(storage.attached_to)
-            .ok_or(EngineError::UnknownInitiator(addr))
-    }
-
-    // ---- cache-aware index lookup (rdfmesh-cache) ----------------------
-
-    /// Resolves providers for `pattern` like [`Overlay::locate`], but
-    /// consults the attached cache stack first and fills it on a cold
-    /// walk. A provider-set hit costs zero messages (the initiator's
-    /// entry node fans sub-queries out itself); a routing hit costs one
-    /// direct [`wire::LOOKUP_STEP`] message to the remembered owner
-    /// instead of the O(log N) ring walk. Lookup traffic is classed as
-    /// cache-hit vs cache-miss bytes in the metrics registry.
-    fn locate_cached(
-        &mut self,
-        entry: NodeId,
-        pattern: &TriplePattern,
-        depart: SimTime,
-    ) -> Result<Option<Located>, EngineError> {
-        let use_providers = self.cfg.cache_providers && self.cache.is_some();
-        let use_routing = self.cfg.cache_routing && self.cache.is_some();
-        if !use_providers && !use_routing {
-            return Ok(self.overlay.locate(entry, pattern, depart)?);
-        }
-        let Some(key) = self.overlay.index_key_for(pattern) else {
-            // All-variable pattern: no key to cache under; callers flood.
-            return Ok(None);
-        };
-        let epoch = self.overlay.ring_epoch();
-        let version = self.overlay.key_version(key.id);
-        let mut provider_hit = None;
-        let mut route_hit = None;
-        if let Some(cache) = self.cache.as_mut() {
-            if use_providers {
-                provider_hit = cache.lookup_providers(key.id, version, epoch);
-            }
-            if provider_hit.is_none() && use_routing {
-                route_hit = cache.lookup_route(key.id, epoch);
-            }
-        }
-        if let Some((_, providers)) = provider_hit {
-            // Both index levels short-circuited: the initiator knows the
-            // row, so sub-queries fan out from its own entry node.
-            return Ok(Some(Located { key, index_node: entry, providers, hops: 0, arrival: depart }));
-        }
-        if let Some(owner) = route_hit {
-            self.overlay.net.set_byte_class(Some(names::NET_BYTES_CACHE_HIT_PATH));
-            let arrival = self.overlay.net.send(entry, owner, wire::LOOKUP_STEP, depart);
-            self.overlay.net.set_byte_class(None);
-            let providers = self.overlay.providers_for_key(owner, key.id);
-            if use_providers {
-                if let Some(cache) = self.cache.as_mut() {
-                    cache.store_providers(key.id, owner, providers.clone(), version, epoch);
-                }
-            }
-            let hops = usize::from(owner != entry);
-            return Ok(Some(Located { key, index_node: owner, providers, hops, arrival }));
-        }
-        self.overlay.net.set_byte_class(Some(names::NET_BYTES_CACHE_MISS_PATH));
-        let located = self.overlay.locate(entry, pattern, depart);
-        self.overlay.net.set_byte_class(None);
-        let located = located?;
-        if let Some(loc) = &located {
-            // The routing cache remembers the *authoritative* owner, not
-            // a hot-replica holder the walk may have stopped at: a later
-            // routing hit reads the row at the remembered node directly.
-            let owner = self.overlay.owner_addr(key.id).unwrap_or(loc.index_node);
-            if let Some(cache) = self.cache.as_mut() {
-                if use_routing {
-                    cache.store_route(key.id, owner, epoch);
-                }
-                if use_providers {
-                    cache.store_providers(key.id, loc.index_node, loc.providers.clone(), version, epoch);
-                }
-            }
-        }
-        Ok(located)
-    }
-
-    /// Serves `pattern` from the result cache when a coherent entry
-    /// exists: version and epoch must match and every provider recorded
-    /// at fill time must still be alive (a cold query would lose a dead
-    /// provider's solutions to a timeout, so a cached result that still
-    /// counts them must not be served).
-    fn result_cache_get(&mut self, pattern: &TriplePattern, depart: SimTime) -> Option<Mat> {
-        let key = self.overlay.index_key_for(pattern)?;
-        let version = self.overlay.key_version(key.id);
-        let epoch = self.overlay.ring_epoch();
-        let overlay = &*self.overlay;
-        let cache = self.cache.as_mut()?;
-        let solutions =
-            cache.lookup_result(pattern, version, epoch, &|n| overlay.is_storage_alive(n))?;
-        Some(Mat { solutions, site: self.initiator, ready: depart })
-    }
-
-    /// Offers a finished primitive materialization for result-cache
-    /// admission. When admitted and the result lives elsewhere, the
-    /// initiator pulls a private copy (one charged transfer, off the
-    /// response-time critical path) so later hits serve locally.
-    fn result_cache_store(&mut self, pattern: &TriplePattern, providers: &[NodeId], mat: &Mat) {
-        let Some(key) = self.overlay.index_key_for(pattern) else { return };
-        let version = self.overlay.key_version(key.id);
-        let epoch = self.overlay.ring_epoch();
-        // Record only providers still alive: dead ones were purged during
-        // execution (and contributed nothing), so the snapshot's liveness
-        // set matches what a cold re-run would contact.
-        let alive: Vec<NodeId> = providers
-            .iter()
-            .copied()
-            .filter(|n| self.overlay.is_storage_alive(*n))
-            .collect();
-        let bytes = wire::RESULT_HEADER + solution::serialized_len(&mat.solutions);
-        let Some(cache) = self.cache.as_mut() else { return };
-        let admitted = cache.store_result(
-            pattern.clone(),
-            ResultEntry {
-                solutions: mat.solutions.clone(),
-                providers: alive,
-                key: key.id,
-                version,
-                epoch,
-                bytes,
-            },
-        );
-        if admitted && mat.site != self.initiator {
-            self.overlay.net.send(mat.site, self.initiator, bytes, mat.ready);
-        }
-    }
-
-    // ---- recursive distributed evaluation -----------------------------
-
-    fn eval_dist(&mut self, pattern: &GraphPattern, depart: SimTime) -> Result<Mat, EngineError> {
-        match pattern {
-            GraphPattern::Bgp(tps) if tps.is_empty() => Ok(Mat {
-                solutions: vec![Solution::new()],
-                site: self.initiator,
-                ready: depart,
-            }),
-            GraphPattern::Bgp(tps) if tps.len() == 1 => {
-                self.primitive(&tps[0], None, depart, None)
-            }
-            GraphPattern::Bgp(tps) => self.conjunctive(tps, depart),
-            GraphPattern::Filter(expr, inner) => {
-                // Nested filters (the optimizer pushes conjuncts one at a
-                // time) are one conjunction over the same core pattern;
-                // flatten them so the whole condition ships together.
-                let mut combined = expr.clone();
-                let mut core: &GraphPattern = inner;
-                while let GraphPattern::Filter(e2, deeper) = core {
-                    combined =
-                        Expression::And(Box::new(combined), Box::new(e2.clone()));
-                    core = deeper;
-                }
-                // A filter over a single-pattern BGP ships with the
-                // sub-query and runs at the data sources (Sect. IV-G) —
-                // this is what the pushed filters of the optimizer become.
-                if let GraphPattern::Bgp(tps) = core {
-                    if tps.len() == 1 && covers(&tps[0], &combined) {
-                        // Range-index fast path: a numeric range over the
-                        // object variable contacts only the overlapping
-                        // buckets' providers.
-                        if self.cfg.range_index {
-                            if let Some(mat) =
-                                self.try_primitive_range(&tps[0], &combined, depart)?
-                            {
-                                return Ok(mat);
-                            }
-                        }
-                        return self.primitive(&tps[0], Some(&combined), depart, None);
-                    }
-                }
-                let core = core.clone();
-                let mut mat = self.eval_dist(&core, depart)?;
-                mat.solutions.retain(|s| combined.satisfied_by(s));
-                Ok(mat)
-            }
-            GraphPattern::Join(a, b) => {
-                let (ha, hb) = self.common_site_hints(a, b)?;
-                let left = self.eval_with_hint(a, depart, ha)?;
-                let right = self.eval_with_hint(b, depart, hb)?;
-                Ok(self.binary_op(BinaryOp::Join, left, right))
-            }
-            GraphPattern::LeftJoin(a, b, expr) => {
-                let (ha, hb) = self.common_site_hints(a, b)?;
-                let left = self.eval_with_hint(a, depart, ha)?;
-                let right = self.eval_with_hint(b, depart, hb)?;
-                Ok(self.binary_op(BinaryOp::LeftJoin(expr.clone()), left, right))
-            }
-            GraphPattern::Union(a, b) => {
-                // Branches evaluate in parallel (Sect. IV-F); with overlap
-                // awareness both branch chains end at a node providing
-                // data for both, so the union itself is free.
-                let (ha, hb) = self.common_site_hints(a, b)?;
-                let left = self.eval_with_hint(a, depart, ha)?;
-                let right = self.eval_with_hint(b, depart, hb)?;
-                Ok(self.binary_op(BinaryOp::Union, left, right))
-            }
-        }
-    }
-
-    /// Evaluates a sub-pattern, honouring a chain-end hint when the
-    /// sub-pattern is a single triple pattern (optionally filtered).
-    fn eval_with_hint(
-        &mut self,
-        pattern: &GraphPattern,
-        depart: SimTime,
-        hint: Option<NodeId>,
-    ) -> Result<Mat, EngineError> {
-        if hint.is_some() {
-            if let Some((tp, filter)) = single_pattern_of(pattern) {
-                return self.primitive(tp, filter, depart, hint);
-            }
-        }
-        self.eval_dist(pattern, depart)
-    }
-
-    /// The Sect. IV-D/IV-F site optimization: when both operands are
-    /// single triple patterns whose provider sets intersect, both chains
-    /// should end at a common provider ("either D1 or D2 can be selected
-    /// as the storage node at which the final result is generated"). The
-    /// provider with the largest combined frequency wins, mirroring the
-    /// paper's preference for the node with the most target triples.
-    fn common_site_hints(
-        &mut self,
-        a: &GraphPattern,
-        b: &GraphPattern,
-    ) -> Result<(Option<NodeId>, Option<NodeId>), EngineError> {
-        if !self.cfg.overlap_aware {
-            return Ok((None, None));
-        }
-        let (Some((ta, _)), Some((tb, _))) = (single_pattern_of(a), single_pattern_of(b)) else {
-            return Ok((None, None));
-        };
-        let entry = self.entry_index(self.initiator)?;
-        let Some(la) = self.locate_cached(entry, ta, SimTime::ZERO)? else {
-            return Ok((None, None));
-        };
-        let Some(lb) = self.locate_cached(entry, tb, SimTime::ZERO)? else {
-            return Ok((None, None));
-        };
-        self.note_index_hops(la.hops + lb.hops);
-        let mut best: Option<(u64, NodeId)> = None;
-        for pa in &la.providers {
-            if let Some(pb) = lb.providers.iter().find(|pb| pb.node == pa.node) {
-                let combined = pa.frequency + pb.frequency;
-                if best.is_none_or(|(f, _)| combined > f) {
-                    best = Some((combined, pa.node));
-                }
-            }
-        }
-        Ok(match best {
-            Some((_, node)) => (Some(node), Some(node)),
-            None => (None, None),
-        })
-    }
-
-    // ---- primitive queries (Sect. IV-C) --------------------------------
-
-    /// Evaluates a single triple pattern (with an optional source-side
-    /// filter) across the network. `end_hint` asks chained strategies to
-    /// end their provider sequence at the given site when it is itself a
-    /// provider — the Sect. IV-D overlap optimization.
-    fn primitive(
-        &mut self,
-        pattern: &TriplePattern,
-        filter: Option<&Expression>,
-        depart: SimTime,
-        end_hint: Option<NodeId>,
-    ) -> Result<Mat, EngineError> {
-        // Result-cache fast path: an unfiltered, dataset-free primitive
-        // pattern may be answered entirely at the initiator.
-        let cacheable = self.cache.is_some()
-            && self.cfg.cache_results
-            && filter.is_none()
-            && self.dataset_graphs.is_empty();
-        if cacheable {
-            if let Some(hit) = self.result_cache_get(pattern, depart) {
-                self.note_intermediates(hit.solutions.len());
-                return Ok(hit);
-            }
-        }
-        let entry = self.entry_index(self.initiator)?;
-        // A storage-node initiator first forwards the query to its index
-        // node (one message).
-        let depart = if entry == self.initiator {
-            depart
-        } else {
-            self.forward_to_entry(entry, pattern, depart)
-        };
-        let Some(located) = self.locate_cached(entry, pattern, depart)? else {
-            return self.flood(pattern, filter, depart);
-        };
-        self.note_index_hops(located.hops);
-        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
-        let assembly = located.index_node;
-        let t0 = located.arrival;
-        let mut providers = self.in_dataset(located.providers);
-        let metrics = rdfmesh_obs::metrics();
-        if metrics.is_enabled() {
-            metrics.observe("engine.providers_per_pattern", providers.len() as u64);
-        }
-        if providers.is_empty() {
-            return Ok(Mat { solutions: Vec::new(), site: assembly, ready: t0 });
-        }
-
-        let provider_nodes: Vec<NodeId> = providers.iter().map(|p| p.node).collect();
-        let mat = match self.cfg.primitive {
-            PrimitiveStrategy::Basic => {
-                self.primitive_basic(pattern, filter, assembly, &providers, t0)
-            }
-            PrimitiveStrategy::Chained => {
-                providers.sort_by_key(|p| p.node);
-                self.primitive_chain(pattern, filter, assembly, providers, t0, end_hint)
-            }
-            PrimitiveStrategy::FrequencyOrdered => {
-                // Ascending frequency: the largest contributor is last, so
-                // its contribution never transits (Sect. IV-C further
-                // optimization).
-                providers.sort_by_key(|p| (p.frequency, p.node));
-                self.primitive_chain(pattern, filter, assembly, providers, t0, end_hint)
-            }
-        }?;
-        if cacheable {
-            self.result_cache_store(pattern, &provider_nodes, &mat);
-        }
-        Ok(mat)
-    }
-
-    /// Basic scheme: parallel fan-out from the assembly index node.
-    fn primitive_basic(
-        &mut self,
-        pattern: &TriplePattern,
-        filter: Option<&Expression>,
-        assembly: NodeId,
-        providers: &[Provider],
-        t0: SimTime,
-    ) -> Result<Mat, EngineError> {
-        let subquery_bytes = wire::SUBQUERY_HEADER
-            + pattern.serialized_len()
-            + filter.map_or(0, |f| f.serialized_len());
-        let span = rdfmesh_obs::begin_current(
-            phase::SHIPPING,
-            &format!("basic fan-out to {} providers", providers.len()),
-            t0.0,
-        );
-        let mut union = DistinctBuffer::new();
-        let mut ready = t0;
-        let mut dead = Vec::new();
-        for p in providers {
-            let sent = self.overlay.net.send(assembly, p.node, subquery_bytes, t0);
-            self.note_provider_contacted();
-            match self.local_solutions(p.node, pattern, filter) {
-                Some(sols) => {
-                    self.note_local_exec(p.node, sols.len(), sent);
-                    self.note_intermediates(sols.len());
-                    let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
-                    let back = self.overlay.net.send(p.node, assembly, bytes, sent);
-                    ready = ready.max(back);
-                    union.extend_distinct(sols);
-                }
-                None => {
-                    // Query-ack timeout (Sect. III-D), then purge.
-                    ready = ready.max(sent + self.cfg.ack_timeout);
-                    dead.push(p.node);
-                }
-            }
-        }
-        rdfmesh_obs::end_current(span, ready.0);
-        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
-        self.handle_dead(&dead);
-        Ok(Mat { solutions: union.into_vec(), site: assembly, ready })
-    }
-
-    /// Chained schemes: the sub-query and accumulated mappings travel
-    /// through the provider sequence; the last node holds the result.
-    fn primitive_chain(
-        &mut self,
-        pattern: &TriplePattern,
-        filter: Option<&Expression>,
-        assembly: NodeId,
-        mut providers: Vec<Provider>,
-        t0: SimTime,
-        end_hint: Option<NodeId>,
-    ) -> Result<Mat, EngineError> {
-        // Overlap optimization: rotate the hinted site to the end of the
-        // sequence so the join with the waiting materialization is local.
-        if let Some(hint) = end_hint {
-            if let Some(pos) = providers.iter().position(|p| p.node == hint) {
-                let hinted = providers.remove(pos);
-                providers.push(hinted);
-            }
-        }
-        let subquery_bytes = wire::SUBQUERY_HEADER
-            + pattern.serialized_len()
-            + filter.map_or(0, |f| f.serialized_len())
-            + 8 * providers.len(); // the forwarding list
-
-        let span = rdfmesh_obs::begin_current(
-            phase::SHIPPING,
-            &format!("chain through {} providers", providers.len()),
-            t0.0,
-        );
-        let mut acc = DistinctBuffer::new();
-        let mut cursor = assembly;
-        let mut t = t0;
-        let mut dead = Vec::new();
-        for p in &providers {
-            let payload =
-                subquery_bytes + wire::RESULT_HEADER + solution::serialized_len(acc.as_slice());
-            let arrived = self.overlay.net.send(cursor, p.node, payload, t);
-            self.note_provider_contacted();
-            match self.local_solutions(p.node, pattern, filter) {
-                Some(sols) => {
-                    self.note_local_exec(p.node, sols.len(), arrived);
-                    self.note_intermediates(sols.len());
-                    acc.extend_distinct(sols);
-                    cursor = p.node;
-                    t = arrived;
-                }
-                None => {
-                    // The sender detects the missing ack and skips to the
-                    // next node in the list.
-                    t = arrived + self.cfg.ack_timeout;
-                    dead.push(p.node);
-                }
-            }
-        }
-        rdfmesh_obs::end_current(span, t.0);
-        rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
-        self.handle_dead(&dead);
-        Ok(Mat { solutions: acc.into_vec(), site: cursor, ready: t })
-    }
-
-    /// Existence test for one pattern: providers are probed in
-    /// descending-frequency order (most likely witness first) and probing
-    /// stops at the first hit. Returns the answer and its arrival time at
-    /// the initiator.
-    fn ask_primitive(
-        &mut self,
-        pattern: &TriplePattern,
-        filter: Option<&Expression>,
-    ) -> Result<(bool, SimTime), EngineError> {
-        let entry = self.entry_index(self.initiator)?;
-        let depart = if entry == self.initiator {
-            SimTime::ZERO
-        } else {
-            self.forward_to_entry(entry, pattern, SimTime::ZERO)
-        };
-        let Some(located) = self.locate_cached(entry, pattern, depart)? else {
-            let mat = self.flood(pattern, filter, depart)?;
-            let mat = self.ship(mat, self.initiator);
-            return Ok((!mat.solutions.is_empty(), mat.ready));
-        };
-        self.note_index_hops(located.hops);
-        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
-        let assembly = located.index_node;
-        let mut providers = self.in_dataset(located.providers.clone());
-        providers.sort_by_key(|p| (std::cmp::Reverse(p.frequency), p.node));
-        let subquery_bytes = wire::SUBQUERY_HEADER
-            + pattern.serialized_len()
-            + filter.map_or(0, |f| f.serialized_len());
-        let span = rdfmesh_obs::begin_current(
-            phase::SHIPPING,
-            &format!("ask probe of {} providers", providers.len()),
-            located.arrival.0,
-        );
-        let mut t = located.arrival;
-        let mut dead = Vec::new();
-        let mut answer = false;
-        for p in &providers {
-            let sent = self.overlay.net.send(assembly, p.node, subquery_bytes, t);
-            self.note_provider_contacted();
-            match self.local_solutions(p.node, pattern, filter) {
-                Some(sols) if !sols.is_empty() => {
-                    // Witness found: one ack back to the assembly, done.
-                    self.note_local_exec(p.node, sols.len(), sent);
-                    t = self.overlay.net.send(p.node, assembly, wire::ACK, sent);
-                    answer = true;
-                    break;
-                }
-                Some(sols) => {
-                    self.note_local_exec(p.node, sols.len(), sent);
-                    t = self.overlay.net.send(p.node, assembly, wire::ACK, sent);
-                }
-                None => {
-                    t = sent + self.cfg.ack_timeout;
-                    dead.push(p.node);
-                }
-            }
-        }
-        self.handle_dead(&dead);
-        let ready = self.overlay.net.send(assembly, self.initiator, wire::ACK, t);
-        rdfmesh_obs::end_current(span, ready.0);
-        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
-        Ok((answer, ready))
-    }
-
-    /// Attempts the range-index fast path: pattern `(?s, p, ?o)` with a
-    /// filter bounding numeric `?o`. Returns `None` (fall back to the
-    /// standard path) when the shape doesn't match or the overlay has no
-    /// bucket index.
-    fn try_primitive_range(
-        &mut self,
-        pattern: &TriplePattern,
-        filter: &Expression,
-        depart: SimTime,
-    ) -> Result<Option<Mat>, EngineError> {
-        let Some(buckets) = self.overlay.numeric_buckets() else { return Ok(None) };
-        // Shape: bound predicate, variable object (subject may be either).
-        let Some(predicate) = pattern.predicate.as_const() else { return Ok(None) };
-        let Some(obj_var) = pattern.object.as_var() else { return Ok(None) };
-        let Some((lo, hi)) = extract_numeric_range(filter, obj_var) else {
-            return Ok(None);
-        };
-        let lo = lo.max(buckets.min);
-        let hi = hi.min(buckets.max);
-        if lo > hi {
-            return Ok(Some(Mat {
-                solutions: Vec::new(),
-                site: self.initiator,
-                ready: depart,
-            }));
-        }
-        let entry = self.entry_index(self.initiator)?;
-        let depart = if entry == self.initiator {
-            depart
-        } else {
-            self.forward_to_entry(entry, pattern, depart)
-        };
-        let Some(located) =
-            self.overlay.locate_numeric_range(entry, predicate, lo, hi, depart)?
-        else {
-            return Ok(None);
-        };
-        self.note_index_hops(located.hops);
-        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
-        let providers = self.in_dataset(located.providers.clone());
-        if providers.is_empty() {
-            return Ok(Some(Mat {
-                solutions: Vec::new(),
-                site: located.index_node,
-                ready: located.arrival,
-            }));
-        }
-        // Basic-style fan-out with the filter shipped to the sources.
-        self.primitive_basic(pattern, Some(filter), located.index_node, &providers, located.arrival)
-            .map(Some)
-    }
-
-    /// Flooding fallback for the all-variable pattern `(?s, ?p, ?o)`:
-    /// every index node forwards the sub-query to its attached storage
-    /// nodes; answers assemble at the initiator.
-    fn flood(
-        &mut self,
-        pattern: &TriplePattern,
-        filter: Option<&Expression>,
-        depart: SimTime,
-    ) -> Result<Mat, EngineError> {
-        let entry = self.entry_index(self.initiator)?;
-        let subquery_bytes = wire::SUBQUERY_HEADER + pattern.serialized_len();
-        let span = rdfmesh_obs::begin_current(phase::SHIPPING, "flood all storage nodes", depart.0);
-        let mut union = DistinctBuffer::new();
-        let mut ready = depart;
-        let mut dead = Vec::new();
-        for index in self.overlay.index_nodes() {
-            let at_index = self.overlay.net.send(entry, index, subquery_bytes, depart);
-            let Some(index_id) = self.overlay.chord_id_of(index) else { continue };
-            let attached: Vec<NodeId> = self
-                .overlay
-                .storage_nodes()
-                .into_iter()
-                .filter(|s| {
-                    self.overlay.storage_node(*s).map(|n| n.attached_to) == Some(index_id)
-                })
-                .collect();
-            for s in attached {
-                if !self.dataset_graphs.is_empty() {
-                    let in_set = self
-                        .overlay
-                        .storage_node(s)
-                        .and_then(|n| n.graph.as_ref())
-                        .is_some_and(|g| self.dataset_graphs.contains(g));
-                    if !in_set {
-                        continue;
-                    }
-                }
-                let at_storage = self.overlay.net.send(index, s, subquery_bytes, at_index);
-                self.note_provider_contacted();
-                match self.local_solutions(s, pattern, filter) {
-                    Some(sols) => {
-                        self.note_local_exec(s, sols.len(), at_storage);
-                        self.note_intermediates(sols.len());
-                        let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
-                        let back = self.overlay.net.send(s, entry, bytes, at_storage);
-                        ready = ready.max(back);
-                        union.extend_distinct(sols);
-                    }
-                    None => {
-                        ready = ready.max(at_storage + self.cfg.ack_timeout);
-                        dead.push(s);
-                    }
-                }
-            }
-        }
-        rdfmesh_obs::end_current(span, ready.0);
-        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
-        self.handle_dead(&dead);
-        Ok(Mat { solutions: union.into_vec(), site: entry, ready })
-    }
-
-    /// Restricts a provider list to the query's dataset (`FROM` clauses).
-    fn in_dataset(&self, providers: Vec<Provider>) -> Vec<Provider> {
-        if self.dataset_graphs.is_empty() {
-            return providers;
-        }
-        providers
-            .into_iter()
-            .filter(|p| {
-                self.overlay
-                    .storage_node(p.node)
-                    .and_then(|n| n.graph.as_ref())
-                    .is_some_and(|g| self.dataset_graphs.contains(g))
-            })
-            .collect()
-    }
-
-    /// Local query execution at one storage node: pattern matching plus
-    /// the optional source-side filter. `None` when the node is dead.
-    fn local_solutions(
-        &self,
-        addr: NodeId,
-        pattern: &TriplePattern,
-        filter: Option<&Expression>,
-    ) -> Option<SolutionSet> {
-        let matches: Vec<Triple> = self.overlay.match_at(addr, pattern)?;
-        let empty = Solution::new();
-        let mut sols: SolutionSet = matches
-            .iter()
-            .filter_map(|t| eval::extend(pattern, t, &empty))
-            .collect();
-        if let Some(f) = filter {
-            sols.retain(|s| f.satisfied_by(s));
-        }
-        Some(sols)
-    }
-
-    fn handle_dead(&mut self, dead: &[NodeId]) {
-        let metrics = rdfmesh_obs::metrics();
-        for &d in dead {
-            self.stats.dead_providers += 1;
-            rdfmesh_obs::count_current("dead_providers", 1);
-            if metrics.is_enabled() {
-                metrics.add("engine.dead_provider_timeouts", 1);
-            }
-            self.overlay.purge_storage_entries(d);
-        }
-    }
-
-    // ---- conjunctive patterns (Sect. IV-D) ------------------------------
-
-    /// Evaluates a multi-pattern BGP: pattern order is fixed upstream by
-    /// the optimizer; each pattern's provider chain ends at the current
-    /// materialization's site when the overlap optimization applies, and
-    /// the join itself is placed by the configured site-selection
-    /// strategy.
-    fn conjunctive(&mut self, tps: &[TriplePattern], depart: SimTime) -> Result<Mat, EngineError> {
-        let mut current = self.primitive(&tps[0], None, depart, None)?;
-        for tp in &tps[1..] {
-            if current.solutions.is_empty() {
-                // Joining with nothing yields nothing: stop shipping work.
-                return Ok(current);
-            }
-            if self.cfg.bind_join {
-                current = self.primitive_bound(tp, current)?;
-            } else {
-                let hint = if self.cfg.overlap_aware { Some(current.site) } else { None };
-                let right = self.primitive(tp, None, depart, hint)?;
-                current = self.binary_op(BinaryOp::Join, current, right);
-            }
-        }
-        Ok(current)
-    }
-
-    /// Bind-join evaluation of one pattern against the current
-    /// materialization: the accumulated solutions travel *with* the
-    /// sub-query, and every provider returns only the compatible
-    /// extensions. Sequential by nature (each pattern waits for the
-    /// previous intermediate), but the wire never carries mappings that
-    /// cannot contribute to the final answer.
-    fn primitive_bound(&mut self, pattern: &TriplePattern, current: Mat) -> Result<Mat, EngineError> {
-        let entry = self.entry_index(self.initiator)?;
-        let Some(located) = self.locate_cached(entry, pattern, current.ready)? else {
-            // All-variable pattern: fall back to gathering + local join.
-            let right = self.flood(pattern, None, current.ready)?;
-            return Ok(self.binary_op(BinaryOp::Join, current, right));
-        };
-        self.note_index_hops(located.hops);
-        rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
-        let assembly = located.index_node;
-        let mut providers = self.in_dataset(located.providers.clone());
-        if providers.is_empty() {
-            return Ok(Mat { solutions: Vec::new(), site: assembly, ready: located.arrival });
-        }
-        let bound_bytes = solution::serialized_len(&current.solutions);
-        let subquery_bytes = wire::SUBQUERY_HEADER + pattern.serialized_len() + bound_bytes;
-
-        match self.cfg.primitive {
-            PrimitiveStrategy::Basic => {
-                // Current solutions move to the assembly, then fan out
-                // with the sub-query; extensions return to the assembly.
-                let span = rdfmesh_obs::begin_current(
-                    phase::SHIPPING,
-                    &format!("bind-join fan-out to {} providers", providers.len()),
-                    current.ready.0,
-                );
-                let at_assembly = self
-                    .overlay
-                    .net
-                    .send(current.site, assembly, wire::RESULT_HEADER + bound_bytes, current.ready)
-                    .max(located.arrival);
-                let mut union = DistinctBuffer::new();
-                let mut ready = at_assembly;
-                let mut dead = Vec::new();
-                for p in &providers {
-                    let sent = self.overlay.net.send(assembly, p.node, subquery_bytes, at_assembly);
-                    self.note_provider_contacted();
-                    match self.bound_solutions(p.node, pattern, &current.solutions) {
-                        Some(sols) => {
-                            self.note_local_exec(p.node, sols.len(), sent);
-                            self.note_intermediates(sols.len());
-                            let bytes = wire::RESULT_HEADER + solution::serialized_len(&sols);
-                            let back = self.overlay.net.send(p.node, assembly, bytes, sent);
-                            ready = ready.max(back);
-                            union.extend_distinct(sols);
-                        }
-                        None => {
-                            ready = ready.max(sent + self.cfg.ack_timeout);
-                            dead.push(p.node);
-                        }
-                    }
-                }
-                rdfmesh_obs::end_current(span, ready.0);
-                rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
-                self.handle_dead(&dead);
-                Ok(Mat { solutions: union.into_vec(), site: assembly, ready })
-            }
-            PrimitiveStrategy::Chained | PrimitiveStrategy::FrequencyOrdered => {
-                if self.cfg.primitive == PrimitiveStrategy::FrequencyOrdered {
-                    providers.sort_by_key(|p| (p.frequency, p.node));
-                } else {
-                    providers.sort_by_key(|p| p.node);
-                }
-                // The chain starts at the current site (it already holds
-                // the bound solutions) after the index lookup resolves.
-                let mut acc = DistinctBuffer::new();
-                let mut cursor = current.site;
-                let mut t = current.ready.max(located.arrival);
-                let span = rdfmesh_obs::begin_current(
-                    phase::SHIPPING,
-                    &format!("bind-join chain through {} providers", providers.len()),
-                    t.0,
-                );
-                let mut dead = Vec::new();
-                for p in &providers {
-                    let payload = subquery_bytes
-                        + wire::RESULT_HEADER
-                        + solution::serialized_len(acc.as_slice());
-                    let arrived = self.overlay.net.send(cursor, p.node, payload, t);
-                    self.note_provider_contacted();
-                    match self.bound_solutions(p.node, pattern, &current.solutions) {
-                        Some(sols) => {
-                            self.note_local_exec(p.node, sols.len(), arrived);
-                            self.note_intermediates(sols.len());
-                            acc.extend_distinct(sols);
-                            cursor = p.node;
-                            t = arrived;
-                        }
-                        None => {
-                            t = arrived + self.cfg.ack_timeout;
-                            dead.push(p.node);
-                        }
-                    }
-                }
-                rdfmesh_obs::end_current(span, t.0);
-                rdfmesh_obs::advance_current(phase::SHIPPING, t.0);
-                self.handle_dead(&dead);
-                Ok(Mat { solutions: acc.into_vec(), site: cursor, ready: t })
-            }
-        }
-    }
-
-    /// Local bind-join at one storage node: extensions of the carried
-    /// partial solutions by local matches. `None` when the node is dead.
-    fn bound_solutions(
-        &self,
-        addr: NodeId,
-        pattern: &TriplePattern,
-        partial: &[Solution],
-    ) -> Option<SolutionSet> {
-        let node = self.overlay.storage_node(addr)?;
-        Some(eval::evaluate_pattern_with(&node.store, pattern, partial))
-    }
-
-    // ---- binary operations & join site selection (Sect. II, IV-E/F) ----
-
-    fn binary_op(&mut self, op: BinaryOp, left: Mat, right: Mat) -> Mat {
-        let site = self.select_site(&op, &left, &right);
-        let (l, r) = (self.ship(left, site), self.ship(right, site));
-        let ready = l.ready.max(r.ready);
-        let solutions = match &op {
-            BinaryOp::Join => solution::join(&l.solutions, &r.solutions),
-            BinaryOp::Union => solution::union(&l.solutions, &r.solutions),
-            BinaryOp::LeftJoin(None) => solution::left_join(&l.solutions, &r.solutions),
-            BinaryOp::LeftJoin(Some(cond)) => {
-                solution::left_join_filtered(&l.solutions, &r.solutions, |m| cond.satisfied_by(m))
-            }
-        };
-        self.note_intermediates(solutions.len());
-        Mat { solutions, site, ready }
-    }
-
-    /// Applies the configured join-site strategy.
-    fn select_site(&self, op: &BinaryOp, left: &Mat, right: &Mat) -> NodeId {
-        if left.site == right.site {
-            return left.site; // shared node: the Sect. IV-F free case
-        }
-        match self.cfg.join_site {
-            JoinSiteStrategy::QuerySite => self.initiator,
-            JoinSiteStrategy::MoveSmall => {
-                // Ship the smaller solution set to the larger one's site.
-                let lb = solution::serialized_len(&left.solutions);
-                let rb = solution::serialized_len(&right.solutions);
-                // Left joins must not move the mandatory side for free:
-                // the strategy still compares sizes, as Sect. IV-E says.
-                let _ = op;
-                if lb >= rb {
-                    left.site
-                } else {
-                    right.site
-                }
-            }
-            JoinSiteStrategy::ThirdSite => {
-                // Candidates: both operand sites and the query site; pick
-                // the one minimizing total inbound transfer time.
-                let lb = solution::serialized_len(&left.solutions) + wire::RESULT_HEADER;
-                let rb = solution::serialized_len(&right.solutions) + wire::RESULT_HEADER;
-                let candidates = [left.site, right.site, self.initiator];
-                *candidates
-                    .iter()
-                    .min_by_key(|&&c| {
-                        let lt = if c == left.site {
-                            SimTime::ZERO
-                        } else {
-                            self.overlay.net.transfer_time(left.site, c, lb)
-                        };
-                        let rt = if c == right.site {
-                            SimTime::ZERO
-                        } else {
-                            self.overlay.net.transfer_time(right.site, c, rb)
-                        };
-                        (lt.max(rt), lt + rt, c.0)
-                    })
-                    .expect("non-empty candidates")
-            }
-        }
-    }
-
-    /// Moves a materialization to `site`, charging the transfer.
-    fn ship(&mut self, mat: Mat, site: NodeId) -> Mat {
-        if mat.site == site {
-            return mat;
-        }
-        let bytes = wire::RESULT_HEADER + solution::serialized_len(&mat.solutions);
-        let span = rdfmesh_obs::begin_current(
-            phase::SHIPPING,
-            &format!("ship {} solutions {} -> {}", mat.solutions.len(), mat.site, site),
-            mat.ready.0,
-        );
-        let ready = self.overlay.net.send(mat.site, site, bytes, mat.ready);
-        rdfmesh_obs::end_current(span, ready.0);
-        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
-        Mat { solutions: mat.solutions, site, ready }
-    }
-
-    // ---- post-processing (Fig. 3) --------------------------------------
-
-    fn post_process(
-        &mut self,
-        query: &AlgebraQuery,
-        raw: SolutionSet,
-    ) -> Result<QueryResult, EngineError> {
-        match &query.form {
-            QueryForm::Describe(_) => {
-                // DESCRIBE needs the described resources' triples, which
-                // are themselves distributed: fetch each resource's
-                // subject triples with primitive sub-queries.
-                let described = rdfmesh_sparql::finalize(&EmptyGraph, query, raw.clone());
-                let QueryResult::Graph(_) = &described else {
-                    return Ok(described);
-                };
-                let mut resources: Vec<rdfmesh_rdf::Term> = Vec::new();
-                if let QueryForm::Describe(targets) = &query.form {
-                    for t in targets {
-                        match t {
-                            rdfmesh_sparql::ast::DescribeTarget::Iri(iri) => {
-                                resources.push(rdfmesh_rdf::Term::Iri(iri.clone()))
-                            }
-                            rdfmesh_sparql::ast::DescribeTarget::Var(v) => {
-                                for sol in &raw {
-                                    if let Some(t) = sol.get(v) {
-                                        if !resources.contains(t) {
-                                            resources.push(t.clone());
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                let mut triples = Vec::new();
-                for r in resources {
-                    let pat = TriplePattern::new(
-                        r,
-                        rdfmesh_rdf::TermPattern::var("p"),
-                        rdfmesh_rdf::TermPattern::var("o"),
-                    );
-                    let mat = self.primitive(&pat, None, SimTime::ZERO, None)?;
-                    let mat = self.ship(mat, self.initiator);
-                    self.stats.response_time = self.stats.response_time.max(mat.ready);
-                    for sol in &mat.solutions {
-                        if let (Some(p), Some(o)) =
-                            (sol.get(&Variable::new("p")), sol.get(&Variable::new("o")))
-                        {
-                            let t = Triple {
-                                subject: pat.subject.as_const().expect("bound").clone(),
-                                predicate: p.clone(),
-                                object: o.clone(),
-                            };
-                            if !triples.contains(&t) {
-                                triples.push(t);
-                            }
-                        }
-                    }
-                }
-                Ok(QueryResult::Graph(triples))
-            }
-            _ => Ok(rdfmesh_sparql::finalize(&EmptyGraph, query, raw)),
-        }
-    }
-}
-
-/// Binary operations over materializations.
-#[derive(Debug, Clone)]
-enum BinaryOp {
-    Join,
-    Union,
-    LeftJoin(Option<Expression>),
-}
-
-/// A graph with no triples — SELECT/ASK/CONSTRUCT post-processing never
-/// touches the graph argument.
-struct EmptyGraph;
-
-impl rdfmesh_sparql::Graph for EmptyGraph {
-    fn matching(&self, _pattern: &TriplePattern) -> Vec<Triple> {
-        Vec::new()
-    }
-}
-
-// Result accumulation: the dataset of an unscoped query is "the union of
-// all triples stored in all storage nodes" (Sect. IV-A) — a *set* — so
-// identical solutions arising from triples replicated at several
-// providers collapse. That deduplication (the in-network aggregation
-// benefit of the chained schemes, footnote 13) is handled by
-// `DistinctBuffer`, a hash-indexed first-seen-order filter replacing the
-// former O(n²) `merge_distinct` scan with identical output.
-
-/// Extracts the single triple pattern (and optional source-side filter)
-/// when `pattern` is `BGP(t)` or `Filter(C, BGP(t))` with `C` covered by
-/// `t`'s variables.
-fn single_pattern_of(pattern: &GraphPattern) -> Option<(&TriplePattern, Option<&Expression>)> {
-    match pattern {
-        GraphPattern::Bgp(tps) if tps.len() == 1 => Some((&tps[0], None)),
-        GraphPattern::Filter(expr, inner) => match inner.as_ref() {
-            GraphPattern::Bgp(tps) if tps.len() == 1 && covers(&tps[0], expr) => {
-                Some((&tps[0], Some(expr)))
-            }
-            _ => None,
-        },
-        _ => None,
-    }
-}
-
-/// Extracts `[lo, hi]` bounds the expression's conjuncts place on `var`
-/// via numeric comparisons. Returns `None` when no bound exists (an
-/// unbounded filter gains nothing from the range index). One-sided
-/// bounds yield infinities on the open side, clamped by the caller.
-fn extract_numeric_range(expr: &Expression, var: &rdfmesh_rdf::Variable) -> Option<(f64, f64)> {
-    fn walk(e: &Expression, var: &rdfmesh_rdf::Variable, lo: &mut f64, hi: &mut f64, found: &mut bool) {
-        match e {
-            Expression::And(a, b) => {
-                walk(a, var, lo, hi, found);
-                walk(b, var, lo, hi, found);
-            }
-            Expression::Compare(op, a, b) => {
-                use rdfmesh_sparql::ComparisonOp::*;
-                let (v, n, op) = match (a.as_ref(), b.as_ref()) {
-                    (Expression::Var(v), Expression::Const(t)) => {
-                        (v, t.as_literal().and_then(rdfmesh_rdf::Literal::as_f64), *op)
-                    }
-                    (Expression::Const(t), Expression::Var(v)) => {
-                        // Mirror: c < ?v  ≡  ?v > c, etc.
-                        let flipped = match *op {
-                            Lt => Gt,
-                            Le => Ge,
-                            Gt => Lt,
-                            Ge => Le,
-                            other => other,
-                        };
-                        (v, t.as_literal().and_then(rdfmesh_rdf::Literal::as_f64), flipped)
-                    }
-                    _ => return,
-                };
-                if v != var {
-                    return;
-                }
-                let Some(n) = n else { return };
-                match op {
-                    Lt | Le => {
-                        *hi = hi.min(n);
-                        *found = true;
-                    }
-                    Gt | Ge => {
-                        *lo = lo.max(n);
-                        *found = true;
-                    }
-                    Eq => {
-                        *lo = lo.max(n);
-                        *hi = hi.min(n);
-                        *found = true;
-                    }
-                    Neq => {}
-                }
-            }
-            _ => {}
-        }
-    }
-    let mut lo = f64::NEG_INFINITY;
-    let mut hi = f64::INFINITY;
-    let mut found = false;
-    walk(expr, var, &mut lo, &mut hi, &mut found);
-    found.then_some((lo, hi))
-}
-
-fn covers(tp: &TriplePattern, expr: &Expression) -> bool {
-    let vars = tp.variables();
-    expr.variables().iter().all(|v| vars.contains(&v))
-}
-
-fn collect_patterns(pattern: &GraphPattern, out: &mut Vec<TriplePattern>) {
-    match pattern {
-        GraphPattern::Bgp(tps) => out.extend(tps.iter().cloned()),
-        GraphPattern::Join(a, b) | GraphPattern::Union(a, b) => {
-            collect_patterns(a, out);
-            collect_patterns(b, out);
-        }
-        GraphPattern::LeftJoin(a, b, _) => {
-            collect_patterns(a, out);
-            collect_patterns(b, out);
-        }
-        GraphPattern::Filter(_, p) => collect_patterns(p, out),
     }
 }
 
@@ -1541,9 +339,8 @@ pub fn global_store(overlay: &Overlay) -> TripleStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdfmesh_rdf::{Term, TermPattern};
-    use rdfmesh_sparql::solution::Solution;
-    use rdfmesh_rdf::Variable;
+    use rdfmesh_rdf::{Term, TermPattern, Variable};
+    use rdfmesh_sparql::solution::{DistinctBuffer, Solution};
 
     fn sol(pairs: &[(&str, &str)]) -> Solution {
         Solution::from_pairs(
@@ -1575,78 +372,5 @@ mod tests {
             TermPattern::var("o"),
         );
         assert_eq!(est.estimate(&other), 99);
-    }
-
-    #[test]
-    fn single_pattern_of_recognizes_filtered_bgp() {
-        let tp = TriplePattern::new(
-            TermPattern::var("x"),
-            Term::iri("http://e/p"),
-            TermPattern::var("n"),
-        );
-        let bgp = GraphPattern::Bgp(vec![tp.clone()]);
-        assert!(single_pattern_of(&bgp).is_some());
-
-        let covered = GraphPattern::Filter(
-            Expression::Bound(Variable::new("n")),
-            Box::new(GraphPattern::Bgp(vec![tp.clone()])),
-        );
-        let (got, filter) = single_pattern_of(&covered).expect("covered filter");
-        assert_eq!(got, &tp);
-        assert!(filter.is_some());
-
-        // A filter over variables the pattern does not bind cannot ship.
-        let uncovered = GraphPattern::Filter(
-            Expression::Bound(Variable::new("zzz")),
-            Box::new(GraphPattern::Bgp(vec![tp.clone()])),
-        );
-        assert!(single_pattern_of(&uncovered).is_none());
-
-        // Multi-pattern BGPs are not primitive.
-        let multi = GraphPattern::Bgp(vec![tp.clone(), tp]);
-        assert!(single_pattern_of(&multi).is_none());
-    }
-
-    #[test]
-    fn collect_patterns_walks_every_operator() {
-        let tp = |p: &str| {
-            TriplePattern::new(
-                TermPattern::var("x"),
-                Term::iri(&format!("http://e/{p}")),
-                TermPattern::var("y"),
-            )
-        };
-        let pattern = GraphPattern::Filter(
-            Expression::boolean(true),
-            Box::new(GraphPattern::Union(
-                Box::new(GraphPattern::Join(
-                    Box::new(GraphPattern::Bgp(vec![tp("a")])),
-                    Box::new(GraphPattern::Bgp(vec![tp("b")])),
-                )),
-                Box::new(GraphPattern::LeftJoin(
-                    Box::new(GraphPattern::Bgp(vec![tp("c")])),
-                    Box::new(GraphPattern::Bgp(vec![tp("d")])),
-                    None,
-                )),
-            )),
-        );
-        let mut out = Vec::new();
-        collect_patterns(&pattern, &mut out);
-        assert_eq!(out.len(), 4);
-    }
-
-    #[test]
-    fn covers_requires_all_filter_variables() {
-        let tp = TriplePattern::new(
-            TermPattern::var("x"),
-            Term::iri("http://e/p"),
-            TermPattern::var("n"),
-        );
-        assert!(covers(&tp, &Expression::Bound(Variable::new("n"))));
-        let both = Expression::And(
-            Box::new(Expression::Bound(Variable::new("x"))),
-            Box::new(Expression::Bound(Variable::new("missing"))),
-        );
-        assert!(!covers(&tp, &both));
     }
 }

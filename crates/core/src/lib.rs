@@ -19,16 +19,22 @@
 
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod live;
+pub mod live_backend;
 pub mod planner;
+pub mod sim_backend;
 pub mod stats;
 pub mod system;
 
 pub use config::{ExecConfig, JoinSiteStrategy, LiveConfig, Objective, PrimitiveStrategy};
-pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimator, Mat};
+pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimator};
+pub use exec::{ExecNode, ExecPlan, Mat, MeshBackend, OpKind, PrimitiveOp};
 pub use rdfmesh_cache::{CacheConfig, CacheStats, QueryCache};
 pub use rdfmesh_net::FaultPlan;
 pub use live::{DeadlineStage, LiveAnswer, LiveMesh, LiveMsg, QueryId, COORDINATOR};
-pub use planner::{estimate_primitive, plan, CostEstimate, Plan, PlanObjective};
+pub use live_backend::{LiveBackend, LiveError, LiveExecution};
+pub use planner::{compile, estimate_primitive, plan, CostEstimate, Plan, PlanObjective};
+pub use sim_backend::SimBackend;
 pub use stats::{LiveStats, LiveStatsSnapshot, QueryStats};
 pub use system::{SharingSystem, SystemBuilder};

@@ -43,6 +43,8 @@ use crossbeam::channel::{bounded, Sender};
 use rdfmesh_net::{Cluster, Envelope, FaultPlan, Handler, NodeId, Outbox};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple, Overlay};
 use rdfmesh_rdf::{Triple, TriplePattern, TripleStore};
+use rdfmesh_sparql::expr::Expression;
+use rdfmesh_sparql::solution::{wire, Solution};
 
 use crate::config::LiveConfig;
 use crate::stats::{LiveStats, LiveStatsSnapshot};
@@ -85,6 +87,22 @@ pub enum LiveMsg {
         /// The pattern to resolve.
         pattern: TriplePattern,
     },
+    /// The external application submits a *solution round* at the
+    /// coordinator: the providers answer with solution mappings instead
+    /// of raw triples, optionally extending shipped intermediate
+    /// results (the bind-join step of Sect. IV-D) and applying a
+    /// pushed-down filter at the source (Sect. IV-G).
+    SubmitSol {
+        /// Fresh id allocated by [`LiveMesh::query_solutions`].
+        qid: QueryId,
+        /// The pattern to resolve.
+        pattern: TriplePattern,
+        /// Source-side filter every returned solution must satisfy.
+        filter: Option<Expression>,
+        /// Intermediate solutions the providers extend (`None` starts
+        /// from the unit solution).
+        bound: Option<Vec<Solution>>,
+    },
     /// Ask an index node which storage nodes can answer `pattern`.
     Lookup {
         /// The owning query.
@@ -119,6 +137,27 @@ pub enum LiveMsg {
         /// The matching triples.
         triples: Vec<Triple>,
     },
+    /// A solution-round sub-query shipped to a storage node.
+    SubQuerySol {
+        /// The owning query.
+        qid: QueryId,
+        /// The pattern to match locally.
+        pattern: TriplePattern,
+        /// Source-side filter to apply before answering.
+        filter: Option<Expression>,
+        /// Intermediate solutions to extend (`None` starts from the
+        /// unit solution).
+        bound: Option<Vec<Solution>>,
+        /// Where to send the solutions.
+        reply_to: NodeId,
+    },
+    /// A storage node's local solutions for a solution round.
+    Solutions {
+        /// The owning query.
+        qid: QueryId,
+        /// The (filtered, extended) solution mappings.
+        solutions: Vec<Solution>,
+    },
     /// Coordinator → index node: `provider` missed its query-ack
     /// deadline for `pattern`'s key; lazily drop it from the owner's
     /// location-table row (Sect. III-C/D). Routed hop-by-hop like a
@@ -143,8 +182,14 @@ pub enum LiveMsg {
 /// protocol reports exactly how much of the answer survived.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LiveAnswer {
-    /// Deduplicated matches from every provider that answered in time.
+    /// Deduplicated matches from every provider that answered in time
+    /// (triple rounds only; empty for solution rounds).
     pub triples: Vec<Triple>,
+    /// Deduplicated solution mappings from every provider that answered
+    /// in time (solution rounds only; empty for triple rounds). The
+    /// per-gather dedup mirrors the simulator's in-network aggregation:
+    /// identical solutions from replicated triples collapse.
+    pub solutions: Vec<Solution>,
     /// `true` iff every selected provider answered before its deadline
     /// (an empty provider set is complete).
     pub complete: bool,
@@ -182,15 +227,26 @@ enum Phase {
     Gather,
 }
 
+/// What a query round asks the providers for: raw triple matches (the
+/// original single-pattern protocol) or solution mappings (the
+/// sub-queries the distributed execution core ships).
+#[derive(Debug, Clone)]
+enum RoundKind {
+    Triples,
+    Solutions { filter: Option<Expression>, bound: Option<Vec<Solution>> },
+}
+
 #[derive(Debug)]
 struct InFlight {
     pattern: TriplePattern,
+    kind: RoundKind,
     phase: Phase,
     lookup_attempt: u8,
     /// provider → current sub-query attempt (0-based).
     outstanding: HashMap<NodeId, u8>,
     failed: Vec<NodeId>,
     collected: Vec<Triple>,
+    collected_solutions: Vec<Solution>,
 }
 
 /// The per-query coordinator state machine. Every transition consumes
@@ -201,16 +257,29 @@ struct CoordinatorCore {
     me: NodeId,
     index: NodeId,
     cfg: LiveConfig,
+    space: rdfmesh_chord::IdSpace,
+    /// Every storage node, sorted — the recipients of a keyless
+    /// (all-variable) pattern, which has no location-table row and is
+    /// flooded to all sources instead (Sect. IV-B).
+    flood: Vec<NodeId>,
     in_flight: HashMap<QueryId, InFlight>,
     counters: LiveCounters,
 }
 
 impl CoordinatorCore {
-    fn new(me: NodeId, index: NodeId, cfg: LiveConfig) -> Self {
+    fn new(
+        me: NodeId,
+        index: NodeId,
+        cfg: LiveConfig,
+        space: rdfmesh_chord::IdSpace,
+        flood: Vec<NodeId>,
+    ) -> Self {
         CoordinatorCore {
             me,
             index,
             cfg,
+            space,
+            flood,
             in_flight: HashMap::new(),
             counters: LiveCounters::default(),
         }
@@ -218,11 +287,15 @@ impl CoordinatorCore {
 
     fn on_event(&mut self, from: NodeId, msg: LiveMsg) -> Vec<Action> {
         match msg {
-            LiveMsg::Submit { qid, pattern } => self.on_submit(qid, pattern),
+            LiveMsg::Submit { qid, pattern } => self.on_submit(qid, pattern, RoundKind::Triples),
+            LiveMsg::SubmitSol { qid, pattern, filter, bound } => {
+                self.on_submit(qid, pattern, RoundKind::Solutions { filter, bound })
+            }
             LiveMsg::Providers { qid, pattern, providers } => {
                 self.on_providers(qid, pattern, providers)
             }
             LiveMsg::Matches { qid, triples } => self.on_matches(qid, from, triples),
+            LiveMsg::Solutions { qid, solutions } => self.on_solutions(qid, from, solutions),
             LiveMsg::Deadline { qid, stage } => match stage {
                 DeadlineStage::Lookup { attempt } => self.on_lookup_timeout(qid, attempt),
                 DeadlineStage::Ack { provider, attempt } => {
@@ -231,27 +304,60 @@ impl CoordinatorCore {
                 DeadlineStage::Overall => self.on_overall_deadline(qid),
             },
             // Strays addressed to other roles are ignored.
-            LiveMsg::Lookup { .. } | LiveMsg::SubQuery { .. } | LiveMsg::ProviderDead { .. } => {
-                Vec::new()
-            }
+            LiveMsg::Lookup { .. }
+            | LiveMsg::SubQuery { .. }
+            | LiveMsg::SubQuerySol { .. }
+            | LiveMsg::ProviderDead { .. } => Vec::new(),
         }
     }
 
-    fn on_submit(&mut self, qid: QueryId, pattern: TriplePattern) -> Vec<Action> {
+    /// The sub-query message one provider receives, shaped by the
+    /// round's kind. Used by the initial fan-out, retransmissions, and
+    /// the keyless-pattern flood alike.
+    fn subquery_for(&self, qid: QueryId, q: &InFlight) -> LiveMsg {
+        match &q.kind {
+            RoundKind::Triples => {
+                LiveMsg::SubQuery { qid, pattern: q.pattern.clone(), reply_to: self.me }
+            }
+            RoundKind::Solutions { filter, bound } => LiveMsg::SubQuerySol {
+                qid,
+                pattern: q.pattern.clone(),
+                filter: filter.clone(),
+                bound: bound.clone(),
+                reply_to: self.me,
+            },
+        }
+    }
+
+    fn on_submit(&mut self, qid: QueryId, pattern: TriplePattern, kind: RoundKind) -> Vec<Action> {
         if self.in_flight.contains_key(&qid) {
             return Vec::new(); // duplicate submission
         }
+        let keyless = key_for_pattern(self.space, &pattern).is_none();
         self.in_flight.insert(
             qid,
             InFlight {
                 pattern: pattern.clone(),
+                kind,
                 phase: Phase::AwaitProviders,
                 lookup_attempt: 0,
                 outstanding: HashMap::new(),
                 failed: Vec::new(),
                 collected: Vec::new(),
+                collected_solutions: Vec::new(),
             },
         );
+        if keyless {
+            // No location-table row exists for the all-variable pattern:
+            // skip the lookup and flood every storage node (Sect. IV-B).
+            let flood = self.flood.clone();
+            let mut actions = self.on_providers(qid, pattern, flood);
+            actions.push(Action::Schedule {
+                after: self.cfg.query_deadline,
+                msg: LiveMsg::Deadline { qid, stage: DeadlineStage::Overall },
+            });
+            return actions;
+        }
         vec![
             Action::Send {
                 to: self.index,
@@ -268,10 +374,13 @@ impl CoordinatorCore {
         ]
     }
 
+    /// The `pattern` echo in the reply is informational; the sub-queries
+    /// are rebuilt from the round's own state, which the echo must match
+    /// (the index node answers with the looked-up pattern verbatim).
     fn on_providers(
         &mut self,
         qid: QueryId,
-        pattern: TriplePattern,
+        _pattern: TriplePattern,
         providers: Vec<NodeId>,
     ) -> Vec<Action> {
         let Some(q) = self.in_flight.get_mut(&qid) else {
@@ -289,16 +398,17 @@ impl CoordinatorCore {
         }
         q.phase = Phase::Gather;
         let mut seen = HashSet::new();
-        let mut actions = Vec::new();
+        let mut targets = Vec::new();
         for p in providers {
-            if !seen.insert(p) {
-                continue;
+            if seen.insert(p) {
+                q.outstanding.insert(p, 0);
+                targets.push(p);
             }
-            q.outstanding.insert(p, 0);
-            actions.push(Action::Send {
-                to: p,
-                msg: LiveMsg::SubQuery { qid, pattern: pattern.clone(), reply_to: self.me },
-            });
+        }
+        let q = &self.in_flight[&qid];
+        let mut actions = Vec::new();
+        for p in targets {
+            actions.push(Action::Send { to: p, msg: self.subquery_for(qid, q) });
             actions.push(Action::Schedule {
                 after: self.cfg.ack_timeout,
                 msg: LiveMsg::Deadline {
@@ -323,6 +433,28 @@ impl CoordinatorCore {
         for t in triples {
             if !q.collected.contains(&t) {
                 q.collected.push(t);
+            }
+        }
+        if q.outstanding.is_empty() {
+            let complete = q.failed.is_empty();
+            return self.finish(qid, complete);
+        }
+        Vec::new()
+    }
+
+    fn on_solutions(&mut self, qid: QueryId, from: NodeId, solutions: Vec<Solution>) -> Vec<Action> {
+        let stale = match self.in_flight.get_mut(&qid) {
+            None => true,
+            Some(q) => q.phase != Phase::Gather || q.outstanding.remove(&from).is_none(),
+        };
+        if stale {
+            self.counters.stale_replies += 1;
+            return Vec::new();
+        }
+        let q = self.in_flight.get_mut(&qid).expect("checked in flight");
+        for s in solutions {
+            if !q.collected_solutions.contains(&s) {
+                q.collected_solutions.push(s);
             }
         }
         if q.outstanding.is_empty() {
@@ -368,12 +500,9 @@ impl CoordinatorCore {
         if attempt < self.cfg.retries {
             q.outstanding.insert(provider, attempt + 1);
             self.counters.retries += 1;
-            let pattern = q.pattern.clone();
+            let q = &self.in_flight[&qid];
             vec![
-                Action::Send {
-                    to: provider,
-                    msg: LiveMsg::SubQuery { qid, pattern, reply_to: self.me },
-                },
+                Action::Send { to: provider, msg: self.subquery_for(qid, q) },
                 Action::Schedule {
                     after: self.cfg.ack_timeout,
                     msg: LiveMsg::Deadline {
@@ -417,7 +546,7 @@ impl CoordinatorCore {
     fn on_send_failed(&mut self, to: NodeId, msg: LiveMsg) -> Vec<Action> {
         self.counters.send_failures += 1;
         match msg {
-            LiveMsg::SubQuery { qid, .. } => {
+            LiveMsg::SubQuery { qid, .. } | LiveMsg::SubQuerySol { qid, .. } => {
                 match self.in_flight.get(&qid).and_then(|q| q.outstanding.get(&to)).copied() {
                     Some(attempt) => self.on_ack_timeout(qid, to, attempt),
                     None => Vec::new(),
@@ -442,6 +571,7 @@ impl CoordinatorCore {
             qid,
             answer: LiveAnswer {
                 triples: q.collected,
+                solutions: q.collected_solutions,
                 complete,
                 failed_providers: q.failed,
             },
@@ -588,13 +718,33 @@ impl Handler<LiveMsg> for IndexNode {
 
 struct LiveStorage {
     store: TripleStore,
+    stats: Arc<LiveStats>,
 }
 
 impl Handler<LiveMsg> for LiveStorage {
     fn on_message(&mut self, envelope: Envelope<LiveMsg>, out: &Outbox<LiveMsg>) {
-        if let LiveMsg::SubQuery { qid, pattern, reply_to } = envelope.payload {
-            let triples = self.store.match_pattern(&pattern);
-            out.send(reply_to, LiveMsg::Matches { qid, triples });
+        match envelope.payload {
+            LiveMsg::SubQuery { qid, pattern, reply_to } => {
+                let triples = self.store.match_pattern(&pattern);
+                out.send(reply_to, LiveMsg::Matches { qid, triples });
+            }
+            LiveMsg::SubQuerySol { qid, pattern, filter, bound, reply_to } => {
+                // Local execution (Fig. 3): match the pattern against the
+                // local store — extending the shipped intermediates when
+                // the round is a bind join — then apply the pushed-down
+                // filter at the source (Sect. IV-G).
+                let unit = vec![Solution::new()];
+                let partial = bound.as_deref().unwrap_or(&unit);
+                let mut solutions =
+                    rdfmesh_sparql::eval::evaluate_pattern_with(&self.store, &pattern, partial);
+                if let Some(f) = &filter {
+                    solutions.retain(|s| f.satisfied_by(s));
+                }
+                self.stats.add_solutions_shipped(solutions.len() as u64);
+                self.stats.add_solution_bytes(wire::encode(&solutions).len() as u64);
+                out.send(reply_to, LiveMsg::Solutions { qid, solutions });
+            }
+            _ => {}
         }
     }
 }
@@ -677,14 +827,17 @@ impl LiveMesh {
                 }),
             ));
         }
+        let mut flood: Vec<NodeId> = Vec::new();
         for storage in overlay.storage_nodes() {
             let store = overlay.storage_node(storage).expect("listed").store.clone();
-            nodes.push((storage, Box::new(LiveStorage { store })));
+            nodes.push((storage, Box::new(LiveStorage { store, stats: Arc::clone(&stats) })));
+            flood.push(storage);
         }
+        flood.sort();
         nodes.push((
             COORDINATOR,
             Box::new(Coordinator {
-                core: CoordinatorCore::new(COORDINATOR, index_nodes[0], cfg),
+                core: CoordinatorCore::new(COORDINATOR, index_nodes[0], cfg, space, flood),
                 pending: Arc::clone(&pending),
                 shared: Arc::clone(&stats),
                 synced: LiveCounters::default(),
@@ -711,6 +864,35 @@ impl LiveMesh {
         let (tx, rx) = bounded(1);
         lock(&self.pending).insert(qid, tx);
         self.cluster.inject(self.coordinator, self.coordinator, LiveMsg::Submit { qid, pattern });
+        let answer = rx.recv_timeout(timeout).ok();
+        if answer.is_none() {
+            lock(&self.pending).remove(&qid);
+        }
+        answer
+    }
+
+    /// Resolves one *solution round* through the live protocol: the
+    /// selected providers answer with solution mappings — extending the
+    /// shipped `bound` intermediates when given (bind join, Sect. IV-D)
+    /// and applying `filter` at the source (Sect. IV-G) — instead of raw
+    /// triples. The distributed execution core's [`crate::LiveBackend`]
+    /// issues one such round per plan primitive or bound sub-query.
+    pub fn query_solutions(
+        &self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<Solution>>,
+        timeout: Duration,
+    ) -> Option<LiveAnswer> {
+        self.stats.add_solution_rounds(1);
+        let qid = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded(1);
+        lock(&self.pending).insert(qid, tx);
+        self.cluster.inject(
+            self.coordinator,
+            self.coordinator,
+            LiveMsg::SubmitSol { qid, pattern, filter, bound },
+        );
         let answer = rx.recv_timeout(timeout).ok();
         if answer.is_none() {
             lock(&self.pending).remove(&qid);
@@ -902,7 +1084,13 @@ mod tests {
         }
 
         fn core() -> CoordinatorCore {
-            CoordinatorCore::new(COORDINATOR, IX, LiveConfig::default())
+            CoordinatorCore::new(
+                COORDINATOR,
+                IX,
+                LiveConfig::default(),
+                rdfmesh_chord::IdSpace::new(32),
+                vec![P1, P2, P3],
+            )
         }
 
         fn finishes(actions: &[Action]) -> Vec<(QueryId, LiveAnswer)> {
@@ -1054,6 +1242,106 @@ mod tests {
             assert_eq!(done.len(), 1);
             assert!(!done[0].1.complete);
             assert_eq!(c.counters.lookup_failures, 1);
+        }
+
+        fn xsol(n: u64) -> Solution {
+            Solution::from_pairs([(
+                rdfmesh_rdf::Variable::new("x"),
+                Term::iri(&format!("http://example.org/s{n}")),
+            )])
+        }
+
+        #[test]
+        fn solution_round_gathers_and_dedups_across_providers() {
+            let mut c = core();
+            let qid = QueryId(11);
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitSol { qid, pattern: pattern(), filter: None, bound: None },
+            );
+            c.on_event(
+                IX,
+                LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1, P2] },
+            );
+            let a1 = c.on_event(P1, LiveMsg::Solutions { qid, solutions: vec![xsol(1), xsol(2)] });
+            assert!(finishes(&a1).is_empty());
+            // P2 repeats xsol(2) (a replicated triple): it collapses.
+            let a2 = c.on_event(P2, LiveMsg::Solutions { qid, solutions: vec![xsol(2), xsol(3)] });
+            let done = finishes(&a2);
+            assert_eq!(done.len(), 1);
+            assert!(done[0].1.complete);
+            assert_eq!(done[0].1.solutions, vec![xsol(1), xsol(2), xsol(3)]);
+            assert!(done[0].1.triples.is_empty());
+        }
+
+        #[test]
+        fn solution_round_retry_reships_filter_and_bound() {
+            // An expired ack deadline on a solution round must retransmit
+            // the full SubQuerySol — same filter, same bound set — not a
+            // bare triple sub-query.
+            let mut c = core();
+            let qid = QueryId(12);
+            let bound = vec![xsol(1)];
+            let filter = Expression::Bound(rdfmesh_rdf::Variable::new("x"));
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitSol {
+                    qid,
+                    pattern: pattern(),
+                    filter: Some(filter.clone()),
+                    bound: Some(bound.clone()),
+                },
+            );
+            c.on_event(IX, LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1] });
+            let retry = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::Ack { provider: P1, attempt: 0 } },
+            );
+            let resent = retry
+                .iter()
+                .find_map(|a| match a {
+                    Action::Send { to, msg: LiveMsg::SubQuerySol { filter, bound, .. } }
+                        if *to == P1 =>
+                    {
+                        Some((filter.clone(), bound.clone()))
+                    }
+                    _ => None,
+                })
+                .expect("retransmitted solution sub-query");
+            assert_eq!(resent, (Some(filter), Some(bound)));
+        }
+
+        #[test]
+        fn keyless_pattern_floods_the_storage_nodes_without_lookup() {
+            let mut c = core();
+            let qid = QueryId(13);
+            let all = TriplePattern::new(
+                TermPattern::var("s"),
+                TermPattern::var("p"),
+                TermPattern::var("o"),
+            );
+            let acts = c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitSol { qid, pattern: all, filter: None, bound: None },
+            );
+            assert!(
+                !acts.iter().any(|a| matches!(a, Action::Send { msg: LiveMsg::Lookup { .. }, .. })),
+                "the all-variable pattern has no key to look up"
+            );
+            let targets: Vec<NodeId> = acts
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Send { to, msg: LiveMsg::SubQuerySol { .. } } => Some(*to),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(targets, vec![P1, P2, P3], "flooded to every storage node in order");
+            c.on_event(P1, LiveMsg::Solutions { qid, solutions: vec![xsol(1)] });
+            c.on_event(P2, LiveMsg::Solutions { qid, solutions: Vec::new() });
+            let done = finishes(&c.on_event(P3, LiveMsg::Solutions { qid, solutions: Vec::new() }));
+            assert_eq!(done.len(), 1);
+            assert!(done[0].1.complete);
+            assert_eq!(done[0].1.solutions, vec![xsol(1)]);
         }
 
         /// One abstract protocol event for the interleaving property.

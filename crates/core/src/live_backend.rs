@@ -1,0 +1,241 @@
+//! The [`MeshBackend`] that runs plans on the thread-backed live mesh.
+//!
+//! [`crate::SimBackend`] executes a compiled [`crate::ExecPlan`] against
+//! the deterministic simulator; this module executes the *same plan*
+//! against [`LiveMesh`]'s real threads, which is what graduates the live
+//! mesh from single-pattern lookups to full SPARQL — conjunctive
+//! patterns, UNION / OPTIONAL, FILTER pushdown, DISTINCT and the other
+//! solution modifiers.
+//!
+//! The division of labour mirrors the paper's Fig. 3 on a real
+//! transport:
+//!
+//! * every plan primitive becomes one live *solution round*
+//!   ([`LiveMesh::query_solutions`]): the coordinator resolves providers
+//!   through the two-level index, ships the pattern (with its
+//!   pushed-down filter), and gathers solution mappings under the
+//!   fault-tolerant ack/retry/purge machinery of [`crate::live`];
+//! * a bind-join chain step ships the current intermediate solutions
+//!   *with* the sub-query, so providers return only compatible
+//!   extensions (Sect. IV-D);
+//! * binary operators (JOIN / UNION / OPTIONAL) combine gathered sets
+//!   locally at the coordinator — the live mesh has no simulated-cost
+//!   notion of a cheaper third site, so the query site is always the
+//!   assembly site;
+//! * post-processing ([`rdfmesh_sparql::finalize`]) runs at the
+//!   coordinator over the delivered materialization.
+//!
+//! Faults surface in the result instead of hanging the query: a crashed
+//! provider makes the affected round — and therefore the whole
+//! [`LiveExecution`] — report `complete == false` and name the failed
+//! providers, while still returning every solution that survived.
+//! `docs/EXECUTION.md` tabulates these sim-vs-live semantic differences.
+
+use std::time::Duration;
+
+use rdfmesh_net::{NodeId, SimTime};
+use rdfmesh_rdf::TriplePattern;
+use rdfmesh_sparql::{
+    eval::NoGraph,
+    solution,
+    Expression, QueryResult,
+};
+
+use crate::config::ExecConfig;
+use crate::exec::{self, Mat, MeshBackend, OpKind, PrimitiveOp};
+use crate::live::{LiveMesh, COORDINATOR};
+
+/// Why a live execution failed outright (as opposed to completing with
+/// `complete == false`, which is a *partial answer*, not an error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveError {
+    /// The query text did not parse.
+    Parse(rdfmesh_sparql::ParseError),
+    /// A solution round outlived the caller-side wait — the protocol's
+    /// own deadlines should answer long before this fires, so a timeout
+    /// means the mesh was shut down or the wait was set below
+    /// [`crate::LiveConfig::query_deadline`].
+    Timeout,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Parse(e) => write!(f, "live query parse error: {e}"),
+            LiveError::Timeout => write!(f, "live query timed out waiting for a solution round"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Parse(e) => Some(e),
+            LiveError::Timeout => None,
+        }
+    }
+}
+
+impl From<rdfmesh_sparql::ParseError> for LiveError {
+    fn from(e: rdfmesh_sparql::ParseError) -> Self {
+        LiveError::Parse(e)
+    }
+}
+
+/// What one full query run on the live mesh produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveExecution {
+    /// The post-processed result (solutions / boolean / graph).
+    pub result: QueryResult,
+    /// `true` iff every solution round completed with every selected
+    /// provider answering in time.
+    pub complete: bool,
+    /// Providers that failed during any round (deduplicated, sorted).
+    pub failed_providers: Vec<NodeId>,
+    /// Solution rounds issued — one per plan primitive or bound
+    /// sub-query.
+    pub rounds: u64,
+}
+
+/// Executes [`crate::ExecPlan`]s by issuing live solution rounds.
+///
+/// One backend drives one query: it accumulates the rounds' fault
+/// reports so the final [`LiveExecution`] can say exactly how much of
+/// the answer survived.
+pub struct LiveBackend<'a> {
+    mesh: &'a LiveMesh,
+    wait: Duration,
+    complete: bool,
+    failed: Vec<NodeId>,
+    rounds: u64,
+}
+
+impl<'a> LiveBackend<'a> {
+    /// A backend issuing rounds on `mesh`, blocking up to `wait` per
+    /// round for the caller-side wait (the protocol's own deadlines
+    /// answer well before a generous `wait`).
+    pub fn new(mesh: &'a LiveMesh, wait: Duration) -> Self {
+        LiveBackend { mesh, wait, complete: true, failed: Vec::new(), rounds: 0 }
+    }
+
+    fn round(
+        &mut self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<solution::Solution>>,
+    ) -> Result<Mat, LiveError> {
+        self.rounds += 1;
+        let answer = self
+            .mesh
+            .query_solutions(pattern, filter, bound, self.wait)
+            .ok_or(LiveError::Timeout)?;
+        if !answer.complete {
+            self.complete = false;
+        }
+        for p in answer.failed_providers {
+            if !self.failed.contains(&p) {
+                self.failed.push(p);
+            }
+        }
+        Ok(Mat { solutions: answer.solutions, site: COORDINATOR, ready: SimTime::ZERO })
+    }
+}
+
+impl MeshBackend for LiveBackend<'_> {
+    type Error = LiveError;
+
+    fn home(&self) -> NodeId {
+        COORDINATOR
+    }
+
+    /// Site hints and the range index are simulator placement
+    /// optimizations; the live mesh always gathers at the coordinator,
+    /// so both are ignored (plans are compiled with them disabled).
+    fn exec_primitive(
+        &mut self,
+        op: &PrimitiveOp,
+        _depart: SimTime,
+        _hint: Option<NodeId>,
+        _use_range: bool,
+    ) -> Result<Mat, LiveError> {
+        self.round(op.pattern.clone(), op.filter.clone(), None)
+    }
+
+    fn exec_bound(&mut self, pattern: &TriplePattern, current: Mat) -> Result<Mat, LiveError> {
+        self.round(pattern.clone(), None, Some(current.solutions))
+    }
+
+    fn exec_binary(&mut self, op: &OpKind, left: Mat, right: Mat) -> Mat {
+        let solutions = match op {
+            OpKind::Join => solution::join(&left.solutions, &right.solutions),
+            OpKind::Union => solution::union(&left.solutions, &right.solutions),
+            OpKind::LeftJoin(None) => solution::left_join(&left.solutions, &right.solutions),
+            OpKind::LeftJoin(Some(cond)) => solution::left_join_filtered(
+                &left.solutions,
+                &right.solutions,
+                |m| cond.satisfied_by(m),
+            ),
+        };
+        Mat { solutions, site: COORDINATOR, ready: SimTime::ZERO }
+    }
+
+    /// The live mesh has no third-site placement: everything assembles
+    /// at the coordinator, so there is never a common site to propose.
+    fn exec_common_site(
+        &mut self,
+        _a: &TriplePattern,
+        _b: &TriplePattern,
+    ) -> Result<Option<NodeId>, LiveError> {
+        Ok(None)
+    }
+
+    /// The gathered materialization already lives at the coordinator.
+    fn deliver(&mut self, mat: Mat) -> Mat {
+        mat
+    }
+}
+
+impl LiveMesh {
+    /// Parses, optimizes, compiles and executes a full SPARQL query on
+    /// the live mesh — the complete Fig. 3 pipeline over real threads.
+    ///
+    /// `bind_join` selects the conjunctive strategy: `true` ships
+    /// intermediates with each sub-query (Sect. IV-D bound evaluation),
+    /// `false` gathers each pattern independently and joins at the
+    /// coordinator. `wait` bounds the caller-side wait per solution
+    /// round; set it comfortably above
+    /// [`crate::LiveConfig::query_deadline`].
+    pub fn execute(
+        &self,
+        query: &str,
+        bind_join: bool,
+        wait: Duration,
+    ) -> Result<LiveExecution, LiveError> {
+        let parsed = rdfmesh_sparql::parse_query(query)?;
+        // Placement-dependent decisions (overlap hints, range probing)
+        // are meaningless on the live mesh; compile them out so the plan
+        // contains only what the live protocol implements.
+        let cfg = ExecConfig {
+            overlap_aware: false,
+            range_index: false,
+            bind_join,
+            ..ExecConfig::default()
+        };
+        let pattern = rdfmesh_sparql::optimize(parsed.pattern.clone(), &cfg.optimizer);
+        let plan = crate::planner::compile(&pattern, &cfg);
+        let mut backend = LiveBackend::new(self, wait);
+        let mat = exec::run(&mut backend, &plan, SimTime::ZERO)?;
+        let mat = backend.deliver(mat);
+        let result = rdfmesh_sparql::finalize(&NoGraph, &parsed, mat.solutions);
+        Ok(LiveExecution {
+            result,
+            complete: backend.complete,
+            failed_providers: {
+                let mut failed = backend.failed;
+                failed.sort();
+                failed
+            },
+            rounds: backend.rounds,
+        })
+    }
+}

@@ -15,9 +15,10 @@
 use rdfmesh_net::{NodeId, SimTime};
 use rdfmesh_overlay::{wire, Overlay, OverlayError};
 use rdfmesh_rdf::TriplePattern;
-use rdfmesh_sparql::GraphPattern;
+use rdfmesh_sparql::{expr::Expression, GraphPattern};
 
 use crate::config::{ExecConfig, PrimitiveStrategy};
+use crate::exec::{covers, single_pattern_of, ExecNode, ExecPlan, OpKind, PrimitiveOp};
 
 /// What the planner optimizes for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,17 +189,95 @@ pub fn plan(
 }
 
 fn collect(pattern: &GraphPattern, out: &mut Vec<TriplePattern>) {
+    crate::exec::collect_patterns(pattern, out);
+}
+
+// ---- algebra → operator IR ------------------------------------------
+
+/// Compiles an optimized algebra tree into an executable [`ExecPlan`].
+///
+/// Compilation is pure — it touches no network — and bakes every
+/// configuration-dependent execution decision into the plan:
+///
+/// * multi-pattern BGPs become left-deep [`ExecNode::Chain`] steps in
+///   optimizer order, carrying `ExecConfig::bind_join` (ship the
+///   intermediate with the sub-query) and `ExecConfig::overlap_aware`
+///   (end the next provider chain at the intermediate's site);
+/// * nested filters are flattened into one conjunction; a filter whose
+///   variables a single-pattern core binds ships with the sub-query
+///   ([`PrimitiveOp::filter`], Sect. IV-G) and is marked range-eligible
+///   under `ExecConfig::range_index`, anything else becomes a residual
+///   [`ExecNode::Filter`];
+/// * algebra JOIN / UNION / OPTIONAL become [`ExecNode::Binary`], with
+///   the Sect. IV-D/IV-F common-site probe compiled in exactly when
+///   both operands are single primitives under
+///   `ExecConfig::overlap_aware`.
+pub fn compile(pattern: &GraphPattern, cfg: &ExecConfig) -> ExecPlan {
+    ExecPlan { root: compile_node(pattern, cfg) }
+}
+
+fn compile_node(pattern: &GraphPattern, cfg: &ExecConfig) -> ExecNode {
     match pattern {
-        GraphPattern::Bgp(tps) => out.extend(tps.iter().cloned()),
-        GraphPattern::Join(a, b) | GraphPattern::Union(a, b) => {
-            collect(a, out);
-            collect(b, out);
+        GraphPattern::Bgp(tps) if tps.is_empty() => ExecNode::Unit,
+        GraphPattern::Bgp(tps) if tps.len() == 1 => ExecNode::Primitive(PrimitiveOp {
+            pattern: tps[0].clone(),
+            filter: None,
+            try_range: false,
+        }),
+        GraphPattern::Bgp(tps) => {
+            let mut node = ExecNode::Primitive(PrimitiveOp {
+                pattern: tps[0].clone(),
+                filter: None,
+                try_range: false,
+            });
+            for tp in &tps[1..] {
+                node = ExecNode::Chain {
+                    left: Box::new(node),
+                    right: tp.clone(),
+                    bind: cfg.bind_join,
+                    hint_from_left: cfg.overlap_aware,
+                };
+            }
+            node
         }
-        GraphPattern::LeftJoin(a, b, _) => {
-            collect(a, out);
-            collect(b, out);
+        GraphPattern::Filter(expr, inner) => {
+            // Nested filters (the optimizer pushes conjuncts one at a
+            // time) are one conjunction over the same core pattern;
+            // flatten them so the whole condition ships together.
+            let mut combined = expr.clone();
+            let mut core: &GraphPattern = inner;
+            while let GraphPattern::Filter(e2, deeper) = core {
+                combined = Expression::And(Box::new(combined), Box::new(e2.clone()));
+                core = deeper;
+            }
+            if let GraphPattern::Bgp(tps) = core {
+                if tps.len() == 1 && covers(&tps[0], &combined) {
+                    return ExecNode::Primitive(PrimitiveOp {
+                        pattern: tps[0].clone(),
+                        filter: Some(combined),
+                        try_range: cfg.range_index,
+                    });
+                }
+            }
+            ExecNode::Filter { expr: combined, input: Box::new(compile_node(core, cfg)) }
         }
-        GraphPattern::Filter(_, p) => collect(p, out),
+        GraphPattern::Join(a, b) => binary(OpKind::Join, a, b, cfg),
+        GraphPattern::LeftJoin(a, b, expr) => binary(OpKind::LeftJoin(expr.clone()), a, b, cfg),
+        GraphPattern::Union(a, b) => binary(OpKind::Union, a, b, cfg),
+    }
+}
+
+fn binary(op: OpKind, a: &GraphPattern, b: &GraphPattern, cfg: &ExecConfig) -> ExecNode {
+    // The common-site probe fires exactly when the pre-IR engine's
+    // `common_site_hints` would have: overlap awareness on and both
+    // operands reducible to one (optionally filtered) triple pattern.
+    let common_site =
+        cfg.overlap_aware && single_pattern_of(a).is_some() && single_pattern_of(b).is_some();
+    ExecNode::Binary {
+        op,
+        left: Box::new(compile_node(a, cfg)),
+        right: Box::new(compile_node(b, cfg)),
+        common_site,
     }
 }
 
@@ -281,5 +360,151 @@ mod tests {
         let by_time = ests.iter().min_by_key(|e| e.1.time).unwrap().0;
         assert_eq!(by_bytes, PrimitiveStrategy::FrequencyOrdered);
         assert_eq!(by_time, PrimitiveStrategy::Basic);
+    }
+
+    #[test]
+    fn fully_bound_pattern_ships_two_byte_solutions() {
+        // ASK-shaped pattern: no variables, so each solution mapping is
+        // just the 2-byte frame. Result transfers must reflect that and
+        // stay far below a one-variable pattern's cost.
+        let bound = TriplePattern::new(
+            Term::iri("http://example.org/alice"),
+            Term::iri("http://xmlns.com/foaf/0.1/knows"),
+            Term::iri("http://example.org/bob"),
+        );
+        assert_eq!(solution_bytes(&bound), 2.0);
+        let freqs = [20u64, 20];
+        let b = estimate_primitive(PrimitiveStrategy::Basic, &bound, &freqs, LAT, BW);
+        let one_var = estimate_primitive(PrimitiveStrategy::Basic, &pattern(), &freqs, LAT, BW);
+        assert!(b.bytes > 0.0);
+        assert!(b.bytes < one_var.bytes);
+    }
+
+    #[test]
+    fn all_variable_pattern_prices_three_bindings_per_solution() {
+        // `?s ?p ?o` binds three variables; every matched triple ships
+        // three terms, the most expensive per-solution shape there is.
+        let all = TriplePattern::new(
+            TermPattern::var("s"),
+            TermPattern::var("p"),
+            TermPattern::var("o"),
+        );
+        assert_eq!(solution_bytes(&all), 2.0 + 3.0 * 40.0);
+        let a = estimate_primitive(PrimitiveStrategy::Chained, &all, &[10], LAT, BW);
+        let one = estimate_primitive(PrimitiveStrategy::Chained, &pattern(), &[10], LAT, BW);
+        assert!(a.bytes > one.bytes);
+        assert!(a.time > one.time);
+    }
+
+    #[test]
+    fn frequency_estimator_default_feeds_unknown_patterns() {
+        // The engine's frequency estimator falls back to its default for
+        // patterns absent from the location tables (e.g. the all-variable
+        // flood pattern); the planner must accept that default as a
+        // provider frequency without misbehaving.
+        use rdfmesh_sparql::CardinalityEstimator as _;
+        let est = crate::engine::FrequencyEstimator::new([(pattern(), 7u64)], 1000);
+        let unknown = TriplePattern::new(
+            TermPattern::var("s"),
+            TermPattern::var("p"),
+            TermPattern::var("o"),
+        );
+        assert_eq!(est.estimate(&unknown), 1000);
+        let defaulted =
+            estimate_primitive(PrimitiveStrategy::Basic, &unknown, &[est.estimate(&unknown)], LAT, BW);
+        let known =
+            estimate_primitive(PrimitiveStrategy::Basic, &pattern(), &[est.estimate(&pattern())], LAT, BW);
+        assert!(defaulted.bytes > known.bytes);
+        assert!(defaulted.bytes.is_finite() && defaulted.time > SimTime::ZERO);
+    }
+
+    // ---- compile() shape tests --------------------------------------
+
+    fn tp(p: &str) -> TriplePattern {
+        TriplePattern::new(TermPattern::var("s"), Term::iri(p), TermPattern::var("o"))
+    }
+
+    #[test]
+    fn compile_folds_bgp_into_left_deep_chain() {
+        let bgp = GraphPattern::Bgp(vec![tp("http://e/a"), tp("http://e/b"), tp("http://e/c")]);
+        let cfg = ExecConfig { bind_join: true, ..ExecConfig::default() };
+        let plan = compile(&bgp, &cfg);
+        assert_eq!(plan.node_count(), 3);
+        match &plan.root {
+            ExecNode::Chain { left, right, bind, hint_from_left } => {
+                assert_eq!(right, &tp("http://e/c"));
+                assert!(*bind && *hint_from_left);
+                match left.as_ref() {
+                    ExecNode::Chain { left: inner, right, bind, .. } => {
+                        assert_eq!(right, &tp("http://e/b"));
+                        assert!(*bind);
+                        assert!(matches!(inner.as_ref(), ExecNode::Primitive(op)
+                            if op.pattern == tp("http://e/a")));
+                    }
+                    other => panic!("expected inner chain, got {other:?}"),
+                }
+            }
+            other => panic!("expected chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_pushes_covered_filter_into_the_primitive() {
+        let filtered = GraphPattern::Filter(
+            Expression::Bound(rdfmesh_rdf::Variable::new("o")),
+            Box::new(GraphPattern::Bgp(vec![tp("http://e/a")])),
+        );
+        let plan = compile(&filtered, &ExecConfig::default());
+        match &plan.root {
+            ExecNode::Primitive(op) => {
+                assert!(op.filter.is_some(), "covered filter must ship with the sub-query");
+                assert!(op.try_range, "range probing on under the default config");
+            }
+            other => panic!("expected pushed-down primitive, got {other:?}"),
+        }
+        // Range probing is a config decision, baked in at compile time.
+        let no_range =
+            compile(&filtered, &ExecConfig { range_index: false, ..ExecConfig::default() });
+        assert!(matches!(&no_range.root, ExecNode::Primitive(op) if !op.try_range));
+    }
+
+    #[test]
+    fn compile_leaves_uncovered_filter_residual() {
+        // The filter mentions ?x which the core pattern never binds, so
+        // it cannot ship with the sub-query and must run post-join.
+        let filtered = GraphPattern::Filter(
+            Expression::Bound(rdfmesh_rdf::Variable::new("x")),
+            Box::new(GraphPattern::Bgp(vec![tp("http://e/a")])),
+        );
+        let plan = compile(&filtered, &ExecConfig::default());
+        match &plan.root {
+            ExecNode::Filter { input, .. } => {
+                assert!(matches!(input.as_ref(), ExecNode::Primitive(op) if op.filter.is_none()));
+            }
+            other => panic!("expected residual filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_marks_common_site_only_for_single_pattern_operands() {
+        let single = GraphPattern::Bgp(vec![tp("http://e/a")]);
+        let double = GraphPattern::Bgp(vec![tp("http://e/b"), tp("http://e/c")]);
+        let cfg = ExecConfig::default();
+        assert!(cfg.overlap_aware);
+
+        let eligible =
+            compile(&GraphPattern::Union(Box::new(single.clone()), Box::new(single.clone())), &cfg);
+        assert!(matches!(&eligible.root, ExecNode::Binary { common_site: true, .. }));
+
+        let ineligible =
+            compile(&GraphPattern::Join(Box::new(single.clone()), Box::new(double)), &cfg);
+        assert!(matches!(&ineligible.root, ExecNode::Binary { common_site: false, .. }));
+
+        let overlap_off = ExecConfig { overlap_aware: false, ..ExecConfig::default() };
+        let disabled = compile(
+            &GraphPattern::Union(Box::new(single.clone()), Box::new(single)),
+            &overlap_off,
+        );
+        assert!(matches!(&disabled.root, ExecNode::Binary { common_site: false, .. }));
     }
 }

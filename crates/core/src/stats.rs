@@ -105,6 +105,9 @@ pub struct LiveStats {
     providers_purged: std::sync::atomic::AtomicU64,
     incomplete_queries: std::sync::atomic::AtomicU64,
     lookup_failures: std::sync::atomic::AtomicU64,
+    solution_rounds: std::sync::atomic::AtomicU64,
+    solutions_shipped: std::sync::atomic::AtomicU64,
+    solution_bytes: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`LiveStats`].
@@ -124,6 +127,15 @@ pub struct LiveStatsSnapshot {
     pub incomplete_queries: u64,
     /// Lookups the index node never answered within the deadline.
     pub lookup_failures: u64,
+    /// Solution rounds issued (one per plan primitive or bound
+    /// sub-query executed through [`crate::LiveMesh::query_solutions`]).
+    pub solution_rounds: u64,
+    /// Solution mappings shipped by storage nodes answering solution
+    /// rounds.
+    pub solutions_shipped: u64,
+    /// Wire bytes of those solutions, sized by the
+    /// `rdfmesh_sparql::solution::wire` codec.
+    pub solution_bytes: u64,
 }
 
 impl LiveStats {
@@ -169,6 +181,21 @@ impl LiveStats {
         Self::bump(&self.lookup_failures, rdfmesh_obs::names::LIVE_LOOKUP_FAILURES, delta);
     }
 
+    /// Adds `delta` solution rounds.
+    pub fn add_solution_rounds(&self, delta: u64) {
+        Self::bump(&self.solution_rounds, rdfmesh_obs::names::LIVE_SOLUTION_ROUNDS, delta);
+    }
+
+    /// Adds `delta` shipped solution mappings.
+    pub fn add_solutions_shipped(&self, delta: u64) {
+        Self::bump(&self.solutions_shipped, rdfmesh_obs::names::LIVE_SOLUTIONS_SHIPPED, delta);
+    }
+
+    /// Adds `delta` wire bytes of shipped solutions.
+    pub fn add_solution_bytes(&self, delta: u64) {
+        Self::bump(&self.solution_bytes, rdfmesh_obs::names::LIVE_SOLUTION_BYTES, delta);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> LiveStatsSnapshot {
         use std::sync::atomic::Ordering::Relaxed;
@@ -180,6 +207,9 @@ impl LiveStats {
             providers_purged: self.providers_purged.load(Relaxed),
             incomplete_queries: self.incomplete_queries.load(Relaxed),
             lookup_failures: self.lookup_failures.load(Relaxed),
+            solution_rounds: self.solution_rounds.load(Relaxed),
+            solutions_shipped: self.solutions_shipped.load(Relaxed),
+            solution_bytes: self.solution_bytes.load(Relaxed),
         }
     }
 }

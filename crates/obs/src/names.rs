@@ -53,3 +53,28 @@ pub const LIVE_INCOMPLETE_QUERIES: &str = "live.incomplete_queries";
 /// Lookups abandoned because the index node never answered within the
 /// lookup deadline (after the bounded retry).
 pub const LIVE_LOOKUP_FAILURES: &str = "live.lookup_failures";
+
+// ---- backend-agnostic execution core (docs/EXECUTION.md) -------------
+
+/// Plans executed through the backend-agnostic executor (`exec::run`).
+pub const EXEC_PLANS: &str = "exec.plans";
+/// Operator-node count per executed plan (histogram).
+pub const EXEC_PLAN_NODES: &str = "exec.plan_nodes";
+/// Primitive sub-queries resolved through a mesh backend.
+pub const EXEC_PRIMITIVES: &str = "exec.primitives";
+/// Bound-pattern sub-queries (intermediate solutions shipped with the
+/// pattern) resolved through a mesh backend.
+pub const EXEC_BOUND_SUBQUERIES: &str = "exec.bound_subqueries";
+/// Binary operators (join / union / left join) executed over
+/// materializations.
+pub const EXEC_BINARY_OPS: &str = "exec.binary_ops";
+/// Residual filters applied to a materialization by the executor.
+pub const EXEC_RESIDUAL_FILTERS: &str = "exec.residual_filters";
+/// Solution-gathering rounds issued by the live execution backend.
+pub const LIVE_SOLUTION_ROUNDS: &str = "live.solution_rounds";
+/// Solution mappings shipped as intermediate results by live storage
+/// nodes.
+pub const LIVE_SOLUTIONS_SHIPPED: &str = "live.solutions_shipped";
+/// Wire bytes of shipped solution sets (bound sets out, extensions
+/// back), measured with the `solution::wire` codec.
+pub const LIVE_SOLUTION_BYTES: &str = "live.solution_bytes";

@@ -114,8 +114,13 @@ impl<'a> LineParser<'a> {
         }
     }
 
+    // The dispatching caller guarantees the opening delimiter, but it
+    // must still be *consumed* unconditionally — `debug_assert!(eat())`
+    // would compile the consumption out of release builds.
+
     fn parse_iri(&mut self) -> Result<Iri, ParseError> {
-        debug_assert!(self.eat(b'<'));
+        let opened = self.eat(b'<');
+        debug_assert!(opened);
         let start = self.pos;
         while let Some(c) = self.peek() {
             if c == b'>' {
@@ -129,7 +134,8 @@ impl<'a> LineParser<'a> {
     }
 
     fn parse_blank(&mut self) -> Result<BlankNode, ParseError> {
-        debug_assert!(self.eat(b'_'));
+        let opened = self.eat(b'_');
+        debug_assert!(opened);
         if !self.eat(b':') {
             return Err(self.err("expected ':' after '_' in blank node"));
         }
@@ -145,7 +151,8 @@ impl<'a> LineParser<'a> {
     }
 
     fn parse_literal(&mut self) -> Result<Literal, ParseError> {
-        debug_assert!(self.eat(b'"'));
+        let opened = self.eat(b'"');
+        debug_assert!(opened);
         let mut lexical = String::new();
         loop {
             match self.peek() {

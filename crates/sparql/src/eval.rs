@@ -31,6 +31,21 @@ impl Graph for TripleStore {
     }
 }
 
+/// A graph with no triples.
+///
+/// Distributed post-processing ([`crate::finalize`]) operates on solution
+/// sets that already arrived at the query initiator; the graph argument
+/// is only consulted by DESCRIBE, which the distributed engines resolve
+/// with their own sub-queries instead. Both the simulated and the live
+/// backend finalize against `NoGraph`.
+pub struct NoGraph;
+
+impl Graph for NoGraph {
+    fn matching(&self, _pattern: &TriplePattern) -> Vec<Triple> {
+        Vec::new()
+    }
+}
+
 /// Substitutes the bindings of `solution` into `pattern`, producing a more
 /// specific pattern (used when extending partial solutions).
 pub fn substitute(pattern: &TriplePattern, solution: &Solution) -> TriplePattern {

@@ -443,6 +443,166 @@ pub mod hashed {
     }
 }
 
+/// A length-prefixed binary codec for solution sets — the wire format a
+/// socket transport would ship between sites.
+///
+/// The live mesh's solution rounds move [`SolutionSet`]s between storage
+/// nodes and the coordinator; this codec fixes the byte layout so their
+/// transfer sizes can be accounted (the `live.solution_bytes` counter)
+/// with the same number a real deployment would put on the network.
+/// Layout: a `u32` solution count, then per solution a `u32` binding
+/// count followed by `(variable name, term)` records. Strings are
+/// `u32`-length-prefixed UTF-8; terms carry a one-byte tag (IRI, blank,
+/// plain / language-tagged / typed literal). All integers little-endian.
+pub mod wire {
+    use rdfmesh_rdf::{BlankNode, Iri, Literal, LiteralKind, Term, Variable};
+
+    use super::{Solution, SolutionSet};
+
+    /// A malformed byte stream handed to [`decode`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WireError(
+        /// What was wrong with the stream.
+        pub &'static str,
+    );
+
+    impl std::fmt::Display for WireError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "solution wire decode error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for WireError {}
+
+    const TAG_IRI: u8 = 0;
+    const TAG_BLANK: u8 = 1;
+    const TAG_PLAIN: u8 = 2;
+    const TAG_LANG: u8 = 3;
+    const TAG_TYPED: u8 = 4;
+
+    fn put_str(out: &mut Vec<u8>, s: &str) {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    fn put_term(out: &mut Vec<u8>, term: &Term) {
+        match term {
+            Term::Iri(iri) => {
+                out.push(TAG_IRI);
+                put_str(out, iri.as_str());
+            }
+            Term::Blank(b) => {
+                out.push(TAG_BLANK);
+                put_str(out, b.as_str());
+            }
+            Term::Literal(lit) => match lit.kind() {
+                LiteralKind::Plain => {
+                    out.push(TAG_PLAIN);
+                    put_str(out, lit.lexical());
+                }
+                LiteralKind::LanguageTagged(tag) => {
+                    out.push(TAG_LANG);
+                    put_str(out, lit.lexical());
+                    put_str(out, tag);
+                }
+                LiteralKind::Typed(dt) => {
+                    out.push(TAG_TYPED);
+                    put_str(out, lit.lexical());
+                    put_str(out, dt.as_str());
+                }
+            },
+        }
+    }
+
+    /// Encodes a solution set into its wire bytes.
+    pub fn encode(solutions: &[Solution]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(solutions.len() as u32).to_le_bytes());
+        for sol in solutions {
+            out.extend_from_slice(&(sol.len() as u32).to_le_bytes());
+            for (var, term) in sol.iter() {
+                put_str(&mut out, var.as_str());
+                put_term(&mut out, term);
+            }
+        }
+        out
+    }
+
+    struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn u32(&mut self) -> Result<u32, WireError> {
+            let end = self.pos.checked_add(4).ok_or(WireError("length overflow"))?;
+            let chunk = self.bytes.get(self.pos..end).ok_or(WireError("truncated integer"))?;
+            self.pos = end;
+            Ok(u32::from_le_bytes(chunk.try_into().expect("4-byte slice")))
+        }
+
+        fn u8(&mut self) -> Result<u8, WireError> {
+            let b = *self.bytes.get(self.pos).ok_or(WireError("truncated tag"))?;
+            self.pos += 1;
+            Ok(b)
+        }
+
+        fn str(&mut self) -> Result<&'a str, WireError> {
+            let len = self.u32()? as usize;
+            let end = self.pos.checked_add(len).ok_or(WireError("length overflow"))?;
+            let chunk = self.bytes.get(self.pos..end).ok_or(WireError("truncated string"))?;
+            self.pos = end;
+            std::str::from_utf8(chunk).map_err(|_| WireError("invalid UTF-8"))
+        }
+
+        fn term(&mut self) -> Result<Term, WireError> {
+            match self.u8()? {
+                TAG_IRI => Ok(Term::Iri(
+                    Iri::new(self.str()?).map_err(|_| WireError("invalid IRI"))?,
+                )),
+                TAG_BLANK => Ok(Term::Blank(
+                    BlankNode::new(self.str()?).map_err(|_| WireError("invalid blank node"))?,
+                )),
+                TAG_PLAIN => Ok(Term::Literal(Literal::plain(self.str()?))),
+                TAG_LANG => {
+                    let lexical = self.str()?.to_owned();
+                    Ok(Term::Literal(Literal::lang(lexical, self.str()?)))
+                }
+                TAG_TYPED => {
+                    let lexical = self.str()?.to_owned();
+                    let dt = Iri::new(self.str()?).map_err(|_| WireError("invalid datatype"))?;
+                    Ok(Term::Literal(Literal::typed(lexical, dt)))
+                }
+                _ => Err(WireError("unknown term tag")),
+            }
+        }
+    }
+
+    /// Decodes wire bytes back into a solution set. Exact inverse of
+    /// [`encode`]; trailing bytes are an error.
+    pub fn decode(bytes: &[u8]) -> Result<SolutionSet, WireError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let count = r.u32()? as usize;
+        let mut out = Vec::new();
+        for _ in 0..count {
+            let bindings = r.u32()? as usize;
+            let mut sol = Solution::new();
+            for _ in 0..bindings {
+                let var = Variable::new(r.str()?);
+                let term = r.term()?;
+                if !sol.bind(var, term) {
+                    return Err(WireError("duplicate variable in solution"));
+                }
+            }
+            out.push(sol);
+        }
+        if r.pos != bytes.len() {
+            return Err(WireError("trailing bytes"));
+        }
+        Ok(out)
+    }
+}
+
 fn solution_hash(s: &Solution) -> u64 {
     let mut h = FxHasher64::default();
     s.hash(&mut h);
@@ -731,6 +891,45 @@ mod tests {
         assert_eq!(buf.len(), 2);
         assert_eq!(buf.as_slice().len(), 2);
         assert_eq!(buf.into_vec().len(), 2);
+    }
+
+    #[test]
+    fn wire_round_trips_every_term_kind() {
+        let dt = rdfmesh_rdf::Iri::new("http://www.w3.org/2001/XMLSchema#integer").unwrap();
+        let sols = vec![
+            Solution::new(),
+            Solution::from_pairs([
+                (v("i"), Term::iri("http://e/α")),
+                (v("b"), rdfmesh_rdf::Term::Blank(rdfmesh_rdf::BlankNode::new("b1").unwrap())),
+                (v("p"), rdfmesh_rdf::Term::Literal(rdfmesh_rdf::Literal::plain("plain \"q\""))),
+                (v("l"), rdfmesh_rdf::Term::Literal(rdfmesh_rdf::Literal::lang("chat", "fr"))),
+                (v("t"), rdfmesh_rdf::Term::Literal(rdfmesh_rdf::Literal::typed("42", dt))),
+            ]),
+            sol(&[("x", "a")]),
+        ];
+        let bytes = wire::encode(&sols);
+        assert_eq!(wire::decode(&bytes).unwrap(), sols);
+    }
+
+    #[test]
+    fn wire_rejects_malformed_streams() {
+        let bytes = wire::encode(&[sol(&[("x", "a")])]);
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(wire::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(wire::decode(&extended).is_err());
+        // Unknown term tag is rejected.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes()); // one solution
+        bad.extend_from_slice(&1u32.to_le_bytes()); // one binding
+        bad.extend_from_slice(&1u32.to_le_bytes()); // var name "x"
+        bad.push(b'x');
+        bad.push(0xFF); // no such term tag
+        assert!(wire::decode(&bad).is_err());
     }
 
     #[test]
