@@ -1,4 +1,4 @@
-//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E17).
+//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E18).
 //!
 //! Each module prints one or more Markdown tables; `run_all` regenerates
 //! the whole of EXPERIMENTS.md's measured data. Everything is seeded and
@@ -23,6 +23,7 @@ pub mod e14_range_index;
 pub mod e15_cache;
 pub mod e16_live_churn;
 pub mod e17_exec_parity;
+pub mod e18_socket_parity;
 
 /// `(id, description, runner)` for every experiment.
 pub fn all() -> Vec<(&'static str, &'static str, fn())> {
@@ -44,12 +45,13 @@ pub fn all() -> Vec<(&'static str, &'static str, fn())> {
         ("e15", "Query-path caching and adaptive hot-key replication", e15_cache::run),
         ("e16", "Live-mesh churn soak: fault tolerance on real threads", e16_live_churn::run),
         ("e17", "Execution-core parity: one plan on simulator and live mesh", e17_exec_parity::run),
+        ("e18", "Socket-transport parity: identical answers over framed TCP", e18_socket_parity::run),
     ]
 }
 
 /// One experiment's identity plus the metrics it recorded while running.
 pub struct ExperimentRecord {
-    /// Registry id (`e1` … `e17`).
+    /// Registry id (`e1` … `e18`).
     pub id: &'static str,
     /// Human-readable title from the registry.
     pub title: &'static str,

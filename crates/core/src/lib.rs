@@ -22,6 +22,8 @@ pub mod engine;
 pub mod exec;
 pub mod live;
 pub mod live_backend;
+pub mod live_wire;
+pub mod node;
 pub mod planner;
 pub mod sim_backend;
 pub mod stats;
@@ -32,8 +34,9 @@ pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimato
 pub use exec::{ExecNode, ExecPlan, Mat, MeshBackend, OpKind, PrimitiveOp};
 pub use rdfmesh_cache::{CacheConfig, CacheStats, QueryCache};
 pub use rdfmesh_net::FaultPlan;
-pub use live::{DeadlineStage, LiveAnswer, LiveMesh, LiveMsg, QueryId, COORDINATOR};
-pub use live_backend::{LiveBackend, LiveError, LiveExecution};
+pub use live::{DeadlineStage, LiveAnswer, LiveMesh, LiveMsg, QueryId, Transport, COORDINATOR};
+pub use live_backend::{LiveBackend, LiveError, LiveExecution, SolutionRounds};
+pub use node::MeshNode;
 pub use planner::{compile, estimate_primitive, plan, CostEstimate, Plan, PlanObjective};
 pub use sim_backend::SimBackend;
 pub use stats::{LiveStats, LiveStatsSnapshot, QueryStats};

@@ -36,11 +36,11 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
-use rdfmesh_net::{Cluster, Envelope, FaultPlan, Handler, NodeId, Outbox};
+use rdfmesh_net::{Cluster, Envelope, FaultPlan, Handler, NodeId, Outbox, TcpCluster, TransportSnapshot};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple, Overlay};
 use rdfmesh_rdf::{Triple, TriplePattern, TripleStore};
 use rdfmesh_sparql::expr::Expression;
@@ -176,6 +176,17 @@ pub enum LiveMsg {
         /// Which awaited event expired.
         stage: DeadlineStage,
     },
+    /// Storage node → owning index node: register `provider` in the
+    /// location-table rows for `keys`. Idempotent, so the serve-mode
+    /// mesh ([`crate::MeshNode`]) re-sends it after every membership
+    /// change and the tables converge on the final ring view
+    /// (`docs/DEPLOYMENT.md`).
+    Publish {
+        /// Index-key ids the provider holds matching triples for.
+        keys: Vec<u64>,
+        /// The storage node registering itself.
+        provider: NodeId,
+    },
 }
 
 /// What one live query returned. Instead of hanging on churn, the
@@ -212,7 +223,7 @@ enum Action {
 /// Monotonic fault counters the core accumulates; the handler diffs them
 /// into the shared [`LiveStats`] after every message.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct LiveCounters {
+pub(crate) struct LiveCounters {
     retries: u64,
     ack_timeouts: u64,
     send_failures: u64,
@@ -253,26 +264,27 @@ struct InFlight {
 /// one event and returns the actions to perform; it owns no channels,
 /// threads, or clocks, which is what makes it exhaustively testable.
 #[derive(Debug)]
-struct CoordinatorCore {
+pub(crate) struct CoordinatorCore {
     me: NodeId,
     index: NodeId,
     cfg: LiveConfig,
     space: rdfmesh_chord::IdSpace,
     /// Every storage node, sorted — the recipients of a keyless
     /// (all-variable) pattern, which has no location-table row and is
-    /// flooded to all sources instead (Sect. IV-B).
-    flood: Vec<NodeId>,
+    /// flooded to all sources instead (Sect. IV-B). Shared so the
+    /// serve-mode membership protocol can extend it as peers join.
+    flood: SharedFlood,
     in_flight: HashMap<QueryId, InFlight>,
     counters: LiveCounters,
 }
 
 impl CoordinatorCore {
-    fn new(
+    pub(crate) fn new(
         me: NodeId,
         index: NodeId,
         cfg: LiveConfig,
         space: rdfmesh_chord::IdSpace,
-        flood: Vec<NodeId>,
+        flood: SharedFlood,
     ) -> Self {
         CoordinatorCore {
             me,
@@ -307,7 +319,8 @@ impl CoordinatorCore {
             LiveMsg::Lookup { .. }
             | LiveMsg::SubQuery { .. }
             | LiveMsg::SubQuerySol { .. }
-            | LiveMsg::ProviderDead { .. } => Vec::new(),
+            | LiveMsg::ProviderDead { .. }
+            | LiveMsg::Publish { .. } => Vec::new(),
         }
     }
 
@@ -350,7 +363,7 @@ impl CoordinatorCore {
         if keyless {
             // No location-table row exists for the all-variable pattern:
             // skip the lookup and flood every storage node (Sect. IV-B).
-            let flood = self.flood.clone();
+            let flood = rlock(&self.flood).clone();
             let mut actions = self.on_providers(qid, pattern, flood);
             actions.push(Action::Schedule {
                 after: self.cfg.query_deadline,
@@ -581,21 +594,35 @@ impl CoordinatorCore {
 
 // ---- the node handlers ----------------------------------------------
 
-type PendingMap = Arc<Mutex<HashMap<QueryId, Sender<LiveAnswer>>>>;
-type SharedTable = Arc<Mutex<HashMap<u64, Vec<NodeId>>>>;
+pub(crate) type PendingMap = Arc<Mutex<HashMap<QueryId, Sender<LiveAnswer>>>>;
+pub(crate) type SharedTable = Arc<Mutex<HashMap<u64, Vec<NodeId>>>>;
+/// The index nodes' routing view, `(ring position, address)` sorted by
+/// position. Shared mutable so serve-mode membership can extend it.
+pub(crate) type RingView = Arc<RwLock<Vec<(u64, NodeId)>>>;
+/// The keyless-pattern flood list (every storage node, sorted). Shared
+/// mutable for the same reason.
+pub(crate) type SharedFlood = Arc<RwLock<Vec<NodeId>>>;
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn rlock<T>(m: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    m.read().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn wlock<T>(m: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    m.write().unwrap_or_else(|e| e.into_inner())
 }
 
 /// The coordinator node: hosts the state machine, executes its actions
 /// (turning failed sends back into events), and hands finished answers
 /// to the waiting caller.
-struct Coordinator {
-    core: CoordinatorCore,
-    pending: PendingMap,
-    shared: Arc<LiveStats>,
-    synced: LiveCounters,
+pub(crate) struct Coordinator {
+    pub(crate) core: CoordinatorCore,
+    pub(crate) pending: PendingMap,
+    pub(crate) shared: Arc<LiveStats>,
+    pub(crate) synced: LiveCounters,
 }
 
 impl Coordinator {
@@ -640,27 +667,27 @@ impl Handler<LiveMsg> for Coordinator {
     }
 }
 
-struct IndexNode {
+pub(crate) struct IndexNode {
     /// key id → providers (this node's location table). Shared with the
     /// [`LiveMesh`] handle so tests and operators can observe the lazy
     /// removal without an extra probe protocol.
-    table: SharedTable,
-    space: rdfmesh_chord::IdSpace,
+    pub(crate) table: SharedTable,
+    pub(crate) space: rdfmesh_chord::IdSpace,
     /// `(ring position, address)` of every index node, sorted by
     /// position — the routing view. A live deployment would walk fingers
     /// hop by hop; one-shot resolution keeps the thread demo focused on
     /// the query protocol itself.
-    ring_view: Arc<Vec<(u64, NodeId)>>,
-    stats: Arc<LiveStats>,
+    pub(crate) ring_view: RingView,
+    pub(crate) stats: Arc<LiveStats>,
 }
 
 impl IndexNode {
     fn owner_of(&self, key: u64) -> NodeId {
-        owner_in_view(&self.ring_view, key)
+        owner_in_view(&rlock(&self.ring_view), key)
     }
 }
 
-fn owner_in_view(ring_view: &[(u64, NodeId)], key: u64) -> NodeId {
+pub(crate) fn owner_in_view(ring_view: &[(u64, NodeId)], key: u64) -> NodeId {
     ring_view
         .iter()
         .find(|(pos, _)| *pos >= key)
@@ -711,14 +738,26 @@ impl Handler<LiveMsg> for IndexNode {
                     self.stats.add_providers_purged(removed);
                 }
             }
+            LiveMsg::Publish { keys, provider } => {
+                // Serve-mode registration: idempotent row inserts, so a
+                // republish after a membership change converges instead
+                // of duplicating.
+                let mut table = lock(&self.table);
+                for key in keys {
+                    let row = table.entry(key).or_default();
+                    if !row.contains(&provider) {
+                        row.push(provider);
+                    }
+                }
+            }
             _ => {}
         }
     }
 }
 
-struct LiveStorage {
-    store: TripleStore,
-    stats: Arc<LiveStats>,
+pub(crate) struct LiveStorage {
+    pub(crate) store: TripleStore,
+    pub(crate) stats: Arc<LiveStats>,
 }
 
 impl Handler<LiveMsg> for LiveStorage {
@@ -751,16 +790,88 @@ impl Handler<LiveMsg> for LiveStorage {
 
 // ---- the mesh handle -------------------------------------------------
 
+/// Which substrate carries a [`LiveMesh`]'s protocol messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Crossbeam channels between threads in one process — the original
+    /// live mesh.
+    Threads,
+    /// Framed TCP over loopback: every inter-node message crosses a real
+    /// socket through the process's own listener, exercising the
+    /// `docs/DEPLOYMENT.md` wire protocol end to end while the
+    /// [`FaultPlan`] keeps its sender-side semantics.
+    Sockets,
+}
+
+/// The cluster behind a [`LiveMesh`]: same `Outbox` contract, different
+/// wires. Both variants expose identical control/observation surfaces,
+/// which is what lets the fault suite run unmodified on either.
+enum MeshCluster {
+    Threads(Cluster<LiveMsg>),
+    Sockets(TcpCluster<LiveMsg>),
+}
+
+impl MeshCluster {
+    fn inject(&self, from: NodeId, to: NodeId, msg: LiveMsg) -> bool {
+        match self {
+            MeshCluster::Threads(c) => c.inject(from, to, msg),
+            MeshCluster::Sockets(c) => c.inject(from, to, msg),
+        }
+    }
+
+    fn crash(&self, node: NodeId) -> bool {
+        match self {
+            MeshCluster::Threads(c) => c.crash(node),
+            MeshCluster::Sockets(c) => c.crash(node),
+        }
+    }
+
+    fn restart(&self, node: NodeId) -> bool {
+        match self {
+            MeshCluster::Threads(c) => c.restart(node),
+            MeshCluster::Sockets(c) => c.restart(node),
+        }
+    }
+
+    fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
+        match self {
+            MeshCluster::Threads(c) => c.barrier(node, timeout),
+            MeshCluster::Sockets(c) => c.barrier(node, timeout),
+        }
+    }
+
+    fn message_count(&self) -> u64 {
+        match self {
+            MeshCluster::Threads(c) => c.message_count(),
+            MeshCluster::Sockets(c) => c.message_count(),
+        }
+    }
+
+    fn dropped_count(&self) -> u64 {
+        match self {
+            MeshCluster::Threads(c) => c.dropped_count(),
+            MeshCluster::Sockets(c) => c.dropped_count(),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            MeshCluster::Threads(c) => c.shutdown(),
+            MeshCluster::Sockets(c) => c.shutdown(),
+        }
+    }
+}
+
 /// A live mesh: one thread per node, built from an existing overlay's
 /// data placement.
 pub struct LiveMesh {
-    cluster: Cluster<LiveMsg>,
+    cluster: MeshCluster,
     coordinator: NodeId,
     next_qid: AtomicU64,
     pending: PendingMap,
     stats: Arc<LiveStats>,
     space: rdfmesh_chord::IdSpace,
-    ring_view: Arc<Vec<(u64, NodeId)>>,
+    ring_view: RingView,
     tables: HashMap<NodeId, SharedTable>,
 }
 
@@ -781,6 +892,20 @@ impl LiveMesh {
     /// exercised by the simulator; the live mesh demonstrates the
     /// messaging).
     pub fn spawn_with(overlay: &Overlay, cfg: LiveConfig, plan: FaultPlan) -> Self {
+        Self::spawn_with_transport(overlay, cfg, plan, Transport::Threads)
+            .expect("thread transport cannot fail to bind")
+    }
+
+    /// [`LiveMesh::spawn_with`] on an explicit [`Transport`]. Only
+    /// [`Transport::Sockets`] can fail (binding the loopback listener);
+    /// the protocol, fault semantics and observable counters are
+    /// identical on both substrates.
+    pub fn spawn_with_transport(
+        overlay: &Overlay,
+        cfg: LiveConfig,
+        plan: FaultPlan,
+        transport: Transport,
+    ) -> std::io::Result<Self> {
         let space = overlay.ring().space();
         // Build each index node's location table view from storage data.
         let index_nodes = overlay.index_nodes();
@@ -809,7 +934,7 @@ impl LiveMesh {
             .filter_map(|&addr| overlay.chord_id_of(addr).map(|id| (id.0, addr)))
             .collect();
         ring_view.sort();
-        let ring_view = Arc::new(ring_view);
+        let ring_view: RingView = Arc::new(RwLock::new(ring_view));
         let stats = Arc::new(LiveStats::default());
         let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
         let mut shared_tables: HashMap<NodeId, SharedTable> = HashMap::new();
@@ -834,6 +959,7 @@ impl LiveMesh {
             flood.push(storage);
         }
         flood.sort();
+        let flood: SharedFlood = Arc::new(RwLock::new(flood));
         nodes.push((
             COORDINATOR,
             Box::new(Coordinator {
@@ -843,8 +969,12 @@ impl LiveMesh {
                 synced: LiveCounters::default(),
             }),
         ));
-        LiveMesh {
-            cluster: Cluster::spawn_with(nodes, plan),
+        let cluster = match transport {
+            Transport::Threads => MeshCluster::Threads(Cluster::spawn_with(nodes, plan)),
+            Transport::Sockets => MeshCluster::Sockets(TcpCluster::spawn_loopback(nodes, plan)?),
+        };
+        Ok(LiveMesh {
+            cluster,
             coordinator: COORDINATOR,
             next_qid: AtomicU64::new(1),
             pending,
@@ -852,7 +982,7 @@ impl LiveMesh {
             space,
             ring_view,
             tables: shared_tables,
-        }
+        })
     }
 
     /// Resolves one triple pattern through the live protocol, blocking up
@@ -931,14 +1061,15 @@ impl LiveMesh {
     /// The index node whose location table owns `pattern`'s key, or
     /// `None` for the all-variable pattern (which has no key).
     pub fn index_owner_of(&self, pattern: &TriplePattern) -> Option<NodeId> {
-        key_for_pattern(self.space, pattern).map(|k| owner_in_view(&self.ring_view, k.id.0))
+        key_for_pattern(self.space, pattern)
+            .map(|k| owner_in_view(&rlock(&self.ring_view), k.id.0))
     }
 
     /// The owner index node's current location-table row for `pattern`
     /// (sorted) — the observable target of the lazy removal protocol.
     pub fn providers_of(&self, pattern: &TriplePattern) -> Vec<NodeId> {
         let Some(key) = key_for_pattern(self.space, pattern) else { return Vec::new() };
-        let owner = owner_in_view(&self.ring_view, key.id.0);
+        let owner = owner_in_view(&rlock(&self.ring_view), key.id.0);
         let Some(table) = self.tables.get(&owner) else { return Vec::new() };
         let mut row = lock(table).get(&key.id.0).cloned().unwrap_or_default();
         row.sort();
@@ -958,6 +1089,15 @@ impl LiveMesh {
     /// Messages lost so far to the fault plan or crashed nodes.
     pub fn dropped_count(&self) -> u64 {
         self.cluster.dropped_count()
+    }
+
+    /// Socket-layer counters (`transport.*` metric names), or `None` on
+    /// [`Transport::Threads`] where no wire exists.
+    pub fn transport_stats(&self) -> Option<TransportSnapshot> {
+        match &self.cluster {
+            MeshCluster::Threads(_) => None,
+            MeshCluster::Sockets(c) => Some(c.transport_stats()),
+        }
     }
 
     /// Stops every node thread.
@@ -1089,7 +1229,7 @@ mod tests {
                 IX,
                 LiveConfig::default(),
                 rdfmesh_chord::IdSpace::new(32),
-                vec![P1, P2, P3],
+                Arc::new(RwLock::new(vec![P1, P2, P3])),
             )
         }
 

@@ -43,7 +43,38 @@ use rdfmesh_sparql::{
 
 use crate::config::ExecConfig;
 use crate::exec::{self, Mat, MeshBackend, OpKind, PrimitiveOp};
-use crate::live::{LiveMesh, COORDINATOR};
+use crate::live::{LiveAnswer, LiveMesh, COORDINATOR};
+
+/// Anything that can resolve one live *solution round*: the loopback
+/// [`LiveMesh`] and the serve-mode [`crate::MeshNode`] both implement
+/// it, so [`LiveBackend`] — and through it the whole Fig. 3 pipeline —
+/// runs unchanged on threads, loopback sockets, and multi-process
+/// deployments (`docs/DEPLOYMENT.md`).
+pub trait SolutionRounds {
+    /// Resolves `pattern` into solution mappings through the live
+    /// protocol, extending `bound` intermediates when given and applying
+    /// `filter` at the providers. Blocks up to `wait`; `None` means the
+    /// caller-side wait expired first.
+    fn solution_round(
+        &self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<solution::Solution>>,
+        wait: Duration,
+    ) -> Option<LiveAnswer>;
+}
+
+impl SolutionRounds for LiveMesh {
+    fn solution_round(
+        &self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<solution::Solution>>,
+        wait: Duration,
+    ) -> Option<LiveAnswer> {
+        self.query_solutions(pattern, filter, bound, wait)
+    }
+}
 
 /// Why a live execution failed outright (as opposed to completing with
 /// `complete == false`, which is a *partial answer*, not an error).
@@ -103,7 +134,7 @@ pub struct LiveExecution {
 /// reports so the final [`LiveExecution`] can say exactly how much of
 /// the answer survived.
 pub struct LiveBackend<'a> {
-    mesh: &'a LiveMesh,
+    mesh: &'a dyn SolutionRounds,
     wait: Duration,
     complete: bool,
     failed: Vec<NodeId>,
@@ -111,10 +142,11 @@ pub struct LiveBackend<'a> {
 }
 
 impl<'a> LiveBackend<'a> {
-    /// A backend issuing rounds on `mesh`, blocking up to `wait` per
-    /// round for the caller-side wait (the protocol's own deadlines
-    /// answer well before a generous `wait`).
-    pub fn new(mesh: &'a LiveMesh, wait: Duration) -> Self {
+    /// A backend issuing rounds on `mesh` (any [`SolutionRounds`]
+    /// implementation), blocking up to `wait` per round for the
+    /// caller-side wait (the protocol's own deadlines answer well before
+    /// a generous `wait`).
+    pub fn new(mesh: &'a dyn SolutionRounds, wait: Duration) -> Self {
         LiveBackend { mesh, wait, complete: true, failed: Vec::new(), rounds: 0 }
     }
 
@@ -127,7 +159,7 @@ impl<'a> LiveBackend<'a> {
         self.rounds += 1;
         let answer = self
             .mesh
-            .query_solutions(pattern, filter, bound, self.wait)
+            .solution_round(pattern, filter, bound, self.wait)
             .ok_or(LiveError::Timeout)?;
         if !answer.complete {
             self.complete = false;
@@ -195,47 +227,58 @@ impl MeshBackend for LiveBackend<'_> {
     }
 }
 
+/// Parses, optimizes, compiles and executes a full SPARQL query through
+/// live solution rounds on any [`SolutionRounds`] mesh — the complete
+/// Fig. 3 pipeline over a real transport.
+///
+/// `bind_join` selects the conjunctive strategy: `true` ships
+/// intermediates with each sub-query (Sect. IV-D bound evaluation),
+/// `false` gathers each pattern independently and joins at the
+/// coordinator. `wait` bounds the caller-side wait per solution round;
+/// set it comfortably above [`crate::LiveConfig::query_deadline`].
+pub fn live_execute(
+    mesh: &dyn SolutionRounds,
+    query: &str,
+    bind_join: bool,
+    wait: Duration,
+) -> Result<LiveExecution, LiveError> {
+    let parsed = rdfmesh_sparql::parse_query(query)?;
+    // Placement-dependent decisions (overlap hints, range probing) are
+    // meaningless on a live transport; compile them out so the plan
+    // contains only what the live protocol implements.
+    let cfg = ExecConfig {
+        overlap_aware: false,
+        range_index: false,
+        bind_join,
+        ..ExecConfig::default()
+    };
+    let pattern = rdfmesh_sparql::optimize(parsed.pattern.clone(), &cfg.optimizer);
+    let plan = crate::planner::compile(&pattern, &cfg);
+    let mut backend = LiveBackend::new(mesh, wait);
+    let mat = exec::run(&mut backend, &plan, SimTime::ZERO)?;
+    let mat = backend.deliver(mat);
+    let result = rdfmesh_sparql::finalize(&NoGraph, &parsed, mat.solutions);
+    Ok(LiveExecution {
+        result,
+        complete: backend.complete,
+        failed_providers: {
+            let mut failed = backend.failed;
+            failed.sort();
+            failed
+        },
+        rounds: backend.rounds,
+    })
+}
+
 impl LiveMesh {
-    /// Parses, optimizes, compiles and executes a full SPARQL query on
-    /// the live mesh — the complete Fig. 3 pipeline over real threads.
-    ///
-    /// `bind_join` selects the conjunctive strategy: `true` ships
-    /// intermediates with each sub-query (Sect. IV-D bound evaluation),
-    /// `false` gathers each pattern independently and joins at the
-    /// coordinator. `wait` bounds the caller-side wait per solution
-    /// round; set it comfortably above
-    /// [`crate::LiveConfig::query_deadline`].
+    /// [`live_execute`] on this mesh — parse, optimize, compile and run
+    /// a full SPARQL query over the live protocol.
     pub fn execute(
         &self,
         query: &str,
         bind_join: bool,
         wait: Duration,
     ) -> Result<LiveExecution, LiveError> {
-        let parsed = rdfmesh_sparql::parse_query(query)?;
-        // Placement-dependent decisions (overlap hints, range probing)
-        // are meaningless on the live mesh; compile them out so the plan
-        // contains only what the live protocol implements.
-        let cfg = ExecConfig {
-            overlap_aware: false,
-            range_index: false,
-            bind_join,
-            ..ExecConfig::default()
-        };
-        let pattern = rdfmesh_sparql::optimize(parsed.pattern.clone(), &cfg.optimizer);
-        let plan = crate::planner::compile(&pattern, &cfg);
-        let mut backend = LiveBackend::new(self, wait);
-        let mat = exec::run(&mut backend, &plan, SimTime::ZERO)?;
-        let mat = backend.deliver(mat);
-        let result = rdfmesh_sparql::finalize(&NoGraph, &parsed, mat.solutions);
-        Ok(LiveExecution {
-            result,
-            complete: backend.complete,
-            failed_providers: {
-                let mut failed = backend.failed;
-                failed.sort();
-                failed
-            },
-            rounds: backend.rounds,
-        })
+        live_execute(self, query, bind_join, wait)
     }
 }

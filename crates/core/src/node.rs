@@ -1,0 +1,561 @@
+//! A deployable mesh node: one OS process hosting a storage node, an
+//! index node, and a coordinator over the [`TcpCluster`] transport.
+//!
+//! [`crate::LiveMesh`] proves the protocol under real concurrency inside
+//! one process; [`MeshNode`] is the same protocol *between* processes —
+//! the shape `rdfmesh serve` runs and `docs/DEPLOYMENT.md` documents.
+//! Each process carries three logical nodes behind one listener:
+//!
+//! * a **storage node** (`NodeId(n)`) holding the process's triples;
+//! * an **index node** (`NodeId(INDEX_BASE + n)`) owning the slice of
+//!   the key ring its position covers, routing [`LiveMsg::Lookup`] /
+//!   [`LiveMsg::ProviderDead`] hop-by-hop to the current owner;
+//! * a **coordinator** (`NodeId(COORD_BASE + n)`) running the per-query
+//!   state machine for queries submitted *at this process*.
+//!
+//! Membership is deliberately simple — an ad-hoc sharing system, not a
+//! consensus group. A joiner sends `JOIN` to any member; that member
+//! answers `WELCOME` with the full roster and broadcasts `PEER_JOINED`
+//! to everyone else. Every membership event makes every member rebuild
+//! its ring view and **republish** its local keys ([`LiveMsg::Publish`]
+//! rows are idempotent), so location tables converge on the final ring
+//! without coordination. Rows left on a node that lost ownership are
+//! harmless: lookups always route to the *current* owner.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::bounded;
+use rdfmesh_net::{FaultPlan, Handler, NodeId, TcpCluster, TransportSnapshot};
+use rdfmesh_overlay::{key_for_pattern, keys_for_triple};
+use rdfmesh_rdf::{TriplePattern, TripleStore};
+use rdfmesh_sparql::expr::Expression;
+use rdfmesh_sparql::solution::wire::{put_str, put_u64, Reader, WireError};
+use rdfmesh_sparql::solution::Solution;
+
+use crate::config::LiveConfig;
+use crate::live::{
+    lock, owner_in_view, rlock, wlock, Coordinator, CoordinatorCore, IndexNode, LiveAnswer,
+    LiveCounters, LiveMsg, LiveStorage, PendingMap, QueryId, RingView, SharedFlood, SharedTable,
+};
+use crate::live_backend::{live_execute, LiveError, LiveExecution, SolutionRounds};
+use crate::stats::{LiveStats, LiveStatsSnapshot};
+
+/// Offset of a process's index-node id from its base id `n`.
+pub const INDEX_BASE: u64 = 1 << 32;
+/// Offset of a process's coordinator id from its base id `n`.
+pub const COORD_BASE: u64 = 1 << 33;
+
+// Control-frame tags (the `kind = CONTROL` payload's first byte).
+const CTRL_JOIN: u8 = 1;
+const CTRL_WELCOME: u8 = 2;
+const CTRL_PEER_JOINED: u8 = 3;
+
+/// Ring-position space shared by every serve-mode process. All members
+/// must agree on it for key ownership to agree; 32 bits matches the
+/// simulator's default overlay.
+const RING_BITS: u32 = 32;
+
+/// One member of the mesh, as carried in control frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Member {
+    /// Base id `n` (storage `NodeId(n)`, index `NodeId(INDEX_BASE+n)`,
+    /// coordinator `NodeId(COORD_BASE+n)`).
+    id: u64,
+    /// Ring position of the member's index node.
+    pos: u64,
+    /// The member's listener, as dialable text (`host:port`).
+    addr: String,
+}
+
+fn put_member(out: &mut Vec<u8>, m: &Member) {
+    put_u64(out, m.id);
+    put_u64(out, m.pos);
+    put_str(out, &m.addr);
+}
+
+fn read_member(r: &mut Reader<'_>) -> Result<Member, WireError> {
+    let id = r.u64()?;
+    let pos = r.u64()?;
+    let addr = r.str()?.to_string();
+    Ok(Member { id, pos, addr })
+}
+
+/// A membership control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Control {
+    /// A new member announces itself to any existing member.
+    Join(Member),
+    /// The contacted member's answer to the joiner: the full roster.
+    Welcome(Vec<Member>),
+    /// Broadcast to the rest of the roster when someone joins.
+    PeerJoined(Member),
+}
+
+impl Control {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Control::Join(m) => {
+                out.push(CTRL_JOIN);
+                put_member(&mut out, m);
+            }
+            Control::Welcome(members) => {
+                out.push(CTRL_WELCOME);
+                out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                for m in members {
+                    put_member(&mut out, m);
+                }
+            }
+            Control::PeerJoined(m) => {
+                out.push(CTRL_PEER_JOINED);
+                put_member(&mut out, m);
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Control, WireError> {
+        let mut r = Reader::new(bytes);
+        let ctrl = match r.u8()? {
+            CTRL_JOIN => Control::Join(read_member(&mut r)?),
+            CTRL_WELCOME => {
+                let count = r.u32()? as usize;
+                let mut members = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    members.push(read_member(&mut r)?);
+                }
+                Control::Welcome(members)
+            }
+            CTRL_PEER_JOINED => Control::PeerJoined(read_member(&mut r)?),
+            _ => return Err(WireError("unknown control tag")),
+        };
+        r.finish()?;
+        Ok(ctrl)
+    }
+}
+
+/// State the membership thread and the public handle both touch.
+struct NodeShared {
+    me: Member,
+    /// Base id → member, including `me`.
+    members: Mutex<HashMap<u64, Member>>,
+    ring_view: RingView,
+    flood: SharedFlood,
+    /// The local store's index-key ids, precomputed at start — what this
+    /// process republishes after every membership change.
+    keys: Vec<u64>,
+    space: rdfmesh_chord::IdSpace,
+}
+
+impl NodeShared {
+    /// Rebuilds the routing views from the roster and republishes the
+    /// local keys to their current owners. Idempotent; called after
+    /// every membership event.
+    fn refresh(&self, cluster: &TcpCluster<LiveMsg>) {
+        let members: Vec<Member> = lock(&self.members).values().cloned().collect();
+        for m in &members {
+            if m.id == self.me.id {
+                continue;
+            }
+            if let Ok(mut addrs) = m.addr.to_socket_addrs() {
+                if let Some(addr) = addrs.next() {
+                    cluster.add_peer(NodeId(m.id), addr);
+                    cluster.add_peer(NodeId(INDEX_BASE + m.id), addr);
+                    cluster.add_peer(NodeId(COORD_BASE + m.id), addr);
+                }
+            }
+        }
+        let mut ring: Vec<(u64, NodeId)> =
+            members.iter().map(|m| (m.pos, NodeId(INDEX_BASE + m.id))).collect();
+        ring.sort();
+        *wlock(&self.ring_view) = ring.clone();
+        let mut flood: Vec<NodeId> = members.iter().map(|m| NodeId(m.id)).collect();
+        flood.sort();
+        *wlock(&self.flood) = flood;
+        // Republish: group the local keys by their current owner and
+        // register this process's storage node for each.
+        let mut by_owner: HashMap<NodeId, Vec<u64>> = HashMap::new();
+        for &key in &self.keys {
+            by_owner.entry(owner_in_view(&ring, key)).or_default().push(key);
+        }
+        for (owner, keys) in by_owner {
+            cluster.inject(
+                NodeId(self.me.id),
+                owner,
+                LiveMsg::Publish { keys, provider: NodeId(self.me.id) },
+            );
+        }
+    }
+
+    fn roster(&self) -> Vec<Member> {
+        let mut members: Vec<Member> = lock(&self.members).values().cloned().collect();
+        members.sort_by_key(|m| m.id);
+        members
+    }
+
+    /// Applies one control message, answering `JOIN` with `WELCOME` and
+    /// fanning `PEER_JOINED` out to the rest of the roster.
+    fn on_control(&self, ctrl: Control, cluster: &TcpCluster<LiveMsg>) {
+        match ctrl {
+            Control::Join(member) => {
+                let (fresh, others) = {
+                    let mut members = lock(&self.members);
+                    let fresh = members.insert(member.id, member.clone()).is_none();
+                    let others: Vec<Member> = members
+                        .values()
+                        .filter(|m| m.id != self.me.id && m.id != member.id)
+                        .cloned()
+                        .collect();
+                    (fresh, others)
+                };
+                self.refresh(cluster);
+                if let Some(addr) = resolve(&member.addr) {
+                    cluster.send_control(addr, &Control::Welcome(self.roster()).encode());
+                }
+                if fresh {
+                    for other in others {
+                        if let Some(addr) = resolve(&other.addr) {
+                            cluster
+                                .send_control(addr, &Control::PeerJoined(member.clone()).encode());
+                        }
+                    }
+                }
+            }
+            Control::Welcome(roster) => {
+                {
+                    let mut members = lock(&self.members);
+                    for m in roster {
+                        members.insert(m.id, m);
+                    }
+                }
+                self.refresh(cluster);
+            }
+            Control::PeerJoined(member) => {
+                lock(&self.members).insert(member.id, member);
+                self.refresh(cluster);
+            }
+        }
+    }
+}
+
+fn resolve(addr: &str) -> Option<SocketAddr> {
+    addr.to_socket_addrs().ok()?.next()
+}
+
+/// One deployable mesh process: storage + index + coordinator behind a
+/// TCP listener, with ad-hoc membership. See the module docs and
+/// `docs/DEPLOYMENT.md`.
+pub struct MeshNode {
+    cluster: Arc<TcpCluster<LiveMsg>>,
+    coordinator: NodeId,
+    next_qid: AtomicU64,
+    pending: PendingMap,
+    stats: Arc<LiveStats>,
+    shared: Arc<NodeShared>,
+    closing: Arc<AtomicBool>,
+    membership: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MeshNode {
+    /// Binds `listen` and starts the process's three logical nodes. The
+    /// node begins as a mesh of one (itself); call [`MeshNode::join`] to
+    /// enter an existing mesh through any member.
+    ///
+    /// `id` is the process's base node id and must be unique across the
+    /// mesh and below [`INDEX_BASE`]; `store` is the process's local
+    /// triples.
+    pub fn start(
+        listen: impl ToSocketAddrs,
+        id: u64,
+        store: TripleStore,
+        cfg: LiveConfig,
+    ) -> io::Result<MeshNode> {
+        assert!(id < INDEX_BASE, "base node id must be below INDEX_BASE");
+        let space = rdfmesh_chord::IdSpace::new(RING_BITS);
+        let storage_id = NodeId(id);
+        let index_id = NodeId(INDEX_BASE + id);
+        let coord_id = NodeId(COORD_BASE + id);
+        let pos = space.hash(&id.to_be_bytes()).0;
+
+        let mut keys: Vec<u64> = store
+            .iter()
+            .flat_map(|t| keys_for_triple(space, &t).map(|k| k.id.0))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+
+        let stats = Arc::new(LiveStats::default());
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let ring_view: RingView = Arc::new(std::sync::RwLock::new(vec![(pos, index_id)]));
+        let flood: SharedFlood = Arc::new(std::sync::RwLock::new(vec![storage_id]));
+        let table: SharedTable = Arc::new(Mutex::new(HashMap::new()));
+
+        let nodes: Vec<(NodeId, Box<dyn Handler<LiveMsg>>)> = vec![
+            (storage_id, Box::new(LiveStorage { store, stats: Arc::clone(&stats) })),
+            (
+                index_id,
+                Box::new(IndexNode {
+                    table,
+                    space,
+                    ring_view: Arc::clone(&ring_view),
+                    stats: Arc::clone(&stats),
+                }),
+            ),
+            (
+                coord_id,
+                Box::new(Coordinator {
+                    core: CoordinatorCore::new(
+                        coord_id,
+                        index_id,
+                        cfg,
+                        space,
+                        Arc::clone(&flood),
+                    ),
+                    pending: Arc::clone(&pending),
+                    shared: Arc::clone(&stats),
+                    synced: LiveCounters::default(),
+                }),
+            ),
+        ];
+        let cluster = Arc::new(TcpCluster::bind(listen, nodes, FaultPlan::new())?);
+
+        let me = Member { id, pos, addr: cluster.local_addr().to_string() };
+        let shared = Arc::new(NodeShared {
+            me: me.clone(),
+            members: Mutex::new(HashMap::from([(id, me)])),
+            ring_view,
+            flood,
+            keys,
+            space,
+        });
+        // Seed this process's own location-table slice.
+        shared.refresh(&cluster);
+
+        let closing = Arc::new(AtomicBool::new(false));
+        let membership = {
+            let cluster = Arc::clone(&cluster);
+            let shared = Arc::clone(&shared);
+            let closing = Arc::clone(&closing);
+            std::thread::spawn(move || {
+                while !closing.load(Ordering::Relaxed) {
+                    if let Some(bytes) = cluster.recv_control(Duration::from_millis(200)) {
+                        if let Ok(ctrl) = Control::decode(&bytes) {
+                            shared.on_control(ctrl, &cluster);
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(MeshNode {
+            cluster,
+            coordinator: coord_id,
+            next_qid: AtomicU64::new(1),
+            pending,
+            stats,
+            shared,
+            closing,
+            membership: Mutex::new(Some(membership)),
+        })
+    }
+
+    /// Announces this node to the member listening at `seed`. Membership
+    /// converges asynchronously; poll [`MeshNode::member_count`] to
+    /// observe the roster growing.
+    pub fn join(&self, seed: impl ToSocketAddrs) -> bool {
+        let Some(addr) = seed.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+            return false;
+        };
+        self.cluster.send_control(addr, &Control::Join(self.shared.me.clone()).encode())
+    }
+
+    /// Members this node currently knows, itself included.
+    pub fn member_count(&self) -> usize {
+        lock(&self.shared.members).len()
+    }
+
+    /// The address the process listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.cluster.local_addr()
+    }
+
+    /// This node's base id.
+    pub fn id(&self) -> u64 {
+        self.shared.me.id
+    }
+
+    /// Resolves one solution round through the mesh, blocking up to
+    /// `timeout`. The protocol's own deadlines ([`LiveConfig`]) answer
+    /// well before a generous `timeout`.
+    pub fn query_solutions(
+        &self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<Solution>>,
+        timeout: Duration,
+    ) -> Option<LiveAnswer> {
+        self.stats.add_solution_rounds(1);
+        let qid = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded(1);
+        lock(&self.pending).insert(qid, tx);
+        self.cluster.inject(
+            self.coordinator,
+            self.coordinator,
+            LiveMsg::SubmitSol { qid, pattern, filter, bound },
+        );
+        let answer = rx.recv_timeout(timeout).ok();
+        if answer.is_none() {
+            lock(&self.pending).remove(&qid);
+        }
+        answer
+    }
+
+    /// [`live_execute`] on this node: parse, optimize, compile and run a
+    /// full SPARQL query, gathering at this process's coordinator.
+    pub fn execute(
+        &self,
+        query: &str,
+        bind_join: bool,
+        wait: Duration,
+    ) -> Result<LiveExecution, LiveError> {
+        live_execute(self, query, bind_join, wait)
+    }
+
+    /// Fault-tolerance counters accumulated so far.
+    pub fn stats(&self) -> LiveStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Socket-layer counters (`transport.*` metric names).
+    pub fn transport_stats(&self) -> TransportSnapshot {
+        self.cluster.transport_stats()
+    }
+
+    /// Stops the membership thread and every node thread.
+    pub fn shutdown(&self) {
+        self.closing.store(true, Ordering::Relaxed);
+        if let Some(handle) = lock(&self.membership).take() {
+            let _ = handle.join();
+        }
+        self.cluster.shutdown();
+    }
+}
+
+impl Drop for MeshNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl SolutionRounds for MeshNode {
+    fn solution_round(
+        &self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<Solution>>,
+        wait: Duration,
+    ) -> Option<LiveAnswer> {
+        self.query_solutions(pattern, filter, bound, wait)
+    }
+}
+
+/// The index node whose slice of the shared ring owns `pattern`'s key in
+/// this node's current view, or `None` for the all-variable pattern.
+/// Exposed for tests and the `/health` endpoint.
+impl MeshNode {
+    /// See type-level docs.
+    pub fn index_owner_of(&self, pattern: &TriplePattern) -> Option<NodeId> {
+        key_for_pattern(self.shared.space, pattern)
+            .map(|k| owner_in_view(&rlock(&self.shared.ring_view), k.id.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::{Term, Triple};
+
+    fn store(rows: &[(&str, &str, &str)]) -> TripleStore {
+        let mut s = TripleStore::new();
+        for (subj, pred, obj) in rows {
+            s.insert(&Triple::new(
+                Term::iri(&format!("http://example.org/{subj}")),
+                Term::iri(&format!("http://example.org/{pred}")),
+                Term::iri(&format!("http://example.org/{obj}")),
+            ));
+        }
+        s
+    }
+
+    fn wait_members(nodes: &[&MeshNode], want: usize) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while nodes.iter().any(|n| n.member_count() < want) {
+            assert!(std::time::Instant::now() < deadline, "membership never converged");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let m = Member { id: 7, pos: 42, addr: "127.0.0.1:9999".into() };
+        for ctrl in [
+            Control::Join(m.clone()),
+            Control::Welcome(vec![m.clone(), Member { id: 8, pos: 1, addr: "h:1".into() }]),
+            Control::PeerJoined(m),
+        ] {
+            assert_eq!(Control::decode(&ctrl.encode()).unwrap(), ctrl);
+        }
+        assert!(Control::decode(&[0xEE]).is_err());
+        assert!(Control::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn three_processes_answer_a_conjunctive_query() {
+        let n1 = MeshNode::start(
+            "127.0.0.1:0",
+            1,
+            store(&[("alice", "knows", "bob")]),
+            LiveConfig::default(),
+        )
+        .unwrap();
+        let n2 = MeshNode::start(
+            "127.0.0.1:0",
+            2,
+            store(&[("bob", "knows", "carol")]),
+            LiveConfig::default(),
+        )
+        .unwrap();
+        let n3 = MeshNode::start(
+            "127.0.0.1:0",
+            3,
+            store(&[("carol", "age", "forty")]),
+            LiveConfig::default(),
+        )
+        .unwrap();
+        assert!(n2.join(n1.local_addr()));
+        assert!(n3.join(n1.local_addr()));
+        wait_members(&[&n1, &n2, &n3], 3);
+
+        let query = "PREFIX ex: <http://example.org/> \
+                     SELECT ?x ?y WHERE { ?x ex:knows ?y . ?y ex:knows ?z }";
+        // Query from a node that holds neither pattern's full answer:
+        // both rounds must cross process boundaries.
+        let exec = n3.execute(query, false, Duration::from_secs(10)).unwrap();
+        assert!(exec.complete, "no faults planned: {:?}", exec.failed_providers);
+        let rows = exec.result.solutions().expect("SELECT result");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get_by_name("x").unwrap(),
+            &Term::iri("http://example.org/alice")
+        );
+        n1.shutdown();
+        n2.shutdown();
+        n3.shutdown();
+    }
+}

@@ -4,10 +4,18 @@
 //! another thread having processed a message, the test fences with
 //! [`LiveMesh::barrier`] (FIFO mailboxes make "barrier acked" imply
 //! "everything delivered earlier was handled") instead of sleeping.
+//!
+//! Every scenario is **transport-parameterized**: the same function runs
+//! once on [`Transport::Threads`] (crossbeam channels) and once on
+//! [`Transport::Sockets`] (framed TCP over loopback), asserting the same
+//! outcomes byte for byte. That is the contract `docs/DEPLOYMENT.md`
+//! promises: [`rdfmesh_net::FaultPlan`] semantics are adjudicated on the
+//! sender's side of the wire, so crash / drop-nth / delay behave
+//! identically whether or not a socket sits in the middle.
 
 use std::time::Duration;
 
-use rdfmesh_core::{FaultPlan, LiveConfig, LiveMesh, LiveMsg, QueryId, COORDINATOR};
+use rdfmesh_core::{FaultPlan, LiveConfig, LiveMesh, LiveMsg, QueryId, Transport, COORDINATOR};
 use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
 use rdfmesh_overlay::Overlay;
 use rdfmesh_rdf::{Term, TermPattern, Triple, TriplePattern};
@@ -79,6 +87,10 @@ fn tight() -> LiveConfig {
     }
 }
 
+fn spawn(o: &Overlay, cfg: LiveConfig, plan: FaultPlan, transport: Transport) -> LiveMesh {
+    LiveMesh::spawn_with_transport(o, cfg, plan, transport).expect("transport binds")
+}
+
 /// Fences the ProviderDead path: the notification enters at the
 /// coordinator's entry index node and is forwarded at most once to the
 /// key owner, so fencing every index node twice (in any order) fences
@@ -91,13 +103,14 @@ fn fence_index_nodes(mesh: &LiveMesh, o: &Overlay) {
     }
 }
 
-#[test]
-fn crashed_provider_yields_partial_result_and_lazy_purge() {
+// ---- the scenarios, shared verbatim by both transports ---------------
+
+fn crashed_provider_scenario(transport: Transport) {
     let o = overlay();
     let cfg = tight();
     // Storage B is down from the start: sends to it fail fast, which the
     // coordinator treats as immediate ack timeouts (Sect. III-D).
-    let mesh = LiveMesh::spawn_with(&o, cfg, FaultPlan::new().crash(STORAGE_B));
+    let mesh = spawn(&o, cfg, FaultPlan::new().crash(STORAGE_B), transport);
     let pattern = knows_bob();
 
     // Before the query, the owner's location table still lists B: the
@@ -131,14 +144,13 @@ fn crashed_provider_yields_partial_result_and_lazy_purge() {
     mesh.shutdown();
 }
 
-#[test]
-fn dropped_subquery_is_retried_to_a_complete_answer() {
+fn dropped_subquery_scenario(transport: Transport) {
     let o = overlay();
     let cfg = tight();
     // Silently lose the first coordinator → A message: that is the
     // sub-query, whose ack deadline must retransmit it.
     let mesh =
-        LiveMesh::spawn_with(&o, cfg, FaultPlan::new().drop_nth(COORDINATOR, STORAGE_A, 1));
+        spawn(&o, cfg, FaultPlan::new().drop_nth(COORDINATOR, STORAGE_A, 1), transport);
     let pattern = knows_bob();
     let answer = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
     assert!(answer.complete, "one bounded retry must recover a single drop");
@@ -152,10 +164,9 @@ fn dropped_subquery_is_retried_to_a_complete_answer() {
     mesh.shutdown();
 }
 
-#[test]
-fn stale_reply_from_an_earlier_query_cannot_contaminate_the_next() {
+fn stale_reply_scenario(transport: Transport) {
     let o = overlay();
-    let mesh = LiveMesh::spawn(&o);
+    let mesh = spawn(&o, LiveConfig::default(), FaultPlan::new(), transport);
     let pattern = knows_bob();
 
     let first = mesh.query(pattern.clone(), Duration::from_secs(10)).expect("within deadline");
@@ -165,7 +176,8 @@ fn stale_reply_from_an_earlier_query_cannot_contaminate_the_next() {
     // Forge a delayed duplicate of query 1's reply, carrying query 1's
     // id (ids start at 1) and a triple that exists nowhere, arriving
     // between the two queries. The inject happens-before query 2's
-    // submission (same FIFO mailbox, same sending thread).
+    // submission (same FIFO mailbox, same sending thread — and on the
+    // socket transport, the same self-link connection).
     let bogus = Triple::new(
         Term::iri("http://example.org/mallory"),
         Term::iri(rdfmesh_rdf::vocab::foaf::KNOWS),
@@ -185,15 +197,14 @@ fn stale_reply_from_an_earlier_query_cannot_contaminate_the_next() {
     mesh.shutdown();
 }
 
-#[test]
-fn unreachable_index_fails_the_lookup_within_the_deadline() {
+fn unreachable_index_scenario(transport: Transport) {
     let o = overlay();
     let cfg = tight();
     let mut plan = FaultPlan::new();
     for ix in o.index_nodes() {
         plan = plan.crash(ix);
     }
-    let mesh = LiveMesh::spawn_with(&o, cfg, plan);
+    let mesh = spawn(&o, cfg, plan, transport);
     let answer = mesh.query(knows_bob(), cfg.query_deadline).expect("within deadline");
     assert!(!answer.complete);
     assert!(answer.triples.is_empty());
@@ -204,11 +215,10 @@ fn unreachable_index_fails_the_lookup_within_the_deadline() {
     mesh.shutdown();
 }
 
-#[test]
-fn runtime_crash_between_queries_degrades_then_purges() {
+fn runtime_crash_scenario(transport: Transport) {
     let o = overlay();
     let cfg = tight();
-    let mesh = LiveMesh::spawn_with(&o, cfg, FaultPlan::new());
+    let mesh = spawn(&o, cfg, FaultPlan::new(), transport);
     let pattern = knows_bob();
 
     let healthy = mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
@@ -231,4 +241,90 @@ fn runtime_crash_between_queries_degrades_then_purges() {
     assert!(recovered.complete);
     assert_eq!(sorted(recovered.triples), oracle(&o, &pattern, &[STORAGE_A]));
     mesh.shutdown();
+}
+
+// ---- thread transport ------------------------------------------------
+
+#[test]
+fn crashed_provider_yields_partial_result_and_lazy_purge() {
+    crashed_provider_scenario(Transport::Threads);
+}
+
+#[test]
+fn dropped_subquery_is_retried_to_a_complete_answer() {
+    dropped_subquery_scenario(Transport::Threads);
+}
+
+#[test]
+fn stale_reply_from_an_earlier_query_cannot_contaminate_the_next() {
+    stale_reply_scenario(Transport::Threads);
+}
+
+#[test]
+fn unreachable_index_fails_the_lookup_within_the_deadline() {
+    unreachable_index_scenario(Transport::Threads);
+}
+
+#[test]
+fn runtime_crash_between_queries_degrades_then_purges() {
+    runtime_crash_scenario(Transport::Threads);
+}
+
+// ---- socket transport: the same scenarios over loopback TCP ----------
+
+#[test]
+fn crashed_provider_yields_partial_result_and_lazy_purge_over_sockets() {
+    crashed_provider_scenario(Transport::Sockets);
+}
+
+#[test]
+fn dropped_subquery_is_retried_to_a_complete_answer_over_sockets() {
+    dropped_subquery_scenario(Transport::Sockets);
+}
+
+#[test]
+fn stale_reply_from_an_earlier_query_cannot_contaminate_the_next_over_sockets() {
+    stale_reply_scenario(Transport::Sockets);
+}
+
+#[test]
+fn unreachable_index_fails_the_lookup_within_the_deadline_over_sockets() {
+    unreachable_index_scenario(Transport::Sockets);
+}
+
+#[test]
+fn runtime_crash_between_queries_degrades_then_purges_over_sockets() {
+    runtime_crash_scenario(Transport::Sockets);
+}
+
+// ---- twin assertion: answers are identical across transports ---------
+
+/// Runs the crashed-provider query on both transports and asserts the
+/// [`rdfmesh_core::LiveAnswer`]s are *equal*, not merely both partial —
+/// same surviving triples, same failure report. The socket transport
+/// must also have pushed every protocol message through real frames.
+#[test]
+fn socket_and_thread_transports_return_identical_answers() {
+    let pattern = knows_bob();
+    let answers: Vec<_> = [Transport::Threads, Transport::Sockets]
+        .into_iter()
+        .map(|t| {
+            let o = overlay();
+            let cfg = tight();
+            let mesh = spawn(&o, cfg, FaultPlan::new().crash(STORAGE_B), t);
+            let mut answer =
+                mesh.query(pattern.clone(), cfg.query_deadline).expect("within deadline");
+            answer.triples.sort();
+            if t == Transport::Sockets {
+                let wire = mesh.transport_stats().expect("socket transport has wire stats");
+                assert!(wire.frames_sent > 0, "protocol must actually cross the socket");
+                assert_eq!(wire.decode_errors, 0);
+            } else {
+                assert!(mesh.transport_stats().is_none(), "threads have no wire");
+            }
+            mesh.shutdown();
+            answer
+        })
+        .collect();
+    assert_eq!(answers[0], answers[1], "transports disagreed on the same scenario");
 }

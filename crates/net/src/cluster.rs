@@ -2,10 +2,16 @@
 //! over crossbeam channels.
 //!
 //! The discrete-event [`crate::Network`] gives deterministic *costs*; this
-//! module demonstrates the same protocols running under real concurrency
-//! (the system could be dropped onto sockets with only this module
-//! swapped). Nodes are user-supplied handler closures; the cluster routes
+//! module demonstrates the same protocols running under real concurrency.
+//! Nodes are user-supplied handler closures; the cluster routes
 //! envelopes, counts traffic with atomics, and shuts down cleanly.
+//!
+//! Routing goes through a small internal [`Router`]: local nodes are
+//! crossbeam mailboxes, and an optional [`RemoteRoute`] hook lets a
+//! socket transport claim destinations before the mailbox lookup. The
+//! thread cluster installs no hook; [`crate::tcp::TcpCluster`] installs
+//! one that frames envelopes onto TCP connections — same [`Outbox`]
+//! contract, different wire (see `docs/DEPLOYMENT.md`).
 //!
 //! Fault tolerance is exercised through [`crate::FaultPlan`] (declarative
 //! crash / drop / delay schedules), [`Cluster::crash`] /
@@ -38,7 +44,7 @@ pub struct Envelope<M> {
     pub payload: M,
 }
 
-enum Packet<M> {
+pub(crate) enum Packet<M> {
     Deliver(Envelope<M>),
     /// Flush marker: acknowledged by the node thread itself (even while
     /// the node is crashed), after every previously queued packet.
@@ -56,6 +62,67 @@ pub struct ClusterStats {
     /// Messages silently lost by the fault plan (drops), plus deliveries
     /// discarded because the destination was crashed at delivery time.
     pub dropped: AtomicU64,
+}
+
+/// A transport hook consulted by the [`Router`] before the local mailbox
+/// lookup. Implemented by the TCP transport so envelopes addressed to
+/// remote processes (or, in loopback twin mode, to local nodes as well)
+/// leave through a socket instead of a channel.
+pub(crate) trait RemoteRoute<M>: Send + Sync {
+    /// Tries to route `env` remotely. `Ok(delivered)` means the hook
+    /// claimed the envelope (it was written to a socket, or the write
+    /// failed); `Err(env)` returns it for local mailbox delivery.
+    fn route(&self, env: Envelope<M>) -> Result<bool, Envelope<M>>;
+    /// Whether `to` is reachable through this hook.
+    fn reaches(&self, to: NodeId) -> bool;
+    /// Node ids reachable through this hook (for [`Outbox::peers`]).
+    fn peer_ids(&self) -> Vec<NodeId>;
+}
+
+/// Message routing for one cluster: local mailboxes plus an optional
+/// remote transport hook.
+pub(crate) struct Router<M> {
+    mailboxes: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    remote: Option<Arc<dyn RemoteRoute<M>>>,
+}
+
+impl<M> Router<M> {
+    /// Delivers `env`, letting the remote hook claim it first.
+    pub(crate) fn deliver(&self, env: Envelope<M>) -> bool {
+        let env = match &self.remote {
+            Some(hook) => match hook.route(env) {
+                Ok(delivered) => return delivered,
+                Err(env) => env,
+            },
+            None => env,
+        };
+        self.deliver_local(env)
+    }
+
+    /// Delivers `env` straight to a local mailbox, bypassing the remote
+    /// hook. Used for self-deadlines, which never cross the network.
+    pub(crate) fn deliver_local(&self, env: Envelope<M>) -> bool {
+        match self.mailboxes.get(&env.to) {
+            Some(tx) => tx.send(Packet::Deliver(env)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Whether `to` is a known destination (local or remote).
+    pub(crate) fn knows(&self, to: NodeId) -> bool {
+        self.mailboxes.contains_key(&to)
+            || self.remote.as_ref().is_some_and(|r| r.reaches(to))
+    }
+
+    fn peer_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.mailboxes.keys().copied().collect();
+        if let Some(remote) = &self.remote {
+            ids.extend(remote.peer_ids());
+        }
+        ids.sort();
+        ids.dedup();
+        ids
+    }
 }
 
 /// An entry in the timer thread's deadline heap: deliver `payload` from
@@ -95,7 +162,7 @@ enum TimerCmd<M> {
 /// Handle through which a node handler sends messages to peers.
 pub struct Outbox<M> {
     me: NodeId,
-    senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    router: Arc<Router<M>>,
     stats: Arc<ClusterStats>,
     faults: Arc<FaultState>,
     timer: Sender<TimerCmd<M>>,
@@ -112,9 +179,13 @@ impl<M> Outbox<M> {
     /// crashed (mailbox unreachable) — the ad-hoc setting treats that as
     /// a detectable timeout, not an error. A send the fault plan drops or
     /// delays still returns `true`: the loss is only observable through
-    /// the sender's own deadlines (Sect. III-D).
+    /// the sender's own deadlines (Sect. III-D). On the socket transport
+    /// an unreachable process likewise fails the send (connection
+    /// refused), so the contract is transport-independent.
     pub fn send(&self, to: NodeId, payload: M) -> bool {
-        let Some(tx) = self.senders.get(&to) else { return false };
+        if !self.router.knows(to) {
+            return false;
+        }
         match self.faults.on_send(self.me, to) {
             SendFate::Refuse => false,
             SendFate::Drop => {
@@ -129,7 +200,7 @@ impl<M> Outbox<M> {
                 if to != self.me {
                     self.stats.messages.fetch_add(1, Ordering::Relaxed);
                 }
-                tx.send(Packet::Deliver(Envelope { from: self.me, to, payload })).is_ok()
+                self.router.deliver(Envelope { from: self.me, to, payload })
             }
         }
     }
@@ -155,15 +226,14 @@ impl<M> Outbox<M> {
 
     /// The node ids reachable from this node.
     pub fn peers(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.senders.keys().copied().collect();
-        ids.sort();
-        ids
+        self.router.peer_ids()
     }
 }
 
 /// A running set of node threads.
 pub struct Cluster<M: Send + 'static> {
-    senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    mailboxes: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    router: Arc<Router<M>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     stats: Arc<ClusterStats>,
     faults: Arc<FaultState>,
@@ -187,7 +257,7 @@ where
 
 fn run_timer<M: Send + 'static>(
     rx: Receiver<TimerCmd<M>>,
-    senders: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    router: Arc<Router<M>>,
     stats: Arc<ClusterStats>,
 ) {
     let mut heap: BinaryHeap<TimerEntry<M>> = BinaryHeap::new();
@@ -196,15 +266,14 @@ fn run_timer<M: Send + 'static>(
         let now = Instant::now();
         while heap.peek().is_some_and(|e| e.at <= now) {
             let e = heap.pop().expect("peeked");
-            if e.from != e.to {
+            let env = Envelope { from: e.from, to: e.to, payload: e.payload };
+            if e.from == e.to {
+                // A self-deadline: never crosses the network, even on
+                // the socket transport.
+                router.deliver_local(env);
+            } else {
                 stats.messages.fetch_add(1, Ordering::Relaxed);
-            }
-            if let Some(tx) = senders.get(&e.to) {
-                let _ = tx.send(Packet::Deliver(Envelope {
-                    from: e.from,
-                    to: e.to,
-                    payload: e.payload,
-                }));
+                router.deliver(env);
             }
         }
         // Sleep until the next deadline or the next command.
@@ -230,46 +299,56 @@ fn run_timer<M: Send + 'static>(
     }
 }
 
-impl<M: Send + 'static> Cluster<M> {
-    /// Spawns one thread per `(id, handler)` pair with no planned faults.
-    /// All nodes can reach each other by id (IP addresses in the paper's
-    /// architecture).
-    pub fn spawn(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>) -> Self {
-        Self::spawn_with(nodes, FaultPlan::new())
-    }
+/// The pre-spawn pieces of a cluster: mailbox channels, shared stats and
+/// fault state. The TCP transport prepares these first so its listener
+/// threads can deliver into the mailboxes, then finishes the spawn with
+/// its remote-route hook installed.
+pub(crate) struct ClusterParts<M: Send + 'static> {
+    pub(crate) mailboxes: Arc<HashMap<NodeId, Sender<Packet<M>>>>,
+    pub(crate) stats: Arc<ClusterStats>,
+    pub(crate) faults: Arc<FaultState>,
+    pending: Vec<PendingNode<M>>,
+}
 
-    /// [`Cluster::spawn`] under a [`FaultPlan`]: nodes listed as crashed
-    /// start unresponsive, and the plan's link drops/delays apply to
-    /// every [`Outbox::send`].
-    pub fn spawn_with(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>, plan: FaultPlan) -> Self {
-        let mut senders = HashMap::new();
-        let mut receivers: Vec<PendingNode<M>> = Vec::new();
+impl<M: Send + 'static> ClusterParts<M> {
+    pub(crate) fn prepare(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>, plan: FaultPlan) -> Self {
+        let mut mailboxes = HashMap::new();
+        let mut pending: Vec<PendingNode<M>> = Vec::new();
         for (id, handler) in nodes {
             let (tx, rx) = unbounded();
-            senders.insert(id, tx);
-            receivers.push((id, rx, handler));
+            mailboxes.insert(id, tx);
+            pending.push((id, rx, handler));
         }
-        let senders = Arc::new(senders);
-        let stats = Arc::new(ClusterStats::default());
-        let faults = Arc::new(FaultState::from_plan(plan));
+        ClusterParts {
+            mailboxes: Arc::new(mailboxes),
+            stats: Arc::new(ClusterStats::default()),
+            faults: Arc::new(FaultState::from_plan(plan)),
+            pending,
+        }
+    }
+
+    /// Spawns the timer and node threads, routing through `remote` when
+    /// one is given.
+    pub(crate) fn finish(self, remote: Option<Arc<dyn RemoteRoute<M>>>) -> Cluster<M> {
+        let router = Arc::new(Router { mailboxes: Arc::clone(&self.mailboxes), remote });
         let (timer_tx, timer_rx) = unbounded();
         let timer_seq = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
         handles.push({
-            let senders = Arc::clone(&senders);
-            let stats = Arc::clone(&stats);
-            std::thread::spawn(move || run_timer(timer_rx, senders, stats))
+            let router = Arc::clone(&router);
+            let stats = Arc::clone(&self.stats);
+            std::thread::spawn(move || run_timer(timer_rx, router, stats))
         });
-        for (id, rx, mut handler) in receivers {
+        for (id, rx, mut handler) in self.pending {
             let outbox = Outbox {
                 me: id,
-                senders: Arc::clone(&senders),
-                stats: Arc::clone(&stats),
-                faults: Arc::clone(&faults),
+                router: Arc::clone(&router),
+                stats: Arc::clone(&self.stats),
+                faults: Arc::clone(&self.faults),
                 timer: timer_tx.clone(),
                 timer_seq: Arc::clone(&timer_seq),
             };
-            let faults = Arc::clone(&faults);
+            let faults = Arc::clone(&self.faults);
             handles.push(std::thread::spawn(move || {
                 while let Ok(packet) = rx.recv() {
                     match packet {
@@ -291,7 +370,30 @@ impl<M: Send + 'static> Cluster<M> {
                 }
             }));
         }
-        Cluster { senders, handles: Mutex::new(handles), stats, faults, timer: timer_tx }
+        Cluster {
+            mailboxes: self.mailboxes,
+            router,
+            handles: Mutex::new(handles),
+            stats: self.stats,
+            faults: self.faults,
+            timer: timer_tx,
+        }
+    }
+}
+
+impl<M: Send + 'static> Cluster<M> {
+    /// Spawns one thread per `(id, handler)` pair with no planned faults.
+    /// All nodes can reach each other by id (IP addresses in the paper's
+    /// architecture).
+    pub fn spawn(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>) -> Self {
+        Self::spawn_with(nodes, FaultPlan::new())
+    }
+
+    /// [`Cluster::spawn`] under a [`FaultPlan`]: nodes listed as crashed
+    /// start unresponsive, and the plan's link drops/delays apply to
+    /// every [`Outbox::send`].
+    pub fn spawn_with(nodes: Vec<(NodeId, Box<dyn Handler<M>>)>, plan: FaultPlan) -> Self {
+        ClusterParts::prepare(nodes, plan).finish(None)
     }
 
     /// Injects a message from the outside world (e.g. the external
@@ -300,18 +402,20 @@ impl<M: Send + 'static> Cluster<M> {
     /// fault plan's link faults (but a crashed destination still discards
     /// the delivery).
     pub fn inject(&self, from: NodeId, to: NodeId, payload: M) -> bool {
-        let Some(tx) = self.senders.get(&to) else { return false };
+        if !self.router.knows(to) {
+            return false;
+        }
         if from != to {
             self.stats.messages.fetch_add(1, Ordering::Relaxed);
         }
-        tx.send(Packet::Deliver(Envelope { from, to, payload })).is_ok()
+        self.router.deliver(Envelope { from, to, payload })
     }
 
     /// Crashes `node` at runtime: it stops processing deliveries and
     /// sends addressed to it fail fast. Returns `false` if it was already
     /// crashed or unknown.
     pub fn crash(&self, node: NodeId) -> bool {
-        self.senders.contains_key(&node) && self.faults.crash(node)
+        self.mailboxes.contains_key(&node) && self.faults.crash(node)
     }
 
     /// Restarts a crashed `node`: its thread (never actually stopped)
@@ -319,7 +423,7 @@ impl<M: Send + 'static> Cluster<M> {
     /// arrived while it was down are lost. Returns `false` if it was not
     /// crashed.
     pub fn restart(&self, node: NodeId) -> bool {
-        self.senders.contains_key(&node) && self.faults.restart(node)
+        self.mailboxes.contains_key(&node) && self.faults.restart(node)
     }
 
     /// Whether `node` is currently crashed.
@@ -333,7 +437,7 @@ impl<M: Send + 'static> Cluster<M> {
     /// the deterministic fence the fault tests use instead of sleeping.
     /// Works on crashed nodes too (their thread still drains packets).
     pub fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
-        let Some(tx) = self.senders.get(&node) else { return false };
+        let Some(tx) = self.mailboxes.get(&node) else { return false };
         let (ack_tx, ack_rx) = bounded(1);
         if tx.send(Packet::Barrier(ack_tx)).is_err() {
             return false;
@@ -354,7 +458,7 @@ impl<M: Send + 'static> Cluster<M> {
 
     /// Stops every node thread and waits for them to finish.
     pub fn shutdown(&self) {
-        for tx in self.senders.values() {
+        for tx in self.mailboxes.values() {
             let _ = tx.send(Packet::Shutdown);
         }
         let _ = self.timer.send(TimerCmd::Shutdown);

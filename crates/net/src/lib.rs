@@ -8,6 +8,9 @@
 //!   objectives (total inter-site bytes, response time) exactly.
 //! * [`Cluster`] — a thread-per-node transport over crossbeam channels,
 //!   demonstrating the same protocols under real concurrency.
+//! * [`TcpCluster`] — the same `Outbox` contract over framed TCP
+//!   sockets, so nodes can run as separate OS processes
+//!   (`docs/DEPLOYMENT.md`).
 //!
 //! Plus a small discrete-event [`Scheduler`] for churn experiments.
 
@@ -19,10 +22,12 @@ pub mod latency;
 pub mod network;
 pub mod sched;
 pub mod stats;
+pub mod tcp;
 pub mod time;
 
 pub use cluster::{Cluster, ClusterStats, Envelope, Handler, Outbox};
 pub use fault::FaultPlan;
+pub use tcp::{TcpCluster, TransportSnapshot, WireFault, WireMsg};
 pub use latency::LatencyModel;
 pub use network::{Network, NodeId, TraceEntry};
 pub use sched::Scheduler;

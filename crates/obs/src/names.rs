@@ -54,6 +54,26 @@ pub const LIVE_INCOMPLETE_QUERIES: &str = "live.incomplete_queries";
 /// lookup deadline (after the bounded retry).
 pub const LIVE_LOOKUP_FAILURES: &str = "live.lookup_failures";
 
+// ---- TCP socket transport (docs/DEPLOYMENT.md) -----------------------
+
+/// Frames written to peer sockets (envelopes, control, barriers).
+pub const TRANSPORT_FRAMES_SENT: &str = "transport.frames_sent";
+/// Frames decoded off inbound connections.
+pub const TRANSPORT_FRAMES_RECEIVED: &str = "transport.frames_received";
+/// On-wire bytes written, frame headers included.
+pub const TRANSPORT_BYTES_SENT: &str = "transport.bytes_sent";
+/// On-wire bytes read, frame headers included.
+pub const TRANSPORT_BYTES_RECEIVED: &str = "transport.bytes_received";
+/// Successful outbound connections (first dials and re-dials).
+pub const TRANSPORT_CONNECTS: &str = "transport.connects";
+/// Re-dials that replaced a broken connection.
+pub const TRANSPORT_RECONNECTS: &str = "transport.reconnects";
+/// Sends that failed even after the reconnect attempt (the socket
+/// analogue of `Outbox::send` returning `false`).
+pub const TRANSPORT_SEND_FAILURES: &str = "transport.send_failures";
+/// Handshake failures, malformed frames, and undecodable payloads.
+pub const TRANSPORT_DECODE_ERRORS: &str = "transport.decode_errors";
+
 // ---- backend-agnostic execution core (docs/EXECUTION.md) -------------
 
 /// Plans executed through the backend-agnostic executor (`exec::run`).

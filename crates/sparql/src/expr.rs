@@ -409,6 +409,292 @@ fn compare_terms(op: ComparisonOp, a: &Term, b: &Term) -> Result<bool, ExprError
     }
 }
 
+/// A binary codec for expression trees, built on the primitives of
+/// [`crate::solution::wire`].
+///
+/// The live mesh pushes `FILTER` conditions down to the data sources
+/// (Sect. IV-G), so a socket transport has to ship expression trees
+/// inside its sub-query frames. Layout: one tag byte per node, children
+/// in order; operators are a second tag byte; variables are
+/// length-prefixed names; constants reuse the term encoding. Decoding is
+/// depth-bounded so a malicious frame cannot overflow the stack.
+pub mod wire {
+    use rdfmesh_rdf::Variable;
+
+    use super::{ArithOp, ComparisonOp, Expression};
+    use crate::solution::wire::{put_str, put_term, Reader, WireError};
+
+    const TAG_VAR: u8 = 0;
+    const TAG_CONST: u8 = 1;
+    const TAG_OR: u8 = 2;
+    const TAG_AND: u8 = 3;
+    const TAG_NOT: u8 = 4;
+    const TAG_COMPARE: u8 = 5;
+    const TAG_ARITH: u8 = 6;
+    const TAG_NEG: u8 = 7;
+    const TAG_BOUND: u8 = 8;
+    const TAG_STR: u8 = 9;
+    const TAG_LANG: u8 = 10;
+    const TAG_DATATYPE: u8 = 11;
+    const TAG_IS_IRI: u8 = 12;
+    const TAG_IS_BLANK: u8 = 13;
+    const TAG_IS_LITERAL: u8 = 14;
+    const TAG_SAME_TERM: u8 = 15;
+    const TAG_LANG_MATCHES: u8 = 16;
+    const TAG_REGEX: u8 = 17;
+
+    /// Decoding recursion bound: deeper frames are rejected as malformed
+    /// (parsed queries never approach this; only hostile bytes do).
+    const MAX_DEPTH: u32 = 128;
+
+    fn cmp_tag(op: ComparisonOp) -> u8 {
+        match op {
+            ComparisonOp::Eq => 0,
+            ComparisonOp::Neq => 1,
+            ComparisonOp::Lt => 2,
+            ComparisonOp::Le => 3,
+            ComparisonOp::Gt => 4,
+            ComparisonOp::Ge => 5,
+        }
+    }
+
+    fn arith_tag(op: ArithOp) -> u8 {
+        match op {
+            ArithOp::Add => 0,
+            ArithOp::Sub => 1,
+            ArithOp::Mul => 2,
+            ArithOp::Div => 3,
+        }
+    }
+
+    /// Appends `expr`'s wire bytes to `out`.
+    pub fn put_expr(out: &mut Vec<u8>, expr: &Expression) {
+        match expr {
+            Expression::Var(v) => {
+                out.push(TAG_VAR);
+                put_str(out, v.as_str());
+            }
+            Expression::Const(t) => {
+                out.push(TAG_CONST);
+                put_term(out, t);
+            }
+            Expression::Or(a, b) => {
+                out.push(TAG_OR);
+                put_expr(out, a);
+                put_expr(out, b);
+            }
+            Expression::And(a, b) => {
+                out.push(TAG_AND);
+                put_expr(out, a);
+                put_expr(out, b);
+            }
+            Expression::Not(e) => {
+                out.push(TAG_NOT);
+                put_expr(out, e);
+            }
+            Expression::Compare(op, a, b) => {
+                out.push(TAG_COMPARE);
+                out.push(cmp_tag(*op));
+                put_expr(out, a);
+                put_expr(out, b);
+            }
+            Expression::Arith(op, a, b) => {
+                out.push(TAG_ARITH);
+                out.push(arith_tag(*op));
+                put_expr(out, a);
+                put_expr(out, b);
+            }
+            Expression::Neg(e) => {
+                out.push(TAG_NEG);
+                put_expr(out, e);
+            }
+            Expression::Bound(v) => {
+                out.push(TAG_BOUND);
+                put_str(out, v.as_str());
+            }
+            Expression::Str(e) => {
+                out.push(TAG_STR);
+                put_expr(out, e);
+            }
+            Expression::Lang(e) => {
+                out.push(TAG_LANG);
+                put_expr(out, e);
+            }
+            Expression::Datatype(e) => {
+                out.push(TAG_DATATYPE);
+                put_expr(out, e);
+            }
+            Expression::IsIri(e) => {
+                out.push(TAG_IS_IRI);
+                put_expr(out, e);
+            }
+            Expression::IsBlank(e) => {
+                out.push(TAG_IS_BLANK);
+                put_expr(out, e);
+            }
+            Expression::IsLiteral(e) => {
+                out.push(TAG_IS_LITERAL);
+                put_expr(out, e);
+            }
+            Expression::SameTerm(a, b) => {
+                out.push(TAG_SAME_TERM);
+                put_expr(out, a);
+                put_expr(out, b);
+            }
+            Expression::LangMatches(a, b) => {
+                out.push(TAG_LANG_MATCHES);
+                put_expr(out, a);
+                put_expr(out, b);
+            }
+            Expression::Regex(text, pattern, flags) => {
+                out.push(TAG_REGEX);
+                out.push(u8::from(flags.is_some()));
+                put_expr(out, text);
+                put_expr(out, pattern);
+                if let Some(f) = flags {
+                    put_expr(out, f);
+                }
+            }
+        }
+    }
+
+    /// Reads one expression tree off `r` (inverse of [`put_expr`]).
+    pub fn read_expr(r: &mut Reader<'_>) -> Result<Expression, WireError> {
+        read_at(r, 0)
+    }
+
+    fn read_at(r: &mut Reader<'_>, depth: u32) -> Result<Expression, WireError> {
+        if depth >= MAX_DEPTH {
+            return Err(WireError("expression nesting too deep"));
+        }
+        let one = |r: &mut Reader<'_>| read_at(r, depth + 1).map(Box::new);
+        Ok(match r.u8()? {
+            TAG_VAR => Expression::Var(Variable::new(r.str()?)),
+            TAG_CONST => Expression::Const(r.term()?),
+            TAG_OR => Expression::Or(one(r)?, one(r)?),
+            TAG_AND => Expression::And(one(r)?, one(r)?),
+            TAG_NOT => Expression::Not(one(r)?),
+            TAG_COMPARE => {
+                let op = match r.u8()? {
+                    0 => ComparisonOp::Eq,
+                    1 => ComparisonOp::Neq,
+                    2 => ComparisonOp::Lt,
+                    3 => ComparisonOp::Le,
+                    4 => ComparisonOp::Gt,
+                    5 => ComparisonOp::Ge,
+                    _ => return Err(WireError("unknown comparison operator")),
+                };
+                Expression::Compare(op, one(r)?, one(r)?)
+            }
+            TAG_ARITH => {
+                let op = match r.u8()? {
+                    0 => ArithOp::Add,
+                    1 => ArithOp::Sub,
+                    2 => ArithOp::Mul,
+                    3 => ArithOp::Div,
+                    _ => return Err(WireError("unknown arithmetic operator")),
+                };
+                Expression::Arith(op, one(r)?, one(r)?)
+            }
+            TAG_NEG => Expression::Neg(one(r)?),
+            TAG_BOUND => Expression::Bound(Variable::new(r.str()?)),
+            TAG_STR => Expression::Str(one(r)?),
+            TAG_LANG => Expression::Lang(one(r)?),
+            TAG_DATATYPE => Expression::Datatype(one(r)?),
+            TAG_IS_IRI => Expression::IsIri(one(r)?),
+            TAG_IS_BLANK => Expression::IsBlank(one(r)?),
+            TAG_IS_LITERAL => Expression::IsLiteral(one(r)?),
+            TAG_SAME_TERM => Expression::SameTerm(one(r)?, one(r)?),
+            TAG_LANG_MATCHES => Expression::LangMatches(one(r)?, one(r)?),
+            TAG_REGEX => {
+                let has_flags = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError("invalid regex flags marker")),
+                };
+                let text = one(r)?;
+                let pattern = one(r)?;
+                let flags = if has_flags { Some(one(r)?) } else { None };
+                Expression::Regex(text, pattern, flags)
+            }
+            _ => return Err(WireError("unknown expression tag")),
+        })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rdfmesh_rdf::Term;
+
+        fn round_trip(expr: &Expression) {
+            let mut bytes = Vec::new();
+            put_expr(&mut bytes, expr);
+            let mut r = Reader::new(&bytes);
+            let back = read_expr(&mut r).expect("decodes");
+            r.finish().expect("fully consumed");
+            assert_eq!(&back, expr);
+        }
+
+        #[test]
+        fn every_variant_round_trips() {
+            let v = |n: &str| Box::new(Expression::Var(Variable::new(n)));
+            let c = |n: i64| {
+                Box::new(Expression::Const(Term::Literal(rdfmesh_rdf::Literal::integer(n))))
+            };
+            let exprs = [
+                Expression::Var(Variable::new("x")),
+                Expression::Const(Term::iri("http://e/a")),
+                Expression::Or(v("a"), v("b")),
+                Expression::And(v("a"), v("b")),
+                Expression::Not(v("a")),
+                Expression::Compare(ComparisonOp::Le, v("a"), c(5)),
+                Expression::Arith(ArithOp::Mul, c(2), c(3)),
+                Expression::Neg(c(1)),
+                Expression::Bound(Variable::new("y")),
+                Expression::Str(v("a")),
+                Expression::Lang(v("a")),
+                Expression::Datatype(v("a")),
+                Expression::IsIri(v("a")),
+                Expression::IsBlank(v("a")),
+                Expression::IsLiteral(v("a")),
+                Expression::SameTerm(v("a"), v("b")),
+                Expression::LangMatches(Box::new(Expression::Lang(v("a"))), c(0)),
+                Expression::Regex(v("a"), c(0), None),
+                Expression::Regex(v("a"), c(0), Some(c(1))),
+            ];
+            for e in &exprs {
+                round_trip(e);
+            }
+            // A nested composite, as the optimizer's pushed-down filters
+            // actually look.
+            round_trip(&Expression::And(
+                Box::new(Expression::Compare(ComparisonOp::Ge, v("age"), c(30))),
+                Box::new(Expression::Compare(ComparisonOp::Lt, v("age"), c(60))),
+            ));
+        }
+
+        #[test]
+        fn malformed_bytes_are_rejected_not_trusted() {
+            // Unknown tag.
+            assert!(read_expr(&mut Reader::new(&[200])).is_err());
+            // Truncated operand.
+            let mut bytes = Vec::new();
+            put_expr(&mut bytes, &Expression::And(
+                Box::new(Expression::Bound(Variable::new("x"))),
+                Box::new(Expression::Bound(Variable::new("y"))),
+            ));
+            bytes.truncate(bytes.len() - 2);
+            assert!(read_expr(&mut Reader::new(&bytes)).is_err());
+            // Unknown operator byte.
+            assert!(read_expr(&mut Reader::new(&[TAG_COMPARE, 9])).is_err());
+            // A deeply nested bomb stays an error, not a stack overflow.
+            let mut bomb = vec![TAG_NOT; 100_000];
+            bomb.push(TAG_BOUND);
+            assert!(read_expr(&mut Reader::new(&bomb)).is_err());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -443,23 +443,31 @@ pub mod hashed {
     }
 }
 
-/// A length-prefixed binary codec for solution sets — the wire format a
-/// socket transport would ship between sites.
+/// A length-prefixed binary codec for solution sets — the wire format the
+/// socket transport ships between sites.
 ///
 /// The live mesh's solution rounds move [`SolutionSet`]s between storage
 /// nodes and the coordinator; this codec fixes the byte layout so their
 /// transfer sizes can be accounted (the `live.solution_bytes` counter)
-/// with the same number a real deployment would put on the network.
+/// with the same number a real deployment puts on the network.
 /// Layout: a `u32` solution count, then per solution a `u32` binding
 /// count followed by `(variable name, term)` records. Strings are
 /// `u32`-length-prefixed UTF-8; terms carry a one-byte tag (IRI, blank,
 /// plain / language-tagged / typed literal). All integers little-endian.
+///
+/// The primitive writers ([`put_str`], [`put_term`], [`put_u32`],
+/// [`put_u64`]) and the [`Reader`] cursor are public so higher-level
+/// codecs — the live-protocol message codec in `rdfmesh-core` and the
+/// [`crate::expr::wire`] expression codec — compose the same primitives
+/// instead of reinventing term encoding. `docs/DEPLOYMENT.md` specifies
+/// the full byte layout.
 pub mod wire {
     use rdfmesh_rdf::{BlankNode, Iri, Literal, LiteralKind, Term, Variable};
 
     use super::{Solution, SolutionSet};
 
-    /// A malformed byte stream handed to [`decode`].
+    /// A malformed byte stream handed to [`decode`] (or any of the
+    /// [`Reader`] primitives).
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct WireError(
         /// What was wrong with the stream.
@@ -480,12 +488,24 @@ pub mod wire {
     const TAG_LANG: u8 = 3;
     const TAG_TYPED: u8 = 4;
 
-    fn put_str(out: &mut Vec<u8>, s: &str) {
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(out: &mut Vec<u8>, s: &str) {
         out.extend_from_slice(&(s.len() as u32).to_le_bytes());
         out.extend_from_slice(s.as_bytes());
     }
 
-    fn put_term(out: &mut Vec<u8>, term: &Term) {
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(out: &mut Vec<u8>, n: u32) {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(out: &mut Vec<u8>, n: u64) {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a tagged RDF term (see the module docs for the layout).
+    pub fn put_term(out: &mut Vec<u8>, term: &Term) {
         match term {
             Term::Iri(iri) => {
                 out.push(TAG_IRI);
@@ -517,37 +537,49 @@ pub mod wire {
     /// Encodes a solution set into its wire bytes.
     pub fn encode(solutions: &[Solution]) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(&(solutions.len() as u32).to_le_bytes());
-        for sol in solutions {
-            out.extend_from_slice(&(sol.len() as u32).to_le_bytes());
-            for (var, term) in sol.iter() {
-                put_str(&mut out, var.as_str());
-                put_term(&mut out, term);
-            }
-        }
+        put_solutions(&mut out, solutions);
         out
     }
 
-    struct Reader<'a> {
+    /// A checked cursor over wire bytes: every read validates bounds and
+    /// returns a [`WireError`] instead of panicking, so a malformed or
+    /// truncated frame from the network is rejected, never trusted.
+    pub struct Reader<'a> {
         bytes: &'a [u8],
         pos: usize,
     }
 
     impl<'a> Reader<'a> {
-        fn u32(&mut self) -> Result<u32, WireError> {
+        /// A cursor positioned at the start of `bytes`.
+        pub fn new(bytes: &'a [u8]) -> Self {
+            Reader { bytes, pos: 0 }
+        }
+
+        /// Reads a little-endian `u32`.
+        pub fn u32(&mut self) -> Result<u32, WireError> {
             let end = self.pos.checked_add(4).ok_or(WireError("length overflow"))?;
             let chunk = self.bytes.get(self.pos..end).ok_or(WireError("truncated integer"))?;
             self.pos = end;
             Ok(u32::from_le_bytes(chunk.try_into().expect("4-byte slice")))
         }
 
-        fn u8(&mut self) -> Result<u8, WireError> {
+        /// Reads a little-endian `u64`.
+        pub fn u64(&mut self) -> Result<u64, WireError> {
+            let end = self.pos.checked_add(8).ok_or(WireError("length overflow"))?;
+            let chunk = self.bytes.get(self.pos..end).ok_or(WireError("truncated integer"))?;
+            self.pos = end;
+            Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte slice")))
+        }
+
+        /// Reads one tag byte.
+        pub fn u8(&mut self) -> Result<u8, WireError> {
             let b = *self.bytes.get(self.pos).ok_or(WireError("truncated tag"))?;
             self.pos += 1;
             Ok(b)
         }
 
-        fn str(&mut self) -> Result<&'a str, WireError> {
+        /// Reads a `u32`-length-prefixed UTF-8 string.
+        pub fn str(&mut self) -> Result<&'a str, WireError> {
             let len = self.u32()? as usize;
             let end = self.pos.checked_add(len).ok_or(WireError("length overflow"))?;
             let chunk = self.bytes.get(self.pos..end).ok_or(WireError("truncated string"))?;
@@ -555,7 +587,8 @@ pub mod wire {
             std::str::from_utf8(chunk).map_err(|_| WireError("invalid UTF-8"))
         }
 
-        fn term(&mut self) -> Result<Term, WireError> {
+        /// Reads a tagged RDF term (inverse of [`put_term`]).
+        pub fn term(&mut self) -> Result<Term, WireError> {
             match self.u8()? {
                 TAG_IRI => Ok(Term::Iri(
                     Iri::new(self.str()?).map_err(|_| WireError("invalid IRI"))?,
@@ -578,10 +611,31 @@ pub mod wire {
         }
     }
 
-    /// Decodes wire bytes back into a solution set. Exact inverse of
-    /// [`encode`]; trailing bytes are an error.
-    pub fn decode(bytes: &[u8]) -> Result<SolutionSet, WireError> {
-        let mut r = Reader { bytes, pos: 0 };
+    impl Reader<'_> {
+        /// Asserts the stream was consumed exactly: trailing bytes are a
+        /// framing error, not padding.
+        pub fn finish(self) -> Result<(), WireError> {
+            if self.pos != self.bytes.len() {
+                return Err(WireError("trailing bytes"));
+            }
+            Ok(())
+        }
+    }
+
+    /// Appends a solution set (inverse of the body [`decode`] reads).
+    pub fn put_solutions(out: &mut Vec<u8>, solutions: &[Solution]) {
+        put_u32(out, solutions.len() as u32);
+        for sol in solutions {
+            put_u32(out, sol.len() as u32);
+            for (var, term) in sol.iter() {
+                put_str(out, var.as_str());
+                put_term(out, term);
+            }
+        }
+    }
+
+    /// Reads a solution set off `r` (the streaming form of [`decode`]).
+    pub fn read_solutions(r: &mut Reader<'_>) -> Result<SolutionSet, WireError> {
         let count = r.u32()? as usize;
         let mut out = Vec::new();
         for _ in 0..count {
@@ -596,9 +650,15 @@ pub mod wire {
             }
             out.push(sol);
         }
-        if r.pos != bytes.len() {
-            return Err(WireError("trailing bytes"));
-        }
+        Ok(out)
+    }
+
+    /// Decodes wire bytes back into a solution set. Exact inverse of
+    /// [`encode`]; trailing bytes are an error.
+    pub fn decode(bytes: &[u8]) -> Result<SolutionSet, WireError> {
+        let mut r = Reader::new(bytes);
+        let out = read_solutions(&mut r)?;
+        r.finish()?;
         Ok(out)
     }
 }

@@ -4,6 +4,7 @@
 //! rdfmesh query [OPTIONS] <SPARQL>     run a query on a synthetic network
 //! rdfmesh load <FILE.nt>... -q <SPARQL> one peer per N-Triples file
 //! rdfmesh topology [OPTIONS]           print the ring and index layout
+//! rdfmesh serve [OPTIONS]              run one mesh process + SPARQL endpoint
 //! rdfmesh help                         this message
 //! ```
 //!
@@ -17,13 +18,28 @@
 //! --format F       table | json | xml | tsv                 [default: table]
 //! --objective O    plan adaptively: bytes | time | balanced
 //! ```
+//!
+//! `serve` options (see `docs/DEPLOYMENT.md`):
+//! ```text
+//! --listen A             mesh listener address           [127.0.0.1:0]
+//! --http A               HTTP endpoint address           [127.0.0.1:0]
+//! --join A               an existing member to join through
+//! --node-id N            unique base node id             [pid-derived]
+//! --load FILE.nt         triples this process shares (repeatable)
+//! --ack-timeout-ms N     provider query-ack deadline     [150]
+//! --lookup-timeout-ms N  index lookup deadline           [150]
+//! --query-deadline-ms N  hard per-query deadline         [5000]
+//! --retries N            retransmissions before dead     [1]
+//! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
-use rdfmesh::core::{ExecConfig, PlanObjective, PrimitiveStrategy};
+use rdfmesh::core::{ExecConfig, LiveConfig, PlanObjective, PrimitiveStrategy};
 use rdfmesh::sparql::{to_json, to_tsv, to_xml};
 use rdfmesh::workload::{foaf, FoafConfig};
-use rdfmesh::{Engine, SharingSystem};
+use rdfmesh::{Engine, MeshNode, ServeOptions, SharingSystem, SparqlEndpoint};
 
 struct Options {
     peers: usize,
@@ -33,6 +49,12 @@ struct Options {
     strategy: PrimitiveStrategy,
     format: String,
     objective: Option<PlanObjective>,
+    listen: String,
+    http: String,
+    join: Option<String>,
+    node_id: Option<u64>,
+    load: Vec<String>,
+    live: LiveConfig,
     positional: Vec<String>,
 }
 
@@ -45,6 +67,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strategy: PrimitiveStrategy::Chained,
         format: "table".into(),
         objective: None,
+        listen: "127.0.0.1:0".into(),
+        http: "127.0.0.1:0".into(),
+        join: None,
+        node_id: None,
+        load: Vec::new(),
+        live: LiveConfig::default(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -75,6 +103,34 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "balanced" => PlanObjective::Balanced(0.5),
                     other => return Err(format!("unknown objective {other:?}")),
                 })
+            }
+            "--listen" => o.listen = val("--listen")?,
+            "--http" => o.http = val("--http")?,
+            "--join" => o.join = Some(val("--join")?),
+            "--node-id" => {
+                o.node_id =
+                    Some(val("--node-id")?.parse().map_err(|e| format!("--node-id: {e}"))?)
+            }
+            "--load" => o.load.push(val("--load")?),
+            "--ack-timeout-ms" => {
+                let ms: u64 =
+                    val("--ack-timeout-ms")?.parse().map_err(|e| format!("--ack-timeout-ms: {e}"))?;
+                o.live.ack_timeout = Duration::from_millis(ms);
+            }
+            "--lookup-timeout-ms" => {
+                let ms: u64 = val("--lookup-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--lookup-timeout-ms: {e}"))?;
+                o.live.lookup_timeout = Duration::from_millis(ms);
+            }
+            "--query-deadline-ms" => {
+                let ms: u64 = val("--query-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--query-deadline-ms: {e}"))?;
+                o.live.query_deadline = Duration::from_millis(ms);
+            }
+            "--retries" => {
+                o.live.retries = val("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
             }
             "-q" | "--query" => o.positional.push(val("--query")?),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
@@ -197,12 +253,60 @@ fn run_topology(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn run_serve(o: &Options) -> Result<(), String> {
+    let id = o.node_id.unwrap_or_else(|| u64::from(std::process::id()));
+    let mut store = rdfmesh::TripleStore::new();
+    let mut loaded = 0usize;
+    for file in &o.load {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let triples = rdfmesh::rdf::parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
+        for t in &triples {
+            store.insert(t);
+        }
+        loaded += triples.len();
+    }
+    let node = Arc::new(
+        MeshNode::start(o.listen.as_str(), id, store, o.live).map_err(|e| e.to_string())?,
+    );
+    if let Some(seed) = &o.join {
+        if !node.join(seed.as_str()) {
+            return Err(format!("could not reach seed {seed}"));
+        }
+        // Wait briefly for the WELCOME so the first query sees the mesh.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while node.member_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if node.member_count() < 2 {
+            return Err(format!("seed {seed} never answered the join"));
+        }
+    }
+    let endpoint = SparqlEndpoint::serve(
+        o.http.as_str(),
+        Arc::clone(&node),
+        ServeOptions { bind_join: true, wait: o.live.query_deadline * 4 + Duration::from_secs(5) },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("mesh node {id} listening on {} ({loaded} triples loaded)", node.local_addr());
+    println!("sparql endpoint on http://{}/sparql", endpoint.local_addr());
+    eprintln!(
+        "# timeouts: ack {:?}, lookup {:?}, deadline {:?}, retries {}",
+        o.live.ack_timeout, o.live.lookup_timeout, o.live.query_deadline, o.live.retries
+    );
+    // Serve until killed: both the mesh and the endpoint run on their
+    // own threads.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
 const HELP: &str = "rdfmesh — ad-hoc Semantic Web data sharing (see README.md)
 
 USAGE:
   rdfmesh query [OPTIONS] '<SPARQL>'
   rdfmesh load  [OPTIONS] <FILE.nt>... -q '<SPARQL>'
   rdfmesh topology [OPTIONS]
+  rdfmesh serve [SERVE OPTIONS]
 
 OPTIONS:
   --peers N      storage nodes in the synthetic network   [10]
@@ -212,6 +316,17 @@ OPTIONS:
   --strategy S   basic | chained | freq                   [chained]
   --format F     table | json | xml | tsv                 [table]
   --objective O  plan adaptively: bytes | time | balanced
+
+SERVE OPTIONS (docs/DEPLOYMENT.md):
+  --listen A             mesh listener address            [127.0.0.1:0]
+  --http A               HTTP SPARQL endpoint address     [127.0.0.1:0]
+  --join A               existing member to join through
+  --node-id N            unique base node id              [pid-derived]
+  --load FILE.nt         triples this process shares (repeatable)
+  --ack-timeout-ms N     provider query-ack deadline      [150]
+  --lookup-timeout-ms N  index lookup deadline            [150]
+  --query-deadline-ms N  hard per-query deadline          [5000]
+  --retries N            retransmissions before dead      [1]
 ";
 
 fn main() -> ExitCode {
@@ -231,6 +346,7 @@ fn main() -> ExitCode {
         "query" => run_query(&opts),
         "load" => run_load(&opts),
         "topology" => run_topology(&opts),
+        "serve" => run_serve(&opts),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

@@ -1,0 +1,347 @@
+//! A minimal HTTP/1.1 SPARQL endpoint over a [`MeshNode`].
+//!
+//! `rdfmesh serve` mounts this on top of a serve-mode mesh process so
+//! ordinary HTTP clients (curl, a browser, a SPARQL library) can query
+//! the ad-hoc mesh. The surface follows the SPARQL 1.1 Protocol where it
+//! is cheap to do so and documents where it deviates:
+//!
+//! * `GET /sparql?query=<percent-encoded>` and `POST /sparql` (raw query
+//!   body, or `query=` form-encoded) run one query each;
+//! * responses are SPARQL JSON results with one extension: a top-level
+//!   `"rdfmesh"` object carrying the live execution's fault metadata —
+//!   `complete`, `failed_providers`, `rounds` — so clients can tell a
+//!   full answer from one that survived a provider crash;
+//! * `GET /health` reports the process's roster size, for liveness
+//!   probes and the `docs/DEPLOYMENT.md` walkthrough.
+//!
+//! One thread per connection, `Connection: close` semantics: the
+//! implementation favours auditability over throughput, matching the
+//! paper's scale (tens of peers, not thousands of clients). Queries on
+//! concurrent connections run concurrently — each handler thread drives
+//! its own rounds through the shared [`MeshNode`] coordinator.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rdfmesh_core::{LiveError, MeshNode};
+use rdfmesh_sparql::to_json;
+
+/// How a served query is executed: the conjunctive strategy and the
+/// caller-side wait per solution round.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Ship intermediates with each sub-query (Sect. IV-D bound
+    /// evaluation) instead of joining independently-gathered patterns.
+    pub bind_join: bool,
+    /// Caller-side wait per solution round; keep it comfortably above
+    /// `LiveConfig::query_deadline`.
+    pub wait: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { bind_join: true, wait: Duration::from_secs(30) }
+    }
+}
+
+/// A running HTTP front-end bound to one [`MeshNode`].
+pub struct SparqlEndpoint {
+    addr: SocketAddr,
+    closing: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SparqlEndpoint {
+    /// Binds `listen` and serves queries against `node` until
+    /// [`SparqlEndpoint::shutdown`].
+    pub fn serve(
+        listen: impl ToSocketAddrs,
+        node: Arc<MeshNode>,
+        options: ServeOptions,
+    ) -> io::Result<SparqlEndpoint> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let closing = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let closing = Arc::clone(&closing);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if closing.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let node = Arc::clone(&node);
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &node, options);
+                        });
+                    }
+                }
+            })
+        };
+        Ok(SparqlEndpoint { addr, closing, accept: Mutex::new(Some(accept)) })
+    }
+
+    /// The address the HTTP listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(&self) {
+        if self.closing.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SparqlEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One parsed HTTP request: method, path (query string split off), and
+/// body.
+struct Request {
+    method: String,
+    path: String,
+    query_string: String,
+    body: Vec<u8>,
+}
+
+fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default().to_string();
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, query_string, body })
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Percent-decodes one URL component, mapping `+` to space.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| std::str::from_utf8(h).ok());
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The `query` parameter of a form-encoded or query-string payload.
+fn query_param(encoded: &str) -> Option<String> {
+    encoded
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("query="))
+        .map(percent_decode)
+}
+
+/// Extracts the SPARQL text from a request per the SPARQL 1.1 Protocol:
+/// `GET` carries it percent-encoded in the query string, `POST` either
+/// form-encoded (`query=`) or as the raw body.
+fn sparql_text(req: &Request) -> Option<String> {
+    match req.method.as_str() {
+        "GET" => query_param(&req.query_string),
+        "POST" => {
+            let body = String::from_utf8_lossy(&req.body).into_owned();
+            if body.contains("query=") {
+                query_param(&body)
+            } else if body.trim().is_empty() {
+                query_param(&req.query_string)
+            } else {
+                Some(body)
+            }
+        }
+        _ => None,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\r' => "\\r".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Splices the `"rdfmesh"` metadata object into a SPARQL JSON results
+/// document (which is always a single top-level object).
+fn with_metadata(results_json: &str, exec: &rdfmesh_core::LiveExecution) -> String {
+    let failed: Vec<String> =
+        exec.failed_providers.iter().map(|p| p.0.to_string()).collect();
+    let meta = format!(
+        "\"rdfmesh\":{{\"complete\":{},\"failed_providers\":[{}],\"rounds\":{}}}",
+        exec.complete,
+        failed.join(","),
+        exec.rounds
+    );
+    match results_json.strip_suffix('}') {
+        Some(head) if head.ends_with('{') => format!("{head}{meta}}}"),
+        Some(head) => format!("{head},{meta}}}"),
+        None => results_json.to_string(),
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    node: &MeshNode,
+    options: ServeOptions,
+) -> io::Result<()> {
+    let req = read_request(&mut stream)?;
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"node\":{},\"members\":{},\"mesh_addr\":\"{}\"}}",
+                node.id(),
+                node.member_count(),
+                node.local_addr()
+            );
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        ("GET" | "POST", "/sparql") => {
+            let Some(query) = sparql_text(&req) else {
+                return respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "application/json",
+                    "{\"error\":\"missing query parameter\"}",
+                );
+            };
+            match node.execute(&query, options.bind_join, options.wait) {
+                Ok(exec) => {
+                    let body = with_metadata(&to_json(&exec.result), &exec);
+                    respond(&mut stream, "200 OK", "application/sparql-results+json", &body)
+                }
+                Err(LiveError::Parse(e)) => respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "application/json",
+                    &format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string())),
+                ),
+                Err(LiveError::Timeout) => respond(
+                    &mut stream,
+                    "504 Gateway Timeout",
+                    "application/json",
+                    "{\"error\":\"solution round timed out\"}",
+                ),
+            }
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "application/json",
+            "{\"error\":\"routes: GET|POST /sparql, GET /health\"}",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_spaces_and_hex() {
+        assert_eq!(percent_decode("a+b%20c%3Fd"), "a b c?d");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+
+    #[test]
+    fn query_param_finds_the_query_pair() {
+        assert_eq!(
+            query_param("format=json&query=SELECT+%2A").as_deref(),
+            Some("SELECT *")
+        );
+        assert_eq!(query_param("format=json"), None);
+    }
+
+    #[test]
+    fn metadata_splices_into_result_objects() {
+        let exec = rdfmesh_core::LiveExecution {
+            result: rdfmesh_sparql::QueryResult::Boolean(true),
+            complete: false,
+            failed_providers: vec![rdfmesh_net::NodeId(3), rdfmesh_net::NodeId(9)],
+            rounds: 2,
+        };
+        let spliced = with_metadata("{\"head\":{},\"boolean\":true}", &exec);
+        assert_eq!(
+            spliced,
+            "{\"head\":{},\"boolean\":true,\"rdfmesh\":{\"complete\":false,\"failed_providers\":[3,9],\"rounds\":2}}"
+        );
+        let empty = with_metadata("{}", &exec);
+        assert_eq!(
+            empty,
+            "{\"rdfmesh\":{\"complete\":false,\"failed_providers\":[3,9],\"rounds\":2}}"
+        );
+    }
+}

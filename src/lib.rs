@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+pub mod endpoint;
+
 pub use rdfmesh_chord as chord;
 pub use rdfmesh_core as core;
 pub use rdfmesh_net as net;
@@ -35,10 +37,11 @@ pub use rdfmesh_rdf as rdf;
 pub use rdfmesh_sparql as sparql;
 pub use rdfmesh_workload as workload;
 
+pub use endpoint::{ServeOptions, SparqlEndpoint};
 pub use rdfmesh_chord::{ChordRing, Id};
 pub use rdfmesh_core::{
-    global_store, Engine, EngineError, ExecConfig, Execution, JoinSiteStrategy, Objective,
-    PrimitiveStrategy, QueryStats, SharingSystem, SystemBuilder,
+    global_store, Engine, EngineError, ExecConfig, Execution, JoinSiteStrategy, MeshNode,
+    Objective, PrimitiveStrategy, QueryStats, SharingSystem, SystemBuilder,
 };
 pub use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
 pub use rdfmesh_overlay::Overlay;

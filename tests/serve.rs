@@ -1,0 +1,212 @@
+//! End-to-end test of `rdfmesh serve`: three real OS processes form a
+//! mesh over loopback TCP, and HTTP SPARQL queries against one of them
+//! return exactly the bindings the simulator backend produces for the
+//! same data — the acceptance walkthrough of `docs/DEPLOYMENT.md`, run
+//! by the test harness instead of a human.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rdfmesh::{parse_query, SharingSystem, Triple};
+
+/// Kills the child process on drop so a failed assertion cannot leak
+/// orphan `serve` processes.
+struct Guard(Child);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `rdfmesh serve` and parses the two startup lines for the mesh
+/// and HTTP addresses (stdout is line-buffered, so they arrive promptly).
+fn spawn_node(id: u64, data: &Path, join: Option<&str>) -> (Guard, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rdfmesh"));
+    cmd.args(["serve", "--node-id", &id.to_string()])
+        .args(["--listen", "127.0.0.1:0", "--http", "127.0.0.1:0"])
+        .args(["--load", data.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(seed) = join {
+        cmd.args(["--join", seed]);
+    }
+    let mut child = cmd.spawn().expect("spawn rdfmesh serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mesh_line = lines.next().expect("mesh line").expect("read mesh line");
+    let http_line = lines.next().expect("http line").expect("read http line");
+    let mesh_addr = mesh_line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("mesh address in startup line")
+        .to_string();
+    let http_addr = http_line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.strip_suffix("/sparql"))
+        .expect("http address in startup line")
+        .to_string();
+    (Guard(child), mesh_addr, http_addr)
+}
+
+/// One blocking HTTP/1.1 request; returns (status line, body).
+fn http(addr: &str, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn http_get_sparql(addr: &str, query: &str) -> (String, String) {
+    let encoded: String = query
+        .bytes()
+        .map(|b| match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                (b as char).to_string()
+            }
+            b => format!("%{b:02X}"),
+        })
+        .collect();
+    http(addr, &format!("GET /sparql?query={encoded} HTTP/1.1\r\nHost: {addr}\r\n\r\n"))
+}
+
+fn http_post_sparql(addr: &str, query: &str) -> (String, String) {
+    http(
+        addr,
+        &format!(
+            "POST /sparql HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{query}",
+            query.len()
+        ),
+    )
+}
+
+/// Extracts the `"bindings":[...]` objects from a SPARQL JSON results
+/// document as a sorted set, so documents can be compared independent of
+/// solution order.
+fn bindings_of(json: &str) -> Vec<String> {
+    let start = json.find("\"bindings\":[").map(|i| i + "\"bindings\":[".len());
+    let Some(start) = start else { panic!("no bindings array in {json}") };
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut row = String::new();
+    for c in json[start..].chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                row.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                row.push(c);
+                if depth == 0 {
+                    rows.push(std::mem::take(&mut row));
+                }
+            }
+            ']' if depth == 0 => break,
+            _ if depth > 0 => row.push(c),
+            _ => {}
+        }
+    }
+    rows.sort();
+    rows
+}
+
+/// The simulator oracle: the same data on the in-process backend.
+fn sim_bindings(per_node: &[Vec<Triple>], query: &str) -> Vec<String> {
+    let mut sys = SharingSystem::new();
+    let ix = sys.add_index_node().unwrap();
+    for triples in per_node {
+        sys.add_peer(triples.clone()).unwrap();
+    }
+    let exec = sys.query(ix, query).unwrap();
+    bindings_of(&rdfmesh::sparql::to_json(&exec.result))
+}
+
+fn nt(lines: &[&str]) -> Vec<Triple> {
+    rdfmesh::rdf::parse_document(&lines.join("\n")).expect("test data parses")
+}
+
+#[test]
+fn three_serve_processes_answer_http_queries_like_the_simulator() {
+    let knows = "<http://xmlns.com/foaf/0.1/knows>";
+    let mbox = "<http://xmlns.com/foaf/0.1/mbox>";
+    let person = |n: &str| format!("<http://example.org/{n}>");
+    let datasets: Vec<Vec<String>> = vec![
+        vec![
+            format!("{} {knows} {} .", person("alice"), person("bob")),
+            format!("{} {mbox} {} .", person("alice"), person("mailto-alice")),
+        ],
+        vec![format!("{} {knows} {} .", person("bob"), person("carol"))],
+        vec![format!("{} {knows} {} .", person("dave"), person("bob"))],
+    ];
+
+    let dir = std::env::temp_dir().join(format!("rdfmesh-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let files: Vec<PathBuf> = datasets
+        .iter()
+        .enumerate()
+        .map(|(i, lines)| {
+            let path = dir.join(format!("node{}.nt", i + 1));
+            std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+            path
+        })
+        .collect();
+
+    let (_g1, mesh1, http1) = spawn_node(1, &files[0], None);
+    let (_g2, _mesh2, http2) = spawn_node(2, &files[1], Some(&mesh1));
+    let (_g3, _mesh3, http3) = spawn_node(3, &files[2], Some(&mesh1));
+
+    // Every process must converge on the full three-member roster before
+    // queries can see all providers.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    for addr in [&http1, &http2, &http3] {
+        loop {
+            let (status, body) =
+                http(addr, &format!("GET /health HTTP/1.1\r\nHost: {addr}\r\n\r\n"));
+            assert!(status.contains("200"), "health check failed: {status}");
+            if body.contains("\"members\":3") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "roster never reached 3 members: {body}");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    let triples: Vec<Vec<Triple>> =
+        datasets.iter().map(|lines| nt(&lines.iter().map(String::as_str).collect::<Vec<_>>())).collect();
+
+    // A conjunctive query whose join spans processes: alice→bob lives on
+    // node 1, bob→carol on node 2, dave→bob on node 3.
+    let conjunctive = "SELECT ?x ?y WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . }";
+    assert!(parse_query(conjunctive).is_ok());
+    let (status, body) = http_get_sparql(&http3, conjunctive);
+    assert!(status.contains("200"), "conjunctive query failed: {status} {body}");
+    assert!(body.contains("\"complete\":true"), "answer degraded: {body}");
+    assert!(body.contains("\"failed_providers\":[]"), "unexpected failures: {body}");
+    assert_eq!(bindings_of(&body), sim_bindings(&triples, conjunctive));
+
+    // OPTIONAL over the same mesh, via POST with a raw query body: only
+    // alice has a mailbox, so one row binds ?m and two leave it out.
+    let optional =
+        "SELECT ?p ?m WHERE { ?p foaf:knows ?q . OPTIONAL { ?p foaf:mbox ?m . } }";
+    let (status, body) = http_post_sparql(&http2, optional);
+    assert!(status.contains("200"), "optional query failed: {status} {body}");
+    assert!(body.contains("\"complete\":true"), "answer degraded: {body}");
+    assert_eq!(bindings_of(&body), sim_bindings(&triples, optional));
+
+    // Malformed SPARQL is a client error, not a mesh failure.
+    let (status, _) = http_post_sparql(&http1, "SELECT WHERE {");
+    assert!(status.contains("400"), "expected 400 for a parse error: {status}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
