@@ -1,4 +1,4 @@
-//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E18).
+//! The deferred-evaluation experiment suite (EXPERIMENTS.md §E1-§E19).
 //!
 //! Each module prints one or more Markdown tables; `run_all` regenerates
 //! the whole of EXPERIMENTS.md's measured data. Everything is seeded and
@@ -24,6 +24,7 @@ pub mod e15_cache;
 pub mod e16_live_churn;
 pub mod e17_exec_parity;
 pub mod e18_socket_parity;
+pub mod e19_store_scale;
 
 /// `(id, description, runner)` for every experiment.
 pub fn all() -> Vec<(&'static str, &'static str, fn())> {
@@ -46,12 +47,13 @@ pub fn all() -> Vec<(&'static str, &'static str, fn())> {
         ("e16", "Live-mesh churn soak: fault tolerance on real threads", e16_live_churn::run),
         ("e17", "Execution-core parity: one plan on simulator and live mesh", e17_exec_parity::run),
         ("e18", "Socket-transport parity: identical answers over framed TCP", e18_socket_parity::run),
+        ("e19", "Persistent-store scale ladder: bulk load, lookup, memory", e19_store_scale::run),
     ]
 }
 
 /// One experiment's identity plus the metrics it recorded while running.
 pub struct ExperimentRecord {
-    /// Registry id (`e1` … `e18`).
+    /// Registry id (`e1` … `e19`).
     pub id: &'static str,
     /// Human-readable title from the registry.
     pub title: &'static str,

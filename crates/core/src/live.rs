@@ -42,7 +42,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Sender};
 use rdfmesh_net::{Cluster, Envelope, FaultPlan, Handler, NodeId, Outbox, TcpCluster, TransportSnapshot};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple, Overlay};
-use rdfmesh_rdf::{Triple, TriplePattern, TripleStore};
+use rdfmesh_rdf::{SharedStore, Triple, TriplePattern};
 use rdfmesh_sparql::expr::Expression;
 use rdfmesh_sparql::solution::{wire, Solution};
 
@@ -756,7 +756,7 @@ impl Handler<LiveMsg> for IndexNode {
 }
 
 pub(crate) struct LiveStorage {
-    pub(crate) store: TripleStore,
+    pub(crate) store: SharedStore,
     pub(crate) stats: Arc<LiveStats>,
 }
 

@@ -33,7 +33,9 @@ use std::time::Duration;
 use crossbeam::channel::bounded;
 use rdfmesh_net::{FaultPlan, Handler, NodeId, TcpCluster, TransportSnapshot};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple};
-use rdfmesh_rdf::{TriplePattern, TripleStore};
+use rdfmesh_rdf::TriplePattern;
+#[cfg(test)]
+use rdfmesh_rdf::TripleStore;
 use rdfmesh_sparql::expr::Expression;
 use rdfmesh_sparql::solution::wire::{put_str, put_u64, Reader, WireError};
 use rdfmesh_sparql::solution::Solution;
@@ -269,14 +271,17 @@ impl MeshNode {
     ///
     /// `id` is the process's base node id and must be unique across the
     /// mesh and below [`INDEX_BASE`]; `store` is the process's local
-    /// triples.
+    /// triples — an in-memory [`rdfmesh_rdf::TripleStore`] or any
+    /// [`SharedStore`](rdfmesh_rdf::SharedStore) handle (e.g. a
+    /// persistent `rdfmesh-store` backend).
     pub fn start(
         listen: impl ToSocketAddrs,
         id: u64,
-        store: TripleStore,
+        store: impl Into<rdfmesh_rdf::SharedStore>,
         cfg: LiveConfig,
     ) -> io::Result<MeshNode> {
         assert!(id < INDEX_BASE, "base node id must be below INDEX_BASE");
+        let store = store.into();
         let space = rdfmesh_chord::IdSpace::new(RING_BITS);
         let storage_id = NodeId(id);
         let index_id = NodeId(INDEX_BASE + id);

@@ -90,6 +90,19 @@ pub const EXEC_BOUND_SUBQUERIES: &str = "exec.bound_subqueries";
 pub const EXEC_BINARY_OPS: &str = "exec.binary_ops";
 /// Residual filters applied to a materialization by the executor.
 pub const EXEC_RESIDUAL_FILTERS: &str = "exec.residual_filters";
+// ---- persistent store bulk ingest (docs/STORAGE.md) ------------------
+
+/// N-Triples statements parsed by the bulk-load pipeline (pre-dedup).
+pub const STORE_LOAD_STATEMENTS: &str = "store.load.statements";
+/// Distinct triples added to the store by bulk loads.
+pub const STORE_LOAD_TRIPLES: &str = "store.load.triples";
+/// Input bytes consumed by bulk loads.
+pub const STORE_LOAD_BYTES: &str = "store.load.bytes";
+/// Wall-clock microseconds spent inside bulk loads.
+pub const STORE_LOAD_MICROS: &str = "store.load.micros";
+/// Sorted runs spilled to disk during bulk loads.
+pub const STORE_LOAD_RUNS: &str = "store.load.runs";
+
 /// Solution-gathering rounds issued by the live execution backend.
 pub const LIVE_SOLUTION_ROUNDS: &str = "live.solution_rounds";
 /// Solution mappings shipped as intermediate results by live storage

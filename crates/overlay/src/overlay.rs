@@ -22,17 +22,22 @@ use std::collections::{BTreeMap, HashMap};
 
 use rdfmesh_chord::{ChordRing, Id, RingError};
 use rdfmesh_net::{Network, NodeId, SimTime};
-use rdfmesh_rdf::{Triple, TriplePattern, TripleStore};
+use rdfmesh_rdf::{SharedStore, Triple, TriplePattern, TripleStore};
 
 use crate::key::{key_for_pattern, keys_for_triple, IndexKey, KeyKind, NumericBuckets};
 use crate::location::{LocationTable, Provider};
 use crate::wire;
 
 /// A storage node: its local repository and its attachment point.
+///
+/// The repository is held behind a [`SharedStore`] handle, so a storage
+/// node can run on the in-memory [`TripleStore`] (the default) or on the
+/// persistent `rdfmesh-store` backend. Cloning the node *shares* the
+/// repository.
 #[derive(Debug, Clone)]
 pub struct StorageNode {
     /// The node's own RDF data repository.
-    pub store: TripleStore,
+    pub store: SharedStore,
     /// The chord id of the index node it is attached to.
     pub attached_to: Id,
     /// The IRI naming this node's dataset, when the provider published
@@ -557,7 +562,25 @@ impl Overlay {
         self.check_addr_free(addr)?;
         let attach_id =
             *self.addr_index.get(&attach).ok_or(OverlayError::UnknownIndexNode(attach))?;
-        let store = TripleStore::from_triples(triples);
+        let store = SharedStore::from(TripleStore::from_triples(triples));
+        self.storage.insert(addr, StorageNode { store, attached_to: attach_id, graph });
+        self.publish(addr)
+    }
+
+    /// [`Overlay::add_storage_node_with_graph`], but mounting an
+    /// existing [`SharedStore`] (e.g. a persistent `rdfmesh-store`
+    /// backend) instead of collecting triples into a fresh in-memory
+    /// store. The store's current contents are published into the index.
+    pub fn add_storage_node_with_store(
+        &mut self,
+        addr: NodeId,
+        attach: NodeId,
+        store: SharedStore,
+        graph: Option<rdfmesh_rdf::Iri>,
+    ) -> Result<PublishReport, OverlayError> {
+        self.check_addr_free(addr)?;
+        let attach_id =
+            *self.addr_index.get(&attach).ok_or(OverlayError::UnknownIndexNode(attach))?;
         self.storage.insert(addr, StorageNode { store, attached_to: attach_id, graph });
         self.publish(addr)
     }

@@ -27,13 +27,18 @@
 pub mod dictionary;
 pub mod fxhash;
 pub mod ntriples;
+pub mod source;
 pub mod store;
 pub mod term;
 pub mod triple;
 pub mod vocab;
 
 pub use dictionary::{Dictionary, TermId};
-pub use ntriples::{parse_document, parse_line, write_document, ParseError};
+pub use ntriples::{
+    parse_document, parse_line, parse_statements, parse_statements_from, parse_term_str,
+    write_document, ParseError, Statements,
+};
+pub use source::{PatternSource, SharedStore, StoreFactory};
 pub use store::TripleStore;
 pub use term::{BlankNode, Iri, Literal, LiteralKind, Term, TermError};
 pub use triple::{PatternKind, TermPattern, Triple, TriplePattern, Variable};

@@ -31,16 +31,62 @@ impl std::error::Error for ParseError {}
 /// Parses an entire N-Triples document, returning the triples in document
 /// order.
 pub fn parse_document(input: &str) -> Result<Vec<Triple>, ParseError> {
-    let mut out = Vec::new();
-    for (idx, line) in input.lines().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+    parse_statements(input).map(|r| r.map(|(_, t)| t)).collect()
+}
+
+/// A streaming parser over the statements of an N-Triples document:
+/// yields `(line_number, triple)` per statement without collecting the
+/// document, skipping comments and blank lines. Garbage lines surface as
+/// a line-numbered [`ParseError`] — never silently dropped.
+///
+/// The iterator is the bulk-ingest building block: chunked loaders feed
+/// each chunk through [`parse_statements_from`] with the chunk's first
+/// absolute line number, so errors report positions in the original file.
+pub fn parse_statements(input: &str) -> Statements<'_> {
+    parse_statements_from(input, 1)
+}
+
+/// [`parse_statements`] with an explicit 1-based number for the first
+/// line of `input` (for parsing one chunk of a larger document).
+pub fn parse_statements_from(input: &str, first_line: usize) -> Statements<'_> {
+    Statements { lines: input.lines(), next_line: first_line }
+}
+
+/// Iterator returned by [`parse_statements`].
+#[derive(Debug, Clone)]
+pub struct Statements<'a> {
+    lines: std::str::Lines<'a>,
+    next_line: usize,
+}
+
+impl Iterator for Statements<'_> {
+    type Item = Result<(usize, Triple), ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = self.lines.next()?;
+            let line_no = self.next_line;
+            self.next_line += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(parse_line(trimmed, line_no).map(|t| (line_no, t)));
         }
-        out.push(parse_line(trimmed, line_no)?);
     }
-    Ok(out)
+}
+
+/// Parses a single RDF term in N-Triples syntax (an IRI in angle
+/// brackets, a blank node, or a literal). The whole string must be
+/// consumed. Used by `rdfmesh-store` to round-trip dictionary entries.
+pub fn parse_term_str(text: &str) -> Result<Term, ParseError> {
+    let mut p = LineParser { bytes: text.as_bytes(), pos: 0, line: 1, src: text };
+    let term = p.parse_term()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing content after term"));
+    }
+    Ok(term)
 }
 
 /// Parses a single N-Triples statement (one line, `.`-terminated).
@@ -121,16 +167,58 @@ impl<'a> LineParser<'a> {
     fn parse_iri(&mut self) -> Result<Iri, ParseError> {
         let opened = self.eat(b'<');
         debug_assert!(opened);
-        let start = self.pos;
-        while let Some(c) = self.peek() {
-            if c == b'>' {
-                let s = &self.src[start..self.pos];
-                self.pos += 1;
-                return Iri::new(s).map_err(|e| self.err(e.to_string()));
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated IRI")),
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Iri::new(out).map_err(|e| self.err(e.to_string()));
+                }
+                Some(b'\\') => {
+                    // The N-Triples grammar allows only UCHAR (\uXXXX /
+                    // \UXXXXXXXX) escapes inside IRIREF.
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape in IRI"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'u' | b'U' => out.push(self.unicode_escape(esc)?),
+                        other => {
+                            return Err(self.err(format!(
+                                "only \\u/\\U escapes are allowed in IRIs, found \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => {
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
             }
-            self.pos += 1;
         }
-        Err(self.err("unterminated IRI"))
+    }
+
+    /// Decodes the digits of a `\uXXXX` / `\UXXXXXXXX` escape; `esc` is
+    /// the already-consumed `u`/`U`. Rejects invalid hex, surrogate code
+    /// points and values beyond U+10FFFF.
+    fn unicode_escape(&mut self, esc: u8) -> Result<char, ParseError> {
+        let digits = if esc == b'u' { 4 } else { 8 };
+        let end = self.pos + digits;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = &self.src[self.pos..end];
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(self.err("invalid hex in \\u escape"));
+        }
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid hex in \\u escape"))?;
+        let ch =
+            char::from_u32(cp).ok_or_else(|| self.err("invalid code point in \\u escape"))?;
+        self.pos = end;
+        Ok(ch)
     }
 
     fn parse_blank(&mut self) -> Result<BlankNode, ParseError> {
@@ -139,6 +227,10 @@ impl<'a> LineParser<'a> {
         if !self.eat(b':') {
             return Err(self.err("expected ':' after '_' in blank node"));
         }
+        match self.peek() {
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {}
+            _ => return Err(self.err("blank node label must start with a letter, digit or '_'")),
+        }
         let start = self.pos;
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' {
@@ -146,6 +238,11 @@ impl<'a> LineParser<'a> {
             } else {
                 break;
             }
+        }
+        // A label may contain dots but not end with one (the grammar's
+        // PN_CHARS tail rule); trailing dots belong to the statement.
+        while self.pos > start && self.bytes[self.pos - 1] == b'.' {
+            self.pos -= 1;
         }
         BlankNode::new(&self.src[start..self.pos]).map_err(|e| self.err(e.to_string()))
     }
@@ -167,24 +264,14 @@ impl<'a> LineParser<'a> {
                     self.pos += 1;
                     match esc {
                         b'"' => lexical.push('"'),
+                        b'\'' => lexical.push('\''),
                         b'\\' => lexical.push('\\'),
                         b'n' => lexical.push('\n'),
                         b'r' => lexical.push('\r'),
                         b't' => lexical.push('\t'),
-                        b'u' | b'U' => {
-                            let digits = if esc == b'u' { 4 } else { 8 };
-                            let end = self.pos + digits;
-                            if end > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = &self.src[self.pos..end];
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid hex in \\u escape"))?;
-                            let ch = char::from_u32(cp)
-                                .ok_or_else(|| self.err("invalid code point in \\u escape"))?;
-                            lexical.push(ch);
-                            self.pos = end;
-                        }
+                        b'b' => lexical.push('\u{0008}'),
+                        b'f' => lexical.push('\u{000C}'),
+                        b'u' | b'U' => lexical.push(self.unicode_escape(esc)?),
                         other => {
                             return Err(self.err(format!("unknown escape \\{}", other as char)))
                         }
@@ -316,5 +403,86 @@ _:b <http://e/p> <http://e/o> .
         let doc = "<http://e/s> <http://e/p> <http://e/o> .\nbogus line\n";
         let err = parse_document(doc).unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn streaming_statements_carry_line_numbers() {
+        let doc = "# header\n\n<http://e/a> <http://e/p> <http://e/b> .\n\n<http://e/c> <http://e/p> <http://e/d> .\n";
+        let stmts: Vec<(usize, Triple)> =
+            parse_statements(doc).collect::<Result<_, _>>().unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].0, 3);
+        assert_eq!(stmts[1].0, 5);
+        // Chunked parsing with an absolute offset keeps the numbering.
+        let chunk: Vec<(usize, Triple)> =
+            parse_statements_from("<http://e/a> <http://e/p> <http://e/b> .", 41)
+                .collect::<Result<_, _>>()
+                .unwrap();
+        assert_eq!(chunk[0].0, 41);
+    }
+
+    #[test]
+    fn streaming_statements_surface_garbage_lines() {
+        let doc = "<http://e/a> <http://e/p> <http://e/b> .\ngarbage\n";
+        let mut it = parse_statements(doc);
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn extended_echar_escapes_parse() {
+        let t = parse_line(r#"<http://e/s> <http://e/p> "a\b\f\'z" ."#, 1).unwrap();
+        assert_eq!(t.object.as_literal().unwrap().lexical(), "a\u{0008}\u{000C}'z");
+    }
+
+    #[test]
+    fn iri_unicode_escapes_decode() {
+        let t = parse_line(r#"<http://e/s\u002Fx> <http://e/p> <http://e/\U0000006F> ."#, 1)
+            .unwrap();
+        assert_eq!(t.subject, Term::iri("http://e/s/x"));
+        assert_eq!(t.object, Term::iri("http://e/o"));
+        // Only UCHAR is legal inside an IRI.
+        assert!(parse_line(r#"<http://e/s\n> <http://e/p> <http://e/o> ."#, 1).is_err());
+    }
+
+    #[test]
+    fn surrogate_and_overflow_code_points_are_rejected() {
+        assert!(parse_line(r#"<http://e/s> <http://e/p> "\uD800" ."#, 1).is_err());
+        assert!(parse_line(r#"<http://e/s> <http://e/p> "\U00110000" ."#, 1).is_err());
+        assert!(parse_line(r#"<http://e/s> <http://e/p> "\u12G4" ."#, 1).is_err());
+    }
+
+    #[test]
+    fn blank_node_label_rules() {
+        // A label may contain dots but not end with one: `_:b.` is the
+        // label `b` followed by the statement terminator.
+        let t = parse_line("<http://e/s> <http://e/p> _:b. .", 1);
+        assert!(t.is_err(), "two terminators should not parse");
+        let t = parse_line("<http://e/s> <http://e/p> _:b.c .", 1).unwrap();
+        assert_eq!(t.object, Term::blank("b.c"));
+        let t = parse_line("<http://e/s> <http://e/p> _:b.", 1).unwrap();
+        assert_eq!(t.object, Term::blank("b"));
+        assert!(parse_line("<http://e/s> <http://e/p> _:-x .", 1).is_err());
+        assert!(parse_line("<http://e/s> <http://e/p> _: .", 1).is_err());
+        let t = parse_line("<http://e/s> <http://e/p> _:0dig .", 1).unwrap();
+        assert_eq!(t.object, Term::blank("0dig"));
+    }
+
+    #[test]
+    fn parse_term_str_round_trips_every_term_kind() {
+        for text in [
+            "<http://e/x>",
+            "_:blank1",
+            "\"plain\"",
+            "\"chat\"@fr",
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>",
+            "\"quote \\\" slash \\\\ nl \\n\"",
+        ] {
+            let term = parse_term_str(text).unwrap();
+            assert_eq!(parse_term_str(&term.to_string()).unwrap(), term, "{text}");
+        }
+        assert!(parse_term_str("<http://e/x> junk").is_err());
+        assert!(parse_term_str("").is_err());
     }
 }

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use rdfmesh_chord::{ChordRing, Id, RingError};
 use rdfmesh_net::{Network, NodeId, SimTime};
-use rdfmesh_rdf::{Literal, Term, TermPattern, Triple, TriplePattern, TripleStore};
+use rdfmesh_rdf::{Literal, SharedStore, StoreFactory, Term, TermPattern, Triple, TriplePattern};
 
 use crate::lphash::LocalityHash;
 
@@ -78,7 +78,8 @@ const CANDIDATE_BYTES: usize = 40;
 pub struct RdfPeers {
     ring: ChordRing,
     addr: BTreeMap<Id, NodeId>,
-    stores: BTreeMap<Id, TripleStore>,
+    stores: BTreeMap<Id, SharedStore>,
+    factory: StoreFactory,
     lp: LocalityHash,
     /// The shared cost-accounting network.
     pub net: Network,
@@ -90,7 +91,21 @@ impl RdfPeers {
     pub fn new(bits: u32, net: Network, num_min: f64, num_max: f64) -> Self {
         let ring = ChordRing::new(bits, 4);
         let lp = LocalityHash::new(ring.space(), num_min, num_max);
-        RdfPeers { ring, addr: BTreeMap::new(), stores: BTreeMap::new(), lp, net }
+        RdfPeers {
+            ring,
+            addr: BTreeMap::new(),
+            stores: BTreeMap::new(),
+            factory: StoreFactory::memory(),
+            lp,
+            net,
+        }
+    }
+
+    /// Replaces the factory that allocates each ring node's local store
+    /// (in-memory by default) — how the baseline mounts alternative
+    /// backends. Applies to nodes added after the call.
+    pub fn set_store_factory(&mut self, factory: StoreFactory) {
+        self.factory = factory;
     }
 
     /// Adds a ring node.
@@ -99,7 +114,7 @@ impl RdfPeers {
         self.ring.join(position, bootstrap)?;
         self.ring.stabilize_until_converged(128);
         self.addr.insert(position, addr);
-        self.stores.insert(position, TripleStore::new());
+        self.stores.insert(position, self.factory.make());
         // Keys the new node now owns migrate from its successor.
         let succ = self.ring.node(position)?.successor();
         if succ != position {
@@ -117,7 +132,7 @@ impl RdfPeers {
             // re-place every copy of the moving triples.
             let mut bytes = 0usize;
             for t in &moving {
-                self.stores.get_mut(&succ).expect("exists").remove(t);
+                self.stores[&succ].remove(t);
                 bytes += t.serialized_len();
             }
             if bytes > 0 {
@@ -127,7 +142,7 @@ impl RdfPeers {
             for t in moving {
                 for k in self.keys_of(&t) {
                     let owner = self.ring.ideal_owner(k)?;
-                    self.stores.get_mut(&owner).expect("ring member").insert(&t);
+                    self.stores[&owner].insert(&t);
                 }
             }
         }
@@ -151,7 +166,7 @@ impl RdfPeers {
 
     /// Total stored triple copies across the ring.
     pub fn total_copies(&self) -> usize {
-        self.stores.values().map(TripleStore::len).sum()
+        self.stores.values().map(SharedStore::len).sum()
     }
 
     fn hash_term(&self, tag: &str, term: &Term) -> Id {
@@ -309,7 +324,7 @@ impl RdfPeers {
         let mut hops = path.len() - 1;
         let mut matches: Vec<Triple> = Vec::new();
         let space = self.ring.space();
-        let collect = |store: &rdfmesh_rdf::TripleStore, matches: &mut Vec<Triple>| {
+        let collect = |store: &SharedStore, matches: &mut Vec<Triple>| {
             for t in store.iter() {
                 if &t.predicate == predicate {
                     if let Some(v) = t.object.as_literal().and_then(Literal::as_f64) {

@@ -31,6 +31,12 @@ impl Graph for TripleStore {
     }
 }
 
+impl Graph for rdfmesh_rdf::SharedStore {
+    fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        self.match_pattern(pattern)
+    }
+}
+
 /// A graph with no triples.
 ///
 /// Distributed post-processing ([`crate::finalize`]) operates on solution

@@ -1,0 +1,768 @@
+//! The persistent triple store: immutable sorted segments + write overlay.
+//!
+//! A [`PersistentStore`] keeps its triples in three on-disk permutation
+//! segments (SPO, POS, OSP — mirroring the in-memory
+//! [`rdfmesh_rdf::TripleStore`] layout) plus a small in-memory overlay:
+//! a `BTreeSet` triple-index of unflushed inserts and a tombstone set of
+//! unflushed deletes. Reads merge base and overlay; [`flush`] compacts
+//! everything into a fresh segment generation and atomically swaps the
+//! `MANIFEST`.
+//!
+//! Durability contract (see `docs/STORAGE.md`): the dictionary log is
+//! appended and synced *before* a manifest rename ever publishes segment
+//! files referencing the new ids, so a crash loses at most the unflushed
+//! overlay plus the dictionary tail that only the overlay referenced.
+//!
+//! [`flush`]: PersistentStore::flush
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+
+use rdfmesh_rdf::{
+    Dictionary, PatternKind, PatternSource, SharedStore, TermId, TermPattern, Triple,
+    TriplePattern,
+};
+
+use crate::dict::DictLog;
+use crate::segment::{Key, SegmentFile, SegmentWriter, KEY_MAX, KEY_MIN};
+
+/// The component order of a key in some index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Perm {
+    /// `(subject, predicate, object)`
+    Spo,
+    /// `(predicate, object, subject)`
+    Pos,
+    /// `(object, subject, predicate)`
+    Osp,
+}
+
+impl Perm {
+    pub(crate) const ALL: [Perm; 3] = [Perm::Spo, Perm::Pos, Perm::Osp];
+
+    pub(crate) fn ext(self) -> &'static str {
+        match self {
+            Perm::Spo => "spo",
+            Perm::Pos => "pos",
+            Perm::Osp => "osp",
+        }
+    }
+
+    /// Reorders an SPO key into this permutation's component order.
+    pub(crate) fn encode(self, (s, p, o): Key) -> Key {
+        match self {
+            Perm::Spo => (s, p, o),
+            Perm::Pos => (p, o, s),
+            Perm::Osp => (o, s, p),
+        }
+    }
+
+    /// Recovers the SPO key from a key in this permutation's order.
+    pub(crate) fn decode(self, (a, b, c): Key) -> Key {
+        match self {
+            Perm::Spo => (a, b, c),
+            Perm::Pos => (c, a, b),
+            Perm::Osp => (b, c, a),
+        }
+    }
+}
+
+/// The in-memory overlay of unflushed inserts, indexed like the base.
+#[derive(Debug, Default)]
+pub(crate) struct MemIndex {
+    pub(crate) spo: BTreeSet<Key>,
+    pub(crate) pos: BTreeSet<Key>,
+    pub(crate) osp: BTreeSet<Key>,
+}
+
+impl MemIndex {
+    pub(crate) fn set(&self, perm: Perm) -> &BTreeSet<Key> {
+        match perm {
+            Perm::Spo => &self.spo,
+            Perm::Pos => &self.pos,
+            Perm::Osp => &self.osp,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, spo: Key) -> bool {
+        let added = self.spo.insert(spo);
+        if added {
+            self.pos.insert(Perm::Pos.encode(spo));
+            self.osp.insert(Perm::Osp.encode(spo));
+        }
+        added
+    }
+
+    pub(crate) fn remove(&mut self, spo: Key) -> bool {
+        let removed = self.spo.remove(&spo);
+        if removed {
+            self.pos.remove(&Perm::Pos.encode(spo));
+            self.osp.remove(&Perm::Osp.encode(spo));
+        }
+        removed
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.spo.clear();
+        self.pos.clear();
+        self.osp.clear();
+    }
+}
+
+struct Base {
+    spo: SegmentFile,
+    pos: SegmentFile,
+    osp: SegmentFile,
+}
+
+impl Base {
+    fn seg(&self, perm: Perm) -> &SegmentFile {
+        match perm {
+            Perm::Spo => &self.spo,
+            Perm::Pos => &self.pos,
+            Perm::Osp => &self.osp,
+        }
+    }
+}
+
+/// A persistent, dictionary-encoded triple store rooted at a directory.
+///
+/// I/O errors on the *read* path (segment files vanishing or corrupting
+/// underneath an open store) are treated as fatal and panic; the write
+/// paths ([`flush`](PersistentStore::flush), the bulk loader) return
+/// `io::Result` so callers can surface them.
+pub struct PersistentStore {
+    dir: PathBuf,
+    dict: Dictionary,
+    log: DictLog,
+    synced_terms: usize,
+    generation: u64,
+    base: Option<Base>,
+    base_count: u64,
+    pub(crate) adds: MemIndex,
+    pub(crate) dels: BTreeSet<Key>,
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PersistentStore({}, gen {}, {} base + {} overlay - {} deleted)",
+            self.dir.display(),
+            self.generation,
+            self.base_count,
+            self.adds.spo.len(),
+            self.dels.len()
+        )
+    }
+}
+
+pub(crate) fn seg_path(dir: &Path, generation: u64, perm: Perm) -> PathBuf {
+    dir.join(format!("seg-{generation}.{}", perm.ext()))
+}
+
+impl PersistentStore {
+    /// Opens (creating if needed) the store rooted at `dir`, replaying
+    /// the dictionary log and mapping the current segment generation.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<PersistentStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let (log, terms) = DictLog::open(dir.join("dict.log"))?;
+        let mut dict = Dictionary::new();
+        for term in &terms {
+            dict.intern(term);
+        }
+        let synced_terms = dict.len();
+        let manifest = read_manifest(&dir)?;
+        let (generation, base, base_count) = match manifest {
+            Some(m) if m.generation > 0 => {
+                let base = Base {
+                    spo: SegmentFile::open(seg_path(&dir, m.generation, Perm::Spo))?,
+                    pos: SegmentFile::open(seg_path(&dir, m.generation, Perm::Pos))?,
+                    osp: SegmentFile::open(seg_path(&dir, m.generation, Perm::Osp))?,
+                };
+                let count = base.spo.count();
+                (m.generation, Some(base), count)
+            }
+            _ => (0, None, 0),
+        };
+        Ok(PersistentStore {
+            dir,
+            dict,
+            log,
+            synced_terms,
+            generation,
+            base,
+            base_count,
+            adds: MemIndex::default(),
+            dels: BTreeSet::new(),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current segment generation (0 = nothing flushed yet).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of triples in the unflushed overlay (inserts + deletes).
+    pub fn overlay_len(&self) -> usize {
+        self.adds.spo.len() + self.dels.len()
+    }
+
+    /// Wraps this store in a [`SharedStore`] handle for the mesh seams.
+    pub fn into_shared(self) -> SharedStore {
+        SharedStore::new(Box::new(self))
+    }
+
+    pub(crate) fn intern_triple(&mut self, t: &Triple) -> Key {
+        let s = self.dict.intern(&t.subject).0;
+        let p = self.dict.intern(&t.predicate).0;
+        let o = self.dict.intern(&t.object).0;
+        (s, p, o)
+    }
+
+    fn ids_of(&self, t: &Triple) -> Option<Key> {
+        let s = self.dict.id(&t.subject)?.0;
+        let p = self.dict.id(&t.predicate)?.0;
+        let o = self.dict.id(&t.object)?.0;
+        Some((s, p, o))
+    }
+
+    fn base_contains(&self, spo: Key) -> bool {
+        match &self.base {
+            Some(base) => base.spo.contains(spo).expect("segment readable"),
+            None => false,
+        }
+    }
+
+    pub(crate) fn contains_ids(&self, spo: Key) -> bool {
+        self.adds.spo.contains(&spo) || (self.base_contains(spo) && !self.dels.contains(&spo))
+    }
+
+    fn decode(&self, (s, p, o): Key) -> Triple {
+        Triple {
+            subject: self.dict.term(TermId(s)).clone(),
+            predicate: self.dict.term(TermId(p)).clone(),
+            object: self.dict.term(TermId(o)).clone(),
+        }
+    }
+
+    /// Invokes `f` with the SPO key of every live triple whose `perm`-
+    /// order key lies in `lo..=hi`: base (minus tombstones) first, then
+    /// the overlay. Emission order across the two is unspecified.
+    fn scan_ids(&self, perm: Perm, lo: Key, hi: Key, f: &mut dyn FnMut(Key)) {
+        if let Some(base) = &self.base {
+            base.seg(perm)
+                .scan(lo, hi, &mut |k| {
+                    let spo = perm.decode(k);
+                    if !self.dels.contains(&spo) {
+                        f(spo);
+                    }
+                })
+                .expect("segment readable");
+        }
+        for &k in self.adds.set(perm).range((Bound::Included(lo), Bound::Included(hi))) {
+            f(perm.decode(k));
+        }
+    }
+
+    /// The index permutation and key range answering `pattern`, given
+    /// the resolved ids of its bound positions (`None` = variable).
+    fn plan(
+        kind: PatternKind,
+        s: Option<u32>,
+        p: Option<u32>,
+        o: Option<u32>,
+    ) -> (Perm, Key, Key) {
+        let lo = KEY_MIN;
+        let hi = KEY_MAX;
+        match kind {
+            PatternKind::SPO => {
+                let k = (s.unwrap(), p.unwrap(), o.unwrap());
+                (Perm::Spo, k, k)
+            }
+            PatternKind::SP => {
+                (Perm::Spo, (s.unwrap(), p.unwrap(), lo), (s.unwrap(), p.unwrap(), hi))
+            }
+            PatternKind::S => (Perm::Spo, (s.unwrap(), lo, lo), (s.unwrap(), hi, hi)),
+            PatternKind::PO => {
+                (Perm::Pos, (p.unwrap(), o.unwrap(), lo), (p.unwrap(), o.unwrap(), hi))
+            }
+            PatternKind::P => (Perm::Pos, (p.unwrap(), lo, lo), (p.unwrap(), hi, hi)),
+            PatternKind::SO => {
+                (Perm::Osp, (o.unwrap(), s.unwrap(), lo), (o.unwrap(), s.unwrap(), hi))
+            }
+            PatternKind::O => (Perm::Osp, (o.unwrap(), lo, lo), (o.unwrap(), hi, hi)),
+            PatternKind::None => (Perm::Spo, (lo, lo, lo), (hi, hi, hi)),
+        }
+    }
+
+    /// Resolves a position's id: outer `None` = constant not in the
+    /// dictionary (nothing can match), inner `None` = variable.
+    fn id_of(&self, tp: &TermPattern) -> Option<Option<u32>> {
+        match tp {
+            TermPattern::Var(_) => Some(None),
+            TermPattern::Const(t) => self.dict.id(t).map(|id| Some(id.0)),
+        }
+    }
+
+    /// Flushes the overlay: appends new dictionary entries, writes a new
+    /// segment generation merging base − tombstones + overlay, atomically
+    /// swaps the manifest, then drops the old generation's files.
+    ///
+    /// A no-op (beyond syncing the dictionary tail) when the overlay is
+    /// empty.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sync_dict()?;
+        if self.adds.spo.is_empty() && self.dels.is_empty() {
+            return Ok(());
+        }
+        let generation = self.generation + 1;
+        let mut counts = [0u64; 3];
+        for (i, perm) in Perm::ALL.into_iter().enumerate() {
+            let mut w = SegmentWriter::create(seg_path(&self.dir, generation, perm))?;
+            match &self.base {
+                Some(base) => {
+                    let a = base
+                        .seg(perm)
+                        .iter()
+                        .filter(|&k| !self.dels.contains(&perm.decode(k)));
+                    let b = self.adds.set(perm).iter().copied();
+                    merge_sorted(a, b, &mut w)?;
+                }
+                None => {
+                    for &k in self.adds.set(perm) {
+                        w.push(k)?;
+                    }
+                }
+            }
+            counts[i] = w.finish()?;
+        }
+        debug_assert!(counts[0] == counts[1] && counts[1] == counts[2]);
+        self.publish(generation, counts[0])
+    }
+
+    /// Swaps the manifest to `generation` and re-opens the base. Shared
+    /// by [`flush`](PersistentStore::flush) and the bulk loader (which
+    /// writes its own merged segments first).
+    pub(crate) fn publish(&mut self, generation: u64, count: u64) -> io::Result<()> {
+        write_manifest(&self.dir, generation, count, self.dict.len() as u64)?;
+        let old = self.generation;
+        self.base = Some(Base {
+            spo: SegmentFile::open(seg_path(&self.dir, generation, Perm::Spo))?,
+            pos: SegmentFile::open(seg_path(&self.dir, generation, Perm::Pos))?,
+            osp: SegmentFile::open(seg_path(&self.dir, generation, Perm::Osp))?,
+        });
+        self.generation = generation;
+        self.base_count = count;
+        self.adds.clear();
+        self.dels.clear();
+        if old > 0 {
+            for perm in Perm::ALL {
+                let _ = std::fs::remove_file(seg_path(&self.dir, old, perm));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends and syncs any dictionary entries newer than the last sync.
+    pub(crate) fn sync_dict(&mut self) -> io::Result<()> {
+        if self.synced_terms < self.dict.len() {
+            let tail: Vec<_> = (self.synced_terms..self.dict.len())
+                .map(|i| self.dict.term(TermId(i as u32)).clone())
+                .collect();
+            self.log.append(&tail)?;
+            self.synced_terms = self.dict.len();
+        }
+        Ok(())
+    }
+
+    /// Streaming iterator over all live SPO keys, in sorted order.
+    #[cfg(test)]
+    pub(crate) fn iter_ids(&self) -> impl Iterator<Item = Key> + '_ {
+        let base = self
+            .base
+            .iter()
+            .flat_map(|b| b.spo.iter())
+            .filter(move |k| !self.dels.contains(k));
+        MergeDedup::new(base, self.adds.spo.iter().copied())
+    }
+
+    pub(crate) fn base_segment(&self, perm: Perm) -> Option<&SegmentFile> {
+        self.base.as_ref().map(|b| b.seg(perm))
+    }
+}
+
+impl PatternSource for PersistentStore {
+    fn for_each_match(&self, pattern: &TriplePattern, f: &mut dyn FnMut(Triple)) {
+        let (Some(s), Some(p), Some(o)) = (
+            self.id_of(&pattern.subject),
+            self.id_of(&pattern.predicate),
+            self.id_of(&pattern.object),
+        ) else {
+            return; // a bound term is not even in the dictionary
+        };
+        let needs_consistency = {
+            let vars = pattern.variables();
+            vars.len()
+                < [&pattern.subject, &pattern.predicate, &pattern.object]
+                    .iter()
+                    .filter(|tp| tp.is_var())
+                    .count()
+        };
+        let (perm, lo, hi) = Self::plan(pattern.kind(), s, p, o);
+        self.scan_ids(perm, lo, hi, &mut |spo| {
+            let t = self.decode(spo);
+            if !needs_consistency || pattern.matches(&t) {
+                f(t);
+            }
+        });
+    }
+
+    fn count_pattern(&self, pattern: &TriplePattern) -> usize {
+        let (Some(s), Some(p), Some(o)) = (
+            self.id_of(&pattern.subject),
+            self.id_of(&pattern.predicate),
+            self.id_of(&pattern.object),
+        ) else {
+            return 0;
+        };
+        let same = |a: &TermPattern, b: &TermPattern| match (a, b) {
+            (TermPattern::Var(x), TermPattern::Var(y)) => x == y,
+            _ => false,
+        };
+        let same_sp = same(&pattern.subject, &pattern.predicate);
+        let same_so = same(&pattern.subject, &pattern.object);
+        let same_po = same(&pattern.predicate, &pattern.object);
+        let repeated = same_sp || same_so || same_po;
+        let (perm, lo, hi) = Self::plan(pattern.kind(), s, p, o);
+        if !repeated && self.dels.is_empty() {
+            // Fast path: the footer index counts whole interior blocks
+            // without decoding them; no tombstones to subtract.
+            let base = match &self.base {
+                Some(base) => base.seg(perm).count_range(lo, hi).expect("segment readable"),
+                None => 0,
+            };
+            let overlay =
+                self.adds.set(perm).range((Bound::Included(lo), Bound::Included(hi))).count();
+            return base as usize + overlay;
+        }
+        let mut n = 0usize;
+        self.scan_ids(perm, lo, hi, &mut |(s1, p1, o1)| {
+            let ok =
+                (!same_sp || s1 == p1) && (!same_so || s1 == o1) && (!same_po || p1 == o1);
+            if ok {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn len(&self) -> usize {
+        (self.base_count - self.dels.len() as u64) as usize + self.adds.spo.len()
+    }
+
+    fn insert(&mut self, triple: &Triple) -> bool {
+        let spo = self.intern_triple(triple);
+        if self.adds.spo.contains(&spo) {
+            return false;
+        }
+        if self.base_contains(spo) {
+            // Present in the base: inserting either un-deletes it or is
+            // a no-op; the overlay never duplicates base triples.
+            return self.dels.remove(&spo);
+        }
+        self.adds.insert(spo)
+    }
+
+    fn remove(&mut self, triple: &Triple) -> bool {
+        let Some(spo) = self.ids_of(triple) else {
+            return false;
+        };
+        if self.adds.remove(spo) {
+            return true;
+        }
+        if self.base_contains(spo) && !self.dels.contains(&spo) {
+            self.dels.insert(spo);
+            return true;
+        }
+        false
+    }
+
+    fn contains(&self, triple: &Triple) -> bool {
+        match self.ids_of(triple) {
+            Some(spo) => self.contains_ids(spo),
+            None => false,
+        }
+    }
+}
+
+/// Merges two strictly-sorted key streams into a writer (which dedups).
+fn merge_sorted(
+    a: impl Iterator<Item = Key>,
+    b: impl Iterator<Item = Key>,
+    w: &mut SegmentWriter,
+) -> io::Result<()> {
+    for k in MergeDedup::new(a, b) {
+        w.push(k)?;
+    }
+    Ok(())
+}
+
+/// A two-way sorted merge that drops duplicates across the streams.
+struct MergeDedup<A: Iterator<Item = Key>, B: Iterator<Item = Key>> {
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<A: Iterator<Item = Key>, B: Iterator<Item = Key>> MergeDedup<A, B> {
+    fn new(a: A, b: B) -> Self {
+        MergeDedup { a: a.peekable(), b: b.peekable() }
+    }
+}
+
+impl<A: Iterator<Item = Key>, B: Iterator<Item = Key>> Iterator for MergeDedup<A, B> {
+    type Item = Key;
+
+    fn next(&mut self) -> Option<Key> {
+        match (self.a.peek().copied(), self.b.peek().copied()) {
+            (Some(x), Some(y)) => {
+                if x == y {
+                    self.b.next();
+                }
+                if x <= y {
+                    self.a.next()
+                } else {
+                    self.b.next()
+                }
+            }
+            (Some(_), None) => self.a.next(),
+            (None, _) => self.b.next(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Manifest {
+    generation: u64,
+    #[allow(dead_code)]
+    triples: u64,
+}
+
+fn read_manifest(dir: &Path) -> io::Result<Option<Manifest>> {
+    let path = dir.join("MANIFEST");
+    let mut text = String::new();
+    match File::open(&path) {
+        Ok(mut f) => f.read_to_string(&mut text)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut generation = None;
+    let mut triples = 0;
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("generation"), Some(v)) => generation = v.parse().ok(),
+            (Some("triples"), Some(v)) => triples = v.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    match generation {
+        Some(generation) => Ok(Some(Manifest { generation, triples })),
+        None => Err(io::Error::new(io::ErrorKind::InvalidData, "malformed MANIFEST")),
+    }
+}
+
+fn write_manifest(dir: &Path, generation: u64, triples: u64, terms: u64) -> io::Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut f = File::create(&tmp)?;
+    writeln!(f, "rdfmesh-store 1")?;
+    writeln!(f, "generation {generation}")?;
+    writeln!(f, "triples {triples}")?;
+    writeln!(f, "terms {terms}")?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, dir.join("MANIFEST"))?;
+    // Make the rename itself durable where the platform allows it.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfmesh_rdf::Term;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rdfmesh-pstore-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn iri(s: &str) -> Term {
+        Term::iri(&format!("http://e/{s}"))
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(iri(s), iri(p), iri(o))
+    }
+
+    fn demo_triples() -> Vec<Triple> {
+        vec![
+            t("a", "knows", "b"),
+            t("a", "knows", "c"),
+            t("b", "knows", "c"),
+            t("a", "name", "b"),
+            Triple::new(iri("a"), iri("name"), Term::literal("Alice")),
+            Triple::new(iri("c"), iri("knows"), iri("c")),
+        ]
+    }
+
+    fn sorted(mut v: Vec<Triple>) -> Vec<Triple> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn overlay_matches_before_and_after_flush() {
+        let dir = tmpdir("overlay-flush");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        for tr in demo_triples() {
+            assert!(store.insert(&tr));
+        }
+        let mem = rdfmesh_rdf::TripleStore::from_triples(demo_triples());
+        let v = TermPattern::var;
+        let pats = [
+            TriplePattern::new(v("s"), v("p"), v("o")),
+            TriplePattern::new(iri("a"), v("p"), v("o")),
+            TriplePattern::new(v("s"), iri("knows"), v("o")),
+            TriplePattern::new(v("s"), v("p"), iri("c")),
+            TriplePattern::new(iri("a"), iri("knows"), v("o")),
+            TriplePattern::new(v("s"), iri("knows"), iri("c")),
+            TriplePattern::new(iri("a"), v("p"), iri("b")),
+            TriplePattern::new(iri("b"), iri("knows"), iri("c")),
+            TriplePattern::new(v("x"), iri("knows"), v("x")),
+        ];
+        let check = |store: &PersistentStore, label: &str| {
+            for pat in &pats {
+                assert_eq!(
+                    sorted(store.match_pattern(pat)),
+                    sorted(mem.match_pattern(pat)),
+                    "{label}: {pat:?}"
+                );
+                assert_eq!(store.count_pattern(pat), mem.count_pattern(pat), "{label}: {pat:?}");
+            }
+            assert_eq!(PatternSource::len(store), mem.len(), "{label}");
+        };
+        check(&store, "pre-flush");
+        store.flush().unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.overlay_len(), 0);
+        check(&store, "post-flush");
+
+        // Reopen from disk: everything must still be there.
+        drop(store);
+        let store = PersistentStore::open(&dir).unwrap();
+        check(&store, "reopened");
+    }
+
+    #[test]
+    fn deletes_tombstone_base_triples_and_compact_away() {
+        let dir = tmpdir("dels");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        for tr in demo_triples() {
+            store.insert(&tr);
+        }
+        store.flush().unwrap();
+        assert!(store.remove(&t("a", "knows", "b")));
+        assert!(!store.remove(&t("a", "knows", "b")));
+        assert!(!store.contains(&t("a", "knows", "b")));
+        assert_eq!(PatternSource::len(&store), 5);
+        let pat = TriplePattern::new(TermPattern::var("x"), iri("knows"), TermPattern::var("o"));
+        assert_eq!(store.count_pattern(&pat), 3);
+        assert_eq!(store.match_pattern(&pat).len(), 3);
+
+        // Re-inserting a tombstoned base triple restores it.
+        assert!(store.insert(&t("a", "knows", "b")));
+        assert!(store.contains(&t("a", "knows", "b")));
+        assert!(!store.insert(&t("a", "knows", "b")));
+
+        store.remove(&t("a", "knows", "b"));
+        store.flush().unwrap();
+        assert_eq!(store.generation(), 2);
+        assert_eq!(PatternSource::len(&store), 5);
+        assert!(!store.contains(&t("a", "knows", "b")));
+
+        let reopened = PersistentStore::open(&dir).unwrap();
+        assert_eq!(PatternSource::len(&reopened), 5);
+        assert!(!reopened.contains(&t("a", "knows", "b")));
+        assert!(reopened.contains(&t("b", "knows", "c")));
+    }
+
+    #[test]
+    fn mixed_base_and_overlay_states_answer_patterns() {
+        let dir = tmpdir("mixed");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        store.insert(&t("a", "knows", "b"));
+        store.insert(&t("b", "knows", "c"));
+        store.flush().unwrap();
+        store.insert(&t("c", "knows", "d")); // overlay add
+        store.remove(&t("a", "knows", "b")); // tombstone
+        let pat = TriplePattern::new(
+            TermPattern::var("s"),
+            iri("knows"),
+            TermPattern::var("o"),
+        );
+        let got = sorted(store.match_pattern(&pat));
+        assert_eq!(got, sorted(vec![t("b", "knows", "c"), t("c", "knows", "d")]));
+        assert_eq!(store.count_pattern(&pat), 2);
+        assert_eq!(PatternSource::len(&store), 2);
+        let all: Vec<Key> = store.iter_ids().collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn old_generation_files_are_removed_after_compaction() {
+        let dir = tmpdir("gens");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        store.insert(&t("a", "p", "b"));
+        store.flush().unwrap();
+        store.insert(&t("b", "p", "c"));
+        store.flush().unwrap();
+        assert!(seg_path(&dir, 2, Perm::Spo).exists());
+        assert!(!seg_path(&dir, 1, Perm::Spo).exists());
+    }
+
+    #[test]
+    fn unknown_constants_short_circuit() {
+        let dir = tmpdir("unknown");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        store.insert(&t("a", "p", "b"));
+        let pat =
+            TriplePattern::new(TermPattern::var("s"), iri("nope"), TermPattern::var("o"));
+        assert!(store.match_pattern(&pat).is_empty());
+        assert_eq!(store.count_pattern(&pat), 0);
+        assert!(!store.contains(&t("zz", "p", "b")));
+        assert!(!store.remove(&t("zz", "p", "b")));
+    }
+
+    #[test]
+    fn shared_store_wraps_persistent_backend() {
+        let dir = tmpdir("shared");
+        let store = PersistentStore::open(&dir).unwrap().into_shared();
+        store.insert(&t("a", "p", "b"));
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&t("a", "p", "b")));
+    }
+}

@@ -1,0 +1,23 @@
+//! Resident-memory sampling for the scale-ladder experiment.
+
+/// The process's current resident set size in kibibytes, read from
+/// `/proc/self/status` (`None` off Linux or if the file is unreadable).
+pub fn resident_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest.split_whitespace().next()?.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reports_nonzero_resident_memory_on_linux() {
+        let kb = super::resident_kb().expect("VmRSS in /proc/self/status");
+        assert!(kb > 0);
+    }
+}

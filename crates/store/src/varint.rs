@@ -1,0 +1,62 @@
+//! LEB128 variable-length integers — the primitive the delta-compressed
+//! triple blocks are built from.
+
+/// Appends `value` as LEB128 (7 bits per byte, high bit = continuation).
+pub fn put(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 value at `*pos`, advancing it. `None` on truncation
+/// or a value wider than 64 bits.
+pub fn get(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_boundary_values() {
+        let samples =
+            [0, 1, 127, 128, 129, 16_383, 16_384, u64::from(u32::MAX), u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &samples {
+            put(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &samples {
+            assert_eq!(get(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        put(&mut buf, 300);
+        let mut pos = 0;
+        assert_eq!(get(&buf[..1], &mut pos), None);
+    }
+}

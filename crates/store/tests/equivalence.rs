@@ -1,0 +1,170 @@
+//! Backend equivalence: [`PersistentStore`] must answer every pattern
+//! exactly like the in-memory [`TripleStore`].
+//!
+//! Random triple sets are driven through both backends in lock-step,
+//! then compared on all 8 bound/variable pattern shapes plus
+//! repeated-variable patterns (which force the raw-id consistency path)
+//! in every interesting store state: post-flush (all data in segments),
+//! overlay-mixed (segments + in-memory adds), tombstoned (removals of
+//! flushed triples), compacted, and reopened from disk.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rdfmesh_rdf::{
+    Literal, PatternSource, Term, TermPattern, Triple, TriplePattern, TripleStore,
+};
+use rdfmesh_store::PersistentStore;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per generated case.
+fn fresh_dir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("rdfmesh-equiv-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small alphabets force collisions, which is where bugs live.
+fn arb_iri() -> impl Strategy<Value = Term> {
+    (0u8..6).prop_map(|i| Term::iri(&format!("http://example.org/r{i}")))
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => arb_iri(),
+        2 => (0i64..5).prop_map(|n| Term::Literal(Literal::integer(n))),
+        1 => "[a-z ]{0,6}".prop_map(|s| Term::Literal(Literal::plain(s))),
+        1 => (0u8..3).prop_map(|i| Term::blank(&format!("b{i}"))),
+    ]
+}
+
+prop_compose! {
+    fn arb_triple()(s in arb_iri(), p in arb_iri(), o in arb_term()) -> Triple {
+        Triple::new(s, p, o)
+    }
+}
+
+/// All 8 bound/variable shapes anchored on `anchor`, plus
+/// repeated-variable patterns.
+fn shapes(anchor: &Triple) -> Vec<TriplePattern> {
+    let mut patterns = Vec::new();
+    for mask in 0u8..8 {
+        let position = |on: bool, bound: &Term, var: &'static str| {
+            if on {
+                TermPattern::Const(bound.clone())
+            } else {
+                TermPattern::var(var)
+            }
+        };
+        patterns.push(TriplePattern::new(
+            position(mask & 4 != 0, &anchor.subject, "s"),
+            position(mask & 2 != 0, &anchor.predicate, "p"),
+            position(mask & 1 != 0, &anchor.object, "o"),
+        ));
+    }
+    patterns.push(TriplePattern::new(
+        TermPattern::var("v"),
+        TermPattern::var("p"),
+        TermPattern::var("v"),
+    ));
+    patterns.push(TriplePattern::new(
+        TermPattern::var("v"),
+        TermPattern::var("v"),
+        TermPattern::var("v"),
+    ));
+    patterns.push(TriplePattern::new(
+        TermPattern::var("v"),
+        TermPattern::Const(anchor.predicate.clone()),
+        TermPattern::var("v"),
+    ));
+    patterns
+}
+
+/// Compares both backends on every shape from every anchor.
+fn check(
+    mem: &TripleStore,
+    store: &PersistentStore,
+    anchors: &[&Triple],
+    state: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(mem.len(), PatternSource::len(store), "len ({})", state);
+    prop_assert_eq!(mem.is_empty(), PatternSource::is_empty(store), "is_empty ({})", state);
+    for anchor in anchors {
+        for pattern in shapes(anchor) {
+            let mut want = mem.match_pattern(&pattern);
+            want.sort();
+            let mut got = store.match_pattern(&pattern);
+            got.sort();
+            prop_assert_eq!(&got, &want, "match_pattern {:?} ({})", &pattern, state);
+            prop_assert_eq!(
+                store.count_pattern(&pattern),
+                want.len(),
+                "count_pattern {:?} ({})",
+                &pattern,
+                state
+            );
+        }
+        let held = Triple::new(
+            anchors[0].subject.clone(),
+            anchor.predicate.clone(),
+            anchor.object.clone(),
+        );
+        prop_assert_eq!(mem.contains(&held), store.contains(&held), "contains ({})", state);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lock-step inserts, a flush at a random cut point, overlay inserts,
+    /// removals (tombstones), compaction, and a reopen — the two
+    /// backends must agree after every step.
+    #[test]
+    fn persistent_store_equals_triple_store(
+        triples in proptest::collection::vec(arb_triple(), 0..48),
+        removes in proptest::collection::vec(0usize..48, 0..12),
+        anchor in arb_triple(),
+        flush_quarters in 0u8..=4,
+    ) {
+        let dir = fresh_dir();
+        let mut mem = TripleStore::new();
+        let mut store = PersistentStore::open(&dir).expect("open store");
+        let first = triples.first().cloned().unwrap_or_else(|| anchor.clone());
+        let anchors = [&anchor, &first];
+
+        let cut = triples.len() * flush_quarters as usize / 4;
+        for t in &triples[..cut] {
+            prop_assert_eq!(mem.insert(t), PatternSource::insert(&mut store, t));
+        }
+        store.flush().expect("flush");
+        check(&mem, &store, &anchors, "post-flush")?;
+
+        for t in &triples[cut..] {
+            prop_assert_eq!(mem.insert(t), PatternSource::insert(&mut store, t));
+        }
+        check(&mem, &store, &anchors, "overlay-mixed")?;
+
+        if !triples.is_empty() {
+            for r in &removes {
+                let t = &triples[r % triples.len()];
+                prop_assert_eq!(mem.remove(t), PatternSource::remove(&mut store, t));
+            }
+        }
+        check(&mem, &store, &anchors, "tombstoned")?;
+
+        store.flush().expect("compaction flush");
+        check(&mem, &store, &anchors, "compacted")?;
+
+        drop(store);
+        let reopened = PersistentStore::open(&dir).expect("reopen store");
+        check(&mem, &reopened, &anchors, "reopened")?;
+
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,6 +26,7 @@
 //! --join A               an existing member to join through
 //! --node-id N            unique base node id             [pid-derived]
 //! --load FILE.nt         triples this process shares (repeatable)
+//! --store-dir DIR        persistent triple store (docs/STORAGE.md)
 //! --ack-timeout-ms N     provider query-ack deadline     [150]
 //! --lookup-timeout-ms N  index lookup deadline           [150]
 //! --query-deadline-ms N  hard per-query deadline         [5000]
@@ -39,7 +40,7 @@ use std::time::Duration;
 use rdfmesh::core::{ExecConfig, LiveConfig, PlanObjective, PrimitiveStrategy};
 use rdfmesh::sparql::{to_json, to_tsv, to_xml};
 use rdfmesh::workload::{foaf, FoafConfig};
-use rdfmesh::{Engine, MeshNode, ServeOptions, SharingSystem, SparqlEndpoint};
+use rdfmesh::{Engine, MeshNode, PatternSource, ServeOptions, SharingSystem, SparqlEndpoint};
 
 struct Options {
     peers: usize,
@@ -54,6 +55,7 @@ struct Options {
     join: Option<String>,
     node_id: Option<u64>,
     load: Vec<String>,
+    store_dir: Option<String>,
     live: LiveConfig,
     positional: Vec<String>,
 }
@@ -72,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         join: None,
         node_id: None,
         load: Vec::new(),
+        store_dir: None,
         live: LiveConfig::default(),
         positional: Vec::new(),
     };
@@ -112,6 +115,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some(val("--node-id")?.parse().map_err(|e| format!("--node-id: {e}"))?)
             }
             "--load" => o.load.push(val("--load")?),
+            "--store-dir" => o.store_dir = Some(val("--store-dir")?),
             "--ack-timeout-ms" => {
                 let ms: u64 =
                     val("--ack-timeout-ms")?.parse().map_err(|e| format!("--ack-timeout-ms: {e}"))?;
@@ -253,18 +257,58 @@ fn run_topology(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Streams `--load` files into the in-memory store without collecting an
+/// intermediate `Vec<Triple>`, recording the same `store.load.*` metrics
+/// the persistent bulk loader emits.
+fn stream_into_memory(store: &rdfmesh::SharedStore, file: &str) -> Result<u64, String> {
+    let start = std::time::Instant::now();
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let mut statements = 0u64;
+    for parsed in rdfmesh::rdf::parse_statements(&text) {
+        let (_, t) = parsed.map_err(|e| format!("{file}: {e}"))?;
+        store.insert(&t);
+        statements += 1;
+    }
+    let m = rdfmesh::obs::metrics();
+    m.add(rdfmesh::obs::names::STORE_LOAD_STATEMENTS, statements);
+    m.add(rdfmesh::obs::names::STORE_LOAD_BYTES, text.len() as u64);
+    m.add(rdfmesh::obs::names::STORE_LOAD_MICROS, start.elapsed().as_micros() as u64);
+    report_load(file, statements, start.elapsed());
+    Ok(statements)
+}
+
+fn report_load(file: &str, statements: u64, elapsed: Duration) {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 { statements as f64 / secs } else { 0.0 };
+    eprintln!("# loaded {file}: {statements} statements in {secs:.2}s ({rate:.0} triples/s)");
+}
+
 fn run_serve(o: &Options) -> Result<(), String> {
     let id = o.node_id.unwrap_or_else(|| u64::from(std::process::id()));
-    let mut store = rdfmesh::TripleStore::new();
-    let mut loaded = 0usize;
-    for file in &o.load {
-        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-        let triples = rdfmesh::rdf::parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
-        for t in &triples {
-            store.insert(t);
+    let mut loaded = 0u64;
+    let store: rdfmesh::SharedStore = match &o.store_dir {
+        Some(dir) => {
+            // Persistent backend: N-Triples files go through the parallel
+            // bulk-load pipeline and land compacted on disk.
+            let mut ps = rdfmesh::PersistentStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+            for file in &o.load {
+                let report = ps
+                    .bulk_load_path(file, &rdfmesh::LoadConfig::default())
+                    .map_err(|e| format!("{file}: {e}"))?;
+                report_load(file, report.statements, report.elapsed);
+                loaded += report.statements;
+            }
+            eprintln!("# store {dir}: {} triples, generation {}", ps.len(), ps.generation());
+            ps.into_shared()
         }
-        loaded += triples.len();
-    }
+        None => {
+            let store = rdfmesh::SharedStore::memory();
+            for file in &o.load {
+                loaded += stream_into_memory(&store, file)?;
+            }
+            store
+        }
+    };
     let node = Arc::new(
         MeshNode::start(o.listen.as_str(), id, store, o.live).map_err(|e| e.to_string())?,
     );
@@ -323,6 +367,7 @@ SERVE OPTIONS (docs/DEPLOYMENT.md):
   --join A               existing member to join through
   --node-id N            unique base node id              [pid-derived]
   --load FILE.nt         triples this process shares (repeatable)
+  --store-dir DIR        persistent triple store directory (docs/STORAGE.md)
   --ack-timeout-ms N     provider query-ack deadline      [150]
   --lookup-timeout-ms N  index lookup deadline            [150]
   --query-deadline-ms N  hard per-query deadline          [5000]

@@ -32,9 +32,11 @@ pub mod endpoint;
 pub use rdfmesh_chord as chord;
 pub use rdfmesh_core as core;
 pub use rdfmesh_net as net;
+pub use rdfmesh_obs as obs;
 pub use rdfmesh_overlay as overlay;
 pub use rdfmesh_rdf as rdf;
 pub use rdfmesh_sparql as sparql;
+pub use rdfmesh_store as store;
 pub use rdfmesh_workload as workload;
 
 pub use endpoint::{ServeOptions, SparqlEndpoint};
@@ -45,5 +47,9 @@ pub use rdfmesh_core::{
 };
 pub use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
 pub use rdfmesh_overlay::Overlay;
-pub use rdfmesh_rdf::{Term, TermPattern, Triple, TriplePattern, TripleStore};
+pub use rdfmesh_rdf::{
+    PatternSource, SharedStore, StoreFactory, Term, TermPattern, Triple, TriplePattern,
+    TripleStore,
+};
 pub use rdfmesh_sparql::{parse_query, QueryResult, Solution};
+pub use rdfmesh_store::{LoadConfig, LoadReport, PersistentStore};

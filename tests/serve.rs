@@ -26,12 +26,29 @@ impl Drop for Guard {
 /// Spawns `rdfmesh serve` and parses the two startup lines for the mesh
 /// and HTTP addresses (stdout is line-buffered, so they arrive promptly).
 fn spawn_node(id: u64, data: &Path, join: Option<&str>) -> (Guard, String, String) {
+    spawn_node_with(id, Some(data), join, None)
+}
+
+/// [`spawn_node`] with an optional `--store-dir` (persistent backend)
+/// and an optional `--load` file — a store dir alone reopens whatever
+/// was flushed there before.
+fn spawn_node_with(
+    id: u64,
+    data: Option<&Path>,
+    join: Option<&str>,
+    store_dir: Option<&Path>,
+) -> (Guard, String, String) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_rdfmesh"));
     cmd.args(["serve", "--node-id", &id.to_string()])
         .args(["--listen", "127.0.0.1:0", "--http", "127.0.0.1:0"])
-        .args(["--load", data.to_str().unwrap()])
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
+    if let Some(data) = data {
+        cmd.args(["--load", data.to_str().unwrap()]);
+    }
+    if let Some(dir) = store_dir {
+        cmd.args(["--store-dir", dir.to_str().unwrap()]);
+    }
     if let Some(seed) = join {
         cmd.args(["--join", seed]);
     }
@@ -207,6 +224,79 @@ fn three_serve_processes_answer_http_queries_like_the_simulator() {
     // Malformed SPARQL is a client error, not a mesh failure.
     let (status, _) = http_post_sparql(&http1, "SELECT WHERE {");
     assert!(status.contains("400"), "expected 400 for a parse error: {status}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Waits until `addr`'s /health reports the expected roster size.
+fn await_members(addr: &str, members: usize) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (status, body) = http(addr, &format!("GET /health HTTP/1.1\r\nHost: {addr}\r\n\r\n"));
+        assert!(status.contains("200"), "health check failed: {status}");
+        if body.contains(&format!("\"members\":{members}")) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "roster never reached {members}: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn persistent_store_node_answers_byte_identically_to_in_memory() {
+    // A LUBM-style corpus big enough to exercise segments without
+    // slowing the suite: 4 departments ≈ 600 statements.
+    let cfg = rdfmesh::workload::university::UniversityConfig {
+        departments: 4,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!("rdfmesh-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("univ.nt");
+    let mut out = std::fs::File::create(&corpus).unwrap();
+    rdfmesh::workload::university::write_corpus(&cfg, &mut out).unwrap();
+    drop(out);
+    let store_dir = dir.join("store");
+
+    // Two independent single-node meshes over the same corpus: one on
+    // the in-memory TripleStore, one on the persistent backend.
+    let (_mem_guard, _, http_mem) = spawn_node_with(10, Some(&corpus), None, None);
+    let (store_guard, _, http_store) =
+        spawn_node_with(11, Some(&corpus), None, Some(&store_dir));
+    await_members(&http_mem, 1);
+    await_members(&http_store, 1);
+
+    let queries = [
+        "SELECT ?s ?p ?d WHERE { ?s <http://example.org/univ#advisor> ?p . \
+         ?p <http://example.org/univ#worksFor> ?d . }",
+        "SELECT ?c ?n WHERE { ?c <http://example.org/univ#credits> ?n . FILTER (?n >= 4) }",
+        "SELECT DISTINCT ?prof WHERE { ?s <http://example.org/univ#advisor> ?prof . \
+         OPTIONAL { ?prof <http://example.org/univ#teacherOf> ?c . } } ORDER BY ?prof",
+    ];
+    let mut expected = Vec::new();
+    for query in &queries {
+        let (status, mem_body) = http_get_sparql(&http_mem, query);
+        assert!(status.contains("200"), "in-memory query failed: {status} {mem_body}");
+        let (status, store_body) = http_get_sparql(&http_store, query);
+        assert!(status.contains("200"), "persistent query failed: {status} {store_body}");
+        let rows = bindings_of(&mem_body);
+        assert!(!rows.is_empty(), "parity queries must match something: {query}");
+        assert_eq!(rows, bindings_of(&store_body), "backends disagree on: {query}");
+        expected.push(rows);
+    }
+
+    // Restart the persistent node from its store directory alone — the
+    // flushed segments and dictionary must reproduce the same answers
+    // without re-loading any N-Triples.
+    drop(store_guard);
+    let (_reopened, _, http_reopened) = spawn_node_with(11, None, None, Some(&store_dir));
+    await_members(&http_reopened, 1);
+    for (query, rows) in queries.iter().zip(&expected) {
+        let (status, body) = http_get_sparql(&http_reopened, query);
+        assert!(status.contains("200"), "reopened query failed: {status} {body}");
+        assert_eq!(&bindings_of(&body), rows, "reopened store disagrees on: {query}");
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
