@@ -46,8 +46,8 @@ fn bench_distinct(c: &mut Criterion) {
     group.sample_size(10);
     let (l, r) = foaf_join_inputs(600);
     let mut rows = l.clone();
-    rows.extend(r.clone());
-    rows.extend(l.clone()); // guaranteed duplicates
+    rows.extend(r);
+    rows.extend(l); // guaranteed duplicates
     group.bench_function("naive", |b| {
         b.iter(|| std::hint::black_box(naive::distinct(rows.clone())).len())
     });

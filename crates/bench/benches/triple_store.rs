@@ -28,9 +28,9 @@ fn bench(c: &mut Criterion) {
     let person = foaf::person_iri(3);
     let patterns = vec![
         ("p_bound", TriplePattern::new(TermPattern::var("s"), knows.clone(), TermPattern::var("o"))),
-        ("sp_bound", TriplePattern::new(person.clone(), knows.clone(), TermPattern::var("o"))),
+        ("sp_bound", TriplePattern::new(person.clone(), knows, TermPattern::var("o"))),
         ("s_bound", TriplePattern::new(person.clone(), TermPattern::var("p"), TermPattern::var("o"))),
-        ("o_bound", TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), person.clone())),
+        ("o_bound", TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), person)),
         ("full_scan", TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), TermPattern::var("o"))),
     ];
     let mut group = c.benchmark_group("store_match");

@@ -113,7 +113,7 @@ pub fn run() {
 
     let peers = build_peers(&data);
     peers.net.reset();
-    let pat = TriplePattern::new(TermPattern::var("x"), knows.clone(), target.clone());
+    let pat = TriplePattern::new(TermPattern::var("x"), knows, target);
     let rep = peers.query(NodeId(INDEX_BASE), &pat).unwrap();
     let peers_q = (rep.matches.len(), peers.net.stats().total_bytes, rep.finished);
     assert_eq!(mesh_q.0, peers_q.0, "both systems must find the same matches");

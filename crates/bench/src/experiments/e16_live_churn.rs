@@ -76,6 +76,7 @@ pub fn run() {
         lookup_timeout: Duration::from_millis(50),
         query_deadline: Duration::from_secs(2),
         retries: 1,
+        ..LiveConfig::default()
     };
     let mesh = LiveMesh::spawn_with(
         &overlay,

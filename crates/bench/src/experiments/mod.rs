@@ -25,6 +25,7 @@ pub mod e16_live_churn;
 pub mod e17_exec_parity;
 pub mod e18_socket_parity;
 pub mod e19_store_scale;
+pub mod e20_throughput;
 
 /// `(id, description, runner)` for every experiment.
 pub fn all() -> Vec<(&'static str, &'static str, fn())> {
@@ -48,6 +49,7 @@ pub fn all() -> Vec<(&'static str, &'static str, fn())> {
         ("e17", "Execution-core parity: one plan on simulator and live mesh", e17_exec_parity::run),
         ("e18", "Socket-transport parity: identical answers over framed TCP", e18_socket_parity::run),
         ("e19", "Persistent-store scale ladder: bulk load, lookup, memory", e19_store_scale::run),
+        ("e20", "Throughput vs offered load: concurrent queries, admission control", e20_throughput::run),
     ]
 }
 

@@ -108,6 +108,13 @@ pub struct LiveConfig {
     /// Bounded retransmissions per provider (and per lookup) before
     /// giving up. The paper's lazy failure detection needs only one.
     pub retries: u8,
+    /// Admission control: how many query executions may run concurrently
+    /// through one coordinator before new arrivals queue.
+    pub max_inflight: usize,
+    /// Admission control: how many arrivals may wait for an in-flight
+    /// slot before further arrivals are rejected outright (HTTP 503 at
+    /// the endpoint).
+    pub queue_depth: usize,
 }
 
 impl Default for LiveConfig {
@@ -117,6 +124,8 @@ impl Default for LiveConfig {
             lookup_timeout: std::time::Duration::from_millis(150),
             query_deadline: std::time::Duration::from_secs(5),
             retries: 1,
+            max_inflight: 64,
+            queue_depth: 256,
         }
     }
 }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod config;
 pub mod engine;
 pub mod exec;
@@ -29,12 +30,16 @@ pub mod sim_backend;
 pub mod stats;
 pub mod system;
 
+pub use admission::{Admission, AdmissionLoad, Permit};
 pub use config::{ExecConfig, JoinSiteStrategy, LiveConfig, Objective, PrimitiveStrategy};
 pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimator};
 pub use exec::{ExecNode, ExecPlan, Mat, MeshBackend, OpKind, PrimitiveOp};
 pub use rdfmesh_cache::{CacheConfig, CacheStats, QueryCache};
 pub use rdfmesh_net::FaultPlan;
-pub use live::{DeadlineStage, LiveAnswer, LiveMesh, LiveMsg, QueryId, Transport, COORDINATOR};
+pub use live::{
+    DeadlineStage, LiveAnswer, LiveMesh, LiveMsg, QueryId, RoundHandle, SolRound, Transport,
+    COORDINATOR,
+};
 pub use live_backend::{LiveBackend, LiveError, LiveExecution, SolutionRounds};
 pub use node::MeshNode;
 pub use planner::{compile, estimate_primitive, plan, CostEstimate, Plan, PlanObjective};

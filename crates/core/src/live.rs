@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rdfmesh_net::{Cluster, Envelope, FaultPlan, Handler, NodeId, Outbox, TcpCluster, TransportSnapshot};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple, Overlay};
 use rdfmesh_rdf::{SharedStore, Triple, TriplePattern};
@@ -75,6 +75,23 @@ pub enum DeadlineStage {
     /// The whole-query backstop: fire whatever is still outstanding and
     /// answer with what was collected.
     Overall,
+}
+
+/// One query's solution round: everything a [`LiveMsg::SubmitSol`] /
+/// [`LiveMsg::SubQuerySol`] carries, minus the addressing. The batched
+/// messages ship several of these in one frame so N concurrent queries
+/// amortize framing and socket syscalls instead of paying them N times.
+#[derive(Debug, Clone)]
+pub struct SolRound {
+    /// The owning query.
+    pub qid: QueryId,
+    /// The pattern to resolve.
+    pub pattern: TriplePattern,
+    /// Source-side filter every returned solution must satisfy.
+    pub filter: Option<Expression>,
+    /// Intermediate solutions the providers extend (`None` starts from
+    /// the unit solution).
+    pub bound: Option<Vec<Solution>>,
 }
 
 /// Protocol messages of the live mesh.
@@ -157,6 +174,28 @@ pub enum LiveMsg {
         qid: QueryId,
         /// The (filtered, extended) solution mappings.
         solutions: Vec<Solution>,
+    },
+    /// Several queries' round submissions coalesced into one message by
+    /// the submit pump (group commit): under load, concurrent callers'
+    /// rounds pile up while the previous inject is in flight and the
+    /// coordinator starts them all in a single handler turn.
+    SubmitSolBatch {
+        /// One entry per submitted round.
+        rounds: Vec<SolRound>,
+    },
+    /// Several queries' solution sub-queries for the *same* storage
+    /// node, coalesced per provider within one coordinator turn.
+    SubQuerySolBatch {
+        /// One entry per query's sub-query.
+        rounds: Vec<SolRound>,
+        /// Where to send the batched solutions.
+        reply_to: NodeId,
+    },
+    /// A storage node's answers to a [`LiveMsg::SubQuerySolBatch`]: one
+    /// solution set per batched query, in one frame.
+    SolutionsBatch {
+        /// `(query, its solutions)` per batched sub-query.
+        entries: Vec<(QueryId, Vec<Solution>)>,
     },
     /// Coordinator → index node: `provider` missed its query-ack
     /// deadline for `pattern`'s key; lazily drop it from the owner's
@@ -303,11 +342,29 @@ impl CoordinatorCore {
             LiveMsg::SubmitSol { qid, pattern, filter, bound } => {
                 self.on_submit(qid, pattern, RoundKind::Solutions { filter, bound })
             }
+            LiveMsg::SubmitSolBatch { rounds } => {
+                let mut actions = Vec::new();
+                for r in rounds {
+                    actions.extend(self.on_submit(
+                        r.qid,
+                        r.pattern,
+                        RoundKind::Solutions { filter: r.filter, bound: r.bound },
+                    ));
+                }
+                actions
+            }
             LiveMsg::Providers { qid, pattern, providers } => {
                 self.on_providers(qid, pattern, providers)
             }
             LiveMsg::Matches { qid, triples } => self.on_matches(qid, from, triples),
             LiveMsg::Solutions { qid, solutions } => self.on_solutions(qid, from, solutions),
+            LiveMsg::SolutionsBatch { entries } => {
+                let mut actions = Vec::new();
+                for (qid, solutions) in entries {
+                    actions.extend(self.on_solutions(qid, from, solutions));
+                }
+                actions
+            }
             LiveMsg::Deadline { qid, stage } => match stage {
                 DeadlineStage::Lookup { attempt } => self.on_lookup_timeout(qid, attempt),
                 DeadlineStage::Ack { provider, attempt } => {
@@ -319,6 +376,7 @@ impl CoordinatorCore {
             LiveMsg::Lookup { .. }
             | LiveMsg::SubQuery { .. }
             | LiveMsg::SubQuerySol { .. }
+            | LiveMsg::SubQuerySolBatch { .. }
             | LiveMsg::ProviderDead { .. }
             | LiveMsg::Publish { .. } => Vec::new(),
         }
@@ -565,6 +623,19 @@ impl CoordinatorCore {
                     None => Vec::new(),
                 }
             }
+            // One failed frame fails every round it carried: each
+            // becomes an immediate ack timeout at its current attempt.
+            LiveMsg::SubQuerySolBatch { rounds, .. } => {
+                let mut actions = Vec::new();
+                for r in rounds {
+                    if let Some(attempt) =
+                        self.in_flight.get(&r.qid).and_then(|q| q.outstanding.get(&to)).copied()
+                    {
+                        actions.extend(self.on_ack_timeout(r.qid, to, attempt));
+                    }
+                }
+                actions
+            }
             LiveMsg::Lookup { qid, .. } => match self.in_flight.get(&qid).map(|q| q.lookup_attempt)
             {
                 Some(attempt) => self.on_lookup_timeout(qid, attempt),
@@ -626,22 +697,69 @@ pub(crate) struct Coordinator {
 }
 
 impl Coordinator {
+    /// Executes the state machine's actions. Solution sub-queries are
+    /// not sent one by one: within one handler turn every
+    /// `SubQuerySol` bound for the same storage node is buffered and
+    /// flushed as a single frame — a lone round keeps its original
+    /// message (byte-identical to the unbatched protocol, which is what
+    /// the E17/E18 parity experiments pin down), while two or more
+    /// coalesce into a [`LiveMsg::SubQuerySolBatch`]. A failed flush
+    /// feeds back into the state machine per carried round, which may
+    /// buffer retransmissions — hence the outer loop.
     fn run(&mut self, first: Vec<Action>, out: &Outbox<LiveMsg>) {
         let mut actions: VecDeque<Action> = first.into();
-        while let Some(action) = actions.pop_front() {
-            match action {
-                Action::Send { to, msg } => {
-                    if !out.send(to, msg.clone()) {
-                        actions.extend(self.core.on_send_failed(to, msg));
+        loop {
+            let mut buffered: Vec<(NodeId, Vec<SolRound>)> = Vec::new();
+            while let Some(action) = actions.pop_front() {
+                match action {
+                    Action::Send {
+                        to,
+                        msg: LiveMsg::SubQuerySol { qid, pattern, filter, bound, .. },
+                    } => {
+                        let round = SolRound { qid, pattern, filter, bound };
+                        match buffered.iter_mut().find(|(node, _)| *node == to) {
+                            Some((_, rounds)) => rounds.push(round),
+                            None => buffered.push((to, vec![round])),
+                        }
+                    }
+                    Action::Send { to, msg } => {
+                        if !out.send(to, msg.clone()) {
+                            actions.extend(self.core.on_send_failed(to, msg));
+                        }
+                    }
+                    Action::Schedule { after, msg } => out.schedule(after, msg),
+                    Action::Finish { qid, answer } => {
+                        // Removing the sender is what makes "done" single-shot.
+                        if let Some(tx) = lock(&self.pending).remove(&qid) {
+                            let _ = tx.send(answer);
+                        }
                     }
                 }
-                Action::Schedule { after, msg } => out.schedule(after, msg),
-                Action::Finish { qid, answer } => {
-                    // Removing the sender is what makes "done" single-shot.
-                    if let Some(tx) = lock(&self.pending).remove(&qid) {
-                        let _ = tx.send(answer);
+            }
+            if buffered.is_empty() {
+                break;
+            }
+            for (to, mut rounds) in buffered {
+                let msg = if rounds.len() == 1 {
+                    let r = rounds.pop().expect("one round");
+                    LiveMsg::SubQuerySol {
+                        qid: r.qid,
+                        pattern: r.pattern,
+                        filter: r.filter,
+                        bound: r.bound,
+                        reply_to: self.core.me,
                     }
+                } else {
+                    self.shared.add_batches(1);
+                    self.shared.add_batched_rounds(rounds.len() as u64);
+                    LiveMsg::SubQuerySolBatch { rounds, reply_to: self.core.me }
+                };
+                if !out.send(to, msg.clone()) {
+                    actions.extend(self.core.on_send_failed(to, msg));
                 }
+            }
+            if actions.is_empty() {
+                break;
             }
         }
         self.sync_counters();
@@ -760,6 +878,25 @@ pub(crate) struct LiveStorage {
     pub(crate) stats: Arc<LiveStats>,
 }
 
+impl LiveStorage {
+    /// Local execution (Fig. 3): match the pattern against the local
+    /// store — extending the shipped intermediates when the round is a
+    /// bind join — then apply the pushed-down filter at the source
+    /// (Sect. IV-G).
+    fn answer(&self, round: &SolRound) -> Vec<Solution> {
+        let unit = vec![Solution::new()];
+        let partial = round.bound.as_deref().unwrap_or(&unit);
+        let mut solutions =
+            rdfmesh_sparql::eval::evaluate_pattern_with(&self.store, &round.pattern, partial);
+        if let Some(f) = &round.filter {
+            solutions.retain(|s| f.satisfied_by(s));
+        }
+        self.stats.add_solutions_shipped(solutions.len() as u64);
+        self.stats.add_solution_bytes(wire::encode(&solutions).len() as u64);
+        solutions
+    }
+}
+
 impl Handler<LiveMsg> for LiveStorage {
     fn on_message(&mut self, envelope: Envelope<LiveMsg>, out: &Outbox<LiveMsg>) {
         match envelope.payload {
@@ -768,20 +905,18 @@ impl Handler<LiveMsg> for LiveStorage {
                 out.send(reply_to, LiveMsg::Matches { qid, triples });
             }
             LiveMsg::SubQuerySol { qid, pattern, filter, bound, reply_to } => {
-                // Local execution (Fig. 3): match the pattern against the
-                // local store — extending the shipped intermediates when
-                // the round is a bind join — then apply the pushed-down
-                // filter at the source (Sect. IV-G).
-                let unit = vec![Solution::new()];
-                let partial = bound.as_deref().unwrap_or(&unit);
-                let mut solutions =
-                    rdfmesh_sparql::eval::evaluate_pattern_with(&self.store, &pattern, partial);
-                if let Some(f) = &filter {
-                    solutions.retain(|s| f.satisfied_by(s));
-                }
-                self.stats.add_solutions_shipped(solutions.len() as u64);
-                self.stats.add_solution_bytes(wire::encode(&solutions).len() as u64);
+                let solutions = self.answer(&SolRound { qid, pattern, filter, bound });
                 out.send(reply_to, LiveMsg::Solutions { qid, solutions });
+            }
+            LiveMsg::SubQuerySolBatch { rounds, reply_to } => {
+                // Several queries' sub-queries in one frame: answer them
+                // all in one frame too, so the reply path amortizes the
+                // same framing the request path did.
+                let entries: Vec<(QueryId, Vec<Solution>)> =
+                    rounds.iter().map(|r| (r.qid, self.answer(r))).collect();
+                self.stats.add_batches(1);
+                self.stats.add_batched_rounds(entries.len() as u64);
+                out.send(reply_to, LiveMsg::SolutionsBatch { entries });
             }
             _ => {}
         }
@@ -862,13 +997,95 @@ impl MeshCluster {
     }
 }
 
+/// How many round submissions one submit-pump drain coalesces into a
+/// single [`LiveMsg::SubmitSolBatch`] at most.
+pub(crate) const SUBMIT_COALESCE: usize = 64;
+
+/// The group-commit submit pump: callers enqueue rounds without
+/// blocking; the pump injects whatever has piled up while the previous
+/// inject was in flight as one message. At low load every round still
+/// travels alone (zero added latency — the blocking `recv` forwards it
+/// immediately); batches only form under concurrency, which is exactly
+/// when the framing amortization pays.
+pub(crate) fn spawn_submit_pump<F>(rx: Receiver<SolRound>, stats: Arc<LiveStats>, inject: F)
+where
+    F: Fn(LiveMsg) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("rdfmesh-submit-pump".into())
+        .spawn(move || {
+            while let Ok(first) = rx.recv() {
+                let mut rounds = vec![first];
+                while rounds.len() < SUBMIT_COALESCE {
+                    match rx.try_recv() {
+                        Ok(r) => rounds.push(r),
+                        Err(_) => break,
+                    }
+                }
+                let msg = if rounds.len() == 1 {
+                    let r = rounds.pop().expect("one round");
+                    LiveMsg::SubmitSol {
+                        qid: r.qid,
+                        pattern: r.pattern,
+                        filter: r.filter,
+                        bound: r.bound,
+                    }
+                } else {
+                    stats.add_batches(1);
+                    stats.add_batched_rounds(rounds.len() as u64);
+                    LiveMsg::SubmitSolBatch { rounds }
+                };
+                inject(msg);
+            }
+        })
+        .expect("spawn submit pump");
+}
+
+/// A submitted-but-not-yet-awaited solution round: the non-blocking
+/// half of [`LiveMesh::query_solutions`] (and
+/// [`crate::MeshNode::submit_solutions`]). Callers submit any number of
+/// rounds and wait on each handle afterwards, so concurrent executions
+/// pipeline through one coordinator instead of serializing on the
+/// caller side.
+#[derive(Debug)]
+pub struct RoundHandle {
+    qid: QueryId,
+    rx: Receiver<LiveAnswer>,
+    pending: PendingMap,
+}
+
+impl RoundHandle {
+    pub(crate) fn new(qid: QueryId, rx: Receiver<LiveAnswer>, pending: PendingMap) -> Self {
+        RoundHandle { qid, rx, pending }
+    }
+
+    /// The id the round was submitted under.
+    pub fn qid(&self) -> QueryId {
+        self.qid
+    }
+
+    /// Blocks up to `timeout` for the round's answer. `None` abandons
+    /// the wait (the coordinator's own deadlines still retire the
+    /// round's protocol state).
+    pub fn wait(self, timeout: Duration) -> Option<LiveAnswer> {
+        let answer = self.rx.recv_timeout(timeout).ok();
+        if answer.is_none() {
+            lock(&self.pending).remove(&self.qid);
+        }
+        answer
+    }
+}
+
 /// A live mesh: one thread per node, built from an existing overlay's
 /// data placement.
 pub struct LiveMesh {
-    cluster: MeshCluster,
+    cluster: Arc<MeshCluster>,
     coordinator: NodeId,
+    cfg: LiveConfig,
     next_qid: AtomicU64,
     pending: PendingMap,
+    submit: Sender<SolRound>,
+    admission: crate::admission::Admission,
     stats: Arc<LiveStats>,
     space: rdfmesh_chord::IdSpace,
     ring_view: RingView,
@@ -973,11 +1190,20 @@ impl LiveMesh {
             Transport::Threads => MeshCluster::Threads(Cluster::spawn_with(nodes, plan)),
             Transport::Sockets => MeshCluster::Sockets(TcpCluster::spawn_loopback(nodes, plan)?),
         };
+        let cluster = Arc::new(cluster);
+        let (submit, submit_rx) = unbounded();
+        let pump_cluster = Arc::clone(&cluster);
+        spawn_submit_pump(submit_rx, Arc::clone(&stats), move |msg| {
+            pump_cluster.inject(COORDINATOR, COORDINATOR, msg);
+        });
         Ok(LiveMesh {
             cluster,
             coordinator: COORDINATOR,
+            cfg,
             next_qid: AtomicU64::new(1),
             pending,
+            submit,
+            admission: crate::admission::Admission::new(&cfg, Arc::clone(&stats)),
             stats,
             space,
             ring_view,
@@ -1014,20 +1240,39 @@ impl LiveMesh {
         bound: Option<Vec<Solution>>,
         timeout: Duration,
     ) -> Option<LiveAnswer> {
+        self.submit_solutions(pattern, filter, bound).wait(timeout)
+    }
+
+    /// The non-blocking half of [`LiveMesh::query_solutions`]: enqueues
+    /// the round at the submit pump and returns immediately with a
+    /// [`RoundHandle`] to wait on. Rounds submitted concurrently
+    /// pipeline through the coordinator (and coalesce into batched
+    /// frames under load).
+    pub fn submit_solutions(
+        &self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<Solution>>,
+    ) -> RoundHandle {
         self.stats.add_solution_rounds(1);
         let qid = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = bounded(1);
         lock(&self.pending).insert(qid, tx);
-        self.cluster.inject(
-            self.coordinator,
-            self.coordinator,
-            LiveMsg::SubmitSol { qid, pattern, filter, bound },
-        );
-        let answer = rx.recv_timeout(timeout).ok();
-        if answer.is_none() {
-            lock(&self.pending).remove(&qid);
-        }
-        answer
+        let _ = self.submit.send(SolRound { qid, pattern, filter, bound });
+        RoundHandle::new(qid, rx, Arc::clone(&self.pending))
+    }
+
+    /// The admission gate bounding concurrent query *executions* (one
+    /// SPARQL query = one permit, covering all its solution rounds).
+    /// [`LiveMesh::execute`] acquires from it; raw round submissions
+    /// are ungated internals.
+    pub fn admission(&self) -> &crate::admission::Admission {
+        &self.admission
+    }
+
+    /// The fault-tolerance configuration the mesh was spawned with.
+    pub fn config(&self) -> LiveConfig {
+        self.cfg
     }
 
     /// Test-harness facility: delivers a hand-crafted protocol message as
@@ -1094,7 +1339,7 @@ impl LiveMesh {
     /// Socket-layer counters (`transport.*` metric names), or `None` on
     /// [`Transport::Threads`] where no wire exists.
     pub fn transport_stats(&self) -> Option<TransportSnapshot> {
-        match &self.cluster {
+        match &*self.cluster {
             MeshCluster::Threads(_) => None,
             MeshCluster::Sockets(c) => Some(c.transport_stats()),
         }
@@ -1193,6 +1438,71 @@ mod tests {
             assert!(live.complete, "target {target}");
             assert_eq!(live.triples.len(), expect, "target {target}");
         }
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submissions_answer_independently() {
+        // The non-blocking path end-to-end: many rounds in flight at
+        // once through one coordinator, each answer routed back to its
+        // own handle.
+        let o = overlay();
+        let mesh = Arc::new(LiveMesh::spawn(&o));
+        let handles: Vec<(usize, RoundHandle)> = (0..12)
+            .map(|i| {
+                let target = ["bob", "carol", "nobody"][i % 3];
+                (i % 3, mesh.submit_solutions(knows_pattern(target), None, None))
+            })
+            .collect();
+        for (kind, handle) in handles {
+            let answer = handle.wait(Duration::from_secs(10)).expect("no timeout");
+            assert!(answer.complete);
+            let expect = [2, 1, 0][kind];
+            assert_eq!(answer.solutions.len(), expect, "target kind {kind}");
+        }
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn batched_submit_coalesces_provider_traffic() {
+        // One SubmitSolBatch whose rounds fan out to the same storage
+        // nodes in one coordinator turn must travel as batched
+        // SubQuerySol / Solutions frames — the group-commit shipping
+        // path — while answering each round independently. The
+        // all-variable pattern floods immediately (no lookup
+        // round-trip), so both rounds leave in the same turn.
+        let o = overlay();
+        let mesh = LiveMesh::spawn(&o);
+        let p = TriplePattern::new(
+            TermPattern::var("s"),
+            TermPattern::var("p"),
+            TermPattern::var("o"),
+        );
+        let (tx1, rx1) = bounded(1);
+        let (tx2, rx2) = bounded(1);
+        let (q1, q2) = (QueryId(501), QueryId(502));
+        lock(&mesh.pending).insert(q1, tx1);
+        lock(&mesh.pending).insert(q2, tx2);
+        mesh.inject(
+            COORDINATOR,
+            COORDINATOR,
+            LiveMsg::SubmitSolBatch {
+                rounds: vec![
+                    SolRound { qid: q1, pattern: p.clone(), filter: None, bound: None },
+                    SolRound { qid: q2, pattern: p, filter: None, bound: None },
+                ],
+            },
+        );
+        let a1 = rx1.recv_timeout(Duration::from_secs(10)).expect("q1 answers");
+        let a2 = rx2.recv_timeout(Duration::from_secs(10)).expect("q2 answers");
+        assert!(a1.complete && a2.complete);
+        assert_eq!(a1.solutions, a2.solutions, "same pattern, same answer");
+        assert_eq!(a1.solutions.len(), 3, "one solution per stored triple");
+        let s = mesh.stats();
+        // Two storage nodes: each got one 2-round SubQuerySolBatch and
+        // answered one 2-entry SolutionsBatch.
+        assert!(s.batches >= 4, "expected coalesced frames, got {} batches", s.batches);
+        assert!(s.batched_rounds >= 8, "rounds carried in batches: {}", s.batched_rounds);
         mesh.shutdown();
     }
 
@@ -1484,6 +1794,96 @@ mod tests {
             assert_eq!(done[0].1.solutions, vec![xsol(1)]);
         }
 
+        #[test]
+        fn submit_sol_batch_opens_each_round_independently() {
+            let mut c = core();
+            let (q1, q2) = (QueryId(21), QueryId(22));
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitSolBatch {
+                    rounds: vec![
+                        SolRound { qid: q1, pattern: pattern(), filter: None, bound: None },
+                        SolRound { qid: q2, pattern: pattern(), filter: None, bound: None },
+                    ],
+                },
+            );
+            c.on_event(IX, LiveMsg::Providers { qid: q1, pattern: pattern(), providers: vec![P1] });
+            c.on_event(IX, LiveMsg::Providers { qid: q2, pattern: pattern(), providers: vec![P2] });
+            // q2 finishes first; q1 is untouched by it.
+            let d2 = finishes(&c.on_event(P2, LiveMsg::Solutions { qid: q2, solutions: vec![xsol(2)] }));
+            assert_eq!(d2.len(), 1);
+            assert_eq!(d2[0].0, q2);
+            assert_eq!(d2[0].1.solutions, vec![xsol(2)]);
+            let d1 = finishes(&c.on_event(P1, LiveMsg::Solutions { qid: q1, solutions: vec![xsol(1)] }));
+            assert_eq!(d1.len(), 1);
+            assert_eq!(d1[0].0, q1);
+            assert_eq!(d1[0].1.solutions, vec![xsol(1)]);
+            assert!(c.in_flight.is_empty());
+        }
+
+        #[test]
+        fn solutions_batch_answers_several_queries_in_one_frame() {
+            let mut c = core();
+            let (q1, q2) = (QueryId(31), QueryId(32));
+            for qid in [q1, q2] {
+                c.on_event(
+                    COORDINATOR,
+                    LiveMsg::SubmitSol { qid, pattern: pattern(), filter: None, bound: None },
+                );
+                c.on_event(IX, LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1] });
+            }
+            // One batched reply frame from P1 settles both rounds; a
+            // stale entry rides along and is dropped without effect.
+            let done = finishes(&c.on_event(
+                P1,
+                LiveMsg::SolutionsBatch {
+                    entries: vec![
+                        (q1, vec![xsol(1)]),
+                        (q2, vec![xsol(2)]),
+                        (QueryId(999), vec![xsol(9)]),
+                    ],
+                },
+            ));
+            assert_eq!(done.len(), 2);
+            assert_eq!(done[0].0, q1);
+            assert_eq!(done[0].1.solutions, vec![xsol(1)]);
+            assert_eq!(done[1].0, q2);
+            assert_eq!(done[1].1.solutions, vec![xsol(2)]);
+            assert!(c.in_flight.is_empty());
+        }
+
+        #[test]
+        fn failed_batch_send_times_out_every_carried_round() {
+            let mut c = core();
+            let (q1, q2) = (QueryId(41), QueryId(42));
+            for qid in [q1, q2] {
+                c.on_event(
+                    COORDINATOR,
+                    LiveMsg::SubmitSol { qid, pattern: pattern(), filter: None, bound: None },
+                );
+                c.on_event(IX, LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1] });
+            }
+            let batch = LiveMsg::SubQuerySolBatch {
+                rounds: vec![
+                    SolRound { qid: q1, pattern: pattern(), filter: None, bound: None },
+                    SolRound { qid: q2, pattern: pattern(), filter: None, bound: None },
+                ],
+                reply_to: COORDINATOR,
+            };
+            // First failure retries both rounds; the second gives up on
+            // both, each finishing as a partial answer naming P1.
+            let retry = c.on_send_failed(P1, batch.clone());
+            assert!(finishes(&retry).is_empty());
+            let give_up = c.on_send_failed(P1, batch);
+            let done = finishes(&give_up);
+            assert_eq!(done.len(), 2);
+            for (_, answer) in &done {
+                assert!(!answer.complete);
+                assert_eq!(answer.failed_providers, vec![P1]);
+            }
+            assert!(c.in_flight.is_empty());
+        }
+
         /// One abstract protocol event for the interleaving property.
         #[derive(Debug, Clone)]
         enum Ev {
@@ -1588,6 +1988,170 @@ mod tests {
                     prop_assert!(seen.insert(t.clone()), "duplicate triple in answer");
                 }
                 prop_assert!(c.in_flight.is_empty(), "no state leaks after completion");
+            }
+        }
+
+        // ---- N simultaneous queries through one machine --------------
+
+        /// Number of concurrently-submitted rounds in the multi-query
+        /// interleaving property.
+        const NQ: usize = 3;
+
+        fn qid_of(q: usize) -> QueryId {
+            QueryId(q as u64 + 1)
+        }
+
+        /// Query `q`'s private solution universe — value ranges are
+        /// disjoint across queries, so any cross-query buffer leak
+        /// surfaces as a foreign solution in an answer.
+        fn usol(q: usize, v: u64) -> Solution {
+            xsol(1000 * (q as u64 + 1) + v)
+        }
+
+        /// One abstract event aimed at one of the [`NQ`] queries.
+        #[derive(Debug, Clone)]
+        enum MEv {
+            Providers { q: usize, stale: bool, providers: Vec<NodeId> },
+            Solutions { q: usize, stale_qid: bool, from: NodeId, vals: Vec<u64> },
+            Batch { from: NodeId, entries: Vec<(usize, u64)> },
+            AckDeadline { q: usize, provider: NodeId, attempt: u8 },
+            LookupDeadline { q: usize, attempt: u8 },
+            Overall { q: usize },
+        }
+
+        fn arb_mev() -> impl Strategy<Value = MEv> {
+            prop_oneof![
+                (0..NQ, any::<bool>(), proptest::collection::vec(arb_provider(), 0..4))
+                    .prop_map(|(q, stale, providers)| MEv::Providers { q, stale, providers }),
+                (0..NQ, any::<bool>(), arb_provider(), proptest::collection::vec(0u64..6, 0..3))
+                    .prop_map(|(q, stale_qid, from, vals)| MEv::Solutions {
+                        q,
+                        stale_qid,
+                        from,
+                        vals,
+                    }),
+                (arb_provider(), proptest::collection::vec((0..NQ, 0u64..6), 0..4))
+                    .prop_map(|(from, entries)| MEv::Batch { from, entries }),
+                (0..NQ, arb_provider(), 0u8..3)
+                    .prop_map(|(q, provider, attempt)| MEv::AckDeadline { q, provider, attempt }),
+                (0..NQ, 0u8..3).prop_map(|(q, attempt)| MEv::LookupDeadline { q, attempt }),
+                (0..NQ).prop_map(|q| MEv::Overall { q }),
+            ]
+        }
+
+        proptest! {
+            /// [`NQ`] queries submitted in one batched frame, then an
+            /// arbitrary interleaving of per-query providers, plain and
+            /// batched replies, stale frames, and deadlines: every query
+            /// finishes exactly once, within its own deadline, with only
+            /// solutions from its own universe — and the machine retires
+            /// all per-query state.
+            #[test]
+            fn concurrent_queries_finish_once_without_contamination(
+                events in proptest::collection::vec(arb_mev(), 0..60)
+            ) {
+                let mut c = core();
+                let stale = QueryId(999);
+                let mut done: Vec<Vec<LiveAnswer>> = vec![Vec::new(); NQ];
+                let record = |actions: Vec<Action>, done: &mut Vec<Vec<LiveAnswer>>| {
+                    for (q, answer) in finishes(&actions) {
+                        let idx = (q.0 - 1) as usize;
+                        prop_assert!(idx < NQ, "only submitted queries can finish");
+                        done[idx].push(answer);
+                    }
+                    Ok(())
+                };
+                record(
+                    c.on_event(
+                        COORDINATOR,
+                        LiveMsg::SubmitSolBatch {
+                            rounds: (0..NQ)
+                                .map(|q| SolRound {
+                                    qid: qid_of(q),
+                                    pattern: pattern(),
+                                    filter: None,
+                                    bound: None,
+                                })
+                                .collect(),
+                        },
+                    ),
+                    &mut done,
+                )?;
+                for ev in &events {
+                    let actions = match ev.clone() {
+                        MEv::Providers { q, stale: s, providers } => c.on_event(
+                            IX,
+                            LiveMsg::Providers {
+                                qid: if s { stale } else { qid_of(q) },
+                                pattern: pattern(),
+                                providers,
+                            },
+                        ),
+                        MEv::Solutions { q, stale_qid, from, vals } => c.on_event(
+                            from,
+                            LiveMsg::Solutions {
+                                qid: if stale_qid { stale } else { qid_of(q) },
+                                solutions: vals.into_iter().map(|v| usol(q, v)).collect(),
+                            },
+                        ),
+                        MEv::Batch { from, entries } => c.on_event(
+                            from,
+                            LiveMsg::SolutionsBatch {
+                                entries: entries
+                                    .into_iter()
+                                    .map(|(q, v)| (qid_of(q), vec![usol(q, v)]))
+                                    .collect(),
+                            },
+                        ),
+                        MEv::AckDeadline { q, provider, attempt } => c.on_event(
+                            COORDINATOR,
+                            LiveMsg::Deadline {
+                                qid: qid_of(q),
+                                stage: DeadlineStage::Ack { provider, attempt },
+                            },
+                        ),
+                        MEv::LookupDeadline { q, attempt } => c.on_event(
+                            COORDINATOR,
+                            LiveMsg::Deadline {
+                                qid: qid_of(q),
+                                stage: DeadlineStage::Lookup { attempt },
+                            },
+                        ),
+                        MEv::Overall { q } => c.on_event(
+                            COORDINATOR,
+                            LiveMsg::Deadline { qid: qid_of(q), stage: DeadlineStage::Overall },
+                        ),
+                    };
+                    record(actions, &mut done)?;
+                }
+                // Every query's overall deadline fires eventually.
+                for q in 0..NQ {
+                    record(
+                        c.on_event(
+                            COORDINATOR,
+                            LiveMsg::Deadline { qid: qid_of(q), stage: DeadlineStage::Overall },
+                        ),
+                        &mut done,
+                    )?;
+                }
+                for (q, finished) in done.iter().enumerate() {
+                    prop_assert_eq!(finished.len(), 1, "query {} must finish exactly once", q);
+                    let answer = &finished[0];
+                    if answer.complete {
+                        prop_assert!(answer.failed_providers.is_empty());
+                    }
+                    let universe: Vec<Solution> = (0..6).map(|v| usol(q, v)).collect();
+                    let mut seen: Vec<&Solution> = Vec::new();
+                    for s in &answer.solutions {
+                        prop_assert!(
+                            universe.contains(s),
+                            "query {} leaked a foreign solution", q
+                        );
+                        prop_assert!(!seen.contains(&s), "duplicate solution in answer");
+                        seen.push(s);
+                    }
+                }
+                prop_assert!(c.in_flight.is_empty(), "no per-query state leaks");
             }
         }
     }

@@ -87,6 +87,15 @@ pub enum LiveError {
     /// means the mesh was shut down or the wait was set below
     /// [`crate::LiveConfig::query_deadline`].
     Timeout,
+    /// Admission control turned the query away: the in-flight window
+    /// and the wait queue were both full (or the queue wait outlived
+    /// the deadline). The query consumed no coordinator state and no
+    /// provider rounds; the endpoint maps this to HTTP 503 with the
+    /// suggested `Retry-After`.
+    Overloaded {
+        /// How long the client should back off before resubmitting.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for LiveError {
@@ -94,6 +103,11 @@ impl std::fmt::Display for LiveError {
         match self {
             LiveError::Parse(e) => write!(f, "live query parse error: {e}"),
             LiveError::Timeout => write!(f, "live query timed out waiting for a solution round"),
+            LiveError::Overloaded { retry_after } => write!(
+                f,
+                "live mesh overloaded; retry after {:.1}s",
+                retry_after.as_secs_f64()
+            ),
         }
     }
 }
@@ -102,7 +116,7 @@ impl std::error::Error for LiveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LiveError::Parse(e) => Some(e),
-            LiveError::Timeout => None,
+            LiveError::Timeout | LiveError::Overloaded { .. } => None,
         }
     }
 }
@@ -272,13 +286,20 @@ pub fn live_execute(
 
 impl LiveMesh {
     /// [`live_execute`] on this mesh — parse, optimize, compile and run
-    /// a full SPARQL query over the live protocol.
+    /// a full SPARQL query over the live protocol, gated by admission
+    /// control: the whole execution holds one permit, and a rejected
+    /// query returns [`LiveError::Overloaded`] before allocating any
+    /// query id or issuing any round.
     pub fn execute(
         &self,
         query: &str,
         bind_join: bool,
         wait: Duration,
     ) -> Result<LiveExecution, LiveError> {
+        let _permit = self
+            .admission()
+            .acquire(self.config().query_deadline)
+            .map_err(|retry_after| LiveError::Overloaded { retry_after })?;
         live_execute(self, query, bind_join, wait)
     }
 }

@@ -22,7 +22,7 @@ use rdfmesh_sparql::solution::wire::{
 };
 use rdfmesh_sparql::solution::Solution;
 
-use crate::live::{DeadlineStage, LiveMsg, QueryId};
+use crate::live::{DeadlineStage, LiveMsg, QueryId, SolRound};
 
 // One tag byte per `LiveMsg` variant.
 const TAG_SUBMIT: u8 = 1;
@@ -36,6 +36,10 @@ const TAG_SOLUTIONS: u8 = 8;
 const TAG_PROVIDER_DEAD: u8 = 9;
 const TAG_DEADLINE: u8 = 10;
 const TAG_PUBLISH: u8 = 11;
+// Batched frames (wire version 2; see docs/DEPLOYMENT.md).
+const TAG_SUBMIT_SOL_BATCH: u8 = 12;
+const TAG_SUB_QUERY_SOL_BATCH: u8 = 13;
+const TAG_SOLUTIONS_BATCH: u8 = 14;
 
 // Pattern positions: variable (name string) or constant (tagged term).
 const POS_VAR: u8 = 0;
@@ -161,6 +165,37 @@ fn read_opt_solutions(r: &mut Reader<'_>) -> Result<Option<Vec<Solution>>, WireE
     }
 }
 
+fn put_sol_round(out: &mut Vec<u8>, round: &SolRound) {
+    put_u64(out, round.qid.0);
+    put_pattern(out, &round.pattern);
+    put_opt_expr(out, &round.filter);
+    put_opt_solutions(out, &round.bound);
+}
+
+fn read_sol_round(r: &mut Reader<'_>) -> Result<SolRound, WireError> {
+    let qid = QueryId(r.u64()?);
+    let pattern = read_pattern(r)?;
+    let filter = read_opt_expr(r)?;
+    let bound = read_opt_solutions(r)?;
+    Ok(SolRound { qid, pattern, filter, bound })
+}
+
+fn put_sol_rounds(out: &mut Vec<u8>, rounds: &[SolRound]) {
+    put_u32(out, rounds.len() as u32);
+    for round in rounds {
+        put_sol_round(out, round);
+    }
+}
+
+fn read_sol_rounds(r: &mut Reader<'_>) -> Result<Vec<SolRound>, WireError> {
+    let count = r.u32()? as usize;
+    let mut rounds = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        rounds.push(read_sol_round(r)?);
+    }
+    Ok(rounds)
+}
+
 fn put_stage(out: &mut Vec<u8>, stage: &DeadlineStage) {
     match stage {
         DeadlineStage::Lookup { attempt } => {
@@ -188,9 +223,50 @@ fn read_stage(r: &mut Reader<'_>) -> Result<DeadlineStage, WireError> {
     }
 }
 
+// Rough per-item encoded sizes feeding [`size_hint`]. They only have to
+// land within a reallocation or two of the truth; patterns and header
+// fields fit in `BASE_HINT`, solutions/triples dominate everything else.
+const BASE_HINT: usize = 96;
+const SOLUTION_HINT: usize = 48;
+
+fn solutions_hint(solutions: &[Solution]) -> usize {
+    solutions.len() * SOLUTION_HINT
+}
+
+fn round_hint(round: &SolRound) -> usize {
+    BASE_HINT + round.bound.as_deref().map_or(0, solutions_hint)
+}
+
+/// Estimates the encoded size of `msg` so [`WireMsg::encode_wire`] can
+/// allocate once up front instead of growing a fresh empty `Vec`
+/// through repeated doublings — batched frames in particular start in
+/// the kilobytes.
+fn size_hint(msg: &LiveMsg) -> usize {
+    match msg {
+        LiveMsg::SubmitSol { bound, .. } | LiveMsg::SubQuerySol { bound, .. } => {
+            BASE_HINT + bound.as_deref().map_or(0, solutions_hint)
+        }
+        LiveMsg::Matches { triples, .. } => BASE_HINT + triples.len() * SOLUTION_HINT,
+        LiveMsg::Solutions { solutions, .. } => BASE_HINT + solutions_hint(solutions),
+        LiveMsg::Providers { providers, .. } => BASE_HINT + providers.len() * 8,
+        LiveMsg::Publish { keys, .. } => BASE_HINT + keys.len() * 8,
+        LiveMsg::SubmitSolBatch { rounds } | LiveMsg::SubQuerySolBatch { rounds, .. } => {
+            16 + rounds.iter().map(round_hint).sum::<usize>()
+        }
+        LiveMsg::SolutionsBatch { entries } => {
+            16 + entries.iter().map(|(_, s)| 12 + solutions_hint(s)).sum::<usize>()
+        }
+        LiveMsg::Submit { .. }
+        | LiveMsg::Lookup { .. }
+        | LiveMsg::SubQuery { .. }
+        | LiveMsg::ProviderDead { .. }
+        | LiveMsg::Deadline { .. } => BASE_HINT,
+    }
+}
+
 impl WireMsg for LiveMsg {
     fn encode_wire(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(size_hint(self));
         match self {
             LiveMsg::Submit { qid, pattern } => {
                 out.push(TAG_SUBMIT);
@@ -257,6 +333,23 @@ impl WireMsg for LiveMsg {
                     put_u64(&mut out, *key);
                 }
                 put_u64(&mut out, provider.0);
+            }
+            LiveMsg::SubmitSolBatch { rounds } => {
+                out.push(TAG_SUBMIT_SOL_BATCH);
+                put_sol_rounds(&mut out, rounds);
+            }
+            LiveMsg::SubQuerySolBatch { rounds, reply_to } => {
+                out.push(TAG_SUB_QUERY_SOL_BATCH);
+                put_sol_rounds(&mut out, rounds);
+                put_u64(&mut out, reply_to.0);
+            }
+            LiveMsg::SolutionsBatch { entries } => {
+                out.push(TAG_SOLUTIONS_BATCH);
+                put_u32(&mut out, entries.len() as u32);
+                for (qid, solutions) in entries {
+                    put_u64(&mut out, qid.0);
+                    put_solutions(&mut out, solutions);
+                }
             }
         }
         out
@@ -331,6 +424,25 @@ impl WireMsg for LiveMsg {
                 }
                 let provider = NodeId(r.u64().map_err(fault)?);
                 LiveMsg::Publish { keys, provider }
+            }
+            TAG_SUBMIT_SOL_BATCH => {
+                let rounds = read_sol_rounds(&mut r).map_err(fault)?;
+                LiveMsg::SubmitSolBatch { rounds }
+            }
+            TAG_SUB_QUERY_SOL_BATCH => {
+                let rounds = read_sol_rounds(&mut r).map_err(fault)?;
+                let reply_to = NodeId(r.u64().map_err(fault)?);
+                LiveMsg::SubQuerySolBatch { rounds, reply_to }
+            }
+            TAG_SOLUTIONS_BATCH => {
+                let count = r.u32().map_err(fault)? as usize;
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let qid = QueryId(r.u64().map_err(fault)?);
+                    let solutions = read_solutions(&mut r).map_err(fault)?;
+                    entries.push((qid, solutions));
+                }
+                LiveMsg::SolutionsBatch { entries }
             }
             _ => return Err(WireFault("unknown live-message tag")),
         };
@@ -414,6 +526,37 @@ mod tests {
             },
             LiveMsg::Deadline { qid: QueryId(18), stage: DeadlineStage::Overall },
             LiveMsg::Publish { keys: vec![3, 99, u64::MAX], provider: NodeId(7) },
+            LiveMsg::SubmitSolBatch { rounds: Vec::new() },
+            LiveMsg::SubmitSolBatch {
+                rounds: vec![
+                    SolRound {
+                        qid: QueryId(19),
+                        pattern: pattern(),
+                        filter: Some(filter()),
+                        bound: Some(vec![solution()]),
+                    },
+                    SolRound { qid: QueryId(20), pattern: pattern(), filter: None, bound: None },
+                ],
+            },
+            LiveMsg::SubQuerySolBatch {
+                rounds: vec![
+                    SolRound { qid: QueryId(21), pattern: pattern(), filter: None, bound: None },
+                    SolRound {
+                        qid: QueryId(22),
+                        pattern: pattern(),
+                        filter: Some(filter()),
+                        bound: Some(vec![solution(), Solution::new()]),
+                    },
+                ],
+                reply_to: NodeId(u64::MAX),
+            },
+            LiveMsg::SolutionsBatch {
+                entries: vec![
+                    (QueryId(23), vec![solution()]),
+                    (QueryId(24), Vec::new()),
+                    (QueryId(25), vec![solution(), Solution::new()]),
+                ],
+            },
         ];
         for msg in msgs {
             let back = round_trip(&msg);
@@ -445,6 +588,66 @@ mod tests {
                 bytes.len()
             );
         }
+    }
+
+    #[test]
+    fn truncated_batched_frames_are_rejected_at_every_length() {
+        let bytes = LiveMsg::SubQuerySolBatch {
+            rounds: vec![
+                SolRound {
+                    qid: QueryId(1),
+                    pattern: pattern(),
+                    filter: Some(filter()),
+                    bound: Some(vec![solution()]),
+                },
+                SolRound { qid: QueryId(2), pattern: pattern(), filter: None, bound: None },
+            ],
+            reply_to: NodeId(9),
+        }
+        .encode_wire();
+        for len in 0..bytes.len() {
+            assert!(
+                LiveMsg::decode_wire(&bytes[..len]).is_err(),
+                "truncation at {len}/{} must not decode",
+                bytes.len()
+            );
+        }
+        let bytes = LiveMsg::SolutionsBatch {
+            entries: vec![(QueryId(3), vec![solution()]), (QueryId(4), Vec::new())],
+        }
+        .encode_wire();
+        for len in 0..bytes.len() {
+            assert!(
+                LiveMsg::decode_wire(&bytes[..len]).is_err(),
+                "truncation at {len}/{} must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn encode_presizes_close_to_the_truth() {
+        // The size hint is an allocation optimization, not a format
+        // promise — but a hint below a quarter of the real size would
+        // mean the pre-sizing buys nothing, so pin it loosely.
+        let msg = LiveMsg::SubQuerySolBatch {
+            rounds: (0..20)
+                .map(|n| SolRound {
+                    qid: QueryId(n),
+                    pattern: pattern(),
+                    filter: Some(filter()),
+                    bound: Some(vec![solution(), solution()]),
+                })
+                .collect(),
+            reply_to: NodeId(1),
+        };
+        let encoded = msg.encode_wire();
+        assert!(
+            super::size_hint(&msg) * 4 >= encoded.len(),
+            "hint {} too far below encoded size {}",
+            super::size_hint(&msg),
+            encoded.len()
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, unbounded, Sender};
 use rdfmesh_net::{FaultPlan, Handler, NodeId, TcpCluster, TransportSnapshot};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple};
 use rdfmesh_rdf::TriplePattern;
@@ -40,10 +40,12 @@ use rdfmesh_sparql::expr::Expression;
 use rdfmesh_sparql::solution::wire::{put_str, put_u64, Reader, WireError};
 use rdfmesh_sparql::solution::Solution;
 
+use crate::admission::Admission;
 use crate::config::LiveConfig;
 use crate::live::{
-    lock, owner_in_view, rlock, wlock, Coordinator, CoordinatorCore, IndexNode, LiveAnswer,
-    LiveCounters, LiveMsg, LiveStorage, PendingMap, QueryId, RingView, SharedFlood, SharedTable,
+    lock, owner_in_view, rlock, spawn_submit_pump, wlock, Coordinator, CoordinatorCore, IndexNode,
+    LiveAnswer, LiveCounters, LiveMsg, LiveStorage, PendingMap, QueryId, RingView, RoundHandle,
+    SharedFlood, SharedTable, SolRound,
 };
 use crate::live_backend::{live_execute, LiveError, LiveExecution, SolutionRounds};
 use crate::stats::{LiveStats, LiveStatsSnapshot};
@@ -255,9 +257,11 @@ fn resolve(addr: &str) -> Option<SocketAddr> {
 /// `docs/DEPLOYMENT.md`.
 pub struct MeshNode {
     cluster: Arc<TcpCluster<LiveMsg>>,
-    coordinator: NodeId,
+    cfg: LiveConfig,
     next_qid: AtomicU64,
     pending: PendingMap,
+    submit: Sender<SolRound>,
+    admission: Admission,
     stats: Arc<LiveStats>,
     shared: Arc<NodeShared>,
     closing: Arc<AtomicBool>,
@@ -358,11 +362,19 @@ impl MeshNode {
             })
         };
 
+        let (submit, submit_rx) = unbounded();
+        let pump_cluster = Arc::clone(&cluster);
+        spawn_submit_pump(submit_rx, Arc::clone(&stats), move |msg| {
+            pump_cluster.inject(coord_id, coord_id, msg);
+        });
+
         Ok(MeshNode {
             cluster,
-            coordinator: coord_id,
+            cfg,
             next_qid: AtomicU64::new(1),
             pending,
+            submit,
+            admission: Admission::new(&cfg, Arc::clone(&stats)),
             stats,
             shared,
             closing,
@@ -405,30 +417,55 @@ impl MeshNode {
         bound: Option<Vec<Solution>>,
         timeout: Duration,
     ) -> Option<LiveAnswer> {
+        self.submit_solutions(pattern, filter, bound).wait(timeout)
+    }
+
+    /// Enqueues one solution round without blocking and returns a
+    /// [`RoundHandle`] to wait on. Rounds submitted concurrently are
+    /// coalesced by the submit pump into batched frames, so many
+    /// in-flight queries pipeline through this process's coordinator.
+    pub fn submit_solutions(
+        &self,
+        pattern: TriplePattern,
+        filter: Option<Expression>,
+        bound: Option<Vec<Solution>>,
+    ) -> RoundHandle {
         self.stats.add_solution_rounds(1);
         let qid = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = bounded(1);
         lock(&self.pending).insert(qid, tx);
-        self.cluster.inject(
-            self.coordinator,
-            self.coordinator,
-            LiveMsg::SubmitSol { qid, pattern, filter, bound },
-        );
-        let answer = rx.recv_timeout(timeout).ok();
-        if answer.is_none() {
-            lock(&self.pending).remove(&qid);
-        }
-        answer
+        let _ = self.submit.send(SolRound { qid, pattern, filter, bound });
+        RoundHandle::new(qid, rx, Arc::clone(&self.pending))
+    }
+
+    /// The admission gate bounding concurrent query *executions* through
+    /// this process (one SPARQL query = one permit, covering all its
+    /// solution rounds). [`MeshNode::execute`] acquires from it; raw
+    /// round submissions are ungated internals.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The fault-tolerance configuration the node was started with.
+    pub fn config(&self) -> LiveConfig {
+        self.cfg
     }
 
     /// [`live_execute`] on this node: parse, optimize, compile and run a
-    /// full SPARQL query, gathering at this process's coordinator.
+    /// full SPARQL query, gathering at this process's coordinator. Gated
+    /// by admission control — a rejected query returns
+    /// [`LiveError::Overloaded`] before allocating any query id or
+    /// issuing any round.
     pub fn execute(
         &self,
         query: &str,
         bind_join: bool,
         wait: Duration,
     ) -> Result<LiveExecution, LiveError> {
+        let _permit = self
+            .admission
+            .acquire(self.cfg.query_deadline)
+            .map_err(|retry_after| LiveError::Overloaded { retry_after })?;
         live_execute(self, query, bind_join, wait)
     }
 

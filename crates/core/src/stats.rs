@@ -108,6 +108,11 @@ pub struct LiveStats {
     solution_rounds: std::sync::atomic::AtomicU64,
     solutions_shipped: std::sync::atomic::AtomicU64,
     solution_bytes: std::sync::atomic::AtomicU64,
+    admitted: std::sync::atomic::AtomicU64,
+    queued: std::sync::atomic::AtomicU64,
+    rejected: std::sync::atomic::AtomicU64,
+    batches: std::sync::atomic::AtomicU64,
+    batched_rounds: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`LiveStats`].
@@ -136,6 +141,16 @@ pub struct LiveStatsSnapshot {
     /// Wire bytes of those solutions, sized by the
     /// `rdfmesh_sparql::solution::wire` codec.
     pub solution_bytes: u64,
+    /// Query executions admitted into the bounded in-flight window.
+    pub admitted: u64,
+    /// Admitted executions that first waited in the bounded queue.
+    pub queued: u64,
+    /// Executions rejected under overload (queue full or wait expired).
+    pub rejected: u64,
+    /// Batched frames shipped (more than one query's round coalesced).
+    pub batches: u64,
+    /// Per-query rounds that travelled inside a batched frame.
+    pub batched_rounds: u64,
 }
 
 impl LiveStats {
@@ -196,6 +211,31 @@ impl LiveStats {
         Self::bump(&self.solution_bytes, rdfmesh_obs::names::LIVE_SOLUTION_BYTES, delta);
     }
 
+    /// Adds `delta` admitted query executions.
+    pub fn add_admitted(&self, delta: u64) {
+        Self::bump(&self.admitted, rdfmesh_obs::names::LIVE_ADMITTED, delta);
+    }
+
+    /// Adds `delta` executions that waited in the admission queue.
+    pub fn add_queued(&self, delta: u64) {
+        Self::bump(&self.queued, rdfmesh_obs::names::LIVE_QUEUED, delta);
+    }
+
+    /// Adds `delta` executions rejected under overload.
+    pub fn add_rejected(&self, delta: u64) {
+        Self::bump(&self.rejected, rdfmesh_obs::names::LIVE_REJECTED, delta);
+    }
+
+    /// Adds `delta` batched (multi-round) frames.
+    pub fn add_batches(&self, delta: u64) {
+        Self::bump(&self.batches, rdfmesh_obs::names::LIVE_BATCHES, delta);
+    }
+
+    /// Adds `delta` rounds shipped inside batched frames.
+    pub fn add_batched_rounds(&self, delta: u64) {
+        Self::bump(&self.batched_rounds, rdfmesh_obs::names::LIVE_BATCHED_ROUNDS, delta);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> LiveStatsSnapshot {
         use std::sync::atomic::Ordering::Relaxed;
@@ -210,6 +250,11 @@ impl LiveStats {
             solution_rounds: self.solution_rounds.load(Relaxed),
             solutions_shipped: self.solutions_shipped.load(Relaxed),
             solution_bytes: self.solution_bytes.load(Relaxed),
+            admitted: self.admitted.load(Relaxed),
+            queued: self.queued.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            batches: self.batches.load(Relaxed),
+            batched_rounds: self.batched_rounds.load(Relaxed),
         }
     }
 }

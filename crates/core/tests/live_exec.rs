@@ -128,6 +128,7 @@ fn provider_crash_mid_query_degrades_to_a_partial_answer() {
         lookup_timeout: Duration::from_millis(50),
         query_deadline: Duration::from_secs(2),
         retries: 1,
+        ..LiveConfig::default()
     };
     let mesh = LiveMesh::spawn_with(&overlay, cfg, FaultPlan::new());
     // Crash a provider that serves the conjunctive query's patterns.

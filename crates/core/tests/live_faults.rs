@@ -84,6 +84,7 @@ fn tight() -> LiveConfig {
         lookup_timeout: Duration::from_millis(50),
         query_deadline: Duration::from_secs(2),
         retries: 1,
+        ..LiveConfig::default()
     }
 }
 

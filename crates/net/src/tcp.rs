@@ -46,7 +46,11 @@ use crate::network::NodeId;
 /// Connection-handshake magic: the first four bytes on every connection.
 pub const WIRE_MAGIC: [u8; 4] = *b"RDFM";
 /// Wire-format version, negotiated (exact-match) by the handshake.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the batched solution frames (`SubmitSolBatch` /
+/// `SubQuerySolBatch` / `SolutionsBatch` payload tags): a v1 peer would
+/// reject the new tags mid-stream, so the handshake refuses the mix
+/// up front.
+pub const WIRE_VERSION: u8 = 2;
 /// Upper bound on a single frame's length field; larger values mean a
 /// corrupt or hostile stream and close the connection.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
@@ -693,11 +697,8 @@ mod tests {
         // reach the socket, and the sender still observes success.
         let (seen_tx, seen_rx) = unbounded::<u32>();
         let (sent_tx, sent_rx) = unbounded::<bool>();
-        let relay = {
-            let sent_tx = sent_tx.clone();
-            move |env: Envelope<TestMsg>, out: &Outbox<TestMsg>| {
-                let _ = sent_tx.send(out.send(NodeId(2), env.payload));
-            }
+        let relay = move |env: Envelope<TestMsg>, out: &Outbox<TestMsg>| {
+            let _ = sent_tx.send(out.send(NodeId(2), env.payload));
         };
         let sink = move |env: Envelope<TestMsg>, _out: &Outbox<TestMsg>| {
             let _ = seen_tx.send(env.payload.0);

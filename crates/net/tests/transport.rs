@@ -31,7 +31,7 @@ fn cluster_survives_a_message_flood() {
                 let _ = env.payload.done.send(self.seen.load(Ordering::Relaxed));
                 return;
             }
-            let mut t = env.payload.clone();
+            let mut t = env.payload;
             t.remaining -= 1;
             out.send(self.next, t);
         }
@@ -162,7 +162,7 @@ fn delayed_link_delivers_after_direct_messages() {
     struct Relay;
     impl Handler<EchoMsg> for Relay {
         fn on_message(&mut self, env: Envelope<EchoMsg>, out: &Outbox<EchoMsg>) {
-            let (_, reply) = env.payload.clone();
+            let (_, reply) = env.payload;
             out.send(NodeId(2), (1, reply.clone())); // delayed 300 ms
             out.send(NodeId(3), (2, reply)); // undelayed relay via node 3
         }

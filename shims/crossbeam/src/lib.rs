@@ -4,8 +4,9 @@
 //! access.
 //!
 //! Only the multi-producer/single-consumer surface this repository uses
-//! is provided: `unbounded`, `bounded`, `Sender::send`, `Receiver::recv`,
-//! `Receiver::recv_timeout`, `Receiver::try_recv`. `std::sync::mpsc`
+//! is provided: `unbounded`, `bounded`, `Sender::send`, `Sender::try_send`,
+//! `Receiver::recv`, `Receiver::recv_timeout`, `Receiver::try_recv`.
+//! `std::sync::mpsc`
 //! senders have been `Sync` since Rust 1.72, so sharing an
 //! `Arc<HashMap<_, Sender<_>>>` across node threads works unchanged.
 
@@ -17,7 +18,9 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{
+        RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError,
+    };
 
     /// The sending half; clonable and shareable across threads.
     pub struct Sender<T>(SenderInner<T>);
@@ -49,6 +52,18 @@ pub mod channel {
             match &self.0 {
                 SenderInner::Unbounded(tx) => tx.send(value),
                 SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Sends `value` without blocking. On a full bounded channel the
+        /// value comes straight back as [`TrySendError::Full`]; an
+        /// unbounded channel is never full.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|SendError(v)| TrySendError::Disconnected(v))
+                }
+                SenderInner::Bounded(tx) => tx.try_send(value),
             }
         }
     }

@@ -31,6 +31,8 @@
 //! --lookup-timeout-ms N  index lookup deadline           [150]
 //! --query-deadline-ms N  hard per-query deadline         [5000]
 //! --retries N            retransmissions before dead     [1]
+//! --max-inflight N       concurrent query executions     [64]
+//! --queue-depth N        waiting queries before 503      [256]
 //! ```
 
 use std::process::ExitCode;
@@ -135,6 +137,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--retries" => {
                 o.live.retries = val("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--max-inflight" => {
+                o.live.max_inflight =
+                    val("--max-inflight")?.parse().map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--queue-depth" => {
+                o.live.queue_depth =
+                    val("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?
             }
             "-q" | "--query" => o.positional.push(val("--query")?),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
@@ -284,6 +294,8 @@ fn report_load(file: &str, statements: u64, elapsed: Duration) {
 }
 
 fn run_serve(o: &Options) -> Result<(), String> {
+    // Record live.* / transport.* / store.* metrics for GET /metrics.
+    rdfmesh::obs::metrics().enable();
     let id = o.node_id.unwrap_or_else(|| u64::from(std::process::id()));
     let mut loaded = 0u64;
     let store: rdfmesh::SharedStore = match &o.store_dir {
@@ -328,7 +340,11 @@ fn run_serve(o: &Options) -> Result<(), String> {
     let endpoint = SparqlEndpoint::serve(
         o.http.as_str(),
         Arc::clone(&node),
-        ServeOptions { bind_join: true, wait: o.live.query_deadline * 4 + Duration::from_secs(5) },
+        ServeOptions {
+            bind_join: true,
+            wait: o.live.query_deadline * 4 + Duration::from_secs(5),
+            ..ServeOptions::default()
+        },
     )
     .map_err(|e| e.to_string())?;
     println!("mesh node {id} listening on {} ({loaded} triples loaded)", node.local_addr());
@@ -372,6 +388,8 @@ SERVE OPTIONS (docs/DEPLOYMENT.md):
   --lookup-timeout-ms N  index lookup deadline            [150]
   --query-deadline-ms N  hard per-query deadline          [5000]
   --retries N            retransmissions before dead      [1]
+  --max-inflight N       concurrent query executions      [64]
+  --queue-depth N        waiting queries before 503       [256]
 ";
 
 fn main() -> ExitCode {

@@ -12,13 +12,18 @@
 //!   `complete`, `failed_providers`, `rounds` — so clients can tell a
 //!   full answer from one that survived a provider crash;
 //! * `GET /health` reports the process's roster size, for liveness
-//!   probes and the `docs/DEPLOYMENT.md` walkthrough.
+//!   probes and the `docs/DEPLOYMENT.md` walkthrough;
+//! * `GET /metrics` dumps the process-wide [`rdfmesh_obs`] registry as
+//!   flat `name value` text, one metric per line.
 //!
-//! One thread per connection, `Connection: close` semantics: the
-//! implementation favours auditability over throughput, matching the
-//! paper's scale (tens of peers, not thousands of clients). Queries on
-//! concurrent connections run concurrently — each handler thread drives
-//! its own rounds through the shared [`MeshNode`] coordinator.
+//! A bounded pool of handler threads drains accepted connections from a
+//! bounded hand-off queue, `Connection: close` semantics: concurrent
+//! connections pipeline their queries through the shared [`MeshNode`]
+//! coordinator, and arrivals beyond the queue are turned away
+//! immediately with `503 Service Unavailable` + `Retry-After` instead
+//! of piling up unbounded threads. Queries that pass the connection
+//! layer still face the mesh's own admission window
+//! ([`rdfmesh_core::Admission`]), which produces the same 503 shape.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -27,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crossbeam::channel::{bounded, Receiver, TrySendError};
 use rdfmesh_core::{LiveError, MeshNode};
 use rdfmesh_sparql::to_json;
 
@@ -40,11 +46,22 @@ pub struct ServeOptions {
     /// Caller-side wait per solution round; keep it comfortably above
     /// `LiveConfig::query_deadline`.
     pub wait: Duration,
+    /// Handler threads draining accepted connections — the hard cap on
+    /// concurrently *served* requests at the HTTP layer.
+    pub handlers: usize,
+    /// Accepted connections allowed to wait for a free handler; beyond
+    /// this, arrivals get an immediate `503` + `Retry-After`.
+    pub backlog: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { bind_join: true, wait: Duration::from_secs(30) }
+        ServeOptions {
+            bind_join: true,
+            wait: Duration::from_secs(30),
+            handlers: 8,
+            backlog: 32,
+        }
     }
 }
 
@@ -53,6 +70,7 @@ pub struct SparqlEndpoint {
     addr: SocketAddr,
     closing: Arc<AtomicBool>,
     accept: Mutex<Option<JoinHandle<()>>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl SparqlEndpoint {
@@ -66,6 +84,26 @@ impl SparqlEndpoint {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let closing = Arc::new(AtomicBool::new(false));
+        // Bounded hand-off: accept → queue → handler pool. The single
+        // shared Receiver sits behind a mutex (the shim channel is
+        // single-consumer); an idle handler holds the lock only while
+        // blocked on recv, releasing it the moment it takes a stream.
+        let (tx, rx) = bounded::<TcpStream>(options.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let handlers = (0..options.handlers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let node = Arc::clone(&node);
+                std::thread::Builder::new()
+                    .name(format!("rdfmesh-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = next_stream(&rx) {
+                            let _ = handle_connection(stream, &node, options);
+                        }
+                    })
+                    .expect("spawn http handler")
+            })
+            .collect();
         let accept = {
             let closing = Arc::clone(&closing);
             std::thread::spawn(move || {
@@ -73,16 +111,33 @@ impl SparqlEndpoint {
                     if closing.load(Ordering::Relaxed) {
                         break;
                     }
-                    if let Ok(stream) = stream {
-                        let node = Arc::clone(&node);
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &node, options);
-                        });
+                    let Ok(stream) = stream else { continue };
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            // Queue full: shed load at the door without
+                            // reading the request.
+                            let _ = respond_with(
+                                &mut stream,
+                                "503 Service Unavailable",
+                                "application/json",
+                                "Retry-After: 1\r\n",
+                                "{\"error\":\"endpoint connection queue full\"}",
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
                     }
                 }
+                // Dropping `tx` here retires the pool: handlers drain
+                // what was queued, then see the channel close and exit.
             })
         };
-        Ok(SparqlEndpoint { addr, closing, accept: Mutex::new(Some(accept)) })
+        Ok(SparqlEndpoint {
+            addr,
+            closing,
+            accept: Mutex::new(Some(accept)),
+            handlers: Mutex::new(handlers),
+        })
     }
 
     /// The address the HTTP listener is bound to.
@@ -90,7 +145,8 @@ impl SparqlEndpoint {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops accepting connections, then joins the accept thread and the
+    /// handler pool (queued connections are still served).
     pub fn shutdown(&self) {
         if self.closing.swap(true, Ordering::Relaxed) {
             return;
@@ -100,7 +156,16 @@ impl SparqlEndpoint {
         if let Some(handle) = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take() {
             let _ = handle.join();
         }
+        for handle in self.handlers.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+            let _ = handle.join();
+        }
     }
+}
+
+/// Takes the next accepted stream off the shared hand-off queue, or
+/// `None` once the accept loop is gone and the queue is drained.
+fn next_stream(rx: &Mutex<Receiver<TcpStream>>) -> Option<TcpStream> {
+    rx.lock().unwrap_or_else(|e| e.into_inner()).recv().ok()
 }
 
 impl Drop for SparqlEndpoint {
@@ -152,11 +217,46 @@ fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    respond_with(stream, status, content_type, "", body)
+}
+
+/// [`respond`] with extra raw header lines (each `\r\n`-terminated),
+/// e.g. `Retry-After` on a 503.
+fn respond_with(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &str,
+    body: &str,
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n{body}",
         body.len()
     )
+}
+
+/// Renders an obs [`rdfmesh_obs::Snapshot`] as flat `name value` text:
+/// one line per counter, and per histogram its `count`/`sum`/`min`/
+/// `max`/`p50`/`p99` as dotted sub-names. Stable, grep-friendly, no
+/// markup — the `GET /metrics` format.
+fn render_metrics(snap: &rdfmesh_obs::Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        if h.count() == 0 {
+            continue;
+        }
+        out.push_str(&format!("{name}.count {}\n", h.count()));
+        out.push_str(&format!("{name}.sum {}\n", h.sum()));
+        out.push_str(&format!("{name}.min {}\n", h.min()));
+        out.push_str(&format!("{name}.max {}\n", h.max()));
+        out.push_str(&format!("{name}.p50 {}\n", h.quantile(0.50)));
+        out.push_str(&format!("{name}.p99 {}\n", h.quantile(0.99)));
+    }
+    out
 }
 
 /// Percent-decodes one URL component, mapping `+` to space.
@@ -267,6 +367,10 @@ fn handle_connection(
             );
             respond(&mut stream, "200 OK", "application/json", &body)
         }
+        ("GET", "/metrics") => {
+            let body = render_metrics(&rdfmesh_obs::metrics().snapshot());
+            respond(&mut stream, "200 OK", "text/plain; charset=utf-8", &body)
+        }
         ("GET" | "POST", "/sparql") => {
             let Some(query) = sparql_text(&req) else {
                 return respond(
@@ -293,13 +397,20 @@ fn handle_connection(
                     "application/json",
                     "{\"error\":\"solution round timed out\"}",
                 ),
+                Err(LiveError::Overloaded { retry_after }) => respond_with(
+                    &mut stream,
+                    "503 Service Unavailable",
+                    "application/json",
+                    &format!("Retry-After: {}\r\n", retry_after.as_secs().max(1)),
+                    "{\"error\":\"mesh overloaded; retry later\"}",
+                ),
             }
         }
         _ => respond(
             &mut stream,
             "404 Not Found",
             "application/json",
-            "{\"error\":\"routes: GET|POST /sparql, GET /health\"}",
+            "{\"error\":\"routes: GET|POST /sparql, GET /health, GET /metrics\"}",
         ),
     }
 }
@@ -323,6 +434,16 @@ mod tests {
             Some("SELECT *")
         );
         assert_eq!(query_param("format=json"), None);
+    }
+
+    #[test]
+    fn metrics_render_as_flat_name_value_lines() {
+        let mut snap = rdfmesh_obs::Snapshot::default();
+        snap.counters.insert("live.admitted".into(), 7);
+        snap.counters.insert("live.rejected".into(), 2);
+        let text = render_metrics(&snap);
+        assert_eq!(text, "live.admitted 7\nlive.rejected 2\n");
+        assert_eq!(render_metrics(&rdfmesh_obs::Snapshot::default()), "");
     }
 
     #[test]

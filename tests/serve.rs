@@ -38,9 +38,22 @@ fn spawn_node_with(
     join: Option<&str>,
     store_dir: Option<&Path>,
 ) -> (Guard, String, String) {
+    spawn_node_flags(id, data, join, store_dir, &[])
+}
+
+/// [`spawn_node_with`] plus arbitrary extra `serve` flags (admission
+/// window sizing in the overload test below).
+fn spawn_node_flags(
+    id: u64,
+    data: Option<&Path>,
+    join: Option<&str>,
+    store_dir: Option<&Path>,
+    extra: &[&str],
+) -> (Guard, String, String) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_rdfmesh"));
     cmd.args(["serve", "--node-id", &id.to_string()])
         .args(["--listen", "127.0.0.1:0", "--http", "127.0.0.1:0"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
     if let Some(data) = data {
@@ -240,6 +253,84 @@ fn await_members(addr: &str, members: usize) {
         assert!(Instant::now() < deadline, "roster never reached {members}: {body}");
         std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+#[test]
+fn overloaded_node_sheds_load_with_503_and_exposes_metrics() {
+    // A corpus big enough that one query holds its admission slot for a
+    // visible interval: 4 departments, three-pattern chain below.
+    let cfg = rdfmesh::workload::university::UniversityConfig {
+        departments: 4,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!("rdfmesh-serve-overload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("univ.nt");
+    let mut out = std::fs::File::create(&corpus).unwrap();
+    rdfmesh::workload::university::write_corpus(&cfg, &mut out).unwrap();
+    drop(out);
+
+    // The tightest window the flags allow: one query at a time, no queue.
+    let (_guard, _, addr) = spawn_node_flags(
+        20,
+        Some(&corpus),
+        None,
+        None,
+        &["--max-inflight", "1", "--queue-depth", "0"],
+    );
+    await_members(&addr, 1);
+
+    let query = "SELECT ?s ?p ?c WHERE { ?s <http://example.org/univ#advisor> ?p . \
+                 ?p <http://example.org/univ#worksFor> ?d . \
+                 ?s <http://example.org/univ#takesCourse> ?c . }";
+    let (status, body) = http_get_sparql(&addr, query);
+    assert!(status.contains("200"), "warm-up query failed: {status} {body}");
+    assert!(body.contains("\"complete\":true"), "warm-up degraded: {body}");
+
+    // Volleys of simultaneous queries against the 1-slot window: the
+    // overflow must come back as 503, not as errors or deadline blows.
+    // (Scheduling decides how many overlap, so retry a few volleys
+    // rather than assert on one race.)
+    let mut served = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..5 {
+        let outcomes: Vec<(String, String)> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..8).map(|_| s.spawn(|| http_get_sparql(&addr, query))).collect();
+            handles.into_iter().map(|h| h.join().expect("no request panics")).collect()
+        });
+        for (status, body) in outcomes {
+            if status.contains("503") {
+                rejected += 1;
+                assert!(body.contains("overloaded"), "503 names the cause: {body}");
+            } else {
+                assert!(status.contains("200"), "only 200 or 503 under overload: {status}");
+                assert!(body.contains("\"complete\":true"), "admitted query degraded: {body}");
+                served += 1;
+            }
+        }
+        if rejected > 0 {
+            break;
+        }
+    }
+    assert!(rejected > 0, "8 simultaneous queries never tripped the 1-slot window");
+    assert!(served > 0, "the window itself keeps serving");
+
+    // /metrics: the obs registry as flat name-value lines, admission
+    // gauges included — observable without log scraping.
+    let (status, body) = http(&addr, &format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n"));
+    assert!(status.contains("200"), "metrics route failed: {status}");
+    let gauge = |name: &str| -> u64 {
+        body.lines()
+            .find_map(|line| line.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("{name} missing from /metrics: {body}"))
+    };
+    assert!(gauge("live.admitted ") > served as u64, "warm-up plus every 200 was admitted");
+    assert_eq!(gauge("live.rejected "), rejected as u64, "every 503 was counted");
+    assert!(gauge("live.solution_rounds ") >= 3, "the chain query ran its rounds");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
