@@ -26,6 +26,7 @@ pub mod e17_exec_parity;
 pub mod e18_socket_parity;
 pub mod e19_store_scale;
 pub mod e20_throughput;
+pub mod e21_store_durability;
 
 /// `(id, description, runner)` for every experiment.
 pub fn all() -> Vec<(&'static str, &'static str, fn())> {
@@ -50,6 +51,7 @@ pub fn all() -> Vec<(&'static str, &'static str, fn())> {
         ("e18", "Socket-transport parity: identical answers over framed TCP", e18_socket_parity::run),
         ("e19", "Persistent-store scale ladder: bulk load, lookup, memory", e19_store_scale::run),
         ("e20", "Throughput vs offered load: concurrent queries, admission control", e20_throughput::run),
+        ("e21", "Durable writes: WAL overhead, flush latency, write amplification", e21_store_durability::run),
     ]
 }
 

@@ -103,6 +103,26 @@ pub const STORE_LOAD_MICROS: &str = "store.load.micros";
 /// Sorted runs spilled to disk during bulk loads.
 pub const STORE_LOAD_RUNS: &str = "store.load.runs";
 
+// ---- persistent store durability (docs/STORAGE.md) -------------------
+
+/// Records appended (and fsynced) to the write-ahead log.
+pub const STORE_WAL_APPENDS: &str = "store.wal.appends";
+/// Bytes appended to the write-ahead log.
+pub const STORE_WAL_BYTES: &str = "store.wal.bytes";
+/// WAL records replayed into the overlay at open — acknowledged writes
+/// that a crash would previously have dropped.
+pub const STORE_WAL_REPLAYED: &str = "store.wal.replayed";
+/// Write-ahead logs retired by sealing the overlay into a generation.
+pub const STORE_WAL_SEALS: &str = "store.wal.seals";
+/// Overlay flushes that sealed at least one key.
+pub const STORE_FLUSH_COUNT: &str = "store.flush.count";
+/// Overlay entries (adds + tombstones) sealed by flushes.
+pub const STORE_FLUSH_KEYS: &str = "store.flush.keys";
+/// Generation merges performed by the compaction policy.
+pub const STORE_COMPACT_COUNT: &str = "store.compact.count";
+/// Logical keys written by compaction merges (write amplification).
+pub const STORE_COMPACT_KEYS: &str = "store.compact.keys";
+
 /// Solution-gathering rounds issued by the live execution backend.
 pub const LIVE_SOLUTION_ROUNDS: &str = "live.solution_rounds";
 /// Solution mappings shipped as intermediate results by live storage

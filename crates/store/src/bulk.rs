@@ -13,14 +13,15 @@
 //!    deterministic — and buffers dictionary-encoded keys;
 //! 4. full buffers are **spilled as sorted runs** (the three permutations
 //!    sorted on three threads, then written as ordinary segment files);
-//! 5. a final **k-way merge** folds all runs, the current base (minus
-//!    tombstones) and the write overlay into one fresh segment
-//!    generation, published with the usual atomic manifest swap.
+//! 5. a final **shadow merge** ([`crate::merge`]) folds all runs, the
+//!    write overlay and every sealed level into one fresh segment
+//!    generation, published with the usual atomic manifest swap (the
+//!    load *is* a full compaction: tombstones resolve and drop away).
 //!
 //! Ingest throughput and volume are recorded into the process metrics
 //! registry under `store.load.*`.
 
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Read};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,6 +31,7 @@ use crossbeam::channel;
 use rdfmesh_obs::{metrics, names};
 use rdfmesh_rdf::{parse_statements_from, ParseError, PatternSource, Triple};
 
+use crate::merge::{ShadowMerge, ShadowSource};
 use crate::pstore::{Perm, PersistentStore};
 use crate::segment::{Key, SegmentFile, SegmentWriter};
 
@@ -196,36 +198,6 @@ fn sort_permutations(buf: &[Key]) -> [Vec<Key>; 3] {
     out
 }
 
-/// A k-way merge over strictly-sorted key streams, deduplicating.
-struct KWayMerge<'a> {
-    sources: Vec<Box<dyn Iterator<Item = Key> + 'a>>,
-    heap: BinaryHeap<std::cmp::Reverse<(Key, usize)>>,
-}
-
-impl<'a> KWayMerge<'a> {
-    fn new(sources: Vec<Box<dyn Iterator<Item = Key> + 'a>>) -> Self {
-        let mut merge = KWayMerge { sources, heap: BinaryHeap::new() };
-        for i in 0..merge.sources.len() {
-            if let Some(k) = merge.sources[i].next() {
-                merge.heap.push(std::cmp::Reverse((k, i)));
-            }
-        }
-        merge
-    }
-}
-
-impl Iterator for KWayMerge<'_> {
-    type Item = Key;
-
-    fn next(&mut self) -> Option<Key> {
-        let std::cmp::Reverse((key, src)) = self.heap.pop()?;
-        if let Some(k) = self.sources[src].next() {
-            self.heap.push(std::cmp::Reverse((k, src)));
-        }
-        Some(key)
-    }
-}
-
 impl PersistentStore {
     /// Bulk-loads N-Triples from `reader` through the parallel pipeline,
     /// leaving the store fully flushed (the load *is* a compaction).
@@ -353,7 +325,7 @@ impl PersistentStore {
         let runs = spiller.runs;
         let merged = self.merge_all(&spiller)?;
         let generation = self.generation() + 1;
-        self.publish(generation, merged)?;
+        self.publish_full(generation, merged)?;
         cleanup_runs(&spiller);
 
         let report = LoadReport {
@@ -382,9 +354,11 @@ impl PersistentStore {
         self.bulk_load(file, cfg)
     }
 
-    /// Merges base − tombstones, the write overlay, all spilled runs and
-    /// the final in-memory buffer into segment files for the next
-    /// generation; the three permutations merge on three threads.
+    /// Shadow-merges all spilled runs, the final in-memory buffer, the
+    /// write overlay and every sealed level into segment files for the
+    /// next generation; the three permutations merge on three threads.
+    /// Fresh input sits at rank 0 (so a bulk load re-asserts triples the
+    /// overlay had tombstoned), the overlay at rank 1, levels below.
     fn merge_all(&self, spiller: &RunSpiller) -> io::Result<u64> {
         let tail = sort_permutations(&spiller.buf);
         let generation = self.generation() + 1;
@@ -398,24 +372,29 @@ impl PersistentStore {
                         for idx in 0..spiller.runs {
                             run_files.push(SegmentFile::open(spiller.run_path(idx, perm))?);
                         }
-                        let mut sources: Vec<Box<dyn Iterator<Item = Key> + '_>> = Vec::new();
-                        if let Some(seg) = self.base_segment(perm) {
-                            sources.push(Box::new(
-                                seg.iter().filter(move |&k| !self.dels.contains(&perm.decode(k))),
-                            ));
-                        }
-                        sources.push(Box::new(self.adds.set(perm).iter().copied()));
+                        let mut sources: Vec<ShadowSource<'_>> = Vec::new();
                         for seg in &run_files {
-                            sources.push(Box::new(seg.iter()));
+                            sources.push(ShadowSource {
+                                rank: 0,
+                                is_del: false,
+                                iter: Box::new(seg.iter()),
+                            });
                         }
-                        sources.push(Box::new(tail_keys.iter().copied()));
+                        sources.push(ShadowSource {
+                            rank: 0,
+                            is_del: false,
+                            iter: Box::new(tail_keys.iter().copied()),
+                        });
+                        sources.extend(self.rebuild_sources(perm, 1));
                         let mut w = SegmentWriter::create(crate::pstore::seg_path(
                             self.dir(),
                             generation,
                             perm,
                         ))?;
-                        for k in KWayMerge::new(sources) {
-                            w.push(k)?;
+                        for (k, live) in ShadowMerge::new(sources) {
+                            if live {
+                                w.push(k)?;
+                            }
                         }
                         w.finish()
                     })

@@ -9,10 +9,12 @@
 //! into place strictly after the log is synced.
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::PathBuf;
 
 use rdfmesh_rdf::{parse_term_str, Term};
+
+use crate::fail;
 
 /// The open append handle plus the replayed terms.
 pub struct DictLog {
@@ -47,13 +49,14 @@ impl DictLog {
             good = pos;
         }
         if good < bytes.len() {
-            file.set_len(good as u64)?;
+            fail::set_len(&file, good as u64)?;
         }
         Ok((DictLog { file, path }, terms))
     }
 
     /// Appends `terms` as one buffered write, then syncs to disk. Call
-    /// before publishing any segment that references their ids.
+    /// before publishing any segment — or acknowledging any WAL record —
+    /// that references their ids.
     pub fn append(&mut self, terms: &[Term]) -> io::Result<()> {
         if terms.is_empty() {
             return Ok(());
@@ -64,8 +67,14 @@ impl DictLog {
             buf.extend_from_slice(&(text.len() as u32).to_le_bytes());
             buf.extend_from_slice(text.as_bytes());
         }
-        self.file.write_all(&buf)?;
-        self.file.sync_data()
+        fail::write_all(&mut self.file, &buf)?;
+        fail::sync_data(&self.file)
+    }
+
+    /// The log's current size in bytes, from the open handle.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len_bytes(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
     }
 }
 
@@ -107,24 +116,28 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_truncated() {
+    fn torn_tail_is_truncated() -> io::Result<()> {
         let path = tmp("torn");
         let terms = sample_terms();
-        {
-            let (mut log, _) = DictLog::open(&path).unwrap();
-            log.append(&terms).unwrap();
-        }
+        let len = {
+            let (mut log, _) = DictLog::open(&path)?;
+            log.append(&terms)?;
+            // Sized through the open handle — an I/O failure here is a
+            // propagated error, not a panic.
+            log.len_bytes()?
+        };
         // Simulate a crash mid-append: chop the last record in half.
-        let len = std::fs::metadata(&path).unwrap().len();
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
-        f.set_len(len - 3).unwrap();
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(len - 3)?;
         drop(f);
-        let (mut log, replayed) = DictLog::open(&path).unwrap();
+        let (mut log, replayed) = DictLog::open(&path)?;
         assert_eq!(replayed, terms[..terms.len() - 1]);
+        assert!(log.len_bytes()? < len - 3, "torn record truncated away");
         // The log stays appendable after truncation.
-        log.append(&[Term::iri("http://example.org/new")]).unwrap();
-        let (_log, again) = DictLog::open(&path).unwrap();
+        log.append(&[Term::iri("http://example.org/new")])?;
+        let (_log, again) = DictLog::open(&path)?;
         assert_eq!(again.len(), terms.len());
         assert_eq!(again.last().unwrap(), &Term::iri("http://example.org/new"));
+        Ok(())
     }
 }

@@ -4,15 +4,19 @@
 //! dictionary-encoded triple store whose base lives in immutable,
 //! delta-compressed segment files (one per SPO/POS/OSP permutation, the
 //! same three orderings the in-memory [`rdfmesh_rdf::TripleStore`]
-//! keeps), fronted by an in-memory write overlay with explicit
-//! [`flush`]/compaction, plus a parallel bulk-load pipeline for
+//! keeps), fronted by a write-ahead-logged in-memory overlay with
+//! explicit [`flush`] and incremental levelled compaction
+//! ([`CompactionPolicy`]), plus a parallel bulk-load pipeline for
 //! N-Triples corpora.
 //!
-//! The store plugs into every mesh seam through
-//! [`rdfmesh_rdf::PatternSource`], so simulator storage nodes, live mesh
-//! providers and the RDFPeers baseline run unchanged on either backend.
-//! On-disk layout, durability contract and crash-safety caveats are
-//! documented in `docs/STORAGE.md`.
+//! Every acknowledged `insert`/`remove` is durable: it is recorded in a
+//! checksummed WAL before the overlay is touched, and
+//! [`PersistentStore::open`] replays the log after a crash. The store
+//! plugs into every mesh seam through [`rdfmesh_rdf::PatternSource`], so
+//! simulator storage nodes, live mesh providers and the RDFPeers
+//! baseline run unchanged on either backend. On-disk layout, the
+//! durability contract and fault semantics are documented in
+//! `docs/STORAGE.md`.
 //!
 //! ```
 //! use rdfmesh_rdf::{PatternSource, Term, Triple};
@@ -36,10 +40,13 @@
 
 mod bulk;
 mod dict;
+pub mod fail;
+mod merge;
 mod pstore;
 pub mod rss;
 mod segment;
 mod varint;
+mod wal;
 
 pub use bulk::{LoadConfig, LoadError, LoadReport};
-pub use pstore::PersistentStore;
+pub use pstore::{CompactionPolicy, FlushReport, PersistentStore};

@@ -1,33 +1,45 @@
 //! The persistent triple store: immutable sorted segments + write overlay.
 //!
-//! A [`PersistentStore`] keeps its triples in three on-disk permutation
-//! segments (SPO, POS, OSP — mirroring the in-memory
-//! [`rdfmesh_rdf::TripleStore`] layout) plus a small in-memory overlay:
-//! a `BTreeSet` triple-index of unflushed inserts and a tombstone set of
-//! unflushed deletes. Reads merge base and overlay; [`flush`] compacts
-//! everything into a fresh segment generation and atomically swaps the
-//! `MANIFEST`.
+//! A [`PersistentStore`] keeps its triples in a small stack of
+//! *generations* — immutable on-disk levels, each holding three
+//! permutation segments (SPO, POS, OSP — mirroring the in-memory
+//! [`rdfmesh_rdf::TripleStore`] layout) plus an optional tombstone
+//! segment trio — fronted by an in-memory overlay of unflushed inserts
+//! and deletes. Reads resolve newest-first: the overlay shadows every
+//! level, a newer level shadows an older one ([`crate::merge`]).
 //!
-//! Durability contract (see `docs/STORAGE.md`): the dictionary log is
-//! appended and synced *before* a manifest rename ever publishes segment
-//! files referencing the new ids, so a crash loses at most the unflushed
-//! overlay plus the dictionary tail that only the overlay referenced.
+//! **Durability contract** (see `docs/STORAGE.md`): every overlay
+//! mutation is recorded in a checksummed write-ahead log
+//! ([`crate::wal`]) *before* it is acknowledged, with any new dictionary
+//! entries synced first — so [`open`] reconstructs the overlay after a
+//! crash instead of dropping it. [`flush`] seals the overlay into a new
+//! small generation instead of rewriting the whole store; adjacent
+//! generations merge only when the [`CompactionPolicy`]'s size-ratio
+//! trigger fires. The only commit point is the `MANIFEST` rename, which
+//! happens strictly after the segment files, the dictionary tail, and
+//! the directory entries are synced; the retired WAL is deleted only
+//! after the manifest that supersedes it is durable.
 //!
+//! [`open`]: PersistentStore::open
 //! [`flush`]: PersistentStore::flush
 
 use std::collections::BTreeSet;
 use std::fs::File;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 
+use rdfmesh_obs::{metrics, names};
 use rdfmesh_rdf::{
     Dictionary, PatternKind, PatternSource, SharedStore, TermId, TermPattern, Triple,
     TriplePattern,
 };
 
 use crate::dict::DictLog;
+use crate::fail;
+use crate::merge::{ShadowMerge, ShadowSource};
 use crate::segment::{Key, SegmentFile, SegmentWriter, KEY_MAX, KEY_MIN};
+use crate::wal::{Wal, WalOp};
 
 /// The component order of a key in some index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +82,8 @@ impl Perm {
     }
 }
 
-/// The in-memory overlay of unflushed inserts, indexed like the base.
+/// An in-memory key set indexed in all three permutations — the shape of
+/// both halves of the overlay (unflushed adds and unflushed deletes).
 #[derive(Debug, Default)]
 pub(crate) struct MemIndex {
     pub(crate) spo: BTreeSet<Key>,
@@ -112,13 +125,22 @@ impl MemIndex {
     }
 }
 
-struct Base {
+/// One permutation trio of an on-disk level.
+struct PermFiles {
     spo: SegmentFile,
     pos: SegmentFile,
     osp: SegmentFile,
 }
 
-impl Base {
+impl PermFiles {
+    fn open(dir: &Path, gen: u64, prefix: &str) -> io::Result<PermFiles> {
+        Ok(PermFiles {
+            spo: SegmentFile::open(level_path(dir, gen, prefix, Perm::Spo))?,
+            pos: SegmentFile::open(level_path(dir, gen, prefix, Perm::Pos))?,
+            osp: SegmentFile::open(level_path(dir, gen, prefix, Perm::Osp))?,
+        })
+    }
+
     fn seg(&self, perm: Perm) -> &SegmentFile {
         match perm {
             Perm::Spo => &self.spo,
@@ -128,78 +150,206 @@ impl Base {
     }
 }
 
+/// One immutable generation: add segments, optional tombstone segments.
+pub(crate) struct Level {
+    gen: u64,
+    adds: PermFiles,
+    dels: Option<PermFiles>,
+    add_count: u64,
+    del_count: u64,
+}
+
+impl Level {
+    fn open(dir: &Path, gen: u64, add_count: u64, del_count: u64) -> io::Result<Level> {
+        let adds = PermFiles::open(dir, gen, "seg")?;
+        let dels =
+            if del_count > 0 { Some(PermFiles::open(dir, gen, "del")?) } else { None };
+        // The manifest and the segment footers must agree on this
+        // level's cardinality — a mismatch means a foreign or damaged
+        // file sits where a published segment should be.
+        if adds.spo.count() != add_count
+            || dels.as_ref().is_some_and(|d| d.spo.count() != del_count)
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("generation {gen}: segment counts disagree with MANIFEST"),
+            ));
+        }
+        Ok(Level { gen, adds, dels, add_count, del_count })
+    }
+
+    /// Size metric driving the compaction trigger.
+    fn size(&self) -> u64 {
+        self.add_count + self.del_count
+    }
+
+    /// This level's verdict on `spo`, if it mentions the key at all.
+    /// Adds win over tombstones within a level (a merged level may carry
+    /// both when its newer constituent re-asserted a deleted key).
+    fn verdict(&self, spo: Key) -> Option<bool> {
+        if self.adds.spo.contains(spo).expect("segment readable") {
+            return Some(true);
+        }
+        if let Some(dels) = &self.dels {
+            if dels.spo.contains(spo).expect("segment readable") {
+                return Some(false);
+            }
+        }
+        None
+    }
+}
+
+/// When `flush` merges sealed generations back together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionPolicy {
+    /// Every flush folds all generations into one — the PR 7 model,
+    /// kept as the write-amplification baseline (E21) and for callers
+    /// that want exactly one segment trio on disk.
+    FullRewrite,
+    /// Merge two adjacent generations only when the newer one has grown
+    /// to within `1/ratio` of the older one's size, so flushing a small
+    /// overlay into a big store writes keys proportional to the overlay,
+    /// not the store.
+    Incremental {
+        /// Merge when `newer_size * ratio >= older_size`.
+        ratio: u64,
+    },
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy::Incremental { ratio: 8 }
+    }
+}
+
+/// What one [`PersistentStore::flush`] did — the write-amplification
+/// ledger for the durability experiment (E21).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlushReport {
+    /// Overlay entries (adds + deletes) sealed into the new generation.
+    pub sealed: u64,
+    /// Logical keys written across the seal and any triggered
+    /// compactions — divide by `sealed` for write amplification.
+    pub keys_written: u64,
+    /// Generation merges the size-ratio trigger fired.
+    pub compactions: u32,
+    /// On-disk generations after the flush.
+    pub levels: usize,
+}
+
 /// A persistent, dictionary-encoded triple store rooted at a directory.
 ///
 /// I/O errors on the *read* path (segment files vanishing or corrupting
 /// underneath an open store) are treated as fatal and panic; the write
-/// paths ([`flush`](PersistentStore::flush), the bulk loader) return
-/// `io::Result` so callers can surface them.
+/// paths ([`flush`](PersistentStore::flush),
+/// [`try_insert`](PersistentStore::try_insert) and friends, the bulk
+/// loader) return `io::Result` so callers can surface them. The
+/// infallible [`PatternSource`] `insert`/`remove` wrappers panic if the
+/// write-ahead log cannot be appended — a mutation that cannot be made
+/// durable is never silently acknowledged.
 pub struct PersistentStore {
     dir: PathBuf,
     dict: Dictionary,
     log: DictLog,
     synced_terms: usize,
+    /// Newest generation number in use (0 = nothing sealed yet).
     generation: u64,
-    base: Option<Base>,
-    base_count: u64,
+    /// Sealed generations, newest first.
+    levels: Vec<Level>,
+    /// Live triples across all sealed generations.
+    sealed_live: u64,
     pub(crate) adds: MemIndex,
-    pub(crate) dels: BTreeSet<Key>,
+    pub(crate) dels: MemIndex,
+    wal: Wal,
+    wal_id: u64,
+    wal_replayed: u64,
+    policy: CompactionPolicy,
 }
 
 impl std::fmt::Debug for PersistentStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "PersistentStore({}, gen {}, {} base + {} overlay - {} deleted)",
+            "PersistentStore({}, gen {}, {} levels, {} sealed + {} overlay - {} deleted)",
             self.dir.display(),
             self.generation,
-            self.base_count,
+            self.levels.len(),
+            self.sealed_live,
             self.adds.spo.len(),
-            self.dels.len()
+            self.dels.spo.len()
         )
     }
 }
 
+fn level_path(dir: &Path, generation: u64, prefix: &str, perm: Perm) -> PathBuf {
+    dir.join(format!("{prefix}-{generation}.{}", perm.ext()))
+}
+
 pub(crate) fn seg_path(dir: &Path, generation: u64, perm: Perm) -> PathBuf {
-    dir.join(format!("seg-{generation}.{}", perm.ext()))
+    level_path(dir, generation, "seg", perm)
+}
+
+pub(crate) fn del_path(dir: &Path, generation: u64, perm: Perm) -> PathBuf {
+    level_path(dir, generation, "del", perm)
+}
+
+fn wal_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id}.log"))
 }
 
 impl PersistentStore {
-    /// Opens (creating if needed) the store rooted at `dir`, replaying
-    /// the dictionary log and mapping the current segment generation.
+    /// Opens (creating if needed) the store rooted at `dir`: replays the
+    /// dictionary log, maps every generation in the manifest, removes
+    /// stale temporaries orphaned by a crash (`MANIFEST.tmp`, segments
+    /// of unpublished generations, retired WALs, bulk-load runs), and
+    /// replays the write-ahead log to reconstruct the overlay.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<PersistentStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // A crash between `MANIFEST.tmp` being written and renamed
+        // leaves the temporary behind forever; it is dead weight (the
+        // rename never published it) and must not survive.
+        let tmp = dir.join("MANIFEST.tmp");
+        if tmp.exists() {
+            fail::remove_file(&tmp)?;
+        }
         let (log, terms) = DictLog::open(dir.join("dict.log"))?;
         let mut dict = Dictionary::new();
         for term in &terms {
             dict.intern(term);
         }
         let synced_terms = dict.len();
-        let manifest = read_manifest(&dir)?;
-        let (generation, base, base_count) = match manifest {
-            Some(m) if m.generation > 0 => {
-                let base = Base {
-                    spo: SegmentFile::open(seg_path(&dir, m.generation, Perm::Spo))?,
-                    pos: SegmentFile::open(seg_path(&dir, m.generation, Perm::Pos))?,
-                    osp: SegmentFile::open(seg_path(&dir, m.generation, Perm::Osp))?,
-                };
-                let count = base.spo.count();
-                (m.generation, Some(base), count)
-            }
-            _ => (0, None, 0),
-        };
-        Ok(PersistentStore {
+        let manifest = read_manifest(&dir)?.unwrap_or_default();
+        let mut levels = Vec::with_capacity(manifest.levels.len());
+        for &(gen, add_count, del_count) in &manifest.levels {
+            levels.push(Level::open(&dir, gen, add_count, del_count)?);
+        }
+        gc_orphans(&dir, &manifest);
+        let (wal, ops) = Wal::open(wal_path(&dir, manifest.wal_id))?;
+        let mut store = PersistentStore {
             dir,
             dict,
             log,
             synced_terms,
-            generation,
-            base,
-            base_count,
+            generation: manifest.generation,
+            levels,
+            sealed_live: manifest.triples,
             adds: MemIndex::default(),
-            dels: BTreeSet::new(),
-        })
+            dels: MemIndex::default(),
+            wal,
+            wal_id: manifest.wal_id,
+            wal_replayed: 0,
+            policy: CompactionPolicy::default(),
+        };
+        for op in ops {
+            match op {
+                WalOp::Insert(spo) => store.apply_insert_ids(spo),
+                WalOp::Remove(spo) => store.apply_remove_ids(spo),
+            };
+            store.wal_replayed += 1;
+        }
+        metrics().add(names::STORE_WAL_REPLAYED, store.wal_replayed);
+        Ok(store)
     }
 
     /// The directory this store lives in.
@@ -207,14 +357,32 @@ impl PersistentStore {
         &self.dir
     }
 
-    /// The current segment generation (0 = nothing flushed yet).
+    /// The newest segment generation (0 = nothing flushed yet).
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
+    /// Number of sealed on-disk generations.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Write-ahead-log records replayed into the overlay by
+    /// [`open`](PersistentStore::open) — acknowledged writes a crash
+    /// would previously have dropped.
+    pub fn wal_replayed(&self) -> u64 {
+        self.wal_replayed
+    }
+
     /// Number of triples in the unflushed overlay (inserts + deletes).
     pub fn overlay_len(&self) -> usize {
-        self.adds.spo.len() + self.dels.len()
+        self.adds.spo.len() + self.dels.spo.len()
+    }
+
+    /// Replaces the compaction policy (default:
+    /// `Incremental { ratio: 8 }`). Takes effect at the next flush.
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.policy = policy;
     }
 
     /// Wraps this store in a [`SharedStore`] handle for the mesh seams.
@@ -236,15 +404,25 @@ impl PersistentStore {
         Some((s, p, o))
     }
 
-    fn base_contains(&self, spo: Key) -> bool {
-        match &self.base {
-            Some(base) => base.spo.contains(spo).expect("segment readable"),
-            None => false,
+    /// Whether `spo` is live in the sealed tree (ignoring the overlay):
+    /// the newest level mentioning the key decides.
+    fn sealed_contains(&self, spo: Key) -> bool {
+        for level in &self.levels {
+            if let Some(live) = level.verdict(spo) {
+                return live;
+            }
         }
+        false
     }
 
     pub(crate) fn contains_ids(&self, spo: Key) -> bool {
-        self.adds.spo.contains(&spo) || (self.base_contains(spo) && !self.dels.contains(&spo))
+        if self.adds.spo.contains(&spo) {
+            return true;
+        }
+        if self.dels.spo.contains(&spo) {
+            return false;
+        }
+        self.sealed_contains(spo)
     }
 
     fn decode(&self, (s, p, o): Key) -> Triple {
@@ -256,21 +434,42 @@ impl PersistentStore {
     }
 
     /// Invokes `f` with the SPO key of every live triple whose `perm`-
-    /// order key lies in `lo..=hi`: base (minus tombstones) first, then
-    /// the overlay. Emission order across the two is unspecified.
+    /// order key lies in `lo..=hi`, in ascending `perm`-key order: a
+    /// shadow merge of the overlay and every level.
     fn scan_ids(&self, perm: Perm, lo: Key, hi: Key, f: &mut dyn FnMut(Key)) {
-        if let Some(base) = &self.base {
-            base.seg(perm)
-                .scan(lo, hi, &mut |k| {
-                    let spo = perm.decode(k);
-                    if !self.dels.contains(&spo) {
-                        f(spo);
-                    }
-                })
-                .expect("segment readable");
+        let range = (Bound::Included(lo), Bound::Included(hi));
+        let mut sources: Vec<ShadowSource<'_>> = Vec::with_capacity(2 + 2 * self.levels.len());
+        sources.push(ShadowSource {
+            rank: 0,
+            is_del: false,
+            iter: Box::new(self.adds.set(perm).range(range).copied()),
+        });
+        if !self.dels.spo.is_empty() {
+            sources.push(ShadowSource {
+                rank: 0,
+                is_del: true,
+                iter: Box::new(self.dels.set(perm).range(range).copied()),
+            });
         }
-        for &k in self.adds.set(perm).range((Bound::Included(lo), Bound::Included(hi))) {
-            f(perm.decode(k));
+        for (i, level) in self.levels.iter().enumerate() {
+            let rank = i as u32 + 1;
+            sources.push(ShadowSource {
+                rank,
+                is_del: false,
+                iter: Box::new(level.adds.seg(perm).range(lo, hi)),
+            });
+            if let Some(dels) = &level.dels {
+                sources.push(ShadowSource {
+                    rank,
+                    is_del: true,
+                    iter: Box::new(dels.seg(perm).range(lo, hi)),
+                });
+            }
+        }
+        for (key, live) in ShadowMerge::new(sources) {
+            if live {
+                f(perm.decode(key));
+            }
         }
     }
 
@@ -314,63 +513,276 @@ impl PersistentStore {
         }
     }
 
-    /// Flushes the overlay: appends new dictionary entries, writes a new
-    /// segment generation merging base − tombstones + overlay, atomically
-    /// swaps the manifest, then drops the old generation's files.
-    ///
-    /// A no-op (beyond syncing the dictionary tail) when the overlay is
-    /// empty.
-    pub fn flush(&mut self) -> io::Result<()> {
+    /// Inserts a triple, returning whether the store changed. The
+    /// mutation is recorded in the write-ahead log (with any new
+    /// dictionary terms synced first) *before* the overlay is touched —
+    /// `Ok(true)` means the write is durable.
+    pub fn try_insert(&mut self, triple: &Triple) -> io::Result<bool> {
+        let spo = self.intern_triple(triple);
+        if self.adds.spo.contains(&spo)
+            || (self.sealed_contains(spo) && !self.dels.spo.contains(&spo))
+        {
+            return Ok(false); // already live: no-op, nothing to log
+        }
         self.sync_dict()?;
-        if self.adds.spo.is_empty() && self.dels.is_empty() {
-            return Ok(());
-        }
-        let generation = self.generation + 1;
-        let mut counts = [0u64; 3];
-        for (i, perm) in Perm::ALL.into_iter().enumerate() {
-            let mut w = SegmentWriter::create(seg_path(&self.dir, generation, perm))?;
-            match &self.base {
-                Some(base) => {
-                    let a = base
-                        .seg(perm)
-                        .iter()
-                        .filter(|&k| !self.dels.contains(&perm.decode(k)));
-                    let b = self.adds.set(perm).iter().copied();
-                    merge_sorted(a, b, &mut w)?;
-                }
-                None => {
-                    for &k in self.adds.set(perm) {
-                        w.push(k)?;
-                    }
-                }
-            }
-            counts[i] = w.finish()?;
-        }
-        debug_assert!(counts[0] == counts[1] && counts[1] == counts[2]);
-        self.publish(generation, counts[0])
+        let bytes = self.wal.append(WalOp::Insert(spo))?;
+        let m = metrics();
+        m.add(names::STORE_WAL_APPENDS, 1);
+        m.add(names::STORE_WAL_BYTES, bytes as u64);
+        let changed = self.apply_insert_ids(spo);
+        debug_assert!(changed, "logged inserts always take effect");
+        Ok(changed)
     }
 
-    /// Swaps the manifest to `generation` and re-opens the base. Shared
-    /// by [`flush`](PersistentStore::flush) and the bulk loader (which
-    /// writes its own merged segments first).
-    pub(crate) fn publish(&mut self, generation: u64, count: u64) -> io::Result<()> {
-        write_manifest(&self.dir, generation, count, self.dict.len() as u64)?;
-        let old = self.generation;
-        self.base = Some(Base {
-            spo: SegmentFile::open(seg_path(&self.dir, generation, Perm::Spo))?,
-            pos: SegmentFile::open(seg_path(&self.dir, generation, Perm::Pos))?,
-            osp: SegmentFile::open(seg_path(&self.dir, generation, Perm::Osp))?,
-        });
-        self.generation = generation;
-        self.base_count = count;
-        self.adds.clear();
-        self.dels.clear();
-        if old > 0 {
+    /// Removes a triple, returning whether the store changed; durable
+    /// exactly like [`try_insert`](PersistentStore::try_insert).
+    pub fn try_remove(&mut self, triple: &Triple) -> io::Result<bool> {
+        let Some(spo) = self.ids_of(triple) else {
+            return Ok(false);
+        };
+        let effect = self.adds.spo.contains(&spo)
+            || (self.sealed_contains(spo) && !self.dels.spo.contains(&spo));
+        if !effect {
+            return Ok(false);
+        }
+        self.sync_dict()?;
+        let bytes = self.wal.append(WalOp::Remove(spo))?;
+        let m = metrics();
+        m.add(names::STORE_WAL_APPENDS, 1);
+        m.add(names::STORE_WAL_BYTES, bytes as u64);
+        let changed = self.apply_remove_ids(spo);
+        debug_assert!(changed, "logged removes always take effect");
+        Ok(changed)
+    }
+
+    /// Applies an insert to the overlay — the shared effect of a live
+    /// call (after its WAL record is durable) and of WAL replay.
+    fn apply_insert_ids(&mut self, spo: Key) -> bool {
+        if self.adds.spo.contains(&spo) {
+            return false;
+        }
+        if self.sealed_contains(spo) {
+            // Present in the sealed tree: inserting either un-deletes
+            // it or is a no-op; the overlay never duplicates sealed
+            // triples.
+            return self.dels.remove(spo);
+        }
+        self.adds.insert(spo)
+    }
+
+    /// Applies a remove to the overlay; mirror of
+    /// [`apply_insert_ids`](Self::apply_insert_ids).
+    fn apply_remove_ids(&mut self, spo: Key) -> bool {
+        if self.adds.remove(spo) {
+            return true;
+        }
+        if self.sealed_contains(spo) && !self.dels.spo.contains(&spo) {
+            self.dels.insert(spo);
+            return true;
+        }
+        false
+    }
+
+    /// Seals the overlay into a new segment generation: writes the adds
+    /// (and tombstones, if any) as the next generation's segment files,
+    /// atomically swaps the manifest, retires the write-ahead log, and
+    /// lets the [`CompactionPolicy`] merge adjacent generations if its
+    /// size-ratio trigger fires. A no-op (beyond syncing the dictionary
+    /// tail) when the overlay is empty.
+    pub fn flush(&mut self) -> io::Result<FlushReport> {
+        self.sync_dict()?;
+        if self.adds.spo.is_empty() && self.dels.spo.is_empty() {
+            return Ok(FlushReport { levels: self.levels.len(), ..FlushReport::default() });
+        }
+        let add_count = self.adds.spo.len() as u64;
+        let del_count = self.dels.spo.len() as u64;
+        let gen = self.generation + 1;
+        for perm in Perm::ALL {
+            let mut w = SegmentWriter::create(seg_path(&self.dir, gen, perm))?;
+            for &k in self.adds.set(perm) {
+                w.push(k)?;
+            }
+            w.finish()?;
+        }
+        if del_count > 0 {
             for perm in Perm::ALL {
-                let _ = std::fs::remove_file(seg_path(&self.dir, old, perm));
+                let mut w = SegmentWriter::create(del_path(&self.dir, gen, perm))?;
+                for &k in self.dels.set(perm) {
+                    w.push(k)?;
+                }
+                w.finish()?;
             }
         }
+        // New files' directory entries must be durable before a
+        // manifest referencing them is.
+        fail::sync_dir(&self.dir)?;
+        let new_live = self.sealed_live - del_count + add_count;
+        let wal_id = self.wal_id + 1;
+        let mut level_meta = vec![(gen, add_count, del_count)];
+        level_meta.extend(self.levels.iter().map(|l| (l.gen, l.add_count, l.del_count)));
+        write_manifest(
+            &self.dir,
+            &Manifest { generation: gen, wal_id, triples: new_live, levels: level_meta },
+            self.dict.len() as u64,
+        )?;
+        self.levels.insert(0, Level::open(&self.dir, gen, add_count, del_count)?);
+        self.generation = gen;
+        self.sealed_live = new_live;
+        self.adds.clear();
+        self.dels.clear();
+        // The WAL's contents are now in segments the manifest owns; a
+        // crash past this point replays the (empty) successor log.
+        self.reset_wal(wal_id)?;
+        let sealed = add_count + del_count;
+        let mut report = FlushReport {
+            sealed,
+            keys_written: sealed,
+            compactions: 0,
+            levels: self.levels.len(),
+        };
+        let m = metrics();
+        m.add(names::STORE_FLUSH_COUNT, 1);
+        m.add(names::STORE_FLUSH_KEYS, sealed);
+        m.add(names::STORE_WAL_SEALS, 1);
+        self.maybe_compact(&mut report)?;
+        report.levels = self.levels.len();
+        Ok(report)
+    }
+
+    /// Switches to the write-ahead log `id`, deleting the retired one.
+    fn reset_wal(&mut self, id: u64) -> io::Result<()> {
+        let (wal, ops) = Wal::open(wal_path(&self.dir, id))?;
+        debug_assert!(ops.is_empty(), "a fresh WAL has no records");
+        let old_path = self.wal.path().clone();
+        self.wal = wal;
+        self.wal_id = id;
+        let _ = fail::remove_file(&old_path);
         Ok(())
+    }
+
+    /// Runs the policy's merge trigger until it no longer fires.
+    fn maybe_compact(&mut self, report: &mut FlushReport) -> io::Result<()> {
+        match self.policy {
+            CompactionPolicy::FullRewrite => {
+                if self.levels.len() > 1 {
+                    report.keys_written += self.merge_levels(0, self.levels.len() - 1)?;
+                    report.compactions += 1;
+                }
+            }
+            CompactionPolicy::Incremental { ratio } => loop {
+                let trigger = (0..self.levels.len().saturating_sub(1))
+                    .find(|&i| self.levels[i].size() * ratio >= self.levels[i + 1].size());
+                match trigger {
+                    Some(i) => {
+                        report.keys_written += self.merge_levels(i, i + 1)?;
+                        report.compactions += 1;
+                    }
+                    None => break,
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// Merges levels `i..=j` (newest-first indices) into one new
+    /// generation, published with the usual atomic manifest swap.
+    /// Tombstones are dropped when the merge reaches the oldest level —
+    /// there is nothing older left to shadow. Returns the logical keys
+    /// written.
+    fn merge_levels(&mut self, i: usize, j: usize) -> io::Result<u64> {
+        debug_assert!(i < j && j < self.levels.len());
+        let gen = self.generation + 1;
+        let reaches_oldest = j + 1 == self.levels.len();
+        let mut add_count = 0u64;
+        let mut del_count = 0u64;
+        for perm in Perm::ALL {
+            let mut sources: Vec<ShadowSource<'_>> = Vec::new();
+            for (rank, level) in self.levels[i..=j].iter().enumerate() {
+                sources.push(ShadowSource {
+                    rank: rank as u32,
+                    is_del: false,
+                    iter: Box::new(level.adds.seg(perm).iter()),
+                });
+                if let Some(dels) = &level.dels {
+                    sources.push(ShadowSource {
+                        rank: rank as u32,
+                        is_del: true,
+                        iter: Box::new(dels.seg(perm).iter()),
+                    });
+                }
+            }
+            let mut adds = SegmentWriter::create(seg_path(&self.dir, gen, perm))?;
+            let mut dels = if reaches_oldest {
+                None
+            } else {
+                Some(SegmentWriter::create(del_path(&self.dir, gen, perm))?)
+            };
+            let (mut a, mut d) = (0u64, 0u64);
+            for (key, live) in ShadowMerge::new(sources) {
+                if live {
+                    adds.push(key)?;
+                    a += 1;
+                } else if let Some(w) = &mut dels {
+                    w.push(key)?;
+                    d += 1;
+                }
+            }
+            adds.finish()?;
+            if let Some(w) = dels {
+                w.finish()?;
+            }
+            debug_assert!(
+                perm == Perm::Spo || (a == add_count && d == del_count),
+                "permutations must agree on the merged key sets"
+            );
+            add_count = a;
+            del_count = d;
+        }
+        if del_count == 0 && !reaches_oldest {
+            for perm in Perm::ALL {
+                let _ = fail::remove_file(&del_path(&self.dir, gen, perm));
+            }
+        }
+        fail::sync_dir(&self.dir)?;
+        let mut level_meta: Vec<(u64, u64, u64)> =
+            self.levels[..i].iter().map(|l| (l.gen, l.add_count, l.del_count)).collect();
+        let merged_alive = add_count > 0 || del_count > 0;
+        if merged_alive {
+            level_meta.push((gen, add_count, del_count));
+        }
+        level_meta.extend(self.levels[j + 1..].iter().map(|l| (l.gen, l.add_count, l.del_count)));
+        write_manifest(
+            &self.dir,
+            &Manifest {
+                generation: gen,
+                wal_id: self.wal_id,
+                triples: self.sealed_live,
+                levels: level_meta,
+            },
+            self.dict.len() as u64,
+        )?;
+        let replacement = if merged_alive {
+            Some(Level::open(&self.dir, gen, add_count, del_count)?)
+        } else {
+            for perm in Perm::ALL {
+                let _ = fail::remove_file(&seg_path(&self.dir, gen, perm));
+            }
+            None
+        };
+        let retired: Vec<u64> = self.levels[i..=j].iter().map(|l| l.gen).collect();
+        self.levels.splice(i..=j, replacement);
+        self.generation = gen;
+        for old in retired {
+            for perm in Perm::ALL {
+                let _ = fail::remove_file(&seg_path(&self.dir, old, perm));
+                let _ = fail::remove_file(&del_path(&self.dir, old, perm));
+            }
+        }
+        let written = add_count + del_count;
+        let m = metrics();
+        m.add(names::STORE_COMPACT_COUNT, 1);
+        m.add(names::STORE_COMPACT_KEYS, written);
+        Ok(written)
     }
 
     /// Appends and syncs any dictionary entries newer than the last sync.
@@ -387,17 +799,80 @@ impl PersistentStore {
 
     /// Streaming iterator over all live SPO keys, in sorted order.
     #[cfg(test)]
-    pub(crate) fn iter_ids(&self) -> impl Iterator<Item = Key> + '_ {
-        let base = self
-            .base
-            .iter()
-            .flat_map(|b| b.spo.iter())
-            .filter(move |k| !self.dels.contains(k));
-        MergeDedup::new(base, self.adds.spo.iter().copied())
+    pub(crate) fn iter_ids(&self) -> Vec<Key> {
+        let mut out = Vec::new();
+        self.scan_ids(Perm::Spo, (KEY_MIN, KEY_MIN, KEY_MIN), (KEY_MAX, KEY_MAX, KEY_MAX), &mut |k| {
+            out.push(k);
+        });
+        out
     }
 
-    pub(crate) fn base_segment(&self, perm: Perm) -> Option<&SegmentFile> {
-        self.base.as_ref().map(|b| b.seg(perm))
+    /// Shadow-merge sources over the sealed levels and the overlay,
+    /// with the overlay at `base_rank` and levels below it — the bulk
+    /// loader stacks its fresh runs above these.
+    pub(crate) fn rebuild_sources(&self, perm: Perm, base_rank: u32) -> Vec<ShadowSource<'_>> {
+        let mut sources: Vec<ShadowSource<'_>> = Vec::new();
+        sources.push(ShadowSource {
+            rank: base_rank,
+            is_del: false,
+            iter: Box::new(self.adds.set(perm).iter().copied()),
+        });
+        if !self.dels.spo.is_empty() {
+            sources.push(ShadowSource {
+                rank: base_rank,
+                is_del: true,
+                iter: Box::new(self.dels.set(perm).iter().copied()),
+            });
+        }
+        for (i, level) in self.levels.iter().enumerate() {
+            let rank = base_rank + 1 + i as u32;
+            sources.push(ShadowSource {
+                rank,
+                is_del: false,
+                iter: Box::new(level.adds.seg(perm).iter()),
+            });
+            if let Some(dels) = &level.dels {
+                sources.push(ShadowSource {
+                    rank,
+                    is_del: true,
+                    iter: Box::new(dels.seg(perm).iter()),
+                });
+            }
+        }
+        sources
+    }
+
+    /// Publishes a full rebuild (the bulk loader's merged segments) as
+    /// the single generation `generation` holding `count` triples: syncs
+    /// directory entries, swaps the manifest, resets the overlay and the
+    /// write-ahead log, and deletes every retired generation's files.
+    pub(crate) fn publish_full(&mut self, generation: u64, count: u64) -> io::Result<()> {
+        fail::sync_dir(&self.dir)?;
+        let wal_id = self.wal_id + 1;
+        write_manifest(
+            &self.dir,
+            &Manifest {
+                generation,
+                wal_id,
+                triples: count,
+                levels: vec![(generation, count, 0)],
+            },
+            self.dict.len() as u64,
+        )?;
+        let retired: Vec<u64> = self.levels.iter().map(|l| l.gen).collect();
+        self.levels = vec![Level::open(&self.dir, generation, count, 0)?];
+        self.generation = generation;
+        self.sealed_live = count;
+        self.adds.clear();
+        self.dels.clear();
+        self.reset_wal(wal_id)?;
+        for old in retired {
+            for perm in Perm::ALL {
+                let _ = fail::remove_file(&seg_path(&self.dir, old, perm));
+                let _ = fail::remove_file(&del_path(&self.dir, old, perm));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -444,16 +919,21 @@ impl PatternSource for PersistentStore {
         let same_po = same(&pattern.predicate, &pattern.object);
         let repeated = same_sp || same_so || same_po;
         let (perm, lo, hi) = Self::plan(pattern.kind(), s, p, o);
-        if !repeated && self.dels.is_empty() {
-            // Fast path: the footer index counts whole interior blocks
-            // without decoding them; no tombstones to subtract.
-            let base = match &self.base {
-                Some(base) => base.seg(perm).count_range(lo, hi).expect("segment readable"),
-                None => 0,
-            };
+        let tombstone_free =
+            self.dels.spo.is_empty() && self.levels.iter().all(|l| l.del_count == 0);
+        if !repeated && tombstone_free {
+            // Fast path: with no tombstones anywhere, every level's add
+            // set is disjoint from the others and from the overlay, so
+            // the footer index can count whole interior blocks without
+            // decoding them.
+            let sealed: u64 = self
+                .levels
+                .iter()
+                .map(|l| l.adds.seg(perm).count_range(lo, hi).expect("segment readable"))
+                .sum();
             let overlay =
                 self.adds.set(perm).range((Bound::Included(lo), Bound::Included(hi))).count();
-            return base as usize + overlay;
+            return sealed as usize + overlay;
         }
         let mut n = 0usize;
         self.scan_ids(perm, lo, hi, &mut |(s1, p1, o1)| {
@@ -467,34 +947,15 @@ impl PatternSource for PersistentStore {
     }
 
     fn len(&self) -> usize {
-        (self.base_count - self.dels.len() as u64) as usize + self.adds.spo.len()
+        (self.sealed_live - self.dels.spo.len() as u64) as usize + self.adds.spo.len()
     }
 
     fn insert(&mut self, triple: &Triple) -> bool {
-        let spo = self.intern_triple(triple);
-        if self.adds.spo.contains(&spo) {
-            return false;
-        }
-        if self.base_contains(spo) {
-            // Present in the base: inserting either un-deletes it or is
-            // a no-op; the overlay never duplicates base triples.
-            return self.dels.remove(&spo);
-        }
-        self.adds.insert(spo)
+        self.try_insert(triple).expect("write-ahead log append (see docs/STORAGE.md)")
     }
 
     fn remove(&mut self, triple: &Triple) -> bool {
-        let Some(spo) = self.ids_of(triple) else {
-            return false;
-        };
-        if self.adds.remove(spo) {
-            return true;
-        }
-        if self.base_contains(spo) && !self.dels.contains(&spo) {
-            self.dels.insert(spo);
-            return true;
-        }
-        false
+        self.try_remove(triple).expect("write-ahead log append (see docs/STORAGE.md)")
     }
 
     fn contains(&self, triple: &Triple) -> bool {
@@ -505,56 +966,17 @@ impl PatternSource for PersistentStore {
     }
 }
 
-/// Merges two strictly-sorted key streams into a writer (which dedups).
-fn merge_sorted(
-    a: impl Iterator<Item = Key>,
-    b: impl Iterator<Item = Key>,
-    w: &mut SegmentWriter,
-) -> io::Result<()> {
-    for k in MergeDedup::new(a, b) {
-        w.push(k)?;
-    }
-    Ok(())
-}
-
-/// A two-way sorted merge that drops duplicates across the streams.
-struct MergeDedup<A: Iterator<Item = Key>, B: Iterator<Item = Key>> {
-    a: std::iter::Peekable<A>,
-    b: std::iter::Peekable<B>,
-}
-
-impl<A: Iterator<Item = Key>, B: Iterator<Item = Key>> MergeDedup<A, B> {
-    fn new(a: A, b: B) -> Self {
-        MergeDedup { a: a.peekable(), b: b.peekable() }
-    }
-}
-
-impl<A: Iterator<Item = Key>, B: Iterator<Item = Key>> Iterator for MergeDedup<A, B> {
-    type Item = Key;
-
-    fn next(&mut self) -> Option<Key> {
-        match (self.a.peek().copied(), self.b.peek().copied()) {
-            (Some(x), Some(y)) => {
-                if x == y {
-                    self.b.next();
-                }
-                if x <= y {
-                    self.a.next()
-                } else {
-                    self.b.next()
-                }
-            }
-            (Some(_), None) => self.a.next(),
-            (None, _) => self.b.next(),
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
+/// The decoded `MANIFEST`: the commit record naming every live file.
+#[derive(Debug, Clone, Default)]
 struct Manifest {
+    /// Newest generation number in use.
     generation: u64,
-    #[allow(dead_code)]
+    /// The live write-ahead log's id (`wal-<id>.log`).
+    wal_id: u64,
+    /// Live triples across all levels.
     triples: u64,
+    /// `(generation, add_count, del_count)` per level, newest first.
+    levels: Vec<(u64, u64, u64)>,
 }
 
 fn read_manifest(dir: &Path) -> io::Result<Option<Manifest>> {
@@ -565,37 +987,89 @@ fn read_manifest(dir: &Path) -> io::Result<Option<Manifest>> {
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
+    let bad = || io::Error::new(io::ErrorKind::InvalidData, "malformed MANIFEST");
+    let mut version = 1u32;
     let mut generation = None;
+    let mut wal_id = 0;
     let mut triples = 0;
+    let mut levels = Vec::new();
     for line in text.lines() {
         let mut parts = line.split_whitespace();
         match (parts.next(), parts.next()) {
+            (Some("rdfmesh-store"), Some(v)) => version = v.parse().map_err(|_| bad())?,
             (Some("generation"), Some(v)) => generation = v.parse().ok(),
+            (Some("wal"), Some(v)) => wal_id = v.parse().map_err(|_| bad())?,
             (Some("triples"), Some(v)) => triples = v.parse().unwrap_or(0),
+            (Some("level"), Some(gen)) => {
+                let gen = gen.parse().map_err(|_| bad())?;
+                let adds =
+                    parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let dels =
+                    parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                levels.push((gen, adds, dels));
+            }
             _ => {}
         }
     }
     match generation {
-        Some(generation) => Ok(Some(Manifest { generation, triples })),
-        None => Err(io::Error::new(io::ErrorKind::InvalidData, "malformed MANIFEST")),
+        Some(generation) => {
+            // A PR 7 (version 1) manifest has no `level` lines: its one
+            // generation is the whole tree, tombstone-free. A version-2
+            // manifest with no levels really is empty (everything was
+            // deleted and compacted away).
+            if version < 2 && levels.is_empty() && generation > 0 {
+                levels.push((generation, triples, 0));
+            }
+            Ok(Some(Manifest { generation, wal_id, triples, levels }))
+        }
+        None => Err(bad()),
     }
 }
 
-fn write_manifest(dir: &Path, generation: u64, triples: u64, terms: u64) -> io::Result<()> {
+/// Writes the manifest durably: temp file → fsync → rename → directory
+/// fsync. The rename is the store's only commit point.
+fn write_manifest(dir: &Path, m: &Manifest, terms: u64) -> io::Result<()> {
     let tmp = dir.join("MANIFEST.tmp");
-    let mut f = File::create(&tmp)?;
-    writeln!(f, "rdfmesh-store 1")?;
-    writeln!(f, "generation {generation}")?;
-    writeln!(f, "triples {triples}")?;
-    writeln!(f, "terms {terms}")?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, dir.join("MANIFEST"))?;
-    // Make the rename itself durable where the platform allows it.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
+    let mut f = fail::create(&tmp)?;
+    let mut text = format!(
+        "rdfmesh-store 2\ngeneration {}\nwal {}\ntriples {}\nterms {terms}\n",
+        m.generation, m.wal_id, m.triples
+    );
+    for (gen, adds, dels) in &m.levels {
+        text.push_str(&format!("level {gen} {adds} {dels}\n"));
     }
-    Ok(())
+    fail::write_all(&mut f, text.as_bytes())?;
+    fail::sync_all(&f)?;
+    drop(f);
+    fail::rename(&tmp, &dir.join("MANIFEST"))?;
+    // The rename itself must be durable before the caller acknowledges
+    // anything that depends on the new generation.
+    fail::sync_dir(dir)
+}
+
+/// Deletes files a crash orphaned: segments of generations the manifest
+/// does not own, retired write-ahead logs, and bulk-load run files.
+/// Best-effort — an undeletable orphan is dead weight, not corruption.
+fn gc_orphans(dir: &Path, manifest: &Manifest) {
+    let live: std::collections::HashSet<u64> =
+        manifest.levels.iter().map(|&(gen, _, _)| gen).collect();
+    let live_wal = format!("wal-{}.log", manifest.wal_id);
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_level = ["seg-", "del-"].iter().any(|prefix| {
+            name.strip_prefix(prefix)
+                .and_then(|rest| rest.split('.').next())
+                .and_then(|gen| gen.parse::<u64>().ok())
+                .is_some_and(|gen| !live.contains(&gen))
+        });
+        let stale_wal = name.starts_with("wal-") && name != live_wal;
+        let stale_run = name.starts_with("run-");
+        if stale_level || stale_wal || stale_run {
+            let _ = fail::remove_file(&entry.path());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -665,7 +1139,8 @@ mod tests {
             assert_eq!(PatternSource::len(store), mem.len(), "{label}");
         };
         check(&store, "pre-flush");
-        store.flush().unwrap();
+        let report = store.flush().unwrap();
+        assert_eq!(report.sealed, demo_triples().len() as u64);
         assert_eq!(store.generation(), 1);
         assert_eq!(store.overlay_len(), 0);
         check(&store, "post-flush");
@@ -673,7 +1148,38 @@ mod tests {
         // Reopen from disk: everything must still be there.
         drop(store);
         let store = PersistentStore::open(&dir).unwrap();
+        assert_eq!(store.wal_replayed(), 0, "flushed stores replay nothing");
         check(&store, "reopened");
+    }
+
+    #[test]
+    fn unflushed_overlay_survives_reopen_via_wal() {
+        let dir = tmpdir("wal-reopen");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        store.insert(&t("a", "knows", "b"));
+        store.insert(&t("b", "knows", "c"));
+        store.flush().unwrap();
+        // Unflushed tail: one insert, one tombstone, one un-delete.
+        store.insert(&t("c", "knows", "d"));
+        store.remove(&t("a", "knows", "b"));
+        store.remove(&t("b", "knows", "c"));
+        store.insert(&t("b", "knows", "c"));
+        assert_eq!(store.overlay_len(), 2); // add c-d + tombstone a-b
+        drop(store); // simulated crash: no flush
+
+        let store = PersistentStore::open(&dir).unwrap();
+        assert_eq!(store.wal_replayed(), 4, "every acknowledged write replays");
+        assert_eq!(store.overlay_len(), 2);
+        assert!(store.contains(&t("c", "knows", "d")));
+        assert!(store.contains(&t("b", "knows", "c")));
+        assert!(!store.contains(&t("a", "knows", "b")));
+        assert_eq!(PatternSource::len(&store), 2);
+
+        // A second reopen replays the same log to the same state.
+        drop(store);
+        let store = PersistentStore::open(&dir).unwrap();
+        assert_eq!(store.wal_replayed(), 4);
+        assert_eq!(PatternSource::len(&store), 2);
     }
 
     #[test]
@@ -698,8 +1204,12 @@ mod tests {
         assert!(!store.insert(&t("a", "knows", "b")));
 
         store.remove(&t("a", "knows", "b"));
-        store.flush().unwrap();
-        assert_eq!(store.generation(), 2);
+        let report = store.flush().unwrap();
+        // The tombstone seal is tiny next to the base, but the default
+        // ratio-8 trigger still fires at this scale and folds the
+        // tombstone into the oldest level, where it is dropped.
+        assert!(report.compactions >= 1);
+        assert_eq!(store.level_count(), 1);
         assert_eq!(PatternSource::len(&store), 5);
         assert!(!store.contains(&t("a", "knows", "b")));
 
@@ -727,21 +1237,128 @@ mod tests {
         assert_eq!(got, sorted(vec![t("b", "knows", "c"), t("c", "knows", "d")]));
         assert_eq!(store.count_pattern(&pat), 2);
         assert_eq!(PatternSource::len(&store), 2);
-        let all: Vec<Key> = store.iter_ids().collect();
+        let all = store.iter_ids();
         assert_eq!(all.len(), 2);
         assert!(all.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
-    fn old_generation_files_are_removed_after_compaction() {
+    fn retired_generation_files_are_removed() {
         let dir = tmpdir("gens");
         let mut store = PersistentStore::open(&dir).unwrap();
         store.insert(&t("a", "p", "b"));
         store.flush().unwrap();
         store.insert(&t("b", "p", "c"));
+        let report = store.flush().unwrap();
+        // Two same-sized levels trip the ratio trigger immediately.
+        assert_eq!(report.compactions, 1);
+        assert_eq!(store.level_count(), 1);
+        let gen = store.generation();
+        assert!(seg_path(&dir, gen, Perm::Spo).exists());
+        for old in 1..gen {
+            assert!(!seg_path(&dir, old, Perm::Spo).exists(), "gen {old} retired");
+        }
+        // Exactly one WAL file remains: the live (empty) one.
+        let wals: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .collect();
+        assert_eq!(wals.len(), 1, "{wals:?}");
+    }
+
+    #[test]
+    fn incremental_flush_keeps_small_levels_separate() {
+        let dir = tmpdir("levels");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        // A big base...
+        for i in 0..200 {
+            store.insert(&t(&format!("s{i}"), "p", &format!("o{i}")));
+        }
         store.flush().unwrap();
-        assert!(seg_path(&dir, 2, Perm::Spo).exists());
-        assert!(!seg_path(&dir, 1, Perm::Spo).exists());
+        assert_eq!(store.level_count(), 1);
+        // ...then a small overlay: sealing it must not rewrite the base.
+        store.insert(&t("tiny", "p", "x"));
+        let report = store.flush().unwrap();
+        assert_eq!(report.compactions, 0, "1 * 8 < 200: no merge");
+        assert_eq!(report.keys_written, 1, "only the overlay was written");
+        assert_eq!(store.level_count(), 2);
+        assert_eq!(PatternSource::len(&store), 201);
+
+        // Reopened stores see both levels.
+        drop(store);
+        let store = PersistentStore::open(&dir).unwrap();
+        assert_eq!(store.level_count(), 2);
+        assert_eq!(PatternSource::len(&store), 201);
+        assert!(store.contains(&t("tiny", "p", "x")));
+        assert!(store.contains(&t("s0", "p", "o0")));
+        // The footer-counting fast path spans levels.
+        let pat =
+            TriplePattern::new(TermPattern::var("s"), iri("p"), TermPattern::var("o"));
+        assert_eq!(store.count_pattern(&pat), 201);
+    }
+
+    #[test]
+    fn full_rewrite_policy_always_compacts_to_one_level() {
+        let dir = tmpdir("fullrewrite");
+        let mut store = PersistentStore::open(&dir).unwrap();
+        store.set_compaction(CompactionPolicy::FullRewrite);
+        for i in 0..100 {
+            store.insert(&t(&format!("s{i}"), "p", "o"));
+        }
+        store.flush().unwrap();
+        store.insert(&t("one", "p", "more"));
+        let report = store.flush().unwrap();
+        assert_eq!(report.compactions, 1);
+        assert_eq!(report.keys_written, 1 + 101, "seal + full rewrite");
+        assert_eq!(store.level_count(), 1);
+        assert_eq!(PatternSource::len(&store), 101);
+    }
+
+    #[test]
+    fn stale_manifest_tmp_is_removed_on_open() {
+        let dir = tmpdir("staletmp");
+        {
+            let mut store = PersistentStore::open(&dir).unwrap();
+            store.insert(&t("a", "p", "b"));
+            store.flush().unwrap();
+        }
+        // Simulate a crash between writing MANIFEST.tmp and renaming it.
+        let tmp = dir.join("MANIFEST.tmp");
+        std::fs::write(&tmp, "rdfmesh-store 2\ngeneration 99\ntriples 0\n").unwrap();
+        let store = PersistentStore::open(&dir).unwrap();
+        assert!(!tmp.exists(), "open removes the stale temporary");
+        // The uncommitted generation 99 is invisible.
+        assert_eq!(store.generation(), 1);
+        assert_eq!(PatternSource::len(&store), 1);
+    }
+
+    #[test]
+    fn crashed_compaction_leftovers_are_garbage_collected() {
+        let dir = tmpdir("orphans");
+        {
+            let mut store = PersistentStore::open(&dir).unwrap();
+            store.insert(&t("a", "p", "b"));
+            store.flush().unwrap();
+        }
+        // Fake a crash that left an unpublished generation, a retired
+        // WAL, and a bulk-load run behind.
+        std::fs::write(seg_path(&dir, 77, Perm::Spo), b"junk").unwrap();
+        std::fs::write(del_path(&dir, 77, Perm::Pos), b"junk").unwrap();
+        std::fs::write(dir.join("wal-0.log"), b"").unwrap();
+        std::fs::write(dir.join("run-3.spo"), b"junk").unwrap();
+        let store = PersistentStore::open(&dir).unwrap();
+        assert!(!seg_path(&dir, 77, Perm::Spo).exists());
+        assert!(!del_path(&dir, 77, Perm::Pos).exists());
+        assert!(!dir.join("run-3.spo").exists());
+        let wals: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("wal-"))
+            .collect();
+        assert_eq!(wals, vec![format!("wal-{}.log", 1)], "only the live WAL survives");
+        assert_eq!(PatternSource::len(&store), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use crate::fail;
 use crate::varint;
 
 /// A dictionary-encoded triple in some permutation's component order.
@@ -117,8 +118,8 @@ impl SegmentWriter {
     /// Creates (truncating) the segment at `path`.
     pub fn create(path: impl Into<PathBuf>) -> io::Result<SegmentWriter> {
         let path = path.into();
-        let mut out = BufWriter::new(File::create(&path)?);
-        out.write_all(MAGIC)?;
+        let mut out = BufWriter::new(fail::create(&path)?);
+        fail::write_all(&mut out, MAGIC)?;
         Ok(SegmentWriter {
             out,
             path,
@@ -159,7 +160,7 @@ impl SegmentWriter {
             len: bytes.len() as u32,
             count: self.buf.len() as u32,
         });
-        self.out.write_all(&bytes)?;
+        fail::write_all(&mut self.out, &bytes)?;
         self.offset += bytes.len() as u64;
         self.buf.clear();
         Ok(())
@@ -181,9 +182,9 @@ impl SegmentWriter {
         footer.extend_from_slice(&(self.metas.len() as u32).to_le_bytes());
         footer.extend_from_slice(&footer_offset.to_le_bytes());
         footer.extend_from_slice(&MAGIC[..4]);
-        self.out.write_all(&footer)?;
+        fail::write_all(&mut self.out, &footer)?;
         self.out.flush()?;
-        self.out.get_ref().sync_all()?;
+        fail::sync_all(self.out.get_ref())?;
         let _ = self.path;
         Ok(self.count)
     }
@@ -297,6 +298,7 @@ impl SegmentFile {
 
     /// Invokes `f` for every key in `lo..=hi`, in sorted order. Binary
     /// searches the block index, decodes only candidate blocks.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn scan(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key)) -> io::Result<()> {
         if self.blocks.is_empty() || lo > hi {
             return Ok(());
@@ -364,6 +366,58 @@ impl SegmentFile {
     /// Reads blocks sequentially, bypassing the cache.
     pub fn iter(&self) -> SegmentIter<'_> {
         SegmentIter { seg: self, block: 0, keys: Vec::new(), pos: 0 }
+    }
+
+    /// A bounded iterator over the keys in `lo..=hi`, in sorted order —
+    /// the stream form of [`scan`](SegmentFile::scan), for feeding the
+    /// multi-level shadow merges. Goes through the block cache. Panics
+    /// if the file turns unreadable mid-iteration (read-path convention).
+    pub fn range(&self, lo: Key, hi: Key) -> SegmentRange<'_> {
+        let idx = if self.blocks.is_empty() || lo > hi {
+            self.blocks.len()
+        } else {
+            self.blocks.partition_point(|m| m.first <= lo).saturating_sub(1)
+        };
+        SegmentRange { seg: self, idx, keys: None, pos: 0, lo, hi }
+    }
+}
+
+/// Iterator returned by [`SegmentFile::range`].
+pub struct SegmentRange<'a> {
+    seg: &'a SegmentFile,
+    idx: usize,
+    keys: Option<Arc<Vec<Key>>>,
+    pos: usize,
+    lo: Key,
+    hi: Key,
+}
+
+impl Iterator for SegmentRange<'_> {
+    type Item = Key;
+
+    fn next(&mut self) -> Option<Key> {
+        loop {
+            if let Some(keys) = &self.keys {
+                if self.pos < keys.len() {
+                    let k = keys[self.pos];
+                    self.pos += 1;
+                    if k > self.hi {
+                        self.idx = self.seg.blocks.len();
+                        self.keys = None;
+                        return None;
+                    }
+                    return Some(k);
+                }
+                self.keys = None;
+                self.idx += 1;
+            }
+            if self.idx >= self.seg.blocks.len() || self.seg.blocks[self.idx].first > self.hi {
+                return None;
+            }
+            let keys = self.seg.block(self.idx).expect("segment readable");
+            self.pos = keys.partition_point(|&k| k < self.lo);
+            self.keys = Some(keys);
+        }
     }
 }
 
@@ -465,6 +519,27 @@ mod tests {
             seg.scan(lo, hi, &mut |k| got.push(k)).unwrap();
             assert_eq!(got, expect, "scan {lo:?}..{hi:?}");
             assert_eq!(seg.count_range(lo, hi).unwrap(), expect.len() as u64);
+        }
+    }
+
+    #[test]
+    fn range_iterator_agrees_with_scan() {
+        let mut sorted: Vec<Key> = (0..4000u32).map(|i| (i / 64, (i / 8) % 8, i % 8)).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let seg = build(&sorted, "rangeiter");
+        for (lo, hi) in [
+            ((0, 0, 0), (KEY_MAX, KEY_MAX, KEY_MAX)),
+            ((3, 0, 0), (3, KEY_MAX, KEY_MAX)),
+            ((10, 2, 0), (10, 2, KEY_MAX)),
+            ((62, 7, 7), (62, 7, 7)),
+            ((7, 7, 7), (3, 0, 0)), // empty: lo > hi
+            ((9999, 0, 0), (9999, KEY_MAX, KEY_MAX)),
+        ] {
+            let mut want = Vec::new();
+            seg.scan(lo, hi, &mut |k| want.push(k)).unwrap();
+            let got: Vec<Key> = seg.range(lo, hi).collect();
+            assert_eq!(got, want, "range {lo:?}..{hi:?}");
         }
     }
 

@@ -6,7 +6,9 @@
 //! repeated-variable patterns (which force the raw-id consistency path)
 //! in every interesting store state: post-flush (all data in segments),
 //! overlay-mixed (segments + in-memory adds), tombstoned (removals of
-//! flushed triples), compacted, and reopened from disk.
+//! flushed triples), wal-reopened (reopened *without* a flush — the
+//! write-ahead log must reconstruct the overlay), compacted, and
+//! reopened from disk.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -122,8 +124,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Lock-step inserts, a flush at a random cut point, overlay inserts,
-    /// removals (tombstones), compaction, and a reopen — the two
-    /// backends must agree after every step.
+    /// removals (tombstones), an unflushed reopen (WAL replay), a
+    /// flush+compaction, and a reopen — the two backends must agree
+    /// after every step.
     #[test]
     fn persistent_store_equals_triple_store(
         triples in proptest::collection::vec(arb_triple(), 0..48),
@@ -156,6 +159,14 @@ proptest! {
             }
         }
         check(&mem, &store, &anchors, "tombstoned")?;
+
+        // Reopen with the overlay unflushed: every acknowledged write
+        // must come back via WAL replay, none may be invented.
+        let overlay = store.overlay_len();
+        drop(store);
+        let mut store = PersistentStore::open(&dir).expect("wal reopen");
+        prop_assert_eq!(store.overlay_len(), overlay, "overlay survives reopen");
+        check(&mem, &store, &anchors, "wal-reopened")?;
 
         store.flush().expect("compaction flush");
         check(&mem, &store, &anchors, "compacted")?;

@@ -310,7 +310,13 @@ fn run_serve(o: &Options) -> Result<(), String> {
                 report_load(file, report.statements, report.elapsed);
                 loaded += report.statements;
             }
-            eprintln!("# store {dir}: {} triples, generation {}", ps.len(), ps.generation());
+            eprintln!(
+                "# store {dir}: {} triples, generation {}, {} levels, {} unflushed writes replayed from WAL",
+                ps.len(),
+                ps.generation(),
+                ps.level_count(),
+                ps.wal_replayed()
+            );
             ps.into_shared()
         }
         None => {

@@ -391,3 +391,48 @@ fn persistent_store_node_answers_byte_identically_to_in_memory() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn killed_store_node_recovers_unflushed_writes_after_restart() {
+    // Populate a store directory with acknowledged but *unflushed*
+    // writes — they exist only in the write-ahead log — and "crash" by
+    // dropping the store without a flush.
+    let dir = std::env::temp_dir().join(format!("rdfmesh-serve-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.join("store");
+    let knows = "http://xmlns.com/foaf/0.1/knows";
+    let person = |n: &str| rdfmesh::rdf::Term::iri(&format!("http://example.org/{n}"));
+    {
+        let mut store = rdfmesh::PersistentStore::open(&store_dir).expect("create store");
+        let mut insert = |s: &str, o: &str| {
+            assert!(store
+                .try_insert(&Triple::new(person(s), rdfmesh::rdf::Term::iri(knows), person(o)))
+                .expect("durable insert"));
+        };
+        insert("alice", "bob");
+        insert("bob", "carol");
+        insert("carol", "dave");
+        // No flush: the segments know nothing about these triples.
+    }
+
+    // A serve process over that directory must replay the WAL and answer.
+    let query = "SELECT ?x ?z WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . }";
+    let (guard, _, addr) = spawn_node_with(30, None, None, Some(&store_dir));
+    await_members(&addr, 1);
+    let (status, body) = http_get_sparql(&addr, query);
+    assert!(status.contains("200"), "query after WAL replay failed: {status} {body}");
+    assert!(body.contains("\"complete\":true"), "degraded answer: {body}");
+    let rows = bindings_of(&body);
+    assert_eq!(rows.len(), 2, "alice→carol and bob→dave: {body}");
+
+    // SIGKILL the process — no graceful shutdown, no flush — and restart
+    // it from the directory alone: the answers must be identical.
+    drop(guard);
+    let (_guard2, _, addr2) = spawn_node_with(30, None, None, Some(&store_dir));
+    await_members(&addr2, 1);
+    let (status, body) = http_get_sparql(&addr2, query);
+    assert!(status.contains("200"), "query after kill+restart failed: {status} {body}");
+    assert_eq!(bindings_of(&body), rows, "restart changed the answer");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
