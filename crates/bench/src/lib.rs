@@ -1,7 +1,7 @@
 //! # rdfmesh-bench — the experiment harness
 //!
 //! Shared testbed construction and table rendering for the deferred
-//! evaluation suite (EXPERIMENTS.md §E1-§E15). The `experiments` binary
+//! evaluation suite (EXPERIMENTS.md §E1-§E22). The `experiments` binary
 //! regenerates every table and can emit a machine-readable summary:
 //!
 //! ```sh

@@ -52,6 +52,82 @@ impl std::fmt::Display for PrimitiveStrategy {
     }
 }
 
+/// How a *multi-pattern* conjunctive query (BGP) is distributed across
+/// the provider set — the pluggable distribution-strategy seam.
+///
+/// The paper's execution model is sequential solution shipping through
+/// the coordinator ([`DistStrategy::Chained`]); the other two families
+/// come from the distributed-SPARQL literature and trade coordinator
+/// bytes and rounds differently (see `docs/EXECUTION.md` for the
+/// selection matrix and E22 for measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistStrategy {
+    /// The paper's scheme: resolve each pattern in sequence through the
+    /// coordinator, joining (or bind-joining) intermediates as they
+    /// arrive. `k` patterns cost `k` coordinator round trips.
+    Chained,
+    /// One-round HyperCube-style shuffle (cf. D-FDB): every provider
+    /// evaluates every pattern locally, partitions its solutions across
+    /// the provider set by hashing the bindings of the variables common
+    /// to *all* patterns, ships each partition once peer-to-peer, and
+    /// joins locally at each shuffle target. The coordinator receives
+    /// only joined rows. Applicable when the patterns share at least
+    /// one common variable (star shapes and 2-pattern joins).
+    HyperCube,
+    /// Partial-evaluation-and-assembly (cf. Peng et al.): every
+    /// provider evaluates the whole BGP over local data in one round
+    /// and ships its per-pattern partial matches; an assembly operator
+    /// at the coordinator stitches cross-site matches. Applicable to
+    /// any connected BGP (including cyclic shapes HyperCube's
+    /// common-variable hashing cannot cover).
+    PartialEval,
+}
+
+impl DistStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [DistStrategy; 3] =
+        [DistStrategy::Chained, DistStrategy::HyperCube, DistStrategy::PartialEval];
+}
+
+impl std::fmt::Display for DistStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistStrategy::Chained => write!(f, "chained"),
+            DistStrategy::HyperCube => write!(f, "hypercube"),
+            DistStrategy::PartialEval => write!(f, "partial-eval"),
+        }
+    }
+}
+
+/// Which distribution strategy the planner bakes into the plan for
+/// multi-pattern BGPs. Forced choices fall back to
+/// [`DistStrategy::Chained`] when the shape does not support the
+/// strategy (no common variable for HyperCube, disconnected product for
+/// partial evaluation, any all-variable flood pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistChoice {
+    /// Always chain (the paper's behavior; the default).
+    Chained,
+    /// Prefer HyperCube shuffle where applicable.
+    HyperCube,
+    /// Prefer partial-evaluation-and-assembly where applicable.
+    PartialEval,
+    /// Select per query shape: HyperCube for common-variable (star)
+    /// shapes, partial evaluation for cyclic shapes, chained otherwise.
+    Auto,
+}
+
+impl std::fmt::Display for DistChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistChoice::Chained => write!(f, "chained"),
+            DistChoice::HyperCube => write!(f, "hypercube"),
+            DistChoice::PartialEval => write!(f, "partial-eval"),
+            DistChoice::Auto => write!(f, "auto"),
+        }
+    }
+}
+
 /// Where a binary operation (join / left join / union) between two
 /// materialized intermediate results is performed (Sect. II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,6 +258,11 @@ pub struct ExecConfig {
     /// offer their results for admission (no effect without an attached
     /// cache).
     pub cache_results: bool,
+    /// Distribution strategy for multi-pattern BGPs (the pluggable
+    /// seam): chained shipping, HyperCube shuffle, partial evaluation,
+    /// or per-shape automatic selection. Defaults to
+    /// [`DistChoice::Chained`] for paper fidelity.
+    pub dist: DistChoice,
 }
 
 impl Default for ExecConfig {
@@ -198,6 +279,7 @@ impl Default for ExecConfig {
             cache_routing: true,
             cache_providers: true,
             cache_results: true,
+            dist: DistChoice::Chained,
         }
     }
 }
@@ -221,6 +303,7 @@ impl ExecConfig {
             cache_routing: true,
             cache_providers: true,
             cache_results: true,
+            dist: DistChoice::Chained,
         }
     }
 
@@ -271,5 +354,13 @@ mod tests {
     fn strategy_displays() {
         assert_eq!(PrimitiveStrategy::FrequencyOrdered.to_string(), "freq-ordered");
         assert_eq!(JoinSiteStrategy::ThirdSite.to_string(), "third-site");
+        assert_eq!(DistStrategy::HyperCube.to_string(), "hypercube");
+        assert_eq!(DistChoice::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn default_dist_strategy_is_chained_for_paper_fidelity() {
+        assert_eq!(ExecConfig::default().dist, DistChoice::Chained);
+        assert_eq!(ExecConfig::baseline().dist, DistChoice::Chained);
     }
 }

@@ -27,8 +27,9 @@
 //! `docs/EXECUTION.md` documents the IR, the backend contract, and the
 //! sim-vs-live semantics table.
 
+use crate::config::DistStrategy;
 use rdfmesh_net::{NodeId, SimTime};
-use rdfmesh_rdf::TriplePattern;
+use rdfmesh_rdf::{TriplePattern, Variable};
 use rdfmesh_sparql::{
     expr::Expression,
     solution::{Solution, SolutionSet},
@@ -117,6 +118,23 @@ pub enum ExecNode {
         /// The plan producing the filtered materialization.
         input: Box<ExecNode>,
     },
+    /// A whole multi-pattern BGP evaluated as one distributed multiway
+    /// join (HyperCube shuffle or partial-evaluation-and-assembly)
+    /// instead of a chain of sequential rounds. The planner only emits
+    /// this node when [`crate::config::ExecConfig::dist`] selects a
+    /// non-chained strategy *and* the shape supports it.
+    MultiJoin {
+        /// Every pattern of the BGP, in optimizer order.
+        patterns: Vec<TriplePattern>,
+        /// The variables shared by *all* patterns, sorted — the
+        /// HyperCube shuffle hashes on these (empty for partial
+        /// evaluation of non-star shapes).
+        join_vars: Vec<Variable>,
+        /// Which multiway strategy executes the node (never
+        /// [`DistStrategy::Chained`] — chains compile to
+        /// [`ExecNode::Chain`]).
+        strategy: DistStrategy,
+    },
 }
 
 /// An executable plan: the operator tree produced by
@@ -139,6 +157,7 @@ impl ExecPlan {
                 ExecNode::Chain { left, .. } => 1 + count(left),
                 ExecNode::Binary { left, right, .. } => 1 + count(left) + count(right),
                 ExecNode::Filter { input, .. } => 1 + count(input),
+                ExecNode::MultiJoin { .. } => 1,
             }
         }
         count(&self.root)
@@ -179,6 +198,16 @@ impl std::fmt::Display for ExecPlan {
                 ExecNode::Filter { input, .. } => {
                     writeln!(f, "{pad}Filter")?;
                     node(input, f, depth + 1)
+                }
+                ExecNode::MultiJoin { patterns, join_vars, strategy } => {
+                    write!(f, "{pad}MultiJoin[{strategy}] k={}", patterns.len())?;
+                    if !join_vars.is_empty() {
+                        write!(f, " on")?;
+                        for v in join_vars {
+                            write!(f, " {v}")?;
+                        }
+                    }
+                    writeln!(f)
                 }
             }
         }
@@ -231,6 +260,18 @@ pub trait MeshBackend {
         a: &TriplePattern,
         b: &TriplePattern,
     ) -> Result<Option<NodeId>, Self::Error>;
+
+    /// Evaluates a whole multi-pattern BGP as one distributed multiway
+    /// join round ([`ExecNode::MultiJoin`]): HyperCube shuffle across
+    /// the provider union, or partial-evaluation-and-assembly. The
+    /// returned materialization is the full join of the patterns.
+    fn exec_multiway(
+        &mut self,
+        patterns: &[TriplePattern],
+        join_vars: &[Variable],
+        strategy: DistStrategy,
+        depart: SimTime,
+    ) -> Result<Mat, Self::Error>;
 
     /// Delivers a finished materialization to the initiator, charging
     /// the final transfer.
@@ -332,7 +373,54 @@ fn eval<B: MeshBackend>(
             mat.solutions.retain(|s| expr.satisfied_by(s));
             Ok(mat)
         }
+        ExecNode::MultiJoin { patterns, join_vars, strategy } => {
+            if metrics.is_enabled() {
+                metrics.add(rdfmesh_obs::names::EXEC_MULTIWAY_JOINS, 1);
+            }
+            backend.exec_multiway(patterns, join_vars, *strategy, depart)
+        }
     }
+}
+
+// ---- shared multiway helpers ----------------------------------------
+
+/// The shuffle target for one solution: an FNV-1a hash of the
+/// wire-encoded bindings of the join variables, mod `buckets`.
+/// Deterministic across backends and processes, so the sim cost model,
+/// the thread mesh, and the socket mesh all partition identically.
+/// Solutions that agree on every join variable land in the same bucket,
+/// which is what makes the per-target local joins exhaustive.
+pub(crate) fn shuffle_partition(sol: &Solution, join_vars: &[Variable], buckets: usize) -> usize {
+    let mut bytes = Vec::new();
+    for v in join_vars {
+        match sol.get(v) {
+            Some(t) => {
+                bytes.push(1);
+                rdfmesh_sparql::solution::wire::put_term(&mut bytes, t);
+            }
+            None => bytes.push(0),
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    (h % buckets.max(1) as u64) as usize
+}
+
+/// The variables common to *every* pattern, sorted — the HyperCube hash
+/// attributes. Empty when the patterns do not all share a variable.
+pub(crate) fn common_join_vars(patterns: &[TriplePattern]) -> Vec<Variable> {
+    let Some(first) = patterns.first() else { return Vec::new() };
+    let mut common: Vec<Variable> = first.variables().into_iter().cloned().collect();
+    for p in &patterns[1..] {
+        let vars = p.variables();
+        common.retain(|v| vars.contains(&v));
+    }
+    common.sort();
+    common.dedup();
+    common
 }
 
 // ---- shared algebra-shape helpers -----------------------------------
@@ -546,5 +634,56 @@ mod tests {
         assert!(text.contains("Union"));
         assert!(text.contains("Chain"));
         assert!(text.contains("bind"));
+    }
+
+    #[test]
+    fn multi_join_counts_as_one_node_and_displays_its_shape() {
+        let plan = ExecPlan {
+            root: ExecNode::MultiJoin {
+                patterns: vec![tp("a"), tp("b"), tp("c")],
+                join_vars: vec![Variable::new("x")],
+                strategy: DistStrategy::HyperCube,
+            },
+        };
+        assert_eq!(plan.node_count(), 1);
+        let text = plan.to_string();
+        assert!(text.contains("MultiJoin[hypercube] k=3 on ?x"));
+    }
+
+    #[test]
+    fn common_join_vars_intersects_and_sorts() {
+        // tp() binds ?x and ?n in every pattern.
+        assert_eq!(
+            common_join_vars(&[tp("a"), tp("b")]),
+            vec![Variable::new("n"), Variable::new("x")]
+        );
+        let disjoint = TriplePattern::new(
+            TermPattern::var("other"),
+            Term::iri("http://e/q"),
+            TermPattern::var("thing"),
+        );
+        assert!(common_join_vars(&[tp("a"), disjoint]).is_empty());
+        assert!(common_join_vars(&[]).is_empty());
+    }
+
+    #[test]
+    fn shuffle_partition_is_deterministic_and_binding_driven() {
+        let a = Solution::from_pairs([(Variable::new("x"), Term::iri("http://e/alice"))]);
+        let b = Solution::from_pairs([
+            (Variable::new("x"), Term::iri("http://e/alice")),
+            (Variable::new("y"), Term::iri("http://e/ignored")),
+        ]);
+        let vars = [Variable::new("x")];
+        // Same join-variable bindings land in the same bucket no matter
+        // what else the solution binds.
+        for buckets in 1..7 {
+            assert_eq!(
+                shuffle_partition(&a, &vars, buckets),
+                shuffle_partition(&b, &vars, buckets)
+            );
+            assert!(shuffle_partition(&a, &vars, buckets) < buckets);
+        }
+        // Hashing on no variables degenerates to a single bucket choice.
+        assert_eq!(shuffle_partition(&a, &[], 1), 0);
     }
 }

@@ -31,7 +31,10 @@ pub mod stats;
 pub mod system;
 
 pub use admission::{Admission, AdmissionLoad, Permit};
-pub use config::{ExecConfig, JoinSiteStrategy, LiveConfig, Objective, PrimitiveStrategy};
+pub use config::{
+    DistChoice, DistStrategy, ExecConfig, JoinSiteStrategy, LiveConfig, Objective,
+    PrimitiveStrategy,
+};
 pub use engine::{global_store, Engine, EngineError, Execution, FrequencyEstimator};
 pub use exec::{ExecNode, ExecPlan, Mat, MeshBackend, OpKind, PrimitiveOp};
 pub use rdfmesh_cache::{CacheConfig, CacheStats, QueryCache};

@@ -42,11 +42,11 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rdfmesh_net::{Cluster, Envelope, FaultPlan, Handler, NodeId, Outbox, TcpCluster, TransportSnapshot};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple, Overlay};
-use rdfmesh_rdf::{SharedStore, Triple, TriplePattern};
+use rdfmesh_rdf::{SharedStore, Triple, TriplePattern, Variable};
 use rdfmesh_sparql::expr::Expression;
-use rdfmesh_sparql::solution::{wire, Solution};
+use rdfmesh_sparql::solution::{wire, DistinctBuffer, Solution};
 
-use crate::config::LiveConfig;
+use crate::config::{DistStrategy, LiveConfig};
 use crate::stats::{LiveStats, LiveStatsSnapshot};
 
 /// Identifies one in-flight live query. Every protocol message carries
@@ -69,6 +69,14 @@ pub enum DeadlineStage {
     Ack {
         /// The storage node awaited.
         provider: NodeId,
+        /// Attempt number at schedule time (0-based).
+        attempt: u8,
+    },
+    /// One pattern's provider lookup within a multiway round; `idx`
+    /// names the pattern slot the lookup resolves.
+    MultiLookup {
+        /// Pattern slot within the multiway BGP (0-based).
+        idx: u32,
         /// Attempt number at schedule time (0-based).
         attempt: u8,
     },
@@ -226,6 +234,101 @@ pub enum LiveMsg {
         /// The storage node registering itself.
         provider: NodeId,
     },
+    /// The external application submits a whole multi-pattern BGP at
+    /// the coordinator, to be joined in a single distributed round by
+    /// the named strategy (HyperCube shuffle or
+    /// partial-evaluation-and-assembly) instead of pattern-by-pattern
+    /// chained shipping.
+    SubmitMulti {
+        /// Fresh id allocated by [`LiveMesh::submit_multiway`].
+        qid: QueryId,
+        /// The conjunctive patterns to join.
+        patterns: Vec<TriplePattern>,
+        /// The variables every pattern shares — the shuffle hash key.
+        join_vars: Vec<Variable>,
+        /// Which multiway strategy resolves the round.
+        strategy: DistStrategy,
+    },
+    /// Ask an index node which storage nodes can answer pattern slot
+    /// `idx` of a multiway round. Routed hop-by-hop like a
+    /// [`LiveMsg::Lookup`].
+    MultiLookup {
+        /// The owning query.
+        qid: QueryId,
+        /// Pattern slot within the multiway BGP (0-based).
+        idx: u32,
+        /// The pattern being resolved.
+        pattern: TriplePattern,
+        /// Where to send the provider list.
+        reply_to: NodeId,
+    },
+    /// An index node's answer to a [`LiveMsg::MultiLookup`].
+    MultiProviders {
+        /// The owning query.
+        qid: QueryId,
+        /// The pattern slot this answers.
+        idx: u32,
+        /// Storage nodes holding matching triples for the slot.
+        providers: Vec<NodeId>,
+    },
+    /// Coordinator → every provider: run the HyperCube shuffle for this
+    /// BGP. Each provider evaluates every pattern locally, partitions
+    /// the solutions by hashing their `join_vars` bindings over
+    /// `peers`, ships each partition to its target once, joins the
+    /// fragment it receives, and answers with [`LiveMsg::Solutions`].
+    ShuffleExec {
+        /// The owning query.
+        qid: QueryId,
+        /// Shuffle generation: bumped when the coordinator re-issues the
+        /// round over the surviving peers after declaring one dead, so
+        /// partitions from the abandoned generation cannot pollute the
+        /// restarted one.
+        round: u32,
+        /// The conjunctive patterns to evaluate locally.
+        patterns: Vec<TriplePattern>,
+        /// The hash key: variables shared by every pattern.
+        join_vars: Vec<Variable>,
+        /// Every participating provider, sorted — the partition targets.
+        peers: Vec<NodeId>,
+        /// Where to send the locally-joined fragment.
+        reply_to: NodeId,
+    },
+    /// Provider → provider: one shuffle partition, `parts[i]` holding
+    /// the sender's pattern-`i` solutions that hash to the receiver.
+    ShufflePart {
+        /// The owning query.
+        qid: QueryId,
+        /// The shuffle generation the partition belongs to (matches the
+        /// [`LiveMsg::ShuffleExec`] that triggered the scatter).
+        round: u32,
+        /// Per-pattern solution sets destined for the receiver.
+        parts: Vec<Vec<Solution>>,
+    },
+    /// Coordinator → every provider: evaluate the whole BGP over local
+    /// data only (partial evaluation) and ship the per-pattern solution
+    /// sets back for assembly at the coordinator.
+    PartialExec {
+        /// The owning query.
+        qid: QueryId,
+        /// The conjunctive patterns to evaluate locally.
+        patterns: Vec<TriplePattern>,
+        /// Where to send the per-pattern matches.
+        reply_to: NodeId,
+    },
+    /// A provider's partial-evaluation answer: its local solutions for
+    /// every pattern slot, assembled (joined) at the coordinator.
+    PartialMatches {
+        /// The owning query.
+        qid: QueryId,
+        /// `per_pattern[i]` = local solutions of pattern `i`.
+        per_pattern: Vec<Vec<Solution>>,
+    },
+    /// Coordinator → providers: the multiway round finished; drop any
+    /// retained shuffle state for `qid`.
+    MultiDone {
+        /// The finished query.
+        qid: QueryId,
+    },
 }
 
 /// What one live query returned. Instead of hanging on churn, the
@@ -269,6 +372,7 @@ pub(crate) struct LiveCounters {
     stale_replies: u64,
     incomplete_queries: u64,
     lookup_failures: u64,
+    stitched_rows: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -296,7 +400,41 @@ struct InFlight {
     outstanding: HashMap<NodeId, u8>,
     failed: Vec<NodeId>,
     collected: Vec<Triple>,
-    collected_solutions: Vec<Solution>,
+    /// Hash-indexed so the per-gather dedup stays linear even when many
+    /// replicated providers ship the same large solution sets.
+    collected_solutions: DistinctBuffer,
+}
+
+/// One multiway (HyperCube / partial-evaluation) round's coordinator
+/// state. Kept apart from [`InFlight`]: the round resolves *several*
+/// patterns' providers concurrently and gathers from their union.
+#[derive(Debug)]
+struct MultiFlight {
+    patterns: Vec<TriplePattern>,
+    join_vars: Vec<Variable>,
+    strategy: DistStrategy,
+    phase: Phase,
+    /// Per-pattern lookup attempt (0-based), indexed like `patterns`.
+    lookup_attempts: Vec<u8>,
+    /// Per-pattern provider sets; `None` until the slot's lookup answers.
+    providers: Vec<Option<Vec<NodeId>>>,
+    /// The provider union (sorted) once every slot resolved. Shrinks
+    /// when a HyperCube restart drops peers declared dead.
+    peers: Vec<NodeId>,
+    /// HyperCube shuffle generation: bumped on every restart over the
+    /// surviving peers, so stale partitions and deadlines are ignored.
+    round: u32,
+    /// provider → current exec attempt (0-based, within `round`).
+    outstanding: HashMap<NodeId, u8>,
+    failed: Vec<NodeId>,
+    /// HyperCube: locally-joined fragments gathered from the peers.
+    collected: DistinctBuffer,
+    /// Partial evaluation: the deduped union of every provider's local
+    /// solutions, per pattern slot — the assembly operator's input.
+    per_pattern: Vec<DistinctBuffer>,
+    /// Partial evaluation: rows some single provider could already join
+    /// locally. Assembly rows beyond these stitched cross-site matches.
+    local_complete: DistinctBuffer,
 }
 
 /// The per-query coordinator state machine. Every transition consumes
@@ -314,6 +452,7 @@ pub(crate) struct CoordinatorCore {
     /// serve-mode membership protocol can extend it as peers join.
     flood: SharedFlood,
     in_flight: HashMap<QueryId, InFlight>,
+    multi: HashMap<QueryId, MultiFlight>,
     counters: LiveCounters,
 }
 
@@ -332,6 +471,7 @@ impl CoordinatorCore {
             space,
             flood,
             in_flight: HashMap::new(),
+            multi: HashMap::new(),
             counters: LiveCounters::default(),
         }
     }
@@ -365,8 +505,20 @@ impl CoordinatorCore {
                 }
                 actions
             }
+            LiveMsg::SubmitMulti { qid, patterns, join_vars, strategy } => {
+                self.on_submit_multi(qid, patterns, join_vars, strategy)
+            }
+            LiveMsg::MultiProviders { qid, idx, providers } => {
+                self.on_multi_providers(qid, idx, providers)
+            }
+            LiveMsg::PartialMatches { qid, per_pattern } => {
+                self.on_partial_matches(qid, from, per_pattern)
+            }
             LiveMsg::Deadline { qid, stage } => match stage {
                 DeadlineStage::Lookup { attempt } => self.on_lookup_timeout(qid, attempt),
+                DeadlineStage::MultiLookup { idx, attempt } => {
+                    self.on_multi_lookup_timeout(qid, idx, attempt)
+                }
                 DeadlineStage::Ack { provider, attempt } => {
                     self.on_ack_timeout(qid, provider, attempt)
                 }
@@ -378,6 +530,11 @@ impl CoordinatorCore {
             | LiveMsg::SubQuerySol { .. }
             | LiveMsg::SubQuerySolBatch { .. }
             | LiveMsg::ProviderDead { .. }
+            | LiveMsg::MultiLookup { .. }
+            | LiveMsg::ShuffleExec { .. }
+            | LiveMsg::ShufflePart { .. }
+            | LiveMsg::PartialExec { .. }
+            | LiveMsg::MultiDone { .. }
             | LiveMsg::Publish { .. } => Vec::new(),
         }
     }
@@ -415,7 +572,7 @@ impl CoordinatorCore {
                 outstanding: HashMap::new(),
                 failed: Vec::new(),
                 collected: Vec::new(),
-                collected_solutions: Vec::new(),
+                collected_solutions: DistinctBuffer::new(),
             },
         );
         if keyless {
@@ -514,6 +671,10 @@ impl CoordinatorCore {
     }
 
     fn on_solutions(&mut self, qid: QueryId, from: NodeId, solutions: Vec<Solution>) -> Vec<Action> {
+        if self.multi.contains_key(&qid) {
+            // A shuffle target's locally-joined fragment.
+            return self.on_multi_solutions(qid, from, solutions);
+        }
         let stale = match self.in_flight.get_mut(&qid) {
             None => true,
             Some(q) => q.phase != Phase::Gather || q.outstanding.remove(&from).is_none(),
@@ -523,11 +684,7 @@ impl CoordinatorCore {
             return Vec::new();
         }
         let q = self.in_flight.get_mut(&qid).expect("checked in flight");
-        for s in solutions {
-            if !q.collected_solutions.contains(&s) {
-                q.collected_solutions.push(s);
-            }
-        }
+        q.collected_solutions.extend_distinct(solutions);
         if q.outstanding.is_empty() {
             let complete = q.failed.is_empty();
             return self.finish(qid, complete);
@@ -564,6 +721,9 @@ impl CoordinatorCore {
     }
 
     fn on_ack_timeout(&mut self, qid: QueryId, provider: NodeId, attempt: u8) -> Vec<Action> {
+        if self.multi.contains_key(&qid) {
+            return self.on_multi_ack_timeout(qid, provider, attempt);
+        }
         let Some(q) = self.in_flight.get_mut(&qid) else { return Vec::new() };
         if q.phase != Phase::Gather || q.outstanding.get(&provider) != Some(&attempt) {
             return Vec::new(); // answered, escalated, or a stale deadline
@@ -598,6 +758,13 @@ impl CoordinatorCore {
     }
 
     fn on_overall_deadline(&mut self, qid: QueryId) -> Vec<Action> {
+        if let Some(q) = self.multi.get_mut(&qid) {
+            let mut remaining: Vec<NodeId> = q.outstanding.keys().copied().collect();
+            remaining.sort();
+            q.failed.extend(remaining);
+            q.outstanding.clear();
+            return self.finish_multi(qid, false);
+        }
         let Some(q) = self.in_flight.get_mut(&qid) else { return Vec::new() };
         // Whatever is still outstanding has failed; no ProviderDead here —
         // the backstop fires on slow queries too, and purging the table on
@@ -641,7 +808,20 @@ impl CoordinatorCore {
                 Some(attempt) => self.on_lookup_timeout(qid, attempt),
                 None => Vec::new(),
             },
-            // A lost ProviderDead only postpones lazy cleanup.
+            LiveMsg::ShuffleExec { qid, .. } | LiveMsg::PartialExec { qid, .. } => {
+                match self.multi.get(&qid).and_then(|q| q.outstanding.get(&to)).copied() {
+                    Some(attempt) => self.on_multi_ack_timeout(qid, to, attempt),
+                    None => Vec::new(),
+                }
+            }
+            LiveMsg::MultiLookup { qid, idx, .. } => {
+                match self.multi.get(&qid).and_then(|q| q.lookup_attempts.get(idx as usize)).copied()
+                {
+                    Some(attempt) => self.on_multi_lookup_timeout(qid, idx, attempt),
+                    None => Vec::new(),
+                }
+            }
+            // A lost ProviderDead or MultiDone only postpones lazy cleanup.
             _ => Vec::new(),
         }
     }
@@ -655,11 +835,376 @@ impl CoordinatorCore {
             qid,
             answer: LiveAnswer {
                 triples: q.collected,
-                solutions: q.collected_solutions,
+                solutions: q.collected_solutions.into_vec(),
                 complete,
                 failed_providers: q.failed,
             },
         }]
+    }
+
+    // ---- the multiway round (HyperCube / partial evaluation) ---------
+
+    /// The exec frame one provider of a multiway round receives, shaped
+    /// by the round's strategy. Used by the fan-out and retransmissions.
+    fn multi_subquery_for(&self, qid: QueryId, q: &MultiFlight) -> LiveMsg {
+        match q.strategy {
+            DistStrategy::HyperCube => LiveMsg::ShuffleExec {
+                qid,
+                round: q.round,
+                patterns: q.patterns.clone(),
+                join_vars: q.join_vars.clone(),
+                peers: q.peers.clone(),
+                reply_to: self.me,
+            },
+            _ => LiveMsg::PartialExec { qid, patterns: q.patterns.clone(), reply_to: self.me },
+        }
+    }
+
+    fn on_submit_multi(
+        &mut self,
+        qid: QueryId,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+    ) -> Vec<Action> {
+        if self.multi.contains_key(&qid) || self.in_flight.contains_key(&qid) {
+            return Vec::new(); // duplicate submission
+        }
+        if patterns.is_empty() {
+            return vec![Action::Finish {
+                qid,
+                answer: LiveAnswer {
+                    triples: Vec::new(),
+                    solutions: Vec::new(),
+                    complete: true,
+                    failed_providers: Vec::new(),
+                },
+            }];
+        }
+        let n = patterns.len();
+        self.multi.insert(
+            qid,
+            MultiFlight {
+                patterns: patterns.clone(),
+                join_vars,
+                strategy,
+                phase: Phase::AwaitProviders,
+                lookup_attempts: vec![0; n],
+                providers: vec![None; n],
+                peers: Vec::new(),
+                round: 0,
+                outstanding: HashMap::new(),
+                failed: Vec::new(),
+                collected: DistinctBuffer::new(),
+                per_pattern: (0..n).map(|_| DistinctBuffer::new()).collect(),
+                local_complete: DistinctBuffer::new(),
+            },
+        );
+        let mut actions = Vec::new();
+        for (idx, pattern) in patterns.iter().enumerate() {
+            let idx = idx as u32;
+            if key_for_pattern(self.space, pattern).is_none() {
+                // Keyless slot (the planner avoids these, but the wire
+                // allows them): flood every storage node, no lookup.
+                let flood = rlock(&self.flood).clone();
+                actions.extend(self.on_multi_providers(qid, idx, flood));
+                // The round may already have finished (an empty flood
+                // list finishes it complete-and-empty).
+                if !self.multi.contains_key(&qid) {
+                    actions.push(Action::Schedule {
+                        after: self.cfg.query_deadline,
+                        msg: LiveMsg::Deadline { qid, stage: DeadlineStage::Overall },
+                    });
+                    return actions;
+                }
+            } else {
+                actions.push(Action::Send {
+                    to: self.index,
+                    msg: LiveMsg::MultiLookup {
+                        qid,
+                        idx,
+                        pattern: pattern.clone(),
+                        reply_to: self.me,
+                    },
+                });
+                actions.push(Action::Schedule {
+                    after: self.cfg.lookup_timeout,
+                    msg: LiveMsg::Deadline {
+                        qid,
+                        stage: DeadlineStage::MultiLookup { idx, attempt: 0 },
+                    },
+                });
+            }
+        }
+        actions.push(Action::Schedule {
+            after: self.cfg.query_deadline,
+            msg: LiveMsg::Deadline { qid, stage: DeadlineStage::Overall },
+        });
+        actions
+    }
+
+    fn on_multi_providers(&mut self, qid: QueryId, idx: u32, providers: Vec<NodeId>) -> Vec<Action> {
+        let i = idx as usize;
+        let stale = match self.multi.get(&qid) {
+            None => true,
+            Some(q) => q.phase != Phase::AwaitProviders || i >= q.providers.len()
+                || q.providers[i].is_some(),
+        };
+        if stale {
+            self.counters.stale_replies += 1;
+            return Vec::new();
+        }
+        if providers.is_empty() {
+            // One pattern matches nothing, so the conjunction is empty —
+            // a complete answer, no provider contacted.
+            return self.finish_multi(qid, true);
+        }
+        let q = self.multi.get_mut(&qid).expect("checked in flight");
+        let mut seen = HashSet::new();
+        let mut dedup = Vec::new();
+        for p in providers {
+            if seen.insert(p) {
+                dedup.push(p);
+            }
+        }
+        q.providers[i] = Some(dedup);
+        if q.providers.iter().any(|slot| slot.is_none()) {
+            return Vec::new(); // other slots still resolving
+        }
+        // Every slot resolved: fan the exec frames out to the union.
+        q.phase = Phase::Gather;
+        let mut peers: Vec<NodeId> = Vec::new();
+        let mut seen = HashSet::new();
+        for slot in &q.providers {
+            for p in slot.as_deref().unwrap_or_default() {
+                if seen.insert(*p) {
+                    peers.push(*p);
+                }
+            }
+        }
+        peers.sort();
+        for p in &peers {
+            q.outstanding.insert(*p, 0);
+        }
+        q.peers = peers.clone();
+        let q = &self.multi[&qid];
+        let mut actions = Vec::new();
+        for p in peers {
+            actions.push(Action::Send { to: p, msg: self.multi_subquery_for(qid, q) });
+            actions.push(Action::Schedule {
+                after: self.cfg.ack_timeout,
+                msg: LiveMsg::Deadline {
+                    qid,
+                    stage: DeadlineStage::Ack { provider: p, attempt: 0 },
+                },
+            });
+        }
+        actions
+    }
+
+    /// A shuffle target's locally-joined fragment (HyperCube gathers
+    /// through plain [`LiveMsg::Solutions`] frames).
+    fn on_multi_solutions(
+        &mut self,
+        qid: QueryId,
+        from: NodeId,
+        solutions: Vec<Solution>,
+    ) -> Vec<Action> {
+        let stale = match self.multi.get_mut(&qid) {
+            None => true,
+            Some(q) => q.phase != Phase::Gather || q.outstanding.remove(&from).is_none(),
+        };
+        if stale {
+            self.counters.stale_replies += 1;
+            return Vec::new();
+        }
+        let q = self.multi.get_mut(&qid).expect("checked in flight");
+        q.collected.extend_distinct(solutions);
+        if q.outstanding.is_empty() {
+            let complete = q.failed.is_empty();
+            return self.finish_multi(qid, complete);
+        }
+        Vec::new()
+    }
+
+    fn on_partial_matches(
+        &mut self,
+        qid: QueryId,
+        from: NodeId,
+        per_pattern: Vec<Vec<Solution>>,
+    ) -> Vec<Action> {
+        let stale = match self.multi.get_mut(&qid) {
+            None => true,
+            Some(q) => q.phase != Phase::Gather
+                || per_pattern.len() != q.per_pattern.len()
+                || q.outstanding.remove(&from).is_none(),
+        };
+        if stale {
+            self.counters.stale_replies += 1;
+            return Vec::new();
+        }
+        let q = self.multi.get_mut(&qid).expect("checked in flight");
+        // The provider's own cross-pattern join: everything it could
+        // answer without help. Assembly rows beyond the union of these
+        // are the stitched cross-site matches.
+        let mut local = vec![Solution::new()];
+        for (buf, sols) in q.per_pattern.iter_mut().zip(&per_pattern) {
+            let mut mine = DistinctBuffer::new();
+            for s in sols {
+                mine.push(s.clone());
+                buf.push(s.clone());
+            }
+            local = rdfmesh_sparql::solution::join(&local, mine.as_slice());
+        }
+        q.local_complete.extend_distinct(local);
+        if q.outstanding.is_empty() {
+            let complete = q.failed.is_empty();
+            return self.finish_multi(qid, complete);
+        }
+        Vec::new()
+    }
+
+    fn on_multi_lookup_timeout(&mut self, qid: QueryId, idx: u32, attempt: u8) -> Vec<Action> {
+        let i = idx as usize;
+        let Some(q) = self.multi.get_mut(&qid) else { return Vec::new() };
+        if q.phase != Phase::AwaitProviders
+            || i >= q.lookup_attempts.len()
+            || q.providers[i].is_some()
+            || q.lookup_attempts[i] != attempt
+        {
+            return Vec::new(); // answered, or a stale deadline
+        }
+        if attempt < self.cfg.retries {
+            q.lookup_attempts[i] = attempt + 1;
+            self.counters.retries += 1;
+            let pattern = q.patterns[i].clone();
+            vec![
+                Action::Send {
+                    to: self.index,
+                    msg: LiveMsg::MultiLookup { qid, idx, pattern, reply_to: self.me },
+                },
+                Action::Schedule {
+                    after: self.cfg.lookup_timeout,
+                    msg: LiveMsg::Deadline {
+                        qid,
+                        stage: DeadlineStage::MultiLookup { idx, attempt: attempt + 1 },
+                    },
+                },
+            ]
+        } else {
+            self.counters.lookup_failures += 1;
+            self.finish_multi(qid, false)
+        }
+    }
+
+    fn on_multi_ack_timeout(&mut self, qid: QueryId, provider: NodeId, attempt: u8) -> Vec<Action> {
+        let Some(q) = self.multi.get_mut(&qid) else { return Vec::new() };
+        if q.phase != Phase::Gather || q.outstanding.get(&provider) != Some(&attempt) {
+            return Vec::new(); // answered, escalated, or a stale deadline
+        }
+        if attempt < self.cfg.retries {
+            q.outstanding.insert(provider, attempt + 1);
+            self.counters.retries += 1;
+            let q = &self.multi[&qid];
+            vec![
+                Action::Send { to: provider, msg: self.multi_subquery_for(qid, q) },
+                Action::Schedule {
+                    after: self.cfg.ack_timeout,
+                    msg: LiveMsg::Deadline {
+                        qid,
+                        stage: DeadlineStage::Ack { provider, attempt: attempt + 1 },
+                    },
+                },
+            ]
+        } else {
+            q.outstanding.remove(&provider);
+            q.failed.push(provider);
+            self.counters.ack_timeouts += 1;
+            // Purge the dead provider from every pattern row that named
+            // it — each slot's key may live at a different index owner.
+            let dead_for: Vec<TriplePattern> = q
+                .providers
+                .iter()
+                .zip(&q.patterns)
+                .filter(|(slot, _)| slot.as_deref().is_some_and(|ps| ps.contains(&provider)))
+                .map(|(_, pattern)| pattern.clone())
+                .collect();
+            // A HyperCube generation cannot finish without every peer's
+            // partitions — the surviving targets are stalled waiting for
+            // the dead peer's scatter. Re-issue the round over the
+            // survivors under a bumped generation; partitions from the
+            // abandoned one are fenced off by the round tag.
+            let restart = q.strategy == DistStrategy::HyperCube;
+            if restart {
+                q.peers.retain(|p| *p != provider);
+                q.round += 1;
+                q.outstanding = q.peers.iter().map(|p| (*p, 0)).collect();
+            }
+            let done = q.outstanding.is_empty();
+            let mut actions: Vec<Action> = dead_for
+                .into_iter()
+                .map(|pattern| Action::Send {
+                    to: self.index,
+                    msg: LiveMsg::ProviderDead { pattern, provider },
+                })
+                .collect();
+            if done {
+                actions.extend(self.finish_multi(qid, false));
+            } else if restart {
+                let q = &self.multi[&qid];
+                let peers = q.peers.clone();
+                for p in peers {
+                    actions.push(Action::Send { to: p, msg: self.multi_subquery_for(qid, q) });
+                    actions.push(Action::Schedule {
+                        after: self.cfg.ack_timeout,
+                        msg: LiveMsg::Deadline {
+                            qid,
+                            stage: DeadlineStage::Ack { provider: p, attempt: 0 },
+                        },
+                    });
+                }
+            }
+            actions
+        }
+    }
+
+    fn finish_multi(&mut self, qid: QueryId, complete: bool) -> Vec<Action> {
+        let Some(q) = self.multi.remove(&qid) else { return Vec::new() };
+        if !complete {
+            self.counters.incomplete_queries += 1;
+        }
+        let solutions = match q.strategy {
+            DistStrategy::HyperCube => q.collected.into_vec(),
+            _ => {
+                // Assembly (partial evaluation): fold-join the deduped
+                // per-pattern unions in pattern order.
+                let mut acc = vec![Solution::new()];
+                for buf in &q.per_pattern {
+                    acc = rdfmesh_sparql::solution::join(&acc, buf.as_slice());
+                }
+                let mut assembled = DistinctBuffer::new();
+                assembled.extend_distinct(acc);
+                self.counters.stitched_rows +=
+                    assembled.len().saturating_sub(q.local_complete.len()) as u64;
+                assembled.into_vec()
+            }
+        };
+        // Let the providers retire any retained shuffle state.
+        let mut actions: Vec<Action> = q
+            .peers
+            .iter()
+            .map(|p| Action::Send { to: *p, msg: LiveMsg::MultiDone { qid } })
+            .collect();
+        actions.push(Action::Finish {
+            qid,
+            answer: LiveAnswer {
+                triples: Vec::new(),
+                solutions,
+                complete,
+                failed_providers: q.failed,
+            },
+        });
+        actions
     }
 }
 
@@ -774,6 +1319,7 @@ impl Coordinator {
         self.shared.add_stale_replies(now.stale_replies - last.stale_replies);
         self.shared.add_incomplete_queries(now.incomplete_queries - last.incomplete_queries);
         self.shared.add_lookup_failures(now.lookup_failures - last.lookup_failures);
+        self.shared.add_stitched_rows(now.stitched_rows - last.stitched_rows);
         self.synced = now;
     }
 }
@@ -837,6 +1383,28 @@ impl Handler<LiveMsg> for IndexNode {
                     }
                 }
             }
+            LiveMsg::MultiLookup { qid, idx, pattern, reply_to } => {
+                // Same owner routing as a plain lookup; the reply echoes
+                // the pattern slot so the coordinator can fill it in.
+                match key_for_pattern(self.space, &pattern) {
+                    None => {
+                        out.send(
+                            reply_to,
+                            LiveMsg::MultiProviders { qid, idx, providers: Vec::new() },
+                        );
+                    }
+                    Some(k) => {
+                        let owner = self.owner_of(k.id.0);
+                        if owner == out.me() {
+                            let providers =
+                                lock(&self.table).get(&k.id.0).cloned().unwrap_or_default();
+                            out.send(reply_to, LiveMsg::MultiProviders { qid, idx, providers });
+                        } else {
+                            out.send(owner, LiveMsg::MultiLookup { qid, idx, pattern, reply_to });
+                        }
+                    }
+                }
+            }
             LiveMsg::ProviderDead { pattern, provider } => {
                 let Some(k) = key_for_pattern(self.space, &pattern) else { return };
                 let owner = self.owner_of(k.id.0);
@@ -873,9 +1441,44 @@ impl Handler<LiveMsg> for IndexNode {
     }
 }
 
+/// Per-query state a storage node keeps while a HyperCube shuffle is in
+/// flight: the exec frame and its peers' partitions can arrive in any
+/// order, and a retransmitted exec must re-ship the finished answer
+/// instead of re-scattering partitions.
+/// The retained copy of a [`LiveMsg::ShuffleExec`] frame's fields.
+#[derive(Debug)]
+pub(crate) struct ShuffleExecFrame {
+    patterns: Vec<TriplePattern>,
+    peers: Vec<NodeId>,
+    reply_to: NodeId,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ShuffleState {
+    /// The shuffle generation the retained state belongs to. Frames
+    /// tagged with a newer generation supersede everything here (the
+    /// coordinator restarted the round over the surviving peers); frames
+    /// from an older one are dropped.
+    round: u32,
+    /// The exec frame's fields, once it arrived (`join_vars` are
+    /// consumed by the scatter and not retained).
+    exec: Option<ShuffleExecFrame>,
+    /// origin peer → its per-pattern partitions destined for this node.
+    /// Keyed by origin, so a retransmitted partition frame is idempotent.
+    received: HashMap<NodeId, Vec<Vec<Solution>>>,
+    /// The shipped local join, kept for retransmit resends.
+    answer: Option<Vec<Solution>>,
+}
+
+/// Shuffle entries for more queries than this trigger an eviction of
+/// finished entries — the backstop for lost [`LiveMsg::MultiDone`]s.
+const SHUFFLE_STATE_CAP: usize = 1024;
+
 pub(crate) struct LiveStorage {
     pub(crate) store: SharedStore,
     pub(crate) stats: Arc<LiveStats>,
+    /// In-flight HyperCube rounds this node participates in.
+    pub(crate) shuffle: HashMap<QueryId, ShuffleState>,
 }
 
 impl LiveStorage {
@@ -895,10 +1498,49 @@ impl LiveStorage {
         self.stats.add_solution_bytes(wire::encode(&solutions).len() as u64);
         solutions
     }
+
+    /// Admits a new shuffle entry, evicting finished ones first when a
+    /// lost `MultiDone` let the map grow past the cap.
+    fn shuffle_entry(&mut self, qid: QueryId) -> &mut ShuffleState {
+        if self.shuffle.len() >= SHUFFLE_STATE_CAP && !self.shuffle.contains_key(&qid) {
+            self.shuffle.retain(|_, st| st.answer.is_none());
+        }
+        self.shuffle.entry(qid).or_default()
+    }
+
+    /// Ships the local join once the exec frame and every peer's
+    /// partitions are in. The per-pattern fragment this node joins is
+    /// the union (deduped) of its own partition slice and every
+    /// [`LiveMsg::ShufflePart`] addressed to it — solutions that agree
+    /// on the join variables land at the same target, so the union of
+    /// all targets' local joins is the full join.
+    fn try_finish_shuffle(&mut self, qid: QueryId, out: &Outbox<LiveMsg>) {
+        let Some(st) = self.shuffle.get_mut(&qid) else { return };
+        let Some(ShuffleExecFrame { patterns, peers, reply_to }) = &st.exec else { return };
+        if st.answer.is_some() || st.received.len() < peers.len() {
+            return;
+        }
+        let mut acc = vec![Solution::new()];
+        for pi in 0..patterns.len() {
+            let mut fragment = DistinctBuffer::new();
+            for parts in st.received.values() {
+                fragment.extend_distinct(parts.get(pi).cloned().unwrap_or_default());
+            }
+            acc = rdfmesh_sparql::solution::join(&acc, fragment.as_slice());
+        }
+        let mut distinct = DistinctBuffer::new();
+        distinct.extend_distinct(acc);
+        let solutions = distinct.into_vec();
+        self.stats.add_solutions_shipped(solutions.len() as u64);
+        self.stats.add_solution_bytes(wire::encode(&solutions).len() as u64);
+        out.send(*reply_to, LiveMsg::Solutions { qid, solutions: solutions.clone() });
+        st.answer = Some(solutions);
+    }
 }
 
 impl Handler<LiveMsg> for LiveStorage {
     fn on_message(&mut self, envelope: Envelope<LiveMsg>, out: &Outbox<LiveMsg>) {
+        let from = envelope.from;
         match envelope.payload {
             LiveMsg::SubQuery { qid, pattern, reply_to } => {
                 let triples = self.store.match_pattern(&pattern);
@@ -917,6 +1559,96 @@ impl Handler<LiveMsg> for LiveStorage {
                 self.stats.add_batches(1);
                 self.stats.add_batched_rounds(entries.len() as u64);
                 out.send(reply_to, LiveMsg::SolutionsBatch { entries });
+            }
+            LiveMsg::ShuffleExec { qid, round, patterns, join_vars, peers, reply_to } => {
+                // A newer generation supersedes any retained state: the
+                // coordinator restarted the round over the survivors.
+                if self.shuffle.get(&qid).is_some_and(|st| round > st.round) {
+                    self.shuffle.remove(&qid);
+                }
+                if let Some(st) = self.shuffle.get(&qid) {
+                    if round < st.round {
+                        return; // exec from an abandoned generation
+                    }
+                    if let Some(answer) = st.answer.clone() {
+                        // Retransmitted exec after the answer already
+                        // shipped: resend it (the coordinator dedups).
+                        out.send(reply_to, LiveMsg::Solutions { qid, solutions: answer });
+                        return;
+                    }
+                }
+                let me = out.me();
+                self.shuffle_entry(qid).round = round;
+                if self.shuffle_entry(qid).exec.is_none() {
+                    // Evaluate every pattern locally and scatter each
+                    // solution to the peer its join-variable bindings
+                    // hash to. Empty partitions ship too: a target can
+                    // only join once it heard from every peer.
+                    let k = peers.len().max(1);
+                    let unit = vec![Solution::new()];
+                    let mut parts: Vec<Vec<Vec<Solution>>> =
+                        vec![vec![Vec::new(); patterns.len()]; k];
+                    for (pi, pattern) in patterns.iter().enumerate() {
+                        let sols = rdfmesh_sparql::eval::evaluate_pattern_with(
+                            &self.store,
+                            pattern,
+                            &unit,
+                        );
+                        for s in sols {
+                            let target = crate::exec::shuffle_partition(&s, &join_vars, k);
+                            parts[target][pi].push(s);
+                        }
+                    }
+                    for (slot, peer) in peers.iter().enumerate() {
+                        let mine = std::mem::take(&mut parts[slot]);
+                        if *peer == me {
+                            self.shuffle_entry(qid).received.insert(me, mine);
+                        } else {
+                            let shipped: usize = mine.iter().map(Vec::len).sum();
+                            let bytes: usize =
+                                mine.iter().map(|set| wire::encode(set).len()).sum();
+                            self.stats.add_shuffle_parts(shipped as u64);
+                            self.stats.add_shuffle_bytes(bytes as u64);
+                            out.send(*peer, LiveMsg::ShufflePart { qid, round, parts: mine });
+                        }
+                    }
+                    self.shuffle_entry(qid).exec =
+                        Some(ShuffleExecFrame { patterns, peers, reply_to });
+                }
+                self.try_finish_shuffle(qid, out);
+            }
+            LiveMsg::ShufflePart { qid, round, parts } => {
+                // A partition of a newer generation can outrun its exec
+                // frame: drop the abandoned generation's state and start
+                // collecting under the new one.
+                if self.shuffle.get(&qid).is_some_and(|st| round > st.round) {
+                    self.shuffle.remove(&qid);
+                }
+                let entry = self.shuffle_entry(qid);
+                if round < entry.round {
+                    return; // partition from an abandoned generation
+                }
+                entry.round = round;
+                entry.received.entry(from).or_insert(parts);
+                self.try_finish_shuffle(qid, out);
+            }
+            LiveMsg::PartialExec { qid, patterns, reply_to } => {
+                // Partial evaluation: answer every pattern over local
+                // data in one shot. Stateless, so a retransmission just
+                // recomputes the same reply.
+                let unit = vec![Solution::new()];
+                let per_pattern: Vec<Vec<Solution>> = patterns
+                    .iter()
+                    .map(|p| rdfmesh_sparql::eval::evaluate_pattern_with(&self.store, p, &unit))
+                    .collect();
+                let shipped: usize = per_pattern.iter().map(Vec::len).sum();
+                let bytes: usize = per_pattern.iter().map(|set| wire::encode(set).len()).sum();
+                self.stats.add_solutions_shipped(shipped as u64);
+                self.stats.add_solution_bytes(bytes as u64);
+                out.send(reply_to, LiveMsg::PartialMatches { qid, per_pattern });
+            }
+            LiveMsg::MultiDone { qid } => {
+                self.shuffle.remove(&qid);
             }
             _ => {}
         }
@@ -1172,7 +1904,14 @@ impl LiveMesh {
         let mut flood: Vec<NodeId> = Vec::new();
         for storage in overlay.storage_nodes() {
             let store = overlay.storage_node(storage).expect("listed").store.clone();
-            nodes.push((storage, Box::new(LiveStorage { store, stats: Arc::clone(&stats) })));
+            nodes.push((
+                storage,
+                Box::new(LiveStorage {
+                    store,
+                    stats: Arc::clone(&stats),
+                    shuffle: HashMap::new(),
+                }),
+            ));
             flood.push(storage);
         }
         flood.sort();
@@ -1259,6 +1998,40 @@ impl LiveMesh {
         let (tx, rx) = bounded(1);
         lock(&self.pending).insert(qid, tx);
         let _ = self.submit.send(SolRound { qid, pattern, filter, bound });
+        RoundHandle::new(qid, rx, Arc::clone(&self.pending))
+    }
+
+    /// Resolves a whole multi-pattern BGP in a single distributed round
+    /// — HyperCube shuffle or partial-evaluation-and-assembly — instead
+    /// of pattern-by-pattern chained shipping, blocking up to `timeout`.
+    pub fn query_multiway(
+        &self,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+        timeout: Duration,
+    ) -> Option<LiveAnswer> {
+        self.submit_multiway(patterns, join_vars, strategy).wait(timeout)
+    }
+
+    /// The non-blocking half of [`LiveMesh::query_multiway`]. Multiway
+    /// rounds bypass the submit pump (they never coalesce with chained
+    /// rounds) and inject directly at the coordinator.
+    pub fn submit_multiway(
+        &self,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+    ) -> RoundHandle {
+        self.stats.add_solution_rounds(1);
+        let qid = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded(1);
+        lock(&self.pending).insert(qid, tx);
+        self.cluster.inject(
+            self.coordinator,
+            self.coordinator,
+            LiveMsg::SubmitMulti { qid, patterns, join_vars, strategy },
+        );
         RoundHandle::new(qid, rx, Arc::clone(&self.pending))
     }
 
@@ -1882,6 +2655,317 @@ mod tests {
                 assert_eq!(answer.failed_providers, vec![P1]);
             }
             assert!(c.in_flight.is_empty());
+        }
+
+        #[test]
+        fn distinct_buffer_gather_matches_naive_contains_dedup() {
+            // Twin run: the same duplicated reply stream through the
+            // state machine (DistinctBuffer gather) and through the old
+            // Vec-plus-contains accumulator must agree exactly —
+            // first-seen order included.
+            let streams: Vec<(NodeId, Vec<u64>)> =
+                vec![(P1, vec![1, 2, 2, 3]), (P2, vec![2, 3, 4, 1]), (P3, vec![4, 4, 5, 1])];
+            let mut naive: Vec<Solution> = Vec::new();
+            for (_, vals) in &streams {
+                for v in vals {
+                    let s = xsol(*v);
+                    if !naive.contains(&s) {
+                        naive.push(s);
+                    }
+                }
+            }
+            let mut c = core();
+            let qid = QueryId(71);
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitSol { qid, pattern: pattern(), filter: None, bound: None },
+            );
+            c.on_event(
+                IX,
+                LiveMsg::Providers { qid, pattern: pattern(), providers: vec![P1, P2, P3] },
+            );
+            let mut done = Vec::new();
+            for (from, vals) in streams {
+                done.extend(finishes(&c.on_event(
+                    from,
+                    LiveMsg::Solutions { qid, solutions: vals.into_iter().map(xsol).collect() },
+                )));
+            }
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].1.solutions, naive);
+        }
+
+        // ---- multiway rounds (HyperCube / partial evaluation) --------
+
+        fn pattern2() -> TriplePattern {
+            TriplePattern::new(
+                TermPattern::var("x"),
+                Term::iri("http://example.org/q"),
+                TermPattern::var("z"),
+            )
+        }
+
+        fn star2() -> Vec<TriplePattern> {
+            vec![pattern(), pattern2()]
+        }
+
+        fn xvar() -> Vec<Variable> {
+            vec![Variable::new("x")]
+        }
+
+        fn xy(x: u64, y: u64) -> Solution {
+            Solution::from_pairs([
+                (Variable::new("x"), Term::iri(&format!("http://example.org/s{x}"))),
+                (Variable::new("y"), Term::iri(&format!("http://example.org/o{y}"))),
+            ])
+        }
+
+        fn xz(x: u64, z: u64) -> Solution {
+            Solution::from_pairs([
+                (Variable::new("x"), Term::iri(&format!("http://example.org/s{x}"))),
+                (Variable::new("z"), Term::iri(&format!("http://example.org/u{z}"))),
+            ])
+        }
+
+        #[test]
+        fn hypercube_round_resolves_every_slot_then_shuffles_and_gathers() {
+            let mut c = core();
+            let qid = QueryId(51);
+            let acts = c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitMulti {
+                    qid,
+                    patterns: star2(),
+                    join_vars: xvar(),
+                    strategy: DistStrategy::HyperCube,
+                },
+            );
+            let lookups: Vec<u32> = acts
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Send { to, msg: LiveMsg::MultiLookup { idx, .. } } if *to == IX => {
+                        Some(*idx)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(lookups, vec![0, 1], "one lookup per pattern slot");
+            // Slot 1 resolves first; nothing fans out until slot 0 does.
+            let idle =
+                c.on_event(IX, LiveMsg::MultiProviders { qid, idx: 1, providers: vec![P2, P3] });
+            assert!(idle.is_empty());
+            let fan =
+                c.on_event(IX, LiveMsg::MultiProviders { qid, idx: 0, providers: vec![P1, P2] });
+            let execs: Vec<(NodeId, Vec<NodeId>)> = fan
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Send { to, msg: LiveMsg::ShuffleExec { peers, .. } } => {
+                        Some((*to, peers.clone()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            // The exec frame goes to the provider union, every frame
+            // naming the full sorted union as the partition targets.
+            assert_eq!(execs.iter().map(|(to, _)| *to).collect::<Vec<_>>(), vec![P1, P2, P3]);
+            for (_, peers) in &execs {
+                assert_eq!(peers, &vec![P1, P2, P3]);
+            }
+            // Targets answer with locally-joined fragments; duplicates
+            // across fragments collapse, and the round retires its peers.
+            assert!(finishes(&c.on_event(P1, LiveMsg::Solutions { qid, solutions: vec![xsol(1)] }))
+                .is_empty());
+            assert!(finishes(
+                &c.on_event(P2, LiveMsg::Solutions { qid, solutions: vec![xsol(1), xsol(2)] })
+            )
+            .is_empty());
+            let last = c.on_event(P3, LiveMsg::Solutions { qid, solutions: vec![xsol(3)] });
+            let done = finishes(&last);
+            assert_eq!(done.len(), 1);
+            assert!(done[0].1.complete);
+            assert_eq!(done[0].1.solutions, vec![xsol(1), xsol(2), xsol(3)]);
+            let retire = last
+                .iter()
+                .filter(|a| matches!(a, Action::Send { msg: LiveMsg::MultiDone { .. }, .. }))
+                .count();
+            assert_eq!(retire, 3, "MultiDone broadcast to every peer");
+            assert!(c.multi.is_empty(), "no state leaks after completion");
+        }
+
+        #[test]
+        fn partial_eval_assembles_cross_site_rows_and_counts_stitches() {
+            let mut c = core();
+            let qid = QueryId(52);
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitMulti {
+                    qid,
+                    patterns: star2(),
+                    join_vars: xvar(),
+                    strategy: DistStrategy::PartialEval,
+                },
+            );
+            c.on_event(IX, LiveMsg::MultiProviders { qid, idx: 0, providers: vec![P1] });
+            let fan = c.on_event(IX, LiveMsg::MultiProviders { qid, idx: 1, providers: vec![P2] });
+            assert!(fan.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: LiveMsg::PartialExec { .. } } if *to == P1
+            )));
+            // P1 holds only pattern-0 rows and P2 only pattern-1 rows:
+            // no provider joins anything locally, so the one assembled
+            // row is a stitched cross-site match.
+            c.on_event(
+                P1,
+                LiveMsg::PartialMatches {
+                    qid,
+                    per_pattern: vec![vec![xy(1, 1), xy(2, 1)], Vec::new()],
+                },
+            );
+            let done = finishes(&c.on_event(
+                P2,
+                LiveMsg::PartialMatches { qid, per_pattern: vec![Vec::new(), vec![xz(1, 5)]] },
+            ));
+            assert_eq!(done.len(), 1);
+            assert!(done[0].1.complete);
+            let expect = rdfmesh_sparql::solution::join(&[xy(1, 1)], &[xz(1, 5)]);
+            assert_eq!(done[0].1.solutions, expect, "only the compatible pair assembles");
+            assert_eq!(c.counters.stitched_rows, 1);
+        }
+
+        #[test]
+        fn multiway_dead_provider_retries_then_purges_every_slot_it_served() {
+            let mut c = core();
+            let qid = QueryId(53);
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitMulti {
+                    qid,
+                    patterns: star2(),
+                    join_vars: xvar(),
+                    strategy: DistStrategy::HyperCube,
+                },
+            );
+            c.on_event(IX, LiveMsg::MultiProviders { qid, idx: 0, providers: vec![P1, P2] });
+            c.on_event(IX, LiveMsg::MultiProviders { qid, idx: 1, providers: vec![P2] });
+            c.on_event(P1, LiveMsg::Solutions { qid, solutions: vec![xsol(1)] });
+            // P2 misses its deadline: first a full exec retransmission...
+            let retry = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::Ack { provider: P2, attempt: 0 } },
+            );
+            assert!(retry.iter().any(|a| matches!(
+                a,
+                Action::Send { to, msg: LiveMsg::ShuffleExec { .. } } if *to == P2
+            )));
+            // ...then it is declared dead, purged from *both* pattern
+            // rows, and the shuffle restarts over the survivors under a
+            // bumped generation (round-0 targets were stalled waiting
+            // for P2's partitions, so their fragments cannot be trusted
+            // to ever arrive).
+            let give_up = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::Ack { provider: P2, attempt: 1 } },
+            );
+            let dead: usize = give_up
+                .iter()
+                .filter(|a| matches!(
+                    a,
+                    Action::Send { to, msg: LiveMsg::ProviderDead { provider, .. } }
+                        if *to == IX && *provider == P2
+                ))
+                .count();
+            assert_eq!(dead, 2, "one purge per pattern row naming P2");
+            assert!(finishes(&give_up).is_empty(), "the restarted round is still in flight");
+            let restarts: Vec<(NodeId, u32, Vec<NodeId>)> = give_up
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Send { to, msg: LiveMsg::ShuffleExec { round, peers, .. } } => {
+                        Some((*to, *round, peers.clone()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                restarts,
+                vec![(P1, 1, vec![P1])],
+                "generation 1 re-executes over the surviving peer only"
+            );
+            // The survivor's generation-1 fragment finishes the round
+            // partial: P2's data is lost, everything else survives.
+            let done = finishes(&c.on_event(P1, LiveMsg::Solutions { qid, solutions: vec![xsol(1)] }));
+            assert_eq!(done.len(), 1);
+            assert!(!done[0].1.complete);
+            assert_eq!(done[0].1.failed_providers, vec![P2]);
+            assert_eq!(done[0].1.solutions, vec![xsol(1)]);
+        }
+
+        #[test]
+        fn multiway_empty_provider_slot_finishes_complete_and_empty() {
+            let mut c = core();
+            let qid = QueryId(54);
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitMulti {
+                    qid,
+                    patterns: star2(),
+                    join_vars: xvar(),
+                    strategy: DistStrategy::HyperCube,
+                },
+            );
+            // One pattern matches nothing anywhere: the conjunction is
+            // empty, so the round finishes before contacting providers.
+            let done = finishes(&c.on_event(
+                IX,
+                LiveMsg::MultiProviders { qid, idx: 0, providers: Vec::new() },
+            ));
+            assert_eq!(done.len(), 1);
+            assert!(done[0].1.complete);
+            assert!(done[0].1.solutions.is_empty());
+            assert!(c.multi.is_empty());
+        }
+
+        #[test]
+        fn multiway_lookup_timeout_retries_per_slot_then_fails() {
+            let mut c = core();
+            let qid = QueryId(55);
+            c.on_event(
+                COORDINATOR,
+                LiveMsg::SubmitMulti {
+                    qid,
+                    patterns: star2(),
+                    join_vars: xvar(),
+                    strategy: DistStrategy::PartialEval,
+                },
+            );
+            c.on_event(IX, LiveMsg::MultiProviders { qid, idx: 0, providers: vec![P1] });
+            // A stale deadline for the already-resolved slot is inert.
+            assert!(c
+                .on_event(
+                    COORDINATOR,
+                    LiveMsg::Deadline {
+                        qid,
+                        stage: DeadlineStage::MultiLookup { idx: 0, attempt: 0 },
+                    },
+                )
+                .is_empty());
+            // Slot 1's lookup never answers: retry, then give up.
+            let retry = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::MultiLookup { idx: 1, attempt: 0 } },
+            );
+            assert!(retry.iter().any(|a| matches!(
+                a,
+                Action::Send { msg: LiveMsg::MultiLookup { idx: 1, .. }, .. }
+            )));
+            let give_up = c.on_event(
+                COORDINATOR,
+                LiveMsg::Deadline { qid, stage: DeadlineStage::MultiLookup { idx: 1, attempt: 1 } },
+            );
+            let done = finishes(&give_up);
+            assert_eq!(done.len(), 1);
+            assert!(!done[0].1.complete);
+            assert_eq!(c.counters.lookup_failures, 1);
+            assert!(c.multi.is_empty());
         }
 
         /// One abstract protocol event for the interleaving property.

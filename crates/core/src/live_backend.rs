@@ -34,14 +34,14 @@
 use std::time::Duration;
 
 use rdfmesh_net::{NodeId, SimTime};
-use rdfmesh_rdf::TriplePattern;
+use rdfmesh_rdf::{TriplePattern, Variable};
 use rdfmesh_sparql::{
     eval::NoGraph,
     solution,
     Expression, QueryResult,
 };
 
-use crate::config::ExecConfig;
+use crate::config::{DistStrategy, ExecConfig};
 use crate::exec::{self, Mat, MeshBackend, OpKind, PrimitiveOp};
 use crate::live::{LiveAnswer, LiveMesh, COORDINATOR};
 
@@ -62,6 +62,18 @@ pub trait SolutionRounds {
         bound: Option<Vec<solution::Solution>>,
         wait: Duration,
     ) -> Option<LiveAnswer>;
+
+    /// Resolves a whole multi-pattern BGP in one distributed round —
+    /// HyperCube shuffle or partial-evaluation-and-assembly — through
+    /// the live protocol. Blocks up to `wait`; `None` means the
+    /// caller-side wait expired first.
+    fn multiway_round(
+        &self,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+        wait: Duration,
+    ) -> Option<LiveAnswer>;
 }
 
 impl SolutionRounds for LiveMesh {
@@ -73,6 +85,16 @@ impl SolutionRounds for LiveMesh {
         wait: Duration,
     ) -> Option<LiveAnswer> {
         self.query_solutions(pattern, filter, bound, wait)
+    }
+
+    fn multiway_round(
+        &self,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+        wait: Duration,
+    ) -> Option<LiveAnswer> {
+        self.query_multiway(patterns, join_vars, strategy, wait)
     }
 }
 
@@ -211,6 +233,29 @@ impl MeshBackend for LiveBackend<'_> {
         self.round(pattern.clone(), None, Some(current.solutions))
     }
 
+    fn exec_multiway(
+        &mut self,
+        patterns: &[TriplePattern],
+        join_vars: &[Variable],
+        strategy: DistStrategy,
+        _depart: SimTime,
+    ) -> Result<Mat, LiveError> {
+        self.rounds += 1;
+        let answer = self
+            .mesh
+            .multiway_round(patterns.to_vec(), join_vars.to_vec(), strategy, self.wait)
+            .ok_or(LiveError::Timeout)?;
+        if !answer.complete {
+            self.complete = false;
+        }
+        for p in answer.failed_providers {
+            if !self.failed.contains(&p) {
+                self.failed.push(p);
+            }
+        }
+        Ok(Mat { solutions: answer.solutions, site: COORDINATOR, ready: SimTime::ZERO })
+    }
+
     fn exec_binary(&mut self, op: &OpKind, left: Mat, right: Mat) -> Mat {
         let solutions = match op {
             OpKind::Join => solution::join(&left.solutions, &right.solutions),
@@ -256,16 +301,28 @@ pub fn live_execute(
     bind_join: bool,
     wait: Duration,
 ) -> Result<LiveExecution, LiveError> {
+    let cfg = ExecConfig { bind_join, ..ExecConfig::default() };
+    live_execute_with(mesh, query, &cfg, wait)
+}
+
+/// [`live_execute`] with a full [`ExecConfig`] — in particular
+/// [`ExecConfig::dist`], which selects the distribution strategy for
+/// multi-pattern BGPs (chained shipping, HyperCube shuffle,
+/// partial-evaluation-and-assembly, or shape-driven `Auto`).
+/// Placement-dependent knobs (`overlap_aware`, `range_index`) are forced
+/// off: they are simulator cost-model optimizations with no live
+/// equivalent.
+pub fn live_execute_with(
+    mesh: &dyn SolutionRounds,
+    query: &str,
+    cfg: &ExecConfig,
+    wait: Duration,
+) -> Result<LiveExecution, LiveError> {
     let parsed = rdfmesh_sparql::parse_query(query)?;
     // Placement-dependent decisions (overlap hints, range probing) are
     // meaningless on a live transport; compile them out so the plan
     // contains only what the live protocol implements.
-    let cfg = ExecConfig {
-        overlap_aware: false,
-        range_index: false,
-        bind_join,
-        ..ExecConfig::default()
-    };
+    let cfg = ExecConfig { overlap_aware: false, range_index: false, ..*cfg };
     let pattern = rdfmesh_sparql::optimize(parsed.pattern.clone(), &cfg.optimizer);
     let plan = crate::planner::compile(&pattern, &cfg);
     let mut backend = LiveBackend::new(mesh, wait);
@@ -301,5 +358,21 @@ impl LiveMesh {
             .acquire(self.config().query_deadline)
             .map_err(|retry_after| LiveError::Overloaded { retry_after })?;
         live_execute(self, query, bind_join, wait)
+    }
+
+    /// [`live_execute_with`] on this mesh, admission-gated like
+    /// [`LiveMesh::execute`]: the full [`ExecConfig`] selects the
+    /// distribution strategy (`cfg.dist`) for multi-pattern BGPs.
+    pub fn execute_with(
+        &self,
+        query: &str,
+        cfg: &ExecConfig,
+        wait: Duration,
+    ) -> Result<LiveExecution, LiveError> {
+        let _permit = self
+            .admission()
+            .acquire(self.config().query_deadline)
+            .map_err(|retry_after| LiveError::Overloaded { retry_after })?;
+        live_execute_with(self, query, cfg, wait)
     }
 }

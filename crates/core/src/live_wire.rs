@@ -22,6 +22,7 @@ use rdfmesh_sparql::solution::wire::{
 };
 use rdfmesh_sparql::solution::Solution;
 
+use crate::config::DistStrategy;
 use crate::live::{DeadlineStage, LiveMsg, QueryId, SolRound};
 
 // One tag byte per `LiveMsg` variant.
@@ -40,6 +41,17 @@ const TAG_PUBLISH: u8 = 11;
 const TAG_SUBMIT_SOL_BATCH: u8 = 12;
 const TAG_SUB_QUERY_SOL_BATCH: u8 = 13;
 const TAG_SOLUTIONS_BATCH: u8 = 14;
+// Multiway distribution strategies (wire version 3): HyperCube shuffle
+// and partial-evaluation-and-assembly. Lone chained-query frames never
+// use these tags, so wire-v1/v2 byte layouts are untouched.
+const TAG_SUBMIT_MULTI: u8 = 15;
+const TAG_MULTI_LOOKUP: u8 = 16;
+const TAG_MULTI_PROVIDERS: u8 = 17;
+const TAG_SHUFFLE_EXEC: u8 = 18;
+const TAG_SHUFFLE_PART: u8 = 19;
+const TAG_PARTIAL_EXEC: u8 = 20;
+const TAG_PARTIAL_MATCHES: u8 = 21;
+const TAG_MULTI_DONE: u8 = 22;
 
 // Pattern positions: variable (name string) or constant (tagged term).
 const POS_VAR: u8 = 0;
@@ -49,6 +61,12 @@ const POS_CONST: u8 = 1;
 const STAGE_LOOKUP: u8 = 0;
 const STAGE_ACK: u8 = 1;
 const STAGE_OVERALL: u8 = 2;
+const STAGE_MULTI_LOOKUP: u8 = 3;
+
+// `DistStrategy` sub-tags.
+const DIST_CHAINED: u8 = 0;
+const DIST_HYPERCUBE: u8 = 1;
+const DIST_PARTIAL_EVAL: u8 = 2;
 
 // `Option<_>` presence flags.
 const ABSENT: u8 = 0;
@@ -196,6 +214,71 @@ fn read_sol_rounds(r: &mut Reader<'_>) -> Result<Vec<SolRound>, WireError> {
     Ok(rounds)
 }
 
+fn put_patterns(out: &mut Vec<u8>, patterns: &[TriplePattern]) {
+    put_u32(out, patterns.len() as u32);
+    for p in patterns {
+        put_pattern(out, p);
+    }
+}
+
+fn read_patterns(r: &mut Reader<'_>) -> Result<Vec<TriplePattern>, WireError> {
+    let count = r.u32()? as usize;
+    let mut patterns = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        patterns.push(read_pattern(r)?);
+    }
+    Ok(patterns)
+}
+
+fn put_vars(out: &mut Vec<u8>, vars: &[Variable]) {
+    put_u32(out, vars.len() as u32);
+    for v in vars {
+        put_str(out, v.as_str());
+    }
+}
+
+fn read_vars(r: &mut Reader<'_>) -> Result<Vec<Variable>, WireError> {
+    let count = r.u32()? as usize;
+    let mut vars = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        vars.push(Variable::new(r.str()?));
+    }
+    Ok(vars)
+}
+
+fn put_solution_sets(out: &mut Vec<u8>, sets: &[Vec<Solution>]) {
+    put_u32(out, sets.len() as u32);
+    for set in sets {
+        put_solutions(out, set);
+    }
+}
+
+fn read_solution_sets(r: &mut Reader<'_>) -> Result<Vec<Vec<Solution>>, WireError> {
+    let count = r.u32()? as usize;
+    let mut sets = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        sets.push(read_solutions(r)?);
+    }
+    Ok(sets)
+}
+
+fn put_strategy(out: &mut Vec<u8>, strategy: DistStrategy) {
+    out.push(match strategy {
+        DistStrategy::Chained => DIST_CHAINED,
+        DistStrategy::HyperCube => DIST_HYPERCUBE,
+        DistStrategy::PartialEval => DIST_PARTIAL_EVAL,
+    });
+}
+
+fn read_strategy(r: &mut Reader<'_>) -> Result<DistStrategy, WireError> {
+    match r.u8()? {
+        DIST_CHAINED => Ok(DistStrategy::Chained),
+        DIST_HYPERCUBE => Ok(DistStrategy::HyperCube),
+        DIST_PARTIAL_EVAL => Ok(DistStrategy::PartialEval),
+        _ => Err(WireError("unknown dist-strategy tag")),
+    }
+}
+
 fn put_stage(out: &mut Vec<u8>, stage: &DeadlineStage) {
     match stage {
         DeadlineStage::Lookup { attempt } => {
@@ -208,6 +291,11 @@ fn put_stage(out: &mut Vec<u8>, stage: &DeadlineStage) {
             out.push(*attempt);
         }
         DeadlineStage::Overall => out.push(STAGE_OVERALL),
+        DeadlineStage::MultiLookup { idx, attempt } => {
+            out.push(STAGE_MULTI_LOOKUP);
+            put_u32(out, *idx);
+            out.push(*attempt);
+        }
     }
 }
 
@@ -219,6 +307,10 @@ fn read_stage(r: &mut Reader<'_>) -> Result<DeadlineStage, WireError> {
             Ok(DeadlineStage::Ack { provider, attempt: r.u8()? })
         }
         STAGE_OVERALL => Ok(DeadlineStage::Overall),
+        STAGE_MULTI_LOOKUP => {
+            let idx = r.u32()?;
+            Ok(DeadlineStage::MultiLookup { idx, attempt: r.u8()? })
+        }
         _ => Err(WireError("unknown deadline-stage tag")),
     }
 }
@@ -256,10 +348,21 @@ fn size_hint(msg: &LiveMsg) -> usize {
         LiveMsg::SolutionsBatch { entries } => {
             16 + entries.iter().map(|(_, s)| 12 + solutions_hint(s)).sum::<usize>()
         }
+        LiveMsg::SubmitMulti { patterns, .. } => 16 + patterns.len() * BASE_HINT,
+        LiveMsg::MultiProviders { providers, .. } => BASE_HINT + providers.len() * 8,
+        LiveMsg::ShuffleExec { patterns, peers, .. } => {
+            16 + patterns.len() * BASE_HINT + peers.len() * 8
+        }
+        LiveMsg::PartialExec { patterns, .. } => 16 + patterns.len() * BASE_HINT,
+        LiveMsg::ShufflePart { parts: sets, .. } | LiveMsg::PartialMatches { per_pattern: sets, .. } => {
+            16 + sets.iter().map(|s| 8 + solutions_hint(s)).sum::<usize>()
+        }
         LiveMsg::Submit { .. }
         | LiveMsg::Lookup { .. }
+        | LiveMsg::MultiLookup { .. }
         | LiveMsg::SubQuery { .. }
         | LiveMsg::ProviderDead { .. }
+        | LiveMsg::MultiDone { .. }
         | LiveMsg::Deadline { .. } => BASE_HINT,
     }
 }
@@ -350,6 +453,56 @@ impl WireMsg for LiveMsg {
                     put_u64(&mut out, qid.0);
                     put_solutions(&mut out, solutions);
                 }
+            }
+            LiveMsg::SubmitMulti { qid, patterns, join_vars, strategy } => {
+                out.push(TAG_SUBMIT_MULTI);
+                put_u64(&mut out, qid.0);
+                put_patterns(&mut out, patterns);
+                put_vars(&mut out, join_vars);
+                put_strategy(&mut out, *strategy);
+            }
+            LiveMsg::MultiLookup { qid, idx, pattern, reply_to } => {
+                out.push(TAG_MULTI_LOOKUP);
+                put_u64(&mut out, qid.0);
+                put_u32(&mut out, *idx);
+                put_pattern(&mut out, pattern);
+                put_u64(&mut out, reply_to.0);
+            }
+            LiveMsg::MultiProviders { qid, idx, providers } => {
+                out.push(TAG_MULTI_PROVIDERS);
+                put_u64(&mut out, qid.0);
+                put_u32(&mut out, *idx);
+                put_node_ids(&mut out, providers);
+            }
+            LiveMsg::ShuffleExec { qid, round, patterns, join_vars, peers, reply_to } => {
+                out.push(TAG_SHUFFLE_EXEC);
+                put_u64(&mut out, qid.0);
+                put_u32(&mut out, *round);
+                put_patterns(&mut out, patterns);
+                put_vars(&mut out, join_vars);
+                put_node_ids(&mut out, peers);
+                put_u64(&mut out, reply_to.0);
+            }
+            LiveMsg::ShufflePart { qid, round, parts } => {
+                out.push(TAG_SHUFFLE_PART);
+                put_u64(&mut out, qid.0);
+                put_u32(&mut out, *round);
+                put_solution_sets(&mut out, parts);
+            }
+            LiveMsg::PartialExec { qid, patterns, reply_to } => {
+                out.push(TAG_PARTIAL_EXEC);
+                put_u64(&mut out, qid.0);
+                put_patterns(&mut out, patterns);
+                put_u64(&mut out, reply_to.0);
+            }
+            LiveMsg::PartialMatches { qid, per_pattern } => {
+                out.push(TAG_PARTIAL_MATCHES);
+                put_u64(&mut out, qid.0);
+                put_solution_sets(&mut out, per_pattern);
+            }
+            LiveMsg::MultiDone { qid } => {
+                out.push(TAG_MULTI_DONE);
+                put_u64(&mut out, qid.0);
             }
         }
         out
@@ -444,6 +597,53 @@ impl WireMsg for LiveMsg {
                 }
                 LiveMsg::SolutionsBatch { entries }
             }
+            TAG_SUBMIT_MULTI => {
+                let qid = QueryId(r.u64().map_err(fault)?);
+                let patterns = read_patterns(&mut r).map_err(fault)?;
+                let join_vars = read_vars(&mut r).map_err(fault)?;
+                let strategy = read_strategy(&mut r).map_err(fault)?;
+                LiveMsg::SubmitMulti { qid, patterns, join_vars, strategy }
+            }
+            TAG_MULTI_LOOKUP => {
+                let qid = QueryId(r.u64().map_err(fault)?);
+                let idx = r.u32().map_err(fault)?;
+                let pattern = read_pattern(&mut r).map_err(fault)?;
+                let reply_to = NodeId(r.u64().map_err(fault)?);
+                LiveMsg::MultiLookup { qid, idx, pattern, reply_to }
+            }
+            TAG_MULTI_PROVIDERS => {
+                let qid = QueryId(r.u64().map_err(fault)?);
+                let idx = r.u32().map_err(fault)?;
+                let providers = read_node_ids(&mut r).map_err(fault)?;
+                LiveMsg::MultiProviders { qid, idx, providers }
+            }
+            TAG_SHUFFLE_EXEC => {
+                let qid = QueryId(r.u64().map_err(fault)?);
+                let round = r.u32().map_err(fault)?;
+                let patterns = read_patterns(&mut r).map_err(fault)?;
+                let join_vars = read_vars(&mut r).map_err(fault)?;
+                let peers = read_node_ids(&mut r).map_err(fault)?;
+                let reply_to = NodeId(r.u64().map_err(fault)?);
+                LiveMsg::ShuffleExec { qid, round, patterns, join_vars, peers, reply_to }
+            }
+            TAG_SHUFFLE_PART => {
+                let qid = QueryId(r.u64().map_err(fault)?);
+                let round = r.u32().map_err(fault)?;
+                let parts = read_solution_sets(&mut r).map_err(fault)?;
+                LiveMsg::ShufflePart { qid, round, parts }
+            }
+            TAG_PARTIAL_EXEC => {
+                let qid = QueryId(r.u64().map_err(fault)?);
+                let patterns = read_patterns(&mut r).map_err(fault)?;
+                let reply_to = NodeId(r.u64().map_err(fault)?);
+                LiveMsg::PartialExec { qid, patterns, reply_to }
+            }
+            TAG_PARTIAL_MATCHES => {
+                let qid = QueryId(r.u64().map_err(fault)?);
+                let per_pattern = read_solution_sets(&mut r).map_err(fault)?;
+                LiveMsg::PartialMatches { qid, per_pattern }
+            }
+            TAG_MULTI_DONE => LiveMsg::MultiDone { qid: QueryId(r.u64().map_err(fault)?) },
             _ => return Err(WireFault("unknown live-message tag")),
         };
         r.finish().map_err(fault)?;
@@ -570,6 +770,125 @@ mod tests {
     fn unknown_tag_is_rejected() {
         assert!(LiveMsg::decode_wire(&[0xEE]).is_err());
         assert!(LiveMsg::decode_wire(&[]).is_err());
+    }
+
+    /// One instance of every wire-v3 multiway frame, fields populated.
+    fn multiway_msgs() -> Vec<LiveMsg> {
+        vec![
+            LiveMsg::SubmitMulti {
+                qid: QueryId(30),
+                patterns: vec![pattern(), pattern()],
+                join_vars: vec![Variable::new("x")],
+                strategy: DistStrategy::HyperCube,
+            },
+            LiveMsg::SubmitMulti {
+                qid: QueryId(31),
+                patterns: vec![pattern(), pattern(), pattern()],
+                join_vars: Vec::new(),
+                strategy: DistStrategy::PartialEval,
+            },
+            LiveMsg::MultiLookup {
+                qid: QueryId(32),
+                idx: 1,
+                pattern: pattern(),
+                reply_to: NodeId(u64::MAX),
+            },
+            LiveMsg::MultiProviders {
+                qid: QueryId(33),
+                idx: 2,
+                providers: vec![NodeId(1), NodeId(2)],
+            },
+            LiveMsg::MultiProviders { qid: QueryId(34), idx: 0, providers: Vec::new() },
+            LiveMsg::ShuffleExec {
+                qid: QueryId(35),
+                round: 2,
+                patterns: vec![pattern(), pattern()],
+                join_vars: vec![Variable::new("x"), Variable::new("age")],
+                peers: vec![NodeId(1), NodeId(2), NodeId(3)],
+                reply_to: NodeId(u64::MAX),
+            },
+            LiveMsg::ShufflePart {
+                qid: QueryId(36),
+                round: 1,
+                parts: vec![vec![solution()], Vec::new(), vec![solution(), Solution::new()]],
+            },
+            LiveMsg::PartialExec {
+                qid: QueryId(37),
+                patterns: vec![pattern(), pattern(), pattern()],
+                reply_to: NodeId(4),
+            },
+            LiveMsg::PartialMatches {
+                qid: QueryId(38),
+                per_pattern: vec![vec![solution(), solution()], vec![Solution::new()]],
+            },
+            LiveMsg::MultiDone { qid: QueryId(39) },
+            LiveMsg::Deadline {
+                qid: QueryId(40),
+                stage: DeadlineStage::MultiLookup { idx: 7, attempt: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_multiway_variant_round_trips() {
+        for msg in multiway_msgs() {
+            let back = round_trip(&msg);
+            assert_eq!(back.encode_wire(), msg.encode_wire(), "round trip preserves {msg:?}");
+        }
+    }
+
+    #[test]
+    fn multiway_frames_reject_truncated_and_overlong_bodies() {
+        for msg in multiway_msgs() {
+            let bytes = msg.encode_wire();
+            // Every truncated prefix must fail, never half-parse.
+            for len in 0..bytes.len() {
+                assert!(
+                    LiveMsg::decode_wire(&bytes[..len]).is_err(),
+                    "truncation at {len}/{} must not decode {msg:?}",
+                    bytes.len()
+                );
+            }
+            // An over-long body (trailing garbage) must fail `finish()`.
+            let mut long = bytes.clone();
+            long.push(0);
+            assert!(
+                LiveMsg::decode_wire(&long).is_err(),
+                "trailing byte must not decode {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_strategy_tag_is_rejected() {
+        let mut bytes = LiveMsg::SubmitMulti {
+            qid: QueryId(41),
+            patterns: vec![pattern()],
+            join_vars: Vec::new(),
+            strategy: DistStrategy::HyperCube,
+        }
+        .encode_wire();
+        let tag = bytes.len() - 1;
+        bytes[tag] = 9;
+        assert!(LiveMsg::decode_wire(&bytes).is_err(), "invalid strategy tag must fail");
+    }
+
+    /// Deterministic single-byte fuzz: every corruption of every
+    /// multiway frame either fails cleanly or decodes to *some* valid
+    /// frame — the decoder must never panic, over-read, or loop on
+    /// adversarial input (lengths and tags are the dangerous bytes).
+    #[test]
+    fn mutated_multiway_frames_never_panic() {
+        for msg in multiway_msgs() {
+            let bytes = msg.encode_wire();
+            for i in 0..bytes.len() {
+                for delta in [1u8, 0x7f, 0xff] {
+                    let mut mutated = bytes.clone();
+                    mutated[i] = mutated[i].wrapping_add(delta);
+                    let _ = LiveMsg::decode_wire(&mutated);
+                }
+            }
+        }
     }
 
     #[test]

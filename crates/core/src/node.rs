@@ -33,7 +33,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use rdfmesh_net::{FaultPlan, Handler, NodeId, TcpCluster, TransportSnapshot};
 use rdfmesh_overlay::{key_for_pattern, keys_for_triple};
-use rdfmesh_rdf::TriplePattern;
+use rdfmesh_rdf::{TriplePattern, Variable};
 #[cfg(test)]
 use rdfmesh_rdf::TripleStore;
 use rdfmesh_sparql::expr::Expression;
@@ -41,13 +41,13 @@ use rdfmesh_sparql::solution::wire::{put_str, put_u64, Reader, WireError};
 use rdfmesh_sparql::solution::Solution;
 
 use crate::admission::Admission;
-use crate::config::LiveConfig;
+use crate::config::{DistStrategy, ExecConfig, LiveConfig};
 use crate::live::{
     lock, owner_in_view, rlock, spawn_submit_pump, wlock, Coordinator, CoordinatorCore, IndexNode,
     LiveAnswer, LiveCounters, LiveMsg, LiveStorage, PendingMap, QueryId, RingView, RoundHandle,
     SharedFlood, SharedTable, SolRound,
 };
-use crate::live_backend::{live_execute, LiveError, LiveExecution, SolutionRounds};
+use crate::live_backend::{live_execute, live_execute_with, LiveError, LiveExecution, SolutionRounds};
 use crate::stats::{LiveStats, LiveStatsSnapshot};
 
 /// Offset of a process's index-node id from its base id `n`.
@@ -306,7 +306,14 @@ impl MeshNode {
         let table: SharedTable = Arc::new(Mutex::new(HashMap::new()));
 
         let nodes: Vec<(NodeId, Box<dyn Handler<LiveMsg>>)> = vec![
-            (storage_id, Box::new(LiveStorage { store, stats: Arc::clone(&stats) })),
+            (
+                storage_id,
+                Box::new(LiveStorage {
+                    store,
+                    stats: Arc::clone(&stats),
+                    shuffle: HashMap::new(),
+                }),
+            ),
             (
                 index_id,
                 Box::new(IndexNode {
@@ -438,6 +445,42 @@ impl MeshNode {
         RoundHandle::new(qid, rx, Arc::clone(&self.pending))
     }
 
+    /// Resolves a whole multi-pattern BGP in one distributed round —
+    /// HyperCube shuffle or partial-evaluation-and-assembly — through
+    /// this process's coordinator, blocking up to `timeout`.
+    pub fn query_multiway(
+        &self,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+        timeout: Duration,
+    ) -> Option<LiveAnswer> {
+        self.submit_multiway(patterns, join_vars, strategy).wait(timeout)
+    }
+
+    /// The non-blocking half of [`MeshNode::query_multiway`]. Multiway
+    /// rounds bypass the submit pump (they never coalesce with chained
+    /// rounds) and inject directly at this process's coordinator.
+    pub fn submit_multiway(
+        &self,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+    ) -> RoundHandle {
+        self.stats.add_solution_rounds(1);
+        let qid = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded(1);
+        lock(&self.pending).insert(qid, tx);
+        let coord = NodeId(COORD_BASE + self.shared.me.id);
+        self.cluster.inject(coord, coord, LiveMsg::SubmitMulti {
+            qid,
+            patterns,
+            join_vars,
+            strategy,
+        });
+        RoundHandle::new(qid, rx, Arc::clone(&self.pending))
+    }
+
     /// The admission gate bounding concurrent query *executions* through
     /// this process (one SPARQL query = one permit, covering all its
     /// solution rounds). [`MeshNode::execute`] acquires from it; raw
@@ -467,6 +510,22 @@ impl MeshNode {
             .acquire(self.cfg.query_deadline)
             .map_err(|retry_after| LiveError::Overloaded { retry_after })?;
         live_execute(self, query, bind_join, wait)
+    }
+
+    /// [`live_execute_with`] on this node, admission-gated like
+    /// [`MeshNode::execute`]: the full [`ExecConfig`] selects the
+    /// distribution strategy (`cfg.dist`) for multi-pattern BGPs.
+    pub fn execute_with(
+        &self,
+        query: &str,
+        cfg: &ExecConfig,
+        wait: Duration,
+    ) -> Result<LiveExecution, LiveError> {
+        let _permit = self
+            .admission
+            .acquire(self.cfg.query_deadline)
+            .map_err(|retry_after| LiveError::Overloaded { retry_after })?;
+        live_execute_with(self, query, cfg, wait)
     }
 
     /// Fault-tolerance counters accumulated so far.
@@ -504,6 +563,16 @@ impl SolutionRounds for MeshNode {
         wait: Duration,
     ) -> Option<LiveAnswer> {
         self.query_solutions(pattern, filter, bound, wait)
+    }
+
+    fn multiway_round(
+        &self,
+        patterns: Vec<TriplePattern>,
+        join_vars: Vec<Variable>,
+        strategy: DistStrategy,
+        wait: Duration,
+    ) -> Option<LiveAnswer> {
+        self.query_multiway(patterns, join_vars, strategy, wait)
     }
 }
 

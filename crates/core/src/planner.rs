@@ -17,8 +17,11 @@ use rdfmesh_overlay::{wire, Overlay, OverlayError};
 use rdfmesh_rdf::TriplePattern;
 use rdfmesh_sparql::{expr::Expression, GraphPattern};
 
-use crate::config::{ExecConfig, PrimitiveStrategy};
-use crate::exec::{covers, single_pattern_of, ExecNode, ExecPlan, OpKind, PrimitiveOp};
+use crate::config::{DistChoice, DistStrategy, ExecConfig, PrimitiveStrategy};
+use crate::exec::{
+    common_join_vars, covers, single_pattern_of, ExecNode, ExecPlan, OpKind, PrimitiveOp,
+};
+use rdfmesh_rdf::TermPattern;
 
 /// What the planner optimizes for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -224,22 +227,33 @@ fn compile_node(pattern: &GraphPattern, cfg: &ExecConfig) -> ExecNode {
             filter: None,
             try_range: false,
         }),
-        GraphPattern::Bgp(tps) => {
-            let mut node = ExecNode::Primitive(PrimitiveOp {
-                pattern: tps[0].clone(),
-                filter: None,
-                try_range: false,
-            });
-            for tp in &tps[1..] {
-                node = ExecNode::Chain {
-                    left: Box::new(node),
-                    right: tp.clone(),
-                    bind: cfg.bind_join,
-                    hint_from_left: cfg.overlap_aware,
-                };
+        GraphPattern::Bgp(tps) => match select_dist(tps, cfg.dist) {
+            DistStrategy::Chained => {
+                note_dist_choice(DistStrategy::Chained);
+                let mut node = ExecNode::Primitive(PrimitiveOp {
+                    pattern: tps[0].clone(),
+                    filter: None,
+                    try_range: false,
+                });
+                for tp in &tps[1..] {
+                    node = ExecNode::Chain {
+                        left: Box::new(node),
+                        right: tp.clone(),
+                        bind: cfg.bind_join,
+                        hint_from_left: cfg.overlap_aware,
+                    };
+                }
+                node
             }
-            node
-        }
+            strategy => {
+                note_dist_choice(strategy);
+                ExecNode::MultiJoin {
+                    patterns: tps.clone(),
+                    join_vars: common_join_vars(tps),
+                    strategy,
+                }
+            }
+        },
         GraphPattern::Filter(expr, inner) => {
             // Nested filters (the optimizer pushes conjuncts one at a
             // time) are one conjunction over the same core pattern;
@@ -264,6 +278,89 @@ fn compile_node(pattern: &GraphPattern, cfg: &ExecConfig) -> ExecNode {
         GraphPattern::Join(a, b) => binary(OpKind::Join, a, b, cfg),
         GraphPattern::LeftJoin(a, b, expr) => binary(OpKind::LeftJoin(expr.clone()), a, b, cfg),
         GraphPattern::Union(a, b) => binary(OpKind::Union, a, b, cfg),
+    }
+}
+
+/// Selects the distribution strategy for a multi-pattern BGP from its
+/// join-graph shape (see `docs/EXECUTION.md` for the matrix):
+///
+/// * any all-variable pattern floods every provider and is excluded
+///   from the multiway protocols — fall back to chained;
+/// * HyperCube needs at least one variable common to *all* patterns
+///   (partitioning on it routes joinable solutions to one target);
+/// * partial evaluation needs a connected join graph (a cartesian
+///   product has no cross-site matches to stitch);
+/// * `Auto` prefers HyperCube for common-variable (star) shapes,
+///   partial evaluation for connected cyclic shapes, chained otherwise.
+fn select_dist(tps: &[TriplePattern], choice: DistChoice) -> DistStrategy {
+    if tps.len() < 2 || choice == DistChoice::Chained || tps.iter().any(all_variable) {
+        return DistStrategy::Chained;
+    }
+    let star = !common_join_vars(tps).is_empty();
+    let (connected, cyclic) = join_graph_shape(tps);
+    match choice {
+        DistChoice::Chained => DistStrategy::Chained,
+        DistChoice::HyperCube if star => DistStrategy::HyperCube,
+        DistChoice::PartialEval if connected => DistStrategy::PartialEval,
+        DistChoice::Auto if star => DistStrategy::HyperCube,
+        DistChoice::Auto if connected && cyclic => DistStrategy::PartialEval,
+        _ => DistStrategy::Chained,
+    }
+}
+
+/// An all-variable (keyless) pattern — unindexable, served by flooding.
+fn all_variable(tp: &TriplePattern) -> bool {
+    matches!(tp.subject, TermPattern::Var(_))
+        && matches!(tp.predicate, TermPattern::Var(_))
+        && matches!(tp.object, TermPattern::Var(_))
+}
+
+/// `(connected, cyclic)` of the join graph whose nodes are patterns and
+/// whose edges link patterns sharing at least one variable. A connected
+/// graph with as many edges as nodes (or more) contains a cycle.
+fn join_graph_shape(tps: &[TriplePattern]) -> (bool, bool) {
+    let n = tps.len();
+    let vars: Vec<Vec<&rdfmesh_rdf::Variable>> = tps.iter().map(|t| t.variables()).collect();
+    let mut edges = 0usize;
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if vars[i].iter().any(|v| vars[j].contains(v)) {
+                edges += 1;
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut reached = 1;
+    while let Some(i) = stack.pop() {
+        for &j in &adj[i] {
+            if !seen[j] {
+                seen[j] = true;
+                reached += 1;
+                stack.push(j);
+            }
+        }
+    }
+    let connected = reached == n;
+    (connected, connected && edges >= n)
+}
+
+/// Bumps the `exec.strategy.*.chosen` counter for a multi-pattern BGP.
+fn note_dist_choice(strategy: DistStrategy) {
+    let metrics = rdfmesh_obs::metrics();
+    if metrics.is_enabled() {
+        metrics.add(
+            match strategy {
+                DistStrategy::Chained => rdfmesh_obs::names::EXEC_STRATEGY_CHAINED,
+                DistStrategy::HyperCube => rdfmesh_obs::names::EXEC_STRATEGY_HYPERCUBE,
+                DistStrategy::PartialEval => rdfmesh_obs::names::EXEC_STRATEGY_PARTIAL_EVAL,
+            },
+            1,
+        );
     }
 }
 
@@ -506,5 +603,123 @@ mod tests {
             &overlap_off,
         );
         assert!(matches!(&disabled.root, ExecNode::Binary { common_site: false, .. }));
+    }
+
+    // ---- distribution-strategy selection -----------------------------
+
+    fn tpv(s: &str, p: &str, o: &str) -> TriplePattern {
+        TriplePattern::new(
+            TermPattern::var(s),
+            Term::iri(&format!("http://e/{p}")),
+            TermPattern::var(o),
+        )
+    }
+
+    fn cfg_with(dist: DistChoice) -> ExecConfig {
+        ExecConfig { dist, ..ExecConfig::default() }
+    }
+
+    /// `?x a ?a . ?x b ?b . ?x c ?c` — every pattern shares `?x`.
+    fn star() -> GraphPattern {
+        GraphPattern::Bgp(vec![tpv("x", "a", "a0"), tpv("x", "b", "b0"), tpv("x", "c", "c0")])
+    }
+
+    /// `?a p ?b . ?b q ?c . ?c r ?d` — pairwise links, no common var.
+    fn chain3() -> GraphPattern {
+        GraphPattern::Bgp(vec![tpv("a", "p", "b"), tpv("b", "q", "c"), tpv("c", "r", "d")])
+    }
+
+    /// `?a p ?b . ?b q ?c . ?c r ?a` — a triangle: connected and cyclic,
+    /// but no variable common to all three patterns.
+    fn cycle3() -> GraphPattern {
+        GraphPattern::Bgp(vec![tpv("a", "p", "b"), tpv("b", "q", "c"), tpv("c", "r", "a")])
+    }
+
+    #[test]
+    fn dist_auto_picks_hypercube_for_stars_and_partial_eval_for_cycles() {
+        let cfg = cfg_with(DistChoice::Auto);
+        assert!(matches!(
+            compile(&star(), &cfg).root,
+            ExecNode::MultiJoin { strategy: DistStrategy::HyperCube, ref join_vars, .. }
+                if join_vars == &[rdfmesh_rdf::Variable::new("x")]
+        ));
+        assert!(matches!(
+            compile(&cycle3(), &cfg).root,
+            ExecNode::MultiJoin { strategy: DistStrategy::PartialEval, ref join_vars, .. }
+                if join_vars.is_empty()
+        ));
+        // An acyclic chain without a common variable stays chained.
+        assert!(matches!(compile(&chain3(), &cfg).root, ExecNode::Chain { .. }));
+    }
+
+    #[test]
+    fn dist_default_config_never_emits_multiway_nodes() {
+        for shape in [star(), chain3(), cycle3()] {
+            let plan = compile(&shape, &ExecConfig::default());
+            assert!(
+                !matches!(plan.root, ExecNode::MultiJoin { .. }),
+                "default dist=chained compiled a MultiJoin for {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dist_single_pattern_compiles_to_primitive_under_every_choice() {
+        let single = GraphPattern::Bgp(vec![tpv("x", "a", "y")]);
+        for dist in [DistChoice::Chained, DistChoice::HyperCube, DistChoice::PartialEval, DistChoice::Auto] {
+            assert!(matches!(compile(&single, &cfg_with(dist)).root, ExecNode::Primitive(_)));
+        }
+    }
+
+    #[test]
+    fn dist_all_variable_flood_falls_back_to_chained() {
+        // `?s ?p ?o` is keyless (answered by flooding); the multiway
+        // protocols exclude it, so every choice falls back to chained.
+        let flood = GraphPattern::Bgp(vec![
+            tpv("x", "a", "s"),
+            TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), TermPattern::var("o")),
+        ]);
+        for dist in [DistChoice::HyperCube, DistChoice::PartialEval, DistChoice::Auto] {
+            assert!(
+                matches!(compile(&flood, &cfg_with(dist)).root, ExecNode::Chain { .. }),
+                "{dist} must not build a multiway plan over a flood pattern"
+            );
+        }
+    }
+
+    #[test]
+    fn dist_cartesian_product_falls_back_to_chained() {
+        let product = GraphPattern::Bgp(vec![tpv("a", "p", "b"), tpv("c", "q", "d")]);
+        for dist in [DistChoice::HyperCube, DistChoice::PartialEval, DistChoice::Auto] {
+            assert!(
+                matches!(compile(&product, &cfg_with(dist)).root, ExecNode::Chain { .. }),
+                "{dist} must not build a multiway plan over a cartesian product"
+            );
+        }
+    }
+
+    #[test]
+    fn dist_forced_strategies_apply_where_the_shape_allows() {
+        // A 2-pattern join is star-shaped (the shared var is common to
+        // all patterns), so both forcings engage on it.
+        let pair = GraphPattern::Bgp(vec![tpv("x", "a", "y"), tpv("y", "b", "z")]);
+        assert!(matches!(
+            compile(&pair, &cfg_with(DistChoice::HyperCube)).root,
+            ExecNode::MultiJoin { strategy: DistStrategy::HyperCube, .. }
+        ));
+        assert!(matches!(
+            compile(&pair, &cfg_with(DistChoice::PartialEval)).root,
+            ExecNode::MultiJoin { strategy: DistStrategy::PartialEval, .. }
+        ));
+        // HyperCube forced onto a common-var-free cycle cannot hash;
+        // partial evaluation still can (the graph is connected).
+        assert!(matches!(
+            compile(&cycle3(), &cfg_with(DistChoice::HyperCube)).root,
+            ExecNode::Chain { .. }
+        ));
+        assert!(matches!(
+            compile(&cycle3(), &cfg_with(DistChoice::PartialEval)).root,
+            ExecNode::MultiJoin { strategy: DistStrategy::PartialEval, .. }
+        ));
     }
 }

@@ -24,7 +24,7 @@ use rdfmesh_sparql::{
     QueryResult,
 };
 
-use crate::config::{ExecConfig, JoinSiteStrategy, PrimitiveStrategy};
+use crate::config::{DistStrategy, ExecConfig, JoinSiteStrategy, PrimitiveStrategy};
 use crate::engine::{EngineError, FrequencyEstimator};
 use crate::exec::{collect_patterns, Mat, MeshBackend, OpKind, PrimitiveOp};
 use crate::stats::QueryStats;
@@ -970,6 +970,289 @@ impl<'a> SimBackend<'a> {
         Ok(best.map(|(_, node)| node))
     }
 
+    // ---- multiway distribution strategies (ExecNode::MultiJoin) --------
+
+    /// Resolves every pattern slot's provider set up front (charged
+    /// lookups from the initiator's entry node). A keyless all-variable
+    /// slot has no index row to consult, so it names every storage node
+    /// in the dataset — the flood fallback of Sect. IV-B. Returns the
+    /// per-slot provider lists and the time the last lookup resolves.
+    fn multiway_providers(
+        &mut self,
+        patterns: &[TriplePattern],
+        depart: SimTime,
+    ) -> Result<(Vec<Vec<NodeId>>, SimTime), EngineError> {
+        let entry = self.entry_index(self.initiator)?;
+        let mut slots = Vec::with_capacity(patterns.len());
+        let mut resolved = depart;
+        for pattern in patterns {
+            match self.locate_cached(entry, pattern, depart)? {
+                Some(located) => {
+                    self.note_index_hops(located.hops);
+                    resolved = resolved.max(located.arrival);
+                    rdfmesh_obs::advance_current(phase::KEY_RESOLUTION, located.arrival.0);
+                    let providers = self.in_dataset(located.providers);
+                    slots.push(providers.into_iter().map(|p| p.node).collect::<Vec<_>>());
+                }
+                None => {
+                    let all: Vec<NodeId> = self
+                        .overlay
+                        .storage_nodes()
+                        .into_iter()
+                        .filter(|s| {
+                            self.dataset_graphs.is_empty()
+                                || self
+                                    .overlay
+                                    .storage_node(*s)
+                                    .and_then(|n| n.graph.as_ref())
+                                    .is_some_and(|g| self.dataset_graphs.contains(g))
+                        })
+                        .collect();
+                    slots.push(all);
+                }
+            }
+        }
+        Ok((slots, resolved))
+    }
+
+    /// One-round multiway BGP join (the [`crate::exec::ExecNode::MultiJoin`]
+    /// operator): resolves every slot, then runs the selected strategy
+    /// across the sorted provider union. Dead providers cost one ack
+    /// timeout each and are purged, so the round yields a
+    /// complete-or-partial answer exactly like the chained pipeline.
+    pub(crate) fn multiway(
+        &mut self,
+        patterns: &[TriplePattern],
+        join_vars: &[Variable],
+        strategy: DistStrategy,
+        depart: SimTime,
+    ) -> Result<Mat, EngineError> {
+        if patterns.is_empty() {
+            return Ok(Mat {
+                solutions: vec![Solution::new()],
+                site: self.initiator,
+                ready: depart,
+            });
+        }
+        let (slots, resolved) = self.multiway_providers(patterns, depart)?;
+        if slots.iter().any(Vec::is_empty) {
+            // Some pattern matches nowhere: the conjunction is empty.
+            return Ok(Mat { solutions: Vec::new(), site: self.initiator, ready: resolved });
+        }
+        let mut peers: Vec<NodeId> = slots.into_iter().flatten().collect();
+        peers.sort_unstable_by_key(|n| n.0);
+        peers.dedup();
+        match strategy {
+            DistStrategy::HyperCube => {
+                self.multiway_hypercube(patterns, join_vars, &peers, resolved)
+            }
+            // Chained BGPs never compile to MultiJoin; routing the variant
+            // like partial evaluation keeps the operator total anyway.
+            DistStrategy::Chained | DistStrategy::PartialEval => {
+                self.multiway_partial(patterns, &peers, resolved)
+            }
+        }
+    }
+
+    /// HyperCube shuffle: every provider evaluates each pattern locally,
+    /// hashes each solution's join-variable bindings to a shuffle target
+    /// (`exec::shuffle_partition`), and ships each partition exactly
+    /// once, peer to peer. Every target then joins its partitions
+    /// locally and returns one answer fragment to the initiator — a
+    /// single communication round with no coordinator relay of
+    /// intermediates.
+    fn multiway_hypercube(
+        &mut self,
+        patterns: &[TriplePattern],
+        join_vars: &[Variable],
+        peers: &[NodeId],
+        t0: SimTime,
+    ) -> Result<Mat, EngineError> {
+        let metrics = rdfmesh_obs::metrics();
+        let exec_bytes = |k: usize| {
+            wire::SUBQUERY_HEADER
+                + patterns.iter().map(TriplePattern::serialized_len).sum::<usize>()
+                + 8 * k // the peer list every node partitions against
+        };
+        let span = rdfmesh_obs::begin_current(
+            phase::SHIPPING,
+            &format!("hypercube shuffle across {} providers", peers.len()),
+            t0.0,
+        );
+        // Phase A: fan the exec frame out. A dead peer costs one ack
+        // timeout and is dropped; mirroring the live protocol's
+        // generation bump, the shuffle then restarts over the survivors
+        // (a second exec fan-out) so only the dead peer's data is lost.
+        let mut alive: Vec<NodeId> = Vec::with_capacity(peers.len());
+        let mut dead = Vec::new();
+        let mut lost = t0;
+        for &peer in peers {
+            let sent = self.overlay.net.send(self.initiator, peer, exec_bytes(peers.len()), t0);
+            self.note_provider_contacted();
+            if self.overlay.is_storage_alive(peer) {
+                alive.push(peer);
+            } else {
+                lost = lost.max(sent + self.cfg.ack_timeout);
+                dead.push(peer);
+            }
+        }
+        let k = alive.len();
+        if k == 0 {
+            rdfmesh_obs::end_current(span, lost.0);
+            rdfmesh_obs::advance_current(phase::SHIPPING, lost.0);
+            self.handle_dead(&dead);
+            return Ok(Mat { solutions: Vec::new(), site: self.initiator, ready: lost });
+        }
+        // Phase B: scatter. parts[target][slot] accumulates fragments at
+        // each shuffle target; at_target is when its last partition lands.
+        let mut parts: Vec<Vec<DistinctBuffer>> = (0..k)
+            .map(|_| (0..patterns.len()).map(|_| DistinctBuffer::new()).collect())
+            .collect();
+        let mut at_target = vec![t0; k];
+        for (origin, &peer) in alive.iter().enumerate() {
+            let sent = if dead.is_empty() {
+                self.overlay.net.transfer_time(self.initiator, peer, exec_bytes(k)) + t0
+            } else {
+                // Restart fan-out: the survivors re-execute under the
+                // bumped generation, paid after the failure detection.
+                self.overlay.net.send(self.initiator, peer, exec_bytes(k), lost)
+            };
+            let mut local: Vec<SolutionSet> = Vec::with_capacity(patterns.len());
+            for pattern in patterns {
+                local.push(self.local_solutions(peer, pattern, None).unwrap_or_default());
+            }
+            let produced: usize = local.iter().map(Vec::len).sum();
+            self.note_local_exec(peer, produced, sent);
+            self.note_intermediates(produced);
+            // Partition every pattern's solutions across the live peer
+            // set. Empty partitions ship too (a header-only frame):
+            // targets need one frame per origin to know the scatter is
+            // complete.
+            let mut outbound: Vec<Vec<SolutionSet>> =
+                (0..k).map(|_| vec![SolutionSet::new(); patterns.len()]).collect();
+            for (slot, sols) in local.into_iter().enumerate() {
+                for s in sols {
+                    let target = crate::exec::shuffle_partition(&s, join_vars, k);
+                    outbound[target][slot].push(s);
+                }
+            }
+            for (ti, sets) in outbound.into_iter().enumerate() {
+                if ti != origin {
+                    let rows: usize = sets.iter().map(Vec::len).sum();
+                    let bytes = wire::RESULT_HEADER
+                        + sets.iter().map(|set| solution::serialized_len(set)).sum::<usize>();
+                    if metrics.is_enabled() {
+                        metrics.add(names::EXEC_STRATEGY_SHUFFLE_PARTS, rows as u64);
+                        metrics.add(names::EXEC_STRATEGY_SHUFFLE_BYTES, bytes as u64);
+                    }
+                    let arrived = self.overlay.net.send(peer, alive[ti], bytes, sent);
+                    at_target[ti] = at_target[ti].max(arrived);
+                } else {
+                    at_target[ti] = at_target[ti].max(sent);
+                }
+                for (slot, set) in sets.into_iter().enumerate() {
+                    parts[ti][slot].extend_distinct(set);
+                }
+            }
+        }
+        // Phase C: each target folds its fragments into a local join and
+        // returns its answer fragment to the initiator.
+        let mut union = DistinctBuffer::new();
+        let mut ready = lost;
+        for (ti, per_slot) in parts.into_iter().enumerate() {
+            let mut acc: SolutionSet = vec![Solution::new()];
+            for buf in &per_slot {
+                acc = solution::join(&acc, buf.as_slice());
+            }
+            self.note_local_exec(alive[ti], acc.len(), at_target[ti]);
+            self.note_intermediates(acc.len());
+            let bytes = wire::RESULT_HEADER + solution::serialized_len(&acc);
+            let back = self.overlay.net.send(alive[ti], self.initiator, bytes, at_target[ti]);
+            ready = ready.max(back);
+            union.extend_distinct(acc);
+        }
+        rdfmesh_obs::end_current(span, ready.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
+        self.handle_dead(&dead);
+        Ok(Mat { solutions: union.into_vec(), site: self.initiator, ready })
+    }
+
+    /// Partial evaluation and assembly: every provider evaluates the
+    /// whole BGP over its local data and ships its per-pattern match
+    /// sets back in one reply; the initiator assembles cross-site rows
+    /// with a fold join. Rows no single provider could produce alone
+    /// feed the `exec.strategy.assembly_stitched_rows` counter.
+    fn multiway_partial(
+        &mut self,
+        patterns: &[TriplePattern],
+        peers: &[NodeId],
+        t0: SimTime,
+    ) -> Result<Mat, EngineError> {
+        let metrics = rdfmesh_obs::metrics();
+        let exec_bytes = wire::SUBQUERY_HEADER
+            + patterns.iter().map(TriplePattern::serialized_len).sum::<usize>();
+        let span = rdfmesh_obs::begin_current(
+            phase::SHIPPING,
+            &format!("partial evaluation at {} providers", peers.len()),
+            t0.0,
+        );
+        let mut per_pattern: Vec<DistinctBuffer> =
+            (0..patterns.len()).map(|_| DistinctBuffer::new()).collect();
+        let mut local_complete = DistinctBuffer::new();
+        let mut ready = t0;
+        let mut dead = Vec::new();
+        for &peer in peers {
+            let sent = self.overlay.net.send(self.initiator, peer, exec_bytes, t0);
+            self.note_provider_contacted();
+            let mut sets: Vec<SolutionSet> = Vec::with_capacity(patterns.len());
+            let mut up = true;
+            for pattern in patterns {
+                match self.local_solutions(peer, pattern, None) {
+                    Some(sols) => sets.push(sols),
+                    None => {
+                        up = false;
+                        break;
+                    }
+                }
+            }
+            if !up {
+                ready = ready.max(sent + self.cfg.ack_timeout);
+                dead.push(peer);
+                continue;
+            }
+            let produced: usize = sets.iter().map(Vec::len).sum();
+            self.note_local_exec(peer, produced, sent);
+            self.note_intermediates(produced);
+            let bytes = wire::RESULT_HEADER
+                + sets.iter().map(|set| solution::serialized_len(set)).sum::<usize>();
+            let back = self.overlay.net.send(peer, self.initiator, bytes, sent);
+            ready = ready.max(back);
+            // What this provider could answer alone — the baseline that
+            // separates stitched rows from locally complete ones.
+            let mut mine: SolutionSet = vec![Solution::new()];
+            for (slot, set) in sets.into_iter().enumerate() {
+                mine = solution::join(&mine, &set);
+                per_pattern[slot].extend_distinct(set);
+            }
+            local_complete.extend_distinct(mine);
+        }
+        let mut acc: SolutionSet = vec![Solution::new()];
+        for buf in &per_pattern {
+            acc = solution::join(&acc, buf.as_slice());
+        }
+        let mut assembled = DistinctBuffer::new();
+        assembled.extend_distinct(acc);
+        let stitched = assembled.len().saturating_sub(local_complete.len()) as u64;
+        if metrics.is_enabled() {
+            metrics.add(names::EXEC_STRATEGY_STITCHED_ROWS, stitched);
+        }
+        self.note_intermediates(assembled.len());
+        rdfmesh_obs::end_current(span, ready.0);
+        rdfmesh_obs::advance_current(phase::SHIPPING, ready.0);
+        self.handle_dead(&dead);
+        Ok(Mat { solutions: assembled.into_vec(), site: self.initiator, ready })
+    }
+
     // ---- post-processing (Fig. 3) --------------------------------------
 
     /// Shapes the raw solution set into the query form's result at the
@@ -1082,6 +1365,16 @@ impl<'a> MeshBackend for SimBackend<'a> {
 
     fn exec_binary(&mut self, op: &OpKind, left: Mat, right: Mat) -> Mat {
         self.binary_op(op, left, right)
+    }
+
+    fn exec_multiway(
+        &mut self,
+        patterns: &[TriplePattern],
+        join_vars: &[Variable],
+        strategy: DistStrategy,
+        depart: SimTime,
+    ) -> Result<Mat, EngineError> {
+        self.multiway(patterns, join_vars, strategy, depart)
     }
 
     fn exec_common_site(

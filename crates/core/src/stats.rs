@@ -113,6 +113,9 @@ pub struct LiveStats {
     rejected: std::sync::atomic::AtomicU64,
     batches: std::sync::atomic::AtomicU64,
     batched_rounds: std::sync::atomic::AtomicU64,
+    shuffle_parts: std::sync::atomic::AtomicU64,
+    shuffle_bytes: std::sync::atomic::AtomicU64,
+    stitched_rows: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`LiveStats`].
@@ -151,6 +154,13 @@ pub struct LiveStatsSnapshot {
     pub batches: u64,
     /// Per-query rounds that travelled inside a batched frame.
     pub batched_rounds: u64,
+    /// Solution partitions shipped peer-to-peer by HyperCube shuffles.
+    pub shuffle_parts: u64,
+    /// Wire bytes of those peer-to-peer shuffle partitions.
+    pub shuffle_bytes: u64,
+    /// Assembled rows stitched from more than one provider's partial
+    /// matches (partial-evaluation queries only).
+    pub stitched_rows: u64,
 }
 
 impl LiveStats {
@@ -236,6 +246,21 @@ impl LiveStats {
         Self::bump(&self.batched_rounds, rdfmesh_obs::names::LIVE_BATCHED_ROUNDS, delta);
     }
 
+    /// Adds `delta` peer-to-peer shuffle partitions.
+    pub fn add_shuffle_parts(&self, delta: u64) {
+        Self::bump(&self.shuffle_parts, rdfmesh_obs::names::EXEC_STRATEGY_SHUFFLE_PARTS, delta);
+    }
+
+    /// Adds `delta` wire bytes of shuffle partitions.
+    pub fn add_shuffle_bytes(&self, delta: u64) {
+        Self::bump(&self.shuffle_bytes, rdfmesh_obs::names::EXEC_STRATEGY_SHUFFLE_BYTES, delta);
+    }
+
+    /// Adds `delta` cross-provider stitched assembly rows.
+    pub fn add_stitched_rows(&self, delta: u64) {
+        Self::bump(&self.stitched_rows, rdfmesh_obs::names::EXEC_STRATEGY_STITCHED_ROWS, delta);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> LiveStatsSnapshot {
         use std::sync::atomic::Ordering::Relaxed;
@@ -255,6 +280,9 @@ impl LiveStats {
             rejected: self.rejected.load(Relaxed),
             batches: self.batches.load(Relaxed),
             batched_rounds: self.batched_rounds.load(Relaxed),
+            shuffle_parts: self.shuffle_parts.load(Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Relaxed),
+            stitched_rows: self.stitched_rows.load(Relaxed),
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use std::time::{Duration, Instant};
 
-use rdfmesh_core::{global_store, FaultPlan, LiveConfig, LiveMesh};
+use rdfmesh_core::{global_store, DistChoice, ExecConfig, FaultPlan, LiveConfig, LiveMesh, Transport};
 use rdfmesh_net::{LatencyModel, Network, NodeId, SimTime};
 use rdfmesh_overlay::Overlay;
 use rdfmesh_rdf::{Term, TermPattern, TriplePattern};
@@ -173,6 +173,152 @@ fn provider_crash_mid_query_degrades_to_a_partial_answer() {
     assert_eq!(sorted(sols), sorted(expected), "partial answer = survivors' data");
     assert!(mesh.stats().incomplete_queries >= 1);
     mesh.shutdown();
+}
+
+// ---- distribution strategies (ISSUE 10: the pluggable seam) ---------
+
+/// The oracle suite the acceptance criterion names: conjunctive chains
+/// and stars, UNION, OPTIONAL and FILTER — every shape the planner can
+/// route to a non-chained strategy plus the degenerate ones that must
+/// silently fall back.
+const STRATEGY_SUITE: &[&str] = &[
+    // Conjunctive: a chain (path-shaped join graph) and a star (all
+    // patterns share ?x — HyperCube's home turf).
+    "SELECT * WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . }",
+    "SELECT * WHERE { ?x foaf:name ?n . ?x foaf:age ?a . ?x foaf:knows ?y . }",
+    // UNION of two multi-pattern branches: each branch is its own BGP
+    // and picks its own strategy.
+    "SELECT * WHERE { { ?x foaf:name ?v . ?x foaf:nick ?w . } UNION { ?x foaf:name ?v . ?x foaf:mbox ?w . } }",
+    // OPTIONAL over a multi-pattern required side.
+    "SELECT * WHERE { ?x foaf:name ?n . ?x foaf:age ?a . OPTIONAL { ?x foaf:nick ?k . } }",
+    // FILTER over a star.
+    "SELECT * WHERE { ?x foaf:name ?n . ?x foaf:age ?a . FILTER (?a >= 30) }",
+];
+
+const STRATEGIES: [DistChoice; 3] =
+    [DistChoice::Chained, DistChoice::HyperCube, DistChoice::PartialEval];
+
+fn strategy_cfg(dist: DistChoice) -> ExecConfig {
+    ExecConfig { dist, ..ExecConfig::default() }
+}
+
+/// Runs the whole suite under all three strategy families on an
+/// already-spawned mesh, asserting every one matches the oracle.
+fn assert_strategies_agree(mesh: &LiveMesh, overlay: &Overlay) {
+    for query in STRATEGY_SUITE {
+        let QueryResult::Solutions(expected) = oracle(overlay, query) else {
+            panic!("SELECT returns solutions")
+        };
+        let expected = sorted(expected);
+        for dist in STRATEGIES {
+            let live = mesh
+                .execute_with(query, &strategy_cfg(dist), WAIT)
+                .unwrap_or_else(|e| panic!("{dist:?} failed on {query}: {e:?}"));
+            assert!(live.complete, "fault-free mesh must complete: {query} under {dist:?}");
+            assert!(live.failed_providers.is_empty(), "{query} under {dist:?}");
+            let QueryResult::Solutions(got) = live.result else {
+                panic!("SELECT returns solutions")
+            };
+            assert_eq!(expected, sorted(got), "oracle mismatch: {query} under {dist:?}");
+        }
+    }
+}
+
+#[test]
+fn all_three_strategies_agree_with_the_oracle_on_threads() {
+    let overlay = build_overlay();
+    let mesh = LiveMesh::spawn(&overlay);
+    assert_strategies_agree(&mesh, &overlay);
+    // The star queries really went through the shuffle: rows were
+    // partitioned by join-variable hash and shipped peer-to-peer.
+    let stats = mesh.stats();
+    assert!(stats.shuffle_parts > 0, "HyperCube must ship shuffle partitions");
+    assert!(stats.shuffle_bytes > 0);
+    // And partial evaluation stitched at least one cross-site match
+    // (the knows chain crosses peer boundaries in the FOAF workload).
+    assert!(stats.stitched_rows > 0, "assembly must stitch cross-site rows");
+    mesh.shutdown();
+}
+
+#[test]
+fn all_three_strategies_agree_with_the_oracle_on_sockets() {
+    let overlay = build_overlay();
+    let mesh = LiveMesh::spawn_with_transport(
+        &overlay,
+        LiveConfig::default(),
+        FaultPlan::new(),
+        Transport::Sockets,
+    )
+    .expect("loopback listener");
+    assert_strategies_agree(&mesh, &overlay);
+    assert!(mesh.stats().shuffle_parts > 0, "sockets ship the same shuffle frames");
+    mesh.shutdown();
+}
+
+#[test]
+fn every_strategy_degrades_to_the_survivor_oracle_on_provider_crash() {
+    let overlay = build_overlay();
+    let query = "SELECT * WHERE { ?x foaf:knows ?y . ?y foaf:knows ?z . }";
+    let cfg = LiveConfig {
+        ack_timeout: Duration::from_millis(50),
+        lookup_timeout: Duration::from_millis(50),
+        query_deadline: Duration::from_secs(2),
+        retries: 1,
+        ..LiveConfig::default()
+    };
+    // One mesh per strategy: a crash is permanent, and the purge a
+    // previous strategy triggered must not mask the next one's own
+    // fault handling.
+    let mut answers: Vec<Vec<Solution>> = Vec::new();
+    let mut victim_node = None;
+    for dist in STRATEGIES {
+        let mesh = LiveMesh::spawn_with(&overlay, cfg, FaultPlan::new());
+        let victim = mesh.providers_of(&knows_pattern())[0];
+        victim_node = Some(victim);
+        assert!(mesh.crash(victim));
+        let started = Instant::now();
+        let live = mesh
+            .execute_with(query, &strategy_cfg(dist), WAIT)
+            .unwrap_or_else(|e| panic!("{dist:?} must not error on a crash: {e:?}"));
+        let elapsed = started.elapsed();
+        assert!(!live.complete, "a crashed provider makes the answer partial ({dist:?})");
+        assert!(
+            live.failed_providers.contains(&victim),
+            "{dist:?} must name the crashed provider: {:?}",
+            live.failed_providers
+        );
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "{dist:?} must terminate within its deadlines, took {elapsed:?}"
+        );
+        let QueryResult::Solutions(sols) = live.result else { panic!("SELECT") };
+        answers.push(sorted(sols));
+        mesh.shutdown();
+    }
+    // All three strategies return the *same* partial answer: exactly
+    // the survivors' data under the oracle semantics.
+    let victim = victim_node.unwrap();
+    let survivor_store = {
+        let mut store = rdfmesh_rdf::TripleStore::new();
+        for n in overlay.storage_nodes() {
+            if n == victim {
+                continue;
+            }
+            for t in overlay.storage_node(n).unwrap().store.iter() {
+                store.insert(&t);
+            }
+        }
+        store
+    };
+    let QueryResult::Solutions(expected) =
+        evaluate_query(&survivor_store, &parse_query(query).unwrap())
+    else {
+        panic!()
+    };
+    let expected = sorted(expected);
+    for (dist, got) in STRATEGIES.iter().zip(&answers) {
+        assert_eq!(&expected, got, "{dist:?} partial answer must equal survivors' data");
+    }
 }
 
 #[test]

@@ -90,6 +90,26 @@ pub const EXEC_BOUND_SUBQUERIES: &str = "exec.bound_subqueries";
 pub const EXEC_BINARY_OPS: &str = "exec.binary_ops";
 /// Residual filters applied to a materialization by the executor.
 pub const EXEC_RESIDUAL_FILTERS: &str = "exec.residual_filters";
+/// Multiway BGP joins executed as one distributed round (HyperCube
+/// shuffle or partial-evaluation-and-assembly).
+pub const EXEC_MULTIWAY_JOINS: &str = "exec.multiway_joins";
+
+// ---- distribution-strategy seam (docs/EXECUTION.md) ------------------
+
+/// Multi-pattern BGPs the planner compiled to chained shipping.
+pub const EXEC_STRATEGY_CHAINED: &str = "exec.strategy.chained.chosen";
+/// Multi-pattern BGPs the planner compiled to HyperCube shuffle.
+pub const EXEC_STRATEGY_HYPERCUBE: &str = "exec.strategy.hypercube.chosen";
+/// Multi-pattern BGPs the planner compiled to
+/// partial-evaluation-and-assembly.
+pub const EXEC_STRATEGY_PARTIAL_EVAL: &str = "exec.strategy.partial_eval.chosen";
+/// Solution partitions shipped peer-to-peer by HyperCube shuffles.
+pub const EXEC_STRATEGY_SHUFFLE_PARTS: &str = "exec.strategy.shuffle_parts";
+/// Wire bytes of peer-to-peer shuffle partitions.
+pub const EXEC_STRATEGY_SHUFFLE_BYTES: &str = "exec.strategy.shuffle_bytes";
+/// Assembled rows that stitched partial matches from more than one
+/// provider (rows no single provider could produce locally).
+pub const EXEC_STRATEGY_STITCHED_ROWS: &str = "exec.strategy.assembly_stitched_rows";
 // ---- persistent store bulk ingest (docs/STORAGE.md) ------------------
 
 /// N-Triples statements parsed by the bulk-load pipeline (pre-dedup).
